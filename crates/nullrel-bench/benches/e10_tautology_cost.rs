@@ -1,0 +1,72 @@
+//! Experiment E10 (Appendix): the cost of tautology detection under the
+//! "unknown" interpretation as the where clause grows, contrasted with the
+//! `ni` evaluation, which never has to look at the formula structure at all.
+//! The propositional check explodes exponentially in the number of atoms;
+//! the ordered-domain decision procedure grows with the test-point grid; the
+//! `ni` pass stays a constant-time three-valued evaluation per tuple.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nullrel_bench::workload::tautology_formula;
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::CompareOp;
+use nullrel_core::universe::Universe;
+use nullrel_query::tautology::{decide, propositional_tautology};
+
+fn bench_e10(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e10_tautology_cost");
+    for &pairs in &[1usize, 2, 4, 6] {
+        let formula = tautology_formula(pairs);
+        let (valid, _) = decide(&formula);
+        println!(
+            "E10: k={pairs} pairs, {} atoms, ordered-domain decision = {:?}",
+            formula.atoms().len(),
+            valid
+        );
+
+        group.bench_with_input(
+            BenchmarkId::new("ordered_domain_decision", pairs),
+            &pairs,
+            |b, _| b.iter(|| decide(black_box(&formula))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("propositional_enumeration", pairs),
+            &pairs,
+            |b, _| b.iter(|| propositional_tautology(black_box(&formula))),
+        );
+    }
+
+    // The ni alternative: the same clause shape evaluated three-valued over a
+    // tuple whose compared attributes are null — a single pass, no search.
+    let mut universe = Universe::new();
+    let attrs: Vec<_> = (0..6).map(|i| universe.intern(&format!("x{i}"))).collect();
+    let mut predicate: Option<Predicate> = None;
+    for (i, attr) in attrs.iter().enumerate() {
+        let pair = Predicate::attr_const(*attr, CompareOp::Gt, 1_000 + i as i64)
+            .or(Predicate::attr_const(*attr, CompareOp::Le, 1_000 + i as i64));
+        predicate = Some(match predicate {
+            None => pair,
+            Some(prev) => prev.and(pair),
+        });
+    }
+    let predicate = predicate.expect("non-empty");
+    let all_null = Tuple::new();
+    group.bench_function("ni_three_valued_evaluation_k6", |b| {
+        b.iter(|| predicate.eval(black_box(&all_null)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+    targets = bench_e10
+}
+criterion_main!(benches);

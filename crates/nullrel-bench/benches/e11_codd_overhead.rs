@@ -1,0 +1,88 @@
+//! Experiment E11 (Section 7): on total relations, the x-relation operators
+//! agree with the classical Codd-relation operators; this benchmark measures
+//! the overhead of running total data through the generalized machinery
+//! (selection, projection, union, difference) compared with the plain
+//! total-relation algebra.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nullrel_bench::workload::{attrs_for, random_predicate, random_tuples, WorkloadSpec};
+use nullrel_codd::TotalRelation;
+use nullrel_core::algebra::{project, select};
+use nullrel_core::lattice;
+use nullrel_core::universe::Universe;
+use nullrel_core::xrel::XRelation;
+
+fn bench_e11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e11_codd_overhead");
+    for &tuples in &[100usize, 1_000] {
+        let spec = WorkloadSpec {
+            tuples,
+            attrs: 4,
+            null_density: 0.0, // total data: the Section 7 correspondence
+            domain_size: 40,
+            seed: 21,
+        };
+        let mut universe = Universe::new();
+        let attrs = attrs_for(&mut universe, &spec);
+        let rows_a = random_tuples(&spec, &attrs);
+        let rows_b = random_tuples(&WorkloadSpec { seed: 22, ..spec }, &attrs);
+        let predicate = random_predicate(&spec, &attrs, 3);
+
+        // Codd-relation (total) side.
+        let mut codd_a = TotalRelation::new(attrs.iter().copied());
+        for row in &rows_a {
+            let values: Vec<_> = attrs.iter().map(|a| row.get(*a).cloned().unwrap()).collect();
+            codd_a.insert(values).unwrap();
+        }
+        let mut codd_b = TotalRelation::new(attrs.iter().copied());
+        for row in &rows_b {
+            let values: Vec<_> = attrs.iter().map(|a| row.get(*a).cloned().unwrap()).collect();
+            codd_b.insert(values).unwrap();
+        }
+
+        // x-relation side (the Section 7 embedding of the same data).
+        let x_a = XRelation::from_tuples(rows_a.iter().cloned());
+        let x_b = XRelation::from_tuples(rows_b.iter().cloned());
+
+        let label = format!("n={tuples}");
+        group.bench_with_input(BenchmarkId::new("codd_select", &label), &label, |b, _| {
+            b.iter(|| codd_a.select(black_box(&predicate)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("xrel_select", &label), &label, |b, _| {
+            b.iter(|| select(black_box(&x_a), &predicate).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("codd_project", &label), &label, |b, _| {
+            b.iter(|| codd_a.project(black_box(&attrs[..2])).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("xrel_project", &label), &label, |b, _| {
+            b.iter(|| project(black_box(&x_a), &attrs[..2].iter().copied().collect()))
+        });
+        group.bench_with_input(BenchmarkId::new("codd_union", &label), &label, |b, _| {
+            b.iter(|| codd_a.union(black_box(&codd_b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("xrel_union", &label), &label, |b, _| {
+            b.iter(|| lattice::union(black_box(&x_a), &x_b))
+        });
+        group.bench_with_input(BenchmarkId::new("codd_difference", &label), &label, |b, _| {
+            b.iter(|| codd_a.difference(black_box(&codd_b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("xrel_difference", &label), &label, |b, _| {
+            b.iter(|| lattice::difference(black_box(&x_a), &x_b))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+    targets = bench_e11
+}
+criterion_main!(benches);

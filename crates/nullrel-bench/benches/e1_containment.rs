@@ -1,0 +1,71 @@
+//! Experiment E1 (Section 1, displays (1.1)/(1.2)): the cost and outcome of
+//! deciding `PS″ ⊇ PS′` — MAYBE via Codd's null substitution principle
+//! versus a direct TRUE via x-relation subsumption. The x-relation check is
+//! a containment test; the substitution principle must enumerate the
+//! substitution space.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use nullrel_bench::paper_data::ps_relations;
+use nullrel_codd::substitution;
+use nullrel_core::tvl::Truth;
+use nullrel_core::xrel::XRelation;
+
+fn bench_e1(c: &mut Criterion) {
+    let (universe, ps_prime, ps_double) = ps_relations();
+    let x_prime = XRelation::from_relation(&ps_prime);
+    let x_double = XRelation::from_relation(&ps_double);
+
+    // Report the experiment's headline outcomes once, so the bench log also
+    // documents the reproduced result.
+    let codd = substitution::contains(&ps_double, &ps_prime, &universe, 100_000)
+        .expect("small substitution space");
+    println!(
+        "E1: Codd substitution principle says PS'' ⊇ PS' = {} ({} substitutions); \
+         x-relation subsumption says {}",
+        codd.truth,
+        codd.substitutions,
+        x_double.contains(&x_prime)
+    );
+    assert_eq!(codd.truth, Truth::Ni);
+    assert!(x_double.contains(&x_prime));
+
+    let mut group = c.benchmark_group("e1_containment");
+    group.bench_function("codd_substitution_principle", |b| {
+        b.iter(|| {
+            substitution::contains(
+                black_box(&ps_double),
+                black_box(&ps_prime),
+                &universe,
+                100_000,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("xrelation_subsumption", |b| {
+        b.iter(|| black_box(&x_double).contains(black_box(&x_prime)))
+    });
+    group.bench_function("codd_self_equality", |b| {
+        b.iter(|| {
+            substitution::equals(black_box(&ps_prime), black_box(&ps_prime), &universe, 100_000)
+                .unwrap()
+        })
+    });
+    group.bench_function("xrelation_self_equality", |b| {
+        b.iter(|| black_box(&x_prime) == black_box(&x_prime))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+    targets = bench_e1
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Experiment E3 (Table III): the three-valued connectives and the `ni`
+//! comparison semantics. The benchmark measures predicate evaluation over a
+//! relation with varying null density — the cost of the lower-bound pass the
+//! paper argues is as cheap as ordinary two-valued evaluation.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nullrel_bench::workload::{attrs_for, random_predicate, random_tuples, WorkloadSpec};
+use nullrel_core::tvl::Truth;
+use nullrel_core::universe::Universe;
+
+fn bench_e3(c: &mut Criterion) {
+    // Regenerate Table III itself (documented in the bench log).
+    let t = Truth::True;
+    let f = Truth::False;
+    let n = Truth::Ni;
+    println!("E3 / Table III AND row for ni: {} {} {}", n.and(t), n.and(f), n.and(n));
+    println!("E3 / Table III OR  row for ni: {} {} {}", n.or(t), n.or(f), n.or(n));
+    println!("E3 / Table III NOT ni: {}", n.not());
+
+    let mut group = c.benchmark_group("e3_predicate_evaluation");
+    for density in [0.0_f64, 0.1, 0.3] {
+        let spec = WorkloadSpec {
+            tuples: 2_000,
+            attrs: 4,
+            null_density: density,
+            domain_size: 50,
+            seed: 3,
+        };
+        let mut universe = Universe::new();
+        let attrs = attrs_for(&mut universe, &spec);
+        let tuples = random_tuples(&spec, &attrs);
+        let predicate = random_predicate(&spec, &attrs, 4);
+        group.bench_with_input(
+            BenchmarkId::new("three_valued_scan", format!("null_density={density}")),
+            &density,
+            |b, _| {
+                b.iter(|| {
+                    let mut kept = 0usize;
+                    for tuple in &tuples {
+                        if predicate.eval(black_box(tuple)).unwrap().is_true() {
+                            kept += 1;
+                        }
+                    }
+                    kept
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+    targets = bench_e3
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Experiment E9 (Section 4): the cost of the generalized set operations.
+//! The paper notes that (4.6) suggests an `O(|R₁| + |R₂|)` union while (4.7)
+//! and (4.8) suggest `O(|R₁| · |R₂|)` bounds, and that "combinatorial
+//! hashing" can do better. This benchmark sweeps relation cardinality and
+//! null density, comparing the naïve (definition-transcribed) and
+//! hash-indexed implementations of union, x-intersection, difference and
+//! reduction to minimal form.
+
+use std::hint::black_box;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use nullrel_bench::workload::{random_relation, WorkloadSpec};
+use nullrel_core::lattice::{hashed, naive};
+use nullrel_core::universe::Universe;
+
+fn bench_e9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e9_setops");
+    for &tuples in &[100usize, 1_000] {
+        for &density in &[0.1f64, 0.3] {
+            let spec_a = WorkloadSpec {
+                tuples,
+                attrs: 4,
+                null_density: density,
+                domain_size: 50,
+                seed: 11,
+            };
+            let spec_b = WorkloadSpec { seed: 13, ..spec_a };
+            let mut universe = Universe::new();
+            let a = random_relation(&mut universe, &spec_a);
+            let b_rel = random_relation(&mut universe, &spec_b);
+            let label = format!("n={tuples},null={density}");
+
+            group.bench_with_input(BenchmarkId::new("union_naive", &label), &label, |bench, _| {
+                bench.iter(|| naive::union(black_box(&a), black_box(&b_rel)))
+            });
+            group.bench_with_input(BenchmarkId::new("union_hashed", &label), &label, |bench, _| {
+                bench.iter(|| hashed::union(black_box(&a), black_box(&b_rel)))
+            });
+            group.bench_with_input(
+                BenchmarkId::new("difference_naive", &label),
+                &label,
+                |bench, _| bench.iter(|| naive::difference(black_box(&a), black_box(&b_rel))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("difference_hashed", &label),
+                &label,
+                |bench, _| bench.iter(|| hashed::difference(black_box(&a), black_box(&b_rel))),
+            );
+            // The quadratic pairwise-meet operations are only swept at the
+            // smaller cardinality to keep the run short.
+            if tuples <= 100 {
+                group.bench_with_input(
+                    BenchmarkId::new("x_intersection_naive", &label),
+                    &label,
+                    |bench, _| {
+                        bench.iter(|| naive::x_intersection(black_box(&a), black_box(&b_rel)))
+                    },
+                );
+                group.bench_with_input(
+                    BenchmarkId::new("x_intersection_hashed", &label),
+                    &label,
+                    |bench, _| {
+                        bench.iter(|| hashed::x_intersection(black_box(&a), black_box(&b_rel)))
+                    },
+                );
+            }
+            let concatenated: Vec<_> = a
+                .tuples()
+                .iter()
+                .chain(b_rel.tuples())
+                .cloned()
+                .collect();
+            group.bench_with_input(
+                BenchmarkId::new("minimize_naive", &label),
+                &label,
+                |bench, _| bench.iter(|| naive::minimal(black_box(concatenated.clone()))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("minimize_hashed", &label),
+                &label,
+                |bench, _| bench.iter(|| hashed::minimal(black_box(concatenated.clone()))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(400));
+    targets = bench_e9
+}
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Workload generators and shared fixtures for the benchmark suite.
+//!
+//! Every benchmark in `benches/` regenerates one of the paper's experiments
+//! (see `DESIGN.md` for the experiment index E1–E11). The generators here
+//! produce synthetic suppliers–parts-style relations with a configurable
+//! cardinality and **null density**, seeded deterministically so benchmark
+//! runs are reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod paper_data;
+pub mod workload;
+
+pub use paper_data::{emp_database, ps_database, ps_relations};
+pub use workload::{
+    random_predicate, random_relation, random_tuples, tautology_formula, WorkloadSpec,
+};

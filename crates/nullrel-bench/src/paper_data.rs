@@ -1,0 +1,121 @@
+//! The paper's own datasets, packaged for the benchmarks and examples.
+
+use nullrel_core::relation::Relation;
+use nullrel_core::universe::Universe;
+use nullrel_core::value::Value;
+use nullrel_storage::loader::paper;
+use nullrel_storage::{Database, SchemaBuilder};
+
+/// The PS′ / PS″ relations of displays (1.1)/(1.2), together with the
+/// universe that declares the `P#`/`S#` domains needed by the null
+/// substitution principle.
+pub fn ps_relations() -> (Universe, Relation, Relation) {
+    let mut universe = Universe::new();
+    let ps_prime = paper::ps_prime(&mut universe);
+    let ps_double = paper::ps_double_prime(&mut universe);
+    // Small enumerable domains so Codd's substitution principle terminates.
+    let p_no = universe.lookup("P#").expect("interned by the loader");
+    let s_no = universe.lookup("S#").expect("interned by the loader");
+    universe
+        .set_domain(
+            p_no,
+            nullrel_core::universe::Domain::Enumerated(vec![
+                Value::str("p1"),
+                Value::str("p2"),
+                Value::str("p3"),
+            ]),
+        )
+        .expect("attribute exists");
+    universe
+        .set_domain(
+            s_no,
+            nullrel_core::universe::Domain::Enumerated(vec![
+                Value::str("s1"),
+                Value::str("s2"),
+            ]),
+        )
+        .expect("attribute exists");
+    (universe, ps_prime, ps_double)
+}
+
+/// A database holding the `PS` relation of display (6.6).
+pub fn ps_database() -> Database {
+    let mut db = Database::new();
+    db.create_table(SchemaBuilder::new("PS").column("S#").column("P#"))
+        .expect("fresh database");
+    let universe = db.universe().clone();
+    let table = db.table_mut("PS").expect("just created");
+    for (s, p) in [
+        ("s1", Some("p1")),
+        ("s1", Some("p2")),
+        ("s1", None),
+        ("s2", Some("p1")),
+        ("s2", None),
+        ("s3", None),
+        ("s4", Some("p4")),
+    ] {
+        let mut cells = vec![("S#", Value::str(s))];
+        if let Some(p) = p {
+            cells.push(("P#", Value::str(p)));
+        }
+        table.insert_named(&universe, &cells).expect("valid row");
+    }
+    db
+}
+
+/// A database holding the `EMP` relation of Table II (the `TEL#` column is
+/// present but entirely null).
+pub fn emp_database() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        SchemaBuilder::new("EMP")
+            .required_column("E#")
+            .column("NAME")
+            .column("SEX")
+            .column("MGR#")
+            .column("TEL#")
+            .key(&["E#"]),
+    )
+    .expect("fresh database");
+    let universe = db.universe().clone();
+    let table = db.table_mut("EMP").expect("just created");
+    for (e, n, s, m) in [
+        (1120, "SMITH", "M", 2235),
+        (4335, "BROWN", "F", 2235),
+        (8799, "GREEN", "M", 1255),
+    ] {
+        table
+            .insert_named(
+                &universe,
+                &[
+                    ("E#", Value::int(e)),
+                    ("NAME", Value::str(n)),
+                    ("SEX", Value::str(s)),
+                    ("MGR#", Value::int(m)),
+                ],
+            )
+            .expect("valid row");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::xrel::XRelation;
+
+    #[test]
+    fn fixtures_have_the_paper_shapes() {
+        let (_u, ps1, ps2) = ps_relations();
+        assert_eq!(ps1.len(), 2);
+        assert_eq!(ps2.len(), 3);
+        assert!(XRelation::from_relation(&ps2).contains(&XRelation::from_relation(&ps1)));
+
+        let ps = ps_database();
+        assert_eq!(ps.table("PS").unwrap().len(), 7);
+
+        let emp = emp_database();
+        assert_eq!(emp.table("EMP").unwrap().len(), 3);
+        assert!(emp.universe().lookup("TEL#").is_some());
+    }
+}

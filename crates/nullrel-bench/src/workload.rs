@@ -1,0 +1,177 @@
+//! Synthetic workload generators: relations with tunable null density,
+//! random selection predicates, and where-clause formulas for the tautology
+//! cost experiment.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::CompareOp;
+use nullrel_core::universe::{AttrId, Universe};
+use nullrel_core::value::Value;
+use nullrel_core::xrel::XRelation;
+use nullrel_query::tautology::{Formula, Operand};
+
+/// Parameters for a synthetic relation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of tuples to generate.
+    pub tuples: usize,
+    /// Number of attributes per tuple.
+    pub attrs: usize,
+    /// Probability that any given cell is the `ni` null.
+    pub null_density: f64,
+    /// Number of distinct values per attribute domain.
+    pub domain_size: u64,
+    /// RNG seed, for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            tuples: 1_000,
+            attrs: 4,
+            null_density: 0.1,
+            domain_size: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// Interns `spec.attrs` attribute names (`A0`, `A1`, …) and returns their ids.
+pub fn attrs_for(universe: &mut Universe, spec: &WorkloadSpec) -> Vec<AttrId> {
+    (0..spec.attrs)
+        .map(|i| universe.intern(&format!("A{i}")))
+        .collect()
+}
+
+/// Generates `spec.tuples` random tuples over the given attributes.
+pub fn random_tuples(spec: &WorkloadSpec, attrs: &[AttrId]) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut tuples = Vec::with_capacity(spec.tuples);
+    for _ in 0..spec.tuples {
+        let mut tuple = Tuple::new();
+        for attr in attrs {
+            if rng.random::<f64>() < spec.null_density {
+                continue;
+            }
+            let value = rng.random_range(0..spec.domain_size.max(1)) as i64;
+            tuple.set(*attr, Some(Value::int(value)));
+        }
+        tuples.push(tuple);
+    }
+    tuples
+}
+
+/// Generates a random x-relation according to the spec.
+pub fn random_relation(universe: &mut Universe, spec: &WorkloadSpec) -> XRelation {
+    let attrs = attrs_for(universe, spec);
+    XRelation::from_tuples(random_tuples(spec, &attrs))
+}
+
+/// Generates a random conjunction/disjunction of comparisons over the given
+/// attributes, suitable as a selection predicate.
+pub fn random_predicate(spec: &WorkloadSpec, attrs: &[AttrId], terms: usize) -> Predicate {
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(terms as u64));
+    let ops = [
+        CompareOp::Eq,
+        CompareOp::Ne,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ];
+    let mut predicate: Option<Predicate> = None;
+    for i in 0..terms.max(1) {
+        let attr = attrs[rng.random_range(0..attrs.len() as u64) as usize];
+        let op = ops[rng.random_range(0..ops.len() as u64) as usize];
+        let constant = rng.random_range(0..spec.domain_size.max(1)) as i64;
+        let atom = Predicate::attr_const(attr, op, constant);
+        predicate = Some(match predicate {
+            None => atom,
+            Some(prev) if i % 2 == 0 => prev.and(atom),
+            Some(prev) => prev.or(atom),
+        });
+    }
+    predicate.expect("terms >= 1")
+}
+
+/// Builds the where-clause formula used by the tautology-cost experiment
+/// (E10): a disjunction of `k` pairs `xᵢ > cᵢ ∨ xᵢ ≤ cᵢ`, which is a genuine
+/// tautology whose propositional abstraction has `2k` independent atoms.
+/// The propositional checker therefore explores `2^(2k)` assignments while
+/// the `ni` evaluation never looks at the formula at all.
+pub fn tautology_formula(pairs: usize) -> Formula {
+    let mut formula: Option<Formula> = None;
+    for i in 0..pairs.max(1) {
+        let var = || Operand::Var(format!("x{i}"));
+        let constant = Operand::Const(Value::int(1_000 + i as i64));
+        let pair = Formula::cmp(var(), CompareOp::Gt, constant.clone())
+            .or(Formula::cmp(var(), CompareOp::Le, constant));
+        formula = Some(match formula {
+            None => pair,
+            Some(prev) => prev.and(pair),
+        });
+    }
+    formula.expect("pairs >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_query::tautology::{decide, propositional_tautology, Decision};
+
+    #[test]
+    fn generators_are_deterministic() {
+        let mut u1 = Universe::new();
+        let mut u2 = Universe::new();
+        let spec = WorkloadSpec {
+            tuples: 50,
+            ..WorkloadSpec::default()
+        };
+        assert_eq!(random_relation(&mut u1, &spec), random_relation(&mut u2, &spec));
+    }
+
+    #[test]
+    fn null_density_controls_nulls() {
+        let mut u = Universe::new();
+        let total_spec = WorkloadSpec {
+            tuples: 200,
+            null_density: 0.0,
+            ..WorkloadSpec::default()
+        };
+        let attrs = attrs_for(&mut u, &total_spec);
+        assert!(random_tuples(&total_spec, &attrs)
+            .iter()
+            .all(|t| t.defined_len() == attrs.len()));
+        let sparse_spec = WorkloadSpec {
+            tuples: 200,
+            null_density: 0.9,
+            seed: 7,
+            ..WorkloadSpec::default()
+        };
+        let sparse = random_tuples(&sparse_spec, &attrs);
+        let nulls: usize = sparse.iter().map(|t| attrs.len() - t.defined_len()).sum();
+        assert!(nulls > 200, "high density produces many nulls, got {nulls}");
+    }
+
+    #[test]
+    fn random_predicate_references_known_attrs() {
+        let mut u = Universe::new();
+        let spec = WorkloadSpec::default();
+        let attrs = attrs_for(&mut u, &spec);
+        let pred = random_predicate(&spec, &attrs, 5);
+        assert!(pred.attrs().iter().all(|a| attrs.contains(a)));
+        assert_eq!(pred.comparisons().len(), 5);
+    }
+
+    #[test]
+    fn tautology_formula_is_valid_but_not_propositionally() {
+        let f = tautology_formula(2);
+        assert_eq!(decide(&f).0, Decision::Valid);
+        assert!(!propositional_tautology(&f).0);
+        assert_eq!(f.atoms().len(), 4);
+    }
+}

@@ -1,0 +1,33 @@
+//! # nullrel-codd
+//!
+//! The baselines that Zaniolo's paper compares against:
+//!
+//! * [`total`] — classical **Codd relations** (total relations without
+//!   nulls) and their relational algebra, used to verify the Section 7
+//!   correspondence between Codd relations and total x-relations.
+//! * [`maybe`] — **Codd's 1979 three-valued algebra** over relations with
+//!   nulls under the *unknown* interpretation: the TRUE and MAYBE versions
+//!   of selection, join, and division. This is the algebra whose division
+//!   results (`A₁ = ∅`, `A₂ = {s1,s2,s3}`) the paper contrasts with its own
+//!   `A₃ = {s1,s2}` in Section 6.
+//! * [`substitution`] — the **null substitution principle** used by Codd to
+//!   evaluate set-level predicates (`⊇`, `=`) on relations with nulls, which
+//!   produces the counter-intuitive MAYBE answers of Section 1 (experiment
+//!   E1).
+//!
+//! Everything here is implemented from the definitions quoted in the paper;
+//! no external system is wrapped.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod maybe;
+pub mod substitution;
+pub mod total;
+
+pub use maybe::{
+    divide_maybe, divide_true, join_maybe, join_true, project_codd, select_maybe, select_true,
+    tuple_matches,
+};
+pub use substitution::{evaluate, SetExpr, SetPredicate};
+pub use total::TotalRelation;

@@ -1,0 +1,363 @@
+//! Codd's 1979 TRUE/MAYBE algebra over relations with nulls.
+//!
+//! Under Codd's *unknown* interpretation, every relational operator comes in
+//! two flavours: the TRUE version keeps the tuples whose qualification
+//! evaluates to TRUE in the three-valued logic, the MAYBE version keeps the
+//! tuples whose qualification evaluates to MAYBE. The crucial difference
+//! from the paper's approach is the treatment of **sets**: Codd relations
+//! with nulls are kept as plain tuple sets (no reduction to minimal form, no
+//! subsumption), so intermediate results such as `P_{s2} = {p1, −}` retain
+//! their null tuples — which is precisely what produces the division
+//! anomalies of Section 6 (`A₁ = ∅`, `A₂ = {s1, s2, s3}`).
+//!
+//! The functions here operate on [`Relation`] representations rather than
+//! x-relations for exactly that reason.
+
+use nullrel_core::error::CoreResult;
+use nullrel_core::predicate::Predicate;
+use nullrel_core::relation::Relation;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::{compare_cells, CompareOp, Truth};
+use nullrel_core::universe::{AttrId, AttrSet};
+
+/// Codd's TRUE selection: keep tuples whose predicate evaluates to TRUE.
+pub fn select_true(rel: &Relation, predicate: &Predicate) -> CoreResult<Relation> {
+    filter_by_truth(rel, predicate, Truth::True)
+}
+
+/// Codd's MAYBE selection: keep tuples whose predicate evaluates to MAYBE.
+pub fn select_maybe(rel: &Relation, predicate: &Predicate) -> CoreResult<Relation> {
+    filter_by_truth(rel, predicate, Truth::Ni)
+}
+
+fn filter_by_truth(rel: &Relation, predicate: &Predicate, want: Truth) -> CoreResult<Relation> {
+    let mut out = Relation::new(rel.attrs().iter().copied());
+    for t in rel.tuples() {
+        if predicate.eval(t)? == want {
+            out.insert_unchecked(t.clone());
+        }
+    }
+    Ok(out)
+}
+
+/// Codd projection: project every tuple and collapse exact duplicates, but
+/// keep less-informative tuples (no subsumption-based reduction).
+pub fn project_codd(rel: &Relation, attrs: &[AttrId]) -> Relation {
+    let mut out = Relation::new(attrs.iter().copied());
+    let attr_set: AttrSet = attrs.iter().copied().collect();
+    for t in rel.tuples() {
+        out.insert_unchecked(t.project(&attr_set));
+    }
+    out
+}
+
+/// Three-valued match of a tuple `r` against a "pattern" tuple `z` over the
+/// pattern's declared attributes: the conjunction of the equality
+/// comparisons `r[A] = z[A]` for every attribute `A` in `attrs`. A null on
+/// either side makes that conjunct MAYBE.
+pub fn tuple_matches(r: &Tuple, z: &Tuple, attrs: &AttrSet) -> CoreResult<Truth> {
+    let mut truth = Truth::True;
+    for attr in attrs {
+        truth = truth.and(compare_cells(r.get(*attr), CompareOp::Eq, z.get(*attr))?);
+    }
+    Ok(truth)
+}
+
+/// Codd's TRUE equijoin on `X`: pairs whose `X` values are equal and
+/// non-null on both sides.
+pub fn join_true(left: &Relation, right: &Relation, on: &AttrSet) -> CoreResult<Relation> {
+    join_by_truth(left, right, on, Truth::True)
+}
+
+/// Codd's MAYBE equijoin on `X`: pairs whose `X` match evaluates to MAYBE
+/// (at least one side null, no definite disagreement).
+pub fn join_maybe(left: &Relation, right: &Relation, on: &AttrSet) -> CoreResult<Relation> {
+    join_by_truth(left, right, on, Truth::Ni)
+}
+
+fn join_by_truth(
+    left: &Relation,
+    right: &Relation,
+    on: &AttrSet,
+    want: Truth,
+) -> CoreResult<Relation> {
+    let mut attrs: Vec<AttrId> = left.attrs().to_vec();
+    for a in right.attrs() {
+        if !attrs.contains(a) {
+            attrs.push(*a);
+        }
+    }
+    let mut out = Relation::new(attrs);
+    for l in left.tuples() {
+        for r in right.tuples() {
+            if tuple_matches(l, r, on)? != want {
+                continue;
+            }
+            // Combine the tuples; on conflicts outside X the left side wins
+            // (Codd's operators assume the only shared columns are X).
+            let mut combined = l.clone();
+            for (attr, value) in r.cells() {
+                if combined.is_null(attr) {
+                    combined.set(attr, Some(value.clone()));
+                }
+            }
+            out.insert_unchecked(combined);
+        }
+    }
+    Ok(out)
+}
+
+/// Codd's TRUE division: a `Y`-total candidate `y` qualifies iff **for every
+/// divisor tuple `z`** there is a tuple of `rel` whose `Y`-value equals `y`
+/// and whose divisor-attribute values match `z` with truth TRUE.
+///
+/// Because a divisor tuple with a null (such as the `−` in `P_{s2} = {p1,−}`)
+/// can never be matched with TRUE, the presence of a single null in the
+/// divisor empties the quotient — the paper's `A₁ = ∅`.
+pub fn divide_true(rel: &Relation, y: &AttrSet, divisor: &Relation) -> CoreResult<Relation> {
+    divide_by_truth(rel, y, divisor, Truth::True)
+}
+
+/// Codd's MAYBE division: a candidate qualifies iff for every divisor tuple
+/// there is a tuple of `rel` with the same `Y`-value whose divisor-attribute
+/// match evaluates to TRUE **or** MAYBE (it may be supplying that part).
+/// This is the reading under which the paper computes `A₂ = {s1, s2, s3}`.
+pub fn divide_maybe(rel: &Relation, y: &AttrSet, divisor: &Relation) -> CoreResult<Relation> {
+    divide_by_truth(rel, y, divisor, Truth::Ni)
+}
+
+fn divide_by_truth(
+    rel: &Relation,
+    y: &AttrSet,
+    divisor: &Relation,
+    want: Truth,
+) -> CoreResult<Relation> {
+    let divisor_attrs: AttrSet = divisor
+        .attrs()
+        .iter()
+        .copied()
+        .filter(|a| !y.contains(a))
+        .collect();
+    let y_attrs: Vec<AttrId> = y.iter().copied().collect();
+    let mut out = Relation::new(y_attrs.iter().copied());
+    // Candidate Y-values: the Y-total tuples of rel, projected on Y.
+    let mut candidates: Vec<Tuple> = Vec::new();
+    for t in rel.tuples() {
+        if t.is_total_on(y) {
+            let proj = t.project(y);
+            if !candidates.contains(&proj) {
+                candidates.push(proj);
+            }
+        }
+    }
+    for cand in candidates {
+        let mut qualifies = true;
+        for z in divisor.tuples() {
+            let mut found = false;
+            for r in rel.tuples() {
+                // The Y-value must match exactly (TRUE); the divisor part
+                // must match with the requested truth level or better.
+                if tuple_matches(r, &cand, y)? != Truth::True {
+                    continue;
+                }
+                let m = tuple_matches(r, z, &divisor_attrs)?;
+                let ok = match want {
+                    Truth::True => m == Truth::True,
+                    // "may be supplying": TRUE or MAYBE both count.
+                    _ => m != Truth::False,
+                };
+                if ok {
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                qualifies = false;
+                break;
+            }
+        }
+        if qualifies {
+            out.insert_unchecked(cand);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::universe::{attr_set, Universe};
+    use nullrel_core::value::Value;
+
+    /// The PARTS–SUPPLIERS relation of display (6.6), kept as a plain
+    /// representation (nulls and all) as Codd's algebra requires.
+    fn ps() -> (Universe, AttrId, AttrId, Relation) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: Option<&str>, pv: Option<&str>| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str))
+        };
+        let rel = Relation::with_tuples(
+            [s, p],
+            [
+                t(Some("s1"), Some("p1")),
+                t(Some("s1"), Some("p2")),
+                t(Some("s1"), None),
+                t(Some("s2"), Some("p1")),
+                t(Some("s2"), None),
+                t(Some("s3"), None),
+                t(Some("s4"), Some("p4")),
+            ],
+        )
+        .unwrap();
+        (u, s, p, rel)
+    }
+
+    #[test]
+    fn true_selection_and_maybe_selection_partition_by_truth() {
+        let (_u, s, p, rel) = ps();
+        let pred = Predicate::attr_const(p, CompareOp::Eq, "p1");
+        let sure = select_true(&rel, &pred).unwrap();
+        assert_eq!(sure.len(), 2, "s1 and s2 supply p1 for sure");
+        let maybe = select_maybe(&rel, &pred).unwrap();
+        assert_eq!(maybe.len(), 3, "the three null-P# tuples might be p1");
+        // s4's tuple is in neither.
+        let s4 = Tuple::new().with(s, Value::str("s4")).with(p, Value::str("p4"));
+        assert!(!sure.contains(&s4) && !maybe.contains(&s4));
+    }
+
+    /// The paper's display (6.9): under Codd's approach P_{s2} (projection of
+    /// the TRUE selection S# = s2) is {p1, −} — the null tuple is retained.
+    #[test]
+    fn codd_projection_keeps_the_null_tuple() {
+        let (_u, s, p, rel) = ps();
+        let sel = select_true(&rel, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap();
+        assert_eq!(sel.len(), 2);
+        let p_s2 = project_codd(&sel, &[p]);
+        assert_eq!(p_s2.len(), 2, "{{p1, -}}: the dash survives");
+        assert!(p_s2.contains(&Tuple::new().with(p, Value::str("p1"))));
+        assert!(p_s2.contains(&Tuple::new()));
+        // The MAYBE version of the selection returns nothing here (S# is
+        // never null in PS), matching the paper's remark.
+        let maybe_sel =
+            select_maybe(&rel, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap();
+        assert!(maybe_sel.is_empty());
+    }
+
+    /// Section 6: Codd's TRUE division gives A₁ = ∅ — "no supplier supplies,
+    /// for sure, every part which may be supplied by s2".
+    #[test]
+    fn codd_true_division_is_empty_a1() {
+        let (_u, s, p, rel) = ps();
+        let sel = select_true(&rel, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap();
+        let p_s2 = project_codd(&sel, &[p]);
+        let a1 = divide_true(&rel, &attr_set([s]), &p_s2).unwrap();
+        assert!(a1.is_empty(), "A₁ = ∅");
+    }
+
+    /// Section 6: Codd's MAYBE division gives A₂ = {s1, s2, s3}.
+    #[test]
+    fn codd_maybe_division_is_a2() {
+        let (_u, s, p, rel) = ps();
+        let sel = select_true(&rel, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap();
+        let p_s2 = project_codd(&sel, &[p]);
+        let a2 = divide_maybe(&rel, &attr_set([s]), &p_s2).unwrap();
+        assert_eq!(a2.len(), 3);
+        for supplier in ["s1", "s2", "s3"] {
+            assert!(
+                a2.contains(&Tuple::new().with(s, Value::str(supplier))),
+                "{supplier} should be in A₂"
+            );
+        }
+        assert!(!a2.contains(&Tuple::new().with(s, Value::str("s4"))));
+    }
+
+    /// The paradox the paper highlights: under Codd's TRUE division, s2 does
+    /// not supply all the parts s2 supplies.
+    #[test]
+    fn codd_division_paradox() {
+        let (_u, s, p, rel) = ps();
+        let sel = select_true(&rel, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap();
+        let p_s2 = project_codd(&sel, &[p]);
+        let a1 = divide_true(&rel, &attr_set([s]), &p_s2).unwrap();
+        assert!(
+            !a1.contains(&Tuple::new().with(s, Value::str("s2"))),
+            "for sure, s2 does not supply all the parts s2 supplies — the paradox"
+        );
+    }
+
+    #[test]
+    fn tuple_matching_truth_values() {
+        let (_u, s, p, _rel) = ps();
+        let attrs = attr_set([p]);
+        let z_p1 = Tuple::new().with(p, Value::str("p1"));
+        let z_null = Tuple::new();
+        let r_p1 = Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1"));
+        let r_p2 = Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p2"));
+        let r_null = Tuple::new().with(s, Value::str("s3"));
+        assert_eq!(tuple_matches(&r_p1, &z_p1, &attrs).unwrap(), Truth::True);
+        assert_eq!(tuple_matches(&r_p2, &z_p1, &attrs).unwrap(), Truth::False);
+        assert_eq!(tuple_matches(&r_null, &z_p1, &attrs).unwrap(), Truth::Ni);
+        assert_eq!(tuple_matches(&r_p1, &z_null, &attrs).unwrap(), Truth::Ni);
+        assert_eq!(tuple_matches(&r_p1, &z_p1, &AttrSet::new()).unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn true_and_maybe_joins() {
+        let (mut u, _s, p, rel) = ps();
+        let city = u.intern("CITY");
+        let loc = Relation::with_tuples(
+            [p, city],
+            [
+                Tuple::new().with(p, Value::str("p1")).with(city, Value::str("NYC")),
+                Tuple::new().with(city, Value::str("LA")), // null P#
+            ],
+        )
+        .unwrap();
+        let sure = join_true(&rel, &loc, &attr_set([p])).unwrap();
+        // Only tuples with P# = p1 on both sides: (s1,p1) and (s2,p1).
+        assert_eq!(sure.len(), 2);
+        let maybe = join_maybe(&rel, &loc, &attr_set([p])).unwrap();
+        // Every PS tuple maybe-joins the LA row (its P# is null), and the
+        // null-P# PS tuples maybe-join the NYC row.
+        assert!(maybe.len() >= 7);
+        assert!(maybe
+            .tuples()
+            .any(|t| t.get(city) == Some(&Value::str("LA"))));
+    }
+
+    #[test]
+    fn divide_by_empty_divisor_returns_all_candidates() {
+        let (_u, s, _p, rel) = ps();
+        let empty = Relation::new([]);
+        let q = divide_true(&rel, &attr_set([s]), &empty).unwrap();
+        assert_eq!(q.len(), 4, "s1..s4 all qualify vacuously");
+    }
+
+    #[test]
+    fn divide_true_on_total_data_matches_classical_division() {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: &str, pv: &str| Tuple::new().with(s, Value::str(sv)).with(p, Value::str(pv));
+        let rel = Relation::with_tuples(
+            [s, p],
+            [t("s1", "p1"), t("s1", "p2"), t("s2", "p1")],
+        )
+        .unwrap();
+        let divisor = Relation::with_tuples(
+            [p],
+            [
+                Tuple::new().with(p, Value::str("p1")),
+                Tuple::new().with(p, Value::str("p2")),
+            ],
+        )
+        .unwrap();
+        let q = divide_true(&rel, &attr_set([s]), &divisor).unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(q.contains(&Tuple::new().with(s, Value::str("s1"))));
+    }
+}

@@ -1,0 +1,454 @@
+//! The null substitution principle for set-level predicates.
+//!
+//! Section 1 of the paper: under Codd's treatment, an expression such as
+//! `PS″ ⊇ PS′` is evaluated by replacing **each occurrence** of the null
+//! `ω` by a possibly distinct non-null value; an expression that yields TRUE
+//! (FALSE) under every substitution evaluates to TRUE (FALSE), and one that
+//! yields both evaluates to MAYBE. The paper uses this to show that the
+//! everyday set laws fail: `PS″ ⊇ PS′`, `PS′ ∪ PS″ ⊇ PS′`,
+//! `PS′ ∩ PS″ ⊆ PS′`, and even `PS′ = PS′` all come out MAYBE.
+//!
+//! This module implements the principle by brute-force enumeration of the
+//! substitution space (each null cell of each relation *occurrence* is an
+//! independent variable ranging over its attribute's enumerable domain),
+//! bounded by an explicit budget. Experiment **E1** uses it; benchmark
+//! **E1**/**E10** measure how quickly the space explodes compared with the
+//! paper's `ni` evaluation, which needs no substitution at all.
+
+use nullrel_core::error::{CoreError, CoreResult};
+use nullrel_core::relation::Relation;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::Truth;
+use nullrel_core::universe::{AttrId, Universe};
+use nullrel_core::value::Value;
+
+use std::collections::BTreeSet;
+
+/// A set-valued expression over relation occurrences.
+#[derive(Debug, Clone)]
+pub enum SetExpr {
+    /// A relation occurrence. Each occurrence's nulls are independent
+    /// substitution variables, even if the same [`Relation`] value appears
+    /// in several places (this is exactly what makes `PS′ = PS′` MAYBE).
+    Rel(Relation),
+    /// Set union of two sub-expressions.
+    Union(Box<SetExpr>, Box<SetExpr>),
+    /// Set intersection of two sub-expressions.
+    Intersect(Box<SetExpr>, Box<SetExpr>),
+    /// Set difference of two sub-expressions.
+    Difference(Box<SetExpr>, Box<SetExpr>),
+}
+
+impl SetExpr {
+    /// A relation occurrence.
+    pub fn rel(relation: Relation) -> SetExpr {
+        SetExpr::Rel(relation)
+    }
+
+    /// Union of two expressions.
+    #[must_use]
+    pub fn union(self, other: SetExpr) -> SetExpr {
+        SetExpr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Intersection of two expressions.
+    #[must_use]
+    pub fn intersect(self, other: SetExpr) -> SetExpr {
+        SetExpr::Intersect(Box::new(self), Box::new(other))
+    }
+
+    /// Difference of two expressions.
+    #[must_use]
+    pub fn difference(self, other: SetExpr) -> SetExpr {
+        SetExpr::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// Walks the expression depth-first (left before right), assigning each
+    /// relation occurrence a sequential id through `occurrence`, and records
+    /// one [`NullSite`] per null cell. The same traversal order is used by
+    /// [`SetExpr::eval_substituted`], so occurrence ids line up.
+    fn collect_sites(
+        &self,
+        universe: &Universe,
+        occurrence: &mut usize,
+        sites: &mut Vec<NullSite>,
+    ) -> CoreResult<()> {
+        match self {
+            SetExpr::Rel(rel) => {
+                let occ = *occurrence;
+                *occurrence += 1;
+                let declared: Vec<AttrId> = rel.attrs().to_vec();
+                for (tuple_idx, tuple) in rel.tuples().enumerate() {
+                    for attr in &declared {
+                        if tuple.is_null(*attr) {
+                            let domain = universe.enumerable_domain(*attr)?;
+                            sites.push(NullSite {
+                                occurrence: occ,
+                                tuple_idx,
+                                attr: *attr,
+                                domain,
+                            });
+                        }
+                    }
+                }
+                Ok(())
+            }
+            SetExpr::Union(a, b) | SetExpr::Intersect(a, b) | SetExpr::Difference(a, b) => {
+                a.collect_sites(universe, occurrence, sites)?;
+                b.collect_sites(universe, occurrence, sites)
+            }
+        }
+    }
+
+    /// Evaluates the expression to a set of total tuples under a particular
+    /// assignment of values to null sites. `occurrence` must start from the
+    /// same value used for [`SetExpr::collect_sites`].
+    fn eval_substituted(&self, assignment: &Assignment, occurrence: &mut usize) -> BTreeSet<Tuple> {
+        match self {
+            SetExpr::Rel(rel) => {
+                let occ = *occurrence;
+                *occurrence += 1;
+                let declared: Vec<AttrId> = rel.attrs().to_vec();
+                rel.tuples()
+                    .enumerate()
+                    .map(|(tuple_idx, tuple)| {
+                        let mut filled = tuple.clone();
+                        for attr in &declared {
+                            if filled.is_null(*attr) {
+                                if let Some(v) = assignment.lookup(occ, tuple_idx, *attr) {
+                                    filled.set(*attr, Some(v.clone()));
+                                }
+                            }
+                        }
+                        filled
+                    })
+                    .collect()
+            }
+            SetExpr::Union(a, b) => {
+                let mut left = a.eval_substituted(assignment, occurrence);
+                left.extend(b.eval_substituted(assignment, occurrence));
+                left
+            }
+            SetExpr::Intersect(a, b) => {
+                let left = a.eval_substituted(assignment, occurrence);
+                let right = b.eval_substituted(assignment, occurrence);
+                left.intersection(&right).cloned().collect()
+            }
+            SetExpr::Difference(a, b) => {
+                let left = a.eval_substituted(assignment, occurrence);
+                let right = b.eval_substituted(assignment, occurrence);
+                left.difference(&right).cloned().collect()
+            }
+        }
+    }
+}
+
+/// A set-level predicate to be decided by the substitution principle.
+#[derive(Debug, Clone)]
+pub enum SetPredicate {
+    /// `left ⊇ right`.
+    Contains(SetExpr, SetExpr),
+    /// `left = right`.
+    Equals(SetExpr, SetExpr),
+}
+
+impl SetPredicate {
+    fn exprs(&self) -> (&SetExpr, &SetExpr) {
+        match self {
+            SetPredicate::Contains(a, b) | SetPredicate::Equals(a, b) => (a, b),
+        }
+    }
+
+    fn test(&self, assignment: &Assignment) -> bool {
+        let (a, b) = self.exprs();
+        let mut occurrence = 0usize;
+        let left = a.eval_substituted(assignment, &mut occurrence);
+        let right = b.eval_substituted(assignment, &mut occurrence);
+        match self {
+            SetPredicate::Contains(..) => right.is_subset(&left),
+            SetPredicate::Equals(..) => left == right,
+        }
+    }
+}
+
+/// A null cell of a particular relation occurrence.
+#[derive(Debug, Clone)]
+struct NullSite {
+    occurrence: usize,
+    tuple_idx: usize,
+    attr: AttrId,
+    domain: Vec<Value>,
+}
+
+/// One assignment of domain values to every null site.
+struct Assignment<'a> {
+    sites: &'a [NullSite],
+    choices: Vec<usize>,
+}
+
+impl Assignment<'_> {
+    fn lookup(&self, occurrence: usize, tuple_idx: usize, attr: AttrId) -> Option<&Value> {
+        self.sites.iter().enumerate().find_map(|(i, site)| {
+            if site.occurrence == occurrence && site.tuple_idx == tuple_idx && site.attr == attr {
+                site.domain.get(self.choices[i])
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// The outcome of evaluating a predicate by the substitution principle,
+/// together with the size of the substitution space that was explored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstitutionOutcome {
+    /// TRUE if every substitution satisfied the predicate, FALSE if none
+    /// did, `ni` (Codd's MAYBE) otherwise.
+    pub truth: Truth,
+    /// The number of substitutions enumerated.
+    pub substitutions: u128,
+}
+
+/// Evaluates a set predicate under the null substitution principle.
+///
+/// Every null cell of every relation occurrence becomes a variable over its
+/// attribute's enumerable domain. The number of substitutions is the product
+/// of the domain sizes; if it exceeds `limit` the evaluation is refused with
+/// [`CoreError::DomainTooLarge`] — which is itself part of the paper's
+/// argument for the `ni` interpretation.
+pub fn evaluate(
+    predicate: &SetPredicate,
+    universe: &Universe,
+    limit: u128,
+) -> CoreResult<SubstitutionOutcome> {
+    let (a, b) = predicate.exprs();
+    let mut sites: Vec<NullSite> = Vec::new();
+    let mut occurrence = 0usize;
+    a.collect_sites(universe, &mut occurrence, &mut sites)?;
+    b.collect_sites(universe, &mut occurrence, &mut sites)?;
+
+    let mut space: u128 = 1;
+    for site in &sites {
+        if site.domain.is_empty() {
+            return Err(CoreError::DomainNotEnumerable(site.attr));
+        }
+        space = space.saturating_mul(site.domain.len() as u128);
+        if space > limit {
+            return Err(CoreError::DomainTooLarge {
+                required: space,
+                limit,
+            });
+        }
+    }
+
+    let mut seen_true = false;
+    let mut seen_false = false;
+    let mut choices = vec![0usize; sites.len()];
+    let mut count: u128 = 0;
+    loop {
+        count += 1;
+        let assignment = Assignment {
+            sites: &sites,
+            choices: choices.clone(),
+        };
+        if predicate.test(&assignment) {
+            seen_true = true;
+        } else {
+            seen_false = true;
+        }
+        if seen_true && seen_false {
+            // Early exit: the outcome is already MAYBE.
+            return Ok(SubstitutionOutcome {
+                truth: Truth::Ni,
+                substitutions: count,
+            });
+        }
+        // Advance the mixed-radix counter.
+        let mut i = 0;
+        loop {
+            if i == sites.len() {
+                let truth = if seen_true { Truth::True } else { Truth::False };
+                return Ok(SubstitutionOutcome {
+                    truth,
+                    substitutions: count,
+                });
+            }
+            choices[i] += 1;
+            if choices[i] < sites[i].domain.len() {
+                break;
+            }
+            choices[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Convenience: `left ⊇ right` for two plain relations.
+pub fn contains(
+    left: &Relation,
+    right: &Relation,
+    universe: &Universe,
+    limit: u128,
+) -> CoreResult<SubstitutionOutcome> {
+    evaluate(
+        &SetPredicate::Contains(SetExpr::rel(left.clone()), SetExpr::rel(right.clone())),
+        universe,
+        limit,
+    )
+}
+
+/// Convenience: `left = right` for two plain relations.
+pub fn equals(
+    left: &Relation,
+    right: &Relation,
+    universe: &Universe,
+    limit: u128,
+) -> CoreResult<SubstitutionOutcome> {
+    evaluate(
+        &SetPredicate::Equals(SetExpr::rel(left.clone()), SetExpr::rel(right.clone())),
+        universe,
+        limit,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::universe::Domain;
+
+    /// The PS′ / PS″ relations of display (1.1)/(1.2), with P# ranging over
+    /// a small enumerable part domain.
+    fn setup() -> (Universe, Relation, Relation) {
+        let mut u = Universe::new();
+        let p = u.intern_with_domain(
+            "P#",
+            Domain::Enumerated(vec![
+                Value::str("p1"),
+                Value::str("p2"),
+                Value::str("p3"),
+            ]),
+        );
+        let s = u.intern_with_domain(
+            "S#",
+            Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]),
+        );
+        let t = |pv: Option<&str>, sv: &str| {
+            Tuple::new()
+                .with_opt(p, pv.map(Value::str))
+                .with(s, Value::str(sv))
+        };
+        let ps_prime =
+            Relation::with_tuples([p, s], [t(None, "s1"), t(Some("p1"), "s2")]).unwrap();
+        let ps_double = Relation::with_tuples(
+            [p, s],
+            [t(None, "s1"), t(Some("p1"), "s2"), t(Some("p2"), "s2")],
+        )
+        .unwrap();
+        (u, ps_prime, ps_double)
+    }
+
+    /// Section 1: PS″ ⊇ PS′ evaluates to MAYBE under the substitution
+    /// principle — the anomaly that motivates the paper.
+    #[test]
+    fn ps_double_contains_ps_prime_is_maybe() {
+        let (u, ps1, ps2) = setup();
+        let out = contains(&ps2, &ps1, &u, 10_000).unwrap();
+        assert_eq!(out.truth, Truth::Ni);
+        assert!(out.substitutions >= 2);
+    }
+
+    /// Section 1: PS′ ∪ PS″ ⊇ PS′ and PS′ ∩ PS″ ⊆ PS′ also evaluate to MAYBE.
+    #[test]
+    fn union_and_intersection_laws_are_maybe() {
+        let (u, ps1, ps2) = setup();
+        let union_contains = SetPredicate::Contains(
+            SetExpr::rel(ps1.clone()).union(SetExpr::rel(ps2.clone())),
+            SetExpr::rel(ps1.clone()),
+        );
+        assert_eq!(evaluate(&union_contains, &u, 10_000).unwrap().truth, Truth::Ni);
+
+        // PS′ ∩ PS″ ⊆ PS′ is expressed as PS′ ⊇ (PS′ ∩ PS″).
+        let inter_contained = SetPredicate::Contains(
+            SetExpr::rel(ps1.clone()),
+            SetExpr::rel(ps1.clone()).intersect(SetExpr::rel(ps2)),
+        );
+        assert_eq!(evaluate(&inter_contained, &u, 10_000).unwrap().truth, Truth::Ni);
+    }
+
+    /// Section 1: even PS′ = PS′ evaluates to MAYBE, because the two
+    /// occurrences of the null are substituted independently.
+    #[test]
+    fn self_equality_is_maybe() {
+        let (u, ps1, _ps2) = setup();
+        let out = equals(&ps1, &ps1, &u, 10_000).unwrap();
+        assert_eq!(out.truth, Truth::Ni);
+    }
+
+    /// PS′ = PS″: the substitution principle yields FALSE here (the
+    /// cardinalities can never match). The paper reports MAYBE for this
+    /// expression; see EXPERIMENTS.md for the discussion of this nuance.
+    /// Either way the answer differs from the intuitive FALSE-with-certainty
+    /// that the x-relation semantics provides directly.
+    #[test]
+    fn cross_equality_is_not_true() {
+        let (u, ps1, ps2) = setup();
+        let out = equals(&ps1, &ps2, &u, 10_000).unwrap();
+        assert_ne!(out.truth, Truth::True);
+    }
+
+    #[test]
+    fn totally_defined_relations_evaluate_two_valued() {
+        let mut u = Universe::new();
+        let a = u.intern_with_domain("A", Domain::IntRange(0, 3));
+        let r1 = Relation::with_tuples([a], [Tuple::new().with(a, Value::int(1))]).unwrap();
+        let r2 = Relation::with_tuples(
+            [a],
+            [
+                Tuple::new().with(a, Value::int(1)),
+                Tuple::new().with(a, Value::int(2)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(contains(&r2, &r1, &u, 100).unwrap().truth, Truth::True);
+        assert_eq!(contains(&r1, &r2, &u, 100).unwrap().truth, Truth::False);
+        assert_eq!(equals(&r1, &r1, &u, 100).unwrap().truth, Truth::True);
+        assert_eq!(equals(&r1, &r2, &u, 100).unwrap().truth, Truth::False);
+    }
+
+    #[test]
+    fn substitution_space_budget_is_enforced() {
+        let (u, ps1, ps2) = setup();
+        let err = contains(&ps2, &ps1, &u, 2).unwrap_err();
+        assert!(matches!(err, CoreError::DomainTooLarge { .. }));
+    }
+
+    #[test]
+    fn non_enumerable_domains_are_rejected() {
+        let mut u = Universe::new();
+        let p = u.intern("P#"); // no domain recorded
+        let s = u.intern_with_domain(
+            "S#",
+            Domain::Enumerated(vec![Value::str("s1")]),
+        );
+        let rel = Relation::with_tuples(
+            [p, s],
+            [Tuple::new().with(s, Value::str("s1"))],
+        )
+        .unwrap();
+        let out = contains(&rel, &rel, &u, 100);
+        assert!(matches!(out, Err(CoreError::DomainNotEnumerable(_))));
+    }
+
+    #[test]
+    fn difference_expression_evaluates() {
+        let (u, ps1, ps2) = setup();
+        // Even the tautological-looking law (PS″ − PS′) ⊆ PS″ is MAYBE under
+        // the substitution principle, because the two occurrences of PS″ get
+        // independent substitutions for their nulls.
+        let pred = SetPredicate::Contains(
+            SetExpr::rel(ps2.clone()),
+            SetExpr::rel(ps2).difference(SetExpr::rel(ps1)),
+        );
+        assert_eq!(evaluate(&pred, &u, 100_000).unwrap().truth, Truth::Ni);
+    }
+}

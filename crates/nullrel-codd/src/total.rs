@@ -1,0 +1,346 @@
+//! Classical Codd relations: total relations without nulls and their
+//! relational algebra.
+//!
+//! Section 7 of the paper proves the extension correct by exhibiting a
+//! one-to-one correspondence between Codd relations and total x-relations
+//! that preserves union, difference, Cartesian product, selection and
+//! projection. This module provides the Codd side of that correspondence so
+//! the property can be tested mechanically (experiment E11).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use nullrel_core::error::{CoreError, CoreResult};
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::{AttrId, AttrSet};
+use nullrel_core::value::Value;
+use nullrel_core::xrel::XRelation;
+
+/// A classical relation: a fixed attribute list and a set of rows with a
+/// non-null value for every attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TotalRelation {
+    attrs: Vec<AttrId>,
+    rows: BTreeSet<Vec<Value>>,
+}
+
+impl TotalRelation {
+    /// Creates an empty total relation over the given attribute list.
+    pub fn new<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        TotalRelation {
+            attrs: attrs.into_iter().collect(),
+            rows: BTreeSet::new(),
+        }
+    }
+
+    /// The attribute list.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// The attribute list as a set.
+    pub fn attr_set(&self) -> AttrSet {
+        self.attrs.iter().copied().collect()
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the relation has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a row; its arity must match the attribute list.
+    pub fn insert(&mut self, row: Vec<Value>) -> CoreResult<bool> {
+        if row.len() != self.attrs.len() {
+            return Err(CoreError::Invariant(format!(
+                "row arity {} does not match relation arity {}",
+                row.len(),
+                self.attrs.len()
+            )));
+        }
+        Ok(self.rows.insert(row))
+    }
+
+    /// Iterates over the rows in canonical order.
+    pub fn rows(&self) -> impl Iterator<Item = &Vec<Value>> + '_ {
+        self.rows.iter()
+    }
+
+    /// True if the row is present.
+    pub fn contains(&self, row: &[Value]) -> bool {
+        self.rows.contains(row)
+    }
+
+    /// True if the two relations are union-compatible (same attribute list).
+    pub fn union_compatible(&self, other: &TotalRelation) -> bool {
+        self.attrs == other.attrs
+    }
+
+    /// Classical set union (requires union compatibility).
+    pub fn union(&self, other: &TotalRelation) -> CoreResult<TotalRelation> {
+        self.check_compatible(other)?;
+        let mut out = self.clone();
+        out.rows.extend(other.rows.iter().cloned());
+        Ok(out)
+    }
+
+    /// Classical set difference (requires union compatibility).
+    pub fn difference(&self, other: &TotalRelation) -> CoreResult<TotalRelation> {
+        self.check_compatible(other)?;
+        Ok(TotalRelation {
+            attrs: self.attrs.clone(),
+            rows: self.rows.difference(&other.rows).cloned().collect(),
+        })
+    }
+
+    /// Classical set intersection (requires union compatibility).
+    pub fn intersection(&self, other: &TotalRelation) -> CoreResult<TotalRelation> {
+        self.check_compatible(other)?;
+        Ok(TotalRelation {
+            attrs: self.attrs.clone(),
+            rows: self.rows.intersection(&other.rows).cloned().collect(),
+        })
+    }
+
+    /// True if every row of `other` is a row of `self`.
+    pub fn contains_all(&self, other: &TotalRelation) -> CoreResult<bool> {
+        self.check_compatible(other)?;
+        Ok(other.rows.is_subset(&self.rows))
+    }
+
+    /// Classical Cartesian product; attribute lists must be disjoint.
+    pub fn product(&self, other: &TotalRelation) -> CoreResult<TotalRelation> {
+        let shared: Vec<AttrId> = self
+            .attr_set()
+            .intersection(&other.attr_set())
+            .copied()
+            .collect();
+        if !shared.is_empty() {
+            return Err(CoreError::ScopeOverlap { shared });
+        }
+        let mut attrs = self.attrs.clone();
+        attrs.extend(other.attrs.iter().copied());
+        let mut out = TotalRelation::new(attrs);
+        for a in &self.rows {
+            for b in &other.rows {
+                let mut row = a.clone();
+                row.extend(b.iter().cloned());
+                out.rows.insert(row);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Classical selection by a predicate. Since every cell is non-null the
+    /// three-valued predicate can never return `ni`; an `ni` outcome would
+    /// indicate a reference to an attribute outside the relation and is
+    /// reported as an error.
+    pub fn select(&self, predicate: &Predicate) -> CoreResult<TotalRelation> {
+        let mut out = TotalRelation::new(self.attrs.clone());
+        for row in &self.rows {
+            let tuple = self.row_to_tuple(row);
+            let truth = predicate.eval(&tuple)?;
+            if truth.is_ni() {
+                return Err(CoreError::Invariant(
+                    "predicate referenced an attribute outside the total relation".into(),
+                ));
+            }
+            if truth.is_true() {
+                out.rows.insert(row.clone());
+            }
+        }
+        Ok(out)
+    }
+
+    /// Classical projection onto an attribute list (duplicates collapse).
+    pub fn project(&self, attrs: &[AttrId]) -> CoreResult<TotalRelation> {
+        let positions: Vec<usize> = attrs
+            .iter()
+            .map(|a| {
+                self.attrs
+                    .iter()
+                    .position(|x| x == a)
+                    .ok_or(CoreError::UnknownAttribute(*a))
+            })
+            .collect::<CoreResult<_>>()?;
+        let mut out = TotalRelation::new(attrs.iter().copied());
+        for row in &self.rows {
+            out.rows.insert(positions.iter().map(|&i| row[i].clone()).collect());
+        }
+        Ok(out)
+    }
+
+    /// The Section 7 embedding: the total x-relation corresponding to this
+    /// Codd relation.
+    pub fn to_xrelation(&self) -> XRelation {
+        XRelation::from_tuples(self.rows.iter().map(|row| self.row_to_tuple(row)))
+    }
+
+    /// Inverse of the embedding for total x-relations: fails if the
+    /// x-relation has a tuple that is not total on the given attribute list.
+    pub fn from_xrelation(rel: &XRelation, attrs: &[AttrId]) -> CoreResult<TotalRelation> {
+        let attr_set: AttrSet = attrs.iter().copied().collect();
+        let mut out = TotalRelation::new(attrs.iter().copied());
+        for t in rel.tuples() {
+            if !t.is_total_on(&attr_set) || t.defined_len() != attr_set.len() {
+                return Err(CoreError::Invariant(
+                    "x-relation is not total over the requested attribute list".into(),
+                ));
+            }
+            let row: Vec<Value> = attrs
+                .iter()
+                .map(|a| t.get(*a).cloned().expect("checked total"))
+                .collect();
+            out.rows.insert(row);
+        }
+        Ok(out)
+    }
+
+    fn row_to_tuple(&self, row: &[Value]) -> Tuple {
+        Tuple::from_pairs(
+            self.attrs
+                .iter()
+                .copied()
+                .zip(row.iter().cloned()),
+        )
+    }
+
+    fn check_compatible(&self, other: &TotalRelation) -> CoreResult<()> {
+        if self.union_compatible(other) {
+            Ok(())
+        } else {
+            Err(CoreError::Invariant(
+                "relations are not union-compatible".into(),
+            ))
+        }
+    }
+}
+
+impl fmt::Display for TotalRelation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TotalRelation[{} attrs, {} rows]",
+            self.attrs.len(),
+            self.rows.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::tvl::CompareOp;
+    use nullrel_core::universe::Universe;
+
+    fn setup() -> (Universe, AttrId, AttrId, TotalRelation) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let mut rel = TotalRelation::new([s, p]);
+        rel.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
+        rel.insert(vec![Value::str("s1"), Value::str("p2")]).unwrap();
+        rel.insert(vec![Value::str("s2"), Value::str("p1")]).unwrap();
+        (u, s, p, rel)
+    }
+
+    #[test]
+    fn insert_checks_arity_and_dedupes() {
+        let (_u, s, p, mut rel) = setup();
+        assert!(rel.insert(vec![Value::str("s9")]).is_err());
+        assert!(!rel.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap());
+        assert_eq!(rel.len(), 3);
+        assert_eq!(rel.attrs(), &[s, p]);
+    }
+
+    #[test]
+    fn union_difference_intersection() {
+        let (_u, s, p, rel) = setup();
+        let mut other = TotalRelation::new([s, p]);
+        other.insert(vec![Value::str("s3"), Value::str("p3")]).unwrap();
+        other.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
+        let un = rel.union(&other).unwrap();
+        assert_eq!(un.len(), 4);
+        let diff = rel.difference(&other).unwrap();
+        assert_eq!(diff.len(), 2);
+        let inter = rel.intersection(&other).unwrap();
+        assert_eq!(inter.len(), 1);
+        assert!(un.contains_all(&rel).unwrap());
+        assert!(!rel.contains_all(&other).unwrap());
+    }
+
+    #[test]
+    fn incompatible_set_operations_error() {
+        let (_u, s, p, rel) = setup();
+        let other = TotalRelation::new([p, s]);
+        assert!(rel.union(&other).is_err());
+        assert!(rel.difference(&other).is_err());
+        assert!(!rel.union_compatible(&other));
+    }
+
+    #[test]
+    fn product_select_project() {
+        let (mut u, s, p, rel) = setup();
+        let c = u.intern("CITY");
+        let mut cities = TotalRelation::new([c]);
+        cities.insert(vec![Value::str("NYC")]).unwrap();
+        let prod = rel.product(&cities).unwrap();
+        assert_eq!(prod.len(), 3);
+        assert_eq!(prod.attrs().len(), 3);
+        assert!(rel.product(&rel).is_err(), "overlapping attrs rejected");
+
+        let sel = rel
+            .select(&Predicate::attr_const(s, CompareOp::Eq, "s1"))
+            .unwrap();
+        assert_eq!(sel.len(), 2);
+        let proj = rel.project(&[p]).unwrap();
+        assert_eq!(proj.len(), 2);
+        assert!(rel.project(&[c]).is_err());
+    }
+
+    #[test]
+    fn selection_predicate_must_stay_inside_the_relation() {
+        let (mut u, _s, _p, rel) = setup();
+        let ghost = u.intern("GHOST");
+        let err = rel
+            .select(&Predicate::attr_const(ghost, CompareOp::Eq, 1))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Invariant(_)));
+    }
+
+    #[test]
+    fn embedding_round_trips() {
+        let (_u, s, p, rel) = setup();
+        let x = rel.to_xrelation();
+        assert_eq!(x.len(), rel.len());
+        assert!(x.is_total());
+        let back = TotalRelation::from_xrelation(&x, &[s, p]).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn embedding_rejects_partial_x_relations() {
+        let (_u, s, p, _rel) = setup();
+        let partial = XRelation::from_tuples([Tuple::new().with(s, Value::str("s1"))]);
+        assert!(TotalRelation::from_xrelation(&partial, &[s, p]).is_err());
+    }
+
+    #[test]
+    fn embedding_is_injective() {
+        let (_u, s, p, rel) = setup();
+        let mut other = TotalRelation::new([s, p]);
+        other.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
+        assert_ne!(rel.to_xrelation(), other.to_xrelation());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let (_u, _s, _p, rel) = setup();
+        assert_eq!(rel.to_string(), "TotalRelation[2 attrs, 3 rows]");
+    }
+}

@@ -1,0 +1,265 @@
+//! Division (the Y-quotient) `R̂(÷Y)Ŝ` — Section 6.
+//!
+//! Division supplies the gateway to universal quantification over incomplete
+//! information. The paper defines it algebraically (6.1)/(6.2):
+//!
+//! ```text
+//! R̂(÷Y)Ŝ = R_Y[Y] − ((R_Y[Y] × Ŝ) − R_Y)[Y]
+//! ```
+//!
+//! where `R_Y` is the set of `Y`-total tuples of `R`. When the scopes of
+//! `R[Y]` and `Ŝ` are disjoint this is equivalent to the direct
+//! characterisation (6.3)/(6.5): a `Y`-total tuple `y` qualifies iff for
+//! every `z ∈̂ Ŝ` the join `y ∨ z` x-belongs to `R̂` — i.e. `Ŝ` is contained
+//! in the `Z`-image of `y`.
+//!
+//! Both formulations are implemented ([`divide`] uses the algebraic one,
+//! [`divide_direct`] the image-based one) and the test suite checks they
+//! agree; experiment **E6** reproduces the paper's comparison with Codd's
+//! TRUE and MAYBE divisions on the suppliers–parts relation (6.6).
+
+use crate::error::{CoreError, CoreResult};
+use crate::lattice::difference;
+use crate::tuple::Tuple;
+use crate::universe::AttrSet;
+use crate::xrel::XRelation;
+
+use super::product::product;
+use super::project::project;
+
+/// The Y-quotient `R̂(÷Y)Ŝ` computed by the algebraic definition (6.2).
+///
+/// The scope of the divisor `Ŝ` must be disjoint from `Y` ("the only case of
+/// practical interest", per the paper); violations are reported as
+/// [`CoreError::ScopeOverlap`].
+pub fn divide(rel: &XRelation, y: &AttrSet, divisor: &XRelation) -> CoreResult<XRelation> {
+    check_scopes(y, divisor)?;
+    // R_Y: the Y-total tuples of R.
+    let r_y = XRelation::from_tuples(
+        rel.tuples()
+            .iter()
+            .filter(|t| t.is_total_on(y))
+            .cloned(),
+    );
+    // R_Y[Y]
+    let candidates = project(&r_y, y);
+    if divisor.is_empty() {
+        // Dividing by the empty relation: every Y-total candidate qualifies
+        // vacuously, matching the classical convention.
+        return Ok(candidates);
+    }
+    // (R_Y[Y] × S − R_Y)[Y]: candidates missing at least one divisor tuple.
+    let paired = product(&candidates, divisor)?;
+    let missing = difference(&paired, &r_y);
+    let disqualified = project(&missing, y);
+    Ok(difference(&candidates, &disqualified))
+}
+
+/// The Y-quotient computed directly from characterisation (6.3)/(6.5):
+/// a `Y`-total tuple `y` of `R` qualifies iff for every divisor tuple `z`,
+/// `y ∨ z ∈̂ R̂`.
+pub fn divide_direct(rel: &XRelation, y: &AttrSet, divisor: &XRelation) -> CoreResult<XRelation> {
+    check_scopes(y, divisor)?;
+    let mut out: Vec<Tuple> = Vec::new();
+    for r in rel.tuples() {
+        if !r.is_total_on(y) {
+            continue;
+        }
+        let y_value = r.project(y);
+        let qualifies = divisor.tuples().iter().all(|z| match y_value.join(z) {
+            Some(joined) => rel.x_contains(&joined),
+            None => false,
+        });
+        if qualifies {
+            out.push(y_value);
+        }
+    }
+    Ok(XRelation::from_tuples(out))
+}
+
+/// The `Z`-image of a `Y`-value under `R̂` (definition 6.4): the projection
+/// onto `Z` of the tuples of `R` whose `Y`-value dominates `y`.
+pub fn image(rel: &XRelation, y_value: &Tuple, z: &AttrSet) -> XRelation {
+    XRelation::from_tuples(
+        rel.tuples()
+            .iter()
+            .filter(|r| r.project(&y_value.defined_attrs()).more_informative_than(y_value))
+            .map(|r| r.project(z)),
+    )
+}
+
+fn check_scopes(y: &AttrSet, divisor: &XRelation) -> CoreResult<()> {
+    let divisor_scope = divisor.scope();
+    let shared: Vec<_> = y.intersection(&divisor_scope).copied().collect();
+    if shared.is_empty() {
+        Ok(())
+    } else {
+        Err(CoreError::ScopeOverlap { shared })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algebra::select::select_attr_const;
+    use crate::tvl::CompareOp;
+    use crate::universe::{attr_set, AttrId, Universe};
+    use crate::value::Value;
+
+    /// The PARTS–SUPPLIERS relation of display (6.6).
+    fn ps() -> (Universe, AttrId, AttrId, XRelation) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: Option<&str>, pv: Option<&str>| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str))
+        };
+        let rel = XRelation::from_tuples([
+            t(Some("s1"), Some("p1")),
+            t(Some("s1"), Some("p2")),
+            t(Some("s1"), None),
+            t(Some("s2"), Some("p1")),
+            t(Some("s2"), None),
+            t(Some("s3"), None),
+            t(Some("s4"), Some("p4")),
+        ]);
+        (u, s, p, rel)
+    }
+
+    /// Section 6: "Find each supplier who supplies every part supplied by
+    /// s2" — the paper's answer A₃ = {s1, s2}.
+    #[test]
+    fn paper_division_example_a3() {
+        let (_u, s, p, rel) = ps();
+        let p_s2 = project(
+            &select_attr_const(&rel, s, CompareOp::Eq, Value::str("s2")).unwrap(),
+            &attr_set([p]),
+        );
+        let a3 = divide(&rel, &attr_set([s]), &p_s2).unwrap();
+        assert_eq!(a3.len(), 2);
+        assert!(a3.x_contains(&Tuple::new().with(s, Value::str("s1"))));
+        assert!(a3.x_contains(&Tuple::new().with(s, Value::str("s2"))));
+        assert!(!a3.x_contains(&Tuple::new().with(s, Value::str("s3"))));
+        assert!(!a3.x_contains(&Tuple::new().with(s, Value::str("s4"))));
+    }
+
+    #[test]
+    fn both_division_formulations_agree_on_the_paper_example() {
+        let (_u, s, p, rel) = ps();
+        let p_s2 = project(
+            &select_attr_const(&rel, s, CompareOp::Eq, Value::str("s2")).unwrap(),
+            &attr_set([p]),
+        );
+        let alg = divide(&rel, &attr_set([s]), &p_s2).unwrap();
+        let direct = divide_direct(&rel, &attr_set([s]), &p_s2).unwrap();
+        assert_eq!(alg, direct);
+    }
+
+    #[test]
+    fn dividing_by_larger_part_sets_shrinks_the_answer() {
+        let (_u, s, p, rel) = ps();
+        // Parts supplied by s1 for sure: {p1, p2}.
+        let p_s1 = project(
+            &select_attr_const(&rel, s, CompareOp::Eq, Value::str("s1")).unwrap(),
+            &attr_set([p]),
+        );
+        assert_eq!(p_s1.len(), 2);
+        let a = divide(&rel, &attr_set([s]), &p_s1).unwrap();
+        // Only s1 supplies both p1 and p2 for sure.
+        assert_eq!(a.len(), 1);
+        assert!(a.x_contains(&Tuple::new().with(s, Value::str("s1"))));
+    }
+
+    #[test]
+    fn division_avoids_the_paradox_of_codds_true_division() {
+        // The paper's paradox: under Codd's TRUE division, s2 does not supply
+        // all the parts s2 supplies. Under the Y-quotient, every supplier
+        // trivially supplies every part it supplies for sure.
+        let (_u, s, p, rel) = ps();
+        for supplier in ["s1", "s2", "s3", "s4"] {
+            let parts = project(
+                &select_attr_const(&rel, s, CompareOp::Eq, Value::str(supplier)).unwrap(),
+                &attr_set([p]),
+            );
+            let quotient = divide(&rel, &attr_set([s]), &parts).unwrap();
+            assert!(
+                quotient.x_contains(&Tuple::new().with(s, Value::str(supplier))),
+                "{supplier} must supply every part it supplies for sure"
+            );
+        }
+    }
+
+    #[test]
+    fn division_by_empty_divisor_returns_all_y_totals() {
+        let (_u, s, _p, rel) = ps();
+        let all = divide(&rel, &attr_set([s]), &XRelation::empty()).unwrap();
+        assert_eq!(all.len(), 4);
+        let direct = divide_direct(&rel, &attr_set([s]), &XRelation::empty()).unwrap();
+        assert_eq!(all, direct);
+    }
+
+    #[test]
+    fn division_rejects_overlapping_scopes() {
+        let (_u, s, _p, rel) = ps();
+        let divisor = XRelation::from_tuples([Tuple::new().with(s, Value::str("s1"))]);
+        assert!(matches!(
+            divide(&rel, &attr_set([s]), &divisor),
+            Err(CoreError::ScopeOverlap { .. })
+        ));
+        assert!(divide_direct(&rel, &attr_set([s]), &divisor).is_err());
+    }
+
+    #[test]
+    fn non_y_total_tuples_do_not_contribute() {
+        let (_u, s, p, _) = ps();
+        // A relation where one tuple has a null S#: it can never appear in
+        // the quotient.
+        let rel = XRelation::from_tuples([
+            Tuple::new().with(p, Value::str("p1")), // S# is ni
+            Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1")),
+        ]);
+        let divisor = XRelation::from_tuples([Tuple::new().with(p, Value::str("p1"))]);
+        let q = divide(&rel, &attr_set([s]), &divisor).unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(q.x_contains(&Tuple::new().with(s, Value::str("s1"))));
+    }
+
+    #[test]
+    fn image_collects_z_values_of_a_y_value() {
+        let (_u, s, p, rel) = ps();
+        let y = Tuple::new().with(s, Value::str("s1"));
+        let img = image(&rel, &y, &attr_set([p]));
+        assert_eq!(img.len(), 2, "s1's sure parts are p1 and p2");
+        // Characterisation (6.5): s1 qualifies for P_s2 because P_s2 ⊑ image.
+        let p_s2 = XRelation::from_tuples([Tuple::new().with(p, Value::str("p1"))]);
+        assert!(img.contains(&p_s2));
+    }
+
+    #[test]
+    fn classical_division_recovered_on_total_relations() {
+        // Section 7: on total relations the Y-quotient reduces to the usual
+        // division.
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: &str, pv: &str| {
+            Tuple::new().with(s, Value::str(sv)).with(p, Value::str(pv))
+        };
+        let rel = XRelation::from_tuples([
+            t("s1", "p1"),
+            t("s1", "p2"),
+            t("s2", "p1"),
+            t("s3", "p2"),
+        ]);
+        let divisor = XRelation::from_tuples([
+            Tuple::new().with(p, Value::str("p1")),
+            Tuple::new().with(p, Value::str("p2")),
+        ]);
+        let q = divide(&rel, &attr_set([s]), &divisor).unwrap();
+        assert_eq!(q.len(), 1);
+        assert!(q.x_contains(&Tuple::new().with(s, Value::str("s1"))));
+        assert_eq!(q, divide_direct(&rel, &attr_set([s]), &divisor).unwrap());
+    }
+}

@@ -1,0 +1,501 @@
+//! A composable logical-plan tree over the generalized algebra.
+//!
+//! The operators of Sections 4–6 are exposed as free functions elsewhere in
+//! this crate; [`Expr`] packages them as a tree so that query front-ends (the
+//! QUEL subset in `nullrel-query`) and ad-hoc programs can build, inspect,
+//! explain, and evaluate whole relational-algebra expressions. Closure under
+//! the complete algebra (Section 7) means every node evaluates to an
+//! [`XRelation`] — there are no partial operators besides the scope checks
+//! that also exist in the paper.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use crate::error::{CoreError, CoreResult};
+use crate::predicate::Predicate;
+use crate::tvl::CompareOp;
+use crate::universe::{AttrId, AttrSet, Universe};
+use crate::xrel::XRelation;
+
+use super::division::divide;
+use super::join::{equijoin, theta_join};
+use super::product::product;
+use super::project::project;
+use super::rename::rename;
+use super::select::select;
+use super::union_join::union_join;
+use crate::lattice;
+
+/// A source of named base relations for expression evaluation.
+pub trait RelationSource {
+    /// Returns the named base relation, if it exists.
+    fn relation(&self, name: &str) -> Option<XRelation>;
+}
+
+impl RelationSource for HashMap<String, XRelation> {
+    fn relation(&self, name: &str) -> Option<XRelation> {
+        self.get(name).cloned()
+    }
+}
+
+/// The empty source: only literal relations can be evaluated against it.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoSource;
+
+impl RelationSource for NoSource {
+    fn relation(&self, _name: &str) -> Option<XRelation> {
+        None
+    }
+}
+
+/// A relational-algebra expression over x-relations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal x-relation embedded in the plan.
+    Literal(XRelation),
+    /// A reference to a named base relation, resolved through the
+    /// [`RelationSource`] at evaluation time.
+    Named(String),
+    /// Selection by a predicate (Section 5, lower-bound discipline).
+    Select {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Three-valued predicate; only TRUE tuples are kept.
+        predicate: Predicate,
+    },
+    /// Projection `R[X]` (5.5).
+    Project {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Attributes to keep.
+        attrs: AttrSet,
+    },
+    /// Cartesian product (5.3).
+    Product(Box<Expr>, Box<Expr>),
+    /// θ-join (5.4).
+    ThetaJoin {
+        /// Left input.
+        left: Box<Expr>,
+        /// Attribute of the left input.
+        left_attr: AttrId,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Attribute of the right input.
+        right_attr: AttrId,
+        /// Right input.
+        right: Box<Expr>,
+    },
+    /// Equijoin on a shared attribute set `X`.
+    EquiJoin {
+        /// Left input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+        /// Join attributes.
+        on: AttrSet,
+    },
+    /// Union-join (outer join) on `X`.
+    UnionJoin {
+        /// Left input.
+        left: Box<Expr>,
+        /// Right input.
+        right: Box<Expr>,
+        /// Join attributes.
+        on: AttrSet,
+    },
+    /// Division `R̂(÷Y)Ŝ` (6.2).
+    Divide {
+        /// Dividend.
+        input: Box<Expr>,
+        /// Quotient attributes `Y`.
+        y: AttrSet,
+        /// Divisor.
+        divisor: Box<Expr>,
+    },
+    /// Lattice union (4.6).
+    Union(Box<Expr>, Box<Expr>),
+    /// Lattice x-intersection (4.7).
+    XIntersect(Box<Expr>, Box<Expr>),
+    /// Lattice difference (4.8).
+    Difference(Box<Expr>, Box<Expr>),
+    /// Attribute renaming.
+    Rename {
+        /// Input expression.
+        input: Box<Expr>,
+        /// Source → target attribute mapping.
+        mapping: BTreeMap<AttrId, AttrId>,
+    },
+}
+
+impl Expr {
+    /// A literal x-relation node.
+    pub fn literal(rel: XRelation) -> Expr {
+        Expr::Literal(rel)
+    }
+
+    /// A named base-relation node.
+    pub fn named(name: impl Into<String>) -> Expr {
+        Expr::Named(name.into())
+    }
+
+    /// Wraps `self` in a selection.
+    #[must_use]
+    pub fn select(self, predicate: Predicate) -> Expr {
+        Expr::Select {
+            input: Box::new(self),
+            predicate,
+        }
+    }
+
+    /// Wraps `self` in a projection.
+    #[must_use]
+    pub fn project(self, attrs: AttrSet) -> Expr {
+        Expr::Project {
+            input: Box::new(self),
+            attrs,
+        }
+    }
+
+    /// Cartesian product with another expression.
+    #[must_use]
+    pub fn product(self, other: Expr) -> Expr {
+        Expr::Product(Box::new(self), Box::new(other))
+    }
+
+    /// Equijoin with another expression on `X`.
+    #[must_use]
+    pub fn equijoin(self, other: Expr, on: AttrSet) -> Expr {
+        Expr::EquiJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            on,
+        }
+    }
+
+    /// Union-join with another expression on `X`.
+    #[must_use]
+    pub fn union_join(self, other: Expr, on: AttrSet) -> Expr {
+        Expr::UnionJoin {
+            left: Box::new(self),
+            right: Box::new(other),
+            on,
+        }
+    }
+
+    /// Division by another expression over `Y`.
+    #[must_use]
+    pub fn divide(self, y: AttrSet, divisor: Expr) -> Expr {
+        Expr::Divide {
+            input: Box::new(self),
+            y,
+            divisor: Box::new(divisor),
+        }
+    }
+
+    /// Lattice union with another expression.
+    #[must_use]
+    pub fn union(self, other: Expr) -> Expr {
+        Expr::Union(Box::new(self), Box::new(other))
+    }
+
+    /// Lattice x-intersection with another expression.
+    #[must_use]
+    pub fn x_intersect(self, other: Expr) -> Expr {
+        Expr::XIntersect(Box::new(self), Box::new(other))
+    }
+
+    /// Lattice difference with another expression.
+    #[must_use]
+    pub fn difference(self, other: Expr) -> Expr {
+        Expr::Difference(Box::new(self), Box::new(other))
+    }
+
+    /// Attribute renaming.
+    #[must_use]
+    pub fn rename(self, mapping: BTreeMap<AttrId, AttrId>) -> Expr {
+        Expr::Rename {
+            input: Box::new(self),
+            mapping,
+        }
+    }
+
+    /// Evaluates the expression against a source of named relations.
+    pub fn eval<S: RelationSource>(&self, source: &S) -> CoreResult<XRelation> {
+        match self {
+            Expr::Literal(rel) => Ok(rel.clone()),
+            Expr::Named(name) => source
+                .relation(name)
+                .ok_or_else(|| CoreError::UnknownRelation(name.clone())),
+            Expr::Select { input, predicate } => select(&input.eval(source)?, predicate),
+            Expr::Project { input, attrs } => Ok(project(&input.eval(source)?, attrs)),
+            Expr::Product(a, b) => product(&a.eval(source)?, &b.eval(source)?),
+            Expr::ThetaJoin {
+                left,
+                left_attr,
+                op,
+                right_attr,
+                right,
+            } => theta_join(
+                &left.eval(source)?,
+                *left_attr,
+                *op,
+                *right_attr,
+                &right.eval(source)?,
+            ),
+            Expr::EquiJoin { left, right, on } => {
+                equijoin(&left.eval(source)?, &right.eval(source)?, on)
+            }
+            Expr::UnionJoin { left, right, on } => {
+                union_join(&left.eval(source)?, &right.eval(source)?, on)
+            }
+            Expr::Divide { input, y, divisor } => {
+                divide(&input.eval(source)?, y, &divisor.eval(source)?)
+            }
+            Expr::Union(a, b) => Ok(lattice::union(&a.eval(source)?, &b.eval(source)?)),
+            Expr::XIntersect(a, b) => {
+                Ok(lattice::x_intersection(&a.eval(source)?, &b.eval(source)?))
+            }
+            Expr::Difference(a, b) => {
+                Ok(lattice::difference(&a.eval(source)?, &b.eval(source)?))
+            }
+            Expr::Rename { input, mapping } => rename(&input.eval(source)?, mapping),
+        }
+    }
+
+    /// Renders an indented explanation of the plan with attribute names
+    /// resolved through the universe.
+    pub fn explain(&self, universe: &Universe) -> String {
+        let mut out = String::new();
+        self.explain_into(universe, 0, &mut out);
+        out
+    }
+
+    fn explain_into(&self, universe: &Universe, depth: usize, out: &mut String) {
+        let indent = "  ".repeat(depth);
+        let line = match self {
+            Expr::Literal(rel) => format!("Literal[{} tuples]", rel.len()),
+            Expr::Named(name) => format!("Scan {name}"),
+            Expr::Select { predicate, .. } => {
+                format!("Select {}", predicate.render(universe))
+            }
+            Expr::Project { attrs, .. } => {
+                format!("Project [{}]", universe.render_attrs(attrs))
+            }
+            Expr::Product(..) => "Product".to_owned(),
+            Expr::ThetaJoin {
+                left_attr,
+                op,
+                right_attr,
+                ..
+            } => format!(
+                "ThetaJoin {} {} {}",
+                universe.name(*left_attr).unwrap_or("?"),
+                op,
+                universe.name(*right_attr).unwrap_or("?")
+            ),
+            Expr::EquiJoin { on, .. } => {
+                format!("EquiJoin on [{}]", universe.render_attrs(on))
+            }
+            Expr::UnionJoin { on, .. } => {
+                format!("UnionJoin on [{}]", universe.render_attrs(on))
+            }
+            Expr::Divide { y, .. } => format!("Divide over [{}]", universe.render_attrs(y)),
+            Expr::Union(..) => "Union".to_owned(),
+            Expr::XIntersect(..) => "XIntersect".to_owned(),
+            Expr::Difference(..) => "Difference".to_owned(),
+            Expr::Rename { mapping, .. } => format!("Rename ({} attrs)", mapping.len()),
+        };
+        out.push_str(&indent);
+        out.push_str(&line);
+        out.push('\n');
+        for child in self.children() {
+            child.explain_into(universe, depth + 1, out);
+        }
+    }
+
+    /// The direct children of this node.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Literal(_) | Expr::Named(_) => Vec::new(),
+            Expr::Select { input, .. }
+            | Expr::Project { input, .. }
+            | Expr::Rename { input, .. } => vec![input],
+            Expr::Product(a, b)
+            | Expr::Union(a, b)
+            | Expr::XIntersect(a, b)
+            | Expr::Difference(a, b) => vec![a, b],
+            Expr::ThetaJoin { left, right, .. }
+            | Expr::EquiJoin { left, right, .. }
+            | Expr::UnionJoin { left, right, .. } => vec![left, right],
+            Expr::Divide { input, divisor, .. } => vec![input, divisor],
+        }
+    }
+
+    /// The names of base relations referenced anywhere in the expression.
+    pub fn referenced_relations(&self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.collect_names(&mut names);
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    fn collect_names(&self, out: &mut Vec<String>) {
+        if let Expr::Named(name) = self {
+            out.push(name.clone());
+        }
+        for child in self.children() {
+            child.collect_names(out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::universe::attr_set;
+    use crate::value::Value;
+
+    fn ps_catalog() -> (Universe, AttrId, AttrId, HashMap<String, XRelation>) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: Option<&str>, pv: Option<&str>| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str))
+        };
+        let rel = XRelation::from_tuples([
+            t(Some("s1"), Some("p1")),
+            t(Some("s1"), Some("p2")),
+            t(Some("s2"), Some("p1")),
+            t(Some("s2"), None),
+            t(Some("s3"), None),
+            t(Some("s4"), Some("p4")),
+        ]);
+        let mut catalog = HashMap::new();
+        catalog.insert("PS".to_owned(), rel);
+        (u, s, p, catalog)
+    }
+
+    /// Query Q of Section 6 expressed as an expression tree:
+    /// PS (÷ S#) (PS[S# = s2][P#]).
+    #[test]
+    fn division_query_as_expression() {
+        let (_u, s, p, catalog) = ps_catalog();
+        let p_s2 = Expr::named("PS")
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s2"))
+            .project(attr_set([p]));
+        let query = Expr::named("PS").divide(attr_set([s]), p_s2);
+        let result = query.eval(&catalog).unwrap();
+        assert_eq!(result.len(), 2);
+        assert!(result.x_contains(&Tuple::new().with(s, Value::str("s1"))));
+        assert!(result.x_contains(&Tuple::new().with(s, Value::str("s2"))));
+    }
+
+    /// Query Q₄ of Section 6: parts supplied by s1 but not by s2 = {p2}.
+    #[test]
+    fn difference_query_as_expression() {
+        let (_u, s, p, catalog) = ps_catalog();
+        let by_s1 = Expr::named("PS")
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s1"))
+            .project(attr_set([p]));
+        let by_s2 = Expr::named("PS")
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s2"))
+            .project(attr_set([p]));
+        let q4 = by_s1.difference(by_s2);
+        let result = q4.eval(&catalog).unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(result.x_contains(&Tuple::new().with(p, Value::str("p2"))));
+    }
+
+    #[test]
+    fn unknown_relation_is_an_error() {
+        let (_u, _s, _p, catalog) = ps_catalog();
+        let err = Expr::named("MISSING").eval(&catalog).unwrap_err();
+        assert!(matches!(err, CoreError::UnknownRelation(_)));
+        assert!(Expr::named("PS").eval(&NoSource).is_err());
+    }
+
+    #[test]
+    fn literal_and_set_operations() {
+        let (_u, s, _p, catalog) = ps_catalog();
+        let lit = XRelation::from_tuples([Tuple::new().with(s, Value::str("s9"))]);
+        let expr = Expr::literal(lit.clone()).union(Expr::literal(XRelation::empty()));
+        assert_eq!(expr.eval(&catalog).unwrap(), lit);
+        let meet = Expr::literal(lit.clone()).x_intersect(Expr::named("PS"));
+        assert!(meet.eval(&catalog).unwrap().is_empty());
+    }
+
+    #[test]
+    fn explain_and_referenced_relations() {
+        let (u, s, p, _catalog) = ps_catalog();
+        let expr = Expr::named("PS")
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s2"))
+            .project(attr_set([p]))
+            .union(Expr::named("SPARE"));
+        let plan = expr.explain(&u);
+        assert!(plan.contains("Union"));
+        assert!(plan.contains("Project [P#]"));
+        assert!(plan.contains("Scan PS"));
+        assert_eq!(expr.referenced_relations(), vec!["PS".to_owned(), "SPARE".to_owned()]);
+    }
+
+    #[test]
+    fn join_and_rename_nodes_evaluate() {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let mgr = u.intern("MGR#");
+        let m_e_no = u.intern("m.E#");
+        let emp = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(2)),
+            Tuple::new().with(e_no, Value::int(2)),
+        ]);
+        let mut catalog = HashMap::new();
+        catalog.insert("EMP".to_owned(), emp);
+
+        // Self theta-join: employees whose MGR# equals another employee's E#,
+        // after renaming the second copy's attributes.
+        let renamed = Expr::named("EMP")
+            .project(attr_set([e_no]))
+            .rename([(e_no, m_e_no)].into_iter().collect());
+        let expr = Expr::ThetaJoin {
+            left: Box::new(Expr::named("EMP")),
+            left_attr: mgr,
+            op: CompareOp::Eq,
+            right_attr: m_e_no,
+            right: Box::new(renamed),
+        };
+        let result = expr.eval(&catalog).unwrap();
+        assert_eq!(result.len(), 1);
+        assert!(result.x_contains(
+            &Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(mgr, Value::int(2))
+                .with(m_e_no, Value::int(2))
+        ));
+
+        // Equijoin and union-join nodes also evaluate.
+        let dept = u.intern("DEPT");
+        let d = XRelation::from_tuples([Tuple::new().with(e_no, Value::int(1)).with(dept, Value::str("D1"))]);
+        catalog.insert("ASSIGN".to_owned(), d);
+        let ej = Expr::named("EMP").equijoin(Expr::named("ASSIGN"), attr_set([e_no]));
+        assert_eq!(ej.eval(&catalog).unwrap().len(), 1);
+        let uj = Expr::named("EMP").union_join(Expr::named("ASSIGN"), attr_set([e_no]));
+        assert_eq!(uj.eval(&catalog).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn children_cover_all_variants() {
+        let (_u, s, p, _catalog) = ps_catalog();
+        let expr = Expr::named("PS")
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s1"))
+            .project(attr_set([p]));
+        assert_eq!(expr.children().len(), 1);
+        let prod = Expr::named("A").product(Expr::named("B"));
+        assert_eq!(prod.children().len(), 2);
+        let lit = Expr::literal(XRelation::empty());
+        assert!(lit.children().is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! θ-joins and the equijoin `R₁(·X)R₂`.
+//!
+//! Definition (5.4): `R̂₁[AθB]R̂₂ = (R̂₁ × R̂₂)[AθB]` — a θ-join is a
+//! selection over the Cartesian product, which requires disjoint operand
+//! scopes. The equijoin on a common attribute set `X`, `R₁(·X)R₂`, does not
+//! repeat the join columns: it is the set of tuple joins `r₁ ∨ r₂` of pairs
+//! that are `X`-total (and joinable — which on overlapping scopes means they
+//! agree wherever both are non-null).
+
+use crate::error::{CoreError, CoreResult};
+use crate::predicate::Predicate;
+use crate::tuple::Tuple;
+use crate::tvl::CompareOp;
+use crate::universe::{AttrId, AttrSet};
+use crate::xrel::XRelation;
+
+use super::product::product;
+use super::select::select;
+
+/// The θ-join `R̂₁[AθB]R̂₂` (definition 5.4): selection `AθB` over the
+/// Cartesian product. `A` should belong to the scope of the left operand and
+/// `B` to the right one; this is not enforced beyond the disjoint-scope check
+/// performed by the product.
+pub fn theta_join(
+    left: &XRelation,
+    left_attr: AttrId,
+    op: CompareOp,
+    right_attr: AttrId,
+    right: &XRelation,
+) -> CoreResult<XRelation> {
+    let prod = product(left, right)?;
+    select(&prod, &Predicate::attr_attr(left_attr, op, right_attr))
+}
+
+/// The equijoin (join on `X`) `R₁(·X)R₂`: tuple joins of `X`-total, joinable
+/// pairs. The join columns are not repeated because both operands share the
+/// same attribute ids for `X`.
+pub fn equijoin(left: &XRelation, right: &XRelation, on: &AttrSet) -> CoreResult<XRelation> {
+    if on.is_empty() {
+        return Err(CoreError::EmptyAttributeList);
+    }
+    let mut out: Vec<Tuple> = Vec::new();
+    for r1 in left.tuples() {
+        if !r1.is_total_on(on) {
+            continue;
+        }
+        for r2 in right.tuples() {
+            if !r2.is_total_on(on) {
+                continue;
+            }
+            if let Some(joined) = r1.join(r2) {
+                out.push(joined);
+            }
+        }
+    }
+    // Joins of minimal operands can still produce comparable tuples when the
+    // operands' scopes overlap beyond X, so reduce to be safe.
+    Ok(XRelation::from_tuples(out))
+}
+
+/// Returns the tuples of `rel` that participate in the equijoin with `other`
+/// on `X` — i.e. those that are `X`-total and joinable with some `X`-total
+/// tuple of `other`. Used by the union-join.
+pub fn joining_tuples(rel: &XRelation, other: &XRelation, on: &AttrSet) -> Vec<Tuple> {
+    rel.tuples()
+        .iter()
+        .filter(|r| {
+            r.is_total_on(on)
+                && other
+                    .tuples()
+                    .iter()
+                    .any(|t| t.is_total_on(on) && r.joinable(t))
+        })
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{attr_set, Universe};
+    use crate::value::Value;
+
+    fn setup() -> (Universe, AttrId, AttrId, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let name = u.intern("NAME");
+        let mgr = u.intern("MGR#");
+        let dept = u.intern("DEPT");
+        (u, e_no, name, mgr, dept)
+    }
+
+    #[test]
+    fn theta_join_is_selection_over_product() {
+        let (_u, e_no, _name, mgr, dept) = setup();
+        let emp = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(10)),
+            Tuple::new().with(e_no, Value::int(2)),
+        ]);
+        let dep = XRelation::from_tuples([Tuple::new().with(dept, Value::int(10))]);
+        let joined = theta_join(&emp, mgr, CompareOp::Eq, dept, &dep).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert!(joined.x_contains(
+            &Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(mgr, Value::int(10))
+                .with(dept, Value::int(10))
+        ));
+    }
+
+    #[test]
+    fn theta_join_rejects_overlapping_scopes() {
+        let (_u, e_no, _name, mgr, _dept) = setup();
+        let a = XRelation::from_tuples([Tuple::new().with(e_no, Value::int(1))]);
+        let b = XRelation::from_tuples([Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(2))]);
+        assert!(theta_join(&a, e_no, CompareOp::Eq, mgr, &b).is_err());
+    }
+
+    #[test]
+    fn equijoin_requires_x_totality_on_both_sides() {
+        // The marked-null discussion of Section 2: a tuple with a null MGR#
+        // never joins on MGR#.
+        let (_u, e_no, name, mgr, dept) = setup();
+        let emp = XRelation::from_tuples([
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(name, Value::str("SMITH"))
+                .with(mgr, Value::int(10)),
+            Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(name, Value::str("BROWN")), // MGR# is ni
+        ]);
+        let mgr_dept = XRelation::from_tuples([
+            Tuple::new().with(mgr, Value::int(10)).with(dept, Value::str("D1")),
+            Tuple::new().with(dept, Value::str("D2")), // MGR# is ni
+        ]);
+        let joined = equijoin(&emp, &mgr_dept, &attr_set([mgr])).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert!(joined.x_contains(
+            &Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(mgr, Value::int(10))
+                .with(dept, Value::str("D1"))
+        ));
+    }
+
+    #[test]
+    fn equijoin_on_empty_attribute_set_is_rejected() {
+        let (_u, e_no, ..) = setup();
+        let a = XRelation::from_tuples([Tuple::new().with(e_no, Value::int(1))]);
+        assert!(matches!(
+            equijoin(&a, &a, &AttrSet::new()),
+            Err(CoreError::EmptyAttributeList)
+        ));
+    }
+
+    #[test]
+    fn equijoin_does_not_repeat_join_columns() {
+        let (_u, e_no, name, mgr, _dept) = setup();
+        let left = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("SMITH"))]);
+        let right = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(mgr, Value::int(9))]);
+        let joined = equijoin(&left, &right, &attr_set([e_no])).unwrap();
+        assert_eq!(joined.len(), 1);
+        let t = &joined.tuples()[0];
+        assert_eq!(t.defined_len(), 3, "E#, NAME, MGR# — E# appears once");
+    }
+
+    #[test]
+    fn equijoin_with_conflicting_overlap_drops_pair() {
+        // Scopes overlap beyond X: tuples that disagree on the overlapping
+        // attribute are not joinable and produce nothing.
+        let (_u, e_no, name, mgr, _dept) = setup();
+        let left = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("SMITH"))
+            .with(mgr, Value::int(5))]);
+        let right = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(mgr, Value::int(6))]);
+        let joined = equijoin(&left, &right, &attr_set([e_no])).unwrap();
+        assert!(joined.is_empty());
+    }
+
+    #[test]
+    fn joining_tuples_identifies_participants() {
+        let (_u, e_no, name, mgr, dept) = setup();
+        let emp = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(10)),
+            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("X")),
+        ]);
+        let dep = XRelation::from_tuples([
+            Tuple::new().with(mgr, Value::int(10)).with(dept, Value::str("D1")),
+            Tuple::new().with(mgr, Value::int(11)).with(dept, Value::str("D2")),
+        ]);
+        let joiners = joining_tuples(&emp, &dep, &attr_set([mgr]));
+        assert_eq!(joiners.len(), 1);
+        let joiners_rhs = joining_tuples(&dep, &emp, &attr_set([mgr]));
+        assert_eq!(joiners_rhs.len(), 1);
+    }
+
+    #[test]
+    fn equijoin_agrees_with_classical_join_on_total_relations() {
+        let (_u, e_no, name, mgr, dept) = setup();
+        let left = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)).with(name, Value::str("A")),
+            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("B")),
+        ]);
+        let right = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(7)).with(dept, Value::str("D")),
+        ]);
+        let joined = equijoin(&left, &right, &attr_set([e_no])).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert!(joined.is_total());
+    }
+}

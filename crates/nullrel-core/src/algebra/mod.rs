@@ -1,0 +1,31 @@
+//! The generalized relational algebra of Sections 5–6.
+//!
+//! Every operator of the complete relational algebra — union, difference,
+//! selection, Cartesian product, projection (Section 7) — plus the derived
+//! θ-joins, the equijoin `R₁(·X)R₂`, the information-preserving
+//! **union-join** `R₁(∗X)R₂`, and the **division** (Y-quotient) `R̂(÷Y)Ŝ`
+//! is defined on x-relations. The set operators live in
+//! [`crate::lattice`]; this module provides the tuple-structural operators
+//! and a composable [`expr::Expr`] logical-plan tree.
+//!
+//! All operators preserve minimality where the paper says they do
+//! (selection, product, joins on minimal operands) and re-minimise where it
+//! warns they may not (projection, union-join).
+
+pub mod division;
+pub mod expr;
+pub mod join;
+pub mod product;
+pub mod project;
+pub mod rename;
+pub mod select;
+pub mod union_join;
+
+pub use division::{divide, divide_direct};
+pub use expr::{Expr, NoSource, RelationSource};
+pub use join::{equijoin, theta_join};
+pub use product::product;
+pub use project::project;
+pub use rename::rename;
+pub use select::{select, select_attr_attr, select_attr_const};
+pub use union_join::union_join;

@@ -1,0 +1,103 @@
+//! Projection: `R[X]` (definition 5.5).
+//!
+//! Projection may produce tuples that are less informative than others (the
+//! paper notes this convenient-minimality property of selection does **not**
+//! generalise to projection), so the result is re-minimised.
+
+use crate::universe::AttrSet;
+use crate::xrel::XRelation;
+
+/// `R[X]`: project every tuple onto the attribute set `X` and reduce to
+/// minimal form.
+pub fn project(rel: &XRelation, attrs: &AttrSet) -> XRelation {
+    XRelation::from_tuples(rel.tuples().iter().map(|t| t.project(attrs)))
+}
+
+/// Projects away the given attributes (keep the complement within each
+/// tuple's own defined attributes). Useful for the equijoin convention of
+/// not repeating join columns.
+pub fn project_away(rel: &XRelation, attrs: &AttrSet) -> XRelation {
+    XRelation::from_tuples(rel.tuples().iter().map(|t| t.project_away(attrs)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::universe::{attr_set, Universe};
+    use crate::value::Value;
+
+    fn ps() -> (Universe, crate::universe::AttrId, crate::universe::AttrId, XRelation) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: Option<&str>, pv: Option<&str>| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str))
+        };
+        let rel = XRelation::from_tuples([
+            t(Some("s1"), Some("p1")),
+            t(Some("s1"), Some("p2")),
+            t(Some("s2"), Some("p1")),
+            t(Some("s3"), None),
+            t(Some("s4"), Some("p4")),
+        ]);
+        (u, s, p, rel)
+    }
+
+    #[test]
+    fn projection_reduces_to_minimal_form() {
+        let (_u, s, p, rel) = ps();
+        let on_s = project(&rel, &attr_set([s]));
+        assert_eq!(on_s.len(), 4, "s1..s4, duplicates collapsed");
+        // Projecting the s3 tuple onto P# yields the null tuple, which is
+        // dropped during minimisation.
+        let on_p = project(&rel, &attr_set([p]));
+        assert_eq!(on_p.len(), 3);
+        assert!(on_p.x_contains(&Tuple::new().with(p, Value::str("p1"))));
+        assert!(!on_p.x_contains(&Tuple::new().with(p, Value::str("p9"))));
+    }
+
+    #[test]
+    fn paper_projection_example_p_s2() {
+        // P_s2 = PS[S# = s2][P#] — the paper displays {p1, −}; in minimal
+        // form the null tuple disappears leaving {p1}.
+        let (_u, s, p, rel) = ps();
+        let selected =
+            crate::algebra::select::select_attr_const(&rel, s, crate::tvl::CompareOp::Eq, Value::str("s2"))
+                .unwrap();
+        let p_s2 = project(&selected, &attr_set([p]));
+        assert_eq!(p_s2.len(), 1);
+        assert!(p_s2.x_contains(&Tuple::new().with(p, Value::str("p1"))));
+    }
+
+    #[test]
+    fn projection_onto_scope_is_identity() {
+        let (_u, s, p, rel) = ps();
+        assert_eq!(project(&rel, &attr_set([s, p])), rel);
+    }
+
+    #[test]
+    fn projection_onto_empty_set_is_empty() {
+        let (_u, _s, _p, rel) = ps();
+        assert!(project(&rel, &attr_set([])).is_empty());
+    }
+
+    #[test]
+    fn project_away_complements_project() {
+        let (_u, s, p, rel) = ps();
+        let away = project_away(&rel, &attr_set([s]));
+        assert_eq!(away, project(&rel, &attr_set([p])));
+    }
+
+    #[test]
+    fn projection_is_monotone_wrt_containment() {
+        let (_u, s, p, rel) = ps();
+        let smaller = XRelation::from_tuples([Tuple::new()
+            .with(s, Value::str("s1"))
+            .with(p, Value::str("p1"))]);
+        assert!(rel.contains(&smaller));
+        assert!(project(&rel, &attr_set([s])).contains(&project(&smaller, &attr_set([s]))));
+    }
+}

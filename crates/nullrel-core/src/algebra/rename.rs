@@ -1,0 +1,100 @@
+//! Attribute renaming.
+//!
+//! The paper's Cartesian product and θ-joins require operands with disjoint
+//! scopes; renaming is the standard tool for meeting that requirement (e.g.
+//! the self-join of `EMP` with itself in query Q_B of Figure 2 ranges two
+//! variables `e` and `m` over the same relation — the planner renames one
+//! copy's attributes before taking the product).
+
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+
+use crate::error::{CoreError, CoreResult};
+use crate::universe::AttrId;
+use crate::xrel::XRelation;
+
+/// Renames attributes of every tuple according to `mapping` (source → target).
+/// Attributes outside the mapping are left unchanged. The effective mapping
+/// must be injective on the relation's scope: two distinct attributes may not
+/// be mapped (or left) onto the same target.
+pub fn rename(rel: &XRelation, mapping: &BTreeMap<AttrId, AttrId>) -> CoreResult<XRelation> {
+    let scope = rel.scope();
+    let mut targets: HashSet<AttrId> = HashSet::with_capacity(scope.len());
+    for attr in &scope {
+        let target = *mapping.get(attr).unwrap_or(attr);
+        if !targets.insert(target) {
+            return Err(CoreError::RenameCollision(target));
+        }
+    }
+    Ok(XRelation::from_tuples(
+        rel.tuples().iter().map(|t| t.rename(mapping)),
+    ))
+}
+
+/// Builds a rename mapping by pairing source and target attribute ids.
+pub fn mapping<I: IntoIterator<Item = (AttrId, AttrId)>>(pairs: I) -> BTreeMap<AttrId, AttrId> {
+    pairs.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::universe::Universe;
+    use crate::value::Value;
+
+    #[test]
+    fn rename_moves_scope() {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let m_e_no = u.intern("m.E#");
+        let name = u.intern("NAME");
+        let rel = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("SMITH"))]);
+        let renamed = rename(&rel, &mapping([(e_no, m_e_no)])).unwrap();
+        assert!(renamed.scope().contains(&m_e_no));
+        assert!(!renamed.scope().contains(&e_no));
+        assert!(renamed.x_contains(&Tuple::new().with(m_e_no, Value::int(1))));
+    }
+
+    #[test]
+    fn rename_collision_is_rejected() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let rel = XRelation::from_tuples([Tuple::new()
+            .with(a, Value::int(1))
+            .with(b, Value::int(2))]);
+        // Mapping A onto B while B stays put collides.
+        assert!(matches!(
+            rename(&rel, &mapping([(a, b)])),
+            Err(CoreError::RenameCollision(_))
+        ));
+        // Swapping is fine.
+        let swapped = rename(&rel, &mapping([(a, b), (b, a)])).unwrap();
+        assert!(swapped.x_contains(&Tuple::new().with(b, Value::int(1)).with(a, Value::int(2))));
+    }
+
+    #[test]
+    fn empty_mapping_is_identity() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let rel = XRelation::from_tuples([Tuple::new().with(a, Value::int(1))]);
+        assert_eq!(rename(&rel, &BTreeMap::new()).unwrap(), rel);
+    }
+
+    #[test]
+    fn rename_enables_self_product() {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let other = u.intern("e2.E#");
+        let rel = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)),
+            Tuple::new().with(e_no, Value::int(2)),
+        ]);
+        let renamed = rename(&rel, &mapping([(e_no, other)])).unwrap();
+        let prod = crate::algebra::product::product(&rel, &renamed).unwrap();
+        assert_eq!(prod.len(), 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Selection: `R[AθB]`, `R[Aθk]`, and general predicate selection.
+//!
+//! Definitions (5.1) and (5.2): the result contains the tuples that are
+//! total on the compared attributes and whose comparison holds. With the
+//! three-valued comparison semantics this is exactly "keep the tuples where
+//! the predicate evaluates to TRUE" — `ni` and FALSE tuples are discarded
+//! alike, which is the lower-bound (`‖Q‖∗`) discipline of Section 5.
+//!
+//! When the operand is in minimal form the result is too (a subset of a
+//! minimal representation is minimal), so no re-minimisation is performed.
+
+use crate::error::{CoreError, CoreResult};
+use crate::predicate::Predicate;
+use crate::tuple::Tuple;
+use crate::tvl::CompareOp;
+use crate::universe::AttrId;
+use crate::value::Value;
+use crate::xrel::XRelation;
+
+/// General selection: keep the tuples for which `predicate` evaluates to
+/// TRUE under the three-valued semantics.
+pub fn select(rel: &XRelation, predicate: &Predicate) -> CoreResult<XRelation> {
+    let mut kept: Vec<Tuple> = Vec::new();
+    for t in rel.tuples() {
+        if predicate.eval(t)?.is_true() {
+            kept.push(t.clone());
+        }
+    }
+    Ok(XRelation::from_minimal_unchecked(kept))
+}
+
+/// Definition (5.2): `R[Aθk]` — selection against a constant. The constant
+/// must be a domain value (`ni` is unrepresentable here by construction).
+pub fn select_attr_const(
+    rel: &XRelation,
+    attr: AttrId,
+    op: CompareOp,
+    constant: Value,
+) -> CoreResult<XRelation> {
+    select(rel, &Predicate::attr_const(attr, op, constant))
+}
+
+/// Definition (5.1): `R[AθB]` — selection comparing two attributes of the
+/// same tuple. The two attributes must be distinct (comparing an attribute
+/// with itself is legal in the paper but useless; we allow it).
+pub fn select_attr_attr(
+    rel: &XRelation,
+    left: AttrId,
+    op: CompareOp,
+    right: AttrId,
+) -> CoreResult<XRelation> {
+    select(rel, &Predicate::attr_attr(left, op, right))
+}
+
+/// The MAYBE-flavoured selection: keep tuples whose predicate evaluates to
+/// `ni`. Provided for completeness and used by the Codd-baseline comparison
+/// experiments; the paper argues this variant has little practical value
+/// under the `ni` interpretation.
+pub fn select_maybe(rel: &XRelation, predicate: &Predicate) -> CoreResult<XRelation> {
+    let mut kept: Vec<Tuple> = Vec::new();
+    for t in rel.tuples() {
+        if predicate.eval(t)?.is_ni() {
+            kept.push(t.clone());
+        }
+    }
+    Ok(XRelation::from_minimal_unchecked(kept))
+}
+
+/// Validates that a selection constant is drawn from the attribute's domain
+/// when the universe records one. Exposed for the query front-end so it can
+/// reject constants that violate the schema before planning.
+pub fn check_constant_in_domain(
+    universe: &crate::universe::Universe,
+    attr: AttrId,
+    constant: &Value,
+) -> CoreResult<()> {
+    if let Some(domain) = universe.domain(attr) {
+        if !domain.contains(constant) {
+            return Err(CoreError::NullConstant);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{Domain, Universe};
+
+    fn ps() -> (Universe, AttrId, AttrId, XRelation) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: Option<&str>, pv: Option<&str>| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str))
+        };
+        // The PS relation of display (6.6).
+        let rel = XRelation::from_tuples([
+            t(Some("s1"), Some("p1")),
+            t(Some("s1"), Some("p2")),
+            t(Some("s1"), None),
+            t(Some("s2"), Some("p1")),
+            t(Some("s2"), None),
+            t(Some("s3"), None),
+            t(Some("s4"), Some("p4")),
+        ]);
+        (u, s, p, rel)
+    }
+
+    #[test]
+    fn constant_selection_requires_totality() {
+        let (_u, s, p, rel) = ps();
+        // PS[S# = s2]: the tuple (s2, −) was absorbed by (s2, p1) during
+        // minimisation, so a single tuple remains.
+        let sel = select_attr_const(&rel, s, CompareOp::Eq, Value::str("s2")).unwrap();
+        assert_eq!(sel.len(), 1);
+        assert!(sel.x_contains(&Tuple::new().with(s, Value::str("s2")).with(p, Value::str("p1"))));
+        // PS[P# = p9] is empty; null P# tuples never qualify.
+        let none = select_attr_const(&rel, p, CompareOp::Eq, Value::str("p9")).unwrap();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn selection_on_minimal_operand_is_minimal() {
+        let (_u, s, _p, rel) = ps();
+        let sel = select_attr_const(&rel, s, CompareOp::Ne, Value::str("s4")).unwrap();
+        assert!(crate::xrel::is_antichain(sel.tuples()));
+    }
+
+    #[test]
+    fn attr_attr_selection() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let rel = XRelation::from_tuples([
+            Tuple::new().with(a, Value::int(1)).with(b, Value::int(1)),
+            Tuple::new().with(a, Value::int(1)).with(b, Value::int(2)),
+            Tuple::new().with(a, Value::int(3)),
+        ]);
+        let eq = select_attr_attr(&rel, a, CompareOp::Eq, b).unwrap();
+        assert_eq!(eq.len(), 1);
+        let lt = select_attr_attr(&rel, a, CompareOp::Lt, b).unwrap();
+        assert_eq!(lt.len(), 1);
+        // The tuple with null B never qualifies in either version.
+        assert!(!eq.x_contains(&Tuple::new().with(a, Value::int(3))));
+    }
+
+    #[test]
+    fn select_maybe_returns_the_ni_band() {
+        let (_u, s, p, rel) = ps();
+        let pred = Predicate::attr_const(p, CompareOp::Eq, "p1");
+        let sure = select(&rel, &pred).unwrap();
+        let maybe = select_maybe(&rel, &pred).unwrap();
+        assert_eq!(sure.len(), 2, "s1 and s2 supply p1 for sure");
+        // Only s3 retains a null P# after minimisation.
+        assert_eq!(maybe.len(), 1);
+        assert!(maybe.x_contains(&Tuple::new().with(s, Value::str("s3"))));
+    }
+
+    #[test]
+    fn predicate_selection_composes() {
+        let (_u, s, p, rel) = ps();
+        let pred = Predicate::attr_const(s, CompareOp::Eq, "s1")
+            .and(Predicate::attr_const(p, CompareOp::Ne, "p1"));
+        let out = select(&rel, &pred).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.x_contains(&Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p2"))));
+    }
+
+    #[test]
+    fn type_errors_propagate() {
+        let (_u, s, _p, rel) = ps();
+        let pred = Predicate::attr_const(s, CompareOp::Gt, 12);
+        assert!(select(&rel, &pred).is_err());
+    }
+
+    #[test]
+    fn constant_domain_check() {
+        let mut u = Universe::new();
+        let sex = u.intern_with_domain(
+            "SEX",
+            Domain::Enumerated(vec![Value::str("M"), Value::str("F")]),
+        );
+        assert!(check_constant_in_domain(&u, sex, &Value::str("F")).is_ok());
+        assert!(check_constant_in_domain(&u, sex, &Value::str("X")).is_err());
+        // Attributes without a recorded domain accept anything.
+        let free = u.intern("FREE");
+        assert!(check_constant_in_domain(&u, free, &Value::int(1)).is_ok());
+    }
+
+    #[test]
+    fn selecting_from_empty_relation() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let out =
+            select_attr_const(&XRelation::empty(), a, CompareOp::Eq, Value::int(1)).unwrap();
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! The union-join (information-preserving / outer join) `R₁(∗X)R₂`.
+//!
+//! Section 5 recalls that null values enable information-preserving joins
+//! (the "or-joins" / "extended joins" / "outer joins" of the literature) and
+//! argues that **union-join** best describes their nature: the result is the
+//! equijoin *plus* the tuples of either operand that do not participate in
+//! the join, padded (implicitly, by the `ni` convention) with nulls.
+//!
+//! The paper warns that the result of a union-join need not be minimal even
+//! when the operands are; this implementation therefore re-minimises.
+
+use crate::error::CoreResult;
+use crate::tuple::Tuple;
+use crate::universe::AttrSet;
+use crate::xrel::XRelation;
+
+use super::join::{equijoin, joining_tuples};
+
+/// The union-join `R₁(∗X)R₂`: the equijoin on `X` unioned with the
+/// non-participating tuples of both operands.
+pub fn union_join(left: &XRelation, right: &XRelation, on: &AttrSet) -> CoreResult<XRelation> {
+    let inner = equijoin(left, right, on)?;
+    let left_participants: Vec<Tuple> = joining_tuples(left, right, on);
+    let right_participants: Vec<Tuple> = joining_tuples(right, left, on);
+
+    let mut tuples: Vec<Tuple> = inner.into_tuples();
+    for t in left.tuples() {
+        if !left_participants.contains(t) {
+            tuples.push(t.clone());
+        }
+    }
+    for t in right.tuples() {
+        if !right_participants.contains(t) {
+            tuples.push(t.clone());
+        }
+    }
+    Ok(XRelation::from_tuples(tuples))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{attr_set, AttrId, Universe};
+    use crate::value::Value;
+
+    fn setup() -> (Universe, AttrId, AttrId, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let name = u.intern("NAME");
+        let dept = u.intern("DEPT");
+        let budget = u.intern("BUDGET");
+        (u, e_no, name, dept, budget)
+    }
+
+    #[test]
+    fn union_join_preserves_dangling_tuples_from_both_sides() {
+        let (_u, e_no, name, dept, budget) = setup();
+        let emp = XRelation::from_tuples([
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(name, Value::str("SMITH"))
+                .with(dept, Value::str("D1")),
+            Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(name, Value::str("BROWN"))
+                .with(dept, Value::str("D9")), // no matching department
+        ]);
+        let dep = XRelation::from_tuples([
+            Tuple::new().with(dept, Value::str("D1")).with(budget, Value::int(100)),
+            Tuple::new().with(dept, Value::str("D2")).with(budget, Value::int(200)), // no employee
+        ]);
+        let out = union_join(&emp, &dep, &attr_set([dept])).unwrap();
+        // Joined tuple + dangling BROWN + dangling D2.
+        assert_eq!(out.len(), 3);
+        assert!(out.x_contains(
+            &Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(dept, Value::str("D1"))
+                .with(budget, Value::int(100))
+        ));
+        assert!(out.x_contains(&Tuple::new().with(e_no, Value::int(2))));
+        assert!(out.x_contains(&Tuple::new().with(dept, Value::str("D2")).with(budget, Value::int(200))));
+        // The dangling tuples keep ni in the other relation's columns: the
+        // BROWN row has no BUDGET.
+        assert!(!out.x_contains(
+            &Tuple::new().with(e_no, Value::int(2)).with(budget, Value::int(100))
+        ));
+    }
+
+    #[test]
+    fn union_join_reduces_to_equijoin_when_everything_matches() {
+        let (_u, e_no, _name, dept, budget) = setup();
+        let emp = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(dept, Value::str("D1"))]);
+        let dep = XRelation::from_tuples([Tuple::new()
+            .with(dept, Value::str("D1"))
+            .with(budget, Value::int(5))]);
+        let uj = union_join(&emp, &dep, &attr_set([dept])).unwrap();
+        let ej = equijoin(&emp, &dep, &attr_set([dept])).unwrap();
+        assert_eq!(uj, ej);
+    }
+
+    #[test]
+    fn union_join_with_empty_right_is_left() {
+        let (_u, e_no, _name, dept, _budget) = setup();
+        let emp = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(dept, Value::str("D1"))]);
+        let out = union_join(&emp, &XRelation::empty(), &attr_set([dept])).unwrap();
+        assert_eq!(out, emp);
+    }
+
+    #[test]
+    fn union_join_keeps_null_key_tuples_as_dangling() {
+        // A tuple with ni in the join column never participates but is never
+        // lost either — the information-preserving property.
+        let (_u, e_no, _name, dept, budget) = setup();
+        let emp = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)), // DEPT is ni
+            Tuple::new().with(e_no, Value::int(2)).with(dept, Value::str("D1")),
+        ]);
+        let dep = XRelation::from_tuples([Tuple::new()
+            .with(dept, Value::str("D1"))
+            .with(budget, Value::int(5))]);
+        let out = union_join(&emp, &dep, &attr_set([dept])).unwrap();
+        assert!(out.x_contains(&Tuple::new().with(e_no, Value::int(1))));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn union_join_subsumes_both_operands() {
+        let (_u, e_no, name, dept, budget) = setup();
+        let emp = XRelation::from_tuples([
+            Tuple::new().with(e_no, Value::int(1)).with(dept, Value::str("D1")),
+            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("X")),
+        ]);
+        let dep = XRelation::from_tuples([
+            Tuple::new().with(dept, Value::str("D1")).with(budget, Value::int(1)),
+            Tuple::new().with(dept, Value::str("D3")),
+        ]);
+        let out = union_join(&emp, &dep, &attr_set([dept])).unwrap();
+        assert!(out.contains(&emp), "no employee information is lost");
+        assert!(out.contains(&dep), "no department information is lost");
+    }
+}

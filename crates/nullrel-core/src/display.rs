@@ -1,0 +1,131 @@
+//! Rendering relations as ASCII tables in the style of the paper's displays
+//! (Table I, Table II, display (6.6), …), with `-` for null cells.
+
+use crate::relation::Relation;
+use crate::universe::{AttrId, Universe};
+use crate::xrel::XRelation;
+
+/// Renders a [`Relation`] as an ASCII table using the relation's declared
+/// column order. Null cells are printed as `-`, like the paper's dash.
+pub fn render_relation(name: &str, rel: &Relation, universe: &Universe) -> String {
+    render_table(name, rel.attrs(), rel.tuples().cloned().collect(), universe)
+}
+
+/// Renders an [`XRelation`] over an explicit column order.
+pub fn render_xrelation(
+    name: &str,
+    rel: &XRelation,
+    attrs: &[AttrId],
+    universe: &Universe,
+) -> String {
+    render_table(name, attrs, rel.tuples().to_vec(), universe)
+}
+
+fn render_table(
+    name: &str,
+    attrs: &[AttrId],
+    tuples: Vec<crate::tuple::Tuple>,
+    universe: &Universe,
+) -> String {
+    let headers: Vec<String> = attrs
+        .iter()
+        .map(|a| {
+            universe
+                .name(*a)
+                .map(str::to_owned)
+                .unwrap_or_else(|_| format!("#{}", a.index()))
+        })
+        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::with_capacity(tuples.len());
+    for t in &tuples {
+        rows.push(
+            attrs
+                .iter()
+                .map(|a| t.get(*a).map(|v| v.to_string()).unwrap_or_else(|| "-".to_owned()))
+                .collect(),
+        );
+    }
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(name);
+    out.push('\n');
+    let mut header_line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        header_line.push_str(&format!("| {:width$} ", h, width = widths[i]));
+    }
+    header_line.push('|');
+    let separator = "-".repeat(header_line.len());
+    out.push_str(&header_line);
+    out.push('\n');
+    out.push_str(&separator);
+    out.push('\n');
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            out.push_str(&format!("| {:width$} ", cell, width = widths[i]));
+        }
+        out.push_str("|\n");
+    }
+    if rows.is_empty() {
+        out.push_str("(empty)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    #[test]
+    fn renders_table_ii_with_dashes() {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let name = u.intern("NAME");
+        let tel = u.intern("TEL#");
+        let mut rel = Relation::new([e_no, name, tel]);
+        rel.insert(
+            Tuple::new()
+                .with(e_no, Value::int(1120))
+                .with(name, Value::str("SMITH")),
+        )
+        .unwrap();
+        let text = render_relation("EMP", &rel, &u);
+        assert!(text.contains("EMP"));
+        assert!(text.contains("E#"));
+        assert!(text.contains("SMITH"));
+        assert!(text.lines().last().unwrap().contains('-'), "null TEL# rendered as dash");
+    }
+
+    #[test]
+    fn renders_empty_relation() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let rel = Relation::new([a]);
+        let text = render_relation("EMPTY", &rel, &u);
+        assert!(text.contains("(empty)"));
+    }
+
+    #[test]
+    fn renders_xrelation_over_chosen_columns() {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let x = XRelation::from_tuples([
+            Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1")),
+            Tuple::new().with(s, Value::str("s3")),
+        ]);
+        let text = render_xrelation("PS", &x, &[s, p], &u);
+        assert!(text.contains("s3"));
+        assert!(text.contains("p1"));
+        // Unknown attribute ids render positionally rather than panicking.
+        let ghost = AttrId::from_index(99);
+        let text2 = render_xrelation("PS", &x, &[s, ghost], &u);
+        assert!(text2.contains("#99"));
+    }
+}

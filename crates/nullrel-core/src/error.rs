@@ -1,0 +1,139 @@
+//! Error types for the core library.
+//!
+//! The library never panics on malformed input: every operation that can
+//! observe a schema violation, a type mismatch, or a non-enumerable domain
+//! returns a [`CoreError`] through [`CoreResult`].
+
+use std::fmt;
+
+use crate::universe::AttrId;
+
+/// Result alias used throughout the crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// All error conditions surfaced by the core library.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Two values of incompatible types were compared (e.g. an integer and a
+    /// string). The paper assumes attributes compared by `θ` share a domain;
+    /// violating that is a schema error, not a `ni` outcome.
+    TypeMismatch {
+        /// Human readable description of the left operand.
+        left: String,
+        /// Human readable description of the right operand.
+        right: String,
+    },
+    /// An attribute id was used with a universe that does not define it.
+    UnknownAttribute(AttrId),
+    /// An attribute name was looked up but never interned in the universe.
+    UnknownAttributeName(String),
+    /// A relation operation required disjoint scopes (Cartesian product,
+    /// division with disjoint quotient scope) but the scopes overlapped.
+    ScopeOverlap {
+        /// Attributes common to both operands.
+        shared: Vec<AttrId>,
+    },
+    /// An operation such as `TOP_U` or pseudo-complement needs every attribute
+    /// domain to be finitely enumerable, and this attribute's domain is not.
+    DomainNotEnumerable(AttrId),
+    /// Constructing `TOP_U` (or a substitution space) would exceed the given
+    /// cardinality budget.
+    DomainTooLarge {
+        /// The number of tuples/substitutions that would have been produced.
+        required: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// A constant used in a selection was the null symbol. The paper requires
+    /// selection constants to be drawn from `DOM(A)`, never `ni`.
+    NullConstant,
+    /// A renaming mapped two distinct attributes onto the same target.
+    RenameCollision(AttrId),
+    /// The operation requires a non-empty attribute list (e.g. an equijoin on
+    /// an empty `X` degenerates to a Cartesian product and is rejected to keep
+    /// intent explicit).
+    EmptyAttributeList,
+    /// An expression referenced a named relation the evaluation context does
+    /// not provide.
+    UnknownRelation(String),
+    /// Free-form invariant violation with a description; used by internal
+    /// consistency checks that should be unreachable through the public API.
+    Invariant(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TypeMismatch { left, right } => {
+                write!(f, "type mismatch comparing {left} with {right}")
+            }
+            CoreError::UnknownAttribute(id) => {
+                write!(f, "attribute id {} is not defined in this universe", id.index())
+            }
+            CoreError::UnknownAttributeName(name) => {
+                write!(f, "attribute name {name:?} is not defined in this universe")
+            }
+            CoreError::ScopeOverlap { shared } => {
+                write!(f, "operand scopes overlap on {} attribute(s)", shared.len())
+            }
+            CoreError::DomainNotEnumerable(id) => write!(
+                f,
+                "attribute id {} does not have a finitely enumerable domain",
+                id.index()
+            ),
+            CoreError::DomainTooLarge { required, limit } => write!(
+                f,
+                "operation would enumerate {required} tuples, exceeding the limit of {limit}"
+            ),
+            CoreError::NullConstant => {
+                write!(f, "selection constants must be non-null domain values")
+            }
+            CoreError::RenameCollision(id) => write!(
+                f,
+                "renaming maps more than one source attribute onto attribute id {}",
+                id.index()
+            ),
+            CoreError::EmptyAttributeList => {
+                write!(f, "operation requires a non-empty attribute list")
+            }
+            CoreError::UnknownRelation(name) => {
+                write!(f, "expression references unknown relation {name:?}")
+            }
+            CoreError::Invariant(msg) => write!(f, "internal invariant violated: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CoreError::TypeMismatch {
+            left: "Int(1)".into(),
+            right: "Str(\"a\")".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains("Int(1)"));
+        assert!(text.contains("Str(\"a\")"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CoreError::NullConstant, CoreError::NullConstant);
+        assert_ne!(
+            CoreError::NullConstant,
+            CoreError::EmptyAttributeList,
+            "distinct variants must not compare equal"
+        );
+    }
+
+    #[test]
+    fn error_trait_object_works() {
+        let err: Box<dyn std::error::Error> = Box::new(CoreError::EmptyAttributeList);
+        assert!(err.to_string().contains("non-empty"));
+    }
+}

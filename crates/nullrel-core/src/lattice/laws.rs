@@ -1,0 +1,206 @@
+//! Executable statements of the lattice laws proved or asserted in the paper
+//! (Propositions 4.1, 4.3–4.7, distributivity (4.4)/(4.5), and the
+//! Brouwerian-lattice facts of Section 7).
+//!
+//! Each function returns `true` when the law holds for the supplied operands.
+//! They are used by unit tests, by the `tests/lattice_laws.rs` property suite
+//! (driven by proptest-generated x-relations), and by the lattice example
+//! binary. Keeping them in the library (rather than test-only code) lets
+//! downstream users sanity-check their own data.
+
+use super::{difference, union, x_intersection};
+use crate::xrel::XRelation;
+
+/// Proposition 4.1: `R̂₁ = R̂₂` iff `R̂₁ ⊒ R̂₂` and `R̂₂ ⊒ R̂₁`.
+pub fn mutual_containment_is_equality(a: &XRelation, b: &XRelation) -> bool {
+    (a.contains(b) && b.contains(a)) == (a == b)
+}
+
+/// Proposition 4.3 (substitution property): replacing operands by equal
+/// x-relations does not change union, x-intersection, or difference. Because
+/// [`XRelation`] is canonical, equality of inputs trivially gives equality of
+/// outputs; this law is checked by recomputing through different
+/// representations of the same class.
+pub fn substitution_property(a: &XRelation, a_again: &XRelation, b: &XRelation) -> bool {
+    if a != a_again {
+        return true; // vacuously true: precondition not met
+    }
+    union(a, b) == union(a_again, b)
+        && x_intersection(a, b) == x_intersection(a_again, b)
+        && difference(a, b) == difference(a_again, b)
+        && difference(b, a) == difference(b, a_again)
+}
+
+/// Proposition 4.4: the union is the **least** upper bound: any `R̂` that
+/// contains both operands contains their union.
+pub fn union_is_least_upper_bound(upper: &XRelation, a: &XRelation, b: &XRelation) -> bool {
+    if upper.contains(a) && upper.contains(b) {
+        upper.contains(&union(a, b))
+    } else {
+        true
+    }
+}
+
+/// The union is an upper bound of both operands.
+pub fn union_is_upper_bound(a: &XRelation, b: &XRelation) -> bool {
+    let u = union(a, b);
+    u.contains(a) && u.contains(b)
+}
+
+/// Proposition 4.5: the x-intersection is the **greatest** lower bound: any
+/// `R̂` contained in both operands is contained in their x-intersection.
+pub fn intersection_is_greatest_lower_bound(
+    lower: &XRelation,
+    a: &XRelation,
+    b: &XRelation,
+) -> bool {
+    if a.contains(lower) && b.contains(lower) {
+        x_intersection(a, b).contains(lower)
+    } else {
+        true
+    }
+}
+
+/// The x-intersection is a lower bound of both operands.
+pub fn intersection_is_lower_bound(a: &XRelation, b: &XRelation) -> bool {
+    let m = x_intersection(a, b);
+    a.contains(&m) && b.contains(&m)
+}
+
+/// Distributivity (4.4): `R̂₁ ∩̂ (R̂₂ ∪ R̂₃) = (R̂₁ ∩̂ R̂₂) ∪ (R̂₁ ∩̂ R̂₃)`.
+pub fn distributive_meet_over_join(a: &XRelation, b: &XRelation, c: &XRelation) -> bool {
+    x_intersection(a, &union(b, c)) == union(&x_intersection(a, b), &x_intersection(a, c))
+}
+
+/// Distributivity (4.5): `R̂₁ ∪ (R̂₂ ∩̂ R̂₃) = (R̂₁ ∪ R̂₂) ∩̂ (R̂₁ ∪ R̂₃)`.
+pub fn distributive_join_over_meet(a: &XRelation, b: &XRelation, c: &XRelation) -> bool {
+    union(a, &x_intersection(b, c)) == x_intersection(&union(a, b), &union(a, c))
+}
+
+/// Absorption laws, which hold in any lattice:
+/// `a ∪ (a ∩̂ b) = a` and `a ∩̂ (a ∪ b) = a`.
+pub fn absorption(a: &XRelation, b: &XRelation) -> bool {
+    union(a, &x_intersection(a, b)) == *a && x_intersection(a, &union(a, b)) == *a
+}
+
+/// Idempotence, commutativity, and associativity of both operations.
+pub fn semilattice_laws(a: &XRelation, b: &XRelation, c: &XRelation) -> bool {
+    union(a, a) == *a
+        && x_intersection(a, a) == *a
+        && union(a, b) == union(b, a)
+        && x_intersection(a, b) == x_intersection(b, a)
+        && union(&union(a, b), c) == union(a, &union(b, c))
+        && x_intersection(&x_intersection(a, b), c) == x_intersection(a, &x_intersection(b, c))
+}
+
+/// Proposition 4.6: for `R̂₁ ⊒ R̂₂`, `(R̂₁ − R̂₂) ∪ R̂₂ = R̂₁`.
+pub fn difference_restores_under_containment(a: &XRelation, b: &XRelation) -> bool {
+    if a.contains(b) {
+        union(&difference(a, b), b) == *a
+    } else {
+        true
+    }
+}
+
+/// Proposition 4.7: if `R̂ ∪ R̂₂ = R̂₁` then `R̂ ⊒ R̂₁ − R̂₂` — the difference
+/// is the smallest x-relation whose union with `R̂₂` gives `R̂₁`.
+pub fn difference_is_smallest_restorer(r: &XRelation, r1: &XRelation, r2: &XRelation) -> bool {
+    if union(r, r2) == *r1 {
+        r.contains(&difference(r1, r2))
+    } else {
+        true
+    }
+}
+
+/// Containment is a partial order on canonical x-relations: reflexive,
+/// transitive, and antisymmetric.
+pub fn containment_is_partial_order(a: &XRelation, b: &XRelation, c: &XRelation) -> bool {
+    let reflexive = a.contains(a);
+    let transitive = !(a.contains(b) && b.contains(c)) || a.contains(c);
+    let antisymmetric = !(a.contains(b) && b.contains(a)) || a == b;
+    reflexive && transitive && antisymmetric
+}
+
+/// Monotonicity of the operations with respect to containment.
+pub fn operations_are_monotone(a: &XRelation, a2: &XRelation, b: &XRelation) -> bool {
+    if !a2.contains(a) {
+        return true;
+    }
+    union(a2, b).contains(&union(a, b))
+        && x_intersection(a2, b).contains(&x_intersection(a, b))
+        && difference(a2, b).contains(&difference(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+    use crate::universe::Universe;
+    use crate::value::Value;
+
+    fn trio() -> (XRelation, XRelation, XRelation) {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        let t = |av: Option<i64>, bv: Option<i64>, cv: Option<i64>| {
+            Tuple::new()
+                .with_opt(a, av.map(Value::int))
+                .with_opt(b, bv.map(Value::int))
+                .with_opt(c, cv.map(Value::int))
+        };
+        let r1 = XRelation::from_tuples([t(Some(1), Some(1), None), t(Some(2), None, Some(3))]);
+        let r2 = XRelation::from_tuples([t(Some(1), None, None), t(None, Some(4), Some(5))]);
+        let r3 = XRelation::from_tuples([t(Some(1), Some(1), Some(1)), t(Some(2), Some(2), None)]);
+        (r1, r2, r3)
+    }
+
+    #[test]
+    fn all_laws_hold_on_sample_relations() {
+        let (r1, r2, r3) = trio();
+        assert!(mutual_containment_is_equality(&r1, &r2));
+        assert!(mutual_containment_is_equality(&r1, &r1));
+        assert!(substitution_property(&r1, &r1.clone(), &r2));
+        assert!(union_is_upper_bound(&r1, &r2));
+        assert!(union_is_least_upper_bound(&union(&r1, &r2), &r1, &r2));
+        assert!(intersection_is_lower_bound(&r1, &r2));
+        assert!(intersection_is_greatest_lower_bound(
+            &x_intersection(&r1, &r2),
+            &r1,
+            &r2
+        ));
+        assert!(distributive_meet_over_join(&r1, &r2, &r3));
+        assert!(distributive_join_over_meet(&r1, &r2, &r3));
+        assert!(absorption(&r1, &r2));
+        assert!(semilattice_laws(&r1, &r2, &r3));
+        assert!(difference_restores_under_containment(&union(&r1, &r2), &r1));
+        assert!(difference_is_smallest_restorer(&r1, &union(&r1, &r2), &r2));
+        assert!(containment_is_partial_order(&r1, &r2, &r3));
+        assert!(operations_are_monotone(&r1, &union(&r1, &r3), &r2));
+    }
+
+    #[test]
+    fn laws_hold_with_empty_operands() {
+        let (r1, _r2, _r3) = trio();
+        let empty = XRelation::empty();
+        assert!(absorption(&empty, &r1));
+        assert!(absorption(&r1, &empty));
+        assert!(semilattice_laws(&empty, &r1, &empty));
+        assert!(difference_restores_under_containment(&r1, &empty));
+        assert!(union_is_upper_bound(&empty, &empty));
+        assert!(intersection_is_lower_bound(&empty, &r1));
+    }
+
+    #[test]
+    fn conditional_laws_are_vacuously_true_when_preconditions_fail() {
+        let (r1, r2, r3) = trio();
+        // r1 does not contain r2, so Proposition 4.6's precondition fails.
+        assert!(!r1.contains(&r2));
+        assert!(difference_restores_under_containment(&r1, &r2));
+        // union(r3, r2) != r1, so Proposition 4.7's precondition fails.
+        assert!(union(&r3, &r2) != r1);
+        assert!(difference_is_smallest_restorer(&r3, &r1, &r2));
+        // Non-equal inputs make the substitution property vacuous.
+        assert!(substitution_property(&r1, &r2, &r3));
+    }
+}

@@ -1,0 +1,229 @@
+//! The lattice of x-relations: union, x-intersection, difference, `TOP_U`,
+//! and pseudo-complement.
+//!
+//! Section 4 defines the generalised set operations (4.1)–(4.3) and derives
+//! the implementable forms (4.6)–(4.8):
+//!
+//! * union — `R̂₁ ∪ R̂₂ = ⌈r | r ∈ R₁ or r ∈ R₂⌉` (4.6),
+//! * x-intersection — `R̂₁ ∩̂ R̂₂ = ⌈r₁ ∧ r₂ | r₁ ∈ R₁, r₂ ∈ R₂⌉` (4.7),
+//! * difference — `R̂₁ − R̂₂ = ⌈r | r ∈ R₁ and ∀t ∈ R₂ ¬(t ≥ r)⌉` (4.8).
+//!
+//! Union and x-intersection are the least upper bound and greatest lower
+//! bound of the containment ordering `⊒` (Propositions 4.4/4.5); the result
+//! is a distributive, pseudo-complemented (Brouwerian) lattice with bottom
+//! `∅̂` and top `TOP_U = DOM(A₁) × ⋯ × DOM(Aₚ)` (Section 7). The
+//! pseudo-complement is `R* = TOP_U − R̂` (7.1).
+//!
+//! Each operation has two implementations: the quadratic reference one in
+//! [`naive`] (a direct transcription of the paper's definitions) and a
+//! hash-accelerated one in [`hashed`] using an inverted cell index (the
+//! "combinatorial hashing" the paper points to for efficiency). The free
+//! functions in this module dispatch to the hashed implementations, which
+//! are the production defaults; experiment **E9** benchmarks both.
+
+pub mod hashed;
+pub mod laws;
+pub mod naive;
+
+use crate::error::{CoreError, CoreResult};
+use crate::tuple::Tuple;
+use crate::universe::{AttrSet, Universe};
+use crate::xrel::XRelation;
+
+/// Default cap on the number of tuples that [`top`] (and therefore
+/// [`pseudo_complement`]) may enumerate.
+pub const DEFAULT_TOP_LIMIT: u128 = 1_000_000;
+
+/// Union of two x-relations (4.6). Least upper bound of `⊒`.
+pub fn union(a: &XRelation, b: &XRelation) -> XRelation {
+    hashed::union(a, b)
+}
+
+/// X-intersection of two x-relations (4.7). Greatest lower bound of `⊒`.
+pub fn x_intersection(a: &XRelation, b: &XRelation) -> XRelation {
+    hashed::x_intersection(a, b)
+}
+
+/// Difference of two x-relations (4.8).
+pub fn difference(a: &XRelation, b: &XRelation) -> XRelation {
+    hashed::difference(a, b)
+}
+
+/// `TOP_U` restricted to an attribute set: the Cartesian product of the
+/// attributes' domains (Section 4). Every domain must be finitely
+/// enumerable, and the total cardinality must not exceed `limit`.
+pub fn top(universe: &Universe, attrs: &AttrSet, limit: u128) -> CoreResult<XRelation> {
+    let mut columns: Vec<(crate::universe::AttrId, Vec<crate::value::Value>)> =
+        Vec::with_capacity(attrs.len());
+    let mut cardinality: u128 = 1;
+    for attr in attrs {
+        let values = universe.enumerable_domain(*attr)?;
+        cardinality = cardinality.saturating_mul(values.len() as u128);
+        if cardinality > limit {
+            return Err(CoreError::DomainTooLarge {
+                required: cardinality,
+                limit,
+            });
+        }
+        columns.push((*attr, values));
+    }
+    // An empty attribute set gives the x-relation containing only the null
+    // tuple, which minimises to the empty x-relation.
+    let mut tuples: Vec<Tuple> = vec![Tuple::new()];
+    for (attr, values) in &columns {
+        if values.is_empty() {
+            return Ok(XRelation::empty());
+        }
+        let mut next = Vec::with_capacity(tuples.len() * values.len());
+        for t in &tuples {
+            for v in values {
+                next.push(t.clone().with(*attr, v.clone()));
+            }
+        }
+        tuples = next;
+    }
+    Ok(XRelation::from_tuples(tuples))
+}
+
+/// The pseudo-complement `R* = TOP_U − R̂` (7.1), computed over the given
+/// attribute set (normally the universe of discourse `U`).
+///
+/// `R*` is the *largest* x-relation whose x-intersection with `R̂` is empty
+/// only in the Boolean sub-lattice of total relations; in general it is the
+/// smallest x-relation whose union with `R̂` yields `TOP_U` (the paper's
+/// dual-Brouwerian reading, footnote 10).
+pub fn pseudo_complement(
+    rel: &XRelation,
+    universe: &Universe,
+    attrs: &AttrSet,
+    limit: u128,
+) -> CoreResult<XRelation> {
+    let top = top(universe, attrs, limit)?;
+    Ok(difference(&top, rel))
+}
+
+/// The bottom element `∅̂` of the lattice.
+pub fn bottom() -> XRelation {
+    XRelation::empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{attr_set, Domain};
+    use crate::value::Value;
+
+    fn two_attr_universe() -> (Universe, crate::universe::AttrId, crate::universe::AttrId) {
+        let mut u = Universe::new();
+        let a = u.intern_with_domain("A", Domain::Enumerated(vec![Value::str("a1")]));
+        let b = u.intern_with_domain(
+            "B",
+            Domain::Enumerated(vec![Value::str("b1"), Value::str("b2")]),
+        );
+        (u, a, b)
+    }
+
+    #[test]
+    fn top_enumerates_domain_product() {
+        let (u, a, b) = two_attr_universe();
+        let top = top(&u, &attr_set([a, b]), DEFAULT_TOP_LIMIT).unwrap();
+        assert_eq!(top.len(), 2, "1 × 2 domain values");
+        assert!(top.is_total());
+    }
+
+    #[test]
+    fn top_respects_limit() {
+        let (u, a, b) = two_attr_universe();
+        let err = top(&u, &attr_set([a, b]), 1).unwrap_err();
+        assert!(matches!(err, CoreError::DomainTooLarge { .. }));
+    }
+
+    #[test]
+    fn top_of_empty_attr_set_is_bottom() {
+        let (u, ..) = two_attr_universe();
+        let t = top(&u, &AttrSet::new(), DEFAULT_TOP_LIMIT).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn top_requires_enumerable_domains() {
+        let mut u = Universe::new();
+        let a = u.intern("FREE");
+        let err = top(&u, &attr_set([a]), DEFAULT_TOP_LIMIT).unwrap_err();
+        assert!(matches!(err, CoreError::DomainNotEnumerable(_)));
+    }
+
+    #[test]
+    fn top_with_empty_domain_is_empty() {
+        let mut u = Universe::new();
+        let a = u.intern_with_domain("A", Domain::Enumerated(vec![]));
+        let t = top(&u, &attr_set([a]), DEFAULT_TOP_LIMIT).unwrap();
+        assert!(t.is_empty());
+    }
+
+    /// Section 7's closing example: two singleton relations on U = {A, B}
+    /// whose ordinary set intersection is empty but whose x-intersection
+    /// x-contains the tuple (a, −).
+    #[test]
+    fn section7_x_intersection_example() {
+        let (_u, a, b) = two_attr_universe();
+        let r1 = XRelation::from_tuples([Tuple::new()
+            .with(a, Value::str("a1"))
+            .with(b, Value::str("b1"))]);
+        let r2 = XRelation::from_tuples([Tuple::new()
+            .with(a, Value::str("a1"))
+            .with(b, Value::str("b2"))]);
+        let meet = x_intersection(&r1, &r2);
+        let witness = Tuple::new().with(a, Value::str("a1"));
+        assert!(meet.x_contains(&witness));
+        assert_eq!(meet.len(), 1);
+        // The ordinary set intersection of the representations is empty.
+        assert!(r1.tuples().iter().all(|t| !r2.tuples().contains(t)));
+    }
+
+    /// Section 4's counterexample: x-relations do not have complements in
+    /// general. With DOM(A) = {a1}, DOM(B) = {b1, b2}, any R' whose union
+    /// with R is TOP must share the tuple (a1, −) with R in the
+    /// x-intersection.
+    #[test]
+    fn section4_no_complement_counterexample() {
+        let (u, a, b) = two_attr_universe();
+        let r = XRelation::from_tuples([Tuple::new()
+            .with(a, Value::str("a1"))
+            .with(b, Value::str("b1"))]);
+        let top = top(&u, &attr_set([a, b]), DEFAULT_TOP_LIMIT).unwrap();
+        // Candidate complements: every sub-x-relation of TOP whose union with
+        // r gives TOP. The only way to cover (a1, b2) is to include it; then
+        // the x-intersection with r contains (a1, −), hence is non-empty.
+        let r2 = XRelation::from_tuples([Tuple::new()
+            .with(a, Value::str("a1"))
+            .with(b, Value::str("b2"))]);
+        assert_eq!(union(&r, &r2), top);
+        assert!(!x_intersection(&r, &r2).is_empty());
+    }
+
+    #[test]
+    fn pseudo_complement_union_gives_top() {
+        let (u, a, b) = two_attr_universe();
+        let r = XRelation::from_tuples([Tuple::new()
+            .with(a, Value::str("a1"))
+            .with(b, Value::str("b1"))]);
+        let attrs = attr_set([a, b]);
+        let star = pseudo_complement(&r, &u, &attrs, DEFAULT_TOP_LIMIT).unwrap();
+        let top = top(&u, &attrs, DEFAULT_TOP_LIMIT).unwrap();
+        assert_eq!(union(&r, &star), top);
+        // R* is total (the pseudo-complements form the Boolean sub-lattice of
+        // U-total x-relations).
+        assert!(star.is_total());
+    }
+
+    #[test]
+    fn bottom_is_neutral_for_union_and_absorbing_for_intersection() {
+        let (_u, a, b) = two_attr_universe();
+        let r = XRelation::from_tuples([Tuple::new()
+            .with(a, Value::str("a1"))
+            .with(b, Value::str("b1"))]);
+        assert_eq!(union(&r, &bottom()), r);
+        assert_eq!(x_intersection(&r, &bottom()), bottom());
+    }
+}

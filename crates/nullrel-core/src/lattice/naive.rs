@@ -1,0 +1,222 @@
+//! Reference implementations of the lattice operations — direct
+//! transcriptions of the paper's formulas (4.6)–(4.8).
+//!
+//! These run in `O(|R₁| · |R₂|)` tuple comparisons (`O(|R₁| + |R₂|)` tuples
+//! examined for union, as the paper notes, but minimisation of the result is
+//! quadratic). They serve as the executable specification against which the
+//! hash-accelerated versions in [`super::hashed`] are property-tested, and as
+//! the baseline of benchmark **E9**.
+
+use crate::tuple::Tuple;
+use crate::xrel::{minimize, XRelation};
+
+/// Union per (4.6): concatenate the representations and reduce to minimal
+/// form.
+pub fn union(a: &XRelation, b: &XRelation) -> XRelation {
+    let mut tuples: Vec<Tuple> = Vec::with_capacity(a.len() + b.len());
+    tuples.extend(a.tuples().iter().cloned());
+    tuples.extend(b.tuples().iter().cloned());
+    XRelation::from_tuples(tuples)
+}
+
+/// X-intersection per (4.7): all pairwise meets, reduced to minimal form.
+pub fn x_intersection(a: &XRelation, b: &XRelation) -> XRelation {
+    let mut meets: Vec<Tuple> = Vec::with_capacity(a.len() * b.len());
+    for r1 in a.tuples() {
+        for r2 in b.tuples() {
+            let m = r1.meet(r2);
+            if !m.is_null_tuple() {
+                meets.push(m);
+            }
+        }
+    }
+    XRelation::from_tuples(meets)
+}
+
+/// Difference per (4.8): keep the tuples of `a` that no tuple of `b`
+/// dominates. Because `a` is already minimal, the survivors form a minimal
+/// representation (a subset of a minimal representation is minimal).
+pub fn difference(a: &XRelation, b: &XRelation) -> XRelation {
+    let survivors: Vec<Tuple> = a
+        .tuples()
+        .iter()
+        .filter(|r| !b.tuples().iter().any(|t| t.more_informative_than(r)))
+        .cloned()
+        .collect();
+    XRelation::from_minimal_unchecked(survivors)
+}
+
+/// Subsumption check `a ⊒ b` by pairwise scan (Definition 4.1 / 4.4).
+pub fn contains(a: &XRelation, b: &XRelation) -> bool {
+    b.tuples()
+        .iter()
+        .all(|t| a.tuples().iter().any(|r| r.more_informative_than(t)))
+}
+
+/// Reduction to minimal form by pairwise comparison (Definition 4.6).
+pub fn minimal(tuples: Vec<Tuple>) -> Vec<Tuple> {
+    minimize(tuples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{AttrId, Universe};
+    use crate::value::Value;
+
+    fn setup() -> (Universe, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        (u, s, p)
+    }
+
+    fn sp(s_attr: AttrId, p_attr: AttrId, s: Option<&str>, p: Option<&str>) -> Tuple {
+        Tuple::new()
+            .with_opt(s_attr, s.map(Value::str))
+            .with_opt(p_attr, p.map(Value::str))
+    }
+
+    fn ps_prime(s_attr: AttrId, p_attr: AttrId) -> XRelation {
+        XRelation::from_tuples([
+            sp(s_attr, p_attr, Some("s1"), None),
+            sp(s_attr, p_attr, Some("s2"), Some("p1")),
+        ])
+    }
+
+    fn ps_double(s_attr: AttrId, p_attr: AttrId) -> XRelation {
+        XRelation::from_tuples([
+            sp(s_attr, p_attr, Some("s1"), None),
+            sp(s_attr, p_attr, Some("s2"), Some("p1")),
+            sp(s_attr, p_attr, Some("s2"), Some("p2")),
+        ])
+    }
+
+    /// Section 1: under the x-relation semantics, the set algebraic laws that
+    /// fail in Codd's three-valued treatment hold as plain facts.
+    #[test]
+    fn section1_laws_hold_for_x_relations() {
+        let (_u, s, p) = setup();
+        let ps1 = ps_prime(s, p);
+        let ps2 = ps_double(s, p);
+        assert!(contains(&union(&ps1, &ps2), &ps1), "PS′ ∪ PS″ ⊒ PS′");
+        assert!(contains(&ps1, &x_intersection(&ps1, &ps2)), "PS′ ∩̂ PS″ ⊑ PS′");
+        assert!(contains(&ps2, &ps1) && !contains(&ps1, &ps2), "PS″ ⊐ PS′");
+        assert_eq!(ps1, ps1.clone(), "PS′ = PS′");
+        assert_ne!(ps1, ps2, "PS′ ≠ PS″");
+    }
+
+    #[test]
+    fn union_is_commutative_associative_idempotent() {
+        let (_u, s, p) = setup();
+        let a = ps_prime(s, p);
+        let b = ps_double(s, p);
+        let c = XRelation::from_tuples([sp(s, p, Some("s3"), Some("p3"))]);
+        assert_eq!(union(&a, &b), union(&b, &a));
+        assert_eq!(union(&union(&a, &b), &c), union(&a, &union(&b, &c)));
+        assert_eq!(union(&a, &a), a);
+    }
+
+    #[test]
+    fn x_intersection_is_commutative_associative_idempotent() {
+        let (_u, s, p) = setup();
+        let a = ps_prime(s, p);
+        let b = ps_double(s, p);
+        let c = XRelation::from_tuples([sp(s, p, Some("s2"), None)]);
+        assert_eq!(x_intersection(&a, &b), x_intersection(&b, &a));
+        assert_eq!(
+            x_intersection(&x_intersection(&a, &b), &c),
+            x_intersection(&a, &x_intersection(&b, &c))
+        );
+        assert_eq!(x_intersection(&a, &a), a);
+    }
+
+    #[test]
+    fn difference_prop_4_6() {
+        // (R1 − R2) ∪ R2 = R1 whenever R1 ⊒ R2.
+        let (_u, s, p) = setup();
+        let r1 = ps_double(s, p);
+        let r2 = ps_prime(s, p);
+        assert!(contains(&r1, &r2));
+        assert_eq!(union(&difference(&r1, &r2), &r2), r1);
+    }
+
+    #[test]
+    fn difference_prop_4_7() {
+        // If R ∪ R2 = R1 then R ⊒ R1 − R2: the difference is the smallest
+        // x-relation whose union with R2 restores R1.
+        let (_u, s, p) = setup();
+        let r2 = ps_prime(s, p);
+        let r1 = ps_double(s, p);
+        let r = XRelation::from_tuples([sp(s, p, Some("s2"), Some("p2"))]);
+        assert_eq!(union(&r, &r2), r1);
+        assert!(contains(&r, &difference(&r1, &r2)));
+    }
+
+    #[test]
+    fn difference_with_self_is_empty() {
+        let (_u, s, p) = setup();
+        let r = ps_double(s, p);
+        assert!(difference(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn difference_keeps_tuples_not_dominated() {
+        let (_u, s, p) = setup();
+        let r1 = ps_double(s, p);
+        let r2 = XRelation::from_tuples([sp(s, p, Some("s2"), Some("p1"))]);
+        let d = difference(&r1, &r2);
+        // (s2,p1) removed; (s1,−) kept (nothing in r2 dominates it);
+        // (s2,p2) kept.
+        assert_eq!(d.len(), 2);
+        assert!(d.x_contains(&sp(s, p, Some("s1"), None)));
+        assert!(d.x_contains(&sp(s, p, Some("s2"), Some("p2"))));
+        assert!(!d.x_contains(&sp(s, p, Some("s2"), Some("p1"))));
+    }
+
+    #[test]
+    fn x_intersection_of_disjoint_total_relations_keeps_common_projection() {
+        let (_u, s, p) = setup();
+        let r1 = XRelation::from_tuples([sp(s, p, Some("s1"), Some("p1"))]);
+        let r2 = XRelation::from_tuples([sp(s, p, Some("s1"), Some("p2"))]);
+        let meet = x_intersection(&r1, &r2);
+        assert_eq!(meet.len(), 1);
+        assert!(meet.x_contains(&sp(s, p, Some("s1"), None)));
+    }
+
+    #[test]
+    fn distributivity_4_4_and_4_5() {
+        let (_u, s, p) = setup();
+        let r1 = XRelation::from_tuples([sp(s, p, Some("s1"), Some("p1"))]);
+        let r2 = XRelation::from_tuples([sp(s, p, Some("s1"), Some("p2")), sp(s, p, Some("s2"), None)]);
+        let r3 = XRelation::from_tuples([sp(s, p, None, Some("p1")), sp(s, p, Some("s3"), Some("p3"))]);
+        let lhs = x_intersection(&r1, &union(&r2, &r3));
+        let rhs = union(&x_intersection(&r1, &r2), &x_intersection(&r1, &r3));
+        assert_eq!(lhs, rhs);
+        let lhs2 = union(&r1, &x_intersection(&r2, &r3));
+        let rhs2 = x_intersection(&union(&r1, &r2), &union(&r1, &r3));
+        assert_eq!(lhs2, rhs2);
+    }
+
+    #[test]
+    fn union_scope_and_intersection_scope_follow_the_paper() {
+        // "the scope of a union is the union of the scopes of its operands;
+        // the scope of an x-intersection is not larger than the intersection
+        // of the scopes of its operands".
+        let (mut u, s, p) = setup();
+        let q = u.intern("QTY");
+        let r1 = XRelation::from_tuples([sp(s, p, Some("s1"), Some("p1"))]);
+        let r2 = XRelation::from_tuples([Tuple::new()
+            .with(s, Value::str("s1"))
+            .with(q, Value::int(10))]);
+        let un = union(&r1, &r2);
+        let mut expected = r1.scope();
+        expected.extend(r2.scope());
+        assert_eq!(un.scope(), expected);
+
+        let meet = x_intersection(&r1, &r2);
+        let inter: std::collections::BTreeSet<_> =
+            r1.scope().intersection(&r2.scope()).copied().collect();
+        assert!(meet.scope().is_subset(&inter));
+    }
+}

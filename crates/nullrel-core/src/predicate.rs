@@ -1,0 +1,338 @@
+//! Selection predicates: boolean combinations of relational expressions,
+//! evaluated under the three-valued `ni` semantics of Section 5.
+//!
+//! A predicate is the `where`-clause fragment of a query once attribute
+//! references have been resolved: comparisons between an attribute and a
+//! constant (`t.A θ k`) or between two attributes (`t.A θ m.B`), combined
+//! with AND / OR / NOT. Evaluation against a [`Tuple`] returns a
+//! [`Truth`]; the lower-bound query evaluation keeps only tuples that
+//! evaluate to `TRUE`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::CoreResult;
+use crate::tuple::Tuple;
+use crate::tvl::{compare_cells, CompareOp, Truth};
+use crate::universe::{AttrId, AttrSet, Universe};
+use crate::value::Value;
+
+/// One side of a comparison: an attribute reference or a non-null constant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// An attribute of the tuple under test.
+    Attr(AttrId),
+    /// A constant from the attribute's domain (never `ni`; the type system
+    /// enforces this because [`Value`] has no null variant).
+    Const(Value),
+}
+
+impl Operand {
+    fn resolve<'t>(&'t self, tuple: &'t Tuple) -> Option<&'t Value> {
+        match self {
+            Operand::Attr(attr) => tuple.get(*attr),
+            Operand::Const(value) => Some(value),
+        }
+    }
+
+    fn render(&self, universe: &Universe) -> String {
+        match self {
+            Operand::Attr(attr) => universe
+                .name(*attr)
+                .map(str::to_owned)
+                .unwrap_or_else(|_| format!("#{}", attr.index())),
+            Operand::Const(value) => match value {
+                Value::Str(s) => format!("{s:?}"),
+                other => other.to_string(),
+            },
+        }
+    }
+}
+
+/// A single relational expression `left θ right`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comparison {
+    /// Left operand.
+    pub left: Operand,
+    /// The comparison operator.
+    pub op: CompareOp,
+    /// Right operand.
+    pub right: Operand,
+}
+
+impl Comparison {
+    /// Evaluates the comparison against a tuple: `ni` when either resolved
+    /// cell is null, TRUE/FALSE otherwise.
+    pub fn eval(&self, tuple: &Tuple) -> CoreResult<Truth> {
+        compare_cells(self.left.resolve(tuple), self.op, self.right.resolve(tuple))
+    }
+
+    /// The attributes referenced by this comparison.
+    pub fn attrs(&self) -> AttrSet {
+        let mut set = BTreeSet::new();
+        if let Operand::Attr(a) = self.left {
+            set.insert(a);
+        }
+        if let Operand::Attr(a) = self.right {
+            set.insert(a);
+        }
+        set
+    }
+}
+
+/// A selection predicate: a tree of comparisons and connectives.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// A single relational expression.
+    Cmp(Comparison),
+    /// Three-valued conjunction.
+    And(Box<Predicate>, Box<Predicate>),
+    /// Three-valued disjunction.
+    Or(Box<Predicate>, Box<Predicate>),
+    /// Three-valued negation.
+    Not(Box<Predicate>),
+    /// A constant truth value (useful for degenerate plans and tests).
+    Literal(Truth),
+}
+
+impl Predicate {
+    /// Builds the comparison `A θ k` (attribute against constant).
+    pub fn attr_const(attr: AttrId, op: CompareOp, constant: impl Into<Value>) -> Predicate {
+        Predicate::Cmp(Comparison {
+            left: Operand::Attr(attr),
+            op,
+            right: Operand::Const(constant.into()),
+        })
+    }
+
+    /// Builds the comparison `A θ B` (attribute against attribute).
+    pub fn attr_attr(left: AttrId, op: CompareOp, right: AttrId) -> Predicate {
+        Predicate::Cmp(Comparison {
+            left: Operand::Attr(left),
+            op,
+            right: Operand::Attr(right),
+        })
+    }
+
+    /// `self AND other`.
+    #[must_use]
+    pub fn and(self, other: Predicate) -> Predicate {
+        Predicate::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    #[must_use]
+    pub fn or(self, other: Predicate) -> Predicate {
+        Predicate::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `NOT self`.
+    #[must_use]
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// The always-true predicate.
+    pub fn always() -> Predicate {
+        Predicate::Literal(Truth::True)
+    }
+
+    /// Evaluates the predicate against a tuple under Table III.
+    pub fn eval(&self, tuple: &Tuple) -> CoreResult<Truth> {
+        match self {
+            Predicate::Cmp(cmp) => cmp.eval(tuple),
+            Predicate::And(a, b) => Ok(a.eval(tuple)?.and(b.eval(tuple)?)),
+            Predicate::Or(a, b) => Ok(a.eval(tuple)?.or(b.eval(tuple)?)),
+            Predicate::Not(p) => Ok(p.eval(tuple)?.not()),
+            Predicate::Literal(t) => Ok(*t),
+        }
+    }
+
+    /// True if the predicate accepts the tuple in the lower-bound sense
+    /// (evaluates to TRUE).
+    pub fn accepts(&self, tuple: &Tuple) -> CoreResult<bool> {
+        Ok(self.eval(tuple)?.is_true())
+    }
+
+    /// The set of attributes referenced anywhere in the predicate.
+    pub fn attrs(&self) -> AttrSet {
+        match self {
+            Predicate::Cmp(cmp) => cmp.attrs(),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                let mut set = a.attrs();
+                set.extend(b.attrs());
+                set
+            }
+            Predicate::Not(p) => p.attrs(),
+            Predicate::Literal(_) => AttrSet::new(),
+        }
+    }
+
+    /// Collects every comparison in the predicate, in left-to-right order.
+    pub fn comparisons(&self) -> Vec<&Comparison> {
+        let mut out = Vec::new();
+        self.collect_comparisons(&mut out);
+        out
+    }
+
+    fn collect_comparisons<'a>(&'a self, out: &mut Vec<&'a Comparison>) {
+        match self {
+            Predicate::Cmp(cmp) => out.push(cmp),
+            Predicate::And(a, b) | Predicate::Or(a, b) => {
+                a.collect_comparisons(out);
+                b.collect_comparisons(out);
+            }
+            Predicate::Not(p) => p.collect_comparisons(out),
+            Predicate::Literal(_) => {}
+        }
+    }
+
+    /// Renders the predicate with attribute names resolved through the
+    /// universe (used by plan explainers and error messages).
+    pub fn render(&self, universe: &Universe) -> String {
+        match self {
+            Predicate::Cmp(cmp) => format!(
+                "{} {} {}",
+                cmp.left.render(universe),
+                cmp.op,
+                cmp.right.render(universe)
+            ),
+            Predicate::And(a, b) => {
+                format!("({} AND {})", a.render(universe), b.render(universe))
+            }
+            Predicate::Or(a, b) => format!("({} OR {})", a.render(universe), b.render(universe)),
+            Predicate::Not(p) => format!("(NOT {})", p.render(universe)),
+            Predicate::Literal(t) => t.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::Cmp(cmp) => write!(
+                f,
+                "#{:?} {} #{:?}",
+                cmp.left, cmp.op, cmp.right
+            ),
+            Predicate::And(a, b) => write!(f, "({a} AND {b})"),
+            Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
+            Predicate::Not(p) => write!(f, "(NOT {p})"),
+            Predicate::Literal(t) => write!(f, "{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    fn emp() -> (Universe, AttrId, AttrId, AttrId, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let name = u.intern("NAME");
+        let sex = u.intern("SEX");
+        let mgr = u.intern("MGR#");
+        let tel = u.intern("TEL#");
+        (u, e_no, name, sex, mgr, tel)
+    }
+
+    fn brown(e_no: AttrId, name: AttrId, sex: AttrId, mgr: AttrId) -> Tuple {
+        Tuple::new()
+            .with(e_no, Value::int(4335))
+            .with(name, Value::str("BROWN"))
+            .with(sex, Value::str("F"))
+            .with(mgr, Value::int(2235))
+    }
+
+    /// Query Q_A of Figure 1 evaluated on the BROWN tuple of Table II: the
+    /// where clause references the null TEL#, so under the ni semantics it
+    /// evaluates to ni and the tuple is *not* in the lower bound.
+    #[test]
+    fn figure1_where_clause_is_ni_for_null_telephone() {
+        let (_u, e_no, name, sex, mgr, tel) = emp();
+        let q = Predicate::attr_const(sex, CompareOp::Eq, "F")
+            .and(Predicate::attr_const(tel, CompareOp::Gt, 2_634_000))
+            .or(Predicate::attr_const(tel, CompareOp::Lt, 2_634_000));
+        let t = brown(e_no, name, sex, mgr);
+        assert_eq!(q.eval(&t).unwrap(), Truth::Ni);
+        assert!(!q.accepts(&t).unwrap());
+
+        // With a concrete TEL# the clause becomes TRUE.
+        let with_tel = t.clone().with(tel, Value::int(2_639_452));
+        assert_eq!(q.eval(&with_tel).unwrap(), Truth::True);
+        let with_small_tel = t.with(tel, Value::int(2_000_000));
+        assert_eq!(q.eval(&with_small_tel).unwrap(), Truth::True);
+    }
+
+    #[test]
+    fn attr_attr_comparisons() {
+        let (_u, e_no, _name, _sex, mgr, _tel) = emp();
+        let self_managed = Predicate::attr_attr(e_no, CompareOp::Eq, mgr);
+        let t = Tuple::new().with(e_no, Value::int(7)).with(mgr, Value::int(7));
+        assert_eq!(self_managed.eval(&t).unwrap(), Truth::True);
+        let t2 = Tuple::new().with(e_no, Value::int(7)).with(mgr, Value::int(9));
+        assert_eq!(self_managed.eval(&t2).unwrap(), Truth::False);
+        let t3 = Tuple::new().with(e_no, Value::int(7));
+        assert_eq!(self_managed.eval(&t3).unwrap(), Truth::Ni);
+    }
+
+    #[test]
+    fn negation_of_ni_stays_ni() {
+        let (_u, _e, _n, _s, _m, tel) = emp();
+        let p = Predicate::attr_const(tel, CompareOp::Ge, 1).negate();
+        assert_eq!(p.eval(&Tuple::new()).unwrap(), Truth::Ni);
+    }
+
+    #[test]
+    fn literal_and_always() {
+        let p = Predicate::always();
+        assert_eq!(p.eval(&Tuple::new()).unwrap(), Truth::True);
+        let f = Predicate::Literal(Truth::False);
+        assert_eq!(f.eval(&Tuple::new()).unwrap(), Truth::False);
+    }
+
+    #[test]
+    fn attrs_and_comparisons_are_collected() {
+        let (_u, e_no, _name, sex, mgr, tel) = emp();
+        let q = Predicate::attr_const(sex, CompareOp::Eq, "F")
+            .and(Predicate::attr_attr(e_no, CompareOp::Ne, mgr))
+            .or(Predicate::attr_const(tel, CompareOp::Lt, 5).negate());
+        let attrs = q.attrs();
+        assert!(attrs.contains(&sex) && attrs.contains(&e_no) && attrs.contains(&mgr));
+        assert!(attrs.contains(&tel));
+        assert_eq!(q.comparisons().len(), 3);
+    }
+
+    #[test]
+    fn type_mismatch_surfaces_as_error() {
+        let (_u, _e, name, ..) = emp();
+        let p = Predicate::attr_const(name, CompareOp::Gt, 10);
+        let t = Tuple::new().with(name, Value::str("SMITH"));
+        assert!(p.eval(&t).is_err());
+    }
+
+    #[test]
+    fn render_uses_attribute_names() {
+        let (u, _e, _n, sex, _m, tel) = emp();
+        let q = Predicate::attr_const(sex, CompareOp::Eq, "F")
+            .and(Predicate::attr_const(tel, CompareOp::Gt, 2_634_000));
+        let text = q.render(&u);
+        assert!(text.contains("SEX = \"F\""), "{text}");
+        assert!(text.contains("TEL# > 2634000"), "{text}");
+        // Display without a universe still produces something.
+        assert!(!q.to_string().is_empty());
+    }
+
+    #[test]
+    fn constant_only_comparison() {
+        let p = Predicate::Cmp(Comparison {
+            left: Operand::Const(Value::int(3)),
+            op: CompareOp::Lt,
+            right: Operand::Const(Value::int(5)),
+        });
+        assert_eq!(p.eval(&Tuple::new()).unwrap(), Truth::True);
+        assert!(p.attrs().is_empty());
+    }
+}

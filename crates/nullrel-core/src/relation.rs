@@ -1,0 +1,463 @@
+//! Relations with null values: representations, subsumption, x-membership,
+//! minimal form and scope.
+//!
+//! A [`Relation`] is the paper's "relation" of Section 3 — a set of W-values
+//! over a declared attribute list `W` — i.e. one concrete *representation* of
+//! an x-relation. Section 4's notions are implemented here:
+//!
+//! * Definition 4.1 — [`Relation::subsumes`] (`R₁ ⪰ R₂`),
+//! * Definition 4.2 — [`Relation::equivalent`] (information-wise `≅`),
+//! * Definition 4.5 / Proposition 4.2 — [`Relation::x_contains`]
+//!   (`t ∈̂ R` iff some `r ∈ R` has `r ≥ t`),
+//! * Definition 4.6 — [`Relation::minimal`] (the minimal representation),
+//! * Definition 4.7 — [`Relation::scope`].
+//!
+//! The equivalence-class view (the x-relation proper) lives in
+//! [`crate::xrel::XRelation`], which always holds a minimal representation.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::error::{CoreError, CoreResult};
+use crate::tuple::Tuple;
+use crate::universe::{AttrId, AttrSet};
+
+/// One representation of an x-relation: a declared attribute list plus a set
+/// of tuples over it.
+///
+/// Set semantics are maintained on insertion (duplicate tuples — which, given
+/// the cell representation, are exactly information-wise equivalent tuples —
+/// are ignored). Insertion order of distinct tuples is preserved for
+/// deterministic display and iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    attrs: Vec<AttrId>,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over the given attribute list.
+    pub fn new<I: IntoIterator<Item = AttrId>>(attrs: I) -> Self {
+        let mut seen = HashSet::new();
+        let attrs = attrs
+            .into_iter()
+            .filter(|a| seen.insert(*a))
+            .collect::<Vec<_>>();
+        Relation {
+            attrs,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation and inserts the given tuples, checking each against
+    /// the declared attribute list.
+    pub fn with_tuples<A, T>(attrs: A, tuples: T) -> CoreResult<Self>
+    where
+        A: IntoIterator<Item = AttrId>,
+        T: IntoIterator<Item = Tuple>,
+    {
+        let mut rel = Relation::new(attrs);
+        for t in tuples {
+            rel.insert(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// The declared attribute list `W` (column order for display).
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// The declared attribute list as a set.
+    pub fn attr_set(&self) -> AttrSet {
+        self.attrs.iter().copied().collect()
+    }
+
+    /// Inserts a tuple. Rejects tuples with non-null cells outside the
+    /// declared attribute list; ignores exact (equivalent) duplicates.
+    pub fn insert(&mut self, tuple: Tuple) -> CoreResult<bool> {
+        let declared = self.attr_set();
+        if let Some((attr, _)) = tuple.cells().find(|(a, _)| !declared.contains(a)) {
+            return Err(CoreError::UnknownAttribute(attr));
+        }
+        Ok(self.insert_unchecked(tuple))
+    }
+
+    /// Inserts a tuple without validating it against the declared attribute
+    /// list. Returns `true` if the tuple was not already present.
+    pub fn insert_unchecked(&mut self, tuple: Tuple) -> bool {
+        if self.tuples.contains(&tuple) {
+            false
+        } else {
+            self.tuples.push(tuple);
+            true
+        }
+    }
+
+    /// Removes a tuple that compares equal (equivalently: is information-wise
+    /// equivalent) to the given one. Returns `true` if something was removed.
+    pub fn remove(&mut self, tuple: &Tuple) -> bool {
+        if let Some(pos) = self.tuples.iter().position(|t| t == tuple) {
+            self.tuples.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The number of tuples in this representation.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if the representation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterates over the tuples in insertion order.
+    pub fn tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.tuples.iter()
+    }
+
+    /// Consumes the relation and returns its tuples.
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Exact membership (up to `≅`, which coincides with tuple equality).
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.contains(tuple)
+    }
+
+    /// Definition 4.5 / Proposition 4.2: `t ∈̂ R` — the tuple x-belongs to
+    /// the relation iff some stored tuple is more informative than it.
+    pub fn x_contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.iter().any(|r| r.more_informative_than(tuple))
+    }
+
+    /// Definition 4.1: `self ⪰ other` — for each non-null tuple `r₂` of
+    /// `other` there is a tuple `r₁` of `self` with `r₁ ≥ r₂`.
+    pub fn subsumes(&self, other: &Relation) -> bool {
+        other
+            .tuples
+            .iter()
+            .filter(|t| !t.is_null_tuple())
+            .all(|t| self.x_contains(t))
+    }
+
+    /// Definition 4.2: information-wise equivalence `≅`.
+    pub fn equivalent(&self, other: &Relation) -> bool {
+        self.subsumes(other) && other.subsumes(self)
+    }
+
+    /// Strict subsumption: `self ⪰ other` but not `other ⪰ self`.
+    pub fn properly_subsumes(&self, other: &Relation) -> bool {
+        self.subsumes(other) && !other.subsumes(self)
+    }
+
+    /// Definition 4.6: the **minimal representation** — drop the null tuple
+    /// and every tuple less informative than some other tuple. The paper
+    /// notes this generalises duplicate elimination; the result over the same
+    /// declared attribute list is unique.
+    pub fn minimal(&self) -> Relation {
+        let mut keep: Vec<&Tuple> = Vec::with_capacity(self.tuples.len());
+        'outer: for (i, t) in self.tuples.iter().enumerate() {
+            if t.is_null_tuple() && self.tuples.iter().any(|o| !o.is_null_tuple()) {
+                continue;
+            }
+            for (j, other) in self.tuples.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                if other.more_informative_than(t) && !t.more_informative_than(other) {
+                    // strictly less informative: drop.
+                    continue 'outer;
+                }
+            }
+            keep.push(t);
+        }
+        // A relation containing only the null tuple minimises to the empty
+        // relation (the null tuple carries no information).
+        let keep: Vec<Tuple> = keep
+            .into_iter()
+            .filter(|t| !t.is_null_tuple())
+            .cloned()
+            .collect();
+        Relation {
+            attrs: self.attrs.clone(),
+            tuples: keep,
+        }
+    }
+
+    /// True if this representation is already minimal.
+    pub fn is_minimal(&self) -> bool {
+        let min = self.minimal();
+        min.len() == self.len() && self.tuples.iter().all(|t| min.contains(t))
+    }
+
+    /// Definition 4.7: the **scope** of the represented x-relation — the
+    /// smallest attribute set over which it can be represented, i.e. the
+    /// union of the non-null attributes of the minimal representation.
+    pub fn scope(&self) -> AttrSet {
+        let mut scope = AttrSet::new();
+        for t in self.minimal().tuples() {
+            scope.extend(t.defined_attrs());
+        }
+        scope
+    }
+
+    /// Returns a copy whose declared attribute list is extended with `extra`
+    /// attributes (their cells read as `ni`), demonstrating that enlarging
+    /// the schema does not change information content (Tables I/II).
+    #[must_use]
+    pub fn widened<I: IntoIterator<Item = AttrId>>(&self, extra: I) -> Relation {
+        let mut attrs = self.attrs.clone();
+        let present: HashSet<AttrId> = attrs.iter().copied().collect();
+        for a in extra {
+            if !present.contains(&a) {
+                attrs.push(a);
+            }
+        }
+        Relation {
+            attrs,
+            tuples: self.tuples.clone(),
+        }
+    }
+
+    /// Returns the subset of tuples total on `attrs` (the paper's `R_Y`).
+    pub fn total_on(&self, attrs: &AttrSet) -> Relation {
+        Relation {
+            attrs: self.attrs.clone(),
+            tuples: self
+                .tuples
+                .iter()
+                .filter(|t| t.is_total_on(attrs))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// True if every tuple is total on the declared attribute list — i.e.
+    /// this is a classical Codd relation without nulls.
+    pub fn is_total(&self) -> bool {
+        let declared = self.attr_set();
+        self.tuples.iter().all(|t| t.is_total_on(&declared))
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation[{} attrs, {} tuples]", self.attrs.len(), self.tuples.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::{attr_set, Universe};
+    use crate::value::Value;
+
+    struct Ps {
+        s_no: AttrId,
+        p_no: AttrId,
+    }
+
+    fn ps_universe() -> (Universe, Ps) {
+        let mut u = Universe::new();
+        let p_no = u.intern("P#");
+        let s_no = u.intern("S#");
+        (u, Ps { s_no, p_no })
+    }
+
+    fn t(ps: &Ps, p: Option<&str>, s: Option<&str>) -> Tuple {
+        Tuple::new()
+            .with_opt(ps.p_no, p.map(Value::str))
+            .with_opt(ps.s_no, s.map(Value::str))
+    }
+
+    /// The PS′ / PS″ relations from display (1.1)/(1.2).
+    fn ps_prime(ps: &Ps) -> Relation {
+        Relation::with_tuples(
+            [ps.p_no, ps.s_no],
+            [t(ps, None, Some("s1")), t(ps, Some("p1"), Some("s2"))],
+        )
+        .unwrap()
+    }
+
+    fn ps_double_prime(ps: &Ps) -> Relation {
+        Relation::with_tuples(
+            [ps.p_no, ps.s_no],
+            [
+                t(ps, None, Some("s1")),
+                t(ps, Some("p1"), Some("s2")),
+                t(ps, Some("p2"), Some("s2")),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_rejects_undeclared_attributes() {
+        let (mut u, ps) = ps_universe();
+        let other = u.intern("OTHER");
+        let mut rel = Relation::new([ps.p_no, ps.s_no]);
+        let bad = Tuple::new().with(other, Value::int(1));
+        assert!(matches!(rel.insert(bad), Err(CoreError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn insert_dedupes_equivalent_tuples() {
+        let (_u, ps) = ps_universe();
+        let mut rel = Relation::new([ps.p_no, ps.s_no]);
+        assert!(rel.insert(t(&ps, Some("p1"), Some("s1"))).unwrap());
+        assert!(!rel.insert(t(&ps, Some("p1"), Some("s1"))).unwrap());
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_attrs_in_declaration_are_collapsed() {
+        let (_u, ps) = ps_universe();
+        let rel = Relation::new([ps.p_no, ps.s_no, ps.p_no]);
+        assert_eq!(rel.attrs().len(), 2);
+    }
+
+    /// Under the x-relation semantics, PS″ (obtained from PS′ by adding a
+    /// tuple) *does* subsume PS′ — the intuitive TRUE the paper argues for,
+    /// in contrast with Codd's MAYBE.
+    #[test]
+    fn ps_double_prime_subsumes_ps_prime() {
+        let (_u, ps) = ps_universe();
+        let ps1 = ps_prime(&ps);
+        let ps2 = ps_double_prime(&ps);
+        assert!(ps2.subsumes(&ps1));
+        assert!(!ps1.subsumes(&ps2));
+        assert!(ps2.properly_subsumes(&ps1));
+        assert!(!ps1.equivalent(&ps2));
+        assert!(ps1.equivalent(&ps1));
+    }
+
+    #[test]
+    fn x_containment_uses_more_informative() {
+        let (_u, ps) = ps_universe();
+        let rel = ps_prime(&ps);
+        // (−, s1) x-belongs: it is literally there.
+        assert!(rel.x_contains(&t(&ps, None, Some("s1"))));
+        // (−, s2) x-belongs because (p1, s2) is more informative.
+        assert!(rel.x_contains(&t(&ps, None, Some("s2"))));
+        // (p1, s1) does not.
+        assert!(!rel.x_contains(&t(&ps, Some("p1"), Some("s1"))));
+        // The null tuple x-belongs to any non-empty relation.
+        assert!(rel.x_contains(&Tuple::new()));
+    }
+
+    #[test]
+    fn subsumption_ignores_null_tuples_in_the_subsumee() {
+        let (_u, ps) = ps_universe();
+        let mut with_null = Relation::new([ps.p_no, ps.s_no]);
+        with_null.insert(Tuple::new()).unwrap();
+        let empty = Relation::new([ps.p_no, ps.s_no]);
+        // Definition 4.1 only quantifies over non-null tuples, so the empty
+        // relation subsumes the relation holding just the null tuple.
+        assert!(empty.subsumes(&with_null));
+        assert!(with_null.subsumes(&empty));
+        assert!(empty.equivalent(&with_null));
+    }
+
+    #[test]
+    fn minimal_removes_less_informative_and_null_tuples() {
+        let (_u, ps) = ps_universe();
+        let rel = Relation::with_tuples(
+            [ps.p_no, ps.s_no],
+            [
+                t(&ps, Some("p1"), Some("s1")),
+                t(&ps, None, Some("s1")), // less informative than the first
+                t(&ps, Some("p2"), None),
+                Tuple::new(), // the null tuple
+            ],
+        )
+        .unwrap();
+        let min = rel.minimal();
+        assert_eq!(min.len(), 2);
+        assert!(min.contains(&t(&ps, Some("p1"), Some("s1"))));
+        assert!(min.contains(&t(&ps, Some("p2"), None)));
+        assert!(min.equivalent(&rel), "minimisation preserves ≅");
+        assert!(min.is_minimal());
+        assert!(!rel.is_minimal());
+    }
+
+    #[test]
+    fn minimal_of_only_null_tuple_is_empty() {
+        let (_u, ps) = ps_universe();
+        let mut rel = Relation::new([ps.p_no, ps.s_no]);
+        rel.insert(Tuple::new()).unwrap();
+        assert!(rel.minimal().is_empty());
+    }
+
+    #[test]
+    fn scope_is_union_of_defined_attrs_of_minimal_rep() {
+        let (mut u, ps) = ps_universe();
+        let tel = u.intern("TEL#");
+        // Declared over three attributes but TEL# is always null, so the
+        // scope is just {P#, S#} — exactly the Tables I/II argument.
+        let rel = Relation::with_tuples(
+            [ps.p_no, ps.s_no, tel],
+            [t(&ps, Some("p1"), Some("s1")), t(&ps, None, Some("s2"))],
+        )
+        .unwrap();
+        assert_eq!(rel.scope(), attr_set([ps.p_no, ps.s_no]));
+    }
+
+    #[test]
+    fn widened_relation_is_equivalent() {
+        let (mut u, ps) = ps_universe();
+        let tel = u.intern("TEL#");
+        let narrow = ps_prime(&ps);
+        let wide = narrow.widened([tel]);
+        assert_eq!(wide.attrs().len(), 3);
+        assert!(wide.equivalent(&narrow));
+        assert_eq!(wide.scope(), narrow.scope());
+    }
+
+    #[test]
+    fn total_on_filters_y_total_tuples() {
+        let (_u, ps) = ps_universe();
+        let rel = ps_double_prime(&ps);
+        let total = rel.total_on(&attr_set([ps.p_no]));
+        assert_eq!(total.len(), 2);
+        assert!(total.tuples().all(|t| !t.is_null(ps.p_no)));
+    }
+
+    #[test]
+    fn is_total_detects_codd_relations() {
+        let (_u, ps) = ps_universe();
+        assert!(!ps_prime(&ps).is_total());
+        let codd = Relation::with_tuples(
+            [ps.p_no, ps.s_no],
+            [t(&ps, Some("p1"), Some("s1")), t(&ps, Some("p2"), Some("s2"))],
+        )
+        .unwrap();
+        assert!(codd.is_total());
+    }
+
+    #[test]
+    fn remove_deletes_matching_tuple() {
+        let (_u, ps) = ps_universe();
+        let mut rel = ps_prime(&ps);
+        assert!(rel.remove(&t(&ps, None, Some("s1"))));
+        assert!(!rel.remove(&t(&ps, None, Some("s1"))));
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn subsumption_is_reflexive_and_transitive() {
+        let (_u, ps) = ps_universe();
+        let a = ps_prime(&ps);
+        let b = ps_double_prime(&ps);
+        let mut c = b.clone();
+        c.insert(t(&ps, Some("p3"), Some("s3"))).unwrap();
+        assert!(a.subsumes(&a));
+        assert!(b.subsumes(&a) && c.subsumes(&b));
+        assert!(c.subsumes(&a), "transitivity");
+    }
+}

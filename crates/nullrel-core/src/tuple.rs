@@ -1,0 +1,500 @@
+//! Tuples over the extended domains and the *more informative* ordering.
+//!
+//! Section 3 of the paper defines a tuple (an X-value) as an assignment of
+//! values from extended domains to the attributes in `X ⊆ U`, with the
+//! convention that `r[A] = ni` for every attribute `A` outside `X`. A
+//! [`Tuple`] therefore stores **only its non-null cells**: the cell of any
+//! attribute not present is `ni`. With this representation, two tuples are
+//! information-wise equivalent (`r ≅ t`) exactly when their cell maps are
+//! equal, so `PartialEq`/`Eq`/`Hash` on [`Tuple`] *are* the paper's `≅`.
+//!
+//! The module implements:
+//!
+//! * Definition 3.1 — [`Tuple::more_informative_than`] (`r ≥ t`),
+//! * the tuple **meet** `r₁ ∧ r₂` ([`Tuple::meet`]),
+//! * **joinability** and the tuple **join** `r₁ ∨ r₂` ([`Tuple::joinable`],
+//!   [`Tuple::join`]),
+//! * totality tests (`X`-total, total, the null tuple).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::universe::{AttrId, AttrSet, Universe};
+use crate::value::Value;
+
+/// A tuple (X-value) with `ni` represented by cell absence.
+///
+/// # Example
+///
+/// ```
+/// use nullrel_core::tuple::Tuple;
+/// use nullrel_core::universe::Universe;
+/// use nullrel_core::value::Value;
+///
+/// let mut u = Universe::new();
+/// let e_no = u.intern("E#");
+/// let name = u.intern("NAME");
+/// let tel = u.intern("TEL#");
+///
+/// // (1120, SMITH, -) : the TEL# cell is ni, so it is simply not stored.
+/// let smith = Tuple::new()
+///     .with(e_no, Value::int(1120))
+///     .with(name, Value::str("SMITH"));
+///
+/// assert_eq!(smith.get(tel), None, "absent attribute reads as ni");
+/// assert!(smith.is_total_on(&[e_no, name].into_iter().collect()));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple {
+    cells: BTreeMap<AttrId, Value>,
+}
+
+impl Tuple {
+    /// Creates the null tuple: every attribute reads as `ni`.
+    pub fn new() -> Self {
+        Tuple::default()
+    }
+
+    /// Creates a tuple from `(attribute, value)` pairs. Later pairs overwrite
+    /// earlier ones for the same attribute.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (AttrId, Value)>,
+    {
+        Tuple {
+            cells: pairs.into_iter().collect(),
+        }
+    }
+
+    /// Builder-style insertion of a non-null cell.
+    #[must_use]
+    pub fn with(mut self, attr: AttrId, value: Value) -> Self {
+        self.cells.insert(attr, value);
+        self
+    }
+
+    /// Builder-style insertion of an optional cell; `None` leaves the
+    /// attribute null.
+    #[must_use]
+    pub fn with_opt(mut self, attr: AttrId, value: Option<Value>) -> Self {
+        if let Some(v) = value {
+            self.cells.insert(attr, v);
+        }
+        self
+    }
+
+    /// Sets a cell in place; `None` nulls the attribute out.
+    pub fn set(&mut self, attr: AttrId, value: Option<Value>) {
+        match value {
+            Some(v) => {
+                self.cells.insert(attr, v);
+            }
+            None => {
+                self.cells.remove(&attr);
+            }
+        }
+    }
+
+    /// Reads the cell of an attribute: `None` means `ni`.
+    pub fn get(&self, attr: AttrId) -> Option<&Value> {
+        self.cells.get(&attr)
+    }
+
+    /// True if the attribute's cell is the null `ni`.
+    pub fn is_null(&self, attr: AttrId) -> bool {
+        !self.cells.contains_key(&attr)
+    }
+
+    /// The set of attributes with non-null cells.
+    pub fn defined_attrs(&self) -> AttrSet {
+        self.cells.keys().copied().collect()
+    }
+
+    /// The number of non-null cells.
+    pub fn defined_len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Iterates over the non-null cells in attribute order.
+    pub fn cells(&self) -> impl Iterator<Item = (AttrId, &Value)> + '_ {
+        self.cells.iter().map(|(a, v)| (*a, v))
+    }
+
+    /// True for the null tuple (every attribute is `ni`). The paper notes all
+    /// null tuples are equivalent; with this representation there is exactly
+    /// one.
+    pub fn is_null_tuple(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// True if every attribute in `attrs` has a non-null cell (the paper's
+    /// "X-total").
+    pub fn is_total_on(&self, attrs: &AttrSet) -> bool {
+        attrs.iter().all(|a| self.cells.contains_key(a))
+    }
+
+    /// True if the tuple is total on the given attribute list (convenience
+    /// for slices).
+    pub fn is_total_on_slice(&self, attrs: &[AttrId]) -> bool {
+        attrs.iter().all(|a| self.cells.contains_key(a))
+    }
+
+    /// Definition 3.1: `self ≥ other` — `self` is **more informative** than
+    /// `other` when every non-null cell of `other` appears in `self` with the
+    /// same value.
+    pub fn more_informative_than(&self, other: &Tuple) -> bool {
+        if self.cells.len() < other.cells.len() {
+            return false;
+        }
+        other
+            .cells
+            .iter()
+            .all(|(attr, value)| self.cells.get(attr) == Some(value))
+    }
+
+    /// `self ≤ other`: `self` is less informative than `other`.
+    pub fn less_informative_than(&self, other: &Tuple) -> bool {
+        other.more_informative_than(self)
+    }
+
+    /// Information-wise equivalence `≅`. Because only non-null cells are
+    /// stored, this coincides with structural equality.
+    pub fn equivalent(&self, other: &Tuple) -> bool {
+        self == other
+    }
+
+    /// The **meet** `self ∧ other`: the most informative tuple that is less
+    /// informative than both. A cell survives only where the two tuples agree
+    /// on a non-null value. The meet always exists (Section 3).
+    pub fn meet(&self, other: &Tuple) -> Tuple {
+        let cells = self
+            .cells
+            .iter()
+            .filter(|(attr, value)| other.cells.get(attr) == Some(value))
+            .map(|(attr, value)| (*attr, value.clone()))
+            .collect();
+        Tuple { cells }
+    }
+
+    /// True if the two tuples are **joinable**: wherever both are non-null
+    /// they agree. (Section 3: if `r₁[A] ≠ r₂[A]` then one of them is `ni`.)
+    pub fn joinable(&self, other: &Tuple) -> bool {
+        // Iterate over the smaller map for speed.
+        let (small, large) = if self.cells.len() <= other.cells.len() {
+            (&self.cells, &other.cells)
+        } else {
+            (&other.cells, &self.cells)
+        };
+        small
+            .iter()
+            .all(|(attr, value)| match large.get(attr) {
+                None => true,
+                Some(v) => v == value,
+            })
+    }
+
+    /// The **join** `self ∨ other`: the least informative tuple that is more
+    /// informative than both. Returns `None` when the tuples are not
+    /// joinable.
+    pub fn join(&self, other: &Tuple) -> Option<Tuple> {
+        if !self.joinable(other) {
+            return None;
+        }
+        let mut cells = self.cells.clone();
+        for (attr, value) in &other.cells {
+            cells.insert(*attr, value.clone());
+        }
+        Some(Tuple { cells })
+    }
+
+    /// The projection `r[X]`: keep only the cells of attributes in `X`.
+    pub fn project(&self, attrs: &AttrSet) -> Tuple {
+        let cells = self
+            .cells
+            .iter()
+            .filter(|(attr, _)| attrs.contains(attr))
+            .map(|(attr, value)| (*attr, value.clone()))
+            .collect();
+        Tuple { cells }
+    }
+
+    /// The complement projection: drop the cells of attributes in `X`.
+    pub fn project_away(&self, attrs: &AttrSet) -> Tuple {
+        let cells = self
+            .cells
+            .iter()
+            .filter(|(attr, _)| !attrs.contains(attr))
+            .map(|(attr, value)| (*attr, value.clone()))
+            .collect();
+        Tuple { cells }
+    }
+
+    /// Renames attributes according to `mapping`; attributes not in the
+    /// mapping keep their id. The caller is responsible for ensuring the
+    /// mapping is injective on this tuple's attributes (the relation-level
+    /// rename operator checks this).
+    pub fn rename(&self, mapping: &BTreeMap<AttrId, AttrId>) -> Tuple {
+        let cells = self
+            .cells
+            .iter()
+            .map(|(attr, value)| (*mapping.get(attr).unwrap_or(attr), value.clone()))
+            .collect();
+        Tuple { cells }
+    }
+
+    /// Renders the tuple over an explicit attribute list, printing `-` for
+    /// null cells, in the style of the paper's tables.
+    pub fn render(&self, attrs: &[AttrId], _universe: &Universe) -> String {
+        let mut parts = Vec::with_capacity(attrs.len());
+        for attr in attrs {
+            match self.get(*attr) {
+                Some(v) => parts.push(v.to_string()),
+                None => parts.push("-".to_owned()),
+            }
+        }
+        format!("({})", parts.join(", "))
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (attr, value)) in self.cells.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "#{}={}", attr.index(), value)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::attr_set;
+
+    fn setup() -> (Universe, AttrId, AttrId, AttrId, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let e_no = u.intern("E#");
+        let name = u.intern("NAME");
+        let sex = u.intern("SEX");
+        let mgr = u.intern("MGR#");
+        let tel = u.intern("TEL#");
+        (u, e_no, name, sex, mgr, tel)
+    }
+
+    /// The r1..r4 example after Definition 3.1 in the paper.
+    #[test]
+    fn paper_more_informative_chain() {
+        let (_u, e_no, name, sex, mgr, tel) = setup();
+        let r1 = Tuple::new()
+            .with(e_no, Value::int(5555))
+            .with(name, Value::str("JONES"))
+            .with(mgr, Value::int(2231));
+        let r2 = r1.clone().with(sex, Value::str("F"));
+        let r3 = r2.clone(); // enlarging with a null TEL# changes nothing
+        let r4 = r3.clone().with(tel, Value::int(2_639_452));
+
+        assert!(r2.more_informative_than(&r1));
+        assert!(!r1.more_informative_than(&r2));
+        assert!(r2.equivalent(&r3), "adding a null column preserves ≅");
+        assert!(r4.more_informative_than(&r3));
+        assert!(r1.less_informative_than(&r4), "≥ is transitive");
+    }
+
+    #[test]
+    fn more_informative_is_reflexive_and_antisymmetric_up_to_equivalence() {
+        let (_u, e_no, name, ..) = setup();
+        let t = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("A"));
+        assert!(t.more_informative_than(&t));
+        let s = Tuple::new()
+            .with(name, Value::str("A"))
+            .with(e_no, Value::int(1));
+        assert!(t.more_informative_than(&s) && s.more_informative_than(&t));
+        assert!(t.equivalent(&s));
+    }
+
+    #[test]
+    fn differing_values_break_the_ordering() {
+        let (_u, e_no, ..) = setup();
+        let a = Tuple::new().with(e_no, Value::int(1));
+        let b = Tuple::new().with(e_no, Value::int(2));
+        assert!(!a.more_informative_than(&b));
+        assert!(!b.more_informative_than(&a));
+    }
+
+    #[test]
+    fn null_tuple_is_bottom() {
+        let (_u, e_no, ..) = setup();
+        let bottom = Tuple::new();
+        let t = Tuple::new().with(e_no, Value::int(1));
+        assert!(bottom.is_null_tuple());
+        assert!(t.more_informative_than(&bottom));
+        assert!(!bottom.more_informative_than(&t));
+        assert!(bottom.more_informative_than(&Tuple::new()), "⊥ ≥ ⊥");
+    }
+
+    #[test]
+    fn meet_keeps_agreeing_cells_only() {
+        let (_u, e_no, name, sex, ..) = setup();
+        let r1 = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("SMITH"))
+            .with(sex, Value::str("M"));
+        let r2 = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("JONES"))
+            .with(sex, Value::str("M"));
+        let m = r1.meet(&r2);
+        assert_eq!(m.get(e_no), Some(&Value::int(1)));
+        assert_eq!(m.get(name), None, "disagreeing cell becomes ni");
+        assert_eq!(m.get(sex), Some(&Value::str("M")));
+    }
+
+    #[test]
+    fn meet_is_commutative_and_a_lower_bound() {
+        let (_u, e_no, name, sex, mgr, _tel) = setup();
+        let r1 = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("A"))
+            .with(mgr, Value::int(9));
+        let r2 = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(sex, Value::str("F"));
+        let m12 = r1.meet(&r2);
+        let m21 = r2.meet(&r1);
+        assert_eq!(m12, m21);
+        assert!(r1.more_informative_than(&m12));
+        assert!(r2.more_informative_than(&m12));
+    }
+
+    #[test]
+    fn joinable_and_join() {
+        let (_u, e_no, name, sex, mgr, tel) = setup();
+        let partial = Tuple::new()
+            .with(e_no, Value::int(4335))
+            .with(name, Value::str("BROWN"));
+        let more = Tuple::new()
+            .with(e_no, Value::int(4335))
+            .with(sex, Value::str("F"))
+            .with(mgr, Value::int(2235));
+        assert!(partial.joinable(&more));
+        let joined = partial.join(&more).expect("joinable tuples must join");
+        assert_eq!(joined.defined_len(), 4);
+        assert!(joined.more_informative_than(&partial));
+        assert!(joined.more_informative_than(&more));
+        assert!(joined.is_null(tel));
+
+        let conflicting = Tuple::new().with(e_no, Value::int(9999));
+        assert!(!partial.joinable(&conflicting));
+        assert!(partial.join(&conflicting).is_none());
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let (_u, e_no, name, sex, ..) = setup();
+        let r1 = Tuple::new().with(e_no, Value::int(1));
+        let r2 = Tuple::new().with(name, Value::str("X"));
+        let join = r1.join(&r2).unwrap();
+        // Any common upper bound must be ≥ the join.
+        let upper = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("X"))
+            .with(sex, Value::str("F"));
+        assert!(upper.more_informative_than(&join));
+        assert!(join.more_informative_than(&r1) && join.more_informative_than(&r2));
+    }
+
+    #[test]
+    fn totality_checks() {
+        let (_u, e_no, name, sex, mgr, tel) = setup();
+        let brown = Tuple::new()
+            .with(e_no, Value::int(4335))
+            .with(name, Value::str("BROWN"))
+            .with(sex, Value::str("F"))
+            .with(mgr, Value::int(2235));
+        assert!(brown.is_total_on(&attr_set([e_no, name, sex, mgr])));
+        assert!(!brown.is_total_on(&attr_set([e_no, tel])));
+        assert!(brown.is_total_on_slice(&[e_no]));
+        assert!(brown.is_total_on(&AttrSet::new()), "vacuously total on ∅");
+    }
+
+    #[test]
+    fn projection_and_complement() {
+        let (_u, e_no, name, sex, ..) = setup();
+        let t = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("A"))
+            .with(sex, Value::str("M"));
+        let p = t.project(&attr_set([e_no, sex]));
+        assert_eq!(p.defined_attrs(), attr_set([e_no, sex]));
+        let away = t.project_away(&attr_set([e_no, sex]));
+        assert_eq!(away.defined_attrs(), attr_set([name]));
+        // Projecting onto attributes where the tuple is null yields the null tuple.
+        let none = Tuple::new().project(&attr_set([e_no]));
+        assert!(none.is_null_tuple());
+    }
+
+    #[test]
+    fn rename_moves_cells() {
+        let (_u, e_no, name, sex, ..) = setup();
+        let t = Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("A"));
+        let mapping: BTreeMap<AttrId, AttrId> = [(e_no, sex)].into_iter().collect();
+        let renamed = t.rename(&mapping);
+        assert_eq!(renamed.get(sex), Some(&Value::int(1)));
+        assert!(renamed.is_null(e_no));
+        assert_eq!(renamed.get(name), Some(&Value::str("A")));
+    }
+
+    #[test]
+    fn set_and_null_out() {
+        let (_u, e_no, ..) = setup();
+        let mut t = Tuple::new();
+        t.set(e_no, Some(Value::int(3)));
+        assert_eq!(t.get(e_no), Some(&Value::int(3)));
+        t.set(e_no, None);
+        assert!(t.is_null(e_no));
+        assert!(t.is_null_tuple());
+    }
+
+    #[test]
+    fn render_uses_dash_for_nulls() {
+        let (u, e_no, name, _sex, _mgr, tel) = setup();
+        let t = Tuple::new()
+            .with(e_no, Value::int(4335))
+            .with(name, Value::str("BROWN"));
+        assert_eq!(t.render(&[e_no, name, tel], &u), "(4335, BROWN, -)");
+    }
+
+    #[test]
+    fn meet_with_null_tuple_is_null_tuple() {
+        let (_u, e_no, ..) = setup();
+        let t = Tuple::new().with(e_no, Value::int(1));
+        assert!(t.meet(&Tuple::new()).is_null_tuple());
+    }
+
+    #[test]
+    fn join_with_null_tuple_is_identity() {
+        let (_u, e_no, ..) = setup();
+        let t = Tuple::new().with(e_no, Value::int(1));
+        assert_eq!(t.join(&Tuple::new()).unwrap(), t);
+    }
+
+    #[test]
+    fn footnote4_meet_insensitive_to_ni_equality_convention() {
+        // Footnote 4: whether ni = ni or ni ≠ ni is immaterial for the meet.
+        // Cells where either side is ni never survive, so both conventions
+        // produce the same result.
+        let (_u, e_no, name, ..) = setup();
+        let r1 = Tuple::new().with(e_no, Value::int(1)); // NAME is ni
+        let r2 = Tuple::new().with(e_no, Value::int(1)); // NAME is ni
+        let m = r1.meet(&r2);
+        assert!(m.is_null(name));
+        assert_eq!(m.get(e_no), Some(&Value::int(1)));
+    }
+}

@@ -1,0 +1,374 @@
+//! The three-valued logic of Table III and the `ni` comparison semantics.
+//!
+//! Section 5: relational expressions `t.A θ m.B` and `t.A θ k` evaluate to
+//! `ni` whenever a compared cell is null, and to TRUE/FALSE as usual
+//! otherwise. Boolean combinations follow Table III (Kleene's strong
+//! three-valued connectives, with `ni` in place of MAYBE/UNKNOWN). The lower
+//! bound `‖Q‖∗` keeps only the tuples whose qualification evaluates to
+//! [`Truth::True`]; FALSE and `ni` tuples are discarded alike.
+//!
+//! The same connective tables are shared by the Codd baseline crate — the
+//! paper stresses that the *logic* is the same as Codd's TRUE-evaluation;
+//! what differs is the interpretation of the third value and the treatment
+//! of sets.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::error::CoreResult;
+use crate::value::Value;
+
+/// A truth value of the three-valued logic: TRUE, FALSE, or `ni`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Truth {
+    /// Definitely false.
+    False,
+    /// The no-information truth value (Codd's MAYBE).
+    Ni,
+    /// Definitely true.
+    True,
+}
+
+impl Truth {
+    /// Lifts a two-valued boolean.
+    pub fn from_bool(b: bool) -> Truth {
+        if b {
+            Truth::True
+        } else {
+            Truth::False
+        }
+    }
+
+    /// Table III conjunction.
+    #[must_use]
+    pub fn and(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::False, _) | (_, Truth::False) => Truth::False,
+            (Truth::True, Truth::True) => Truth::True,
+            _ => Truth::Ni,
+        }
+    }
+
+    /// Table III disjunction.
+    #[must_use]
+    pub fn or(self, other: Truth) -> Truth {
+        match (self, other) {
+            (Truth::True, _) | (_, Truth::True) => Truth::True,
+            (Truth::False, Truth::False) => Truth::False,
+            _ => Truth::Ni,
+        }
+    }
+
+    /// Table III negation.
+    #[must_use]
+    #[allow(clippy::should_implement_trait)] // `std::ops::Not` is also implemented below
+    pub fn not(self) -> Truth {
+        match self {
+            Truth::True => Truth::False,
+            Truth::False => Truth::True,
+            Truth::Ni => Truth::Ni,
+        }
+    }
+
+    /// True iff the value is [`Truth::True`] — the acceptance test of the
+    /// lower-bound evaluation `‖Q‖∗`.
+    pub fn is_true(self) -> bool {
+        self == Truth::True
+    }
+
+    /// True iff the value is [`Truth::False`].
+    pub fn is_false(self) -> bool {
+        self == Truth::False
+    }
+
+    /// True iff the value is the null truth value `ni`.
+    pub fn is_ni(self) -> bool {
+        self == Truth::Ni
+    }
+
+    /// Three-valued conjunction over an iterator (empty ⇒ TRUE).
+    pub fn all<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::True, Truth::and)
+    }
+
+    /// Three-valued disjunction over an iterator (empty ⇒ FALSE).
+    pub fn any<I: IntoIterator<Item = Truth>>(iter: I) -> Truth {
+        iter.into_iter().fold(Truth::False, Truth::or)
+    }
+}
+
+impl fmt::Display for Truth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Truth::True => write!(f, "TRUE"),
+            Truth::False => write!(f, "FALSE"),
+            Truth::Ni => write!(f, "ni"),
+        }
+    }
+}
+
+impl From<bool> for Truth {
+    fn from(b: bool) -> Self {
+        Truth::from_bool(b)
+    }
+}
+
+impl std::ops::Not for Truth {
+    type Output = Truth;
+
+    fn not(self) -> Truth {
+        Truth::not(self)
+    }
+}
+
+impl std::ops::BitAnd for Truth {
+    type Output = Truth;
+
+    fn bitand(self, rhs: Truth) -> Truth {
+        self.and(rhs)
+    }
+}
+
+impl std::ops::BitOr for Truth {
+    type Output = Truth;
+
+    fn bitor(self, rhs: Truth) -> Truth {
+        self.or(rhs)
+    }
+}
+
+/// The comparison operators `θ` of the paper: `=, ≠, <, ≤, >, ≥`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// Equality `=`.
+    Eq,
+    /// Inequality `≠`.
+    Ne,
+    /// Strictly less `<`.
+    Lt,
+    /// Less or equal `≤`.
+    Le,
+    /// Strictly greater `>`.
+    Gt,
+    /// Greater or equal `≥`.
+    Ge,
+}
+
+impl CompareOp {
+    /// Applies the operator to a two-valued ordering result.
+    pub fn test(self, ordering: Ordering) -> bool {
+        match self {
+            CompareOp::Eq => ordering == Ordering::Equal,
+            CompareOp::Ne => ordering != Ordering::Equal,
+            CompareOp::Lt => ordering == Ordering::Less,
+            CompareOp::Le => ordering != Ordering::Greater,
+            CompareOp::Gt => ordering == Ordering::Greater,
+            CompareOp::Ge => ordering != Ordering::Less,
+        }
+    }
+
+    /// The logical complement of the operator (`<` ↔ `≥`, etc.), used by the
+    /// tautology analysis in the query crate.
+    pub fn negated(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Ne,
+            CompareOp::Ne => CompareOp::Eq,
+            CompareOp::Lt => CompareOp::Ge,
+            CompareOp::Le => CompareOp::Gt,
+            CompareOp::Gt => CompareOp::Le,
+            CompareOp::Ge => CompareOp::Lt,
+        }
+    }
+
+    /// The operator with its operands swapped (`<` ↔ `>`, `≤` ↔ `≥`).
+    pub fn flipped(self) -> CompareOp {
+        match self {
+            CompareOp::Eq => CompareOp::Eq,
+            CompareOp::Ne => CompareOp::Ne,
+            CompareOp::Lt => CompareOp::Gt,
+            CompareOp::Le => CompareOp::Ge,
+            CompareOp::Gt => CompareOp::Lt,
+            CompareOp::Ge => CompareOp::Le,
+        }
+    }
+
+    /// All six operators, for exhaustive tests and generators.
+    pub const ALL: [CompareOp; 6] = [
+        CompareOp::Eq,
+        CompareOp::Ne,
+        CompareOp::Lt,
+        CompareOp::Le,
+        CompareOp::Gt,
+        CompareOp::Ge,
+    ];
+}
+
+impl fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Compares two *cells* (possibly-null values) under the `ni` semantics:
+/// if either side is null the result is `ni`; otherwise the domain values
+/// are compared. A cross-domain comparison is a schema error.
+pub fn compare_cells(
+    left: Option<&Value>,
+    op: CompareOp,
+    right: Option<&Value>,
+) -> CoreResult<Truth> {
+    match (left, right) {
+        (Some(l), Some(r)) => Ok(Truth::from_bool(op.test(l.compare(r)?))),
+        _ => Ok(Truth::Ni),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: Truth = Truth::True;
+    const F: Truth = Truth::False;
+    const N: Truth = Truth::Ni;
+
+    /// The complete AND table of Table III.
+    #[test]
+    fn table_iii_and() {
+        let expected = [
+            ((T, T), T),
+            ((T, F), F),
+            ((T, N), N),
+            ((F, T), F),
+            ((F, F), F),
+            ((F, N), F),
+            ((N, T), N),
+            ((N, F), F),
+            ((N, N), N),
+        ];
+        for ((a, b), want) in expected {
+            assert_eq!(a.and(b), want, "{a} AND {b}");
+        }
+    }
+
+    /// The complete OR table of Table III.
+    #[test]
+    fn table_iii_or() {
+        let expected = [
+            ((T, T), T),
+            ((T, F), T),
+            ((T, N), T),
+            ((F, T), T),
+            ((F, F), F),
+            ((F, N), N),
+            ((N, T), T),
+            ((N, F), N),
+            ((N, N), N),
+        ];
+        for ((a, b), want) in expected {
+            assert_eq!(a.or(b), want, "{a} OR {b}");
+        }
+    }
+
+    /// The NOT column of Table III.
+    #[test]
+    fn table_iii_not() {
+        assert_eq!(T.not(), F);
+        assert_eq!(F.not(), T);
+        assert_eq!(N.not(), N);
+    }
+
+    #[test]
+    fn connectives_are_commutative_and_monotone() {
+        for a in [T, F, N] {
+            for b in [T, F, N] {
+                assert_eq!(a.and(b), b.and(a));
+                assert_eq!(a.or(b), b.or(a));
+                // De Morgan duality holds in Kleene logic.
+                assert_eq!(a.and(b).not(), a.not().or(b.not()));
+                assert_eq!(a.or(b).not(), a.not().and(b.not()));
+            }
+        }
+    }
+
+    #[test]
+    fn the_classic_tautology_fails_in_three_values() {
+        // p ∨ ¬p is not TRUE when p is ni — the root of the tautology
+        // problem the Appendix discusses.
+        assert_eq!(N.or(N.not()), N);
+    }
+
+    #[test]
+    fn all_and_any_fold() {
+        assert_eq!(Truth::all([T, T, T]), T);
+        assert_eq!(Truth::all([T, N, T]), N);
+        assert_eq!(Truth::all([T, N, F]), F);
+        assert_eq!(Truth::all([]), T);
+        assert_eq!(Truth::any([F, N, F]), N);
+        assert_eq!(Truth::any([F, T]), T);
+        assert_eq!(Truth::any([]), F);
+    }
+
+    #[test]
+    fn predicates_and_conversions() {
+        assert!(T.is_true() && !T.is_false() && !T.is_ni());
+        assert!(F.is_false());
+        assert!(N.is_ni());
+        assert_eq!(Truth::from(true), T);
+        assert_eq!(Truth::from(false), F);
+        assert_eq!(T.to_string(), "TRUE");
+        assert_eq!(N.to_string(), "ni");
+    }
+
+    #[test]
+    fn compare_op_tests() {
+        use std::cmp::Ordering::*;
+        assert!(CompareOp::Eq.test(Equal) && !CompareOp::Eq.test(Less));
+        assert!(CompareOp::Ne.test(Greater));
+        assert!(CompareOp::Lt.test(Less) && !CompareOp::Lt.test(Equal));
+        assert!(CompareOp::Le.test(Equal) && CompareOp::Le.test(Less));
+        assert!(CompareOp::Gt.test(Greater));
+        assert!(CompareOp::Ge.test(Equal) && !CompareOp::Ge.test(Less));
+    }
+
+    #[test]
+    fn compare_op_negation_and_flip() {
+        for op in CompareOp::ALL {
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                assert_eq!(op.test(ord), !op.negated().test(ord), "{op} negation at {ord:?}");
+                assert_eq!(op.test(ord), op.flipped().test(ord.reverse()), "{op} flip at {ord:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cell_comparisons_follow_ni_semantics() {
+        let five = Value::int(5);
+        let nine = Value::int(9);
+        assert_eq!(
+            compare_cells(Some(&five), CompareOp::Lt, Some(&nine)).unwrap(),
+            T
+        );
+        assert_eq!(
+            compare_cells(Some(&nine), CompareOp::Lt, Some(&five)).unwrap(),
+            F
+        );
+        assert_eq!(compare_cells(None, CompareOp::Lt, Some(&five)).unwrap(), N);
+        assert_eq!(compare_cells(Some(&five), CompareOp::Eq, None).unwrap(), N);
+        assert_eq!(compare_cells(None, CompareOp::Eq, None).unwrap(), N);
+        // Cross-domain comparison is an error, not ni.
+        assert!(compare_cells(Some(&five), CompareOp::Eq, Some(&Value::str("x"))).is_err());
+    }
+
+    #[test]
+    fn truth_display_used_in_reports() {
+        assert_eq!(format!("{} {} {}", T, F, N), "TRUE FALSE ni");
+    }
+}

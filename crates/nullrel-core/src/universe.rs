@@ -1,0 +1,417 @@
+//! The finite universe of attributes `U` and per-attribute domains.
+//!
+//! The paper assumes "all the attributes of our relations are contained in a
+//! finite universe of attributes, U" (Section 3), each attribute `A` having an
+//! underlying domain `DOM(A)` that is extended with the `ni` symbol. The
+//! [`Universe`] interns attribute names to compact [`AttrId`]s and records an
+//! optional [`Domain`] per attribute. Enumerable domains are what make
+//! `TOP_U`, pseudo-complements, and Codd's null-substitution principle
+//! computable.
+
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{CoreError, CoreResult};
+use crate::value::Value;
+
+/// A compact identifier for an interned attribute name.
+///
+/// Attribute ids are only meaningful relative to the [`Universe`] that issued
+/// them; mixing ids from different universes is a logic error that surfaces
+/// as [`CoreError::UnknownAttribute`] when the id is dereferenced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AttrId(u32);
+
+impl AttrId {
+    /// Returns the raw index of this attribute within its universe.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an id from a raw index. Intended for serialization layers and
+    /// tests; prefer [`Universe::intern`].
+    pub fn from_index(index: usize) -> Self {
+        AttrId(index as u32)
+    }
+}
+
+/// An ordered set of attributes (the paper's `X ⊆ U`).
+pub type AttrSet = BTreeSet<AttrId>;
+
+/// Builds an [`AttrSet`] from anything iterable over attribute ids.
+pub fn attr_set<I: IntoIterator<Item = AttrId>>(attrs: I) -> AttrSet {
+    attrs.into_iter().collect()
+}
+
+/// The domain `DOM(A)` underlying an attribute.
+///
+/// Only the enumerable variants allow the construction of `TOP_U`
+/// (Section 4), pseudo-complements (Section 7), and the brute-force
+/// null-substitution evaluation of Codd's set predicates (Section 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Domain {
+    /// An unconstrained domain of the given type; not enumerable.
+    Unbounded(DomainType),
+    /// An explicitly enumerated finite set of values.
+    Enumerated(Vec<Value>),
+    /// A closed integer interval `[lo, hi]`; enumerable when small enough.
+    IntRange(i64, i64),
+    /// The boolean domain `{false, true}`.
+    Boolean,
+}
+
+/// The runtime type carried by a domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DomainType {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Float,
+    /// UTF-8 strings.
+    Str,
+    /// Booleans.
+    Bool,
+}
+
+impl Domain {
+    /// The number of values in the domain, if finite.
+    pub fn cardinality(&self) -> Option<u128> {
+        match self {
+            Domain::Unbounded(_) => None,
+            Domain::Enumerated(values) => Some(values.len() as u128),
+            Domain::IntRange(lo, hi) => {
+                if lo > hi {
+                    Some(0)
+                } else {
+                    Some((*hi as i128 - *lo as i128 + 1) as u128)
+                }
+            }
+            Domain::Boolean => Some(2),
+        }
+    }
+
+    /// Enumerates the domain's values, if finite.
+    pub fn values(&self) -> Option<Vec<Value>> {
+        match self {
+            Domain::Unbounded(_) => None,
+            Domain::Enumerated(values) => Some(values.clone()),
+            Domain::IntRange(lo, hi) => {
+                if lo > hi {
+                    Some(Vec::new())
+                } else {
+                    Some((*lo..=*hi).map(Value::Int).collect())
+                }
+            }
+            Domain::Boolean => Some(vec![Value::Bool(false), Value::Bool(true)]),
+        }
+    }
+
+    /// True if the given value is a member of this domain.
+    pub fn contains(&self, value: &Value) -> bool {
+        match self {
+            Domain::Unbounded(ty) => ty.matches(value),
+            Domain::Enumerated(values) => values.contains(value),
+            Domain::IntRange(lo, hi) => match value {
+                Value::Int(v) => v >= lo && v <= hi,
+                _ => false,
+            },
+            Domain::Boolean => matches!(value, Value::Bool(_)),
+        }
+    }
+
+    /// The runtime type of values in this domain, when homogeneous.
+    pub fn domain_type(&self) -> Option<DomainType> {
+        match self {
+            Domain::Unbounded(ty) => Some(*ty),
+            Domain::Boolean => Some(DomainType::Bool),
+            Domain::IntRange(..) => Some(DomainType::Int),
+            Domain::Enumerated(values) => {
+                let mut iter = values.iter().map(DomainType::of);
+                let first = iter.next()?;
+                if iter.all(|t| t == first) {
+                    Some(first)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+impl DomainType {
+    /// True if the value has this runtime type.
+    pub fn matches(self, value: &Value) -> bool {
+        DomainType::of(value) == self
+    }
+
+    /// The runtime type of a value.
+    pub fn of(value: &Value) -> DomainType {
+        match value {
+            Value::Int(_) => DomainType::Int,
+            Value::Float(_) => DomainType::Float,
+            Value::Str(_) => DomainType::Str,
+            Value::Bool(_) => DomainType::Bool,
+        }
+    }
+}
+
+/// The finite universe of attributes, with interned names and optional
+/// domains.
+///
+/// # Example
+///
+/// ```
+/// use nullrel_core::universe::{Domain, Universe};
+/// use nullrel_core::value::Value;
+///
+/// let mut u = Universe::new();
+/// let e_no = u.intern("E#");
+/// let sex = u.intern_with_domain(
+///     "SEX",
+///     Domain::Enumerated(vec![Value::str("M"), Value::str("F")]),
+/// );
+/// assert_eq!(u.name(e_no).unwrap(), "E#");
+/// assert_eq!(u.domain(sex).unwrap().cardinality(), Some(2));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Universe {
+    names: Vec<String>,
+    by_name: HashMap<String, AttrId>,
+    domains: Vec<Option<Domain>>,
+}
+
+impl Universe {
+    /// Creates an empty universe.
+    pub fn new() -> Self {
+        Universe::default()
+    }
+
+    /// Interns an attribute name, returning its id. Interning the same name
+    /// twice returns the same id.
+    pub fn intern(&mut self, name: &str) -> AttrId {
+        if let Some(id) = self.by_name.get(name) {
+            return *id;
+        }
+        let id = AttrId(self.names.len() as u32);
+        self.names.push(name.to_owned());
+        self.by_name.insert(name.to_owned(), id);
+        self.domains.push(None);
+        id
+    }
+
+    /// Interns an attribute and records its domain in one call.
+    pub fn intern_with_domain(&mut self, name: &str, domain: Domain) -> AttrId {
+        let id = self.intern(name);
+        self.domains[id.index()] = Some(domain);
+        id
+    }
+
+    /// Records (or replaces) the domain of an existing attribute.
+    pub fn set_domain(&mut self, attr: AttrId, domain: Domain) -> CoreResult<()> {
+        let slot = self
+            .domains
+            .get_mut(attr.index())
+            .ok_or(CoreError::UnknownAttribute(attr))?;
+        *slot = Some(domain);
+        Ok(())
+    }
+
+    /// Looks up an attribute id by name.
+    pub fn lookup(&self, name: &str) -> Option<AttrId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Looks up an attribute id by name, erroring if absent.
+    pub fn require(&self, name: &str) -> CoreResult<AttrId> {
+        self.lookup(name)
+            .ok_or_else(|| CoreError::UnknownAttributeName(name.to_owned()))
+    }
+
+    /// Returns the name of an attribute id.
+    pub fn name(&self, attr: AttrId) -> CoreResult<&str> {
+        self.names
+            .get(attr.index())
+            .map(String::as_str)
+            .ok_or(CoreError::UnknownAttribute(attr))
+    }
+
+    /// Returns the domain recorded for an attribute, if any.
+    pub fn domain(&self, attr: AttrId) -> Option<&Domain> {
+        self.domains.get(attr.index()).and_then(Option::as_ref)
+    }
+
+    /// Returns the enumerated values of an attribute's domain, or an error if
+    /// the domain is missing or not enumerable.
+    pub fn enumerable_domain(&self, attr: AttrId) -> CoreResult<Vec<Value>> {
+        match self.domain(attr) {
+            Some(domain) => domain
+                .values()
+                .ok_or(CoreError::DomainNotEnumerable(attr)),
+            None => Err(CoreError::DomainNotEnumerable(attr)),
+        }
+    }
+
+    /// The number of interned attributes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True if no attribute has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over every attribute id in the universe, in interning order.
+    pub fn attrs(&self) -> impl Iterator<Item = AttrId> + '_ {
+        (0..self.names.len()).map(|i| AttrId(i as u32))
+    }
+
+    /// The full attribute set `U` as an [`AttrSet`].
+    pub fn all(&self) -> AttrSet {
+        self.attrs().collect()
+    }
+
+    /// Renders an attribute set as a readable comma-separated list, used by
+    /// the display module and error messages.
+    pub fn render_attrs(&self, attrs: &AttrSet) -> String {
+        let mut parts = Vec::with_capacity(attrs.len());
+        for attr in attrs {
+            match self.name(*attr) {
+                Ok(name) => parts.push(name.to_owned()),
+                Err(_) => parts.push(format!("#{}", attr.index())),
+            }
+        }
+        parts.join(", ")
+    }
+}
+
+impl fmt::Display for Universe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Universe(")?;
+        for (i, name) in self.names.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{name}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        assert_ne!(a, b);
+        assert_eq!(u.intern("A"), a);
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn lookup_and_name_round_trip() {
+        let mut u = Universe::new();
+        let tel = u.intern("TEL#");
+        assert_eq!(u.lookup("TEL#"), Some(tel));
+        assert_eq!(u.name(tel).unwrap(), "TEL#");
+        assert!(u.lookup("missing").is_none());
+        assert!(matches!(
+            u.require("missing"),
+            Err(CoreError::UnknownAttributeName(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_id_is_an_error() {
+        let u = Universe::new();
+        let bogus = AttrId::from_index(7);
+        assert!(matches!(u.name(bogus), Err(CoreError::UnknownAttribute(_))));
+    }
+
+    #[test]
+    fn domains_enumerate() {
+        let mut u = Universe::new();
+        let sex = u.intern_with_domain(
+            "SEX",
+            Domain::Enumerated(vec![Value::str("M"), Value::str("F")]),
+        );
+        let age = u.intern_with_domain("AGE", Domain::IntRange(0, 2));
+        let flag = u.intern_with_domain("FLAG", Domain::Boolean);
+        let name = u.intern_with_domain("NAME", Domain::Unbounded(DomainType::Str));
+
+        assert_eq!(u.enumerable_domain(sex).unwrap().len(), 2);
+        assert_eq!(
+            u.enumerable_domain(age).unwrap(),
+            vec![Value::int(0), Value::int(1), Value::int(2)]
+        );
+        assert_eq!(u.enumerable_domain(flag).unwrap().len(), 2);
+        assert!(matches!(
+            u.enumerable_domain(name),
+            Err(CoreError::DomainNotEnumerable(_))
+        ));
+    }
+
+    #[test]
+    fn domain_cardinality_and_membership() {
+        let d = Domain::IntRange(5, 9);
+        assert_eq!(d.cardinality(), Some(5));
+        assert!(d.contains(&Value::int(7)));
+        assert!(!d.contains(&Value::int(10)));
+        assert!(!d.contains(&Value::str("7")));
+
+        let empty = Domain::IntRange(3, 2);
+        assert_eq!(empty.cardinality(), Some(0));
+        assert_eq!(empty.values().unwrap(), Vec::<Value>::new());
+
+        let unb = Domain::Unbounded(DomainType::Int);
+        assert_eq!(unb.cardinality(), None);
+        assert!(unb.contains(&Value::int(1)));
+        assert!(!unb.contains(&Value::str("x")));
+    }
+
+    #[test]
+    fn domain_type_inference() {
+        assert_eq!(
+            Domain::Enumerated(vec![Value::int(1), Value::int(2)]).domain_type(),
+            Some(DomainType::Int)
+        );
+        assert_eq!(
+            Domain::Enumerated(vec![Value::int(1), Value::str("x")]).domain_type(),
+            None
+        );
+        assert_eq!(Domain::Boolean.domain_type(), Some(DomainType::Bool));
+    }
+
+    #[test]
+    fn attr_set_helper_sorts_and_dedups() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let set = attr_set([b, a, b]);
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.iter().next(), Some(&a));
+    }
+
+    #[test]
+    fn render_attrs_uses_names() {
+        let mut u = Universe::new();
+        let a = u.intern("P#");
+        let b = u.intern("S#");
+        let rendered = u.render_attrs(&attr_set([a, b]));
+        assert!(rendered.contains("P#"));
+        assert!(rendered.contains("S#"));
+    }
+
+    #[test]
+    fn display_lists_names() {
+        let mut u = Universe::new();
+        u.intern("A");
+        u.intern("B");
+        assert_eq!(u.to_string(), "Universe(A, B)");
+    }
+}

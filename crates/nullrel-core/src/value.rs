@@ -1,0 +1,320 @@
+//! Non-null attribute values and their comparison semantics.
+//!
+//! The paper extends every attribute domain with the distinguished symbol
+//! `ni`. In this library the null is **not** a [`Value`] variant: a tuple
+//! cell is `Option<Value>` where `None` plays the role of `ni`. This mirrors
+//! the paper exactly (the extended domain is `DOM(A) ∪ {ni}`) and lets the
+//! type system prevent nulls from leaking into places the paper forbids them,
+//! such as selection constants (`k` in `R[Aθk]` must come from `DOM(A)`).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{CoreError, CoreResult};
+
+/// A 64-bit float with total ordering, equality and hashing.
+///
+/// Relational attribute values must be usable as set elements and hash-index
+/// keys, so raw `f64` (which is neither `Eq` nor `Hash`) is wrapped. `NaN` is
+/// normalised to a single canonical bit pattern and ordered greater than any
+/// other value, and `-0.0` is normalised to `0.0`, so that equal-looking
+/// values always collide in hash structures.
+#[derive(Debug, Clone, Copy)]
+pub struct F64Ord(f64);
+
+impl F64Ord {
+    /// Wraps a float, normalising `NaN` and negative zero.
+    pub fn new(v: f64) -> Self {
+        if v.is_nan() {
+            F64Ord(f64::NAN)
+        } else if v == 0.0 {
+            F64Ord(0.0)
+        } else {
+            F64Ord(v)
+        }
+    }
+
+    /// Returns the wrapped float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    fn key(self) -> u64 {
+        if self.0.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            self.0.to_bits()
+        }
+    }
+}
+
+impl PartialEq for F64Ord {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for F64Ord {}
+
+impl PartialOrd for F64Ord {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64Ord {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.partial_cmp(&other.0).unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+impl Hash for F64Ord {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl fmt::Display for F64Ord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A non-null value drawn from an attribute domain.
+///
+/// Cross-type comparisons between the two numeric variants are permitted
+/// (an `Int` compares with a `Float` numerically); every other cross-type
+/// comparison is a [`CoreError::TypeMismatch`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// A 64-bit signed integer, e.g. an employee number.
+    Int(i64),
+    /// A totally-ordered 64-bit float.
+    Float(F64Ord),
+    /// An owned UTF-8 string, e.g. a name. Ordered lexicographically.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    pub fn int(v: i64) -> Self {
+        Value::Int(v)
+    }
+
+    /// Convenience constructor for float values.
+    pub fn float(v: f64) -> Self {
+        Value::Float(F64Ord::new(v))
+    }
+
+    /// Convenience constructor for boolean values.
+    pub fn bool(v: bool) -> Self {
+        Value::Bool(v)
+    }
+
+    /// Returns a short name of the value's runtime type, used in error
+    /// messages and schema displays.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "str",
+            Value::Bool(_) => "bool",
+        }
+    }
+
+    /// True if the two values belong to comparable domains: identical
+    /// variants, or the `Int`/`Float` numeric pair.
+    pub fn comparable_with(&self, other: &Value) -> bool {
+        matches!(
+            (self, other),
+            (Value::Int(_), Value::Int(_))
+                | (Value::Float(_), Value::Float(_))
+                | (Value::Int(_), Value::Float(_))
+                | (Value::Float(_), Value::Int(_))
+                | (Value::Str(_), Value::Str(_))
+                | (Value::Bool(_), Value::Bool(_))
+        )
+    }
+
+    /// Compares two values drawn from the same (or numerically compatible)
+    /// domain. Returns an error when the domains are incompatible; this is a
+    /// schema violation, not a three-valued `ni` outcome.
+    pub fn compare(&self, other: &Value) -> CoreResult<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Float(a), Value::Float(b)) => Ok(a.cmp(b)),
+            (Value::Int(a), Value::Float(b)) => Ok(F64Ord::new(*a as f64).cmp(b)),
+            (Value::Float(a), Value::Int(b)) => Ok(a.cmp(&F64Ord::new(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+            (Value::Bool(a), Value::Bool(b)) => Ok(a.cmp(b)),
+            _ => Err(CoreError::TypeMismatch {
+                left: format!("{self:?}"),
+                right: format!("{other:?}"),
+            }),
+        }
+    }
+
+    /// Domain-aware equality: `Int(2)` equals `Float(2.0)`, but comparing an
+    /// `Int` with a `Str` is an error.
+    pub fn equal(&self, other: &Value) -> CoreResult<bool> {
+        Ok(self.compare(other)? == Ordering::Equal)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(i64::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// The contents of a tuple cell: either a domain value or the `ni` null.
+///
+/// This alias documents intent at API boundaries; it is plain `Option` so all
+/// the usual combinators apply.
+pub type Cell = Option<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn int_ordering() {
+        assert_eq!(Value::int(1).compare(&Value::int(2)).unwrap(), Ordering::Less);
+        assert_eq!(Value::int(5).compare(&Value::int(5)).unwrap(), Ordering::Equal);
+        assert_eq!(
+            Value::int(9).compare(&Value::int(-3)).unwrap(),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn cross_numeric_comparison_is_allowed() {
+        assert!(Value::int(2).equal(&Value::float(2.0)).unwrap());
+        assert_eq!(
+            Value::float(1.5).compare(&Value::int(2)).unwrap(),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn string_ordering_is_lexicographic() {
+        assert_eq!(
+            Value::str("BROWN").compare(&Value::str("SMITH")).unwrap(),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn incompatible_types_error() {
+        let err = Value::int(1).compare(&Value::str("x")).unwrap_err();
+        assert!(matches!(err, CoreError::TypeMismatch { .. }));
+        let err = Value::bool(true).compare(&Value::int(1)).unwrap_err();
+        assert!(matches!(err, CoreError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn float_total_order_handles_nan_and_zero() {
+        let nan = F64Ord::new(f64::NAN);
+        let other_nan = F64Ord::new(0.0 / 0.0);
+        assert_eq!(nan, other_nan, "all NaNs are identified");
+        assert!(nan > F64Ord::new(f64::INFINITY));
+        assert_eq!(F64Ord::new(-0.0), F64Ord::new(0.0));
+    }
+
+    #[test]
+    fn float_hash_consistent_with_eq() {
+        let mut set = HashSet::new();
+        set.insert(Value::float(-0.0));
+        assert!(set.contains(&Value::float(0.0)));
+        set.insert(Value::float(f64::NAN));
+        assert!(set.contains(&Value::float(f64::NAN)));
+    }
+
+    #[test]
+    fn display_round_trips_simple_values() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("SMITH").to_string(), "SMITH");
+        assert_eq!(Value::bool(false).to_string(), "false");
+        assert_eq!(Value::float(2.5).to_string(), "2.5");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from(3i32), Value::int(3));
+        assert_eq!(Value::from("x"), Value::str("x"));
+        assert_eq!(Value::from(true), Value::bool(true));
+        assert_eq!(Value::from(1.25f64), Value::float(1.25));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::int(0).type_name(), "int");
+        assert_eq!(Value::float(0.0).type_name(), "float");
+        assert_eq!(Value::str("").type_name(), "str");
+        assert_eq!(Value::bool(true).type_name(), "bool");
+    }
+
+    #[test]
+    fn comparable_with_matrix() {
+        assert!(Value::int(1).comparable_with(&Value::float(1.0)));
+        assert!(Value::str("a").comparable_with(&Value::str("b")));
+        assert!(!Value::str("a").comparable_with(&Value::int(1)));
+        assert!(!Value::bool(true).comparable_with(&Value::float(0.0)));
+    }
+}

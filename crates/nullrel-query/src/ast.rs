@@ -1,0 +1,171 @@
+//! The abstract syntax of the QUEL subset.
+//!
+//! A query has the three clauses shown in the paper's Figures 1 and 2: a
+//! list of `range of <var> is <relation>` declarations, a `retrieve`
+//! target list of qualified attributes, and an optional `where`
+//! qualification built from comparisons, `and`, `or`, and `not`.
+
+use nullrel_core::tvl::CompareOp;
+use nullrel_core::value::Value;
+
+/// A parsed query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The `range of` declarations, in source order.
+    pub ranges: Vec<RangeDecl>,
+    /// The `retrieve` target list.
+    pub targets: Vec<AttrRef>,
+    /// The `where` qualification, if present.
+    pub where_clause: Option<WhereExpr>,
+}
+
+/// A `range of <var> is <relation>` declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeDecl {
+    /// The tuple variable name (`e`, `m`, …).
+    pub variable: String,
+    /// The relation the variable ranges over (`EMP`, `PS`, …).
+    pub relation: String,
+}
+
+/// A qualified attribute reference `var.ATTR`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrRef {
+    /// The range variable.
+    pub variable: String,
+    /// The attribute name within the variable's relation.
+    pub attribute: String,
+}
+
+impl AttrRef {
+    /// Builds a reference from variable and attribute names.
+    pub fn new(variable: impl Into<String>, attribute: impl Into<String>) -> Self {
+        AttrRef {
+            variable: variable.into(),
+            attribute: attribute.into(),
+        }
+    }
+
+    /// The display label of the reference (`e.NAME`).
+    pub fn label(&self) -> String {
+        format!("{}.{}", self.variable, self.attribute)
+    }
+}
+
+/// One side of a comparison in the `where` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A qualified attribute.
+    Attr(AttrRef),
+    /// A literal constant.
+    Const(Value),
+}
+
+/// A `where` qualification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WhereExpr {
+    /// A relational expression `left θ right`.
+    Cmp {
+        /// Left term.
+        left: Term,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right term.
+        right: Term,
+    },
+    /// Conjunction.
+    And(Box<WhereExpr>, Box<WhereExpr>),
+    /// Disjunction.
+    Or(Box<WhereExpr>, Box<WhereExpr>),
+    /// Negation.
+    Not(Box<WhereExpr>),
+}
+
+impl WhereExpr {
+    /// Conjunction helper.
+    #[must_use]
+    pub fn and(self, other: WhereExpr) -> WhereExpr {
+        WhereExpr::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    #[must_use]
+    pub fn or(self, other: WhereExpr) -> WhereExpr {
+        WhereExpr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[must_use]
+    pub fn negate(self) -> WhereExpr {
+        WhereExpr::Not(Box::new(self))
+    }
+
+    /// Every attribute reference appearing in the expression.
+    pub fn attr_refs(&self) -> Vec<&AttrRef> {
+        let mut out = Vec::new();
+        self.collect_attr_refs(&mut out);
+        out
+    }
+
+    fn collect_attr_refs<'a>(&'a self, out: &mut Vec<&'a AttrRef>) {
+        match self {
+            WhereExpr::Cmp { left, right, .. } => {
+                if let Term::Attr(a) = left {
+                    out.push(a);
+                }
+                if let Term::Attr(a) = right {
+                    out.push(a);
+                }
+            }
+            WhereExpr::And(a, b) | WhereExpr::Or(a, b) => {
+                a.collect_attr_refs(out);
+                b.collect_attr_refs(out);
+            }
+            WhereExpr::Not(inner) => inner.collect_attr_refs(out),
+        }
+    }
+
+    /// The number of comparison atoms in the expression (used by the
+    /// tautology benchmark to size generated formulas).
+    pub fn atom_count(&self) -> usize {
+        match self {
+            WhereExpr::Cmp { .. } => 1,
+            WhereExpr::And(a, b) | WhereExpr::Or(a, b) => a.atom_count() + b.atom_count(),
+            WhereExpr::Not(inner) => inner.atom_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attr_ref_label() {
+        assert_eq!(AttrRef::new("e", "TEL#").label(), "e.TEL#");
+    }
+
+    #[test]
+    fn where_expr_helpers_and_traversal() {
+        let expr = WhereExpr::Cmp {
+            left: Term::Attr(AttrRef::new("e", "SEX")),
+            op: CompareOp::Eq,
+            right: Term::Const(Value::str("F")),
+        }
+        .and(WhereExpr::Cmp {
+            left: Term::Attr(AttrRef::new("e", "TEL#")),
+            op: CompareOp::Gt,
+            right: Term::Const(Value::int(2_634_000)),
+        })
+        .or(WhereExpr::Cmp {
+            left: Term::Attr(AttrRef::new("e", "TEL#")),
+            op: CompareOp::Lt,
+            right: Term::Const(Value::int(2_634_000)),
+        }
+        .negate());
+        assert_eq!(expr.atom_count(), 3);
+        let refs = expr.attr_refs();
+        assert_eq!(refs.len(), 3);
+        assert!(refs.iter().any(|r| r.attribute == "SEX"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Error types for the query layer.
+
+use std::fmt;
+
+use nullrel_core::error::CoreError;
+use nullrel_storage::error::StorageError;
+
+/// Result alias for query operations.
+pub type QueryResult<T> = Result<T, QueryError>;
+
+/// Errors raised while lexing, parsing, analysing, planning, or evaluating a
+/// query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    /// A character that cannot start any token.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A syntax error.
+    Parse {
+        /// Byte offset where the error was detected.
+        position: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A range variable was used but never declared with `range of`.
+    UnknownVariable(String),
+    /// A range declaration referenced a relation the database does not have.
+    UnknownRelation(String),
+    /// An attribute reference does not exist in the range variable's
+    /// relation.
+    UnknownAttribute {
+        /// The range variable.
+        variable: String,
+        /// The attribute name.
+        attribute: String,
+    },
+    /// The query declared the same range variable twice.
+    DuplicateVariable(String),
+    /// The query has no target list.
+    EmptyTargetList,
+    /// The number of range-tuple combinations (or substitutions) exceeds the
+    /// evaluation budget.
+    BudgetExceeded {
+        /// What would have been required.
+        required: u128,
+        /// The configured limit.
+        limit: u128,
+    },
+    /// A core-library error.
+    Core(CoreError),
+    /// A storage-layer error.
+    Storage(StorageError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            QueryError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            QueryError::UnknownVariable(v) => write!(f, "unknown range variable {v:?}"),
+            QueryError::UnknownRelation(r) => write!(f, "unknown relation {r:?}"),
+            QueryError::UnknownAttribute {
+                variable,
+                attribute,
+            } => write!(f, "relation of {variable:?} has no attribute {attribute:?}"),
+            QueryError::DuplicateVariable(v) => {
+                write!(f, "range variable {v:?} declared more than once")
+            }
+            QueryError::EmptyTargetList => write!(f, "the retrieve clause lists no attributes"),
+            QueryError::BudgetExceeded { required, limit } => write!(
+                f,
+                "evaluation would require {required} combinations, exceeding the limit of {limit}"
+            ),
+            QueryError::Core(err) => write!(f, "{err}"),
+            QueryError::Storage(err) => write!(f, "{err}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<CoreError> for QueryError {
+    fn from(err: CoreError) -> Self {
+        QueryError::Core(err)
+    }
+}
+
+impl From<StorageError> for QueryError {
+    fn from(err: StorageError) -> Self {
+        QueryError::Storage(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: QueryError = CoreError::EmptyAttributeList.into();
+        assert!(matches!(e, QueryError::Core(_)));
+        let e: QueryError = StorageError::UnknownTable("T".into()).into();
+        assert!(e.to_string().contains("T"));
+        let e = QueryError::UnknownAttribute {
+            variable: "e".into(),
+            attribute: "TEL#".into(),
+        };
+        assert!(e.to_string().contains("TEL#"));
+        assert!(QueryError::EmptyTargetList.to_string().contains("retrieve"));
+    }
+}

@@ -1,0 +1,317 @@
+//! Tokenizer for the QUEL subset used by the paper's Figures 1 and 2.
+//!
+//! The accepted lexicon mirrors INGRES-era QUEL: keywords (`range`, `of`,
+//! `is`, `retrieve`, `where`, `and`, `or`, `not`), identifiers that may
+//! contain `#` (as in `E#`, `TEL#`), double-quoted string literals, integer
+//! and floating-point numbers, the comparison operators
+//! `= != < <= > >=`, and the punctuation `( ) , .`.
+
+use nullrel_core::value::Value;
+
+use crate::error::{QueryError, QueryResult};
+
+/// One lexical token, tagged with its byte offset in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the token's first character.
+    pub position: usize,
+}
+
+/// The kinds of token the QUEL subset uses.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// `range`
+    Range,
+    /// `of`
+    Of,
+    /// `is`
+    Is,
+    /// `retrieve`
+    Retrieve,
+    /// `where`
+    Where,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// An identifier (range variable, relation name, or attribute name).
+    Ident(String),
+    /// A literal value (string or number).
+    Literal(Value),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// Lexes the whole input into a token stream.
+pub fn lex(input: &str) -> QueryResult<Vec<Token>> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        match c {
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    return Err(QueryError::Lex {
+                        position: start,
+                        message: "expected '=' after '!'".into(),
+                    });
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(QueryError::Lex {
+                        position: start,
+                        message: "unterminated string literal".into(),
+                    });
+                }
+                let text = &input[i + 1..j];
+                tokens.push(Token {
+                    kind: TokenKind::Literal(Value::str(text)),
+                    position: start,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|b| b.is_ascii_digit())) =>
+            {
+                let mut j = i + 1;
+                let mut saw_dot = false;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_digit() || (bytes[j] == b'.' && !saw_dot))
+                {
+                    if bytes[j] == b'.' {
+                        // A dot not followed by a digit terminates the number
+                        // (it is the qualification dot of `e.NAME`).
+                        if !bytes.get(j + 1).is_some_and(|b| b.is_ascii_digit()) {
+                            break;
+                        }
+                        saw_dot = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[i..j];
+                let value = if saw_dot {
+                    text.parse::<f64>().map(Value::float).map_err(|_| QueryError::Lex {
+                        position: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?
+                } else {
+                    text.parse::<i64>().map(Value::Int).map_err(|_| QueryError::Lex {
+                        position: start,
+                        message: format!("bad integer literal {text:?}"),
+                    })?
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Literal(value),
+                    position: start,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_alphanumeric() || cj == '_' || cj == '#' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[i..j];
+                let kind = match word.to_ascii_lowercase().as_str() {
+                    "range" => TokenKind::Range,
+                    "of" => TokenKind::Of,
+                    "is" => TokenKind::Is,
+                    "retrieve" => TokenKind::Retrieve,
+                    "where" => TokenKind::Where,
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    _ => TokenKind::Ident(word.to_owned()),
+                };
+                tokens.push(Token { kind, position: start });
+                i = j;
+            }
+            other => {
+                return Err(QueryError::Lex {
+                    position: start,
+                    message: format!("unexpected character {other:?}"),
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_figure1_query() {
+        let toks = kinds(
+            "range of e is EMP\n\
+             retrieve (e.NAME, e.E#)\n\
+             where (e.SEX = \"F\" and e.TEL# > 2634000) or (e.TEL# < 2634000)",
+        );
+        assert_eq!(toks[0], TokenKind::Range);
+        assert!(toks.contains(&TokenKind::Ident("EMP".into())));
+        assert!(toks.contains(&TokenKind::Ident("TEL#".into())));
+        assert!(toks.contains(&TokenKind::Literal(Value::str("F"))));
+        assert!(toks.contains(&TokenKind::Literal(Value::int(2_634_000))));
+        assert!(toks.contains(&TokenKind::Gt));
+        assert!(toks.contains(&TokenKind::Or));
+    }
+
+    #[test]
+    fn operators_and_punctuation() {
+        assert_eq!(
+            kinds("= != < <= > >= <> ( ) , ."),
+            vec![
+                TokenKind::Eq,
+                TokenKind::Ne,
+                TokenKind::Lt,
+                TokenKind::Le,
+                TokenKind::Gt,
+                TokenKind::Ge,
+                TokenKind::Ne,
+                TokenKind::LParen,
+                TokenKind::RParen,
+                TokenKind::Comma,
+                TokenKind::Dot,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds("42 -7 2.5 \"hello world\""),
+            vec![
+                TokenKind::Literal(Value::int(42)),
+                TokenKind::Literal(Value::int(-7)),
+                TokenKind::Literal(Value::float(2.5)),
+                TokenKind::Literal(Value::str("hello world")),
+            ]
+        );
+    }
+
+    #[test]
+    fn dotted_attribute_does_not_eat_the_dot_as_a_float() {
+        let toks = kinds("e.E# = 12.m");
+        // "12." followed by a letter: the 12 is an integer, the dot is a Dot.
+        assert!(toks.contains(&TokenKind::Literal(Value::int(12))));
+        assert_eq!(toks.iter().filter(|k| **k == TokenKind::Dot).count(), 2);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(
+            kinds("RANGE Of IS Retrieve WHERE AND or NOT"),
+            vec![
+                TokenKind::Range,
+                TokenKind::Of,
+                TokenKind::Is,
+                TokenKind::Retrieve,
+                TokenKind::Where,
+                TokenKind::And,
+                TokenKind::Or,
+                TokenKind::Not,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(matches!(lex("a @ b"), Err(QueryError::Lex { .. })));
+        assert!(matches!(lex("\"unterminated"), Err(QueryError::Lex { .. })));
+        assert!(matches!(lex("a ! b"), Err(QueryError::Lex { .. })));
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = lex("ab  cd").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 4);
+    }
+}

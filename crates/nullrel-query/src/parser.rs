@@ -1,0 +1,304 @@
+//! Recursive-descent parser for the QUEL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := range+ retrieve [where]
+//! range      := "range" "of" IDENT "is" IDENT
+//! retrieve   := "retrieve" "(" attr_ref ("," attr_ref)* ")"
+//! where      := "where" or_expr
+//! or_expr    := and_expr ("or" and_expr)*
+//! and_expr   := not_expr ("and" not_expr)*
+//! not_expr   := "not" not_expr | primary
+//! primary    := "(" or_expr ")" | comparison
+//! comparison := term OP term
+//! term       := attr_ref | literal
+//! attr_ref   := IDENT "." IDENT
+//! ```
+
+use nullrel_core::tvl::CompareOp;
+
+use crate::ast::{AttrRef, Query, RangeDecl, Term, WhereExpr};
+use crate::error::{QueryError, QueryResult};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses a full query from source text.
+pub fn parse(input: &str) -> QueryResult<Query> {
+    let tokens = lex(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let query = parser.query()?;
+    parser.expect_end()?;
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn query(&mut self) -> QueryResult<Query> {
+        let mut ranges = Vec::new();
+        while self.peek_is(&TokenKind::Range) {
+            ranges.push(self.range_decl()?);
+        }
+        if ranges.is_empty() {
+            return Err(self.err("expected at least one 'range of' declaration"));
+        }
+        self.expect(&TokenKind::Retrieve, "expected 'retrieve'")?;
+        self.expect(&TokenKind::LParen, "expected '(' after 'retrieve'")?;
+        let mut targets = vec![self.attr_ref()?];
+        while self.peek_is(&TokenKind::Comma) {
+            self.advance();
+            targets.push(self.attr_ref()?);
+        }
+        self.expect(&TokenKind::RParen, "expected ')' after the target list")?;
+        let where_clause = if self.peek_is(&TokenKind::Where) {
+            self.advance();
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            ranges,
+            targets,
+            where_clause,
+        })
+    }
+
+    fn range_decl(&mut self) -> QueryResult<RangeDecl> {
+        self.expect(&TokenKind::Range, "expected 'range'")?;
+        self.expect(&TokenKind::Of, "expected 'of'")?;
+        let variable = self.ident("expected a range variable name")?;
+        self.expect(&TokenKind::Is, "expected 'is'")?;
+        let relation = self.ident("expected a relation name")?;
+        Ok(RangeDecl { variable, relation })
+    }
+
+    fn or_expr(&mut self) -> QueryResult<WhereExpr> {
+        let mut left = self.and_expr()?;
+        while self.peek_is(&TokenKind::Or) {
+            self.advance();
+            let right = self.and_expr()?;
+            left = left.or(right);
+        }
+        Ok(left)
+    }
+
+    fn and_expr(&mut self) -> QueryResult<WhereExpr> {
+        let mut left = self.not_expr()?;
+        while self.peek_is(&TokenKind::And) {
+            self.advance();
+            let right = self.not_expr()?;
+            left = left.and(right);
+        }
+        Ok(left)
+    }
+
+    fn not_expr(&mut self) -> QueryResult<WhereExpr> {
+        if self.peek_is(&TokenKind::Not) {
+            self.advance();
+            return Ok(self.not_expr()?.negate());
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> QueryResult<WhereExpr> {
+        if self.peek_is(&TokenKind::LParen) {
+            self.advance();
+            let inner = self.or_expr()?;
+            self.expect(&TokenKind::RParen, "expected ')'")?;
+            return Ok(inner);
+        }
+        let left = self.term()?;
+        let op = self.compare_op()?;
+        let right = self.term()?;
+        Ok(WhereExpr::Cmp { left, op, right })
+    }
+
+    fn term(&mut self) -> QueryResult<Term> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Literal(value)) => {
+                self.advance();
+                Ok(Term::Const(value))
+            }
+            Some(TokenKind::Ident(_)) => Ok(Term::Attr(self.attr_ref()?)),
+            _ => Err(self.err("expected an attribute reference or a literal")),
+        }
+    }
+
+    fn compare_op(&mut self) -> QueryResult<CompareOp> {
+        let op = match self.peek().map(|t| &t.kind) {
+            Some(TokenKind::Eq) => CompareOp::Eq,
+            Some(TokenKind::Ne) => CompareOp::Ne,
+            Some(TokenKind::Lt) => CompareOp::Lt,
+            Some(TokenKind::Le) => CompareOp::Le,
+            Some(TokenKind::Gt) => CompareOp::Gt,
+            Some(TokenKind::Ge) => CompareOp::Ge,
+            _ => return Err(self.err("expected a comparison operator")),
+        };
+        self.advance();
+        Ok(op)
+    }
+
+    fn attr_ref(&mut self) -> QueryResult<AttrRef> {
+        let variable = self.ident("expected a range variable")?;
+        self.expect(&TokenKind::Dot, "expected '.' after the range variable")?;
+        let attribute = self.ident("expected an attribute name")?;
+        Ok(AttrRef {
+            variable,
+            attribute,
+        })
+    }
+
+    fn ident(&mut self, message: &str) -> QueryResult<String> {
+        match self.peek().map(|t| t.kind.clone()) {
+            Some(TokenKind::Ident(name)) => {
+                self.advance();
+                Ok(name)
+            }
+            _ => Err(self.err(message)),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, message: &str) -> QueryResult<()> {
+        if self.peek_is(kind) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(message))
+        }
+    }
+
+    fn expect_end(&self) -> QueryResult<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(self.err("unexpected trailing tokens"))
+        }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_is(&self, kind: &TokenKind) -> bool {
+        self.peek().map(|t| &t.kind) == Some(kind)
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn err(&self, message: &str) -> QueryError {
+        QueryError::Parse {
+            position: self.peek().map(|t| t.position).unwrap_or_else(|| {
+                self.tokens.last().map(|t| t.position + 1).unwrap_or(0)
+            }),
+            message: message.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::value::Value;
+
+    /// The text of Figure 1, query Q_A.
+    pub const FIGURE_1: &str = "\
+        range of e is EMP\n\
+        retrieve (e.NAME, e.E#)\n\
+        where (e.SEX = \"F\" and e.TEL# > 2634000) or (e.TEL# < 2634000)";
+
+    /// The text of Figure 2, query Q_B.
+    pub const FIGURE_2: &str = "\
+        range of e is EMP\n\
+        range of m is EMP\n\
+        retrieve (e.NAME)\n\
+        where m.SEX = \"M\" and e.MGR# = m.E# and e.MGR# != e.E# and e.E# != m.MGR#";
+
+    #[test]
+    fn parses_figure_1() {
+        let q = parse(FIGURE_1).unwrap();
+        assert_eq!(q.ranges.len(), 1);
+        assert_eq!(q.ranges[0].variable, "e");
+        assert_eq!(q.ranges[0].relation, "EMP");
+        assert_eq!(q.targets.len(), 2);
+        assert_eq!(q.targets[1].attribute, "E#");
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.atom_count(), 3);
+        // Top level is an OR.
+        assert!(matches!(w, WhereExpr::Or(..)));
+    }
+
+    #[test]
+    fn parses_figure_2() {
+        let q = parse(FIGURE_2).unwrap();
+        assert_eq!(q.ranges.len(), 2);
+        assert_eq!(q.targets.len(), 1);
+        let w = q.where_clause.unwrap();
+        assert_eq!(w.atom_count(), 4);
+        // Left-associated ANDs.
+        assert!(matches!(w, WhereExpr::And(..)));
+        assert!(w.attr_refs().iter().any(|r| r.variable == "m"));
+    }
+
+    #[test]
+    fn where_clause_is_optional() {
+        let q = parse("range of p is PS retrieve (p.S#)").unwrap();
+        assert!(q.where_clause.is_none());
+        assert_eq!(q.targets[0].label(), "p.S#");
+    }
+
+    #[test]
+    fn not_and_precedence() {
+        let q = parse(
+            "range of e is EMP retrieve (e.E#) \
+             where not e.SEX = \"F\" or e.E# > 1 and e.E# < 9",
+        )
+        .unwrap();
+        let w = q.where_clause.unwrap();
+        // OR binds loosest: Or(Not(...), And(...)).
+        match w {
+            WhereExpr::Or(l, r) => {
+                assert!(matches!(*l, WhereExpr::Not(_)));
+                assert!(matches!(*r, WhereExpr::And(..)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn literal_on_the_left_is_allowed() {
+        let q = parse("range of e is EMP retrieve (e.E#) where 100 <= e.E#").unwrap();
+        match q.where_clause.unwrap() {
+            WhereExpr::Cmp { left, op, .. } => {
+                assert_eq!(left, Term::Const(Value::int(100)));
+                assert_eq!(op, nullrel_core::tvl::CompareOp::Le);
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(matches!(parse("retrieve (e.A)"), Err(QueryError::Parse { .. })));
+        assert!(matches!(
+            parse("range of e is EMP retrieve ()"),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("range of e is EMP retrieve (e.A) where e.A ="),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("range of e is EMP retrieve (e.A) extra"),
+            Err(QueryError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse("range of e is EMP retrieve (e.A) where e.A 5"),
+            Err(QueryError::Parse { .. })
+        ));
+    }
+}

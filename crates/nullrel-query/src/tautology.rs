@@ -1,0 +1,652 @@
+//! Tautology (validity) detection for where-clauses with unknown nulls —
+//! the machinery the paper's Appendix argues a system would need under the
+//! "unknown" interpretation, and which the `ni` interpretation makes
+//! unnecessary.
+//!
+//! A where-clause with nulls substituted by variables becomes a [`Formula`]
+//! over comparison atoms. Deciding whether a tuple must be included in the
+//! correct lower bound `‖Q‖∗` under the *unknown* interpretation requires
+//! deciding whether the formula is **valid** (true under every legal
+//! assignment of the null variables). Two procedures are provided:
+//!
+//! * [`propositional_tautology`] — treats every comparison atom as an
+//!   independent proposition and checks validity by exhaustive assignment
+//!   enumeration. This is sound but incomplete (it cannot see that
+//!   `x > k ∨ x < k ∨ x = k` is valid) and its cost is exponential in the
+//!   number of atoms — the NP-hardness the Appendix cites.
+//! * [`decide`] / [`decide_with_assumptions`] — a complete decision
+//!   procedure for formulas whose atoms compare variables and constants from
+//!   a totally ordered domain, based on test-point enumeration: every
+//!   variable ranges over a finite grid containing every constant of the
+//!   formula, its integer neighbours, and sentinel values below and above
+//!   all constants. Integrity constraints (Figure 2's "an employee cannot
+//!   manage himself") enter as assumptions.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use nullrel_core::tvl::CompareOp;
+use nullrel_core::value::Value;
+
+/// One side of a comparison atom.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Operand {
+    /// A null variable (named after the cell it fills in, e.g. `e.TEL#`).
+    Var(String),
+    /// A known constant.
+    Const(Value),
+}
+
+/// A quantifier-free formula over comparison atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    /// The constant TRUE.
+    True,
+    /// The constant FALSE.
+    False,
+    /// A comparison atom.
+    Cmp {
+        /// Left operand.
+        left: Operand,
+        /// Comparison operator.
+        op: CompareOp,
+        /// Right operand.
+        right: Operand,
+    },
+    /// Conjunction.
+    And(Box<Formula>, Box<Formula>),
+    /// Disjunction.
+    Or(Box<Formula>, Box<Formula>),
+    /// Negation.
+    Not(Box<Formula>),
+}
+
+impl Formula {
+    /// Conjunction helper.
+    #[must_use]
+    pub fn and(self, other: Formula) -> Formula {
+        Formula::And(Box::new(self), Box::new(other))
+    }
+
+    /// Disjunction helper.
+    #[must_use]
+    pub fn or(self, other: Formula) -> Formula {
+        Formula::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation helper.
+    #[must_use]
+    pub fn negate(self) -> Formula {
+        Formula::Not(Box::new(self))
+    }
+
+    /// A comparison atom.
+    pub fn cmp(left: Operand, op: CompareOp, right: Operand) -> Formula {
+        Formula::Cmp { left, op, right }
+    }
+
+    /// The variables occurring in the formula.
+    pub fn variables(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Cmp { left, right, .. } => {
+                if let Operand::Var(v) = left {
+                    out.insert(v.clone());
+                }
+                if let Operand::Var(v) = right {
+                    out.insert(v.clone());
+                }
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Formula::Not(inner) => inner.collect_vars(out),
+        }
+    }
+
+    /// The constants occurring in the formula.
+    pub fn constants(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.collect_consts(&mut out);
+        out
+    }
+
+    fn collect_consts(&self, out: &mut Vec<Value>) {
+        match self {
+            Formula::True | Formula::False => {}
+            Formula::Cmp { left, right, .. } => {
+                if let Operand::Const(v) = left {
+                    out.push(v.clone());
+                }
+                if let Operand::Const(v) = right {
+                    out.push(v.clone());
+                }
+            }
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_consts(out);
+                b.collect_consts(out);
+            }
+            Formula::Not(inner) => inner.collect_consts(out),
+        }
+    }
+
+    /// The comparison atoms in left-to-right order.
+    pub fn atoms(&self) -> Vec<&Formula> {
+        let mut out = Vec::new();
+        self.collect_atoms(&mut out);
+        out
+    }
+
+    fn collect_atoms<'a>(&'a self, out: &mut Vec<&'a Formula>) {
+        match self {
+            Formula::Cmp { .. } => out.push(self),
+            Formula::And(a, b) | Formula::Or(a, b) => {
+                a.collect_atoms(out);
+                b.collect_atoms(out);
+            }
+            Formula::Not(inner) => inner.collect_atoms(out),
+            Formula::True | Formula::False => {}
+        }
+    }
+
+    /// Evaluates the formula under a complete assignment of the variables.
+    /// Comparisons between incompatible types evaluate to false.
+    pub fn eval(&self, assignment: &BTreeMap<String, Value>) -> bool {
+        match self {
+            Formula::True => true,
+            Formula::False => false,
+            Formula::Cmp { left, op, right } => {
+                let l = resolve(left, assignment);
+                let r = resolve(right, assignment);
+                match (l, r) {
+                    (Some(l), Some(r)) => match l.compare(&r) {
+                        Ok(ord) => op.test(ord),
+                        Err(_) => false,
+                    },
+                    // Unbound variables should not occur; treat as false.
+                    _ => false,
+                }
+            }
+            Formula::And(a, b) => a.eval(assignment) && b.eval(assignment),
+            Formula::Or(a, b) => a.eval(assignment) || b.eval(assignment),
+            Formula::Not(inner) => !inner.eval(assignment),
+        }
+    }
+}
+
+fn resolve(op: &Operand, assignment: &BTreeMap<String, Value>) -> Option<Value> {
+    match op {
+        Operand::Const(v) => Some(v.clone()),
+        Operand::Var(name) => assignment.get(name).cloned(),
+    }
+}
+
+/// The outcome of deciding a formula.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// True under every assignment (a tautology given the assumptions).
+    Valid,
+    /// True under some assignments and false under others.
+    Satisfiable,
+    /// False under every assignment.
+    Unsatisfiable,
+}
+
+/// Statistics from a decision, used by benchmark E10.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecideStats {
+    /// Number of complete variable assignments evaluated.
+    pub assignments: usize,
+    /// Number of candidate values per variable grid (maximum over
+    /// variables).
+    pub grid_size: usize,
+}
+
+/// Checks whether the formula is a **propositional** tautology: valid when
+/// every comparison atom is treated as an independent boolean. Sound but
+/// incomplete; exponential in the number of distinct atoms.
+pub fn propositional_tautology(formula: &Formula) -> (bool, DecideStats) {
+    // Collect distinct atoms (structural equality).
+    let mut atoms: Vec<Formula> = Vec::new();
+    for atom in formula.atoms() {
+        if !atoms.contains(atom) {
+            atoms.push(atom.clone());
+        }
+    }
+    let n = atoms.len();
+    let mut stats = DecideStats {
+        assignments: 0,
+        grid_size: 2,
+    };
+    // Enumerate all 2^n truth assignments of the atoms.
+    for mask in 0..(1u64 << n.min(63)) {
+        stats.assignments += 1;
+        let truth = eval_propositional(formula, &atoms, mask);
+        if !truth {
+            return (false, stats);
+        }
+    }
+    (true, stats)
+}
+
+fn eval_propositional(formula: &Formula, atoms: &[Formula], mask: u64) -> bool {
+    match formula {
+        Formula::True => true,
+        Formula::False => false,
+        Formula::Cmp { .. } => {
+            let idx = atoms
+                .iter()
+                .position(|a| a == formula)
+                .expect("atom collected");
+            mask & (1 << idx) != 0
+        }
+        Formula::And(a, b) => {
+            eval_propositional(a, atoms, mask) && eval_propositional(b, atoms, mask)
+        }
+        Formula::Or(a, b) => {
+            eval_propositional(a, atoms, mask) || eval_propositional(b, atoms, mask)
+        }
+        Formula::Not(inner) => !eval_propositional(inner, atoms, mask),
+    }
+}
+
+/// Decides a formula with no assumptions.
+pub fn decide(formula: &Formula) -> (Decision, DecideStats) {
+    decide_with_assumptions(&[], formula)
+}
+
+/// Decides `(∧ assumptions) → formula` over the test-point grid:
+///
+/// * [`Decision::Valid`] — the formula holds under every assignment that
+///   satisfies the assumptions (or the assumptions are unsatisfiable);
+/// * [`Decision::Satisfiable`] — it holds under some but not all;
+/// * [`Decision::Unsatisfiable`] — it holds under none.
+pub fn decide_with_assumptions(
+    assumptions: &[Formula],
+    formula: &Formula,
+) -> (Decision, DecideStats) {
+    // Gather variables and constants from the formula and the assumptions.
+    let mut vars = formula.variables();
+    let mut consts = formula.constants();
+    for a in assumptions {
+        vars.extend(a.variables());
+        consts.extend(a.constants());
+    }
+    let grid = candidate_grid(&consts);
+    let vars: Vec<String> = vars.into_iter().collect();
+    // Give each variable a candidate list restricted to its inferred type;
+    // a variable whose type cannot be inferred ranges over the whole grid.
+    let types = infer_variable_types(assumptions, formula);
+    let grids: Vec<Vec<Value>> = vars
+        .iter()
+        .map(|v| {
+            // A variable with no type evidence at all is assumed to range
+            // over an integer-like ordered domain (any single ordered domain
+            // gives the same validity answers for pure comparison formulas).
+            let ty = types
+                .get(v)
+                .copied()
+                .flatten()
+                .unwrap_or(nullrel_core::universe::DomainType::Int);
+            let filtered: Vec<Value> = grid
+                .iter()
+                .filter(|val| ty.matches(val))
+                .cloned()
+                .collect();
+            if filtered.is_empty() {
+                grid.clone()
+            } else {
+                filtered
+            }
+        })
+        .collect();
+    let mut stats = DecideStats {
+        assignments: 0,
+        grid_size: grids.iter().map(Vec::len).max().unwrap_or(grid.len()),
+    };
+
+    let mut seen_true = false;
+    let mut seen_false = false;
+    let mut any_assumption_model = false;
+
+    let mut indices = vec![0usize; vars.len()];
+    loop {
+        let assignment: BTreeMap<String, Value> = vars
+            .iter()
+            .enumerate()
+            .map(|(pos, v)| (v.clone(), grids[pos][indices[pos]].clone()))
+            .collect();
+        stats.assignments += 1;
+        let assumptions_hold = assumptions.iter().all(|a| a.eval(&assignment));
+        if assumptions_hold {
+            any_assumption_model = true;
+            if formula.eval(&assignment) {
+                seen_true = true;
+            } else {
+                seen_false = true;
+            }
+            if seen_true && seen_false {
+                return (Decision::Satisfiable, stats);
+            }
+        }
+        // Advance the mixed-radix counter; with no variables run exactly once.
+        if vars.is_empty() {
+            break;
+        }
+        let mut pos = 0;
+        loop {
+            if pos == vars.len() {
+                indices.clear();
+                break;
+            }
+            indices[pos] += 1;
+            if indices[pos] < grids[pos].len() {
+                break;
+            }
+            indices[pos] = 0;
+            pos += 1;
+        }
+        if indices.is_empty() {
+            break;
+        }
+    }
+    let decision = if !any_assumption_model {
+        // Vacuously valid: no legal assignment satisfies the constraints.
+        Decision::Valid
+    } else if seen_true && !seen_false {
+        Decision::Valid
+    } else if seen_false && !seen_true {
+        Decision::Unsatisfiable
+    } else {
+        Decision::Satisfiable
+    };
+    (decision, stats)
+}
+
+/// Builds the shared test-point grid: every constant, its integer/float
+/// neighbours, and sentinel values of every type below and above all
+/// constants. Variables of a dense or discrete ordered domain take all
+/// their order-positions relative to the constants somewhere in this grid,
+/// which is what makes the procedure complete for comparison formulas; the
+/// per-variable type filter in [`decide_with_assumptions`] keeps variables
+/// from being assigned values outside their domain's type.
+fn candidate_grid(consts: &[Value]) -> Vec<Value> {
+    fn push(grid: &mut Vec<Value>, v: Value) {
+        if !grid.contains(&v) {
+            grid.push(v);
+        }
+    }
+    let mut grid: Vec<Value> = Vec::new();
+    for c in consts {
+        match c {
+            Value::Int(i) => {
+                push(&mut grid, Value::Int(*i));
+                push(&mut grid, Value::Int(i.saturating_sub(1)));
+                push(&mut grid, Value::Int(i.saturating_add(1)));
+            }
+            Value::Float(f) => {
+                push(&mut grid, Value::float(f.get()));
+                push(&mut grid, Value::float(f.get() - 1.0));
+                push(&mut grid, Value::float(f.get() + 1.0));
+            }
+            Value::Str(s) => {
+                push(&mut grid, Value::str(s.clone()));
+            }
+            Value::Bool(b) => {
+                push(&mut grid, Value::Bool(*b));
+                push(&mut grid, Value::Bool(!b));
+            }
+        }
+    }
+    // Type-specific sentinels below and above every constant.
+    push(&mut grid, Value::Int(i64::MIN / 2));
+    push(&mut grid, Value::Int(i64::MAX / 2));
+    push(&mut grid, Value::str("\u{0}"));
+    push(&mut grid, Value::str("\u{10FFFF}~sentinel"));
+    push(&mut grid, Value::Bool(false));
+    push(&mut grid, Value::Bool(true));
+    grid
+}
+
+/// Infers the runtime type of each variable from the atoms it appears in:
+/// a variable compared with a constant takes the constant's type, and type
+/// information flows across variable-to-variable comparisons. Conflicting
+/// evidence leaves the variable untyped (it then ranges over the full grid).
+fn infer_variable_types(
+    assumptions: &[Formula],
+    formula: &Formula,
+) -> BTreeMap<String, Option<nullrel_core::universe::DomainType>> {
+    use nullrel_core::universe::DomainType;
+
+    let mut types: BTreeMap<String, Option<DomainType>> = BTreeMap::new();
+    let mut links: Vec<(String, String)> = Vec::new();
+    let mut atoms: Vec<&Formula> = formula.atoms();
+    for a in assumptions {
+        atoms.extend(a.atoms());
+    }
+    let record = |types: &mut BTreeMap<String, Option<DomainType>>, var: &str, ty: DomainType| {
+        match types.get(var) {
+            Some(Some(existing)) if *existing != ty => {
+                // Numeric cross-typing (int vs float) is harmless; anything
+                // else marks the variable as mixed.
+                let numeric = |t: DomainType| matches!(t, DomainType::Int | DomainType::Float);
+                if !(numeric(*existing) && numeric(ty)) {
+                    types.insert(var.to_owned(), None);
+                }
+            }
+            Some(Some(_)) => {}
+            Some(None) => {}
+            None => {
+                types.insert(var.to_owned(), Some(ty));
+            }
+        }
+    };
+    for atom in &atoms {
+        if let Formula::Cmp { left, right, .. } = atom {
+            match (left, right) {
+                (Operand::Var(v), Operand::Const(c)) | (Operand::Const(c), Operand::Var(v)) => {
+                    record(&mut types, v, nullrel_core::universe::DomainType::of(c));
+                }
+                (Operand::Var(a), Operand::Var(b)) => {
+                    links.push((a.clone(), b.clone()));
+                    types.entry(a.clone()).or_insert(None);
+                    types.entry(b.clone()).or_insert(None);
+                }
+                _ => {}
+            }
+        }
+    }
+    // Propagate across links to a fixed point (the link graph is tiny).
+    for _ in 0..links.len() + 1 {
+        let mut changed = false;
+        for (a, b) in &links {
+            let ta = types.get(a).copied().flatten();
+            let tb = types.get(b).copied().flatten();
+            match (ta, tb) {
+                (Some(t), None) => {
+                    if types.insert(b.clone(), Some(t)) != Some(Some(t)) {
+                        changed = true;
+                    }
+                }
+                (None, Some(t)) => {
+                    if types.insert(a.clone(), Some(t)) != Some(Some(t)) {
+                        changed = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    types
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(name: &str) -> Operand {
+        Operand::Var(name.into())
+    }
+
+    fn int(v: i64) -> Operand {
+        Operand::Const(Value::int(v))
+    }
+
+    /// Figure 1's where clause with SEX known to be "F" and TEL# unknown:
+    /// (TRUE ∧ x > 2634000) ∨ x < 2634000 — satisfiable but *not* valid,
+    /// because x may equal 2634000 exactly.
+    #[test]
+    fn figure1_clause_without_equality_is_not_valid() {
+        let x = || var("e.TEL#");
+        let f = Formula::cmp(x(), CompareOp::Gt, int(2_634_000))
+            .or(Formula::cmp(x(), CompareOp::Lt, int(2_634_000)));
+        let (d, stats) = decide(&f);
+        assert_eq!(d, Decision::Satisfiable);
+        assert!(stats.assignments >= 2);
+    }
+
+    /// x > k ∨ x ≤ k is a genuine tautology over any ordered domain; the
+    /// test-point method finds it, the propositional abstraction cannot.
+    #[test]
+    fn arithmetic_tautology_needs_the_ordered_decision_procedure() {
+        let x = || var("x");
+        let f = Formula::cmp(x(), CompareOp::Gt, int(10))
+            .or(Formula::cmp(x(), CompareOp::Le, int(10)));
+        assert_eq!(decide(&f).0, Decision::Valid);
+        let (prop, _) = propositional_tautology(&f);
+        assert!(!prop, "propositionally the two atoms are independent");
+    }
+
+    /// p ∨ ¬p is valid both propositionally and over the ordered domain.
+    #[test]
+    fn propositional_tautology_is_detected() {
+        let p = Formula::cmp(var("x"), CompareOp::Eq, int(5));
+        let f = p.clone().or(p.negate());
+        assert!(propositional_tautology(&f).0);
+        assert_eq!(decide(&f).0, Decision::Valid);
+    }
+
+    /// The Appendix's inequality example: `t.A > 3 ∧ (t.B < 12 ∨ t.B > t.A)`
+    /// is a tautology in B whenever A is known to satisfy 3 < A < 12.
+    #[test]
+    fn appendix_inequality_example() {
+        let b = || var("t.B");
+        // A is known: say A = 7.
+        let f = Formula::cmp(int(7), CompareOp::Gt, int(3)).and(
+            Formula::cmp(b(), CompareOp::Lt, int(12))
+                .or(Formula::cmp(b(), CompareOp::Gt, int(7))),
+        );
+        assert_eq!(decide(&f).0, Decision::Valid);
+        // With A = 20 the clause is merely satisfiable in B.
+        let f2 = Formula::cmp(int(20), CompareOp::Gt, int(3)).and(
+            Formula::cmp(b(), CompareOp::Lt, int(12))
+                .or(Formula::cmp(b(), CompareOp::Gt, int(20))),
+        );
+        assert_eq!(decide(&f2).0, Decision::Satisfiable);
+    }
+
+    /// Figure 2's schema-constraint tautology: given the integrity
+    /// constraints MGR# ≠ E# (no self-management) and E# ≠ m.MGR# (no
+    /// mutual management) as assumptions, the last two conjuncts of Q_B are
+    /// valid for any substitution of the nulls.
+    #[test]
+    fn figure2_constraints_make_the_residue_valid() {
+        let e_mgr = || var("e.MGR#");
+        let e_no = || var("e.E#");
+        let m_mgr = || var("m.MGR#");
+        let residue = Formula::cmp(e_mgr(), CompareOp::Ne, e_no())
+            .and(Formula::cmp(e_no(), CompareOp::Ne, m_mgr()));
+        // Without the constraints the residue is merely satisfiable.
+        assert_eq!(decide(&residue).0, Decision::Satisfiable);
+        // With the constraints assumed it is valid.
+        let constraints = vec![
+            Formula::cmp(e_mgr(), CompareOp::Ne, e_no()),
+            Formula::cmp(e_no(), CompareOp::Ne, m_mgr()),
+        ];
+        assert_eq!(
+            decide_with_assumptions(&constraints, &residue).0,
+            Decision::Valid
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_formulas_are_detected() {
+        let x = || var("x");
+        let f = Formula::cmp(x(), CompareOp::Gt, int(10)).and(Formula::cmp(x(), CompareOp::Lt, int(5)));
+        assert_eq!(decide(&f).0, Decision::Unsatisfiable);
+        // Discrete gap: x > 4 ∧ x < 5 has no integer solution.
+        let g = Formula::cmp(x(), CompareOp::Gt, int(4)).and(Formula::cmp(x(), CompareOp::Lt, int(5)));
+        assert_eq!(decide(&g).0, Decision::Unsatisfiable);
+        // But x > 4 ∧ x < 6 does (x = 5).
+        let h = Formula::cmp(x(), CompareOp::Gt, int(4)).and(Formula::cmp(x(), CompareOp::Lt, int(6)));
+        assert_eq!(decide(&h).0, Decision::Satisfiable);
+    }
+
+    #[test]
+    fn unsatisfiable_assumptions_make_everything_vacuously_valid() {
+        let x = || var("x");
+        let contradictory = vec![
+            Formula::cmp(x(), CompareOp::Gt, int(10)),
+            Formula::cmp(x(), CompareOp::Lt, int(5)),
+        ];
+        let f = Formula::cmp(x(), CompareOp::Eq, int(0));
+        assert_eq!(decide_with_assumptions(&contradictory, &f).0, Decision::Valid);
+    }
+
+    #[test]
+    fn ground_formulas_and_constants() {
+        assert_eq!(decide(&Formula::True).0, Decision::Valid);
+        assert_eq!(decide(&Formula::False).0, Decision::Unsatisfiable);
+        let ground = Formula::cmp(int(3), CompareOp::Lt, int(5));
+        assert_eq!(decide(&ground).0, Decision::Valid);
+        let ground_false = Formula::cmp(int(5), CompareOp::Lt, int(3));
+        assert_eq!(decide(&ground_false).0, Decision::Unsatisfiable);
+    }
+
+    #[test]
+    fn string_comparisons_and_type_clashes() {
+        let s = || var("s");
+        let f = Formula::cmp(s(), CompareOp::Eq, Operand::Const(Value::str("F")))
+            .or(Formula::cmp(s(), CompareOp::Ne, Operand::Const(Value::str("F"))));
+        assert_eq!(decide(&f).0, Decision::Valid);
+        // Comparing a string constant with an int constant is never true.
+        let clash = Formula::cmp(
+            Operand::Const(Value::str("F")),
+            CompareOp::Eq,
+            Operand::Const(Value::int(1)),
+        );
+        assert_eq!(decide(&clash).0, Decision::Unsatisfiable);
+    }
+
+    #[test]
+    fn variable_to_variable_equality_orders() {
+        let x = || var("x");
+        let y = || var("y");
+        // x = y ∨ x < y ∨ x > y is valid (trichotomy).
+        let f = Formula::cmp(x(), CompareOp::Eq, y())
+            .or(Formula::cmp(x(), CompareOp::Lt, y()))
+            .or(Formula::cmp(x(), CompareOp::Gt, y()));
+        assert_eq!(decide(&f).0, Decision::Valid);
+        // x < y ∧ y < x is unsatisfiable.
+        let g = Formula::cmp(x(), CompareOp::Lt, y()).and(Formula::cmp(y(), CompareOp::Lt, x()));
+        assert_eq!(decide(&g).0, Decision::Unsatisfiable);
+    }
+
+    #[test]
+    fn formula_introspection() {
+        let f = Formula::cmp(var("a"), CompareOp::Lt, int(3)).and(Formula::cmp(var("b"), CompareOp::Gt, int(4)));
+        assert_eq!(f.variables().len(), 2);
+        assert_eq!(f.constants().len(), 2);
+        assert_eq!(f.atoms().len(), 2);
+    }
+}

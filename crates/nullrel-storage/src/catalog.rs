@@ -1,0 +1,209 @@
+//! The database catalog: a universe of attributes plus named tables.
+//!
+//! [`Database`] ties the pieces together: it owns the [`Universe`] (the
+//! paper's `U`), creates tables from [`SchemaBuilder`] specifications, and
+//! exposes the stored relations to the algebra layer by implementing
+//! [`RelationSource`], so a [`nullrel_core::algebra::Expr`] can be evaluated
+//! directly against the database.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use nullrel_core::algebra::RelationSource;
+use nullrel_core::universe::Universe;
+use nullrel_core::xrel::XRelation;
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::SchemaBuilder;
+use crate::table::Table;
+
+/// An in-memory database: a universe plus named tables.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    universe: Universe,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// The universe of attributes.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Mutable access to the universe (for registering domains after the
+    /// fact, renaming, …).
+    pub fn universe_mut(&mut self) -> &mut Universe {
+        &mut self.universe
+    }
+
+    /// Creates a table from a schema specification.
+    pub fn create_table(&mut self, spec: SchemaBuilder) -> StorageResult<&mut Table> {
+        let name = spec.table_name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::TableExists(name));
+        }
+        let schema = spec.build(&mut self.universe)?;
+        self.tables.insert(name.clone(), Table::new(schema));
+        Ok(self.tables.get_mut(&name).expect("just inserted"))
+    }
+
+    /// Drops a table, returning it.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Returns a table by name.
+    pub fn table(&self, name: &str) -> StorageResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Returns a table mutably by name.
+    pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Returns a table mutably together with the universe; needed by schema
+    /// evolution, which interns new attribute names while mutating the table.
+    pub fn table_and_universe_mut(
+        &mut self,
+        name: &str,
+    ) -> StorageResult<(&mut Table, &mut Universe)> {
+        match self.tables.get_mut(name) {
+            Some(table) => Ok((table, &mut self.universe)),
+            None => Err(StorageError::UnknownTable(name.to_owned())),
+        }
+    }
+
+    /// True if a table with this name exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// The table names in sorted order.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Iterates over the tables in name order.
+    pub fn tables(&self) -> impl Iterator<Item = &Table> + '_ {
+        self.tables.values()
+    }
+
+    /// A snapshot of every stored relation as an x-relation, keyed by table
+    /// name — a convenient [`RelationSource`] that does not borrow the
+    /// database.
+    pub fn snapshot(&self) -> HashMap<String, XRelation> {
+        self.tables
+            .iter()
+            .map(|(name, table)| (name.clone(), table.to_xrelation()))
+            .collect()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+}
+
+impl RelationSource for Database {
+    fn relation(&self, name: &str) -> Option<XRelation> {
+        self.tables.get(name).map(Table::to_xrelation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::algebra::Expr;
+    use nullrel_core::predicate::Predicate;
+    use nullrel_core::tvl::CompareOp;
+    use nullrel_core::universe::attr_set;
+    use nullrel_core::value::Value;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            SchemaBuilder::new("PS")
+                .column("S#")
+                .column("P#"),
+        )
+        .unwrap();
+        let u = db.universe().clone();
+        let table = db.table_mut("PS").unwrap();
+        for (s, p) in [
+            (Some("s1"), Some("p1")),
+            (Some("s1"), Some("p2")),
+            (Some("s2"), Some("p1")),
+            (Some("s3"), None),
+        ] {
+            let mut cells: Vec<(&str, Value)> = Vec::new();
+            if let Some(s) = s {
+                cells.push(("S#", Value::str(s)));
+            }
+            if let Some(p) = p {
+                cells.push(("P#", Value::str(p)));
+            }
+            table.insert_named(&u, &cells).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn create_lookup_drop() {
+        let mut db = sample_db();
+        assert!(db.has_table("PS"));
+        assert_eq!(db.table_names(), vec!["PS"]);
+        assert_eq!(db.table("PS").unwrap().len(), 4);
+        assert_eq!(db.total_rows(), 4);
+        assert!(db.table("MISSING").is_err());
+        assert!(db.table_mut("MISSING").is_err());
+        assert!(matches!(
+            db.create_table(SchemaBuilder::new("PS").column("X")),
+            Err(StorageError::TableExists(_))
+        ));
+        let dropped = db.drop_table("PS").unwrap();
+        assert_eq!(dropped.len(), 4);
+        assert!(db.drop_table("PS").is_err());
+        assert_eq!(db.tables().count(), 0);
+    }
+
+    #[test]
+    fn database_is_a_relation_source_for_algebra_expressions() {
+        let db = sample_db();
+        let s = db.universe().lookup("S#").unwrap();
+        let p = db.universe().lookup("P#").unwrap();
+        // Parts supplied by s1, evaluated straight against the database.
+        let expr = Expr::named("PS")
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s1"))
+            .project(attr_set([p]));
+        let result = expr.eval(&db).unwrap();
+        assert_eq!(result.len(), 2);
+        // A snapshot works identically and is independent of later changes.
+        let snap = db.snapshot();
+        assert_eq!(expr.eval(&snap).unwrap(), result);
+        assert!(db.relation("MISSING").is_none());
+    }
+
+    #[test]
+    fn table_and_universe_mut_supports_evolution() {
+        let mut db = sample_db();
+        {
+            let (table, universe) = db.table_and_universe_mut("PS").unwrap();
+            table.add_column(universe, "QTY", None).unwrap();
+        }
+        assert!(db.universe().lookup("QTY").is_some());
+        assert_eq!(db.table("PS").unwrap().schema().columns().len(), 3);
+        assert!(db.table_and_universe_mut("NOPE").is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Error types for the storage substrate.
+
+use std::fmt;
+
+use nullrel_core::error::CoreError;
+use nullrel_core::universe::AttrId;
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;
+
+/// Errors raised by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A core-library error (type mismatch, unknown attribute, …).
+    Core(CoreError),
+    /// A table with this name already exists.
+    TableExists(String),
+    /// No table with this name exists.
+    UnknownTable(String),
+    /// No column with this name exists in the table.
+    UnknownColumn(String),
+    /// A column with this name already exists in the table.
+    ColumnExists(String),
+    /// A non-nullable column received a null value.
+    NullNotAllowed {
+        /// The violated column's attribute id.
+        attr: AttrId,
+    },
+    /// A value was outside the column's declared domain.
+    DomainViolation {
+        /// The violated column's attribute id.
+        attr: AttrId,
+    },
+    /// A key constraint was violated: either a key attribute was null
+    /// (entity integrity) or the key value already exists (uniqueness).
+    KeyViolation {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// A referential-integrity constraint was violated.
+    ReferentialViolation {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// Malformed input given to the text loader.
+    Parse {
+        /// The 1-based line number, when known.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Core(err) => write!(f, "{err}"),
+            StorageError::TableExists(name) => write!(f, "table {name:?} already exists"),
+            StorageError::UnknownTable(name) => write!(f, "unknown table {name:?}"),
+            StorageError::UnknownColumn(name) => write!(f, "unknown column {name:?}"),
+            StorageError::ColumnExists(name) => write!(f, "column {name:?} already exists"),
+            StorageError::NullNotAllowed { attr } => {
+                write!(f, "column #{} does not allow nulls", attr.index())
+            }
+            StorageError::DomainViolation { attr } => {
+                write!(f, "value outside the domain of column #{}", attr.index())
+            }
+            StorageError::KeyViolation { reason } => write!(f, "key violation: {reason}"),
+            StorageError::ReferentialViolation { reason } => {
+                write!(f, "referential integrity violation: {reason}")
+            }
+            StorageError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Core(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for StorageError {
+    fn from(err: CoreError) -> Self {
+        StorageError::Core(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = StorageError::UnknownTable("EMP".into());
+        assert!(err.to_string().contains("EMP"));
+        let wrapped: StorageError = CoreError::EmptyAttributeList.into();
+        assert!(matches!(wrapped, StorageError::Core(_)));
+        assert!(std::error::Error::source(&wrapped).is_some());
+        assert!(std::error::Error::source(&err).is_none());
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let err = StorageError::Parse {
+            line: 3,
+            message: "bad cell".into(),
+        };
+        assert!(err.to_string().contains("line 3"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Hash indexes over table columns, with `ni`-aware semantics.
+//!
+//! A hash index maps the values of one or more columns to the positions of
+//! the rows holding them. Rows with a null in any indexed column are **not**
+//! indexed: under the `ni` interpretation a null can never satisfy an
+//! equality for sure, so an index probe (which implements the TRUE
+//! lower-bound selection) must not return them. This mirrors how the paper's
+//! selection `R[A = k]` only returns `A`-total tuples.
+
+use std::collections::HashMap;
+
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::AttrId;
+use nullrel_core::value::Value;
+
+/// A hash index over one or more columns of a table.
+#[derive(Debug, Clone)]
+pub struct HashIndex {
+    attrs: Vec<AttrId>,
+    map: HashMap<Vec<Value>, Vec<usize>>,
+    indexed_rows: usize,
+    skipped_rows: usize,
+}
+
+impl HashIndex {
+    /// Builds an index over `attrs` from the given rows.
+    pub fn build(attrs: Vec<AttrId>, rows: &[Tuple]) -> Self {
+        let mut index = HashIndex {
+            attrs,
+            map: HashMap::new(),
+            indexed_rows: 0,
+            skipped_rows: 0,
+        };
+        for (pos, row) in rows.iter().enumerate() {
+            index.add(pos, row);
+        }
+        index
+    }
+
+    /// The indexed columns.
+    pub fn attrs(&self) -> &[AttrId] {
+        &self.attrs
+    }
+
+    /// The number of rows indexed (rows total on all indexed columns).
+    pub fn indexed_rows(&self) -> usize {
+        self.indexed_rows
+    }
+
+    /// The number of rows skipped because an indexed column was null.
+    pub fn skipped_rows(&self) -> usize {
+        self.skipped_rows
+    }
+
+    /// The number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Adds a row at the given position.
+    pub fn add(&mut self, pos: usize, row: &Tuple) {
+        match self.key_of(row) {
+            Some(key) => {
+                self.map.entry(key).or_default().push(pos);
+                self.indexed_rows += 1;
+            }
+            None => self.skipped_rows += 1,
+        }
+    }
+
+    /// Looks up the row positions whose indexed columns equal `key` exactly.
+    pub fn lookup(&self, key: &[Value]) -> &[usize] {
+        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Looks up by the indexed columns of a probe tuple. Returns `None` when
+    /// the probe itself is null on an indexed column (the probe's answer is
+    /// "no sure match", not "match everything").
+    pub fn lookup_tuple(&self, probe: &Tuple) -> Option<&[usize]> {
+        self.key_of(probe).map(|key| self.lookup_owned(key))
+    }
+
+    fn lookup_owned(&self, key: Vec<Value>) -> &[usize] {
+        self.map.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Rebuilds the index from scratch (used after deletions or schema
+    /// evolution).
+    pub fn rebuild(&mut self, rows: &[Tuple]) {
+        self.map.clear();
+        self.indexed_rows = 0;
+        self.skipped_rows = 0;
+        for (pos, row) in rows.iter().enumerate() {
+            self.add(pos, row);
+        }
+    }
+
+    fn key_of(&self, row: &Tuple) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(self.attrs.len());
+        for attr in &self.attrs {
+            key.push(row.get(*attr)?.clone());
+        }
+        Some(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::universe::Universe;
+
+    fn rows() -> (Universe, AttrId, AttrId, Vec<Tuple>) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        let t = |sv: Option<&str>, pv: Option<&str>| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str))
+        };
+        let rows = vec![
+            t(Some("s1"), Some("p1")),
+            t(Some("s1"), Some("p2")),
+            t(Some("s2"), Some("p1")),
+            t(Some("s3"), None),
+        ];
+        (u, s, p, rows)
+    }
+
+    #[test]
+    fn build_and_lookup() {
+        let (_u, s, _p, rows) = rows();
+        let index = HashIndex::build(vec![s], &rows);
+        assert_eq!(index.lookup(&[Value::str("s1")]), &[0, 1]);
+        assert_eq!(index.lookup(&[Value::str("s2")]), &[2]);
+        assert_eq!(index.lookup(&[Value::str("s9")]), &[] as &[usize]);
+        assert_eq!(index.indexed_rows(), 4);
+        assert_eq!(index.distinct_keys(), 3);
+        assert_eq!(index.attrs(), &[s]);
+    }
+
+    #[test]
+    fn null_rows_are_not_indexed() {
+        let (_u, _s, p, rows) = rows();
+        let index = HashIndex::build(vec![p], &rows);
+        assert_eq!(index.indexed_rows(), 3);
+        assert_eq!(index.skipped_rows(), 1);
+        // The s3 row (null P#) is never returned by an equality probe.
+        assert_eq!(index.lookup(&[Value::str("p1")]), &[0, 2]);
+    }
+
+    #[test]
+    fn composite_keys_and_probe_tuples() {
+        let (_u, s, p, rows) = rows();
+        let index = HashIndex::build(vec![s, p], &rows);
+        assert_eq!(index.lookup(&[Value::str("s1"), Value::str("p2")]), &[1]);
+        let probe = Tuple::new().with(s, Value::str("s2")).with(p, Value::str("p1"));
+        assert_eq!(index.lookup_tuple(&probe).unwrap(), &[2]);
+        // A probe with a null indexed column returns None, not "all rows".
+        let null_probe = Tuple::new().with(s, Value::str("s3"));
+        assert!(index.lookup_tuple(&null_probe).is_none());
+    }
+
+    #[test]
+    fn add_and_rebuild() {
+        let (_u, s, p, mut rows) = rows();
+        let mut index = HashIndex::build(vec![s], &rows);
+        rows.push(Tuple::new().with(s, Value::str("s9")).with(p, Value::str("p9")));
+        index.add(4, &rows[4]);
+        assert_eq!(index.lookup(&[Value::str("s9")]), &[4]);
+        rows.remove(0);
+        index.rebuild(&rows);
+        assert_eq!(index.lookup(&[Value::str("s1")]), &[0]);
+        assert_eq!(index.indexed_rows(), 4);
+    }
+}

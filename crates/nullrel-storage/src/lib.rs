@@ -1,0 +1,31 @@
+//! # nullrel-storage
+//!
+//! The in-memory storage substrate underneath the paper's examples: a
+//! catalog of tables with typed, possibly-null columns, integrity
+//! constraints (entity integrity and key uniqueness in the presence of
+//! nulls), hash indexes that respect the `ni` semantics, scan operators, a
+//! text loader, and — centrally for the paper — **schema evolution** that
+//! adds a column by letting existing rows read `ni` for it (the Table I →
+//! Table II scenario of Section 2).
+//!
+//! The storage layer shares the tuple representation of `nullrel-core`, so a
+//! stored table can be handed to the generalized relational algebra as an
+//! x-relation without conversion loss, and a [`catalog::Database`] can be
+//! used directly as the relation source of an algebra expression.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod error;
+pub mod index;
+pub mod loader;
+pub mod scan;
+pub mod schema;
+pub mod table;
+
+pub use catalog::Database;
+pub use error::{StorageError, StorageResult};
+pub use index::HashIndex;
+pub use schema::{ColumnDef, SchemaBuilder, TableSchema};
+pub use table::Table;

@@ -1,0 +1,263 @@
+//! Loading relations from whitespace-separated text, plus the canonical
+//! datasets printed in the paper.
+//!
+//! The text format mirrors the paper's tables: the first line names the
+//! columns, each following line is one tuple, and a lone `-` denotes the
+//! `ni` null. Cells that parse as integers become [`Value::Int`], cells that
+//! parse as floats become [`Value::Float`], everything else is a string.
+//!
+//! [`paper`] builds the exact relations used by the paper's examples
+//! (Tables I/II, displays (1.1)/(1.2) and (6.6)), which the examples, tests
+//! and benchmarks all share so that every experiment runs on the same data
+//! the paper used.
+
+use nullrel_core::relation::Relation;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::Universe;
+use nullrel_core::value::Value;
+
+use crate::error::{StorageError, StorageResult};
+use crate::schema::SchemaBuilder;
+use crate::table::Table;
+
+/// Parses a single cell: `-` is the null, integers and floats are parsed
+/// numerically, everything else is a string.
+pub fn parse_cell(text: &str) -> Option<Value> {
+    if text == "-" {
+        return None;
+    }
+    if let Ok(i) = text.parse::<i64>() {
+        return Some(Value::Int(i));
+    }
+    if let Ok(f) = text.parse::<f64>() {
+        return Some(Value::float(f));
+    }
+    Some(Value::str(text))
+}
+
+/// Parses a whitespace-separated table into a [`Relation`], interning the
+/// header's column names into the universe.
+///
+/// ```
+/// use nullrel_core::universe::Universe;
+/// use nullrel_storage::loader::parse_relation;
+///
+/// let mut universe = Universe::new();
+/// let rel = parse_relation(
+///     &mut universe,
+///     "S#  P#\n\
+///      s1  p1\n\
+///      s2  -\n",
+/// )
+/// .unwrap();
+/// assert_eq!(rel.len(), 2);
+/// ```
+pub fn parse_relation(universe: &mut Universe, text: &str) -> StorageResult<Relation> {
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .enumerate()
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines.next().ok_or(StorageError::Parse {
+        line: 1,
+        message: "missing header line".into(),
+    })?;
+    let attrs: Vec<_> = header
+        .split_whitespace()
+        .map(|name| universe.intern(name))
+        .collect();
+    if attrs.is_empty() {
+        return Err(StorageError::Parse {
+            line: 1,
+            message: "header declares no columns".into(),
+        });
+    }
+    let mut rel = Relation::new(attrs.clone());
+    for (line_no, line) in lines {
+        let cells: Vec<&str> = line.split_whitespace().collect();
+        if cells.len() != attrs.len() {
+            return Err(StorageError::Parse {
+                line: line_no + 1,
+                message: format!(
+                    "expected {} cells, found {}",
+                    attrs.len(),
+                    cells.len()
+                ),
+            });
+        }
+        let mut tuple = Tuple::new();
+        for (attr, cell) in attrs.iter().zip(cells) {
+            tuple.set(*attr, parse_cell(cell));
+        }
+        rel.insert(tuple).map_err(StorageError::Core)?;
+    }
+    Ok(rel)
+}
+
+/// Loads a parsed relation into a freshly created table of a database-less
+/// context: builds a schema with one nullable untyped column per attribute
+/// and inserts every tuple.
+pub fn relation_to_table(
+    universe: &mut Universe,
+    name: &str,
+    relation: &Relation,
+) -> StorageResult<Table> {
+    let mut builder = SchemaBuilder::new(name);
+    for attr in relation.attrs() {
+        let column_name = universe
+            .name(*attr)
+            .map(str::to_owned)
+            .map_err(StorageError::Core)?;
+        builder = builder.column(column_name);
+    }
+    let schema = builder.build(universe)?;
+    let mut table = Table::new(schema);
+    for tuple in relation.tuples() {
+        table.insert(tuple.clone()).map_err(|e| match e {
+            StorageError::Core(err) => StorageError::Core(err),
+            other => other,
+        })?;
+    }
+    Ok(table)
+}
+
+/// The canonical datasets printed in the paper.
+pub mod paper {
+    use super::*;
+
+    /// Table I: `EMP(E#, NAME, SEX, MGR#)` with three employees.
+    pub const EMP_TABLE_I: &str = "\
+        E#    NAME   SEX  MGR#\n\
+        1120  SMITH  M    2235\n\
+        4335  BROWN  F    2235\n\
+        8799  GREEN  M    1255\n";
+
+    /// Table II: the same content after the addition of `TEL#` (all null).
+    pub const EMP_TABLE_II: &str = "\
+        E#    NAME   SEX  MGR#  TEL#\n\
+        1120  SMITH  M    2235  -\n\
+        4335  BROWN  F    2235  -\n\
+        8799  GREEN  M    1255  -\n";
+
+    /// Display (1.1): `PS′(P#, S#)`.
+    pub const PS_PRIME: &str = "\
+        P#  S#\n\
+        -   s1\n\
+        p1  s2\n";
+
+    /// Display (1.2): `PS″(P#, S#)` — `PS′` plus the tuple `(p2, s2)`.
+    pub const PS_DOUBLE_PRIME: &str = "\
+        P#  S#\n\
+        -   s1\n\
+        p1  s2\n\
+        p2  s2\n";
+
+    /// Display (6.6): the `PS(S#, P#)` relation used by the division
+    /// comparison.
+    pub const PS_66: &str = "\
+        S#  P#\n\
+        s1  p1\n\
+        s1  p2\n\
+        s1  -\n\
+        s2  p1\n\
+        s2  -\n\
+        s3  -\n\
+        s4  p4\n";
+
+    /// Parses Table I into a relation.
+    pub fn emp_table_i(universe: &mut Universe) -> Relation {
+        parse_relation(universe, EMP_TABLE_I).expect("static dataset parses")
+    }
+
+    /// Parses Table II into a relation.
+    pub fn emp_table_ii(universe: &mut Universe) -> Relation {
+        parse_relation(universe, EMP_TABLE_II).expect("static dataset parses")
+    }
+
+    /// Parses display (1.1) into a relation.
+    pub fn ps_prime(universe: &mut Universe) -> Relation {
+        parse_relation(universe, PS_PRIME).expect("static dataset parses")
+    }
+
+    /// Parses display (1.2) into a relation.
+    pub fn ps_double_prime(universe: &mut Universe) -> Relation {
+        parse_relation(universe, PS_DOUBLE_PRIME).expect("static dataset parses")
+    }
+
+    /// Parses display (6.6) into a relation.
+    pub fn ps_66(universe: &mut Universe) -> Relation {
+        parse_relation(universe, PS_66).expect("static dataset parses")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::xrel::XRelation;
+
+    #[test]
+    fn parse_cell_types() {
+        assert_eq!(parse_cell("-"), None);
+        assert_eq!(parse_cell("42"), Some(Value::int(42)));
+        assert_eq!(parse_cell("-7"), Some(Value::int(-7)));
+        assert_eq!(parse_cell("2.5"), Some(Value::float(2.5)));
+        assert_eq!(parse_cell("SMITH"), Some(Value::str("SMITH")));
+    }
+
+    #[test]
+    fn parse_relation_happy_path_and_errors() {
+        let mut u = Universe::new();
+        let rel = parse_relation(&mut u, "A B\n1 x\n- y\n").unwrap();
+        assert_eq!(rel.len(), 2);
+        assert_eq!(rel.attrs().len(), 2);
+
+        assert!(matches!(
+            parse_relation(&mut u, ""),
+            Err(StorageError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_relation(&mut u, "A B\n1\n"),
+            Err(StorageError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let mut u = Universe::new();
+        let rel = parse_relation(&mut u, "# the PS relation\nA B\n\n1 2\n# done\n").unwrap();
+        assert_eq!(rel.len(), 1);
+    }
+
+    #[test]
+    fn paper_tables_parse_to_expected_shapes() {
+        let mut u = Universe::new();
+        let t1 = paper::emp_table_i(&mut u);
+        let t2 = paper::emp_table_ii(&mut u);
+        assert_eq!(t1.len(), 3);
+        assert_eq!(t2.len(), 3);
+        assert_eq!(t1.attrs().len(), 4);
+        assert_eq!(t2.attrs().len(), 5);
+        // The central claim of Section 2: the two tables are
+        // information-wise equivalent.
+        assert!(t1.equivalent(&t2));
+
+        let ps1 = paper::ps_prime(&mut u);
+        let ps2 = paper::ps_double_prime(&mut u);
+        assert_eq!(ps1.len(), 2);
+        assert_eq!(ps2.len(), 3);
+        assert!(XRelation::from_relation(&ps2).contains(&XRelation::from_relation(&ps1)));
+
+        let ps = paper::ps_66(&mut u);
+        assert_eq!(ps.len(), 7);
+    }
+
+    #[test]
+    fn relation_to_table_round_trips() {
+        let mut u = Universe::new();
+        let rel = paper::ps_66(&mut u);
+        let table = relation_to_table(&mut u, "PS", &rel).unwrap();
+        assert_eq!(table.len(), 7);
+        assert_eq!(table.name(), "PS");
+        assert!(table.to_relation().equivalent(&rel));
+    }
+}

@@ -1,0 +1,155 @@
+//! Scan operators: full scans, predicate scans, and index-assisted scans.
+//!
+//! These are the access paths the query layer plans over. All of them obey
+//! the lower-bound discipline of Section 5: a row is produced only when its
+//! qualification is TRUE. The MAYBE band can be requested explicitly, which
+//! is how the Codd-baseline comparisons are run against stored tables.
+
+use nullrel_core::error::CoreResult;
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::Truth;
+use nullrel_core::universe::AttrId;
+use nullrel_core::value::Value;
+
+use crate::table::Table;
+
+/// Statistics gathered while executing a scan, used by benchmarks and by the
+/// query explainer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Rows examined.
+    pub examined: usize,
+    /// Rows returned (qualification TRUE, or the requested truth band).
+    pub returned: usize,
+    /// Rows whose qualification evaluated to `ni`.
+    pub ni_rows: usize,
+    /// Whether an index was used.
+    pub used_index: bool,
+}
+
+/// A full scan returning every row.
+pub fn full_scan(table: &Table) -> (Vec<Tuple>, ScanStats) {
+    let rows: Vec<Tuple> = table.rows().cloned().collect();
+    let stats = ScanStats {
+        examined: rows.len(),
+        returned: rows.len(),
+        ni_rows: 0,
+        used_index: false,
+    };
+    (rows, stats)
+}
+
+/// A predicate scan returning the rows whose qualification evaluates to the
+/// requested truth value (TRUE for normal queries, `ni` for the MAYBE band).
+pub fn predicate_scan(
+    table: &Table,
+    predicate: &Predicate,
+    want: Truth,
+) -> CoreResult<(Vec<Tuple>, ScanStats)> {
+    let mut out = Vec::new();
+    let mut stats = ScanStats::default();
+    for row in table.rows() {
+        stats.examined += 1;
+        let truth = predicate.eval(row)?;
+        if truth.is_ni() {
+            stats.ni_rows += 1;
+        }
+        if truth == want {
+            out.push(row.clone());
+            stats.returned += 1;
+        }
+    }
+    Ok((out, stats))
+}
+
+/// An equality scan that uses a hash index when one covers the probed
+/// columns, falling back to a predicate scan otherwise.
+pub fn eq_scan(
+    table: &Table,
+    attrs: &[AttrId],
+    key: &[Value],
+) -> (Vec<Tuple>, ScanStats) {
+    let has_index = table.indexes().iter().any(|i| i.attrs() == attrs);
+    let rows: Vec<Tuple> = table
+        .lookup_eq(attrs, key)
+        .into_iter()
+        .cloned()
+        .collect();
+    let stats = ScanStats {
+        examined: if has_index { rows.len() } else { table.len() },
+        returned: rows.len(),
+        ni_rows: 0,
+        used_index: has_index,
+    };
+    (rows, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use nullrel_core::tvl::CompareOp;
+    use nullrel_core::universe::Universe;
+
+    fn table() -> (Universe, Table, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let schema = SchemaBuilder::new("PS").column("S#").column("P#").build(&mut u).unwrap();
+        let s = u.lookup("S#").unwrap();
+        let p = u.lookup("P#").unwrap();
+        let mut table = Table::new(schema);
+        for (sv, pv) in [
+            (Some("s1"), Some("p1")),
+            (Some("s1"), Some("p2")),
+            (Some("s2"), Some("p1")),
+            (Some("s3"), None),
+        ] {
+            let row = Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str));
+            table.insert(row).unwrap();
+        }
+        (u, table, s, p)
+    }
+
+    #[test]
+    fn full_scan_returns_everything() {
+        let (_u, table, ..) = table();
+        let (rows, stats) = full_scan(&table);
+        assert_eq!(rows.len(), 4);
+        assert_eq!(stats.examined, 4);
+        assert_eq!(stats.returned, 4);
+        assert!(!stats.used_index);
+    }
+
+    #[test]
+    fn predicate_scan_partitions_into_truth_bands() {
+        let (_u, table, _s, p) = table();
+        let pred = Predicate::attr_const(p, CompareOp::Eq, "p1");
+        let (sure, stats) = predicate_scan(&table, &pred, Truth::True).unwrap();
+        assert_eq!(sure.len(), 2);
+        assert_eq!(stats.ni_rows, 1, "the null-P# row is the ni band");
+        let (maybe, _) = predicate_scan(&table, &pred, Truth::Ni).unwrap();
+        assert_eq!(maybe.len(), 1);
+        let (no, _) = predicate_scan(&table, &pred, Truth::False).unwrap();
+        assert_eq!(no.len(), 1, "the p2 row is definitely not p1");
+        // Type errors propagate.
+        let bad = Predicate::attr_const(p, CompareOp::Gt, 3);
+        assert!(predicate_scan(&table, &bad, Truth::True).is_err());
+    }
+
+    #[test]
+    fn eq_scan_uses_index_when_available() {
+        let (_u, mut table, s, _p) = table();
+        let (rows, stats) = eq_scan(&table, &[s], &[Value::str("s1")]);
+        assert_eq!(rows.len(), 2);
+        assert!(!stats.used_index);
+        assert_eq!(stats.examined, 4, "scan fallback examines every row");
+
+        table.create_index(vec![s]).unwrap();
+        let (rows, stats) = eq_scan(&table, &[s], &[Value::str("s1")]);
+        assert_eq!(rows.len(), 2);
+        assert!(stats.used_index);
+        assert_eq!(stats.examined, 2, "index probe touches only matches");
+    }
+}

@@ -1,0 +1,307 @@
+//! Table schemas: columns, domains, nullability, and keys.
+//!
+//! The paper's running example is a schema change — adding `TEL#` to `EMP`
+//! (Tables I and II) — so schemas are first-class here: a
+//! [`TableSchema`] records the column order, each column's optional domain
+//! (`DOM(A)`), whether the column admits the `ni` null, and an optional
+//! primary key. Entity integrity (key columns may not be null) follows the
+//! paper's remark that "basic constraints, such as uniqueness of keys …
+//! can be extended and enforced in the presence of null values".
+
+use nullrel_core::universe::{AttrId, AttrSet, Domain, Universe};
+
+use crate::error::{StorageError, StorageResult};
+
+/// A column definition within a table schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDef {
+    /// The interned attribute id of the column.
+    pub attr: AttrId,
+    /// The column name as written in the schema.
+    pub name: String,
+    /// The column's domain, when declared.
+    pub domain: Option<Domain>,
+    /// Whether the column admits the `ni` null.
+    pub nullable: bool,
+}
+
+/// A table schema: ordered columns plus an optional primary key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableSchema {
+    name: String,
+    columns: Vec<ColumnDef>,
+    key: Option<Vec<AttrId>>,
+}
+
+/// A builder-style specification used to create tables through the catalog.
+#[derive(Debug, Clone, Default)]
+pub struct SchemaBuilder {
+    name: String,
+    columns: Vec<(String, Option<Domain>, bool)>,
+    key: Vec<String>,
+}
+
+impl SchemaBuilder {
+    /// Starts a schema for the given table name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder {
+            name: name.into(),
+            columns: Vec::new(),
+            key: Vec::new(),
+        }
+    }
+
+    /// Adds a nullable column without a declared domain.
+    #[must_use]
+    pub fn column(mut self, name: impl Into<String>) -> Self {
+        self.columns.push((name.into(), None, true));
+        self
+    }
+
+    /// Adds a nullable column with a declared domain.
+    #[must_use]
+    pub fn column_with_domain(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.columns.push((name.into(), Some(domain), true));
+        self
+    }
+
+    /// Adds a non-nullable column.
+    #[must_use]
+    pub fn required_column(mut self, name: impl Into<String>) -> Self {
+        self.columns.push((name.into(), None, false));
+        self
+    }
+
+    /// Adds a non-nullable column with a declared domain.
+    #[must_use]
+    pub fn required_column_with_domain(mut self, name: impl Into<String>, domain: Domain) -> Self {
+        self.columns.push((name.into(), Some(domain), false));
+        self
+    }
+
+    /// Declares the primary key columns (by name). Key columns are
+    /// implicitly non-nullable (entity integrity).
+    #[must_use]
+    pub fn key(mut self, columns: &[&str]) -> Self {
+        self.key = columns.iter().map(|c| (*c).to_owned()).collect();
+        self
+    }
+
+    /// The table name this builder targets.
+    pub fn table_name(&self) -> &str {
+        &self.name
+    }
+
+    /// Resolves the builder against a universe, interning attribute names
+    /// and validating the key columns.
+    pub fn build(self, universe: &mut Universe) -> StorageResult<TableSchema> {
+        let mut columns: Vec<ColumnDef> = Vec::with_capacity(self.columns.len());
+        for (name, domain, nullable) in self.columns {
+            if columns.iter().any(|c| c.name == name) {
+                return Err(StorageError::ColumnExists(name));
+            }
+            let attr = match &domain {
+                Some(d) => universe.intern_with_domain(&name, d.clone()),
+                None => universe.intern(&name),
+            };
+            columns.push(ColumnDef {
+                attr,
+                name,
+                domain,
+                nullable,
+            });
+        }
+        let mut key_attrs: Vec<AttrId> = Vec::with_capacity(self.key.len());
+        for key_col in &self.key {
+            let col = columns
+                .iter_mut()
+                .find(|c| &c.name == key_col)
+                .ok_or_else(|| StorageError::UnknownColumn(key_col.clone()))?;
+            col.nullable = false;
+            key_attrs.push(col.attr);
+        }
+        Ok(TableSchema {
+            name: self.name,
+            columns,
+            key: if key_attrs.is_empty() {
+                None
+            } else {
+                Some(key_attrs)
+            },
+        })
+    }
+}
+
+impl TableSchema {
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The ordered column definitions.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// The ordered attribute ids of the columns.
+    pub fn attrs(&self) -> Vec<AttrId> {
+        self.columns.iter().map(|c| c.attr).collect()
+    }
+
+    /// The attribute ids as a set.
+    pub fn attr_set(&self) -> AttrSet {
+        self.columns.iter().map(|c| c.attr).collect()
+    }
+
+    /// The primary key attribute ids, if a key was declared.
+    pub fn key(&self) -> Option<&[AttrId]> {
+        self.key.as_deref()
+    }
+
+    /// Finds a column definition by attribute id.
+    pub fn column(&self, attr: AttrId) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.attr == attr)
+    }
+
+    /// Finds a column definition by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&ColumnDef> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Appends a column (schema evolution); the new column is always
+    /// nullable, because existing rows will read `ni` for it.
+    pub(crate) fn push_column(&mut self, column: ColumnDef) -> StorageResult<()> {
+        if self.columns.iter().any(|c| c.name == column.name || c.attr == column.attr) {
+            return Err(StorageError::ColumnExists(column.name));
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Removes a column by attribute id (schema evolution). Key columns
+    /// cannot be dropped.
+    pub(crate) fn remove_column(&mut self, attr: AttrId) -> StorageResult<ColumnDef> {
+        if let Some(key) = &self.key {
+            if key.contains(&attr) {
+                return Err(StorageError::KeyViolation {
+                    reason: "cannot drop a key column".into(),
+                });
+            }
+        }
+        let pos = self
+            .columns
+            .iter()
+            .position(|c| c.attr == attr)
+            .ok_or_else(|| StorageError::UnknownColumn(format!("#{}", attr.index())))?;
+        Ok(self.columns.remove(pos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::value::Value;
+
+    #[test]
+    fn builder_interns_and_orders_columns() {
+        let mut u = Universe::new();
+        let schema = SchemaBuilder::new("EMP")
+            .required_column("E#")
+            .column("NAME")
+            .column_with_domain(
+                "SEX",
+                Domain::Enumerated(vec![Value::str("M"), Value::str("F")]),
+            )
+            .column("MGR#")
+            .key(&["E#"])
+            .build(&mut u)
+            .unwrap();
+        assert_eq!(schema.name(), "EMP");
+        assert_eq!(schema.columns().len(), 4);
+        assert_eq!(schema.attrs().len(), 4);
+        assert_eq!(schema.key().unwrap().len(), 1);
+        assert_eq!(schema.column_by_name("SEX").unwrap().nullable, true);
+        assert_eq!(schema.column_by_name("E#").unwrap().nullable, false);
+        assert!(u.lookup("NAME").is_some());
+        let sex_attr = schema.column_by_name("SEX").unwrap().attr;
+        assert!(schema.column(sex_attr).is_some());
+        assert!(schema.attr_set().contains(&sex_attr));
+    }
+
+    #[test]
+    fn duplicate_columns_are_rejected() {
+        let mut u = Universe::new();
+        let err = SchemaBuilder::new("T")
+            .column("A")
+            .column("A")
+            .build(&mut u)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ColumnExists(_)));
+    }
+
+    #[test]
+    fn key_over_unknown_column_is_rejected() {
+        let mut u = Universe::new();
+        let err = SchemaBuilder::new("T")
+            .column("A")
+            .key(&["B"])
+            .build(&mut u)
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UnknownColumn(_)));
+    }
+
+    #[test]
+    fn key_columns_become_non_nullable() {
+        let mut u = Universe::new();
+        let schema = SchemaBuilder::new("T")
+            .column("A")
+            .column("B")
+            .key(&["A"])
+            .build(&mut u)
+            .unwrap();
+        assert!(!schema.column_by_name("A").unwrap().nullable);
+        assert!(schema.column_by_name("B").unwrap().nullable);
+    }
+
+    #[test]
+    fn evolution_helpers_guard_invariants() {
+        let mut u = Universe::new();
+        let mut schema = SchemaBuilder::new("T")
+            .column("A")
+            .key(&["A"])
+            .build(&mut u)
+            .unwrap();
+        let a = schema.column_by_name("A").unwrap().attr;
+        // Cannot drop the key column.
+        assert!(matches!(
+            schema.remove_column(a),
+            Err(StorageError::KeyViolation { .. })
+        ));
+        // Cannot add a duplicate column.
+        let dup = ColumnDef {
+            attr: a,
+            name: "A".into(),
+            domain: None,
+            nullable: true,
+        };
+        assert!(matches!(
+            schema.push_column(dup),
+            Err(StorageError::ColumnExists(_))
+        ));
+        // A fresh column can be added and then removed.
+        let b_attr = u.intern("B");
+        schema
+            .push_column(ColumnDef {
+                attr: b_attr,
+                name: "B".into(),
+                domain: None,
+                nullable: true,
+            })
+            .unwrap();
+        assert_eq!(schema.columns().len(), 2);
+        let removed = schema.remove_column(b_attr).unwrap();
+        assert_eq!(removed.name, "B");
+        // Removing a column that is not there errors.
+        assert!(schema.remove_column(b_attr).is_err());
+    }
+}

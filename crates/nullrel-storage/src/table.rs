@@ -1,0 +1,549 @@
+//! Tables: rows, integrity constraints, indexes, and schema evolution.
+//!
+//! A [`Table`] is one stored relation with null values. Rows are the core
+//! library's [`Tuple`]s (absent cell ⇒ `ni`), so the storage layer and the
+//! algebra share a representation and a table can be handed to the algebra
+//! as a [`Relation`] or [`XRelation`] without copying conventions.
+//!
+//! The schema-evolution entry points ([`Table::add_column`],
+//! [`Table::drop_column`], [`Table::rename_column`]) reproduce the paper's
+//! Table I → Table II scenario: adding `TEL#` to `EMP` stores nothing in the
+//! existing rows — they simply read `ni` for the new column — and the table's
+//! information content is provably unchanged (see `evolution` tests).
+
+use nullrel_core::relation::Relation;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::{AttrId, AttrSet, Domain, Universe};
+use nullrel_core::value::Value;
+use nullrel_core::xrel::XRelation;
+
+use crate::error::{StorageError, StorageResult};
+use crate::index::HashIndex;
+use crate::schema::{ColumnDef, TableSchema};
+
+/// A stored relation with null values, integrity constraints and optional
+/// hash indexes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: Vec<Tuple>,
+    indexes: Vec<HashIndex>,
+}
+
+impl Table {
+    /// Creates an empty table from a schema.
+    pub fn new(schema: TableSchema) -> Self {
+        Table {
+            schema,
+            rows: Vec::new(),
+            indexes: Vec::new(),
+        }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// The number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Iterates over the rows in insertion order.
+    pub fn rows(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows.iter()
+    }
+
+    /// Returns the row at the given position, if any.
+    pub fn row(&self, pos: usize) -> Option<&Tuple> {
+        self.rows.get(pos)
+    }
+
+    /// Validates a row against the schema and key constraint, then inserts
+    /// it and maintains the indexes.
+    pub fn insert(&mut self, row: Tuple) -> StorageResult<()> {
+        self.validate(&row)?;
+        self.check_key(&row, None)?;
+        let pos = self.rows.len();
+        for index in &mut self.indexes {
+            index.add(pos, &row);
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Inserts a row built from `(column name, value)` pairs; missing
+    /// columns are `ni`.
+    pub fn insert_named(
+        &mut self,
+        universe: &Universe,
+        cells: &[(&str, Value)],
+    ) -> StorageResult<()> {
+        let mut row = Tuple::new();
+        for (name, value) in cells {
+            let column = self
+                .schema
+                .column_by_name(name)
+                .ok_or_else(|| StorageError::UnknownColumn((*name).to_owned()))?;
+            let _ = universe; // names are resolved through the schema
+            row.set(column.attr, Some(value.clone()));
+        }
+        self.insert(row)
+    }
+
+    /// Deletes every row accepted (TRUE) by the predicate, returning the
+    /// number of rows removed. Rows for which the predicate is `ni` are kept
+    /// — deletion follows the same lower-bound discipline as retrieval.
+    pub fn delete_where(
+        &mut self,
+        predicate: &nullrel_core::predicate::Predicate,
+    ) -> StorageResult<usize> {
+        let mut kept = Vec::with_capacity(self.rows.len());
+        let mut removed = 0usize;
+        for row in self.rows.drain(..) {
+            if predicate.eval(&row).map_err(StorageError::Core)?.is_true() {
+                removed += 1;
+            } else {
+                kept.push(row);
+            }
+        }
+        self.rows = kept;
+        self.rebuild_indexes();
+        Ok(removed)
+    }
+
+    /// Updates rows accepted by the predicate by setting the given cells
+    /// (a `None` value nulls the cell out). Returns the number of updated
+    /// rows. Constraints are re-checked; a violation aborts the whole update
+    /// and leaves the table unchanged.
+    pub fn update_where(
+        &mut self,
+        predicate: &nullrel_core::predicate::Predicate,
+        changes: &[(AttrId, Option<Value>)],
+    ) -> StorageResult<usize> {
+        let mut new_rows = self.rows.clone();
+        let mut updated = 0usize;
+        for row in new_rows.iter_mut() {
+            if predicate.eval(row).map_err(StorageError::Core)?.is_true() {
+                for (attr, value) in changes {
+                    row.set(*attr, value.clone());
+                }
+                updated += 1;
+            }
+        }
+        // Validate the whole new state (simplest way to keep key uniqueness
+        // sound under multi-row updates).
+        let mut staged = Table {
+            schema: self.schema.clone(),
+            rows: Vec::new(),
+            indexes: Vec::new(),
+        };
+        for row in &new_rows {
+            staged.validate(row)?;
+            staged.check_key(row, None)?;
+            staged.rows.push(row.clone());
+        }
+        self.rows = new_rows;
+        self.rebuild_indexes();
+        Ok(updated)
+    }
+
+    /// Creates a hash index over the given columns and returns its position.
+    pub fn create_index(&mut self, attrs: Vec<AttrId>) -> StorageResult<usize> {
+        for attr in &attrs {
+            if self.schema.column(*attr).is_none() {
+                return Err(StorageError::UnknownColumn(format!("#{}", attr.index())));
+            }
+        }
+        let index = HashIndex::build(attrs, &self.rows);
+        self.indexes.push(index);
+        Ok(self.indexes.len() - 1)
+    }
+
+    /// The table's indexes.
+    pub fn indexes(&self) -> &[HashIndex] {
+        &self.indexes
+    }
+
+    /// Equality probe through the first index covering exactly `attrs`;
+    /// falls back to a scan when no such index exists. Only rows matching
+    /// with certainty (TRUE) are returned.
+    pub fn lookup_eq(&self, attrs: &[AttrId], key: &[Value]) -> Vec<&Tuple> {
+        if let Some(index) = self.indexes.iter().find(|i| i.attrs() == attrs) {
+            return index
+                .lookup(key)
+                .iter()
+                .filter_map(|pos| self.rows.get(*pos))
+                .collect();
+        }
+        self.rows
+            .iter()
+            .filter(|row| {
+                attrs
+                    .iter()
+                    .zip(key.iter())
+                    .all(|(attr, value)| row.get(*attr) == Some(value))
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Schema evolution (the Table I → Table II scenario)
+    // ------------------------------------------------------------------
+
+    /// Adds a nullable column. Existing rows are untouched: they read `ni`
+    /// for the new column, so the stored information content is unchanged.
+    pub fn add_column(
+        &mut self,
+        universe: &mut Universe,
+        name: &str,
+        domain: Option<Domain>,
+    ) -> StorageResult<AttrId> {
+        let attr = match &domain {
+            Some(d) => universe.intern_with_domain(name, d.clone()),
+            None => universe.intern(name),
+        };
+        self.schema.push_column(ColumnDef {
+            attr,
+            name: name.to_owned(),
+            domain,
+            nullable: true,
+        })?;
+        Ok(attr)
+    }
+
+    /// Drops a non-key column, removing its cells from every row.
+    pub fn drop_column(&mut self, attr: AttrId) -> StorageResult<ColumnDef> {
+        let removed = self.schema.remove_column(attr)?;
+        for row in &mut self.rows {
+            row.set(attr, None);
+        }
+        self.rebuild_indexes();
+        Ok(removed)
+    }
+
+    /// Renames a column: the data moves to a fresh attribute id interned
+    /// under the new name.
+    pub fn rename_column(
+        &mut self,
+        universe: &mut Universe,
+        old_name: &str,
+        new_name: &str,
+    ) -> StorageResult<AttrId> {
+        let column = self
+            .schema
+            .column_by_name(old_name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownColumn(old_name.to_owned()))?;
+        if self.schema.column_by_name(new_name).is_some() {
+            return Err(StorageError::ColumnExists(new_name.to_owned()));
+        }
+        let new_attr = match &column.domain {
+            Some(d) => universe.intern_with_domain(new_name, d.clone()),
+            None => universe.intern(new_name),
+        };
+        // Move the data to the new attribute id; the renamed column is
+        // appended at the end of the column order.
+        let old_attr = column.attr;
+        for row in &mut self.rows {
+            let value = row.get(old_attr).cloned();
+            row.set(old_attr, None);
+            row.set(new_attr, value);
+        }
+        self.schema.remove_column(old_attr)?;
+        self.schema.push_column(ColumnDef {
+            attr: new_attr,
+            name: new_name.to_owned(),
+            domain: column.domain,
+            nullable: column.nullable,
+        })?;
+        self.rebuild_indexes();
+        Ok(new_attr)
+    }
+
+    // ------------------------------------------------------------------
+    // Conversions to the algebra layer
+    // ------------------------------------------------------------------
+
+    /// The table as a [`Relation`] representation (declared column order).
+    pub fn to_relation(&self) -> Relation {
+        let mut rel = Relation::new(self.schema.attrs());
+        for row in &self.rows {
+            rel.insert_unchecked(row.clone());
+        }
+        rel
+    }
+
+    /// The table as an [`XRelation`] (reduced to minimal form).
+    pub fn to_xrelation(&self) -> XRelation {
+        XRelation::from_tuples(self.rows.iter().cloned())
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    fn validate(&self, row: &Tuple) -> StorageResult<()> {
+        let declared: AttrSet = self.schema.attr_set();
+        for (attr, value) in row.cells() {
+            if !declared.contains(&attr) {
+                return Err(StorageError::UnknownColumn(format!("#{}", attr.index())));
+            }
+            if let Some(column) = self.schema.column(attr) {
+                if let Some(domain) = &column.domain {
+                    if !domain.contains(value) {
+                        return Err(StorageError::DomainViolation { attr });
+                    }
+                }
+            }
+        }
+        for column in self.schema.columns() {
+            if !column.nullable && row.is_null(column.attr) {
+                return Err(StorageError::NullNotAllowed { attr: column.attr });
+            }
+        }
+        Ok(())
+    }
+
+    fn check_key(&self, row: &Tuple, skip: Option<usize>) -> StorageResult<()> {
+        let Some(key) = self.schema.key() else {
+            return Ok(());
+        };
+        // Entity integrity: key attributes must be non-null.
+        for attr in key {
+            if row.is_null(*attr) {
+                return Err(StorageError::KeyViolation {
+                    reason: format!("key column #{} is null", attr.index()),
+                });
+            }
+        }
+        // Uniqueness.
+        for (pos, existing) in self.rows.iter().enumerate() {
+            if Some(pos) == skip {
+                continue;
+            }
+            if key.iter().all(|attr| existing.get(*attr) == row.get(*attr)) {
+                return Err(StorageError::KeyViolation {
+                    reason: "duplicate key value".into(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn rebuild_indexes(&mut self) {
+        for index in &mut self.indexes {
+            index.rebuild(&self.rows);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::SchemaBuilder;
+    use nullrel_core::predicate::Predicate;
+    use nullrel_core::tvl::CompareOp;
+
+    fn emp_table() -> (Universe, Table) {
+        let mut u = Universe::new();
+        let schema = SchemaBuilder::new("EMP")
+            .required_column("E#")
+            .column("NAME")
+            .column_with_domain(
+                "SEX",
+                Domain::Enumerated(vec![Value::str("M"), Value::str("F")]),
+            )
+            .column("MGR#")
+            .key(&["E#"])
+            .build(&mut u)
+            .unwrap();
+        let mut table = Table::new(schema);
+        table
+            .insert_named(&u, &[("E#", Value::int(1120)), ("NAME", Value::str("SMITH")), ("SEX", Value::str("M")), ("MGR#", Value::int(2235))])
+            .unwrap();
+        table
+            .insert_named(&u, &[("E#", Value::int(4335)), ("NAME", Value::str("BROWN")), ("SEX", Value::str("F")), ("MGR#", Value::int(2235))])
+            .unwrap();
+        table
+            .insert_named(&u, &[("E#", Value::int(8799)), ("NAME", Value::str("GREEN")), ("SEX", Value::str("M")), ("MGR#", Value::int(1255))])
+            .unwrap();
+        (u, table)
+    }
+
+    #[test]
+    fn insert_and_basic_accessors() {
+        let (_u, table) = emp_table();
+        assert_eq!(table.len(), 3);
+        assert!(!table.is_empty());
+        assert_eq!(table.name(), "EMP");
+        assert!(table.row(0).is_some());
+        assert!(table.row(9).is_none());
+    }
+
+    #[test]
+    fn key_constraints_are_enforced() {
+        let (u, mut table) = emp_table();
+        // Duplicate key.
+        let err = table
+            .insert_named(&u, &[("E#", Value::int(1120)), ("NAME", Value::str("DUP"))])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::KeyViolation { .. }));
+        // Null key (entity integrity).
+        let err = table
+            .insert_named(&u, &[("NAME", Value::str("NOKEY"))])
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            StorageError::KeyViolation { .. } | StorageError::NullNotAllowed { .. }
+        ));
+    }
+
+    #[test]
+    fn domain_and_unknown_column_violations() {
+        let (u, mut table) = emp_table();
+        let err = table
+            .insert_named(&u, &[("E#", Value::int(9)), ("SEX", Value::str("X"))])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::DomainViolation { .. }));
+        let err = table
+            .insert_named(&u, &[("E#", Value::int(9)), ("GHOST", Value::int(1))])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::UnknownColumn(_)));
+    }
+
+    #[test]
+    fn schema_evolution_preserves_information_content() {
+        // The Table I → Table II experiment (E2).
+        let (mut u, mut table) = emp_table();
+        let before = table.to_relation();
+        let tel = table.add_column(&mut u, "TEL#", None).unwrap();
+        let after = table.to_relation();
+        assert_eq!(table.schema().columns().len(), 5);
+        assert!(after.attrs().contains(&tel));
+        // Information-wise equivalent: no data was gained or lost.
+        assert!(before.equivalent(&after));
+        assert_eq!(
+            XRelation::from_relation(&before),
+            XRelation::from_relation(&after)
+        );
+        // New rows can use the new column; old rows read ni.
+        assert!(table.rows().all(|r| r.is_null(tel)));
+        table
+            .insert_named(&u, &[("E#", Value::int(5555)), ("TEL#", Value::int(2_639_452))])
+            .unwrap();
+        assert_eq!(table.len(), 4);
+    }
+
+    #[test]
+    fn drop_and_rename_columns() {
+        let (mut u, mut table) = emp_table();
+        let mgr = u.lookup("MGR#").unwrap();
+        let dropped = table.drop_column(mgr).unwrap();
+        assert_eq!(dropped.name, "MGR#");
+        assert!(table.rows().all(|r| r.is_null(mgr)));
+        // Key column cannot be dropped.
+        let e_no = u.lookup("E#").unwrap();
+        assert!(table.drop_column(e_no).is_err());
+        // Rename NAME → FULL_NAME.
+        let new_attr = table.rename_column(&mut u, "NAME", "FULL_NAME").unwrap();
+        assert!(table.schema().column_by_name("FULL_NAME").is_some());
+        assert!(table.schema().column_by_name("NAME").is_none());
+        assert!(table.rows().any(|r| r.get(new_attr) == Some(&Value::str("SMITH"))));
+        // Renaming to an existing column name fails.
+        assert!(table.rename_column(&mut u, "SEX", "FULL_NAME").is_err());
+        // Renaming a missing column fails.
+        assert!(table.rename_column(&mut u, "GHOST", "X").is_err());
+    }
+
+    #[test]
+    fn delete_where_follows_lower_bound_semantics() {
+        let (mut u, mut table) = emp_table();
+        let tel = table.add_column(&mut u, "TEL#", None).unwrap();
+        // Deleting where TEL# < 5 removes nothing: every TEL# is ni, so the
+        // predicate is ni, not TRUE.
+        let removed = table
+            .delete_where(&Predicate::attr_const(tel, CompareOp::Lt, 5))
+            .unwrap();
+        assert_eq!(removed, 0);
+        assert_eq!(table.len(), 3);
+        // Deleting by a definite predicate removes exactly the matching row.
+        let sex = u.lookup("SEX").unwrap();
+        let removed = table
+            .delete_where(&Predicate::attr_const(sex, CompareOp::Eq, "F"))
+            .unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn update_where_sets_and_nulls_cells() {
+        let (u, mut table) = emp_table();
+        let name = u.lookup("NAME").unwrap();
+        let mgr = u.lookup("MGR#").unwrap();
+        let updated = table
+            .update_where(
+                &Predicate::attr_const(name, CompareOp::Eq, "GREEN"),
+                &[(mgr, None)],
+            )
+            .unwrap();
+        assert_eq!(updated, 1);
+        let green = table
+            .rows()
+            .find(|r| r.get(name) == Some(&Value::str("GREEN")))
+            .unwrap();
+        assert!(green.is_null(mgr));
+        // An update that would duplicate a key aborts without changing data.
+        let e_no = u.lookup("E#").unwrap();
+        let err = table
+            .update_where(
+                &Predicate::attr_const(name, CompareOp::Eq, "GREEN"),
+                &[(e_no, Some(Value::int(1120)))],
+            )
+            .unwrap_err();
+        assert!(matches!(err, StorageError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn indexes_speed_up_equality_probes_and_stay_consistent() {
+        let (u, mut table) = emp_table();
+        let sex = u.lookup("SEX").unwrap();
+        table.create_index(vec![sex]).unwrap();
+        assert_eq!(table.indexes().len(), 1);
+        let males = table.lookup_eq(&[sex], &[Value::str("M")]);
+        assert_eq!(males.len(), 2);
+        // Fallback scan path (no index on NAME).
+        let name = u.lookup("NAME").unwrap();
+        let browns = table.lookup_eq(&[name], &[Value::str("BROWN")]);
+        assert_eq!(browns.len(), 1);
+        // Index stays consistent across deletes.
+        table
+            .delete_where(&Predicate::attr_const(name, CompareOp::Eq, "SMITH"))
+            .unwrap();
+        let males = table.lookup_eq(&[sex], &[Value::str("M")]);
+        assert_eq!(males.len(), 1);
+        // Unknown column cannot be indexed.
+        assert!(table.create_index(vec![AttrId::from_index(99)]).is_err());
+    }
+
+    #[test]
+    fn conversions_to_algebra_types() {
+        let (_u, table) = emp_table();
+        let rel = table.to_relation();
+        assert_eq!(rel.len(), 3);
+        let x = table.to_xrelation();
+        assert_eq!(x.len(), 3);
+        assert!(x.is_total());
+    }
+}

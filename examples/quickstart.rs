@@ -1,0 +1,74 @@
+//! Quickstart: build a relation with no-information nulls, inspect the
+//! information ordering, and run the generalized relational algebra on it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nullrel::core::algebra::{divide, project, select_attr_const};
+use nullrel::core::display::render_xrelation;
+use nullrel::core::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A universe of attributes and the PS relation of the paper's
+    //    display (6.6). A missing cell *is* the ni null.
+    let mut universe = Universe::new();
+    let s_no = universe.intern("S#");
+    let p_no = universe.intern("P#");
+    let row = |s: Option<&str>, p: Option<&str>| {
+        Tuple::new()
+            .with_opt(s_no, s.map(Value::str))
+            .with_opt(p_no, p.map(Value::str))
+    };
+    let ps = XRelation::from_tuples([
+        row(Some("s1"), Some("p1")),
+        row(Some("s1"), Some("p2")),
+        row(Some("s1"), None),
+        row(Some("s2"), Some("p1")),
+        row(Some("s2"), None),
+        row(Some("s3"), None),
+        row(Some("s4"), Some("p4")),
+    ]);
+    println!("{}", render_xrelation("PS (minimal form)", &ps, &[s_no, p_no], &universe));
+
+    // 2. The information ordering: (s1, -) is less informative than (s1, p1),
+    //    so it disappeared from the minimal representation, yet it still
+    //    x-belongs to the relation.
+    let partial = row(Some("s1"), None);
+    println!(
+        "(s1, -) x-belongs to PS: {}   |PS| in minimal form: {}",
+        ps.x_contains(&partial),
+        ps.len()
+    );
+
+    // 3. Selection and projection under the ni (lower bound) semantics:
+    //    suppliers that supply p1 *for sure*.
+    let supplies_p1 = project(
+        &select_attr_const(&ps, p_no, CompareOp::Eq, Value::str("p1"))?,
+        &attr_set([s_no]),
+    );
+    println!(
+        "{}",
+        render_xrelation("Suppliers of p1 (for sure)", &supplies_p1, &[s_no], &universe)
+    );
+
+    // 4. Division: "find each supplier who supplies every part supplied by
+    //    s2" — the paper's A₃ = {s1, s2}.
+    let parts_of_s2 = project(
+        &select_attr_const(&ps, s_no, CompareOp::Eq, Value::str("s2"))?,
+        &attr_set([p_no]),
+    );
+    let answer = divide(&ps, &attr_set([s_no]), &parts_of_s2)?;
+    println!("{}", render_xrelation("A3 = PS (/ S#) P_s2", &answer, &[s_no], &universe));
+
+    // 5. The lattice: union and x-intersection are least upper / greatest
+    //    lower bounds of the containment ordering.
+    let just_s9 = XRelation::from_tuples([row(Some("s9"), None)]);
+    let bigger = lattice::union(&ps, &just_s9);
+    println!(
+        "PS ∪ {{(s9,-)}} contains PS: {}   x-intersection with PS equals PS: {}",
+        bigger.contains(&ps),
+        lattice::x_intersection(&bigger, &ps) == ps
+    );
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! The suppliers–parts experiments of Sections 1 and 6:
+//!
+//! * E1 — the set-containment anomalies of Codd's null substitution
+//!   principle on PS′/PS″ versus the x-relation answers;
+//! * E6 — the division comparison `A₁`/`A₂`/`A₃` on the PS relation of
+//!   display (6.6);
+//! * E7 — query Q₄, "parts supplied by s1 but not by s2".
+//!
+//! ```text
+//! cargo run --example suppliers_parts
+//! ```
+
+use nullrel::codd::maybe::{divide_maybe, divide_true, project_codd, select_true};
+use nullrel::codd::substitution::{self, SetExpr, SetPredicate};
+use nullrel::core::algebra::{divide, project, select_attr_const};
+use nullrel::core::display::{render_relation, render_xrelation};
+use nullrel::core::prelude::*;
+use nullrel::storage::loader::paper;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- E1: PS′ / PS″ and the substitution principle -----------------
+    let mut universe = Universe::new();
+    let ps_prime = paper::ps_prime(&mut universe);
+    let ps_double = paper::ps_double_prime(&mut universe);
+    let p_no = universe.require("P#")?;
+    let s_no = universe.require("S#")?;
+    universe.set_domain(
+        p_no,
+        Domain::Enumerated(vec![Value::str("p1"), Value::str("p2"), Value::str("p3")]),
+    )?;
+    universe.set_domain(s_no, Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]))?;
+
+    println!("{}", render_relation("PS' (display 1.1)", &ps_prime, &universe));
+    println!("{}", render_relation("PS'' (display 1.2)", &ps_double, &universe));
+
+    let budget = 100_000;
+    let contains = substitution::contains(&ps_double, &ps_prime, &universe, budget)?;
+    let self_eq = substitution::equals(&ps_prime, &ps_prime, &universe, budget)?;
+    let union_contains = substitution::evaluate(
+        &SetPredicate::Contains(
+            SetExpr::rel(ps_prime.clone()).union(SetExpr::rel(ps_double.clone())),
+            SetExpr::rel(ps_prime.clone()),
+        ),
+        &universe,
+        budget,
+    )?;
+    println!("Under Codd's null substitution principle:");
+    println!("  PS'' ⊇ PS'          = {}", contains.truth);
+    println!("  PS' ∪ PS'' ⊇ PS'    = {}", union_contains.truth);
+    println!("  PS' = PS'           = {}", self_eq.truth);
+
+    let x_prime = XRelation::from_relation(&ps_prime);
+    let x_double = XRelation::from_relation(&ps_double);
+    println!("Under the paper's x-relation semantics:");
+    println!("  PS'' ⊒ PS'          = {}", x_double.contains(&x_prime));
+    println!(
+        "  PS' ∪ PS'' ⊒ PS'    = {}",
+        lattice::union(&x_prime, &x_double).contains(&x_prime)
+    );
+    println!("  PS' = PS'           = {}", x_prime == x_prime.clone());
+    println!("  PS' = PS''          = {}\n", x_prime == x_double);
+
+    // ----- E6: the division comparison on display (6.6) ------------------
+    let mut u66 = Universe::new();
+    let ps = paper::ps_66(&mut u66);
+    let s = u66.require("S#")?;
+    let p = u66.require("P#")?;
+    println!("{}", render_relation("PS (display 6.6)", &ps, &u66));
+
+    // Codd's pipeline keeps the null tuple in P_s2.
+    let codd_p_s2 = project_codd(
+        &select_true(&ps, &Predicate::attr_const(s, CompareOp::Eq, "s2"))?,
+        &[p],
+    );
+    let a1 = divide_true(&ps, &attr_set([s]), &codd_p_s2)?;
+    let a2 = divide_maybe(&ps, &attr_set([s]), &codd_p_s2)?;
+
+    // The paper's pipeline works on minimal x-relations.
+    let ps_x = XRelation::from_relation(&ps);
+    let p_s2 = project(
+        &select_attr_const(&ps_x, s, CompareOp::Eq, Value::str("s2"))?,
+        &attr_set([p]),
+    );
+    let a3 = divide(&ps_x, &attr_set([s]), &p_s2)?;
+
+    println!("Q: find each supplier who supplies every part supplied by s2");
+    println!("{}", render_relation("A1 (Codd TRUE division)", &a1, &u66));
+    println!("{}", render_relation("A2 (Codd MAYBE division)", &a2, &u66));
+    println!("{}", render_xrelation("A3 (paper's Y-quotient)", &a3, &[s], &u66));
+
+    // ----- E7: query Q4 — parts supplied by s1 but not by s2 ------------
+    let by_s1 = project(
+        &select_attr_const(&ps_x, s, CompareOp::Eq, Value::str("s1"))?,
+        &attr_set([p]),
+    );
+    let by_s2 = project(
+        &select_attr_const(&ps_x, s, CompareOp::Eq, Value::str("s2"))?,
+        &attr_set([p]),
+    );
+    let q4 = lattice::difference(&by_s1, &by_s2);
+    println!("{}", render_xrelation("A4 = parts by s1 but not by s2", &q4, &[p], &u66));
+    Ok(())
+}

@@ -1,0 +1,46 @@
+//! # nullrel
+//!
+//! Facade crate for the reproduction of Carlo Zaniolo's *Database Relations
+//! with Null Values* (PODS 1982 / JCSS 1984). It re-exports the four
+//! component crates under short names and hosts the repository-level
+//! examples (`examples/`) and cross-crate integration tests (`tests/`).
+//!
+//! * [`core`] — no-information nulls, x-relations, the lattice, and the
+//!   generalized relational algebra (the paper's contribution).
+//! * [`codd`] — the baselines: classical total relations, Codd's TRUE/MAYBE
+//!   algebra, and the null substitution principle.
+//! * [`storage`] — the in-memory database substrate (catalog, tables,
+//!   schema evolution, indexes).
+//! * [`query`] — the QUEL-subset front-end with `ni` lower-bound evaluation
+//!   and the "unknown"-interpretation baseline with tautology detection.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
+//! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use nullrel_codd as codd;
+pub use nullrel_core as core;
+pub use nullrel_query as query;
+pub use nullrel_storage as storage;
+
+/// The most commonly used items from every layer, for examples and tests.
+pub mod prelude {
+    pub use nullrel_core::prelude::*;
+    pub use nullrel_query::{execute, execute_unknown, parse};
+    pub use nullrel_storage::{Database, SchemaBuilder};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_usable() {
+        use crate::prelude::*;
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("T").column("A")).unwrap();
+        let a = db.universe().lookup("A").unwrap();
+        let rel = XRelation::from_tuples([Tuple::new().with(a, Value::int(1))]);
+        assert_eq!(rel.len(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! Experiment E11 (Section 7): the embedding of Codd relations into total
+//! x-relations is one-to-one and preserves union, difference, Cartesian
+//! product, selection, and projection — so "one can operate on the realm of
+//! total x-relations instead of operating upon Codd relations".
+
+use proptest::prelude::*;
+
+use nullrel::codd::TotalRelation;
+use nullrel::core::algebra::{product, project, select};
+use nullrel::core::prelude::*;
+
+const ATTRS: usize = 3;
+
+/// Strategy: a total relation over attribute ids 0..ATTRS with small integer
+/// values (small domains make collisions, and therefore interesting unions
+/// and differences, likely).
+fn arb_total_relation(offset: usize) -> impl Strategy<Value = TotalRelation> {
+    proptest::collection::vec(proptest::collection::vec(0i64..3, ATTRS), 0..8).prop_map(
+        move |rows| {
+            let attrs: Vec<AttrId> = (0..ATTRS).map(|i| AttrId::from_index(offset + i)).collect();
+            let mut rel = TotalRelation::new(attrs);
+            for row in rows {
+                rel.insert(row.into_iter().map(Value::int).collect()).unwrap();
+            }
+            rel
+        },
+    )
+}
+
+fn attrs(offset: usize) -> Vec<AttrId> {
+    (0..ATTRS).map(|i| AttrId::from_index(offset + i)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property (1): unions and differences commute with the embedding, and
+    /// containment is preserved.
+    #[test]
+    fn union_difference_and_containment_are_preserved(
+        r1 in arb_total_relation(0),
+        r2 in arb_total_relation(0),
+    ) {
+        let x1 = r1.to_xrelation();
+        let x2 = r2.to_xrelation();
+        prop_assert_eq!(r1.union(&r2).unwrap().to_xrelation(), lattice::union(&x1, &x2));
+        prop_assert_eq!(
+            r1.difference(&r2).unwrap().to_xrelation(),
+            lattice::difference(&x1, &x2)
+        );
+        prop_assert_eq!(r1.contains_all(&r2).unwrap(), x1.contains(&x2));
+    }
+
+    /// Property (2): the Cartesian product commutes with the embedding.
+    #[test]
+    fn cartesian_product_is_preserved(
+        r1 in arb_total_relation(0),
+        r2 in arb_total_relation(ATTRS),
+    ) {
+        let prod = r1.product(&r2).unwrap();
+        let x_prod = product(&r1.to_xrelation(), &r2.to_xrelation()).unwrap();
+        prop_assert_eq!(prod.to_xrelation(), x_prod);
+    }
+
+    /// Properties (3)/(4): selections commute with the embedding.
+    #[test]
+    fn selection_is_preserved(r in arb_total_relation(0), k in 0i64..3) {
+        let a = attrs(0);
+        let eq_const = Predicate::attr_const(a[0], CompareOp::Eq, k);
+        prop_assert_eq!(
+            r.select(&eq_const).unwrap().to_xrelation(),
+            select(&r.to_xrelation(), &eq_const).unwrap()
+        );
+        let attr_cmp = Predicate::attr_attr(a[0], CompareOp::Lt, a[1]);
+        prop_assert_eq!(
+            r.select(&attr_cmp).unwrap().to_xrelation(),
+            select(&r.to_xrelation(), &attr_cmp).unwrap()
+        );
+    }
+
+    /// Property (5): projections commute with the embedding.
+    #[test]
+    fn projection_is_preserved(r in arb_total_relation(0)) {
+        let a = attrs(0);
+        let onto = [a[0], a[2]];
+        prop_assert_eq!(
+            r.project(&onto).unwrap().to_xrelation(),
+            project(&r.to_xrelation(), &onto.iter().copied().collect())
+        );
+    }
+
+    /// The embedding is injective: distinct Codd relations map to distinct
+    /// total x-relations, and the round trip through the x-relation
+    /// representation is lossless.
+    #[test]
+    fn embedding_is_injective_and_lossless(
+        r1 in arb_total_relation(0),
+        r2 in arb_total_relation(0),
+    ) {
+        let x1 = r1.to_xrelation();
+        prop_assert_eq!(&x1 == &r2.to_xrelation(), r1 == r2);
+        if !r1.is_empty() {
+            let back = TotalRelation::from_xrelation(&x1, &attrs(0)).unwrap();
+            prop_assert_eq!(back, r1);
+        }
+    }
+}
+
+/// A concrete spot check with named attributes, mirroring the paper's
+/// formulation of conditions (1)–(5).
+#[test]
+fn concrete_correspondence_example() {
+    let mut universe = Universe::new();
+    let s = universe.intern("S#");
+    let p = universe.intern("P#");
+    let mut r1 = TotalRelation::new([s, p]);
+    r1.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
+    r1.insert(vec![Value::str("s2"), Value::str("p1")]).unwrap();
+    let mut r2 = TotalRelation::new([s, p]);
+    r2.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
+
+    assert!(r1.contains_all(&r2).unwrap());
+    assert!(r1.to_xrelation().contains(&r2.to_xrelation()));
+    assert_eq!(
+        r1.difference(&r2).unwrap().to_xrelation(),
+        lattice::difference(&r1.to_xrelation(), &r2.to_xrelation())
+    );
+    assert_eq!(
+        r1.project(&[s]).unwrap().to_xrelation(),
+        project(&r1.to_xrelation(), &attr_set([s]))
+    );
+}

@@ -1,0 +1,145 @@
+//! Experiments E6 and E7 (Section 6): the division comparison on the PS
+//! relation of display (6.6) and the difference query Q₄.
+
+use nullrel::codd::maybe::{divide_maybe, divide_true, project_codd, select_true};
+use nullrel::core::algebra::{divide, divide_direct, project, select_attr_const};
+use nullrel::core::prelude::*;
+use nullrel::storage::loader::paper;
+
+fn fixtures() -> (Universe, Relation, XRelation, AttrId, AttrId) {
+    let mut universe = Universe::new();
+    let ps = paper::ps_66(&mut universe);
+    let s = universe.require("S#").unwrap();
+    let p = universe.require("P#").unwrap();
+    let ps_x = XRelation::from_relation(&ps);
+    (universe, ps, ps_x, s, p)
+}
+
+fn supplier(s: AttrId, name: &str) -> Tuple {
+    Tuple::new().with(s, Value::str(name))
+}
+
+/// E6: A₁ = ∅ (Codd TRUE), A₂ = {s1,s2,s3} (Codd MAYBE), A₃ = {s1,s2}
+/// (the paper's Y-quotient).
+#[test]
+fn division_comparison_matches_the_paper() {
+    let (_u, ps, ps_x, s, p) = fixtures();
+
+    let codd_p_s2 = project_codd(
+        &select_true(&ps, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap(),
+        &[p],
+    );
+    // Display (6.9): P_{s2} = {p1, -} under Codd.
+    assert_eq!(codd_p_s2.len(), 2);
+    assert!(codd_p_s2.contains(&Tuple::new()));
+
+    let a1 = divide_true(&ps, &attr_set([s]), &codd_p_s2).unwrap();
+    assert!(a1.is_empty(), "A1 = ∅");
+
+    let a2 = divide_maybe(&ps, &attr_set([s]), &codd_p_s2).unwrap();
+    assert_eq!(a2.len(), 3);
+    for name in ["s1", "s2", "s3"] {
+        assert!(a2.contains(&supplier(s, name)), "{name} ∈ A2");
+    }
+
+    let p_s2 = project(
+        &select_attr_const(&ps_x, s, CompareOp::Eq, Value::str("s2")).unwrap(),
+        &attr_set([p]),
+    );
+    assert_eq!(p_s2.len(), 1, "minimal P_s2 = {{p1}}");
+    let a3 = divide(&ps_x, &attr_set([s]), &p_s2).unwrap();
+    assert_eq!(a3.len(), 2);
+    assert!(a3.x_contains(&supplier(s, "s1")));
+    assert!(a3.x_contains(&supplier(s, "s2")));
+    // Both formulations of the Y-quotient agree.
+    assert_eq!(a3, divide_direct(&ps_x, &attr_set([s]), &p_s2).unwrap());
+}
+
+/// The paradox the paper calls out: under Codd's TRUE division, "for sure,
+/// s2 does not supply all the parts s2 supplies"; the Y-quotient never
+/// produces that contradiction, for any supplier.
+#[test]
+fn the_division_paradox_is_avoided() {
+    let (_u, ps, ps_x, s, p) = fixtures();
+    for name in ["s1", "s2", "s3", "s4"] {
+        // Codd pipeline.
+        let codd_parts = project_codd(
+            &select_true(&ps, &Predicate::attr_const(s, CompareOp::Eq, name)).unwrap(),
+            &[p],
+        );
+        let codd_answer = divide_true(&ps, &attr_set([s]), &codd_parts).unwrap();
+        // Paper pipeline.
+        let parts = project(
+            &select_attr_const(&ps_x, s, CompareOp::Eq, Value::str(name)).unwrap(),
+            &attr_set([p]),
+        );
+        let answer = divide(&ps_x, &attr_set([s]), &parts).unwrap();
+        assert!(
+            answer.x_contains(&supplier(s, name)),
+            "{name} supplies every part it supplies for sure (paper semantics)"
+        );
+        if name != "s4" {
+            // Suppliers with a null part tuple fall out of Codd's TRUE
+            // quotient of their own parts — the paradox.
+            assert!(
+                !codd_answer.contains(&supplier(s, name)),
+                "{name} exhibits the paradox under Codd's TRUE division"
+            );
+        }
+    }
+}
+
+/// E7: Q₄ — "find all parts supplied by s1 but not by s2" = {p2}.
+#[test]
+fn q4_difference_query() {
+    let (_u, _ps, ps_x, s, p) = fixtures();
+    let by_s1 = project(
+        &select_attr_const(&ps_x, s, CompareOp::Eq, Value::str("s1")).unwrap(),
+        &attr_set([p]),
+    );
+    let by_s2 = project(
+        &select_attr_const(&ps_x, s, CompareOp::Eq, Value::str("s2")).unwrap(),
+        &attr_set([p]),
+    );
+    let a4 = lattice::difference(&by_s1, &by_s2);
+    assert_eq!(a4.len(), 1);
+    assert!(a4.x_contains(&Tuple::new().with(p, Value::str("p2"))));
+}
+
+/// The division expressed through the composable expression tree, evaluated
+/// against a stored database — the full stack in one query.
+#[test]
+fn division_through_the_expression_tree_and_storage() {
+    use nullrel::core::algebra::Expr;
+    use nullrel::storage::{Database, SchemaBuilder};
+
+    let mut db = Database::new();
+    db.create_table(SchemaBuilder::new("PS").column("S#").column("P#")).unwrap();
+    let universe = db.universe().clone();
+    {
+        let table = db.table_mut("PS").unwrap();
+        for (sv, pv) in [
+            ("s1", Some("p1")),
+            ("s1", Some("p2")),
+            ("s2", Some("p1")),
+            ("s3", None),
+            ("s4", Some("p4")),
+        ] {
+            let mut cells = vec![("S#", Value::str(sv))];
+            if let Some(pv) = pv {
+                cells.push(("P#", Value::str(pv)));
+            }
+            table.insert_named(&universe, &cells).unwrap();
+        }
+    }
+    let s = db.universe().lookup("S#").unwrap();
+    let p = db.universe().lookup("P#").unwrap();
+    let p_s2 = Expr::named("PS")
+        .select(Predicate::attr_const(s, CompareOp::Eq, "s2"))
+        .project(attr_set([p]));
+    let query = Expr::named("PS").divide(attr_set([s]), p_s2);
+    let answer = query.eval(&db).unwrap();
+    assert!(answer.x_contains(&supplier(s, "s1")));
+    assert!(answer.x_contains(&supplier(s, "s2")));
+    assert_eq!(answer.len(), 2);
+}

@@ -1,0 +1,113 @@
+//! Experiment E1 (Section 1): the PS′/PS″ containment anomalies.
+//!
+//! Under Codd's null substitution principle the everyday set laws evaluate
+//! to MAYBE; under the x-relation semantics they are plain TRUE/FALSE facts.
+
+use nullrel::codd::substitution::{self, SetExpr, SetPredicate};
+use nullrel::core::prelude::*;
+use nullrel::storage::loader::paper;
+
+const BUDGET: u128 = 100_000;
+
+fn fixtures() -> (Universe, Relation, Relation) {
+    let mut universe = Universe::new();
+    let ps_prime = paper::ps_prime(&mut universe);
+    let ps_double = paper::ps_double_prime(&mut universe);
+    let p = universe.require("P#").unwrap();
+    let s = universe.require("S#").unwrap();
+    universe
+        .set_domain(
+            p,
+            Domain::Enumerated(vec![Value::str("p1"), Value::str("p2"), Value::str("p3")]),
+        )
+        .unwrap();
+    universe
+        .set_domain(s, Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]))
+        .unwrap();
+    (universe, ps_prime, ps_double)
+}
+
+#[test]
+fn codd_laws_collapse_to_maybe() {
+    let (universe, ps_prime, ps_double) = fixtures();
+
+    // PS″ ⊇ PS′ — the paper's motivating anomaly.
+    let contains = substitution::contains(&ps_double, &ps_prime, &universe, BUDGET).unwrap();
+    assert_eq!(contains.truth, Truth::Ni);
+
+    // PS′ ∪ PS″ ⊇ PS′.
+    let union_contains = substitution::evaluate(
+        &SetPredicate::Contains(
+            SetExpr::rel(ps_prime.clone()).union(SetExpr::rel(ps_double.clone())),
+            SetExpr::rel(ps_prime.clone()),
+        ),
+        &universe,
+        BUDGET,
+    )
+    .unwrap();
+    assert_eq!(union_contains.truth, Truth::Ni);
+
+    // PS′ ∩ PS″ ⊆ PS′, expressed as PS′ ⊇ (PS′ ∩ PS″).
+    let inter_contained = substitution::evaluate(
+        &SetPredicate::Contains(
+            SetExpr::rel(ps_prime.clone()),
+            SetExpr::rel(ps_prime.clone()).intersect(SetExpr::rel(ps_double.clone())),
+        ),
+        &universe,
+        BUDGET,
+    )
+    .unwrap();
+    assert_eq!(inter_contained.truth, Truth::Ni);
+
+    // Even PS′ = PS′ is MAYBE.
+    let self_eq = substitution::equals(&ps_prime, &ps_prime, &universe, BUDGET).unwrap();
+    assert_eq!(self_eq.truth, Truth::Ni);
+
+    // PS′ = PS″ is certainly not TRUE (the paper reports MAYBE; the literal
+    // substitution principle yields FALSE — see EXPERIMENTS.md).
+    let cross_eq = substitution::equals(&ps_prime, &ps_double, &universe, BUDGET).unwrap();
+    assert_ne!(cross_eq.truth, Truth::True);
+}
+
+#[test]
+fn x_relation_semantics_restores_the_expected_answers() {
+    let (_universe, ps_prime, ps_double) = fixtures();
+    let x_prime = XRelation::from_relation(&ps_prime);
+    let x_double = XRelation::from_relation(&ps_double);
+
+    // The update intuition: after adding (p2, s2), the new database contains
+    // the old one as a matter of fact.
+    assert!(x_double.contains(&x_prime));
+    assert!(x_double.properly_contains(&x_prime));
+
+    // The set laws hold outright.
+    assert!(lattice::union(&x_prime, &x_double).contains(&x_prime));
+    assert!(x_prime.contains(&lattice::x_intersection(&x_prime, &x_double)));
+    assert_eq!(x_prime, x_prime.clone());
+    assert_ne!(x_prime, x_double);
+}
+
+#[test]
+fn the_two_semantics_agree_on_total_relations() {
+    // On relations without nulls the substitution principle degenerates to
+    // ordinary two-valued set comparison, matching the x-relation answers —
+    // the Section 7 consistency requirement.
+    let mut universe = Universe::new();
+    let a = universe.intern_with_domain("A", Domain::IntRange(0, 5));
+    let r1 = Relation::with_tuples([a], [Tuple::new().with(a, Value::int(1))]).unwrap();
+    let r2 = Relation::with_tuples(
+        [a],
+        [
+            Tuple::new().with(a, Value::int(1)),
+            Tuple::new().with(a, Value::int(2)),
+        ],
+    )
+    .unwrap();
+    let sub = substitution::contains(&r2, &r1, &universe, BUDGET).unwrap();
+    assert_eq!(sub.truth, Truth::True);
+    assert!(XRelation::from_relation(&r2).contains(&XRelation::from_relation(&r1)));
+
+    let sub = substitution::contains(&r1, &r2, &universe, BUDGET).unwrap();
+    assert_eq!(sub.truth, Truth::False);
+    assert!(!XRelation::from_relation(&r1).contains(&XRelation::from_relation(&r2)));
+}
