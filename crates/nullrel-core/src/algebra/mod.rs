@@ -19,10 +19,12 @@ pub mod product;
 pub mod project;
 pub mod rename;
 pub mod select;
+pub mod stream;
 pub mod union_join;
 
 pub use division::{divide, divide_direct};
 pub use expr::{Expr, NoSource, RelationSource};
+pub use stream::{TupleStream, VecStream};
 pub use join::{equijoin, theta_join};
 pub use product::product;
 pub use project::project;

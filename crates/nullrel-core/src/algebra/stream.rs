@@ -1,0 +1,78 @@
+//! Operator input traits: the pull-based tuple stream physical operators
+//! consume and produce.
+//!
+//! The tree-walk evaluator in [`super::expr`] materialises a whole
+//! [`crate::xrel::XRelation`] at every node. Physical execution engines
+//! (the `nullrel-exec` crate) instead thread tuples through a pipeline one
+//! at a time; [`TupleStream`] is the interface every pipeline stage speaks.
+//! It lives in the core crate so that algebra-level code can accept either
+//! representation without depending on the engine.
+
+use crate::error::CoreResult;
+use crate::tuple::Tuple;
+
+/// A pull-based stream of tuples. `next_tuple` returns `Ok(None)` when the
+/// stream is exhausted; errors abort the pipeline.
+pub trait TupleStream {
+    /// Pulls the next tuple.
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>>;
+
+    /// Drains the stream into a vector (mainly for tests and sinks).
+    fn drain_all(&mut self) -> CoreResult<Vec<Tuple>> {
+        let mut out = Vec::new();
+        while let Some(t) = self.next_tuple()? {
+            out.push(t);
+        }
+        Ok(out)
+    }
+}
+
+/// The trivial stream over an owned vector of tuples.
+#[derive(Debug, Clone, Default)]
+pub struct VecStream {
+    tuples: std::vec::IntoIter<Tuple>,
+}
+
+impl VecStream {
+    /// A stream yielding `tuples` in order.
+    pub fn new(tuples: Vec<Tuple>) -> Self {
+        VecStream {
+            tuples: tuples.into_iter(),
+        }
+    }
+}
+
+impl TupleStream for VecStream {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        Ok(self.tuples.next())
+    }
+}
+
+impl<S: TupleStream + ?Sized> TupleStream for Box<S> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        (**self).next_tuple()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+    use crate::value::Value;
+
+    #[test]
+    fn vec_stream_yields_in_order_and_drains() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let tuples: Vec<Tuple> = (0..3)
+            .map(|i| Tuple::new().with(a, Value::int(i)))
+            .collect();
+        let mut stream = VecStream::new(tuples.clone());
+        assert_eq!(stream.next_tuple().unwrap(), Some(tuples[0].clone()));
+        assert_eq!(stream.drain_all().unwrap(), tuples[1..].to_vec());
+        assert_eq!(stream.next_tuple().unwrap(), None);
+
+        let mut boxed: Box<dyn TupleStream> = Box::new(VecStream::new(tuples.clone()));
+        assert_eq!(boxed.drain_all().unwrap(), tuples);
+    }
+}

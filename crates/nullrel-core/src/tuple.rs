@@ -207,6 +207,19 @@ impl Tuple {
         Some(Tuple { cells })
     }
 
+    /// The hash key of the tuple over an attribute list: the cell values of
+    /// `attrs` in order, or `None` when any of them is `ni`. Under the `ni`
+    /// semantics a null cell can never satisfy an equality with certainty,
+    /// so hash-based operators (indexes, hash joins) must treat such tuples
+    /// as unkeyable rather than hash the null.
+    pub fn key_on(&self, attrs: &[AttrId]) -> Option<Vec<Value>> {
+        let mut key = Vec::with_capacity(attrs.len());
+        for attr in attrs {
+            key.push(self.cells.get(attr)?.clone());
+        }
+        Some(key)
+    }
+
     /// The projection `r[X]`: keep only the cells of attributes in `X`.
     pub fn project(&self, attrs: &AttrSet) -> Tuple {
         let cells = self

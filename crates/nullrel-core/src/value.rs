@@ -172,6 +172,31 @@ impl Value {
     pub fn equal(&self, other: &Value) -> CoreResult<bool> {
         Ok(self.compare(other)? == Ordering::Equal)
     }
+
+    /// The canonical hash key of the value for domain-aware equality:
+    /// integral floats that fit an `i64` normalize to [`Value::Int`], so
+    /// that values equal under [`Value::compare`] (`Int(2)` = `Float(2.0)`)
+    /// hash to the same key. Hash indexes and hash joins must key on this
+    /// rather than on the raw value.
+    ///
+    /// (For magnitudes beyond 2⁵³, [`Value::compare`] itself rounds the
+    /// integer to the nearest float, making its equality non-transitive;
+    /// such collisions cannot be represented by any hash key and keep
+    /// their raw exact-match behavior here.)
+    #[must_use]
+    pub fn join_key(&self) -> Value {
+        match self {
+            Value::Float(f) => {
+                let x = f.get();
+                if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) {
+                    Value::Int(x as i64)
+                } else {
+                    self.clone()
+                }
+            }
+            other => other.clone(),
+        }
+    }
 }
 
 impl fmt::Display for Value {
@@ -270,7 +295,7 @@ mod tests {
     #[test]
     fn float_total_order_handles_nan_and_zero() {
         let nan = F64Ord::new(f64::NAN);
-        let other_nan = F64Ord::new(0.0 / 0.0);
+        let other_nan = F64Ord::new(f64::NAN);
         assert_eq!(nan, other_nan, "all NaNs are identified");
         assert!(nan > F64Ord::new(f64::INFINITY));
         assert_eq!(F64Ord::new(-0.0), F64Ord::new(0.0));

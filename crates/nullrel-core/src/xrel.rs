@@ -59,6 +59,14 @@ impl XRelation {
         XRelation { tuples }
     }
 
+    /// Builds an x-relation from tuples the caller guarantees to be an
+    /// antichain (no null tuple, no tuple subsumed by another). Streaming
+    /// operators that maintain minimality incrementally use this to avoid a
+    /// quadratic re-minimisation at the end; debug builds verify the claim.
+    pub fn from_antichain(tuples: Vec<Tuple>) -> Self {
+        XRelation::from_minimal_unchecked(tuples)
+    }
+
     /// The tuples of the canonical minimal representation.
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples

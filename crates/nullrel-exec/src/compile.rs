@@ -1,0 +1,630 @@
+//! Compilation of a logical [`Expr`] into a pipeline of physical operators.
+//!
+//! The compiler walks the (optimized) logical plan and emits the cheapest
+//! physical operator it can prove applicable:
+//!
+//! * `Select` over a named scan with an `attr = const` conjunct whose base
+//!   column has a covering index becomes an **IndexScan** through
+//!   [`ExecSource::index_probe`] — the catalog-driven index selection rule.
+//! * `ThetaJoin` on equality becomes a **HashJoin**; an enclosing `Select`
+//!   donates any further cross-scope equality conjuncts to the join's key
+//!   list and keeps the rest as a residual filter.
+//! * Algebra nodes with no streaming implementation yet (division, set
+//!   operators, union-join) fall back to the tree-walk evaluator and enter
+//!   the pipeline as a pre-evaluated scan, so the engine is total over the
+//!   whole algebra.
+//!
+//! Every pipeline is rooted in a [`MinimizeOp`] sink, which maintains the
+//! canonical minimal x-relation representation incrementally.
+
+use nullrel_core::algebra::{Expr, TupleStream};
+use nullrel_core::error::{CoreError, CoreResult};
+use nullrel_core::predicate::{Operand, Predicate};
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::{CompareOp, Truth};
+use nullrel_core::universe::{AttrId, Universe};
+use nullrel_core::value::Value;
+use nullrel_core::xrel::XRelation;
+
+use crate::op::{BoxedOp, FilterOp, HashJoinOp, MinimizeOp, ProductOp, ProjectOp, ScanOp, StatsSlot};
+use crate::optimize::{and_all, base_attr, extra_join_keys, scope_of, split_and};
+use crate::source::ExecSource;
+use crate::stats::{ExecStats, OpStats};
+
+/// A compiled, ready-to-run physical pipeline.
+pub struct Pipeline {
+    // (not Debug: the operator tree holds trait objects)
+    root: BoxedOp,
+    slots: Vec<StatsSlot>,
+}
+
+impl Pipeline {
+    /// Runs the pipeline to completion, returning the minimal result
+    /// x-relation and the per-operator counters.
+    pub fn run(mut self) -> CoreResult<(XRelation, ExecStats)> {
+        let tuples = self.root.drain_all()?;
+        let stats = ExecStats::snapshot(&self.slots);
+        Ok((XRelation::from_antichain(tuples), stats))
+    }
+
+    /// Renders the physical plan shape (labels only; run the pipeline for
+    /// counters).
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        for slot in &self.slots {
+            let s = slot.borrow();
+            out.push_str(&"  ".repeat(s.depth));
+            out.push_str(&s.label);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compiles a logical plan against a source of base relations. `universe`
+/// is used only to render operator labels.
+pub fn compile<S: ExecSource>(
+    expr: &Expr,
+    source: &S,
+    universe: &Universe,
+) -> CoreResult<Pipeline> {
+    compile_band(expr, source, universe, Truth::True)
+}
+
+/// [`compile`] with an explicit truth band: filters keep rows whose
+/// predicate evaluates to `band`. `Truth::Ni` selects the MAYBE band —
+/// pass an *unoptimized* plan in that case, since the pushdown rules are
+/// proved only for the TRUE lower bound.
+pub fn compile_band<S: ExecSource>(
+    expr: &Expr,
+    source: &S,
+    universe: &Universe,
+    band: Truth,
+) -> CoreResult<Pipeline> {
+    let mut c = Compiler {
+        source,
+        universe,
+        band,
+        slots: Vec::new(),
+    };
+    let minimize = c.slot("Minimize", 0);
+    let input = c.build(expr, 1)?;
+    Ok(Pipeline {
+        root: Box::new(MinimizeOp::new(input, minimize)),
+        slots: c.slots,
+    })
+}
+
+struct Compiler<'a, S> {
+    source: &'a S,
+    universe: &'a Universe,
+    band: Truth,
+    slots: Vec<StatsSlot>,
+}
+
+impl<S: ExecSource> Compiler<'_, S> {
+    fn slot(&mut self, label: impl Into<String>, depth: usize) -> StatsSlot {
+        let slot = OpStats::slot(label, depth);
+        self.slots.push(slot.clone());
+        slot
+    }
+
+    fn attr_name(&self, attr: AttrId) -> String {
+        self.universe
+            .name(attr)
+            .map(str::to_owned)
+            .unwrap_or_else(|_| format!("#{}", attr.index()))
+    }
+
+    fn build(&mut self, expr: &Expr, depth: usize) -> CoreResult<BoxedOp> {
+        match expr {
+            Expr::Literal(rel) => {
+                let slot = self.slot(format!("Scan literal[{} tuples]", rel.len()), depth);
+                slot.borrow_mut().rows_in = rel.len();
+                Ok(Box::new(ScanOp::new(rel.tuples().to_vec(), slot)))
+            }
+            Expr::Named(name) => self.named_scan(name, None, depth),
+            Expr::Rename { input, mapping } => {
+                if let Expr::Named(name) = input.as_ref() {
+                    self.named_scan(name, Some(mapping), depth)
+                } else {
+                    self.fallback(expr, depth)
+                }
+            }
+            Expr::Select { input, predicate } => self.build_select(input, predicate, depth),
+            Expr::Project { input, attrs } => {
+                let slot = self.slot(
+                    format!("Project [{}]", self.universe.render_attrs(attrs)),
+                    depth,
+                );
+                let input = self.build(input, depth + 1)?;
+                Ok(Box::new(ProjectOp::new(input, attrs.clone(), slot)))
+            }
+            Expr::Product(a, b) => {
+                let slot = self.slot("Product", depth);
+                let left = self.build(a, depth + 1)?;
+                let right = self.build(b, depth + 1)?;
+                Ok(Box::new(ProductOp::new(left, right, slot)))
+            }
+            // A hash join produces exactly the TRUE band of the equality;
+            // any other requested band must evaluate the comparison per
+            // product pair like the general θ-join below.
+            Expr::ThetaJoin {
+                left,
+                left_attr,
+                op: CompareOp::Eq,
+                right_attr,
+                right,
+            } if self.band == Truth::True => {
+                self.build_hash_join(left, right, vec![(*left_attr, *right_attr)], depth)
+            }
+            Expr::ThetaJoin {
+                left,
+                left_attr,
+                op,
+                right_attr,
+                right,
+            } => {
+                // Non-equality θ-join (or a non-TRUE band): product plus a
+                // comparison filter in the requested band.
+                let filter_slot = self.slot(
+                    format!(
+                        "ThetaFilter {} {} {}",
+                        self.attr_name(*left_attr),
+                        op,
+                        self.attr_name(*right_attr)
+                    ),
+                    depth,
+                );
+                let product_slot = self.slot("Product", depth + 1);
+                let l = self.build(left, depth + 2)?;
+                let r = self.build(right, depth + 2)?;
+                let product = Box::new(ProductOp::new(l, r, product_slot));
+                Ok(Box::new(FilterOp::new(
+                    product,
+                    Predicate::attr_attr(*left_attr, *op, *right_attr),
+                    self.band,
+                    filter_slot,
+                )))
+            }
+            other => self.fallback(other, depth),
+        }
+    }
+
+    /// A scan over a named base relation, optionally renaming the stored
+    /// attributes (the shape query plans use for range variables).
+    fn named_scan(
+        &mut self,
+        name: &str,
+        mapping: Option<&std::collections::BTreeMap<AttrId, AttrId>>,
+        depth: usize,
+    ) -> CoreResult<BoxedOp> {
+        let (rows, stats) = self
+            .source
+            .table_scan(name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.to_owned()))?;
+        let rows = apply_rename(rows, mapping);
+        let slot = self.slot(format!("TableScan {name}"), depth);
+        slot.borrow_mut().absorb_scan(&stats);
+        Ok(Box::new(ScanOp::new(rows, slot)))
+    }
+
+    /// Selection compilation, with two special shapes recognised before the
+    /// generic filter:
+    ///
+    /// 1. index selection over a (possibly renamed) named scan;
+    /// 2. key widening of an equality θ-join underneath.
+    fn build_select(
+        &mut self,
+        input: &Expr,
+        predicate: &Predicate,
+        depth: usize,
+    ) -> CoreResult<BoxedOp> {
+        // Only the TRUE band may restructure the predicate: an index probe
+        // returns sure matches, and splitting a conjunction is a
+        // lower-bound rewrite.
+        if self.band == Truth::True {
+            if let Some(op) = self.try_index_select(input, predicate, depth)? {
+                return Ok(op);
+            }
+            if let Expr::ThetaJoin {
+                left,
+                left_attr,
+                op: CompareOp::Eq,
+                right_attr,
+                right,
+            } = input
+            {
+                let (ls, rs) = (scope_of(left, self.source), scope_of(right, self.source));
+                if let (Some(ls), Some(rs)) = (ls, rs) {
+                    let mut conjuncts = Vec::new();
+                    split_and(predicate.clone(), &mut conjuncts);
+                    let (mut keys, rest) = extra_join_keys(conjuncts, &ls, &rs);
+                    if !keys.is_empty() {
+                        keys.insert(0, (*left_attr, *right_attr));
+                        let join = match and_all(rest) {
+                            Some(residual) => {
+                                let slot = self.slot(
+                                    format!("Filter {}", residual.render(self.universe)),
+                                    depth,
+                                );
+                                let join = self.build_hash_join(left, right, keys, depth + 1)?;
+                                Box::new(FilterOp::new(join, residual, self.band, slot))
+                            }
+                            None => self.build_hash_join(left, right, keys, depth)?,
+                        };
+                        return Ok(join);
+                    }
+                }
+            }
+        }
+        let slot = self.slot(
+            format!("Filter {}", predicate.render(self.universe)),
+            depth,
+        );
+        let input = self.build(input, depth + 1)?;
+        Ok(Box::new(FilterOp::new(
+            input,
+            predicate.clone(),
+            self.band,
+            slot,
+        )))
+    }
+
+    /// Index selection: `Select` over `Named` / `Rename(Named)` where some
+    /// `attr = const` conjunct is covered by a catalog index.
+    fn try_index_select(
+        &mut self,
+        input: &Expr,
+        predicate: &Predicate,
+        depth: usize,
+    ) -> CoreResult<Option<BoxedOp>> {
+        let (name, mapping) = match input {
+            Expr::Named(name) => (name.as_str(), None),
+            Expr::Rename { input, mapping } => match input.as_ref() {
+                Expr::Named(name) => (name.as_str(), Some(mapping)),
+                _ => return Ok(None),
+            },
+            _ => return Ok(None),
+        };
+        let mut conjuncts = Vec::new();
+        split_and(predicate.clone(), &mut conjuncts);
+        let mut probe = None;
+        for (i, c) in conjuncts.iter().enumerate() {
+            let Some((attr, value)) = attr_const_eq(c) else {
+                continue;
+            };
+            let base = match mapping {
+                Some(m) => match base_attr(m, attr) {
+                    Some(b) => b,
+                    None => continue,
+                },
+                None => attr,
+            };
+            if let Some((rows, stats)) =
+                self.source
+                    .index_probe(name, &[base], std::slice::from_ref(value))
+            {
+                probe = Some((i, base, value.clone(), rows, stats));
+                break;
+            }
+        }
+        let Some((consumed, base, value, rows, stats)) = probe else {
+            return Ok(None);
+        };
+        conjuncts.remove(consumed);
+        let rows = apply_rename(rows, mapping);
+        let scan_label = format!(
+            "IndexScan {name} [{} = {value}]",
+            self.attr_name(base)
+        );
+        let op: BoxedOp = match and_all(conjuncts) {
+            Some(residual) => {
+                let filter_slot = self.slot(
+                    format!("Filter {}", residual.render(self.universe)),
+                    depth,
+                );
+                let scan_slot = self.slot(scan_label, depth + 1);
+                scan_slot.borrow_mut().absorb_scan(&stats);
+                Box::new(FilterOp::new(
+                    Box::new(ScanOp::new(rows, scan_slot)),
+                    residual,
+                    self.band,
+                    filter_slot,
+                ))
+            }
+            None => {
+                let scan_slot = self.slot(scan_label, depth);
+                scan_slot.borrow_mut().absorb_scan(&stats);
+                Box::new(ScanOp::new(rows, scan_slot))
+            }
+        };
+        Ok(Some(op))
+    }
+
+    fn build_hash_join(
+        &mut self,
+        left: &Expr,
+        right: &Expr,
+        mut keys: Vec<(AttrId, AttrId)>,
+        depth: usize,
+    ) -> CoreResult<BoxedOp> {
+        // Orient every pair so the first attribute belongs to the left
+        // scope when scopes are known (the optimizer emits them oriented,
+        // but hand-built ThetaJoin nodes may not be).
+        if let Some(ls) = scope_of(left, self.source) {
+            for pair in &mut keys {
+                if !ls.contains(&pair.0) && ls.contains(&pair.1) {
+                    *pair = (pair.1, pair.0);
+                }
+            }
+        }
+        let label = format!(
+            "HashJoin {}",
+            keys.iter()
+                .map(|(l, r)| format!("{} = {}", self.attr_name(*l), self.attr_name(*r)))
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        );
+        let slot = self.slot(label, depth);
+        let l = self.build(left, depth + 1)?;
+        let r = self.build(right, depth + 1)?;
+        let (lk, rk) = keys.into_iter().unzip();
+        Ok(Box::new(HashJoinOp::new(l, r, lk, rk, slot)))
+    }
+
+    /// No streaming implementation: evaluate the subtree with the
+    /// tree-walk oracle and feed the result in as a scan.
+    fn fallback(&mut self, expr: &Expr, depth: usize) -> CoreResult<BoxedOp> {
+        let rel = expr.eval(self.source)?;
+        let slot = self.slot(format!("EvalScan {}[{} tuples]", node_name(expr), rel.len()), depth);
+        slot.borrow_mut().rows_in = rel.len();
+        Ok(Box::new(ScanOp::new(rel.into_tuples(), slot)))
+    }
+}
+
+fn node_name(expr: &Expr) -> &'static str {
+    match expr {
+        Expr::Literal(_) => "Literal",
+        Expr::Named(_) => "Named",
+        Expr::Select { .. } => "Select",
+        Expr::Project { .. } => "Project",
+        Expr::Product(..) => "Product",
+        Expr::ThetaJoin { .. } => "ThetaJoin",
+        Expr::EquiJoin { .. } => "EquiJoin",
+        Expr::UnionJoin { .. } => "UnionJoin",
+        Expr::Divide { .. } => "Divide",
+        Expr::Union(..) => "Union",
+        Expr::XIntersect(..) => "XIntersect",
+        Expr::Difference(..) => "Difference",
+        Expr::Rename { .. } => "Rename",
+    }
+}
+
+fn apply_rename(
+    rows: Vec<Tuple>,
+    mapping: Option<&std::collections::BTreeMap<AttrId, AttrId>>,
+) -> Vec<Tuple> {
+    match mapping {
+        Some(m) => rows.iter().map(|r| r.rename(m)).collect(),
+        None => rows,
+    }
+}
+
+/// The `(attribute, constant)` of an `attr = const` conjunct, in either
+/// orientation.
+fn attr_const_eq(conjunct: &Predicate) -> Option<(AttrId, &Value)> {
+    let Predicate::Cmp(cmp) = conjunct else {
+        return None;
+    };
+    if cmp.op != CompareOp::Eq {
+        return None;
+    }
+    match (&cmp.left, &cmp.right) {
+        (Operand::Attr(a), Operand::Const(v)) | (Operand::Const(v), Operand::Attr(a)) => {
+            Some((*a, v))
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optimize::optimize;
+    use nullrel_core::universe::attr_set;
+    use nullrel_storage::{Database, SchemaBuilder};
+
+    fn ps_db(with_index: bool) -> Database {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("PS").column("S#").column("P#"))
+            .unwrap();
+        let u = db.universe().clone();
+        let t = db.table_mut("PS").unwrap();
+        for (s, p) in [
+            (Some("s1"), Some("p1")),
+            (Some("s1"), Some("p2")),
+            (Some("s2"), Some("p1")),
+            (Some("s2"), None),
+            (Some("s3"), None),
+            (Some("s4"), Some("p4")),
+        ] {
+            let mut cells: Vec<(&str, Value)> = Vec::new();
+            if let Some(s) = s {
+                cells.push(("S#", Value::str(s)));
+            }
+            if let Some(p) = p {
+                cells.push(("P#", Value::str(p)));
+            }
+            t.insert_named(&u, &cells).unwrap();
+        }
+        if with_index {
+            let s = u.lookup("S#").unwrap();
+            t.create_index(vec![s]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn literal_plan_compiles_and_matches_oracle() {
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let s = u.lookup("S#").unwrap();
+        let p = u.lookup("P#").unwrap();
+        let expr = Expr::literal(db.table("PS").unwrap().to_xrelation())
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s1"))
+            .project(attr_set([p]));
+        let oracle = expr.eval(&nullrel_core::algebra::NoSource).unwrap();
+        let (got, stats) = compile(&expr, &nullrel_core::algebra::NoSource, &u)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(got, oracle);
+        assert_eq!(stats.rows_returned(), oracle.len());
+        assert!(stats.render().contains("Filter"));
+    }
+
+    #[test]
+    fn index_selection_uses_the_catalog() {
+        let db = ps_db(true);
+        let u = db.universe().clone();
+        let s = u.lookup("S#").unwrap();
+        let expr = Expr::named("PS").select(Predicate::attr_const(s, CompareOp::Eq, "s1"));
+        let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(stats.used_index(), "plan must probe the S# index:\n{stats}");
+        assert!(stats.render().contains("IndexScan PS [S# = s1]"));
+
+        // Without an index the same plan falls back to scan + filter.
+        let db2 = ps_db(false);
+        let (got2, stats2) = compile(&expr, &db2, &u).unwrap().run().unwrap();
+        assert_eq!(got2, got);
+        assert!(!stats2.used_index());
+        assert!(stats2.render().contains("TableScan PS"));
+    }
+
+    #[test]
+    fn equi_join_plan_runs_as_hash_join() {
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let table = db.table("PS").unwrap().to_xrelation();
+
+        // Self-join on P# after renaming the second copy's attributes.
+        let mut u2 = u.clone();
+        let s2 = u2.intern("b.S#");
+        let p2 = u2.intern("b.P#");
+        let s = u2.lookup("S#").unwrap();
+        let p = u2.lookup("P#").unwrap();
+        let renamed: XRelation = table
+            .tuples()
+            .iter()
+            .map(|t| t.rename(&[(s, s2), (p, p2)].into_iter().collect()))
+            .collect();
+        let plan = Expr::literal(table)
+            .product(Expr::literal(renamed))
+            .select(Predicate::attr_attr(p, CompareOp::Eq, p2))
+            .project(attr_set([s, s2]));
+        let oracle = plan.eval(&nullrel_core::algebra::NoSource).unwrap();
+        let opt = optimize(&plan, &nullrel_core::algebra::NoSource);
+        let (got, stats) = compile(&opt.expr, &nullrel_core::algebra::NoSource, &u2)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(got, oracle);
+        assert!(stats.used_hash_join(), "plan:\n{}", stats.render());
+    }
+
+    /// Regression: the index probe must use domain-aware key equality —
+    /// `A = Float(2.0)` over stored `Int(2)` rows matches through the
+    /// index exactly as the predicate oracle says it does.
+    #[test]
+    fn index_probe_matches_numeric_equality() {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("T").column("A")).unwrap();
+        let u = db.universe().clone();
+        let a = u.lookup("A").unwrap();
+        let t = db.table_mut("T").unwrap();
+        t.insert_named(&u, &[("A", Value::int(2))]).unwrap();
+        t.insert_named(&u, &[("A", Value::int(3))]).unwrap();
+        t.create_index(vec![a]).unwrap();
+        let expr = Expr::named("T").select(Predicate::attr_const(a, CompareOp::Eq, 2.0f64));
+        let oracle = expr.eval(&db).unwrap();
+        assert_eq!(oracle.len(), 1, "Value::compare treats Int(2) = Float(2.0)");
+        let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(stats.used_index(), "plan:\n{}", stats.render());
+    }
+
+    /// Regression: an eq θ-join under a non-TRUE band must not lower to a
+    /// hash join (which produces only the sure matches); it evaluates the
+    /// comparison per pair in the requested band.
+    #[test]
+    fn maybe_band_of_an_equality_join_is_not_a_hash_join() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        let left = XRelation::from_tuples([
+            Tuple::new().with(a, Value::int(1)).with(c, Value::int(1)),
+            Tuple::new().with(c, Value::int(2)), // A is ni
+        ]);
+        let right = XRelation::from_tuples([Tuple::new().with(b, Value::int(1))]);
+        let join = Expr::ThetaJoin {
+            left: Box::new(Expr::literal(left)),
+            left_attr: a,
+            op: CompareOp::Eq,
+            right_attr: b,
+            right: Box::new(Expr::literal(right)),
+        };
+        let (maybe, stats) = compile_band(&join, &nullrel_core::algebra::NoSource, &u, Truth::Ni)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(maybe.len(), 1, "only the ni-A pair is in the MAYBE band");
+        assert!(maybe.x_contains(&Tuple::new().with(c, Value::int(2)).with(b, Value::int(1))));
+        assert!(!stats.used_hash_join(), "plan:\n{}", stats.render());
+    }
+
+    #[test]
+    fn maybe_band_flows_through_the_engine() {
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let p = u.lookup("P#").unwrap();
+        let expr = Expr::named("PS").select(Predicate::attr_const(p, CompareOp::Eq, "p1"));
+        let (maybe, stats) = compile_band(&expr, &db, &u, Truth::Ni)
+            .unwrap()
+            .run()
+            .unwrap();
+        // The two null-P# stored rows are exactly the MAYBE band; the
+        // minimal representation collapses them to their S# cells.
+        assert_eq!(maybe.len(), 2);
+        assert_eq!(stats.ni_rows(), 2);
+    }
+
+    #[test]
+    fn fallback_handles_the_rest_of_the_algebra() {
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let s = u.lookup("S#").unwrap();
+        let p = u.lookup("P#").unwrap();
+        let divisor = Expr::named("PS")
+            .select(Predicate::attr_const(s, CompareOp::Eq, "s2"))
+            .project(attr_set([p]));
+        let expr = Expr::named("PS").divide(attr_set([s]), divisor);
+        let oracle = expr.eval(&db).unwrap();
+        let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(stats.render().contains("EvalScan Divide"));
+    }
+
+    #[test]
+    fn unknown_relation_errors_at_compile_time() {
+        let u = Universe::new();
+        let expr = Expr::named("MISSING");
+        let err = match compile(&expr, &nullrel_core::algebra::NoSource, &u) {
+            Err(err) => err,
+            Ok(_) => panic!("compiling a scan of a missing relation must fail"),
+        };
+        assert!(matches!(err, CoreError::UnknownRelation(_)));
+    }
+}

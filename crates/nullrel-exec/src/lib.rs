@@ -1,0 +1,124 @@
+//! # nullrel-exec
+//!
+//! The pipelined physical execution engine for the `nullrel` workspace.
+//!
+//! The seed evaluator walks the logical [`Expr`] tree and materialises a
+//! full x-relation at every node — in particular, every multi-range QUEL
+//! query pays a Cartesian product. This crate separates **logical plans**
+//! from **physical operators**, the split Section 5 of the paper makes
+//! possible: because the lower bound `‖Q‖∗` needs only a single TRUE-band
+//! pass, selections, projections, and equality joins can stream.
+//!
+//! The engine has three layers:
+//!
+//! * [`optimize`](optimize()) — a rule-based logical optimizer (selection
+//!   pushdown through products, product + equi-predicate → hash join,
+//!   projection pushdown), all proved under the three-valued `ni`
+//!   semantics;
+//! * [`compile`](compile()) — lowers the optimized plan onto physical
+//!   operators ([`ScanOp`], index scans via [`ExecSource::index_probe`],
+//!   [`FilterOp`], [`HashJoinOp`], [`ProjectOp`]), each of which reports
+//!   [`OpStats`] counters continuing the storage layer's
+//!   [`ScanStats`](nullrel_storage::scan::ScanStats);
+//! * [`Pipeline::run`] — pulls tuples through the operator tree into the
+//!   streaming [`MinimizeOp`] sink, which maintains the canonical minimal
+//!   x-relation representation incrementally.
+//!
+//! The MAYBE band is requested through [`compile_band`] with
+//! [`Truth::Ni`](nullrel_core::tvl::Truth): filters then keep the rows
+//! whose qualification evaluates to `ni` instead of TRUE (optimization is
+//! skipped, as the rewrite rules are lower-bound arguments).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use nullrel_core::algebra::NoSource;
+//! use nullrel_core::prelude::*;
+//! use nullrel_exec::execute_expr;
+//!
+//! let mut u = Universe::new();
+//! let a = u.intern("A");
+//! let b = u.intern("B");
+//! let left = XRelation::from_tuples([Tuple::new().with(a, Value::int(1))]);
+//! let right = XRelation::from_tuples([
+//!     Tuple::new().with(b, Value::int(1)),
+//!     Tuple::new().with(b, Value::int(2)),
+//! ]);
+//! let plan = Expr::literal(left)
+//!     .product(Expr::literal(right))
+//!     .select(Predicate::attr_attr(a, CompareOp::Eq, b));
+//! let (result, stats) = execute_expr(&plan, &NoSource, &u).unwrap();
+//! assert_eq!(result.len(), 1);
+//! assert!(stats.used_hash_join());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compile;
+pub mod op;
+pub mod optimize;
+pub mod source;
+pub mod stats;
+
+pub use compile::{compile, compile_band, Pipeline};
+pub use op::{FilterOp, HashJoinOp, MinimizeOp, ProductOp, ProjectOp, ScanOp};
+pub use optimize::{optimize, Optimized};
+pub use source::ExecSource;
+pub use stats::{ExecStats, OpStats};
+
+use nullrel_core::algebra::Expr;
+use nullrel_core::error::CoreResult;
+use nullrel_core::tvl::Truth;
+use nullrel_core::universe::Universe;
+use nullrel_core::xrel::XRelation;
+
+/// Optimizes, compiles, and runs a logical plan in one call (TRUE band).
+pub fn execute_expr<S: ExecSource>(
+    expr: &Expr,
+    source: &S,
+    universe: &Universe,
+) -> CoreResult<(XRelation, ExecStats)> {
+    let optimized = optimize(expr, source);
+    compile(&optimized.expr, source, universe)?.run()
+}
+
+/// Runs a logical plan under an explicit truth band. The TRUE band goes
+/// through the optimizer; other bands compile the plan as written.
+pub fn execute_expr_band<S: ExecSource>(
+    expr: &Expr,
+    source: &S,
+    universe: &Universe,
+    band: Truth,
+) -> CoreResult<(XRelation, ExecStats)> {
+    if band == Truth::True {
+        execute_expr(expr, source, universe)
+    } else {
+        compile_band(expr, source, universe, band)?.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::algebra::NoSource;
+    use nullrel_core::predicate::Predicate;
+    use nullrel_core::tuple::Tuple;
+    use nullrel_core::tvl::CompareOp;
+    use nullrel_core::value::Value;
+
+    #[test]
+    fn execute_expr_band_dispatches() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let rel = XRelation::from_tuples([
+            Tuple::new().with(a, Value::int(1)),
+            Tuple::new(),
+        ]);
+        let plan = Expr::literal(rel).select(Predicate::attr_const(a, CompareOp::Gt, 0));
+        let (sure, _) = execute_expr_band(&plan, &NoSource, &u, Truth::True).unwrap();
+        assert_eq!(sure.len(), 1);
+        let (maybe, _) = execute_expr_band(&plan, &NoSource, &u, Truth::Ni).unwrap();
+        assert!(maybe.is_empty(), "minimal form stores no null tuples");
+    }
+}

@@ -1,0 +1,557 @@
+//! The physical operators: pull-based pipeline stages over tuples.
+//!
+//! Every operator implements [`TupleStream`] and owns an
+//! [`OpStats`](crate::stats::OpStats) slot shared with the enclosing
+//! [`crate::Pipeline`]. Operators obey the paper's lower-bound discipline:
+//! a row travels the pipeline only while its qualification can still become
+//! TRUE, and rows that fall into the `ni` band are counted, not silently
+//! dropped.
+//!
+//! * [`ScanOp`] — rows from an access path (full scan, index probe, literal,
+//!   or a fallback-evaluated sub-expression).
+//! * [`FilterOp`] — three-valued predicate evaluation keeping a requested
+//!   truth band (TRUE for normal queries, `ni` for the MAYBE band).
+//! * [`HashJoinOp`] — equality join: builds a hash table on the right input
+//!   keyed by [`Tuple::key_on`], probes with the left input. Null-keyed rows
+//!   on either side are `ni` under the paper's semantics and never match.
+//! * [`ProductOp`] — Cartesian product for predicate-less range pairs.
+//! * [`MinimizeOp`] — the sink: maintains the canonical minimal x-relation
+//!   representation incrementally (an antichain under the information
+//!   ordering) instead of re-minimising a materialised result.
+
+use std::cell::RefCell;
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use nullrel_core::algebra::TupleStream;
+use nullrel_core::error::{CoreError, CoreResult};
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::Truth;
+use nullrel_core::universe::{AttrId, AttrSet};
+use nullrel_core::value::Value;
+
+use crate::stats::OpStats;
+
+/// A shared statistics slot.
+pub type StatsSlot = Rc<RefCell<OpStats>>;
+
+/// A boxed pipeline stage.
+pub type BoxedOp = Box<dyn TupleStream>;
+
+/// Rows from an access path, counted as they stream out.
+pub struct ScanOp {
+    rows: std::vec::IntoIter<Tuple>,
+    stats: StatsSlot,
+}
+
+impl ScanOp {
+    /// A scan over pre-fetched rows. The caller is expected to have folded
+    /// the storage-level [`ScanStats`](nullrel_storage::scan::ScanStats)
+    /// into the slot already (see [`OpStats::absorb_scan`]).
+    pub fn new(rows: Vec<Tuple>, stats: StatsSlot) -> Self {
+        ScanOp {
+            rows: rows.into_iter(),
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ScanOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        let next = self.rows.next();
+        if next.is_some() {
+            self.stats.borrow_mut().rows_out += 1;
+        }
+        Ok(next)
+    }
+}
+
+/// Three-valued selection keeping one truth band.
+pub struct FilterOp {
+    input: BoxedOp,
+    predicate: Predicate,
+    want: Truth,
+    stats: StatsSlot,
+}
+
+impl FilterOp {
+    /// A filter keeping rows whose predicate evaluates to `want`.
+    pub fn new(input: BoxedOp, predicate: Predicate, want: Truth, stats: StatsSlot) -> Self {
+        FilterOp {
+            input,
+            predicate,
+            want,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for FilterOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        while let Some(t) = self.input.next_tuple()? {
+            let mut stats = self.stats.borrow_mut();
+            stats.rows_in += 1;
+            let truth = self.predicate.eval(&t)?;
+            if truth.is_ni() {
+                stats.ni_rows += 1;
+            }
+            if truth == self.want {
+                stats.rows_out += 1;
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Projection onto an attribute set. Duplicates and newly subsumed tuples
+/// are left for the [`MinimizeOp`] sink.
+pub struct ProjectOp {
+    input: BoxedOp,
+    attrs: AttrSet,
+    stats: StatsSlot,
+}
+
+impl ProjectOp {
+    /// A projection keeping the cells of `attrs`.
+    pub fn new(input: BoxedOp, attrs: AttrSet, stats: StatsSlot) -> Self {
+        ProjectOp {
+            input,
+            attrs,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ProjectOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        match self.input.next_tuple()? {
+            Some(t) => {
+                let mut stats = self.stats.borrow_mut();
+                stats.rows_in += 1;
+                stats.rows_out += 1;
+                Ok(Some(t.project(&self.attrs)))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// The key a hash operator groups on: cell values normalised through
+/// [`Value::join_key`] so that numerically equal values collide, matching
+/// the domain-aware equality of [`Value::compare`].
+fn normalize_key(key: Vec<Value>) -> Vec<Value> {
+    key.into_iter().map(|v| v.join_key()).collect()
+}
+
+/// Equality hash join. The right input is the build side, the left input
+/// the probe side; their scopes must be disjoint (the planner guarantees
+/// this), so every matching pair joins.
+pub struct HashJoinOp {
+    left: BoxedOp,
+    right: Option<BoxedOp>,
+    left_keys: Vec<AttrId>,
+    right_keys: Vec<AttrId>,
+    table: HashMap<Vec<Value>, Vec<Tuple>>,
+    pending: VecDeque<Tuple>,
+    stats: StatsSlot,
+}
+
+impl HashJoinOp {
+    /// A hash join on `left_keys[i] = right_keys[i]` pairs.
+    pub fn new(
+        left: BoxedOp,
+        right: BoxedOp,
+        left_keys: Vec<AttrId>,
+        right_keys: Vec<AttrId>,
+        stats: StatsSlot,
+    ) -> Self {
+        assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
+        assert!(!left_keys.is_empty(), "hash join needs at least one key");
+        HashJoinOp {
+            left,
+            right: Some(right),
+            left_keys,
+            right_keys,
+            table: HashMap::new(),
+            pending: VecDeque::new(),
+            stats,
+        }
+    }
+
+    fn build(&mut self) -> CoreResult<()> {
+        let Some(mut right) = self.right.take() else {
+            return Ok(());
+        };
+        while let Some(t) = right.next_tuple()? {
+            let mut stats = self.stats.borrow_mut();
+            stats.build_rows += 1;
+            match t.key_on(&self.right_keys) {
+                Some(key) => match self.table.entry(normalize_key(key)) {
+                    Entry::Occupied(mut e) => e.get_mut().push(t),
+                    Entry::Vacant(e) => {
+                        e.insert(vec![t]);
+                    }
+                },
+                // A null join key can never satisfy the equality for sure:
+                // the row belongs to the ni band of the join predicate.
+                None => stats.ni_rows += 1,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TupleStream for HashJoinOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        self.build()?;
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                self.stats.borrow_mut().rows_out += 1;
+                return Ok(Some(t));
+            }
+            let Some(probe) = self.left.next_tuple()? else {
+                return Ok(None);
+            };
+            let mut stats = self.stats.borrow_mut();
+            stats.rows_in += 1;
+            let Some(key) = probe.key_on(&self.left_keys) else {
+                stats.ni_rows += 1;
+                continue;
+            };
+            if let Some(matches) = self.table.get(&normalize_key(key)) {
+                drop(stats);
+                for m in matches {
+                    let joined = probe.join(m).ok_or_else(|| {
+                        CoreError::Invariant("hash join inputs must have disjoint scopes".into())
+                    })?;
+                    self.pending.push_back(joined);
+                }
+            }
+        }
+    }
+}
+
+/// Cartesian product: materialises the right input once, then streams the
+/// left input against it.
+pub struct ProductOp {
+    left: BoxedOp,
+    right: Option<BoxedOp>,
+    right_rows: Vec<Tuple>,
+    current: Option<Tuple>,
+    cursor: usize,
+    stats: StatsSlot,
+}
+
+impl ProductOp {
+    /// A product of two disjoint-scope inputs.
+    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+        ProductOp {
+            left,
+            right: Some(right),
+            right_rows: Vec::new(),
+            current: None,
+            cursor: 0,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ProductOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let Some(mut right) = self.right.take() {
+            self.right_rows = right.drain_all()?;
+        }
+        loop {
+            if self.current.is_none() {
+                match self.left.next_tuple()? {
+                    Some(t) => {
+                        self.stats.borrow_mut().rows_in += 1;
+                        self.current = Some(t);
+                        self.cursor = 0;
+                    }
+                    None => return Ok(None),
+                }
+            }
+            let left = self.current.as_ref().expect("set above");
+            if self.cursor < self.right_rows.len() {
+                let right = &self.right_rows[self.cursor];
+                self.cursor += 1;
+                let joined = left.join(right).ok_or_else(|| {
+                    CoreError::Invariant("product inputs must have disjoint scopes".into())
+                })?;
+                self.stats.borrow_mut().rows_out += 1;
+                return Ok(Some(joined));
+            }
+            self.current = None;
+        }
+    }
+}
+
+/// The pipeline sink: incrementally maintains the canonical minimal
+/// representation (Definition 4.6) of everything it has consumed.
+///
+/// For each incoming tuple: exact duplicates and tuples subsumed by an
+/// already-kept tuple are discarded; kept tuples that the newcomer subsumes
+/// are evicted. The retained set is an antichain at all times, so the final
+/// [`nullrel_core::xrel::XRelation`] can be built without re-minimising.
+pub struct MinimizeOp {
+    input: BoxedOp,
+    kept: Vec<Tuple>,
+    seen: HashSet<Tuple>,
+    drained: bool,
+    emit: usize,
+    stats: StatsSlot,
+}
+
+impl MinimizeOp {
+    /// A minimising sink over `input`.
+    pub fn new(input: BoxedOp, stats: StatsSlot) -> Self {
+        MinimizeOp {
+            input,
+            kept: Vec::new(),
+            seen: HashSet::new(),
+            drained: false,
+            emit: 0,
+            stats,
+        }
+    }
+
+    fn absorb(&mut self, t: Tuple) {
+        if t.is_null_tuple() || self.seen.contains(&t) {
+            return;
+        }
+        if self.kept.iter().any(|k| k.more_informative_than(&t)) {
+            return;
+        }
+        self.kept.retain(|k| {
+            let evict = t.more_informative_than(k);
+            if evict {
+                self.seen.remove(k);
+            }
+            !evict
+        });
+        self.seen.insert(t.clone());
+        self.kept.push(t);
+    }
+}
+
+impl TupleStream for MinimizeOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if !self.drained {
+            while let Some(t) = self.input.next_tuple()? {
+                self.stats.borrow_mut().rows_in += 1;
+                self.absorb(t);
+            }
+            self.drained = true;
+            self.stats.borrow_mut().rows_out = self.kept.len();
+        }
+        if self.emit < self.kept.len() {
+            let t = self.kept[self.emit].clone();
+            self.emit += 1;
+            return Ok(Some(t));
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::algebra::VecStream;
+    use nullrel_core::tvl::CompareOp;
+    use nullrel_core::universe::{attr_set, Universe};
+    use nullrel_core::xrel::{is_antichain, XRelation};
+
+    fn slot() -> StatsSlot {
+        OpStats::slot("test", 0)
+    }
+
+    fn setup() -> (Universe, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let p = u.intern("P#");
+        (u, s, p)
+    }
+
+    fn ps_rows(s: AttrId, p: AttrId) -> Vec<Tuple> {
+        [
+            (Some("s1"), Some("p1")),
+            (Some("s1"), Some("p2")),
+            (Some("s2"), Some("p1")),
+            (Some("s2"), None),
+            (Some("s3"), None),
+        ]
+        .into_iter()
+        .map(|(sv, pv)| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::str))
+                .with_opt(p, pv.map(Value::str))
+        })
+        .collect()
+    }
+
+    #[test]
+    fn filter_counts_truth_bands() {
+        let (_u, s, p) = setup();
+        let stats = slot();
+        let mut filter = FilterOp::new(
+            Box::new(VecStream::new(ps_rows(s, p))),
+            Predicate::attr_const(p, CompareOp::Eq, "p1"),
+            Truth::True,
+            Rc::clone(&stats),
+        );
+        let out = filter.drain_all().unwrap();
+        assert_eq!(out.len(), 2);
+        let st = stats.borrow();
+        assert_eq!(st.rows_in, 5);
+        assert_eq!(st.rows_out, 2);
+        assert_eq!(st.ni_rows, 2, "the two null-P# rows are the maybe band");
+    }
+
+    #[test]
+    fn filter_can_request_the_maybe_band() {
+        let (_u, s, p) = setup();
+        let mut filter = FilterOp::new(
+            Box::new(VecStream::new(ps_rows(s, p))),
+            Predicate::attr_const(p, CompareOp::Eq, "p1"),
+            Truth::Ni,
+            slot(),
+        );
+        let out = filter.drain_all().unwrap();
+        assert_eq!(out.len(), 2, "rows with null P# may supply p1");
+    }
+
+    #[test]
+    fn hash_join_skips_null_keys_and_matches_equals() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left = vec![
+            Tuple::new().with(a, Value::int(1)),
+            Tuple::new().with(a, Value::int(2)),
+            Tuple::new(), // null key: ni, never matches
+        ];
+        let right = vec![
+            Tuple::new().with(b, Value::int(1)),
+            Tuple::new().with(b, Value::int(1)),
+            Tuple::new().with(b, Value::int(3)),
+        ];
+        let stats = slot();
+        let mut join = HashJoinOp::new(
+            Box::new(VecStream::new(left)),
+            Box::new(VecStream::new(right)),
+            vec![a],
+            vec![b],
+            Rc::clone(&stats),
+        );
+        let out = join.drain_all().unwrap();
+        assert_eq!(out.len(), 2, "a=1 matches the two b=1 rows");
+        let st = stats.borrow();
+        assert_eq!(st.build_rows, 3);
+        assert_eq!(st.ni_rows, 1);
+    }
+
+    #[test]
+    fn hash_join_normalises_numeric_keys() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left = vec![Tuple::new().with(a, Value::int(2))];
+        let right = vec![Tuple::new().with(b, Value::float(2.0))];
+        let mut join = HashJoinOp::new(
+            Box::new(VecStream::new(left)),
+            Box::new(VecStream::new(right)),
+            vec![a],
+            vec![b],
+            slot(),
+        );
+        assert_eq!(
+            join.drain_all().unwrap().len(),
+            1,
+            "Int(2) = Float(2.0) under domain-aware equality"
+        );
+    }
+
+    /// Regression: the normalization covers the full exact-`i64` float
+    /// range, not just |x| < 2⁵³.
+    #[test]
+    fn hash_join_normalises_large_numeric_keys() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        const BIG: i64 = 9_007_199_254_740_992; // 2^53, exactly representable
+        let left = vec![Tuple::new().with(a, Value::int(BIG))];
+        let right = vec![Tuple::new().with(b, Value::float(BIG as f64))];
+        let mut join = HashJoinOp::new(
+            Box::new(VecStream::new(left)),
+            Box::new(VecStream::new(right)),
+            vec![a],
+            vec![b],
+            slot(),
+        );
+        assert_eq!(
+            join.drain_all().unwrap().len(),
+            1,
+            "Int(2^53) = Float(2^53) under Value::compare"
+        );
+    }
+
+    #[test]
+    fn product_streams_all_pairs() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left: Vec<Tuple> = (0..3).map(|i| Tuple::new().with(a, Value::int(i))).collect();
+        let right: Vec<Tuple> = (0..2).map(|i| Tuple::new().with(b, Value::int(i))).collect();
+        let mut prod = ProductOp::new(
+            Box::new(VecStream::new(left)),
+            Box::new(VecStream::new(right)),
+            slot(),
+        );
+        assert_eq!(prod.drain_all().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn minimize_maintains_an_antichain_incrementally() {
+        let (_u, s, p) = setup();
+        let dominated = Tuple::new().with(s, Value::str("s1"));
+        let dominating = Tuple::new()
+            .with(s, Value::str("s1"))
+            .with(p, Value::str("p1"));
+        // Feed dominated before and after the dominating tuple, plus the
+        // null tuple and an exact duplicate.
+        let rows = vec![
+            dominated.clone(),
+            dominating.clone(),
+            dominated.clone(),
+            Tuple::new(),
+            dominating.clone(),
+        ];
+        let stats = slot();
+        let mut sink = MinimizeOp::new(Box::new(VecStream::new(rows)), Rc::clone(&stats));
+        let out = sink.drain_all().unwrap();
+        assert!(is_antichain(&out));
+        assert_eq!(
+            XRelation::from_antichain(out),
+            XRelation::from_tuples([dominating])
+        );
+        assert_eq!(stats.borrow().rows_in, 5);
+        assert_eq!(stats.borrow().rows_out, 1);
+    }
+
+    #[test]
+    fn project_then_minimize_collapses_subsumption() {
+        let (_u, s, p) = setup();
+        let proj = ProjectOp::new(
+            Box::new(VecStream::new(ps_rows(s, p))),
+            attr_set([s]),
+            slot(),
+        );
+        let mut sink = MinimizeOp::new(Box::new(proj), slot());
+        let out = sink.drain_all().unwrap();
+        assert_eq!(out.len(), 3, "s1, s2, s3 after duplicate collapse");
+    }
+}

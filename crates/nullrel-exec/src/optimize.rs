@@ -1,0 +1,572 @@
+//! The rule-based logical optimizer.
+//!
+//! Three rewrite passes over [`Expr`], applied in order:
+//!
+//! 1. **Projection pushdown** — insert projections below Cartesian products
+//!    so join inputs carry only the attributes the rest of the plan needs.
+//!    In the x-relation algebra projection drops null tuples, so the rule
+//!    fires only when the pruned branch provably keeps at least one
+//!    non-null tuple (otherwise a non-empty branch could collapse to the
+//!    empty x-relation and lose product pairs).
+//! 2. **Selection pushdown** — split the where-clause into conjuncts and
+//!    push each into the deepest input whose scope covers its attributes.
+//!    Sound under the three-valued semantics because a conjunct that is
+//!    FALSE or `ni` on one factor makes the whole conjunction non-TRUE on
+//!    every product pair built from it.
+//! 3. **Product → equi-join** — a product under a selection containing an
+//!    `A = B` conjunct with `A` from the left scope and `B` from the right
+//!    becomes a θ-join on equality, which the compiler executes as a hash
+//!    join instead of a quadratic product.
+//!
+//! All passes need *exact* scope information to route predicates; scopes
+//! are computed from literals and from [`ExecSource::relation_scope`], and
+//! any node whose scope is unknown simply disables the rewrites above it.
+
+use std::collections::BTreeMap;
+
+use nullrel_core::algebra::Expr;
+use nullrel_core::predicate::{Operand, Predicate};
+use nullrel_core::tvl::{CompareOp, Truth};
+use nullrel_core::universe::{AttrId, AttrSet};
+
+use crate::source::ExecSource;
+
+/// The result of optimization: the rewritten plan plus a log of applied
+/// rules (for explain output and tests).
+#[derive(Debug, Clone)]
+pub struct Optimized {
+    /// The rewritten logical plan.
+    pub expr: Expr,
+    /// Human-readable descriptions of every rule application.
+    pub applied: Vec<String>,
+}
+
+/// Runs all rewrite passes over a logical plan.
+pub fn optimize<S: ExecSource>(expr: &Expr, source: &S) -> Optimized {
+    let mut applied = Vec::new();
+    let expr = push_projections(expr.clone(), None, source, &mut applied);
+    let expr = push_selections(expr, source, &mut applied);
+    let expr = products_to_joins(expr, source, &mut applied);
+    Optimized { expr, applied }
+}
+
+/// The exact attribute scope of an expression's result, when statically
+/// known. `None` means unknown and disables rewrites that depend on it.
+pub fn scope_of<S: ExecSource>(expr: &Expr, source: &S) -> Option<AttrSet> {
+    match expr {
+        Expr::Literal(rel) => Some(rel.scope()),
+        Expr::Named(name) => source.relation_scope(name),
+        Expr::Select { input, .. } => scope_of(input, source),
+        Expr::Project { input, attrs } => {
+            scope_of(input, source).map(|s| s.intersection(attrs).copied().collect())
+        }
+        Expr::Product(a, b) | Expr::EquiJoin { left: a, right: b, .. } => {
+            let mut s = scope_of(a, source)?;
+            s.extend(scope_of(b, source)?);
+            Some(s)
+        }
+        Expr::ThetaJoin { left, right, .. } => {
+            let mut s = scope_of(left, source)?;
+            s.extend(scope_of(right, source)?);
+            Some(s)
+        }
+        Expr::Rename { input, mapping } => scope_of(input, source).map(|s| {
+            s.into_iter()
+                .map(|a| mapping.get(&a).copied().unwrap_or(a))
+                .collect()
+        }),
+        // Set operators and division can shrink scopes in data-dependent
+        // ways; report unknown rather than an over-approximation, which
+        // could misroute predicates between product branches.
+        Expr::UnionJoin { .. }
+        | Expr::Divide { .. }
+        | Expr::Union(..)
+        | Expr::XIntersect(..)
+        | Expr::Difference(..) => None,
+    }
+}
+
+/// Splits a predicate into its top-level conjuncts, dropping TRUE literals.
+pub fn split_and(predicate: Predicate, out: &mut Vec<Predicate>) {
+    match predicate {
+        Predicate::And(a, b) => {
+            split_and(*a, out);
+            split_and(*b, out);
+        }
+        Predicate::Literal(Truth::True) => {}
+        other => out.push(other),
+    }
+}
+
+/// Rebuilds a conjunction from conjuncts (`None` when there are none).
+pub fn and_all(mut conjuncts: Vec<Predicate>) -> Option<Predicate> {
+    let first = if conjuncts.is_empty() {
+        return None;
+    } else {
+        conjuncts.remove(0)
+    };
+    Some(conjuncts.into_iter().fold(first, Predicate::and))
+}
+
+fn wrap(expr: Expr, conjuncts: Vec<Predicate>) -> Expr {
+    match and_all(conjuncts) {
+        Some(p) => expr.select(p),
+        None => expr,
+    }
+}
+
+/// Applies `f` to every direct child, rebuilding the node.
+fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+    match expr {
+        Expr::Literal(_) | Expr::Named(_) => expr,
+        Expr::Select { input, predicate } => Expr::Select {
+            input: Box::new(f(*input)),
+            predicate,
+        },
+        Expr::Project { input, attrs } => Expr::Project {
+            input: Box::new(f(*input)),
+            attrs,
+        },
+        Expr::Product(a, b) => Expr::Product(Box::new(f(*a)), Box::new(f(*b))),
+        Expr::ThetaJoin {
+            left,
+            left_attr,
+            op,
+            right_attr,
+            right,
+        } => Expr::ThetaJoin {
+            left: Box::new(f(*left)),
+            left_attr,
+            op,
+            right_attr,
+            right: Box::new(f(*right)),
+        },
+        Expr::EquiJoin { left, right, on } => Expr::EquiJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            on,
+        },
+        Expr::UnionJoin { left, right, on } => Expr::UnionJoin {
+            left: Box::new(f(*left)),
+            right: Box::new(f(*right)),
+            on,
+        },
+        Expr::Divide { input, y, divisor } => Expr::Divide {
+            input: Box::new(f(*input)),
+            y,
+            divisor: Box::new(f(*divisor)),
+        },
+        Expr::Union(a, b) => Expr::Union(Box::new(f(*a)), Box::new(f(*b))),
+        Expr::XIntersect(a, b) => Expr::XIntersect(Box::new(f(*a)), Box::new(f(*b))),
+        Expr::Difference(a, b) => Expr::Difference(Box::new(f(*a)), Box::new(f(*b))),
+        Expr::Rename { input, mapping } => Expr::Rename {
+            input: Box::new(f(*input)),
+            mapping,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: projection pushdown
+// ---------------------------------------------------------------------
+
+/// True when `π_keep(expr)` is provably non-empty whenever `expr` is
+/// non-empty — the soundness condition for inserting a projection below a
+/// product (projection drops null tuples, and an emptied factor would drop
+/// every product pair).
+fn projection_safe(expr: &Expr, keep: &AttrSet) -> bool {
+    match expr {
+        Expr::Literal(rel) => {
+            rel.is_empty()
+                || rel
+                    .tuples()
+                    .iter()
+                    .any(|t| keep.iter().any(|a| t.get(*a).is_some()))
+        }
+        Expr::Project { input, attrs } => {
+            let keep2: AttrSet = keep.intersection(attrs).copied().collect();
+            projection_safe(input, &keep2)
+        }
+        _ => false,
+    }
+}
+
+fn push_projections<S: ExecSource>(
+    expr: Expr,
+    needed: Option<&AttrSet>,
+    source: &S,
+    log: &mut Vec<String>,
+) -> Expr {
+    match expr {
+        Expr::Project { input, attrs } => Expr::Project {
+            input: Box::new(push_projections(*input, Some(&attrs.clone()), source, log)),
+            attrs,
+        },
+        Expr::Select { input, predicate } => {
+            let needed2 = needed.map(|n| {
+                let mut n = n.clone();
+                n.extend(predicate.attrs());
+                n
+            });
+            Expr::Select {
+                input: Box::new(push_projections(*input, needed2.as_ref(), source, log)),
+                predicate,
+            }
+        }
+        Expr::Product(a, b) => {
+            let prune = |child: Expr, log: &mut Vec<String>| -> Expr {
+                let Some(needed) = needed else {
+                    return push_projections(child, None, source, log);
+                };
+                let Some(scope) = scope_of(&child, source) else {
+                    return push_projections(child, None, source, log);
+                };
+                let keep: AttrSet = needed.intersection(&scope).copied().collect();
+                if keep.len() < scope.len() && !keep.is_empty() && projection_safe(&child, &keep) {
+                    log.push(format!(
+                        "projection-pushdown: narrowed a product input from {} to {} attribute(s)",
+                        scope.len(),
+                        keep.len()
+                    ));
+                    Expr::Project {
+                        input: Box::new(push_projections(child, Some(&keep.clone()), source, log)),
+                        attrs: keep,
+                    }
+                } else {
+                    push_projections(child, Some(&keep), source, log)
+                }
+            };
+            let a = prune(*a, log);
+            let b = prune(*b, log);
+            Expr::Product(Box::new(a), Box::new(b))
+        }
+        // Other nodes: recurse without a usable needed-set.
+        other => map_children(other, &mut |c| push_projections(c, None, source, log)),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: selection pushdown
+// ---------------------------------------------------------------------
+
+fn push_selections<S: ExecSource>(expr: Expr, source: &S, log: &mut Vec<String>) -> Expr {
+    match expr {
+        Expr::Select { input, predicate } => {
+            let input = push_selections(*input, source, log);
+            let mut conjuncts = Vec::new();
+            split_and(predicate, &mut conjuncts);
+            distribute(input, conjuncts, source, log)
+        }
+        other => map_children(other, &mut |c| push_selections(c, source, log)),
+    }
+}
+
+fn distribute<S: ExecSource>(
+    input: Expr,
+    conjuncts: Vec<Predicate>,
+    source: &S,
+    log: &mut Vec<String>,
+) -> Expr {
+    if conjuncts.is_empty() {
+        return input;
+    }
+    match input {
+        Expr::Select {
+            input: inner,
+            predicate,
+        } => {
+            let mut all = conjuncts;
+            split_and(predicate, &mut all);
+            distribute(*inner, all, source, log)
+        }
+        Expr::Product(a, b) => {
+            let (sa, sb) = (scope_of(&a, source), scope_of(&b, source));
+            if let (Some(sa), Some(sb)) = (sa, sb) {
+                if sa.intersection(&sb).next().is_none() {
+                    let mut to_a = Vec::new();
+                    let mut to_b = Vec::new();
+                    let mut rest = Vec::new();
+                    for c in conjuncts {
+                        let attrs = c.attrs();
+                        if !attrs.is_empty() && attrs.is_subset(&sa) {
+                            to_a.push(c);
+                        } else if !attrs.is_empty() && attrs.is_subset(&sb) {
+                            to_b.push(c);
+                        } else {
+                            rest.push(c);
+                        }
+                    }
+                    let pushed = to_a.len() + to_b.len();
+                    if pushed > 0 {
+                        log.push(format!(
+                            "selection-pushdown: moved {pushed} conjunct(s) below a product"
+                        ));
+                    }
+                    let a = distribute(*a, to_a, source, log);
+                    let b = distribute(*b, to_b, source, log);
+                    return wrap(Expr::Product(Box::new(a), Box::new(b)), rest);
+                }
+            }
+            wrap(Expr::Product(a, b), conjuncts)
+        }
+        Expr::Project {
+            input: inner,
+            attrs,
+        } => {
+            let (below, above): (Vec<_>, Vec<_>) = conjuncts
+                .into_iter()
+                .partition(|c| !c.attrs().is_empty() && c.attrs().is_subset(&attrs));
+            if !below.is_empty() {
+                log.push(format!(
+                    "selection-pushdown: moved {} conjunct(s) below a projection",
+                    below.len()
+                ));
+            }
+            let pruned = distribute(*inner, below, source, log);
+            wrap(
+                Expr::Project {
+                    input: Box::new(pruned),
+                    attrs,
+                },
+                above,
+            )
+        }
+        other => wrap(other, conjuncts),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: product + equi-predicate → θ-join on equality
+// ---------------------------------------------------------------------
+
+/// The attribute pair of an `A = B` conjunct oriented left-to-right across
+/// the given scopes, if the conjunct is one.
+fn equi_pair(
+    conjunct: &Predicate,
+    left_scope: &AttrSet,
+    right_scope: &AttrSet,
+) -> Option<(AttrId, AttrId)> {
+    let Predicate::Cmp(cmp) = conjunct else {
+        return None;
+    };
+    if cmp.op != CompareOp::Eq {
+        return None;
+    }
+    let (Operand::Attr(x), Operand::Attr(y)) = (&cmp.left, &cmp.right) else {
+        return None;
+    };
+    if left_scope.contains(x) && right_scope.contains(y) {
+        Some((*x, *y))
+    } else if left_scope.contains(y) && right_scope.contains(x) {
+        Some((*y, *x))
+    } else {
+        None
+    }
+}
+
+fn products_to_joins<S: ExecSource>(expr: Expr, source: &S, log: &mut Vec<String>) -> Expr {
+    let expr = map_children(expr, &mut |c| products_to_joins(c, source, log));
+    let Expr::Select { input, predicate } = expr else {
+        return expr;
+    };
+    let Expr::Product(a, b) = *input else {
+        return Expr::Select {
+            input: Box::new(*input),
+            predicate,
+        };
+    };
+    let (sa, sb) = (scope_of(&a, source), scope_of(&b, source));
+    if let (Some(sa), Some(sb)) = (sa, sb) {
+        let mut conjuncts = Vec::new();
+        split_and(predicate, &mut conjuncts);
+        if let Some(pos) = conjuncts
+            .iter()
+            .position(|c| equi_pair(c, &sa, &sb).is_some())
+        {
+            let pair = equi_pair(&conjuncts.remove(pos), &sa, &sb).expect("checked above");
+            log.push("product-to-hash-join: rewrote a product under an equality".to_owned());
+            let join = Expr::ThetaJoin {
+                left: a,
+                left_attr: pair.0,
+                op: CompareOp::Eq,
+                right_attr: pair.1,
+                right: b,
+            };
+            return wrap(join, conjuncts);
+        }
+        return wrap(Expr::Product(a, b), conjuncts);
+    }
+    Expr::Select {
+        input: Box::new(Expr::Product(a, b)),
+        predicate,
+    }
+}
+
+/// Extracts further `A = B` conjuncts joining the two sides of a θ-join —
+/// used by the compiler to widen a hash join's key list. Returns the key
+/// pairs and the residual conjuncts.
+pub fn extra_join_keys(
+    conjuncts: Vec<Predicate>,
+    left_scope: &AttrSet,
+    right_scope: &AttrSet,
+) -> (Vec<(AttrId, AttrId)>, Vec<Predicate>) {
+    let mut keys = Vec::new();
+    let mut rest = Vec::new();
+    for c in conjuncts {
+        match equi_pair(&c, left_scope, right_scope) {
+            Some(pair) => keys.push(pair),
+            None => rest.push(c),
+        }
+    }
+    (keys, rest)
+}
+
+/// Renames a mapping's view of an attribute back to its base id, if mapped.
+pub fn base_attr(mapping: &BTreeMap<AttrId, AttrId>, qualified: AttrId) -> Option<AttrId> {
+    mapping
+        .iter()
+        .find(|(_, q)| **q == qualified)
+        .map(|(b, _)| *b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::algebra::NoSource;
+    use nullrel_core::tuple::Tuple;
+    use nullrel_core::universe::{attr_set, Universe};
+    use nullrel_core::value::Value;
+    use nullrel_core::xrel::XRelation;
+
+    fn fixtures() -> (Universe, AttrId, AttrId, AttrId, AttrId, XRelation, XRelation) {
+        let mut u = Universe::new();
+        let a_s = u.intern("a.S#");
+        let a_p = u.intern("a.P#");
+        let b_s = u.intern("b.S#");
+        let b_p = u.intern("b.P#");
+        let mk = |s: AttrId, p: AttrId| {
+            XRelation::from_tuples([
+                Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1")),
+                Tuple::new().with(s, Value::str("s2")).with(p, Value::str("p2")),
+                Tuple::new().with(s, Value::str("s3")),
+            ])
+        };
+        let left = mk(a_s, a_p);
+        let right = mk(b_s, b_p);
+        (u, a_s, a_p, b_s, b_p, left, right)
+    }
+
+    #[test]
+    fn selection_pushdown_routes_single_scope_conjuncts() {
+        let (u, a_s, a_p, _b_s, b_p, left, right) = fixtures();
+        let plan = Expr::literal(left)
+            .product(Expr::literal(right))
+            .select(
+                Predicate::attr_const(a_s, CompareOp::Eq, "s1")
+                    .and(Predicate::attr_attr(a_p, CompareOp::Lt, b_p)),
+            );
+        let opt = optimize(&plan, &NoSource);
+        assert!(opt
+            .applied
+            .iter()
+            .any(|r| r.starts_with("selection-pushdown")));
+        // The single-scope conjunct sits below the product now.
+        let text = opt.expr.explain(&u);
+        let product_line = text.lines().position(|l| l.contains("Product")).unwrap();
+        let select_line = text
+            .lines()
+            .position(|l| l.contains("a.S# = \"s1\""))
+            .unwrap();
+        assert!(select_line > product_line, "pushed below the product:\n{text}");
+        // The rewrite preserves the result.
+        let naive = plan.eval(&NoSource).unwrap();
+        assert_eq!(opt.expr.eval(&NoSource).unwrap(), naive);
+    }
+
+    #[test]
+    fn equality_across_scopes_becomes_a_join() {
+        let (_u, _a_s, a_p, _b_s, b_p, left, right) = fixtures();
+        let plan = Expr::literal(left)
+            .product(Expr::literal(right))
+            .select(Predicate::attr_attr(a_p, CompareOp::Eq, b_p));
+        let opt = optimize(&plan, &NoSource);
+        assert!(opt
+            .applied
+            .iter()
+            .any(|r| r.starts_with("product-to-hash-join")));
+        assert!(matches!(opt.expr, Expr::ThetaJoin { op: CompareOp::Eq, .. }));
+        assert_eq!(
+            opt.expr.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+    }
+
+    #[test]
+    fn projection_pushdown_narrows_join_inputs() {
+        let (_u, a_s, a_p, _b_s, b_p, left, right) = fixtures();
+        let plan = Expr::literal(left)
+            .product(Expr::literal(right))
+            .select(Predicate::attr_attr(a_p, CompareOp::Eq, b_p))
+            .project(attr_set([a_s]));
+        let opt = optimize(&plan, &NoSource);
+        assert!(opt
+            .applied
+            .iter()
+            .any(|r| r.starts_with("projection-pushdown")));
+        assert_eq!(
+            opt.expr.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+    }
+
+    #[test]
+    fn projection_pushdown_declines_when_a_branch_would_empty() {
+        // The right branch has *only* rows that are null on every needed
+        // attribute; pruning it would lose the product pairs entirely.
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        let left = XRelation::from_tuples([Tuple::new().with(a, Value::int(1))]);
+        let right = XRelation::from_tuples([Tuple::new().with(b, Value::int(2))]);
+        let _ = c;
+        // Needed attrs: only A — the right branch contributes nothing.
+        let plan = Expr::literal(left)
+            .product(Expr::literal(right))
+            .project(attr_set([a]));
+        let opt = optimize(&plan, &NoSource);
+        assert_eq!(
+            opt.expr.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap(),
+            "declined rewrite keeps the existential multiplier"
+        );
+    }
+
+    #[test]
+    fn unknown_scopes_disable_rewrites() {
+        let plan = Expr::named("L")
+            .product(Expr::named("R"))
+            .select(Predicate::attr_attr(
+                AttrId::from_index(0),
+                CompareOp::Eq,
+                AttrId::from_index(1),
+            ));
+        let opt = optimize(&plan, &NoSource);
+        assert!(opt.applied.is_empty());
+        assert_eq!(opt.expr, plan);
+    }
+
+    #[test]
+    fn conjunct_splitting_round_trips() {
+        let (_u, a_s, a_p, ..) = fixtures();
+        let p = Predicate::attr_const(a_s, CompareOp::Eq, "s1")
+            .and(Predicate::attr_const(a_p, CompareOp::Ne, "p9"))
+            .and(Predicate::always());
+        let mut parts = Vec::new();
+        split_and(p, &mut parts);
+        assert_eq!(parts.len(), 2, "TRUE literal conjuncts are dropped");
+        let rebuilt = and_all(parts).unwrap();
+        assert_eq!(rebuilt.comparisons().len(), 2);
+        assert!(and_all(Vec::new()).is_none());
+    }
+}

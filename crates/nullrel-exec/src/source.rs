@@ -1,0 +1,147 @@
+//! Execution sources: what the engine needs from the layer that stores
+//! base relations.
+//!
+//! [`ExecSource`] extends the algebra's [`RelationSource`] with the three
+//! things a physical planner wants and a plain relation lookup cannot give:
+//! attribute scopes without materialisation (for the optimizer's pushdown
+//! safety checks), full-scan access with [`ScanStats`], and index-probe
+//! access paths. A [`Database`] provides all three; plain in-memory sources
+//! fall back to scans over materialised relations.
+
+use std::collections::HashMap;
+
+use nullrel_core::algebra::{NoSource, RelationSource};
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::{AttrId, AttrSet};
+use nullrel_core::value::Value;
+use nullrel_core::xrel::XRelation;
+use nullrel_storage::scan::{eq_scan, full_scan, ScanStats};
+use nullrel_storage::Database;
+
+/// A source of base relations with planner-grade metadata.
+pub trait ExecSource: RelationSource {
+    /// The attribute scope of a named relation, if cheaply known. Returning
+    /// `None` disables optimizer rewrites that need scope information; it
+    /// never affects correctness.
+    fn relation_scope(&self, _name: &str) -> Option<AttrSet> {
+        None
+    }
+
+    /// A full scan of a named relation: raw stored rows plus access-path
+    /// statistics.
+    fn table_scan(&self, name: &str) -> Option<(Vec<Tuple>, ScanStats)> {
+        self.relation(name).map(|rel| {
+            let rows = rel.into_tuples();
+            let stats = ScanStats {
+                examined: rows.len(),
+                returned: rows.len(),
+                ni_rows: 0,
+                used_index: false,
+            };
+            (rows, stats)
+        })
+    }
+
+    /// An index-backed equality probe on `attrs = key`, or `None` when the
+    /// source has no covering index (the planner then keeps the predicate
+    /// as a filter over a full scan).
+    fn index_probe(
+        &self,
+        _name: &str,
+        _attrs: &[AttrId],
+        _key: &[Value],
+    ) -> Option<(Vec<Tuple>, ScanStats)> {
+        None
+    }
+}
+
+impl ExecSource for NoSource {}
+
+impl ExecSource for HashMap<String, XRelation> {
+    fn relation_scope(&self, name: &str) -> Option<AttrSet> {
+        self.get(name).map(XRelation::scope)
+    }
+}
+
+impl ExecSource for Database {
+    fn relation_scope(&self, name: &str) -> Option<AttrSet> {
+        self.table(name).ok().map(|t| t.schema().attr_set())
+    }
+
+    fn table_scan(&self, name: &str) -> Option<(Vec<Tuple>, ScanStats)> {
+        self.table(name).ok().map(full_scan)
+    }
+
+    fn index_probe(
+        &self,
+        name: &str,
+        attrs: &[AttrId],
+        key: &[Value],
+    ) -> Option<(Vec<Tuple>, ScanStats)> {
+        let table = self.table(name).ok()?;
+        if !table.indexes().iter().any(|i| i.attrs() == attrs) {
+            return None;
+        }
+        Some(eq_scan(table, attrs, key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::universe::attr_set;
+    use nullrel_storage::SchemaBuilder;
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("PS").column("S#").column("P#"))
+            .unwrap();
+        let u = db.universe().clone();
+        let t = db.table_mut("PS").unwrap();
+        for (s, p) in [("s1", Some("p1")), ("s1", Some("p2")), ("s2", None)] {
+            let mut cells = vec![("S#", Value::str(s))];
+            if let Some(p) = p {
+                cells.push(("P#", Value::str(p)));
+            }
+            t.insert_named(&u, &cells).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn database_scopes_and_scans() {
+        let db = db();
+        let s = db.universe().lookup("S#").unwrap();
+        let p = db.universe().lookup("P#").unwrap();
+        assert_eq!(db.relation_scope("PS"), Some(attr_set([s, p])));
+        assert_eq!(db.relation_scope("NOPE"), None);
+        let (rows, stats) = db.table_scan("PS").unwrap();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(stats.examined, 3);
+        assert!(!stats.used_index);
+    }
+
+    #[test]
+    fn index_probe_requires_a_real_index() {
+        let mut db = db();
+        let s = db.universe().lookup("S#").unwrap();
+        assert!(db.index_probe("PS", &[s], &[Value::str("s1")]).is_none());
+        db.table_mut("PS").unwrap().create_index(vec![s]).unwrap();
+        let (rows, stats) = db.index_probe("PS", &[s], &[Value::str("s1")]).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(stats.used_index);
+        assert_eq!(stats.examined, 2, "index probe touches only matches");
+    }
+
+    #[test]
+    fn hashmap_source_reports_scope() {
+        let mut u = nullrel_core::universe::Universe::new();
+        let a = u.intern("A");
+        let rel = XRelation::from_tuples([Tuple::new().with(a, Value::int(1))]);
+        let mut map = HashMap::new();
+        map.insert("R".to_owned(), rel);
+        assert_eq!(map.relation_scope("R"), Some(attr_set([a])));
+        let (rows, _) = map.table_scan("R").unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+}

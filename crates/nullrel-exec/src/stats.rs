@@ -1,0 +1,158 @@
+//! Per-operator execution counters and the pipeline-level report.
+//!
+//! Every physical operator owns one [`OpStats`] slot, registered with the
+//! [`crate::Pipeline`] in plan pre-order. After a run the slots are
+//! snapshotted into an [`ExecStats`], which renders the executed physical
+//! plan annotated with real access-path counters — the engine-level
+//! continuation of [`nullrel_storage::scan::ScanStats`].
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+use nullrel_storage::scan::ScanStats;
+
+/// Counters for one physical operator.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Human-readable operator description (`HashJoin e.MGR# = m.E#`, …).
+    pub label: String,
+    /// Depth in the physical plan tree (0 = sink).
+    pub depth: usize,
+    /// Rows pulled from the operator's input(s) — for scans, rows examined
+    /// in storage.
+    pub rows_in: usize,
+    /// Rows emitted downstream.
+    pub rows_out: usize,
+    /// Rows whose qualification evaluated to `ni` (filters) or that carried
+    /// a null join/index key and were skipped (hash operators). These are
+    /// exactly the rows the MAYBE band would contain.
+    pub ni_rows: usize,
+    /// Whether this operator probed a storage index.
+    pub used_index: bool,
+    /// Hash-join build-side cardinality (0 for other operators).
+    pub build_rows: usize,
+}
+
+impl OpStats {
+    /// A fresh slot for an operator at the given plan depth.
+    pub fn slot(label: impl Into<String>, depth: usize) -> Rc<RefCell<OpStats>> {
+        Rc::new(RefCell::new(OpStats {
+            label: label.into(),
+            depth,
+            ..OpStats::default()
+        }))
+    }
+
+    /// Folds storage-level scan statistics into this slot.
+    pub fn absorb_scan(&mut self, scan: &ScanStats) {
+        self.rows_in += scan.examined;
+        self.ni_rows += scan.ni_rows;
+        self.used_index |= scan.used_index;
+    }
+}
+
+/// The snapshot of every operator's counters after a pipeline run, in plan
+/// pre-order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Per-operator counters, pre-order (parents before children).
+    pub ops: Vec<OpStats>,
+}
+
+impl ExecStats {
+    /// Snapshots the live slots of a pipeline.
+    pub fn snapshot(slots: &[Rc<RefCell<OpStats>>]) -> ExecStats {
+        ExecStats {
+            ops: slots.iter().map(|s| s.borrow().clone()).collect(),
+        }
+    }
+
+    /// Total rows examined across all scans (leaf operators).
+    pub fn rows_examined(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| o.label.contains("Scan"))
+            .map(|o| o.rows_in)
+            .sum()
+    }
+
+    /// Rows in the final result.
+    pub fn rows_returned(&self) -> usize {
+        self.ops.first().map(|o| o.rows_out).unwrap_or(0)
+    }
+
+    /// Total rows that fell into the `ni` band anywhere in the pipeline.
+    pub fn ni_rows(&self) -> usize {
+        self.ops.iter().map(|o| o.ni_rows).sum()
+    }
+
+    /// True if any access path probed an index.
+    pub fn used_index(&self) -> bool {
+        self.ops.iter().any(|o| o.used_index)
+    }
+
+    /// True if the plan executed a hash join.
+    pub fn used_hash_join(&self) -> bool {
+        self.ops.iter().any(|o| o.label.starts_with("HashJoin"))
+    }
+
+    /// Renders the executed physical plan with counters, one operator per
+    /// line, indented by plan depth.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&"  ".repeat(op.depth));
+            out.push_str(&op.label);
+            out.push_str(&format!(" (in={} out={}", op.rows_in, op.rows_out));
+            if op.ni_rows > 0 {
+                out.push_str(&format!(" ni={}", op.ni_rows));
+            }
+            if op.build_rows > 0 {
+                out.push_str(&format!(" build={}", op.build_rows));
+            }
+            if op.used_index {
+                out.push_str(" index");
+            }
+            out.push_str(")\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_and_render() {
+        let a = OpStats::slot("Minimize", 0);
+        let b = OpStats::slot("IndexScan EMP", 1);
+        a.borrow_mut().rows_out = 2;
+        {
+            let mut s = b.borrow_mut();
+            s.absorb_scan(&ScanStats {
+                examined: 5,
+                returned: 3,
+                ni_rows: 1,
+                used_index: true,
+            });
+            s.rows_out = 3;
+        }
+        let stats = ExecStats::snapshot(&[a, b]);
+        assert_eq!(stats.rows_returned(), 2);
+        assert_eq!(stats.rows_examined(), 5);
+        assert_eq!(stats.ni_rows(), 1);
+        assert!(stats.used_index());
+        assert!(!stats.used_hash_join());
+        let text = stats.render();
+        assert!(text.contains("Minimize (in=0 out=2)"));
+        assert!(text.contains("  IndexScan EMP (in=5 out=3 ni=1 index)"));
+    }
+}

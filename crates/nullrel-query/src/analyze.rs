@@ -28,6 +28,10 @@ pub struct ResolvedRange {
     pub relation: String,
     /// Attribute name → qualified attribute id (`NAME` → id of `e.NAME`).
     pub attr_map: BTreeMap<String, AttrId>,
+    /// Stored (base) attribute id → qualified attribute id. The physical
+    /// planner uses this to map where-clause attributes back onto catalog
+    /// columns for index selection.
+    pub rename: BTreeMap<AttrId, AttrId>,
     /// The relation's rows with attributes renamed to the qualified ids,
     /// exactly as stored (nulls preserved, no minimisation).
     pub rows: Vec<Tuple>,
@@ -59,6 +63,20 @@ pub struct ResolvedQuery {
 
 /// Resolves a parsed query against the database catalog.
 pub fn resolve(db: &Database, query: &Query) -> QueryResult<ResolvedQuery> {
+    resolve_impl(db, query, true)
+}
+
+/// Resolution without materialising `ResolvedRange::rows`. The engine path
+/// (`plan_access`) reads the stored tables through its own access paths,
+/// so copying and renaming every row during resolution would be pure
+/// waste on the hot query path. Crate-private because the returned
+/// `ResolvedQuery` must not be handed to the row-consuming evaluators
+/// (`execute_resolved*`, the unknown interpreter).
+pub(crate) fn resolve_lazy(db: &Database, query: &Query) -> QueryResult<ResolvedQuery> {
+    resolve_impl(db, query, false)
+}
+
+fn resolve_impl(db: &Database, query: &Query, materialize: bool) -> QueryResult<ResolvedQuery> {
     let mut universe = db.universe().clone();
     let mut ranges: Vec<ResolvedRange> = Vec::with_capacity(query.ranges.len());
 
@@ -80,11 +98,16 @@ pub fn resolve(db: &Database, query: &Query) -> QueryResult<ResolvedQuery> {
             attr_map.insert(column.name.clone(), qualified);
             rename.insert(column.attr, qualified);
         }
-        let rows = table.rows().map(|row| row.rename(&rename)).collect();
+        let rows = if materialize {
+            table.rows().map(|row| row.rename(&rename)).collect()
+        } else {
+            Vec::new()
+        };
         ranges.push(ResolvedRange {
             variable: decl.variable.clone(),
             relation: decl.relation.clone(),
             attr_map,
+            rename,
             rows,
         });
     }

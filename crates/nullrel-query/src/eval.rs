@@ -5,18 +5,29 @@
 //! [`Database`]. The result contains only tuples whose qualification
 //! evaluates to TRUE; FALSE and `ni` tuples are discarded alike, which is
 //! what makes the evaluation a single pass needing no tautology analysis.
+//!
+//! Evaluation runs through the `nullrel-exec` engine: the logical plan is
+//! optimized (selection/projection pushdown, product → hash join), compiled
+//! onto physical operators with catalog access paths, and executed as a
+//! pipeline. The per-operator counters — the engine-level continuation of
+//! [`nullrel_storage::scan::ScanStats`] — are returned on
+//! [`QueryOutput::stats`]. The original tree-walk evaluation survives as
+//! [`execute_resolved_naive`], the correctness oracle of the differential
+//! tests and benchmarks.
 
 use nullrel_core::algebra::NoSource;
 use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::Truth;
 use nullrel_core::universe::{AttrId, Universe};
 use nullrel_core::value::Value;
+use nullrel_exec::ExecStats;
 use nullrel_storage::Database;
 
-use crate::analyze::{resolve, ResolvedQuery};
+use crate::analyze::ResolvedQuery;
 use crate::ast::Query;
 use crate::error::QueryResult;
 use crate::parser::parse;
-use crate::plan::plan;
+use crate::plan::{plan, plan_access};
 
 /// The result of evaluating a query: named columns plus result tuples.
 #[derive(Debug, Clone)]
@@ -30,9 +41,17 @@ pub struct QueryOutput {
     pub rows: Vec<Tuple>,
     /// The query-local universe, for rendering.
     pub universe: Universe,
+    /// Per-operator execution counters of the physical pipeline that
+    /// produced the result (empty for the naive tree-walk path).
+    pub stats: ExecStats,
 }
 
 impl QueryOutput {
+    /// The executed physical plan, one operator per line, annotated with
+    /// access-path counters.
+    pub fn physical_plan(&self) -> String {
+        self.stats.render()
+    }
     /// The number of result tuples.
     pub fn len(&self) -> usize {
         self.rows.len()
@@ -93,7 +112,8 @@ impl QueryOutput {
     }
 }
 
-/// Parses and executes a query under the `ni` lower-bound semantics.
+/// Parses and executes a query under the `ni` lower-bound semantics,
+/// through the physical engine with catalog access paths.
 pub fn execute(db: &Database, text: &str) -> QueryResult<QueryOutput> {
     let query = parse(text)?;
     execute_query(db, &query)
@@ -101,21 +121,56 @@ pub fn execute(db: &Database, text: &str) -> QueryResult<QueryOutput> {
 
 /// Executes an already-parsed query under the `ni` lower-bound semantics.
 pub fn execute_query(db: &Database, query: &Query) -> QueryResult<QueryOutput> {
-    let resolved = resolve(db, query)?;
-    execute_resolved(&resolved)
+    // Lazy resolution: the engine reads the tables through its own access
+    // paths, so the per-range row copies would never be looked at.
+    let resolved = crate::analyze::resolve_lazy(db, query)?;
+    let expr = plan_access(&resolved);
+    let (rel, stats) = nullrel_exec::execute_expr(&expr, db, &resolved.universe)?;
+    Ok(output(resolved, rel.into_tuples(), stats))
 }
 
-/// Executes a resolved query (exposed so the benchmarks can separate parse
-/// and plan cost from evaluation cost).
+/// Parses and executes a query, returning the **MAYBE band**: the tuples
+/// whose qualification evaluates to `ni` rather than TRUE. The band is
+/// requested through the engine ([`nullrel_exec::execute_expr_band`]); the
+/// plan is executed as written, since the optimizer's rewrite rules are
+/// lower-bound arguments.
+pub fn execute_maybe(db: &Database, text: &str) -> QueryResult<QueryOutput> {
+    let query = parse(text)?;
+    let resolved = crate::analyze::resolve_lazy(db, &query)?;
+    let expr = plan_access(&resolved);
+    let (rel, stats) =
+        nullrel_exec::execute_expr_band(&expr, db, &resolved.universe, Truth::Ni)?;
+    Ok(output(resolved, rel.into_tuples(), stats))
+}
+
+/// Executes a resolved query through the engine over its literal plan
+/// (exposed so the benchmarks can separate parse and plan cost from
+/// evaluation cost; no catalog is available on this path, so scans stream
+/// the resolved rows without index selection).
 pub fn execute_resolved(resolved: &ResolvedQuery) -> QueryResult<QueryOutput> {
     let expr = plan(resolved);
+    let (rel, stats) = nullrel_exec::execute_expr(&expr, &NoSource, &resolved.universe)?;
+    Ok(output(resolved.clone(), rel.into_tuples(), stats))
+}
+
+/// The seed's tree-walk evaluation (`Expr::eval` over the literal plan):
+/// a full Cartesian product of the range relations. Kept as the
+/// correctness oracle for the engine's differential tests and as the
+/// baseline of the `e12_physical_vs_naive` benchmark.
+pub fn execute_resolved_naive(resolved: &ResolvedQuery) -> QueryResult<QueryOutput> {
+    let expr = plan(resolved);
     let result = expr.eval(&NoSource)?;
-    Ok(QueryOutput {
+    Ok(output(resolved.clone(), result.into_tuples(), ExecStats::default()))
+}
+
+fn output(resolved: ResolvedQuery, rows: Vec<Tuple>, stats: ExecStats) -> QueryOutput {
+    QueryOutput {
         columns: resolved.targets.iter().map(|(label, _)| label.clone()).collect(),
         column_attrs: resolved.targets.iter().map(|(_, attr)| *attr).collect(),
-        rows: result.into_tuples(),
-        universe: resolved.universe.clone(),
-    })
+        rows,
+        universe: resolved.universe,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -262,4 +317,77 @@ mod tests {
         assert!(execute(&db, "range of e is NOPE retrieve (e.X)").is_err());
         assert!(execute(&db, "not a query at all").is_err());
     }
+
+    /// Acceptance: a two-range equi-join query executes via `HashJoin`
+    /// (visible in the physical plan) and agrees with the tree-walk oracle.
+    #[test]
+    fn equi_join_queries_run_as_hash_joins() {
+        let db = emp_table_ii_db();
+        let text = "range of e is EMP range of m is EMP retrieve (e.NAME) \
+                    where e.MGR# = m.E#";
+        let out = execute(&db, text).unwrap();
+        assert!(
+            out.stats.used_hash_join(),
+            "expected a hash join:\n{}",
+            out.physical_plan()
+        );
+        assert!(out.physical_plan().contains("HashJoin e.MGR# = m.E#"));
+        // No Product operator remains in the plan.
+        assert!(!out.physical_plan().contains("Product"));
+
+        let resolved = resolve(&db, &parse(text).unwrap()).unwrap();
+        let oracle = execute_resolved_naive(&resolved).unwrap();
+        assert_eq!(out.rows, oracle.rows);
+        assert!(oracle.stats.ops.is_empty(), "the oracle bypasses the engine");
+    }
+
+    /// Acceptance: `ScanStats` flow from the storage access path through
+    /// the engine into `QueryOutput`.
+    #[test]
+    fn index_selection_reports_access_path_counters() {
+        let mut db = emp_table_ii_db();
+        let e_no = db.universe().lookup("E#").unwrap();
+        db.table_mut("EMP").unwrap().create_index(vec![e_no]).unwrap();
+        let out = execute(
+            &db,
+            "range of e is EMP retrieve (e.NAME) where e.E# = 4335",
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out.stats.used_index(), "plan:\n{}", out.physical_plan());
+        assert_eq!(out.stats.rows_examined(), 1, "index probe touches one row");
+        assert!(out.physical_plan().contains("IndexScan EMP [E# = 4335]"));
+
+        // Without the index the same query scans all rows.
+        let db2 = emp_table_ii_db();
+        let out2 = execute(&db2, "range of e is EMP retrieve (e.NAME) where e.E# = 4335").unwrap();
+        assert_eq!(out2.rows, out.rows);
+        assert!(!out2.stats.used_index());
+        assert_eq!(out2.stats.rows_examined(), 3);
+    }
+
+    /// The MAYBE band of Figure 1 on Table II: every employee's telephone
+    /// is `ni`, so all three rows are possible answers.
+    #[test]
+    fn maybe_band_is_requested_through_the_engine() {
+        let db = emp_table_ii_db();
+        let maybe = execute_maybe(
+            &db,
+            "range of e is EMP retrieve (e.NAME, e.E#) \
+             where (e.SEX = \"F\" and e.TEL# > 2634000) or (e.TEL# < 2634000)",
+        )
+        .unwrap();
+        assert_eq!(maybe.len(), 3);
+        assert_eq!(maybe.stats.ni_rows(), 3);
+        // The sure band stays empty, as in the seed test above.
+        let sure = execute(&db, FIGURE_1_LIKE).unwrap();
+        assert!(sure.is_empty());
+    }
+
+    const FIGURE_1_LIKE: &str = "range of e is EMP retrieve (e.NAME, e.E#) \
+         where (e.SEX = \"F\" and e.TEL# > 2634000) or (e.TEL# < 2634000)";
+
+    use crate::analyze::resolve;
+    use crate::eval::execute_maybe;
+    use crate::eval::execute_resolved_naive;
 }

@@ -139,6 +139,11 @@ pub fn execute_unknown_query(
     if resolved.ranges.iter().any(|r| r.rows.is_empty()) {
         return Ok(output);
     }
+    // Hash-based deduplication: the combination loop is quadratic in range
+    // cardinalities already, so the answer-set membership probe must not
+    // add another linear factor on top.
+    let mut seen_sure: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
+    let mut seen_maybe: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
     loop {
         output.stats.combinations += 1;
         let combined = combine(&resolved, &indices);
@@ -147,12 +152,12 @@ pub fn execute_unknown_query(
             let projected = project_targets(&resolved, &combined);
             match certainty {
                 Certainty::Sure => {
-                    if !output.sure.contains(&projected) {
+                    if seen_sure.insert(projected.clone()) {
                         output.sure.push(projected);
                     }
                 }
                 Certainty::Maybe => {
-                    if !output.maybe.contains(&projected) {
+                    if seen_maybe.insert(projected.clone()) {
                         output.maybe.push(projected);
                     }
                 }

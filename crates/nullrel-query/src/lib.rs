@@ -8,9 +8,10 @@
 //! * [`analyze`] / [`plan`] — resolution against a [`nullrel_storage::Database`]
 //!   and translation to the generalized relational algebra, with each range
 //!   variable given a disjoint attribute scope.
-//! * [`eval`] — the paper's **`ni` lower-bound evaluation** `‖Q‖∗`: a single
-//!   three-valued pass that keeps only TRUE tuples and needs no tautology
-//!   machinery.
+//! * [`eval`] — the paper's **`ni` lower-bound evaluation** `‖Q‖∗`,
+//!   executed through the `nullrel-exec` physical engine (optimizer, index
+//!   selection, hash joins, streaming minimisation) with the seed's
+//!   tree-walk evaluation kept as a differential oracle.
 //! * [`interp`] + [`tautology`] — the **"unknown"-interpretation baseline**:
 //!   the correct lower bound under unknown nulls requires deciding, per
 //!   candidate tuple, whether the substituted where clause is a tautology
@@ -34,7 +35,10 @@ pub mod tautology;
 pub use analyze::{resolve, ResolvedQuery};
 pub use ast::{AttrRef, Query, RangeDecl, Term, WhereExpr};
 pub use error::{QueryError, QueryResult};
-pub use eval::{execute, execute_query, execute_resolved, QueryOutput};
+pub use eval::{
+    execute, execute_maybe, execute_query, execute_resolved, execute_resolved_naive, QueryOutput,
+};
+pub use plan::explain_physical;
 pub use interp::{execute_unknown, execute_unknown_query, Certainty, UnknownOutput, UnknownStats};
 pub use parser::parse;
 pub use tautology::{decide, decide_with_assumptions, Decision, Formula, Operand};

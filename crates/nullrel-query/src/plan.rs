@@ -6,18 +6,44 @@
 //! the range relations (whose scopes the analyzer has made disjoint), a
 //! selection with the where-clause predicate under the three-valued `ni`
 //! semantics, and a projection onto the target list.
+//!
+//! Two plan shapes are produced. [`plan`] embeds each range's rows as a
+//! literal x-relation — self-contained, evaluable against
+//! [`nullrel_core::algebra::NoSource`], and the input of the differential
+//! oracle. [`plan_access`] instead references the stored tables through
+//! `Rename(Named)` scans, which lets the `nullrel-exec` engine choose real
+//! access paths (index probes) from the catalog.
 
 use nullrel_core::algebra::Expr;
 use nullrel_core::predicate::Predicate;
 use nullrel_core::universe::AttrSet;
+use nullrel_storage::Database;
 
 use crate::analyze::ResolvedQuery;
+use crate::error::QueryResult;
+use crate::parser::parse;
 
-/// Builds the logical plan for a resolved query.
+/// Builds the logical plan for a resolved query with literal scans.
 pub fn plan(resolved: &ResolvedQuery) -> Expr {
+    build(resolved, |range| Expr::literal(range.xrelation()))
+}
+
+/// Builds the logical plan with named base-relation scans (each wrapped in
+/// the range variable's attribute renaming), so the physical engine can
+/// select access paths from the catalog the plan is evaluated against.
+pub fn plan_access(resolved: &ResolvedQuery) -> Expr {
+    build(resolved, |range| {
+        Expr::named(&range.relation).rename(range.rename.clone())
+    })
+}
+
+fn build(
+    resolved: &ResolvedQuery,
+    scan: impl Fn(&crate::analyze::ResolvedRange) -> Expr,
+) -> Expr {
     let mut expr: Option<Expr> = None;
     for range in &resolved.ranges {
-        let scan = Expr::literal(range.xrelation());
+        let scan = scan(range);
         expr = Some(match expr {
             None => scan,
             Some(prev) => prev.product(scan),
@@ -33,10 +59,37 @@ pub fn plan(resolved: &ResolvedQuery) -> Expr {
     expr.project(targets)
 }
 
-/// Renders the plan with the query-local universe (for debugging and the
-/// examples' `--explain` style output).
+/// Renders the logical plan with the query-local universe (for debugging
+/// and the examples' `--explain` style output).
 pub fn explain(resolved: &ResolvedQuery) -> String {
     plan(resolved).explain(&resolved.universe)
+}
+
+/// The full `--explain` report for a query: the logical plan, the
+/// optimizer rules that fired, and the executed physical plan annotated
+/// with real access-path counters (rows examined/returned, `ni` rows,
+/// index usage).
+pub fn explain_physical(db: &Database, text: &str) -> QueryResult<String> {
+    let query = parse(text)?;
+    let resolved = crate::analyze::resolve_lazy(db, &query)?;
+    let logical = plan_access(&resolved);
+    let optimized = nullrel_exec::optimize(&logical, db);
+    let pipeline = nullrel_exec::compile(&optimized.expr, db, &resolved.universe)?;
+    let (_, stats) = pipeline.run()?;
+    let mut out = String::new();
+    out.push_str("logical:\n");
+    out.push_str(&logical.explain(&resolved.universe));
+    if !optimized.applied.is_empty() {
+        out.push_str("rules:\n");
+        for rule in &optimized.applied {
+            out.push_str("  ");
+            out.push_str(rule);
+            out.push('\n');
+        }
+    }
+    out.push_str("physical (executed):\n");
+    out.push_str(&stats.render());
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -470,15 +470,11 @@ fn infer_variable_types(
             let ta = types.get(a).copied().flatten();
             let tb = types.get(b).copied().flatten();
             match (ta, tb) {
-                (Some(t), None) => {
-                    if types.insert(b.clone(), Some(t)) != Some(Some(t)) {
-                        changed = true;
-                    }
+                (Some(t), None) if types.insert(b.clone(), Some(t)) != Some(Some(t)) => {
+                    changed = true;
                 }
-                (None, Some(t)) => {
-                    if types.insert(a.clone(), Some(t)) != Some(Some(t)) {
-                        changed = true;
-                    }
+                (None, Some(t)) if types.insert(a.clone(), Some(t)) != Some(Some(t)) => {
+                    changed = true;
                 }
                 _ => {}
             }

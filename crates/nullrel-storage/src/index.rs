@@ -68,9 +68,12 @@ impl HashIndex {
         }
     }
 
-    /// Looks up the row positions whose indexed columns equal `key` exactly.
+    /// Looks up the row positions whose indexed columns equal `key` under
+    /// domain-aware equality (`Int(2)` matches `Float(2.0)`; see
+    /// [`Value::join_key`]).
     pub fn lookup(&self, key: &[Value]) -> &[usize] {
-        self.map.get(key).map(Vec::as_slice).unwrap_or(&[])
+        let normalized: Vec<Value> = key.iter().map(Value::join_key).collect();
+        self.lookup_owned(normalized)
     }
 
     /// Looks up by the indexed columns of a probe tuple. Returns `None` when
@@ -98,7 +101,7 @@ impl HashIndex {
     fn key_of(&self, row: &Tuple) -> Option<Vec<Value>> {
         let mut key = Vec::with_capacity(self.attrs.len());
         for attr in &self.attrs {
-            key.push(row.get(*attr)?.clone());
+            key.push(row.get(*attr)?.join_key());
         }
         Some(key)
     }

@@ -220,8 +220,8 @@ mod tests {
         assert_eq!(schema.columns().len(), 4);
         assert_eq!(schema.attrs().len(), 4);
         assert_eq!(schema.key().unwrap().len(), 1);
-        assert_eq!(schema.column_by_name("SEX").unwrap().nullable, true);
-        assert_eq!(schema.column_by_name("E#").unwrap().nullable, false);
+        assert!(schema.column_by_name("SEX").unwrap().nullable);
+        assert!(!schema.column_by_name("E#").unwrap().nullable);
         assert!(u.lookup("NAME").is_some());
         let sex_attr = schema.column_by_name("SEX").unwrap().attr;
         assert!(schema.column(sex_attr).is_some());

@@ -178,7 +178,9 @@ impl Table {
 
     /// Equality probe through the first index covering exactly `attrs`;
     /// falls back to a scan when no such index exists. Only rows matching
-    /// with certainty (TRUE) are returned.
+    /// with certainty (TRUE) are returned; equality is domain-aware on the
+    /// numeric variants (`Int(2)` matches `Float(2.0)`), matching both the
+    /// index key normalization and [`Value::compare`].
     pub fn lookup_eq(&self, attrs: &[AttrId], key: &[Value]) -> Vec<&Tuple> {
         if let Some(index) = self.indexes.iter().find(|i| i.attrs() == attrs) {
             return index
@@ -190,10 +192,9 @@ impl Table {
         self.rows
             .iter()
             .filter(|row| {
-                attrs
-                    .iter()
-                    .zip(key.iter())
-                    .all(|(attr, value)| row.get(*attr) == Some(value))
+                attrs.iter().zip(key.iter()).all(|(attr, value)| {
+                    row.get(*attr).map(Value::join_key) == Some(value.join_key())
+                })
             })
             .collect()
     }

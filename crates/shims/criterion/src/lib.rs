@@ -1,0 +1,302 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so this crate implements the
+//! benchmarking surface the workspace's `benches/` use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `b.iter(...)`, and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — on top of a plain
+//! wall-clock measurement loop. Results are printed as
+//! `group/name  median  (iters)` lines; there is no statistical analysis,
+//! plotting, or baseline comparison.
+//!
+//! The measurement protocol: warm up for `warm_up_time`, then run batches,
+//! doubling the batch size until a batch exceeds `measurement_time /
+//! sample_size`, and report the per-iteration median over `sample_size`
+//! batches.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, which real criterion also offers.
+pub use std::hint::black_box;
+
+/// The benchmark harness entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the target measurement duration per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run_one("", &id.render(), f);
+    }
+
+    fn run_one<F>(&self, group: &str, name: &str, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        let label = if group.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{group}/{name}")
+        };
+        match bencher.median() {
+            Some((per_iter, iters)) => {
+                println!("bench: {label:<56} {} ({iters} iters/sample)", fmt_duration(per_iter));
+            }
+            None => println!("bench: {label:<56} (no measurement)"),
+        }
+    }
+}
+
+fn fmt_duration(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:>9.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:>9.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:>9.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:>9.2} s ", nanos / 1_000_000_000.0)
+    }
+}
+
+/// A named collection of benchmarks sharing the parent settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.criterion.run_one(&self.name, &id.render(), f);
+    }
+
+    /// Runs one benchmark parameterised by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.criterion.run_one(&self.name, &id.render(), |b| f(b, input));
+    }
+
+    /// Ends the group. (A no-op here; real criterion finalises reports.)
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendered via `Display`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a function name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{p}", self.function),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_owned(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples: Vec<(f64, u64)>,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also sizes the batch so one batch is a meaningful slice
+        // of the measurement budget.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut batch: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+            let per_sample = self.measurement_time.div_f64(self.sample_size.max(1) as f64);
+            if elapsed < per_sample {
+                batch = batch.saturating_mul(2);
+            }
+        }
+        // Measurement: `sample_size` batches.
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.samples.push((nanos, batch));
+        }
+    }
+
+    fn median(&self) -> Option<(f64, u64)> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut times: Vec<f64> = self.samples.iter().map(|(t, _)| *t).collect();
+        times.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        Some((times[times.len() / 2], self.samples[0].1))
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("shim");
+        let mut runs = 0u64;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 10).render(), "f/10");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+        assert_eq!(BenchmarkId::from_parameter(7).render(), "7");
+    }
+}

@@ -8,7 +8,8 @@
 
 use nullrel::core::prelude::*;
 use nullrel::query::{
-    execute, execute_unknown, parse, plan::explain, resolve, FIGURE_1_QUERY, FIGURE_2_QUERY,
+    execute, execute_maybe, execute_unknown, explain_physical, parse, plan::explain, resolve,
+    FIGURE_1_QUERY, FIGURE_2_QUERY,
 };
 use nullrel::storage::{Database, SchemaBuilder};
 
@@ -55,6 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ni = execute(&db, FIGURE_1_QUERY)?;
     println!("ni lower bound ‖Q‖*:\n{}", ni.render());
 
+    // The MAYBE band, requested through the physical engine's truth-band
+    // support: rows whose qualification is ni rather than TRUE.
+    let maybe = execute_maybe(&db, FIGURE_1_QUERY)?;
+    println!("MAYBE band (qualification = ni):\n{}", maybe.render());
+
     let unknown = execute_unknown(&db, FIGURE_1_QUERY, &[], 10_000)?;
     println!(
         "unknown interpretation: {} sure answer(s), {} maybe answer(s), \
@@ -71,8 +77,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("--- Figure 2 (query Q_B) ---------------------------------");
     println!("{FIGURE_2_QUERY}\n");
+    // `--explain` style report: logical plan, optimizer rules, and the
+    // executed physical plan with real access-path counters. The self-join
+    // runs as a HashJoin, not a Cartesian product.
+    println!("{}", explain_physical(&db, FIGURE_2_QUERY)?);
     let ni = execute(&db, FIGURE_2_QUERY)?;
     println!("ni lower bound ‖Q‖*:\n{}", ni.render());
+    println!("executed physical plan (again, from the query output):\n{}", ni.physical_plan());
 
     // The Appendix's point: certifying the last two conjuncts for tuples
     // with unknown MGR# values needs the schema integrity constraints.

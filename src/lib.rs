@@ -11,8 +11,11 @@
 //!   algebra, and the null substitution principle.
 //! * [`storage`] — the in-memory database substrate (catalog, tables,
 //!   schema evolution, indexes).
+//! * [`exec`] — the pipelined physical execution engine: rule-based
+//!   optimizer, catalog access paths, hash joins, streaming minimisation.
 //! * [`query`] — the QUEL-subset front-end with `ni` lower-bound evaluation
-//!   and the "unknown"-interpretation baseline with tautology detection.
+//!   (run through the engine) and the "unknown"-interpretation baseline
+//!   with tautology detection.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
 //! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -22,6 +25,7 @@
 
 pub use nullrel_codd as codd;
 pub use nullrel_core as core;
+pub use nullrel_exec as exec;
 pub use nullrel_query as query;
 pub use nullrel_storage as storage;
 

@@ -98,7 +98,7 @@ proptest! {
         r2 in arb_total_relation(0),
     ) {
         let x1 = r1.to_xrelation();
-        prop_assert_eq!(&x1 == &r2.to_xrelation(), r1 == r2);
+        prop_assert_eq!(x1 == r2.to_xrelation(), r1 == r2);
         if !r1.is_empty() {
             let back = TotalRelation::from_xrelation(&x1, &attrs(0)).unwrap();
             prop_assert_eq!(back, r1);
