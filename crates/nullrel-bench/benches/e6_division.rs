@@ -2,7 +2,9 @@
 //! Codd's TRUE division (`A₁ = ∅`), Codd's MAYBE division (`A₂ =
 //! {s1,s2,s3}`), and the paper's Y-quotient (`A₃ = {s1,s2}`) are recomputed
 //! and benchmarked, together with the two equivalent formulations (6.2) and
-//! (6.5) of the Y-quotient.
+//! (6.5) of the Y-quotient — and, since division now streams through the
+//! `nullrel-exec` engine as a dedicated `DivisionOp` (no tree-walk
+//! fallback), the full `plan → optimize → compile → run` pipeline.
 
 use std::hint::black_box;
 use std::time::Duration;
@@ -11,11 +13,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 use nullrel_bench::paper_data::ps_database;
 use nullrel_codd::maybe::{divide_maybe, divide_true, project_codd, select_true};
-use nullrel_core::algebra::{divide, divide_direct, project, select_attr_const};
+use nullrel_core::algebra::{divide, divide_direct, project, select_attr_const, Expr};
 use nullrel_core::predicate::Predicate;
 use nullrel_core::tvl::CompareOp;
 use nullrel_core::universe::attr_set;
 use nullrel_core::value::Value;
+use nullrel_exec::execute_expr;
 
 fn bench_e6(c: &mut Criterion) {
     let db = ps_database();
@@ -60,6 +63,16 @@ fn bench_e6(c: &mut Criterion) {
     });
     group.bench_function("paper_y_quotient_a3_direct_6_5", |b| {
         b.iter(|| divide_direct(black_box(&ps_x), &attr_set([s]), &p_s2).unwrap())
+    });
+
+    // The engine path: the same division as a logical plan, optimized,
+    // compiled onto the streaming DivisionOp, and run against the catalog.
+    let division_plan = Expr::named("PS").divide(attr_set([s]), Expr::literal(p_s2.clone()));
+    let (engine_a3, stats) = execute_expr(&division_plan, &db, db.universe()).unwrap();
+    assert_eq!(engine_a3, a3, "engine division must match the Y-quotient");
+    assert!(stats.used_division(), "plan:\n{stats}");
+    group.bench_function("engine_division_pipeline", |b| {
+        b.iter(|| execute_expr(black_box(&division_plan), &db, db.universe()).unwrap())
     });
     group.finish();
 }

@@ -4,7 +4,9 @@
 //! hashing" can do better. This benchmark sweeps relation cardinality and
 //! null density, comparing the naïve (definition-transcribed) and
 //! hash-indexed implementations of union, x-intersection, difference and
-//! reduction to minimal form.
+//! reduction to minimal form — plus the `nullrel-exec` engine path, where
+//! union and difference stream through the dedicated `UnionOp` /
+//! `DifferenceOp` operators into the minimising sink.
 
 use std::hint::black_box;
 use std::time::Duration;
@@ -12,8 +14,10 @@ use std::time::Duration;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use nullrel_bench::workload::{random_relation, WorkloadSpec};
+use nullrel_core::algebra::{Expr, NoSource};
 use nullrel_core::lattice::{hashed, naive};
 use nullrel_core::universe::Universe;
+use nullrel_exec::execute_expr;
 
 fn bench_e9(c: &mut Criterion) {
     let mut group = c.benchmark_group("e9_setops");
@@ -47,6 +51,32 @@ fn bench_e9(c: &mut Criterion) {
                 BenchmarkId::new("difference_hashed", &label),
                 &label,
                 |bench, _| bench.iter(|| hashed::difference(black_box(&a), black_box(&b_rel))),
+            );
+            // The engine path: the same set operations as logical plans
+            // compiled onto the streaming UnionOp / DifferenceOp pipeline.
+            let union_plan = Expr::literal(a.clone()).union(Expr::literal(b_rel.clone()));
+            let (engine_union, _) = execute_expr(&union_plan, &NoSource, &universe).unwrap();
+            assert_eq!(engine_union, hashed::union(&a, &b_rel));
+            group.bench_with_input(
+                BenchmarkId::new("union_engine", &label),
+                &label,
+                |bench, _| {
+                    bench.iter(|| execute_expr(black_box(&union_plan), &NoSource, &universe).unwrap())
+                },
+            );
+            let difference_plan =
+                Expr::literal(a.clone()).difference(Expr::literal(b_rel.clone()));
+            let (engine_difference, _) =
+                execute_expr(&difference_plan, &NoSource, &universe).unwrap();
+            assert_eq!(engine_difference, hashed::difference(&a, &b_rel));
+            group.bench_with_input(
+                BenchmarkId::new("difference_engine", &label),
+                &label,
+                |bench, _| {
+                    bench.iter(|| {
+                        execute_expr(black_box(&difference_plan), &NoSource, &universe).unwrap()
+                    })
+                },
             );
             // The quadratic pairwise-meet operations are only swept at the
             // smaller cardinality to keep the run short.

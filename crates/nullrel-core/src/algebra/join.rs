@@ -6,12 +6,24 @@
 //! repeat the join columns: it is the set of tuple joins `r₁ ∨ r₂` of pairs
 //! that are `X`-total (and joinable — which on overlapping scopes means they
 //! agree wherever both are non-null).
+//!
+//! The equijoin core is hash-based: both operands' `X`-cells are normalized
+//! through [`Value::join_key`] (so `Int(2)` and `Float(2.0)` join keys agree,
+//! matching the domain-aware equality of [`Value::compare`] used by the
+//! engine's hash joins and index probes), the right operand is bucketed on
+//! its normalized key, and the left operand probes. [`equijoin_parts`]
+//! exposes the joined tuples together with the hashed participant sets of
+//! both sides — the building block of the union-join and of the physical
+//! `EquiJoinOp`/`UnionJoinOp` operators.
+
+use std::collections::{HashMap, HashSet};
 
 use crate::error::{CoreError, CoreResult};
 use crate::predicate::Predicate;
 use crate::tuple::Tuple;
 use crate::tvl::CompareOp;
 use crate::universe::{AttrId, AttrSet};
+use crate::value::Value;
 use crate::xrel::XRelation;
 
 use super::product::product;
@@ -32,35 +44,97 @@ pub fn theta_join(
     select(&prod, &Predicate::attr_attr(left_attr, op, right_attr))
 }
 
-/// The equijoin (join on `X`) `R₁(·X)R₂`: tuple joins of `X`-total, joinable
-/// pairs. The join columns are not repeated because both operands share the
-/// same attribute ids for `X`.
-pub fn equijoin(left: &XRelation, right: &XRelation, on: &AttrSet) -> CoreResult<XRelation> {
+/// Returns the tuple with its `X`-cells normalized through
+/// [`Value::join_key`], so that numerically equal join keys (`Int(2)` and
+/// `Float(2.0)`) compare and hash identically. Cells outside `on` keep
+/// their stored representation.
+pub fn normalize_on(tuple: &Tuple, on: &AttrSet) -> Tuple {
+    let mut out = tuple.clone();
+    for attr in on {
+        if let Some(v) = tuple.get(*attr) {
+            out.set(*attr, Some(v.join_key()));
+        }
+    }
+    out
+}
+
+/// The output of the hash-equijoin core: the joined tuples plus the hashed
+/// participant sets of both operands.
+///
+/// The participant sets hold the participating tuples **normalized on `X`**
+/// (see [`normalize_on`]); participation is a function of the normalized
+/// tuple, so membership tests must normalize the probe the same way. This
+/// is the structure the union-join needs to identify its dangling tuples
+/// without quadratic `Vec::contains` scans.
+#[derive(Debug, Clone, Default)]
+pub struct EquiJoinParts {
+    /// Joined tuples `r₁ ∨ r₂` (normalized on `X`), not yet minimized.
+    pub joined: Vec<Tuple>,
+    /// Left tuples (normalized on `X`) that joined with ≥ 1 partner.
+    pub left_participants: HashSet<Tuple>,
+    /// Right tuples (normalized on `X`) that joined with ≥ 1 partner.
+    pub right_participants: HashSet<Tuple>,
+}
+
+/// The hash-equijoin core shared by [`equijoin`], the union-join, and the
+/// physical engine: buckets the right tuples on their normalized `X`-key,
+/// probes with the left tuples, and records which tuples of either side
+/// participate. Tuples that are not `X`-total can never join for sure (their
+/// key is `ni`) and are skipped. Pairs whose scopes overlap beyond `X` must
+/// additionally be joinable (agree on every shared non-null cell).
+pub fn equijoin_parts(left: &[Tuple], right: &[Tuple], on: &AttrSet) -> CoreResult<EquiJoinParts> {
     if on.is_empty() {
         return Err(CoreError::EmptyAttributeList);
     }
-    let mut out: Vec<Tuple> = Vec::new();
-    for r1 in left.tuples() {
-        if !r1.is_total_on(on) {
-            continue;
+    let key_attrs: Vec<AttrId> = on.iter().copied().collect();
+    let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+    for r2 in right {
+        let rn = normalize_on(r2, on);
+        if let Some(key) = rn.key_on(&key_attrs) {
+            table.entry(key).or_default().push(rn);
         }
-        for r2 in right.tuples() {
-            if !r2.is_total_on(on) {
-                continue;
-            }
-            if let Some(joined) = r1.join(r2) {
-                out.push(joined);
+    }
+    let mut parts = EquiJoinParts::default();
+    for r1 in left {
+        let ln = normalize_on(r1, on);
+        let Some(key) = ln.key_on(&key_attrs) else {
+            continue;
+        };
+        let Some(bucket) = table.get(&key) else {
+            continue;
+        };
+        for rn in bucket {
+            // Bucket membership already guarantees agreement on X; joinable
+            // rules out conflicts on any shared attribute beyond X.
+            if let Some(joined) = ln.join(rn) {
+                parts.joined.push(joined);
+                parts.left_participants.insert(ln.clone());
+                parts.right_participants.insert(rn.clone());
             }
         }
     }
+    Ok(parts)
+}
+
+/// The equijoin (join on `X`) `R₁(·X)R₂`: tuple joins of `X`-total, joinable
+/// pairs. The join columns are not repeated because both operands share the
+/// same attribute ids for `X`. Join keys are matched with the domain-aware
+/// numeric equality (via [`normalize_on`]).
+pub fn equijoin(left: &XRelation, right: &XRelation, on: &AttrSet) -> CoreResult<XRelation> {
+    let parts = equijoin_parts(left.tuples(), right.tuples(), on)?;
     // Joins of minimal operands can still produce comparable tuples when the
     // operands' scopes overlap beyond X, so reduce to be safe.
-    Ok(XRelation::from_tuples(out))
+    Ok(XRelation::from_tuples(parts.joined))
 }
 
 /// Returns the tuples of `rel` that participate in the equijoin with `other`
 /// on `X` — i.e. those that are `X`-total and joinable with some `X`-total
-/// tuple of `other`. Used by the union-join.
+/// tuple of `other`.
+///
+/// This is the quadratic reference formulation, kept as documentation and
+/// as the oracle for [`equijoin_parts`]' hashed participant sets (which the
+/// union-join uses); note it matches join keys structurally, while the
+/// hashed path identifies numerically equal keys through [`normalize_on`].
 pub fn joining_tuples(rel: &XRelation, other: &XRelation, on: &AttrSet) -> Vec<Tuple> {
     rel.tuples()
         .iter()
@@ -200,6 +274,67 @@ mod tests {
         assert_eq!(joiners.len(), 1);
         let joiners_rhs = joining_tuples(&dep, &emp, &attr_set([mgr]));
         assert_eq!(joiners_rhs.len(), 1);
+    }
+
+    /// Regression: equijoin keys use the domain-aware numeric equality —
+    /// `Int(2)` on one side joins `Float(2.0)` on the other, consistent with
+    /// the engine's hash-join key normalization.
+    #[test]
+    fn equijoin_normalizes_numeric_join_keys() {
+        let (_u, e_no, name, mgr, _dept) = setup();
+        let left = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(2))
+            .with(name, Value::str("SMITH"))]);
+        let right = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::float(2.0))
+            .with(mgr, Value::int(9))]);
+        let joined = equijoin(&left, &right, &attr_set([e_no])).unwrap();
+        assert_eq!(joined.len(), 1);
+        assert!(joined.x_contains(
+            &Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(name, Value::str("SMITH"))
+                .with(mgr, Value::int(9))
+        ));
+    }
+
+    #[test]
+    fn equijoin_parts_reports_hashed_participants() {
+        let (_u, e_no, name, mgr, dept) = setup();
+        let left = vec![
+            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(10)),
+            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("X")),
+        ];
+        let right = vec![
+            Tuple::new().with(mgr, Value::int(10)).with(dept, Value::str("D1")),
+            Tuple::new().with(mgr, Value::int(11)).with(dept, Value::str("D2")),
+        ];
+        let on = attr_set([mgr]);
+        let parts = equijoin_parts(&left, &right, &on).unwrap();
+        assert_eq!(parts.joined.len(), 1);
+        assert_eq!(parts.left_participants.len(), 1);
+        assert!(parts.left_participants.contains(&normalize_on(&left[0], &on)));
+        assert_eq!(parts.right_participants.len(), 1);
+        assert!(parts.right_participants.contains(&normalize_on(&right[0], &on)));
+        // The hashed participants agree with the quadratic reference.
+        let lx = XRelation::from_tuples(left.clone());
+        let rx = XRelation::from_tuples(right.clone());
+        assert_eq!(joining_tuples(&lx, &rx, &on).len(), parts.left_participants.len());
+        assert!(matches!(
+            equijoin_parts(&left, &right, &AttrSet::new()),
+            Err(CoreError::EmptyAttributeList)
+        ));
+    }
+
+    #[test]
+    fn normalize_on_touches_only_join_cells() {
+        let (_u, e_no, _name, mgr, _dept) = setup();
+        let t = Tuple::new()
+            .with(e_no, Value::float(2.0))
+            .with(mgr, Value::float(3.0));
+        let n = normalize_on(&t, &attr_set([e_no]));
+        assert_eq!(n.get(e_no), Some(&Value::int(2)), "join cell normalized");
+        assert_eq!(n.get(mgr), Some(&Value::float(3.0)), "other cells untouched");
     }
 
     #[test]

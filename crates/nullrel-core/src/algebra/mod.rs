@@ -24,8 +24,8 @@ pub mod union_join;
 
 pub use division::{divide, divide_direct};
 pub use expr::{Expr, NoSource, RelationSource};
-pub use stream::{TupleStream, VecStream};
-pub use join::{equijoin, theta_join};
+pub use stream::{ChainStream, TupleStream, VecStream};
+pub use join::{equijoin, equijoin_parts, normalize_on, theta_join, EquiJoinParts};
 pub use product::product;
 pub use project::project;
 pub use rename::rename;

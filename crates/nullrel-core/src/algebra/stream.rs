@@ -54,6 +54,39 @@ impl<S: TupleStream + ?Sized> TupleStream for Box<S> {
     }
 }
 
+/// Sequential concatenation of two streams: yields every tuple of the first
+/// stream, then every tuple of the second. This is the streaming shape of
+/// the lattice union (4.6) — the representation of `R̂₁ ∪ R̂₂` is simply the
+/// tuples of both representations, minimization being the sink's job.
+pub struct ChainStream<A, B> {
+    first: A,
+    second: B,
+    on_second: bool,
+}
+
+impl<A: TupleStream, B: TupleStream> ChainStream<A, B> {
+    /// Chains `first` before `second`.
+    pub fn new(first: A, second: B) -> Self {
+        ChainStream {
+            first,
+            second,
+            on_second: false,
+        }
+    }
+}
+
+impl<A: TupleStream, B: TupleStream> TupleStream for ChainStream<A, B> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if !self.on_second {
+            if let Some(t) = self.first.next_tuple()? {
+                return Ok(Some(t));
+            }
+            self.on_second = true;
+        }
+        self.second.next_tuple()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,5 +107,21 @@ mod tests {
 
         let mut boxed: Box<dyn TupleStream> = Box::new(VecStream::new(tuples.clone()));
         assert_eq!(boxed.drain_all().unwrap(), tuples);
+    }
+
+    #[test]
+    fn chain_stream_concatenates_in_order() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let first: Vec<Tuple> = (0..2).map(|i| Tuple::new().with(a, Value::int(i))).collect();
+        let second: Vec<Tuple> = (2..5).map(|i| Tuple::new().with(a, Value::int(i))).collect();
+        let mut chained = ChainStream::new(
+            VecStream::new(first.clone()),
+            VecStream::new(second.clone()),
+        );
+        let all = chained.drain_all().unwrap();
+        let expected: Vec<Tuple> = first.into_iter().chain(second).collect();
+        assert_eq!(all, expected);
+        assert_eq!(chained.next_tuple().unwrap(), None);
     }
 }

@@ -8,29 +8,36 @@
 //!
 //! The paper warns that the result of a union-join need not be minimal even
 //! when the operands are; this implementation therefore re-minimises.
+//!
+//! The implementation rides on the hash-equijoin core
+//! ([`equijoin_parts`]): one hashed build/probe pass produces the inner
+//! join *and* the participant sets of both sides, so the dangling tuples
+//! are found with hash lookups instead of quadratic `Vec::contains` scans.
+//! Join keys are matched under the domain-aware numeric equality
+//! ([`super::join::normalize_on`]): `Int(2)` and `Float(2.0)` keys agree,
+//! consistent with the engine's hash-join and index-probe normalization.
 
 use crate::error::CoreResult;
 use crate::tuple::Tuple;
 use crate::universe::AttrSet;
 use crate::xrel::XRelation;
 
-use super::join::{equijoin, joining_tuples};
+use super::join::{equijoin_parts, normalize_on};
 
 /// The union-join `R₁(∗X)R₂`: the equijoin on `X` unioned with the
 /// non-participating tuples of both operands.
 pub fn union_join(left: &XRelation, right: &XRelation, on: &AttrSet) -> CoreResult<XRelation> {
-    let inner = equijoin(left, right, on)?;
-    let left_participants: Vec<Tuple> = joining_tuples(left, right, on);
-    let right_participants: Vec<Tuple> = joining_tuples(right, left, on);
-
-    let mut tuples: Vec<Tuple> = inner.into_tuples();
+    let parts = equijoin_parts(left.tuples(), right.tuples(), on)?;
+    let mut tuples: Vec<Tuple> = parts.joined;
+    // Dangling tuples are emitted as stored; participation is a function of
+    // the X-normalized tuple, so membership probes normalize the same way.
     for t in left.tuples() {
-        if !left_participants.contains(t) {
+        if !parts.left_participants.contains(&normalize_on(t, on)) {
             tuples.push(t.clone());
         }
     }
     for t in right.tuples() {
-        if !right_participants.contains(t) {
+        if !parts.right_participants.contains(&normalize_on(t, on)) {
             tuples.push(t.clone());
         }
     }
@@ -40,6 +47,7 @@ pub fn union_join(left: &XRelation, right: &XRelation, on: &AttrSet) -> CoreResu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::algebra::join::equijoin;
     use crate::universe::{attr_set, AttrId, Universe};
     use crate::value::Value;
 
@@ -126,6 +134,30 @@ mod tests {
         let out = union_join(&emp, &dep, &attr_set([dept])).unwrap();
         assert!(out.x_contains(&Tuple::new().with(e_no, Value::int(1))));
         assert_eq!(out.len(), 2);
+    }
+
+    /// Regression: join keys are matched with the domain-aware numeric
+    /// equality — `Int(2)` and `Float(2.0)` keys agree, so the pair joins
+    /// instead of both rows dangling.
+    #[test]
+    fn union_join_normalized_numeric_keys_agree() {
+        let (_u, e_no, name, dept, budget) = setup();
+        let emp = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(name, Value::str("SMITH"))
+            .with(dept, Value::int(2))]);
+        let dep = XRelation::from_tuples([Tuple::new()
+            .with(dept, Value::float(2.0))
+            .with(budget, Value::int(100))]);
+        let out = union_join(&emp, &dep, &attr_set([dept])).unwrap();
+        assert_eq!(out.len(), 1, "the keys agree, so nothing dangles: {out:?}");
+        assert!(out.x_contains(
+            &Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(name, Value::str("SMITH"))
+                .with(dept, Value::int(2))
+                .with(budget, Value::int(100))
+        ));
     }
 
     #[test]

@@ -142,6 +142,16 @@ impl XRelation {
     pub fn to_relation_over_scope(&self) -> Relation {
         self.to_relation(self.scope())
     }
+
+    /// Builds an inverted-cell [`TupleIndex`](crate::lattice::hashed::TupleIndex)
+    /// over the minimal representation, for callers that issue repeated
+    /// subsumption queries (`x_contains`, dominator lookups) against the
+    /// same x-relation: one build amortises the per-query cost the way the
+    /// streaming difference/division operators do with `TupleIndex::build`
+    /// over their drained inputs.
+    pub fn to_index(&self) -> crate::lattice::hashed::TupleIndex {
+        crate::lattice::hashed::TupleIndex::build(&self.tuples)
+    }
 }
 
 impl fmt::Display for XRelation {
@@ -369,6 +379,19 @@ mod tests {
         let (_u, s_no, p_no) = setup();
         let x = XRelation::from_tuples([st(s_no, p_no, Some("s1"), None)]);
         assert_eq!(x.to_string(), "XRelation[1 tuples]");
+    }
+
+    #[test]
+    fn to_index_answers_subsumption_queries() {
+        let (_u, s_no, p_no) = setup();
+        let x = XRelation::from_tuples([
+            st(s_no, p_no, Some("s1"), Some("p1")),
+            st(s_no, p_no, Some("s2"), None),
+        ]);
+        let index = x.to_index();
+        assert!(index.x_contains(&st(s_no, p_no, Some("s1"), None)));
+        assert!(!index.x_contains(&st(s_no, p_no, Some("s9"), None)));
+        assert_eq!(index.len(), x.len());
     }
 
     #[test]

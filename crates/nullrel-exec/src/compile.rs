@@ -9,10 +9,15 @@
 //! * `ThetaJoin` on equality becomes a **HashJoin**; an enclosing `Select`
 //!   donates any further cross-scope equality conjuncts to the join's key
 //!   list and keeps the rest as a residual filter.
-//! * Algebra nodes with no streaming implementation yet (division, set
-//!   operators, union-join) fall back to the tree-walk evaluator and enter
-//!   the pipeline as a pre-evaluated scan, so the engine is total over the
-//!   whole algebra.
+//! * Every remaining algebra node has a dedicated streaming operator: the
+//!   set operators become [`UnionOp`]/[`DifferenceOp`]/[`IntersectOp`], the
+//!   equijoin and union-join become [`EquiJoinOp`]/[`UnionJoinOp`] (hash
+//!   equijoins on the normalized shared key, the latter with the
+//!   dangling-tuple pass), division becomes [`DivisionOp`] (hash-grouped on
+//!   the quotient attributes), and `Rename` over an arbitrary sub-plan
+//!   becomes [`RenameOp`]. The compiler is **total** over [`Expr`] — the
+//!   seed's tree-walk fallback is gone, so nothing in a pipeline ever
+//!   re-enters `Expr::eval`.
 //!
 //! Every pipeline is rooted in a [`MinimizeOp`] sink, which maintains the
 //! canonical minimal x-relation representation incrementally.
@@ -26,7 +31,10 @@ use nullrel_core::universe::{AttrId, Universe};
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
 
-use crate::op::{BoxedOp, FilterOp, HashJoinOp, MinimizeOp, ProductOp, ProjectOp, ScanOp, StatsSlot};
+use crate::op::{
+    BoxedOp, DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IntersectOp, MinimizeOp,
+    ProductOp, ProjectOp, RenameOp, ScanOp, StatsSlot, UnionJoinOp, UnionOp,
+};
 use crate::optimize::{and_all, base_attr, extra_join_keys, scope_of, split_and};
 use crate::source::ExecSource;
 use crate::stats::{ExecStats, OpStats};
@@ -42,6 +50,15 @@ impl Pipeline {
     /// Runs the pipeline to completion, returning the minimal result
     /// x-relation and the per-operator counters.
     pub fn run(mut self) -> CoreResult<(XRelation, ExecStats)> {
+        // The tree-walk fallback is retired: every algebra node compiles to
+        // a dedicated streaming operator. This assertion guards against a
+        // future code path reintroducing an oracle-evaluated scan.
+        debug_assert!(
+            self.slots
+                .iter()
+                .all(|s| !s.borrow().label.starts_with("EvalScan")),
+            "pipeline contains a tree-walk fallback scan"
+        );
         let tuples = self.root.drain_all()?;
         let stats = ExecStats::snapshot(&self.slots);
         Ok((XRelation::from_antichain(tuples), stats))
@@ -120,15 +137,19 @@ impl<S: ExecSource> Compiler<'_, S> {
         match expr {
             Expr::Literal(rel) => {
                 let slot = self.slot(format!("Scan literal[{} tuples]", rel.len()), depth);
-                slot.borrow_mut().rows_in = rel.len();
-                Ok(Box::new(ScanOp::new(rel.tuples().to_vec(), slot)))
+                // `rows_in` is counted as rows are pulled (no storage access
+                // path examined anything up front).
+                Ok(Box::new(ScanOp::counting(rel.tuples().to_vec(), slot)))
             }
             Expr::Named(name) => self.named_scan(name, None, depth),
             Expr::Rename { input, mapping } => {
                 if let Expr::Named(name) = input.as_ref() {
                     self.named_scan(name, Some(mapping), depth)
                 } else {
-                    self.fallback(expr, depth)
+                    // An arbitrary renamed sub-plan stays pipelined.
+                    let slot = self.slot(format!("Rename ({} attrs)", mapping.len()), depth);
+                    let input = self.build(input, depth + 1)?;
+                    Ok(Box::new(RenameOp::new(input, mapping.clone(), slot)))
                 }
             }
             Expr::Select { input, predicate } => self.build_select(input, predicate, depth),
@@ -187,7 +208,51 @@ impl<S: ExecSource> Compiler<'_, S> {
                     filter_slot,
                 )))
             }
-            other => self.fallback(other, depth),
+            Expr::Union(a, b) => {
+                let slot = self.slot("Union", depth);
+                let left = self.build(a, depth + 1)?;
+                let right = self.build(b, depth + 1)?;
+                Ok(Box::new(UnionOp::new(left, right, slot)))
+            }
+            Expr::Difference(a, b) => {
+                let slot = self.slot("Difference", depth);
+                let left = self.build(a, depth + 1)?;
+                let right = self.build(b, depth + 1)?;
+                Ok(Box::new(DifferenceOp::new(left, right, slot)))
+            }
+            Expr::XIntersect(a, b) => {
+                let slot = self.slot("XIntersect", depth);
+                let left = self.build(a, depth + 1)?;
+                let right = self.build(b, depth + 1)?;
+                Ok(Box::new(IntersectOp::new(left, right, slot)))
+            }
+            Expr::EquiJoin { left, right, on } => {
+                let slot = self.slot(
+                    format!("EquiJoin on [{}]", self.universe.render_attrs(on)),
+                    depth,
+                );
+                let l = self.build(left, depth + 1)?;
+                let r = self.build(right, depth + 1)?;
+                Ok(Box::new(EquiJoinOp::new(l, r, on.clone(), slot)))
+            }
+            Expr::UnionJoin { left, right, on } => {
+                let slot = self.slot(
+                    format!("UnionJoin on [{}]", self.universe.render_attrs(on)),
+                    depth,
+                );
+                let l = self.build(left, depth + 1)?;
+                let r = self.build(right, depth + 1)?;
+                Ok(Box::new(UnionJoinOp::new(l, r, on.clone(), slot)))
+            }
+            Expr::Divide { input, y, divisor } => {
+                let slot = self.slot(
+                    format!("Divide over [{}]", self.universe.render_attrs(y)),
+                    depth,
+                );
+                let input = self.build(input, depth + 1)?;
+                let divisor = self.build(divisor, depth + 1)?;
+                Ok(Box::new(DivisionOp::new(input, divisor, y.clone(), slot)))
+            }
         }
     }
 
@@ -373,33 +438,12 @@ impl<S: ExecSource> Compiler<'_, S> {
         Ok(Box::new(HashJoinOp::new(l, r, lk, rk, slot)))
     }
 
-    /// No streaming implementation: evaluate the subtree with the
-    /// tree-walk oracle and feed the result in as a scan.
-    fn fallback(&mut self, expr: &Expr, depth: usize) -> CoreResult<BoxedOp> {
-        let rel = expr.eval(self.source)?;
-        let slot = self.slot(format!("EvalScan {}[{} tuples]", node_name(expr), rel.len()), depth);
-        slot.borrow_mut().rows_in = rel.len();
-        Ok(Box::new(ScanOp::new(rel.into_tuples(), slot)))
-    }
 }
 
-fn node_name(expr: &Expr) -> &'static str {
-    match expr {
-        Expr::Literal(_) => "Literal",
-        Expr::Named(_) => "Named",
-        Expr::Select { .. } => "Select",
-        Expr::Project { .. } => "Project",
-        Expr::Product(..) => "Product",
-        Expr::ThetaJoin { .. } => "ThetaJoin",
-        Expr::EquiJoin { .. } => "EquiJoin",
-        Expr::UnionJoin { .. } => "UnionJoin",
-        Expr::Divide { .. } => "Divide",
-        Expr::Union(..) => "Union",
-        Expr::XIntersect(..) => "XIntersect",
-        Expr::Difference(..) => "Difference",
-        Expr::Rename { .. } => "Rename",
-    }
-}
+// The seed's `fallback` (tree-walk `Expr::eval` wrapped in a scan) is gone:
+// `build` is exhaustive over `Expr`, which the match above proves at compile
+// time. Debug builds additionally assert that no pipeline ever reports an
+// oracle scan (see `Pipeline::run`).
 
 fn apply_rename(
     rows: Vec<Tuple>,
@@ -601,8 +645,10 @@ mod tests {
         assert_eq!(stats.ni_rows(), 2);
     }
 
+    /// The whole algebra compiles to dedicated streaming operators: no
+    /// `EvalScan` (tree-walk fallback) node appears anywhere.
     #[test]
-    fn fallback_handles_the_rest_of_the_algebra() {
+    fn division_compiles_to_a_streaming_operator() {
         let db = ps_db(false);
         let u = db.universe().clone();
         let s = u.lookup("S#").unwrap();
@@ -614,7 +660,61 @@ mod tests {
         let oracle = expr.eval(&db).unwrap();
         let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
         assert_eq!(got, oracle);
-        assert!(stats.render().contains("EvalScan Divide"));
+        assert!(stats.render().contains("Divide over [S#]"), "{stats}");
+        assert!(!stats.render().contains("EvalScan"), "{stats}");
+    }
+
+    #[test]
+    fn set_operators_and_joins_compile_to_streaming_operators() {
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let s = u.lookup("S#").unwrap();
+        let p = u.lookup("P#").unwrap();
+        let by = |k: &str| {
+            Expr::named("PS")
+                .select(Predicate::attr_const(s, CompareOp::Eq, k))
+                .project(attr_set([p]))
+        };
+        for (expr, label) in [
+            (by("s1").union(by("s2")), "Union"),
+            (by("s1").difference(by("s2")), "Difference"),
+            (by("s1").x_intersect(by("s2")), "XIntersect"),
+            (
+                Expr::named("PS").equijoin(Expr::named("PS"), attr_set([s, p])),
+                "EquiJoin on [S#, P#]",
+            ),
+            (
+                Expr::named("PS").union_join(Expr::named("PS"), attr_set([s])),
+                "UnionJoin on [S#]",
+            ),
+        ] {
+            let oracle = expr.eval(&db).unwrap();
+            let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+            assert_eq!(got, oracle, "{label} disagrees:\n{stats}");
+            assert!(stats.render().contains(label), "{label} missing:\n{stats}");
+            assert!(!stats.render().contains("EvalScan"), "{stats}");
+        }
+    }
+
+    /// Satellite regression: `Rename` over a non-`Named` input stays
+    /// pipelined instead of dropping to the oracle.
+    #[test]
+    fn rename_over_arbitrary_input_compiles_to_rename_op() {
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let mut u2 = u.clone();
+        let s = u2.lookup("S#").unwrap();
+        let p = u2.lookup("P#").unwrap();
+        let q = u2.intern("Q#");
+        let expr = Expr::named("PS")
+            .project(attr_set([p]))
+            .rename([(p, q)].into_iter().collect());
+        let oracle = expr.eval(&db).unwrap();
+        let (got, stats) = compile(&expr, &db, &u2).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(stats.render().contains("Rename (1 attrs)"), "{stats}");
+        assert!(!stats.render().contains("EvalScan"), "{stats}");
+        let _ = s;
     }
 
     #[test]

@@ -12,14 +12,19 @@
 //! The engine has three layers:
 //!
 //! * [`optimize`](optimize()) — a rule-based logical optimizer (selection
-//!   pushdown through products, product + equi-predicate → hash join,
-//!   projection pushdown), all proved under the three-valued `ni`
+//!   pushdown through products and union/difference branches, product +
+//!   equi-predicate → hash join, projection pushdown, dangling-free
+//!   union-join → hash join), all proved under the three-valued `ni`
 //!   semantics;
 //! * [`compile`](compile()) — lowers the optimized plan onto physical
-//!   operators ([`ScanOp`], index scans via [`ExecSource::index_probe`],
-//!   [`FilterOp`], [`HashJoinOp`], [`ProjectOp`]), each of which reports
-//!   [`OpStats`] counters continuing the storage layer's
-//!   [`ScanStats`](nullrel_storage::scan::ScanStats);
+//!   operators, covering the **whole algebra**: [`ScanOp`], index scans via
+//!   [`ExecSource::index_probe`], [`FilterOp`], [`HashJoinOp`],
+//!   [`ProjectOp`], [`RenameOp`], the set operators
+//!   [`UnionOp`]/[`DifferenceOp`]/[`IntersectOp`], the shared-key joins
+//!   [`EquiJoinOp`]/[`UnionJoinOp`], and [`DivisionOp`] — each of which
+//!   reports [`OpStats`] counters continuing the storage layer's
+//!   [`ScanStats`](nullrel_storage::scan::ScanStats). There is no tree-walk
+//!   fallback: every `Expr` node streams;
 //! * [`Pipeline::run`] — pulls tuples through the operator tree into the
 //!   streaming [`MinimizeOp`] sink, which maintains the canonical minimal
 //!   x-relation representation incrementally.
@@ -62,7 +67,10 @@ pub mod source;
 pub mod stats;
 
 pub use compile::{compile, compile_band, Pipeline};
-pub use op::{FilterOp, HashJoinOp, MinimizeOp, ProductOp, ProjectOp, ScanOp};
+pub use op::{
+    DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IntersectOp, MinimizeOp,
+    ProductOp, ProjectOp, RenameOp, ScanOp, UnionJoinOp, UnionOp,
+};
 pub use optimize::{optimize, Optimized};
 pub use source::ExecSource;
 pub use stats::{ExecStats, OpStats};

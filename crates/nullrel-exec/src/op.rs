@@ -7,25 +7,40 @@
 //! TRUE, and rows that fall into the `ni` band are counted, not silently
 //! dropped.
 //!
-//! * [`ScanOp`] — rows from an access path (full scan, index probe, literal,
-//!   or a fallback-evaluated sub-expression).
+//! * [`ScanOp`] — rows from an access path (full scan, index probe, or a
+//!   literal x-relation).
 //! * [`FilterOp`] — three-valued predicate evaluation keeping a requested
 //!   truth band (TRUE for normal queries, `ni` for the MAYBE band).
 //! * [`HashJoinOp`] — equality join: builds a hash table on the right input
 //!   keyed by [`Tuple::key_on`], probes with the left input. Null-keyed rows
 //!   on either side are `ni` under the paper's semantics and never match.
 //! * [`ProductOp`] — Cartesian product for predicate-less range pairs.
+//! * [`RenameOp`] — attribute renaming over an arbitrary sub-plan, with the
+//!   same streamed injectivity check as the relation-level rename.
+//! * [`UnionOp`] — lattice union (4.6): concatenates both inputs; the
+//!   [`MinimizeOp`] sink performs the `⌈…⌉` reduction.
+//! * [`DifferenceOp`] — lattice difference (4.8): filters the left input
+//!   through an inverted-cell subsumption index over the right input.
+//! * [`IntersectOp`] — lattice x-intersection (4.7): pairwise tuple meets of
+//!   the left stream against the materialised right input.
+//! * [`EquiJoinOp`] / [`UnionJoinOp`] — the equijoin `R₁(·X)R₂` and the
+//!   information-preserving union-join `R₁(∗X)R₂` (Section 5): a hash
+//!   equijoin on the normalized `X`-key; the union-join additionally emits
+//!   the dangling (non-participating) tuples of both sides.
+//! * [`DivisionOp`] — the Y-quotient `R̂(÷Y)Ŝ` (Section 6), hash-grouped on
+//!   the quotient attributes with an indexed x-membership check.
 //! * [`MinimizeOp`] — the sink: maintains the canonical minimal x-relation
 //!   representation incrementally (an antichain under the information
 //!   ordering) instead of re-minimising a materialised result.
 
 use std::cell::RefCell;
 use std::collections::hash_map::Entry;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
-use nullrel_core::algebra::TupleStream;
+use nullrel_core::algebra::{equijoin_parts, normalize_on, ChainStream, TupleStream};
 use nullrel_core::error::{CoreError, CoreResult};
+use nullrel_core::lattice::hashed::{minimal, TupleIndex};
 use nullrel_core::predicate::Predicate;
 use nullrel_core::tuple::Tuple;
 use nullrel_core::tvl::Truth;
@@ -43,16 +58,31 @@ pub type BoxedOp = Box<dyn TupleStream>;
 /// Rows from an access path, counted as they stream out.
 pub struct ScanOp {
     rows: std::vec::IntoIter<Tuple>,
+    count_pulls: bool,
     stats: StatsSlot,
 }
 
 impl ScanOp {
     /// A scan over pre-fetched rows. The caller is expected to have folded
     /// the storage-level [`ScanStats`](nullrel_storage::scan::ScanStats)
-    /// into the slot already (see [`OpStats::absorb_scan`]).
+    /// into the slot already (see [`OpStats::absorb_scan`]) — the storage
+    /// layer really did examine those rows to materialise them.
     pub fn new(rows: Vec<Tuple>, stats: StatsSlot) -> Self {
         ScanOp {
             rows: rows.into_iter(),
+            count_pulls: false,
+            stats,
+        }
+    }
+
+    /// A scan over rows with no storage access path behind them (literal
+    /// x-relations embedded in the plan). `rows_in` is counted as rows are
+    /// pulled, so the stats reflect actual work under early-terminating
+    /// consumers instead of a pre-set cardinality.
+    pub fn counting(rows: Vec<Tuple>, stats: StatsSlot) -> Self {
+        ScanOp {
+            rows: rows.into_iter(),
+            count_pulls: true,
             stats,
         }
     }
@@ -62,7 +92,11 @@ impl TupleStream for ScanOp {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         let next = self.rows.next();
         if next.is_some() {
-            self.stats.borrow_mut().rows_out += 1;
+            let mut stats = self.stats.borrow_mut();
+            if self.count_pulls {
+                stats.rows_in += 1;
+            }
+            stats.rows_out += 1;
         }
         Ok(next)
     }
@@ -286,6 +320,403 @@ impl TupleStream for ProductOp {
                 return Ok(Some(joined));
             }
             self.current = None;
+        }
+    }
+}
+
+/// Attribute renaming over an arbitrary sub-plan.
+///
+/// Mirrors the relation-level [`nullrel_core::algebra::rename`]: the
+/// effective mapping must be injective on the streamed scope, so the
+/// operator accumulates every target it has produced and reports a
+/// [`CoreError::RenameCollision`] the moment two distinct source attributes
+/// land on the same target — even when they come from different tuples.
+pub struct RenameOp {
+    input: BoxedOp,
+    mapping: BTreeMap<AttrId, AttrId>,
+    claimed: HashMap<AttrId, AttrId>,
+    stats: StatsSlot,
+}
+
+impl RenameOp {
+    /// A renaming stage applying `mapping` (source → target) to every tuple.
+    pub fn new(input: BoxedOp, mapping: BTreeMap<AttrId, AttrId>, stats: StatsSlot) -> Self {
+        RenameOp {
+            input,
+            mapping,
+            claimed: HashMap::new(),
+            stats,
+        }
+    }
+}
+
+impl TupleStream for RenameOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        let Some(t) = self.input.next_tuple()? else {
+            return Ok(None);
+        };
+        let mut stats = self.stats.borrow_mut();
+        stats.rows_in += 1;
+        for attr in t.defined_attrs() {
+            let target = *self.mapping.get(&attr).unwrap_or(&attr);
+            match self.claimed.entry(target) {
+                Entry::Occupied(e) if *e.get() != attr => {
+                    return Err(CoreError::RenameCollision(target));
+                }
+                Entry::Occupied(_) => {}
+                Entry::Vacant(e) => {
+                    e.insert(attr);
+                }
+            }
+        }
+        stats.rows_out += 1;
+        Ok(Some(t.rename(&self.mapping)))
+    }
+}
+
+/// Lattice union (4.6): every tuple of the left input, then every tuple of
+/// the right input (a counted [`ChainStream`]). The `⌈…⌉` reduction to
+/// minimal form is exactly what the [`MinimizeOp`] sink does, so the
+/// operator itself is a pure pass-through and never materialises anything.
+pub struct UnionOp {
+    inner: ChainStream<BoxedOp, BoxedOp>,
+    stats: StatsSlot,
+}
+
+impl UnionOp {
+    /// A streaming union of two inputs.
+    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+        UnionOp {
+            inner: ChainStream::new(left, right),
+            stats,
+        }
+    }
+}
+
+impl TupleStream for UnionOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        let next = self.inner.next_tuple()?;
+        if next.is_some() {
+            let mut stats = self.stats.borrow_mut();
+            stats.rows_in += 1;
+            stats.rows_out += 1;
+        }
+        Ok(next)
+    }
+}
+
+/// Lattice difference (4.8): keeps the left tuples dominated by no right
+/// tuple. The right input is materialised once into an inverted-cell
+/// [`TupleIndex`], so each left tuple costs one subsumption probe instead of
+/// a scan of the subtrahend. Sound on any input representation: domination
+/// is monotone downward, so a dominated tuple's subsumees are dominated too.
+pub struct DifferenceOp {
+    left: BoxedOp,
+    right: Option<BoxedOp>,
+    index: Option<TupleIndex>,
+    stats: StatsSlot,
+}
+
+impl DifferenceOp {
+    /// A streaming difference `left − right`.
+    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+        DifferenceOp {
+            left,
+            right: Some(right),
+            index: None,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for DifferenceOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let Some(mut right) = self.right.take() {
+            let rows = right.drain_all()?;
+            self.stats.borrow_mut().build_rows += rows.len();
+            self.index = Some(TupleIndex::build(&rows));
+        }
+        let index = self.index.as_ref().expect("built above");
+        while let Some(t) = self.left.next_tuple()? {
+            let mut stats = self.stats.borrow_mut();
+            stats.rows_in += 1;
+            if !index.x_contains(&t) {
+                stats.rows_out += 1;
+                return Ok(Some(t));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Lattice x-intersection (4.7): the pairwise tuple meets `r₁ ∧ r₂`. The
+/// right input is materialised once; each left tuple streams its meets out
+/// (null meets are dropped — they carry no information), and the sink
+/// minimises. Meets are monotone, so any input representation yields the
+/// same x-relation.
+pub struct IntersectOp {
+    left: BoxedOp,
+    right: Option<BoxedOp>,
+    right_rows: Vec<Tuple>,
+    pending: VecDeque<Tuple>,
+    stats: StatsSlot,
+}
+
+impl IntersectOp {
+    /// A streaming x-intersection of two inputs.
+    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+        IntersectOp {
+            left,
+            right: Some(right),
+            right_rows: Vec::new(),
+            pending: VecDeque::new(),
+            stats,
+        }
+    }
+}
+
+impl TupleStream for IntersectOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let Some(mut right) = self.right.take() {
+            self.right_rows = right.drain_all()?;
+            self.stats.borrow_mut().build_rows += self.right_rows.len();
+        }
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                self.stats.borrow_mut().rows_out += 1;
+                return Ok(Some(t));
+            }
+            let Some(t) = self.left.next_tuple()? else {
+                return Ok(None);
+            };
+            self.stats.borrow_mut().rows_in += 1;
+            for r in &self.right_rows {
+                let m = t.meet(r);
+                if !m.is_null_tuple() {
+                    self.pending.push_back(m);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the shared hash-equijoin core over two drained inputs.
+///
+/// Both inputs are reduced to minimal form first: the equijoin (and hence
+/// the union-join) is sensitive to the representation when the operand
+/// scopes overlap beyond `X` — a dominated tuple can be joinable where its
+/// dominator conflicts — and the algebra defines the operators on the
+/// canonical minimal representation.
+fn drained_equijoin(
+    left: &mut BoxedOp,
+    right: &mut BoxedOp,
+    on: &AttrSet,
+    keep_dangling: bool,
+    stats: &StatsSlot,
+) -> CoreResult<VecDeque<Tuple>> {
+    let right_raw = right.drain_all()?;
+    let left_raw = left.drain_all()?;
+    {
+        let mut s = stats.borrow_mut();
+        s.build_rows += right_raw.len();
+        s.rows_in += left_raw.len();
+    }
+    let right_rows = minimal(right_raw);
+    let left_rows = minimal(left_raw);
+    {
+        // Rows without a total X-key can never join for sure: they are the
+        // ni band of the join qualification (the union-join keeps them as
+        // dangling tuples; the equijoin drops them).
+        let mut s = stats.borrow_mut();
+        s.ni_rows += left_rows.iter().filter(|t| !t.is_total_on(on)).count();
+        s.ni_rows += right_rows.iter().filter(|t| !t.is_total_on(on)).count();
+    }
+    let parts = equijoin_parts(&left_rows, &right_rows, on)?;
+    let mut out: VecDeque<Tuple> = parts.joined.into();
+    if keep_dangling {
+        for t in &left_rows {
+            if !parts.left_participants.contains(&normalize_on(t, on)) {
+                out.push_back(t.clone());
+            }
+        }
+        for t in &right_rows {
+            if !parts.right_participants.contains(&normalize_on(t, on)) {
+                out.push_back(t.clone());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The equijoin `R₁(·X)R₂` on a **shared** attribute set: a hash join on
+/// the normalized `X`-key whose operand scopes may overlap beyond `X`
+/// (candidate pairs must additionally be joinable). Compare [`HashJoinOp`],
+/// which joins disjoint scopes on attribute *pairs*.
+pub struct EquiJoinOp {
+    left: Option<BoxedOp>,
+    right: Option<BoxedOp>,
+    on: AttrSet,
+    pending: VecDeque<Tuple>,
+    stats: StatsSlot,
+}
+
+impl EquiJoinOp {
+    /// An equijoin of two inputs on the shared attributes `on`.
+    pub fn new(left: BoxedOp, right: BoxedOp, on: AttrSet, stats: StatsSlot) -> Self {
+        EquiJoinOp {
+            left: Some(left),
+            right: Some(right),
+            on,
+            pending: VecDeque::new(),
+            stats,
+        }
+    }
+}
+
+impl TupleStream for EquiJoinOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let (Some(mut left), Some(mut right)) = (self.left.take(), self.right.take()) {
+            self.pending = drained_equijoin(&mut left, &mut right, &self.on, false, &self.stats)?;
+        }
+        match self.pending.pop_front() {
+            Some(t) => {
+                self.stats.borrow_mut().rows_out += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// The information-preserving union-join `R₁(∗X)R₂` (Section 5): the hash
+/// equijoin on `X` plus a dangling-tuple pass over both sides — every tuple
+/// that found no join partner (including the `X`-incomplete ones, whose
+/// qualification is `ni`) is emitted unchanged, so no information is lost.
+/// The downstream [`MinimizeOp`] sink performs the re-minimisation the
+/// paper warns the union-join needs.
+pub struct UnionJoinOp {
+    left: Option<BoxedOp>,
+    right: Option<BoxedOp>,
+    on: AttrSet,
+    pending: VecDeque<Tuple>,
+    stats: StatsSlot,
+}
+
+impl UnionJoinOp {
+    /// A union-join of two inputs on the shared attributes `on`.
+    pub fn new(left: BoxedOp, right: BoxedOp, on: AttrSet, stats: StatsSlot) -> Self {
+        UnionJoinOp {
+            left: Some(left),
+            right: Some(right),
+            on,
+            pending: VecDeque::new(),
+            stats,
+        }
+    }
+}
+
+impl TupleStream for UnionJoinOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let (Some(mut left), Some(mut right)) = (self.left.take(), self.right.take()) {
+            self.pending = drained_equijoin(&mut left, &mut right, &self.on, true, &self.stats)?;
+        }
+        match self.pending.pop_front() {
+            Some(t) => {
+                self.stats.borrow_mut().rows_out += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// The Y-quotient `R̂(÷Y)Ŝ` (Section 6), computed by the direct
+/// characterisation (6.3)/(6.5): a `Y`-total dividend tuple's `Y`-value `y`
+/// qualifies iff for every divisor tuple `z` the join `y ∨ z` x-belongs to
+/// the dividend.
+///
+/// Candidates are hash-grouped on the quotient attributes (each distinct
+/// `Y`-value is tested once, however many dividend rows carry it), and the
+/// x-membership checks probe one inverted-cell [`TupleIndex`] over the
+/// dividend instead of rescanning it per check. The divisor's scope must be
+/// disjoint from `Y`, exactly as [`nullrel_core::algebra::divide`] demands.
+pub struct DivisionOp {
+    input: Option<BoxedOp>,
+    divisor: Option<BoxedOp>,
+    y: AttrSet,
+    pending: VecDeque<Tuple>,
+    stats: StatsSlot,
+}
+
+impl DivisionOp {
+    /// A division of `input` by `divisor` over the quotient attributes `y`.
+    pub fn new(input: BoxedOp, divisor: BoxedOp, y: AttrSet, stats: StatsSlot) -> Self {
+        DivisionOp {
+            input: Some(input),
+            divisor: Some(divisor),
+            y,
+            pending: VecDeque::new(),
+            stats,
+        }
+    }
+
+    fn run(&mut self, mut input: BoxedOp, mut divisor: BoxedOp) -> CoreResult<()> {
+        let divisor_rows = divisor.drain_all()?;
+        self.stats.borrow_mut().build_rows += divisor_rows.len();
+        let mut divisor_scope = AttrSet::new();
+        for z in &divisor_rows {
+            divisor_scope.extend(z.defined_attrs());
+        }
+        let shared: Vec<AttrId> = self.y.intersection(&divisor_scope).copied().collect();
+        if !shared.is_empty() {
+            return Err(CoreError::ScopeOverlap { shared });
+        }
+        let rows = input.drain_all()?;
+        // Hash-group the Y-total rows on their quotient value.
+        let mut seen: HashSet<Tuple> = HashSet::new();
+        let mut candidates: Vec<Tuple> = Vec::new();
+        {
+            let mut stats = self.stats.borrow_mut();
+            for r in &rows {
+                stats.rows_in += 1;
+                if !r.is_total_on(&self.y) {
+                    // A Y-incomplete row can never witness a quotient value
+                    // for sure: it is the ni band of the division.
+                    stats.ni_rows += 1;
+                    continue;
+                }
+                let y_value = r.project(&self.y);
+                if seen.insert(y_value.clone()) {
+                    candidates.push(y_value);
+                }
+            }
+        }
+        let index = TupleIndex::build(&rows);
+        for y_value in candidates {
+            let qualifies = divisor_rows.iter().all(|z| {
+                y_value
+                    .join(z)
+                    .is_some_and(|joined| index.x_contains(&joined))
+            });
+            if qualifies {
+                self.pending.push_back(y_value);
+            }
+        }
+        Ok(())
+    }
+}
+
+impl TupleStream for DivisionOp {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let (Some(input), Some(divisor)) = (self.input.take(), self.divisor.take()) {
+            self.run(input, divisor)?;
+        }
+        match self.pending.pop_front() {
+            Some(t) => {
+                self.stats.borrow_mut().rows_out += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
         }
     }
 }
@@ -553,5 +984,215 @@ mod tests {
         let mut sink = MinimizeOp::new(Box::new(proj), slot());
         let out = sink.drain_all().unwrap();
         assert_eq!(out.len(), 3, "s1, s2, s3 after duplicate collapse");
+    }
+
+    /// Satellite regression: a counting scan reports only the rows actually
+    /// pulled, so early-terminating consumers leave honest stats behind.
+    #[test]
+    fn counting_scan_reports_pulled_rows_only() {
+        let (_u, s, p) = setup();
+        let stats = slot();
+        let mut scan = ScanOp::counting(ps_rows(s, p), Rc::clone(&stats));
+        scan.next_tuple().unwrap();
+        scan.next_tuple().unwrap();
+        assert_eq!(stats.borrow().rows_in, 2, "only the pulled rows count");
+        assert_eq!(stats.borrow().rows_out, 2);
+        scan.drain_all().unwrap();
+        assert_eq!(stats.borrow().rows_in, 5);
+    }
+
+    #[test]
+    fn rename_op_moves_cells_and_detects_collisions() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        let rows = vec![Tuple::new().with(a, Value::int(1)).with(b, Value::int(2))];
+        let mapping: BTreeMap<AttrId, AttrId> = [(a, c)].into_iter().collect();
+        let mut op = RenameOp::new(Box::new(VecStream::new(rows)), mapping, slot());
+        let out = op.drain_all().unwrap();
+        assert_eq!(out, vec![Tuple::new().with(c, Value::int(1)).with(b, Value::int(2))]);
+
+        // A collision across *different* tuples is still detected, matching
+        // the relation-level rename's scope-wide injectivity check.
+        let rows = vec![
+            Tuple::new().with(a, Value::int(1)),
+            Tuple::new().with(b, Value::int(2)),
+        ];
+        let mapping: BTreeMap<AttrId, AttrId> = [(a, c), (b, c)].into_iter().collect();
+        let mut op = RenameOp::new(Box::new(VecStream::new(rows)), mapping, slot());
+        assert!(matches!(
+            op.drain_all(),
+            Err(CoreError::RenameCollision(t)) if t == c
+        ));
+    }
+
+    #[test]
+    fn union_op_streams_both_inputs() {
+        let (_u, s, p) = setup();
+        let rows = ps_rows(s, p);
+        let stats = slot();
+        let mut op = UnionOp::new(
+            Box::new(VecStream::new(rows[..2].to_vec())),
+            Box::new(VecStream::new(rows[2..].to_vec())),
+            Rc::clone(&stats),
+        );
+        assert_eq!(op.drain_all().unwrap().len(), 5);
+        assert_eq!(stats.borrow().rows_in, 5);
+        assert_eq!(stats.borrow().rows_out, 5);
+    }
+
+    #[test]
+    fn difference_op_drops_dominated_tuples() {
+        let (_u, s, p) = setup();
+        let left = vec![
+            Tuple::new().with(s, Value::str("s1")),
+            Tuple::new().with(s, Value::str("s9")),
+        ];
+        let right = vec![Tuple::new()
+            .with(s, Value::str("s1"))
+            .with(p, Value::str("p1"))];
+        let stats = slot();
+        let mut op = DifferenceOp::new(
+            Box::new(VecStream::new(left)),
+            Box::new(VecStream::new(right)),
+            Rc::clone(&stats),
+        );
+        let out = op.drain_all().unwrap();
+        assert_eq!(out, vec![Tuple::new().with(s, Value::str("s9"))]);
+        assert_eq!(stats.borrow().build_rows, 1);
+        assert_eq!(stats.borrow().rows_in, 2);
+    }
+
+    #[test]
+    fn intersect_op_emits_non_null_meets() {
+        let (_u, s, p) = setup();
+        let left = vec![Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1"))];
+        let right = vec![
+            Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p2")),
+            Tuple::new().with(s, Value::str("s9")), // meet is the null tuple
+        ];
+        let mut op = IntersectOp::new(
+            Box::new(VecStream::new(left)),
+            Box::new(VecStream::new(right)),
+            slot(),
+        );
+        let out = op.drain_all().unwrap();
+        assert_eq!(out, vec![Tuple::new().with(s, Value::str("s1"))]);
+    }
+
+    #[test]
+    fn equi_join_op_matches_oracle_equijoin() {
+        let mut u = Universe::new();
+        let k = u.intern("K");
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left = vec![
+            Tuple::new().with(k, Value::int(1)).with(a, Value::int(10)),
+            Tuple::new().with(a, Value::int(20)), // K is ni: never joins
+        ];
+        let right = vec![Tuple::new().with(k, Value::int(1)).with(b, Value::int(30))];
+        let stats = slot();
+        let mut op = EquiJoinOp::new(
+            Box::new(VecStream::new(left.clone())),
+            Box::new(VecStream::new(right.clone())),
+            attr_set([k]),
+            Rc::clone(&stats),
+        );
+        let out = XRelation::from_tuples(op.drain_all().unwrap());
+        let oracle = nullrel_core::algebra::equijoin(
+            &XRelation::from_tuples(left),
+            &XRelation::from_tuples(right),
+            &attr_set([k]),
+        )
+        .unwrap();
+        assert_eq!(out, oracle);
+        assert_eq!(stats.borrow().ni_rows, 1, "the keyless left row is ni");
+    }
+
+    #[test]
+    fn union_join_op_keeps_dangling_tuples() {
+        let mut u = Universe::new();
+        let k = u.intern("K");
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left = vec![
+            Tuple::new().with(k, Value::int(1)).with(a, Value::int(10)),
+            Tuple::new().with(k, Value::int(2)).with(a, Value::int(20)), // dangles
+        ];
+        let right = vec![
+            Tuple::new().with(k, Value::int(1)).with(b, Value::int(30)),
+            Tuple::new().with(b, Value::int(40)), // K is ni: dangles
+        ];
+        let mut op = UnionJoinOp::new(
+            Box::new(VecStream::new(left.clone())),
+            Box::new(VecStream::new(right.clone())),
+            attr_set([k]),
+            slot(),
+        );
+        let out = XRelation::from_tuples(op.drain_all().unwrap());
+        let oracle = nullrel_core::algebra::union_join(
+            &XRelation::from_tuples(left),
+            &XRelation::from_tuples(right),
+            &attr_set([k]),
+        )
+        .unwrap();
+        assert_eq!(out, oracle);
+        assert_eq!(out.len(), 3, "join + two dangling tuples");
+    }
+
+    #[test]
+    fn division_op_matches_oracle_divide() {
+        let (_u, s, p) = setup();
+        let rows = ps_rows(s, p);
+        let divisor = vec![Tuple::new().with(p, Value::str("p1"))];
+        let stats = slot();
+        let mut op = DivisionOp::new(
+            Box::new(VecStream::new(rows.clone())),
+            Box::new(VecStream::new(divisor.clone())),
+            attr_set([s]),
+            Rc::clone(&stats),
+        );
+        let out = XRelation::from_tuples(op.drain_all().unwrap());
+        let oracle = nullrel_core::algebra::divide(
+            &XRelation::from_tuples(rows),
+            &attr_set([s]),
+            &XRelation::from_tuples(divisor),
+        )
+        .unwrap();
+        assert_eq!(out, oracle);
+        assert_eq!(stats.borrow().build_rows, 1);
+    }
+
+    #[test]
+    fn division_op_rejects_overlapping_scopes_and_handles_empty_divisor() {
+        let (_u, s, p) = setup();
+        let rows = ps_rows(s, p);
+        let mut op = DivisionOp::new(
+            Box::new(VecStream::new(rows.clone())),
+            Box::new(VecStream::new(vec![Tuple::new().with(s, Value::str("s1"))])),
+            attr_set([s]),
+            slot(),
+        );
+        assert!(matches!(
+            op.drain_all(),
+            Err(CoreError::ScopeOverlap { .. })
+        ));
+
+        // Empty divisor: every Y-total candidate qualifies vacuously.
+        let mut op = DivisionOp::new(
+            Box::new(VecStream::new(rows.clone())),
+            Box::new(VecStream::new(Vec::new())),
+            attr_set([s]),
+            slot(),
+        );
+        let out = XRelation::from_tuples(op.drain_all().unwrap());
+        let oracle = nullrel_core::algebra::divide(
+            &XRelation::from_tuples(rows),
+            &attr_set([s]),
+            &XRelation::empty(),
+        )
+        .unwrap();
+        assert_eq!(out, oracle);
     }
 }

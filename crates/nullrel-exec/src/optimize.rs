@@ -1,6 +1,6 @@
 //! The rule-based logical optimizer.
 //!
-//! Three rewrite passes over [`Expr`], applied in order:
+//! Four rewrite passes over [`Expr`], applied in order:
 //!
 //! 1. **Projection pushdown** — insert projections below Cartesian products
 //!    so join inputs carry only the attributes the rest of the plan needs.
@@ -12,22 +12,34 @@
 //!    push each into the deepest input whose scope covers its attributes.
 //!    Sound under the three-valued semantics because a conjunct that is
 //!    FALSE or `ni` on one factor makes the whole conjunction non-TRUE on
-//!    every product pair built from it.
+//!    every product pair built from it. Selections also push **through
+//!    union and difference branches**: the TRUE band of a predicate is
+//!    monotone in the information ordering (adding cells can never turn
+//!    TRUE into FALSE or `ni`), so `σ(A ∪ B) = σ(A) ∪ σ(B)` holds on any
+//!    representation, and `σ(A − B) = σ(A) − B` pushes into the minuend
+//!    (never the subtrahend, which only *removes* tuples by domination).
 //! 3. **Product → equi-join** — a product under a selection containing an
 //!    `A = B` conjunct with `A` from the left scope and `B` from the right
 //!    becomes a θ-join on equality, which the compiler executes as a hash
 //!    join instead of a quadratic product.
+//! 4. **Union-join → hash-join** — a union-join whose literal operands are
+//!    provably dangling-free (both sides total on the join key, scopes
+//!    overlapping only inside it, and the two normalized key sets equal)
+//!    degenerates to the plain equijoin, dropping the dangling-tuple pass.
 //!
 //! All passes need *exact* scope information to route predicates; scopes
 //! are computed from literals and from [`ExecSource::relation_scope`], and
 //! any node whose scope is unknown simply disables the rewrites above it.
 
 use std::collections::BTreeMap;
+use std::collections::HashSet;
 
-use nullrel_core::algebra::Expr;
+use nullrel_core::algebra::{normalize_on, Expr};
 use nullrel_core::predicate::{Operand, Predicate};
+use nullrel_core::tuple::Tuple;
 use nullrel_core::tvl::{CompareOp, Truth};
 use nullrel_core::universe::{AttrId, AttrSet};
+use nullrel_core::xrel::XRelation;
 
 use crate::source::ExecSource;
 
@@ -47,6 +59,7 @@ pub fn optimize<S: ExecSource>(expr: &Expr, source: &S) -> Optimized {
     let expr = push_projections(expr.clone(), None, source, &mut applied);
     let expr = push_selections(expr, source, &mut applied);
     let expr = products_to_joins(expr, source, &mut applied);
+    let expr = union_joins_to_equijoins(expr, &mut applied);
     Optimized { expr, applied }
 }
 
@@ -309,6 +322,29 @@ fn distribute<S: ExecSource>(
             }
             wrap(Expr::Product(a, b), conjuncts)
         }
+        // σ distributes over the lattice union: the TRUE band is monotone
+        // in the information ordering, so filtering each branch's
+        // representation keeps exactly the tuples the filtered union keeps.
+        Expr::Union(a, b) => {
+            log.push(format!(
+                "selection-pushdown: pushed {} conjunct(s) into both union branches",
+                conjuncts.len()
+            ));
+            let a = distribute(*a, conjuncts.clone(), source, log);
+            let b = distribute(*b, conjuncts, source, log);
+            Expr::Union(Box::new(a), Box::new(b))
+        }
+        // σ(A − B) = σ(A) − B: the subtrahend only removes tuples by
+        // domination, so filtering the minuend first commutes. The
+        // subtrahend must stay unfiltered.
+        Expr::Difference(a, b) => {
+            log.push(format!(
+                "selection-pushdown: pushed {} conjunct(s) into the difference minuend",
+                conjuncts.len()
+            ));
+            let a = distribute(*a, conjuncts, source, log);
+            Expr::Difference(Box::new(a), b)
+        }
         Expr::Project {
             input: inner,
             attrs,
@@ -400,6 +436,61 @@ fn products_to_joins<S: ExecSource>(expr: Expr, source: &S, log: &mut Vec<String
         input: Box::new(Expr::Product(a, b)),
         predicate,
     }
+}
+
+// ---------------------------------------------------------------------
+// Pass 4: union-join → hash-join
+// ---------------------------------------------------------------------
+
+/// The normalized `X`-key set of a literal operand, provided every tuple is
+/// `X`-total (`None` otherwise — a key-incomplete tuple always dangles).
+fn total_key_set(rel: &XRelation, on: &AttrSet) -> Option<HashSet<Tuple>> {
+    let mut keys = HashSet::with_capacity(rel.len());
+    for t in rel.tuples() {
+        if !t.is_total_on(on) {
+            return None;
+        }
+        keys.insert(normalize_on(t, on).project(on));
+    }
+    Some(keys)
+}
+
+/// True when a union-join over these literal operands is provably
+/// dangling-free, i.e. equal to the plain equijoin: both sides total on the
+/// join key, scopes overlapping only inside it (so a key match implies
+/// joinability), and the normalized key sets equal (so every tuple finds a
+/// partner).
+fn union_join_is_dangling_free(left: &XRelation, right: &XRelation, on: &AttrSet) -> bool {
+    if on.is_empty() {
+        return false;
+    }
+    let mut shared = left.scope();
+    shared.retain(|a| right.scope().contains(a));
+    if !shared.is_subset(on) {
+        return false;
+    }
+    match (total_key_set(left, on), total_key_set(right, on)) {
+        (Some(lk), Some(rk)) => lk == rk,
+        _ => false,
+    }
+}
+
+fn union_joins_to_equijoins(expr: Expr, log: &mut Vec<String>) -> Expr {
+    let expr = map_children(expr, &mut |c| union_joins_to_equijoins(c, log));
+    let Expr::UnionJoin { left, right, on } = expr else {
+        return expr;
+    };
+    if let (Expr::Literal(l), Expr::Literal(r)) = (left.as_ref(), right.as_ref()) {
+        if union_join_is_dangling_free(l, r, &on) {
+            log.push(
+                "union-join-to-hash-join: both sides total and key-matched on the join \
+                 attributes; the dangling-tuple pass is dropped"
+                    .to_owned(),
+            );
+            return Expr::EquiJoin { left, right, on };
+        }
+    }
+    Expr::UnionJoin { left, right, on }
 }
 
 /// Extracts further `A = B` conjuncts joining the two sides of a θ-join —
@@ -554,6 +645,123 @@ mod tests {
         let opt = optimize(&plan, &NoSource);
         assert!(opt.applied.is_empty());
         assert_eq!(opt.expr, plan);
+    }
+
+    #[test]
+    fn selection_pushes_through_union_branches() {
+        let (u, a_s, _a_p, _b_s, _b_p, left, right_unused) = fixtures();
+        let _ = right_unused;
+        // Union of two literal branches over the same scope.
+        let other = XRelation::from_tuples([
+            Tuple::new().with(a_s, Value::str("s1")),
+            Tuple::new().with(a_s, Value::str("s9")),
+        ]);
+        let plan = Expr::literal(left)
+            .union(Expr::literal(other))
+            .select(Predicate::attr_const(a_s, CompareOp::Eq, "s1"));
+        let opt = optimize(&plan, &NoSource);
+        assert!(
+            opt.applied
+                .iter()
+                .any(|r| r.contains("both union branches")),
+            "{:?}",
+            opt.applied
+        );
+        // The Select nodes now sit below the Union.
+        let text = opt.expr.explain(&u);
+        let union_line = text.lines().position(|l| l.contains("Union")).unwrap();
+        let select_line = text.lines().position(|l| l.contains("Select")).unwrap();
+        assert!(select_line > union_line, "pushed below the union:\n{text}");
+        assert_eq!(
+            opt.expr.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+    }
+
+    #[test]
+    fn selection_pushes_into_difference_minuend_only() {
+        let (u, a_s, a_p, ..) = fixtures();
+        let minuend = XRelation::from_tuples([
+            Tuple::new().with(a_s, Value::str("s1")).with(a_p, Value::str("p1")),
+            Tuple::new().with(a_s, Value::str("s2")).with(a_p, Value::str("p2")),
+        ]);
+        let subtrahend = XRelation::from_tuples([Tuple::new()
+            .with(a_s, Value::str("s2"))
+            .with(a_p, Value::str("p2"))]);
+        let plan = Expr::literal(minuend)
+            .difference(Expr::literal(subtrahend))
+            .select(Predicate::attr_const(a_s, CompareOp::Eq, "s1"));
+        let opt = optimize(&plan, &NoSource);
+        assert!(
+            opt.applied
+                .iter()
+                .any(|r| r.contains("difference minuend")),
+            "{:?}",
+            opt.applied
+        );
+        let text = opt.expr.explain(&u);
+        // Exactly one Select remains (the minuend's); the subtrahend branch
+        // stays unfiltered.
+        assert_eq!(text.matches("Select").count(), 1, "{text}");
+        assert_eq!(
+            opt.expr.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+    }
+
+    #[test]
+    fn dangling_free_union_join_becomes_an_equijoin() {
+        let mut u = Universe::new();
+        let k = u.intern("K");
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left = XRelation::from_tuples([
+            Tuple::new().with(k, Value::int(1)).with(a, Value::int(10)),
+            Tuple::new().with(k, Value::int(2)).with(a, Value::int(20)),
+        ]);
+        // Same key set, Float representation: the normalized key sets match.
+        let right = XRelation::from_tuples([
+            Tuple::new().with(k, Value::float(1.0)).with(b, Value::int(30)),
+            Tuple::new().with(k, Value::int(2)).with(b, Value::int(40)),
+        ]);
+        let plan = Expr::literal(left.clone()).union_join(Expr::literal(right.clone()), attr_set([k]));
+        let opt = optimize(&plan, &NoSource);
+        assert!(
+            opt.applied
+                .iter()
+                .any(|r| r.starts_with("union-join-to-hash-join")),
+            "{:?}",
+            opt.applied
+        );
+        assert!(matches!(opt.expr, Expr::EquiJoin { .. }));
+        assert_eq!(
+            opt.expr.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap(),
+            "the rewrite preserves the union-join result"
+        );
+
+        // A key present on one side only ⇒ dangling tuples ⇒ no rewrite.
+        let dangling = Expr::literal(left.clone()).union_join(
+            Expr::literal(XRelation::from_tuples([Tuple::new()
+                .with(k, Value::int(1))
+                .with(b, Value::int(30))])),
+            attr_set([k]),
+        );
+        let opt2 = optimize(&dangling, &NoSource);
+        assert!(matches!(opt2.expr, Expr::UnionJoin { .. }));
+
+        // A key-incomplete tuple ⇒ it always dangles ⇒ no rewrite.
+        let partial = Expr::literal(left).union_join(
+            Expr::literal(XRelation::from_tuples([
+                Tuple::new().with(k, Value::int(1)).with(b, Value::int(30)),
+                Tuple::new().with(k, Value::int(2)).with(b, Value::int(40)),
+                Tuple::new().with(b, Value::int(50)),
+            ])),
+            attr_set([k]),
+        );
+        let opt3 = optimize(&partial, &NoSource);
+        assert!(matches!(opt3.expr, Expr::UnionJoin { .. }));
+        let _ = right;
     }
 
     #[test]

@@ -94,7 +94,23 @@ impl ExecStats {
 
     /// True if the plan executed a hash join.
     pub fn used_hash_join(&self) -> bool {
-        self.ops.iter().any(|o| o.label.starts_with("HashJoin"))
+        self.used_op("HashJoin")
+    }
+
+    /// True if the plan executed an operator whose label starts with the
+    /// given prefix (`"Union"`, `"Divide"`, `"EquiJoin"`, …).
+    pub fn used_op(&self, prefix: &str) -> bool {
+        self.ops.iter().any(|o| o.label.starts_with(prefix))
+    }
+
+    /// True if the plan executed a union-join.
+    pub fn used_union_join(&self) -> bool {
+        self.used_op("UnionJoin")
+    }
+
+    /// True if the plan executed a division.
+    pub fn used_division(&self) -> bool {
+        self.used_op("Divide")
     }
 
     /// Renders the executed physical plan with counters, one operator per

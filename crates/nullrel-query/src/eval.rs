@@ -7,13 +7,17 @@
 //! what makes the evaluation a single pass needing no tautology analysis.
 //!
 //! Evaluation runs through the `nullrel-exec` engine: the logical plan is
-//! optimized (selection/projection pushdown, product → hash join), compiled
-//! onto physical operators with catalog access paths, and executed as a
-//! pipeline. The per-operator counters — the engine-level continuation of
+//! optimized (selection/projection pushdown — including through
+//! union/difference branches — product → hash join, dangling-free
+//! union-join → hash join), compiled onto physical operators with catalog
+//! access paths, and executed as a pipeline. The engine covers the whole
+//! algebra natively — set operators, division, and the union-join stream
+//! through dedicated operators rather than escaping to a tree-walk
+//! fallback. The per-operator counters — the engine-level continuation of
 //! [`nullrel_storage::scan::ScanStats`] — are returned on
 //! [`QueryOutput::stats`]. The original tree-walk evaluation survives as
 //! [`execute_resolved_naive`], the correctness oracle of the differential
-//! tests and benchmarks.
+//! tests and benchmarks (and nothing else: the engine never calls it).
 
 use nullrel_core::algebra::NoSource;
 use nullrel_core::tuple::Tuple;

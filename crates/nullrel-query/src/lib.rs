@@ -38,7 +38,7 @@ pub use error::{QueryError, QueryResult};
 pub use eval::{
     execute, execute_maybe, execute_query, execute_resolved, execute_resolved_naive, QueryOutput,
 };
-pub use plan::explain_physical;
+pub use plan::{explain_physical, explain_physical_expr};
 pub use interp::{execute_unknown, execute_unknown_query, Certainty, UnknownOutput, UnknownStats};
 pub use parser::parse;
 pub use tautology::{decide, decide_with_assumptions, Decision, Formula, Operand};

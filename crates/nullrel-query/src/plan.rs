@@ -16,7 +16,7 @@
 
 use nullrel_core::algebra::Expr;
 use nullrel_core::predicate::Predicate;
-use nullrel_core::universe::AttrSet;
+use nullrel_core::universe::{AttrSet, Universe};
 use nullrel_storage::Database;
 
 use crate::analyze::ResolvedQuery;
@@ -73,12 +73,25 @@ pub fn explain_physical(db: &Database, text: &str) -> QueryResult<String> {
     let query = parse(text)?;
     let resolved = crate::analyze::resolve_lazy(db, &query)?;
     let logical = plan_access(&resolved);
-    let optimized = nullrel_exec::optimize(&logical, db);
-    let pipeline = nullrel_exec::compile(&optimized.expr, db, &resolved.universe)?;
+    explain_physical_expr(db, &logical, &resolved.universe)
+}
+
+/// The full `--explain` report for an arbitrary algebra [`Expr`] evaluated
+/// against the database's catalog. QUEL covers only
+/// select/project/join plans, so set operators, division, and the
+/// union-join — which the engine now streams natively — are explained
+/// through this entry point.
+pub fn explain_physical_expr(
+    db: &Database,
+    expr: &Expr,
+    universe: &Universe,
+) -> QueryResult<String> {
+    let optimized = nullrel_exec::optimize(expr, db);
+    let pipeline = nullrel_exec::compile(&optimized.expr, db, universe)?;
     let (_, stats) = pipeline.run()?;
     let mut out = String::new();
     out.push_str("logical:\n");
-    out.push_str(&logical.explain(&resolved.universe));
+    out.push_str(&expr.explain(universe));
     if !optimized.applied.is_empty() {
         out.push_str("rules:\n");
         for rule in &optimized.applied {
@@ -132,6 +145,40 @@ mod tests {
         // the scans are literals.
         let result = plan(&resolved).eval(&NoSource).unwrap();
         assert!(result.len() >= 2);
+    }
+
+    /// Acceptance: queries over the full algebra explain to dedicated
+    /// streaming operators — no fallback/oracle-scan node appears.
+    #[test]
+    fn explain_physical_expr_shows_streaming_set_operators() {
+        use nullrel_core::predicate::Predicate;
+        use nullrel_core::tvl::CompareOp;
+        use nullrel_core::universe::attr_set;
+
+        let db = ps_db();
+        let u = db.universe().clone();
+        let s = u.lookup("S#").unwrap();
+        let p = u.lookup("P#").unwrap();
+        let by = |k: &str| {
+            Expr::named("PS")
+                .select(Predicate::attr_const(s, CompareOp::Eq, k))
+                .project(attr_set([p]))
+        };
+        let division = Expr::named("PS").divide(attr_set([s]), by("s2"));
+        let report = explain_physical_expr(&db, &division, &u).unwrap();
+        assert!(report.contains("Divide over [S#]"), "{report}");
+        assert!(!report.contains("EvalScan"), "{report}");
+
+        let setops = by("s1").difference(by("s2")).union(by("s3"));
+        let report = explain_physical_expr(&db, &setops, &u).unwrap();
+        assert!(report.contains("Union"), "{report}");
+        assert!(report.contains("Difference"), "{report}");
+        assert!(!report.contains("EvalScan"), "{report}");
+
+        let uj = Expr::named("PS").union_join(Expr::named("PS"), attr_set([s]));
+        let report = explain_physical_expr(&db, &uj, &u).unwrap();
+        assert!(report.contains("UnionJoin on [S#]"), "{report}");
+        assert!(!report.contains("EvalScan"), "{report}");
     }
 
     #[test]
