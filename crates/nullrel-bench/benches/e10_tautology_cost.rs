@@ -46,8 +46,9 @@ fn bench_e10(c: &mut Criterion) {
     let attrs: Vec<_> = (0..6).map(|i| universe.intern(&format!("x{i}"))).collect();
     let mut predicate: Option<Predicate> = None;
     for (i, attr) in attrs.iter().enumerate() {
-        let pair = Predicate::attr_const(*attr, CompareOp::Gt, 1_000 + i as i64)
-            .or(Predicate::attr_const(*attr, CompareOp::Le, 1_000 + i as i64));
+        let pair = Predicate::attr_const(*attr, CompareOp::Gt, 1_000 + i as i64).or(
+            Predicate::attr_const(*attr, CompareOp::Le, 1_000 + i as i64),
+        );
         predicate = Some(match predicate {
             None => pair,
             Some(prev) => prev.and(pair),

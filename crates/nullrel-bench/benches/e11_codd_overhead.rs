@@ -35,12 +35,18 @@ fn bench_e11(c: &mut Criterion) {
         // Codd-relation (total) side.
         let mut codd_a = TotalRelation::new(attrs.iter().copied());
         for row in &rows_a {
-            let values: Vec<_> = attrs.iter().map(|a| row.get(*a).cloned().unwrap()).collect();
+            let values: Vec<_> = attrs
+                .iter()
+                .map(|a| row.get(*a).cloned().unwrap())
+                .collect();
             codd_a.insert(values).unwrap();
         }
         let mut codd_b = TotalRelation::new(attrs.iter().copied());
         for row in &rows_b {
-            let values: Vec<_> = attrs.iter().map(|a| row.get(*a).cloned().unwrap()).collect();
+            let values: Vec<_> = attrs
+                .iter()
+                .map(|a| row.get(*a).cloned().unwrap())
+                .collect();
             codd_b.insert(values).unwrap();
         }
 
@@ -67,12 +73,16 @@ fn bench_e11(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("xrel_union", &label), &label, |b, _| {
             b.iter(|| lattice::union(black_box(&x_a), &x_b))
         });
-        group.bench_with_input(BenchmarkId::new("codd_difference", &label), &label, |b, _| {
-            b.iter(|| codd_a.difference(black_box(&codd_b)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("xrel_difference", &label), &label, |b, _| {
-            b.iter(|| lattice::difference(black_box(&x_a), &x_b))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("codd_difference", &label),
+            &label,
+            |b, _| b.iter(|| codd_a.difference(black_box(&codd_b)).unwrap()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("xrel_difference", &label),
+            &label,
+            |b, _| b.iter(|| lattice::difference(black_box(&x_a), &x_b)),
+        );
     }
     group.finish();
 }

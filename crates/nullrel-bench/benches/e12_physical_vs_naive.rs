@@ -103,9 +103,11 @@ fn bench_e12(c: &mut Criterion) {
         .expect("indexable");
     let indexed = execute(&db, point).expect("evaluates");
     assert!(indexed.stats.used_index());
-    group.bench_with_input(BenchmarkId::new("point_query_index", 1_000), &db, |b, db| {
-        b.iter(|| execute(black_box(db), point).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("point_query_index", 1_000),
+        &db,
+        |b, db| b.iter(|| execute(black_box(db), point).unwrap()),
+    );
     group.finish();
 }
 

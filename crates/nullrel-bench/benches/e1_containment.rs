@@ -50,8 +50,13 @@ fn bench_e1(c: &mut Criterion) {
     });
     group.bench_function("codd_self_equality", |b| {
         b.iter(|| {
-            substitution::equals(black_box(&ps_prime), black_box(&ps_prime), &universe, 100_000)
-                .unwrap()
+            substitution::equals(
+                black_box(&ps_prime),
+                black_box(&ps_prime),
+                &universe,
+                100_000,
+            )
+            .unwrap()
         })
     });
     group.bench_function("xrelation_self_equality", |b| {

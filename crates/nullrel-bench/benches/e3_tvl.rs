@@ -17,8 +17,18 @@ fn bench_e3(c: &mut Criterion) {
     let t = Truth::True;
     let f = Truth::False;
     let n = Truth::Ni;
-    println!("E3 / Table III AND row for ni: {} {} {}", n.and(t), n.and(f), n.and(n));
-    println!("E3 / Table III OR  row for ni: {} {} {}", n.or(t), n.or(f), n.or(n));
+    println!(
+        "E3 / Table III AND row for ni: {} {} {}",
+        n.and(t),
+        n.and(f),
+        n.and(n)
+    );
+    println!(
+        "E3 / Table III OR  row for ni: {} {} {}",
+        n.or(t),
+        n.or(f),
+        n.or(n)
+    );
     println!("E3 / Table III NOT ni: {}", n.not());
 
     let mut group = c.benchmark_group("e3_predicate_evaluation");

@@ -36,12 +36,16 @@ fn bench_e9(c: &mut Criterion) {
             let b_rel = random_relation(&mut universe, &spec_b);
             let label = format!("n={tuples},null={density}");
 
-            group.bench_with_input(BenchmarkId::new("union_naive", &label), &label, |bench, _| {
-                bench.iter(|| naive::union(black_box(&a), black_box(&b_rel)))
-            });
-            group.bench_with_input(BenchmarkId::new("union_hashed", &label), &label, |bench, _| {
-                bench.iter(|| hashed::union(black_box(&a), black_box(&b_rel)))
-            });
+            group.bench_with_input(
+                BenchmarkId::new("union_naive", &label),
+                &label,
+                |bench, _| bench.iter(|| naive::union(black_box(&a), black_box(&b_rel))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("union_hashed", &label),
+                &label,
+                |bench, _| bench.iter(|| hashed::union(black_box(&a), black_box(&b_rel))),
+            );
             group.bench_with_input(
                 BenchmarkId::new("difference_naive", &label),
                 &label,
@@ -61,11 +65,12 @@ fn bench_e9(c: &mut Criterion) {
                 BenchmarkId::new("union_engine", &label),
                 &label,
                 |bench, _| {
-                    bench.iter(|| execute_expr(black_box(&union_plan), &NoSource, &universe).unwrap())
+                    bench.iter(|| {
+                        execute_expr(black_box(&union_plan), &NoSource, &universe).unwrap()
+                    })
                 },
             );
-            let difference_plan =
-                Expr::literal(a.clone()).difference(Expr::literal(b_rel.clone()));
+            let difference_plan = Expr::literal(a.clone()).difference(Expr::literal(b_rel.clone()));
             let (engine_difference, _) =
                 execute_expr(&difference_plan, &NoSource, &universe).unwrap();
             assert_eq!(engine_difference, hashed::difference(&a, &b_rel));
@@ -96,12 +101,7 @@ fn bench_e9(c: &mut Criterion) {
                     },
                 );
             }
-            let concatenated: Vec<_> = a
-                .tuples()
-                .iter()
-                .chain(b_rel.tuples())
-                .cloned()
-                .collect();
+            let concatenated: Vec<_> = a.tuples().iter().chain(b_rel.tuples()).cloned().collect();
             group.bench_with_input(
                 BenchmarkId::new("minimize_naive", &label),
                 &label,

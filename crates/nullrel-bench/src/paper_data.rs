@@ -29,10 +29,7 @@ pub fn ps_relations() -> (Universe, Relation, Relation) {
     universe
         .set_domain(
             s_no,
-            nullrel_core::universe::Domain::Enumerated(vec![
-                Value::str("s1"),
-                Value::str("s2"),
-            ]),
+            nullrel_core::universe::Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]),
         )
         .expect("attribute exists");
     (universe, ps_prime, ps_double)

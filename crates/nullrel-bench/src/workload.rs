@@ -108,8 +108,11 @@ pub fn tautology_formula(pairs: usize) -> Formula {
     for i in 0..pairs.max(1) {
         let var = || Operand::Var(format!("x{i}"));
         let constant = Operand::Const(Value::int(1_000 + i as i64));
-        let pair = Formula::cmp(var(), CompareOp::Gt, constant.clone())
-            .or(Formula::cmp(var(), CompareOp::Le, constant));
+        let pair = Formula::cmp(var(), CompareOp::Gt, constant.clone()).or(Formula::cmp(
+            var(),
+            CompareOp::Le,
+            constant,
+        ));
         formula = Some(match formula {
             None => pair,
             Some(prev) => prev.and(pair),
@@ -131,7 +134,10 @@ mod tests {
             tuples: 50,
             ..WorkloadSpec::default()
         };
-        assert_eq!(random_relation(&mut u1, &spec), random_relation(&mut u2, &spec));
+        assert_eq!(
+            random_relation(&mut u1, &spec),
+            random_relation(&mut u2, &spec)
+        );
     }
 
     #[test]

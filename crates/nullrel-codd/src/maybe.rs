@@ -225,7 +225,9 @@ mod tests {
         let maybe = select_maybe(&rel, &pred).unwrap();
         assert_eq!(maybe.len(), 3, "the three null-P# tuples might be p1");
         // s4's tuple is in neither.
-        let s4 = Tuple::new().with(s, Value::str("s4")).with(p, Value::str("p4"));
+        let s4 = Tuple::new()
+            .with(s, Value::str("s4"))
+            .with(p, Value::str("p4"));
         assert!(!sure.contains(&s4) && !maybe.contains(&s4));
     }
 
@@ -242,8 +244,7 @@ mod tests {
         assert!(p_s2.contains(&Tuple::new()));
         // The MAYBE version of the selection returns nothing here (S# is
         // never null in PS), matching the paper's remark.
-        let maybe_sel =
-            select_maybe(&rel, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap();
+        let maybe_sel = select_maybe(&rel, &Predicate::attr_const(s, CompareOp::Eq, "s2")).unwrap();
         assert!(maybe_sel.is_empty());
     }
 
@@ -295,14 +296,21 @@ mod tests {
         let attrs = attr_set([p]);
         let z_p1 = Tuple::new().with(p, Value::str("p1"));
         let z_null = Tuple::new();
-        let r_p1 = Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1"));
-        let r_p2 = Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p2"));
+        let r_p1 = Tuple::new()
+            .with(s, Value::str("s1"))
+            .with(p, Value::str("p1"));
+        let r_p2 = Tuple::new()
+            .with(s, Value::str("s1"))
+            .with(p, Value::str("p2"));
         let r_null = Tuple::new().with(s, Value::str("s3"));
         assert_eq!(tuple_matches(&r_p1, &z_p1, &attrs).unwrap(), Truth::True);
         assert_eq!(tuple_matches(&r_p2, &z_p1, &attrs).unwrap(), Truth::False);
         assert_eq!(tuple_matches(&r_null, &z_p1, &attrs).unwrap(), Truth::Ni);
         assert_eq!(tuple_matches(&r_p1, &z_null, &attrs).unwrap(), Truth::Ni);
-        assert_eq!(tuple_matches(&r_p1, &z_p1, &AttrSet::new()).unwrap(), Truth::True);
+        assert_eq!(
+            tuple_matches(&r_p1, &z_p1, &AttrSet::new()).unwrap(),
+            Truth::True
+        );
     }
 
     #[test]
@@ -312,7 +320,9 @@ mod tests {
         let loc = Relation::with_tuples(
             [p, city],
             [
-                Tuple::new().with(p, Value::str("p1")).with(city, Value::str("NYC")),
+                Tuple::new()
+                    .with(p, Value::str("p1"))
+                    .with(city, Value::str("NYC")),
                 Tuple::new().with(city, Value::str("LA")), // null P#
             ],
         )
@@ -343,11 +353,8 @@ mod tests {
         let s = u.intern("S#");
         let p = u.intern("P#");
         let t = |sv: &str, pv: &str| Tuple::new().with(s, Value::str(sv)).with(p, Value::str(pv));
-        let rel = Relation::with_tuples(
-            [s, p],
-            [t("s1", "p1"), t("s1", "p2"), t("s2", "p1")],
-        )
-        .unwrap();
+        let rel =
+            Relation::with_tuples([s, p], [t("s1", "p1"), t("s1", "p2"), t("s2", "p1")]).unwrap();
         let divisor = Relation::with_tuples(
             [p],
             [

@@ -322,11 +322,7 @@ mod tests {
         let mut u = Universe::new();
         let p = u.intern_with_domain(
             "P#",
-            Domain::Enumerated(vec![
-                Value::str("p1"),
-                Value::str("p2"),
-                Value::str("p3"),
-            ]),
+            Domain::Enumerated(vec![Value::str("p1"), Value::str("p2"), Value::str("p3")]),
         );
         let s = u.intern_with_domain(
             "S#",
@@ -337,8 +333,7 @@ mod tests {
                 .with_opt(p, pv.map(Value::str))
                 .with(s, Value::str(sv))
         };
-        let ps_prime =
-            Relation::with_tuples([p, s], [t(None, "s1"), t(Some("p1"), "s2")]).unwrap();
+        let ps_prime = Relation::with_tuples([p, s], [t(None, "s1"), t(Some("p1"), "s2")]).unwrap();
         let ps_double = Relation::with_tuples(
             [p, s],
             [t(None, "s1"), t(Some("p1"), "s2"), t(Some("p2"), "s2")],
@@ -365,14 +360,20 @@ mod tests {
             SetExpr::rel(ps1.clone()).union(SetExpr::rel(ps2.clone())),
             SetExpr::rel(ps1.clone()),
         );
-        assert_eq!(evaluate(&union_contains, &u, 10_000).unwrap().truth, Truth::Ni);
+        assert_eq!(
+            evaluate(&union_contains, &u, 10_000).unwrap().truth,
+            Truth::Ni
+        );
 
         // PS′ ∩ PS″ ⊆ PS′ is expressed as PS′ ⊇ (PS′ ∩ PS″).
         let inter_contained = SetPredicate::Contains(
             SetExpr::rel(ps1.clone()),
             SetExpr::rel(ps1.clone()).intersect(SetExpr::rel(ps2)),
         );
-        assert_eq!(evaluate(&inter_contained, &u, 10_000).unwrap().truth, Truth::Ni);
+        assert_eq!(
+            evaluate(&inter_contained, &u, 10_000).unwrap().truth,
+            Truth::Ni
+        );
     }
 
     /// Section 1: even PS′ = PS′ evaluates to MAYBE, because the two
@@ -426,15 +427,8 @@ mod tests {
     fn non_enumerable_domains_are_rejected() {
         let mut u = Universe::new();
         let p = u.intern("P#"); // no domain recorded
-        let s = u.intern_with_domain(
-            "S#",
-            Domain::Enumerated(vec![Value::str("s1")]),
-        );
-        let rel = Relation::with_tuples(
-            [p, s],
-            [Tuple::new().with(s, Value::str("s1"))],
-        )
-        .unwrap();
+        let s = u.intern_with_domain("S#", Domain::Enumerated(vec![Value::str("s1")]));
+        let rel = Relation::with_tuples([p, s], [Tuple::new().with(s, Value::str("s1"))]).unwrap();
         let out = contains(&rel, &rel, &u, 100);
         assert!(matches!(out, Err(CoreError::DomainNotEnumerable(_))));
     }

@@ -170,7 +170,8 @@ impl TotalRelation {
             .collect::<CoreResult<_>>()?;
         let mut out = TotalRelation::new(attrs.iter().copied());
         for row in &self.rows {
-            out.rows.insert(positions.iter().map(|&i| row[i].clone()).collect());
+            out.rows
+                .insert(positions.iter().map(|&i| row[i].clone()).collect());
         }
         Ok(out)
     }
@@ -202,12 +203,7 @@ impl TotalRelation {
     }
 
     fn row_to_tuple(&self, row: &[Value]) -> Tuple {
-        Tuple::from_pairs(
-            self.attrs
-                .iter()
-                .copied()
-                .zip(row.iter().cloned()),
-        )
+        Tuple::from_pairs(self.attrs.iter().copied().zip(row.iter().cloned()))
     }
 
     fn check_compatible(&self, other: &TotalRelation) -> CoreResult<()> {
@@ -243,9 +239,12 @@ mod tests {
         let s = u.intern("S#");
         let p = u.intern("P#");
         let mut rel = TotalRelation::new([s, p]);
-        rel.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
-        rel.insert(vec![Value::str("s1"), Value::str("p2")]).unwrap();
-        rel.insert(vec![Value::str("s2"), Value::str("p1")]).unwrap();
+        rel.insert(vec![Value::str("s1"), Value::str("p1")])
+            .unwrap();
+        rel.insert(vec![Value::str("s1"), Value::str("p2")])
+            .unwrap();
+        rel.insert(vec![Value::str("s2"), Value::str("p1")])
+            .unwrap();
         (u, s, p, rel)
     }
 
@@ -253,7 +252,9 @@ mod tests {
     fn insert_checks_arity_and_dedupes() {
         let (_u, s, p, mut rel) = setup();
         assert!(rel.insert(vec![Value::str("s9")]).is_err());
-        assert!(!rel.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap());
+        assert!(!rel
+            .insert(vec![Value::str("s1"), Value::str("p1")])
+            .unwrap());
         assert_eq!(rel.len(), 3);
         assert_eq!(rel.attrs(), &[s, p]);
     }
@@ -262,8 +263,12 @@ mod tests {
     fn union_difference_intersection() {
         let (_u, s, p, rel) = setup();
         let mut other = TotalRelation::new([s, p]);
-        other.insert(vec![Value::str("s3"), Value::str("p3")]).unwrap();
-        other.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
+        other
+            .insert(vec![Value::str("s3"), Value::str("p3")])
+            .unwrap();
+        other
+            .insert(vec![Value::str("s1"), Value::str("p1")])
+            .unwrap();
         let un = rel.union(&other).unwrap();
         assert_eq!(un.len(), 4);
         let diff = rel.difference(&other).unwrap();
@@ -334,7 +339,9 @@ mod tests {
     fn embedding_is_injective() {
         let (_u, s, p, rel) = setup();
         let mut other = TotalRelation::new([s, p]);
-        other.insert(vec![Value::str("s1"), Value::str("p1")]).unwrap();
+        other
+            .insert(vec![Value::str("s1"), Value::str("p1")])
+            .unwrap();
         assert_ne!(rel.to_xrelation(), other.to_xrelation());
     }
 

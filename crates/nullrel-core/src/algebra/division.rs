@@ -35,12 +35,7 @@ use super::project::project;
 pub fn divide(rel: &XRelation, y: &AttrSet, divisor: &XRelation) -> CoreResult<XRelation> {
     check_scopes(y, divisor)?;
     // R_Y: the Y-total tuples of R.
-    let r_y = XRelation::from_tuples(
-        rel.tuples()
-            .iter()
-            .filter(|t| t.is_total_on(y))
-            .cloned(),
-    );
+    let r_y = XRelation::from_tuples(rel.tuples().iter().filter(|t| t.is_total_on(y)).cloned());
     // R_Y[Y]
     let candidates = project(&r_y, y);
     if divisor.is_empty() {
@@ -83,7 +78,10 @@ pub fn image(rel: &XRelation, y_value: &Tuple, z: &AttrSet) -> XRelation {
     XRelation::from_tuples(
         rel.tuples()
             .iter()
-            .filter(|r| r.project(&y_value.defined_attrs()).more_informative_than(y_value))
+            .filter(|r| {
+                r.project(&y_value.defined_attrs())
+                    .more_informative_than(y_value)
+            })
             .map(|r| r.project(z)),
     )
 }
@@ -218,7 +216,9 @@ mod tests {
         // the quotient.
         let rel = XRelation::from_tuples([
             Tuple::new().with(p, Value::str("p1")), // S# is ni
-            Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1")),
+            Tuple::new()
+                .with(s, Value::str("s1"))
+                .with(p, Value::str("p1")),
         ]);
         let divisor = XRelation::from_tuples([Tuple::new().with(p, Value::str("p1"))]);
         let q = divide(&rel, &attr_set([s]), &divisor).unwrap();
@@ -244,15 +244,9 @@ mod tests {
         let mut u = Universe::new();
         let s = u.intern("S#");
         let p = u.intern("P#");
-        let t = |sv: &str, pv: &str| {
-            Tuple::new().with(s, Value::str(sv)).with(p, Value::str(pv))
-        };
-        let rel = XRelation::from_tuples([
-            t("s1", "p1"),
-            t("s1", "p2"),
-            t("s2", "p1"),
-            t("s3", "p2"),
-        ]);
+        let t = |sv: &str, pv: &str| Tuple::new().with(s, Value::str(sv)).with(p, Value::str(pv));
+        let rel =
+            XRelation::from_tuples([t("s1", "p1"), t("s1", "p2"), t("s2", "p1"), t("s3", "p2")]);
         let divisor = XRelation::from_tuples([
             Tuple::new().with(p, Value::str("p1")),
             Tuple::new().with(p, Value::str("p2")),

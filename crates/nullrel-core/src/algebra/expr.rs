@@ -255,9 +255,7 @@ impl Expr {
             Expr::XIntersect(a, b) => {
                 Ok(lattice::x_intersection(&a.eval(source)?, &b.eval(source)?))
             }
-            Expr::Difference(a, b) => {
-                Ok(lattice::difference(&a.eval(source)?, &b.eval(source)?))
-            }
+            Expr::Difference(a, b) => Ok(lattice::difference(&a.eval(source)?, &b.eval(source)?)),
             Expr::Rename { input, mapping } => rename(&input.eval(source)?, mapping),
         }
     }
@@ -439,7 +437,10 @@ mod tests {
         assert!(plan.contains("Union"));
         assert!(plan.contains("Project [P#]"));
         assert!(plan.contains("Scan PS"));
-        assert_eq!(expr.referenced_relations(), vec!["PS".to_owned(), "SPARE".to_owned()]);
+        assert_eq!(
+            expr.referenced_relations(),
+            vec!["PS".to_owned(), "SPARE".to_owned()]
+        );
     }
 
     #[test]
@@ -449,7 +450,9 @@ mod tests {
         let mgr = u.intern("MGR#");
         let m_e_no = u.intern("m.E#");
         let emp = XRelation::from_tuples([
-            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(2)),
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(mgr, Value::int(2)),
             Tuple::new().with(e_no, Value::int(2)),
         ]);
         let mut catalog = HashMap::new();
@@ -478,7 +481,9 @@ mod tests {
 
         // Equijoin and union-join nodes also evaluate.
         let dept = u.intern("DEPT");
-        let d = XRelation::from_tuples([Tuple::new().with(e_no, Value::int(1)).with(dept, Value::str("D1"))]);
+        let d = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(dept, Value::str("D1"))]);
         catalog.insert("ASSIGN".to_owned(), d);
         let ej = Expr::named("EMP").equijoin(Expr::named("ASSIGN"), attr_set([e_no]));
         assert_eq!(ej.eval(&catalog).unwrap().len(), 1);

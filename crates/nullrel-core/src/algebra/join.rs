@@ -168,7 +168,9 @@ mod tests {
     fn theta_join_is_selection_over_product() {
         let (_u, e_no, _name, mgr, dept) = setup();
         let emp = XRelation::from_tuples([
-            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(10)),
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(mgr, Value::int(10)),
             Tuple::new().with(e_no, Value::int(2)),
         ]);
         let dep = XRelation::from_tuples([Tuple::new().with(dept, Value::int(10))]);
@@ -186,7 +188,9 @@ mod tests {
     fn theta_join_rejects_overlapping_scopes() {
         let (_u, e_no, _name, mgr, _dept) = setup();
         let a = XRelation::from_tuples([Tuple::new().with(e_no, Value::int(1))]);
-        let b = XRelation::from_tuples([Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(2))]);
+        let b = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(mgr, Value::int(2))]);
         assert!(theta_join(&a, e_no, CompareOp::Eq, mgr, &b).is_err());
     }
 
@@ -205,7 +209,9 @@ mod tests {
                 .with(name, Value::str("BROWN")), // MGR# is ni
         ]);
         let mgr_dept = XRelation::from_tuples([
-            Tuple::new().with(mgr, Value::int(10)).with(dept, Value::str("D1")),
+            Tuple::new()
+                .with(mgr, Value::int(10))
+                .with(dept, Value::str("D1")),
             Tuple::new().with(dept, Value::str("D2")), // MGR# is ni
         ]);
         let joined = equijoin(&emp, &mgr_dept, &attr_set([mgr])).unwrap();
@@ -263,12 +269,20 @@ mod tests {
     fn joining_tuples_identifies_participants() {
         let (_u, e_no, name, mgr, dept) = setup();
         let emp = XRelation::from_tuples([
-            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(10)),
-            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("X")),
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(mgr, Value::int(10)),
+            Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(name, Value::str("X")),
         ]);
         let dep = XRelation::from_tuples([
-            Tuple::new().with(mgr, Value::int(10)).with(dept, Value::str("D1")),
-            Tuple::new().with(mgr, Value::int(11)).with(dept, Value::str("D2")),
+            Tuple::new()
+                .with(mgr, Value::int(10))
+                .with(dept, Value::str("D1")),
+            Tuple::new()
+                .with(mgr, Value::int(11))
+                .with(dept, Value::str("D2")),
         ]);
         let joiners = joining_tuples(&emp, &dep, &attr_set([mgr]));
         assert_eq!(joiners.len(), 1);
@@ -302,24 +316,39 @@ mod tests {
     fn equijoin_parts_reports_hashed_participants() {
         let (_u, e_no, name, mgr, dept) = setup();
         let left = vec![
-            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(10)),
-            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("X")),
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(mgr, Value::int(10)),
+            Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(name, Value::str("X")),
         ];
         let right = vec![
-            Tuple::new().with(mgr, Value::int(10)).with(dept, Value::str("D1")),
-            Tuple::new().with(mgr, Value::int(11)).with(dept, Value::str("D2")),
+            Tuple::new()
+                .with(mgr, Value::int(10))
+                .with(dept, Value::str("D1")),
+            Tuple::new()
+                .with(mgr, Value::int(11))
+                .with(dept, Value::str("D2")),
         ];
         let on = attr_set([mgr]);
         let parts = equijoin_parts(&left, &right, &on).unwrap();
         assert_eq!(parts.joined.len(), 1);
         assert_eq!(parts.left_participants.len(), 1);
-        assert!(parts.left_participants.contains(&normalize_on(&left[0], &on)));
+        assert!(parts
+            .left_participants
+            .contains(&normalize_on(&left[0], &on)));
         assert_eq!(parts.right_participants.len(), 1);
-        assert!(parts.right_participants.contains(&normalize_on(&right[0], &on)));
+        assert!(parts
+            .right_participants
+            .contains(&normalize_on(&right[0], &on)));
         // The hashed participants agree with the quadratic reference.
         let lx = XRelation::from_tuples(left.clone());
         let rx = XRelation::from_tuples(right.clone());
-        assert_eq!(joining_tuples(&lx, &rx, &on).len(), parts.left_participants.len());
+        assert_eq!(
+            joining_tuples(&lx, &rx, &on).len(),
+            parts.left_participants.len()
+        );
         assert!(matches!(
             equijoin_parts(&left, &right, &AttrSet::new()),
             Err(CoreError::EmptyAttributeList)
@@ -334,19 +363,28 @@ mod tests {
             .with(mgr, Value::float(3.0));
         let n = normalize_on(&t, &attr_set([e_no]));
         assert_eq!(n.get(e_no), Some(&Value::int(2)), "join cell normalized");
-        assert_eq!(n.get(mgr), Some(&Value::float(3.0)), "other cells untouched");
+        assert_eq!(
+            n.get(mgr),
+            Some(&Value::float(3.0)),
+            "other cells untouched"
+        );
     }
 
     #[test]
     fn equijoin_agrees_with_classical_join_on_total_relations() {
         let (_u, e_no, name, mgr, dept) = setup();
         let left = XRelation::from_tuples([
-            Tuple::new().with(e_no, Value::int(1)).with(name, Value::str("A")),
-            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("B")),
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(name, Value::str("A")),
+            Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(name, Value::str("B")),
         ]);
-        let right = XRelation::from_tuples([
-            Tuple::new().with(e_no, Value::int(1)).with(mgr, Value::int(7)).with(dept, Value::str("D")),
-        ]);
+        let right = XRelation::from_tuples([Tuple::new()
+            .with(e_no, Value::int(1))
+            .with(mgr, Value::int(7))
+            .with(dept, Value::str("D"))]);
         let joined = equijoin(&left, &right, &attr_set([e_no])).unwrap();
         assert_eq!(joined.len(), 1);
         assert!(joined.is_total());

@@ -24,10 +24,10 @@ pub mod union_join;
 
 pub use division::{divide, divide_direct};
 pub use expr::{Expr, NoSource, RelationSource};
-pub use stream::{ChainStream, TupleStream, VecStream};
 pub use join::{equijoin, equijoin_parts, normalize_on, theta_join, EquiJoinParts};
 pub use product::product;
 pub use project::project;
 pub use rename::rename;
 pub use select::{select, select_attr_attr, select_attr_const};
+pub use stream::{ChainStream, TupleStream, VecStream};
 pub use union_join::union_join;

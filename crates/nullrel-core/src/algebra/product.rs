@@ -56,7 +56,9 @@ mod tests {
             Tuple::new().with(s, Value::str("s2")),
         ]);
         let parts = XRelation::from_tuples([
-            Tuple::new().with(p, Value::str("p1")).with(c, Value::str("NYC")),
+            Tuple::new()
+                .with(p, Value::str("p1"))
+                .with(c, Value::str("NYC")),
             Tuple::new().with(p, Value::str("p2")),
         ]);
         let prod = product(&suppliers, &parts).unwrap();
@@ -94,13 +96,19 @@ mod tests {
     fn product_preserves_nulls_in_either_factor() {
         let (_u, s, p, c) = setup();
         let a = XRelation::from_tuples([
-            Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1")),
+            Tuple::new()
+                .with(s, Value::str("s1"))
+                .with(p, Value::str("p1")),
             Tuple::new().with(s, Value::str("s3")),
         ]);
         let b = XRelation::from_tuples([Tuple::new().with(c, Value::str("LA"))]);
         let prod = product(&a, &b).unwrap();
         assert_eq!(prod.len(), 2);
-        assert!(prod.x_contains(&Tuple::new().with(s, Value::str("s3")).with(c, Value::str("LA"))));
+        assert!(prod.x_contains(
+            &Tuple::new()
+                .with(s, Value::str("s3"))
+                .with(c, Value::str("LA"))
+        ));
     }
 
     #[test]

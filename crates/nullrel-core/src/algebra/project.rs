@@ -27,7 +27,12 @@ mod tests {
     use crate::universe::{attr_set, Universe};
     use crate::value::Value;
 
-    fn ps() -> (Universe, crate::universe::AttrId, crate::universe::AttrId, XRelation) {
+    fn ps() -> (
+        Universe,
+        crate::universe::AttrId,
+        crate::universe::AttrId,
+        XRelation,
+    ) {
         let mut u = Universe::new();
         let s = u.intern("S#");
         let p = u.intern("P#");
@@ -64,9 +69,13 @@ mod tests {
         // P_s2 = PS[S# = s2][P#] — the paper displays {p1, −}; in minimal
         // form the null tuple disappears leaving {p1}.
         let (_u, s, p, rel) = ps();
-        let selected =
-            crate::algebra::select::select_attr_const(&rel, s, crate::tvl::CompareOp::Eq, Value::str("s2"))
-                .unwrap();
+        let selected = crate::algebra::select::select_attr_const(
+            &rel,
+            s,
+            crate::tvl::CompareOp::Eq,
+            Value::str("s2"),
+        )
+        .unwrap();
         let p_s2 = project(&selected, &attr_set([p]));
         assert_eq!(p_s2.len(), 1);
         assert!(p_s2.x_contains(&Tuple::new().with(p, Value::str("p1"))));

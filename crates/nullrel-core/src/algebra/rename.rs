@@ -63,9 +63,8 @@ mod tests {
         let mut u = Universe::new();
         let a = u.intern("A");
         let b = u.intern("B");
-        let rel = XRelation::from_tuples([Tuple::new()
-            .with(a, Value::int(1))
-            .with(b, Value::int(2))]);
+        let rel =
+            XRelation::from_tuples([Tuple::new().with(a, Value::int(1)).with(b, Value::int(2))]);
         // Mapping A onto B while B stays put collides.
         assert!(matches!(
             rename(&rel, &mapping([(a, b)])),

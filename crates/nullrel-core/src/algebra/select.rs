@@ -116,7 +116,11 @@ mod tests {
         // minimisation, so a single tuple remains.
         let sel = select_attr_const(&rel, s, CompareOp::Eq, Value::str("s2")).unwrap();
         assert_eq!(sel.len(), 1);
-        assert!(sel.x_contains(&Tuple::new().with(s, Value::str("s2")).with(p, Value::str("p1"))));
+        assert!(sel.x_contains(
+            &Tuple::new()
+                .with(s, Value::str("s2"))
+                .with(p, Value::str("p1"))
+        ));
         // PS[P# = p9] is empty; null P# tuples never qualify.
         let none = select_attr_const(&rel, p, CompareOp::Eq, Value::str("p9")).unwrap();
         assert!(none.is_empty());
@@ -162,11 +166,18 @@ mod tests {
     #[test]
     fn predicate_selection_composes() {
         let (_u, s, p, rel) = ps();
-        let pred = Predicate::attr_const(s, CompareOp::Eq, "s1")
-            .and(Predicate::attr_const(p, CompareOp::Ne, "p1"));
+        let pred = Predicate::attr_const(s, CompareOp::Eq, "s1").and(Predicate::attr_const(
+            p,
+            CompareOp::Ne,
+            "p1",
+        ));
         let out = select(&rel, &pred).unwrap();
         assert_eq!(out.len(), 1);
-        assert!(out.x_contains(&Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p2"))));
+        assert!(out.x_contains(
+            &Tuple::new()
+                .with(s, Value::str("s1"))
+                .with(p, Value::str("p2"))
+        ));
     }
 
     #[test]
@@ -194,8 +205,7 @@ mod tests {
     fn selecting_from_empty_relation() {
         let mut u = Universe::new();
         let a = u.intern("A");
-        let out =
-            select_attr_const(&XRelation::empty(), a, CompareOp::Eq, Value::int(1)).unwrap();
+        let out = select_attr_const(&XRelation::empty(), a, CompareOp::Eq, Value::int(1)).unwrap();
         assert!(out.is_empty());
     }
 }

@@ -113,8 +113,12 @@ mod tests {
     fn chain_stream_concatenates_in_order() {
         let mut u = Universe::new();
         let a = u.intern("A");
-        let first: Vec<Tuple> = (0..2).map(|i| Tuple::new().with(a, Value::int(i))).collect();
-        let second: Vec<Tuple> = (2..5).map(|i| Tuple::new().with(a, Value::int(i))).collect();
+        let first: Vec<Tuple> = (0..2)
+            .map(|i| Tuple::new().with(a, Value::int(i)))
+            .collect();
+        let second: Vec<Tuple> = (2..5)
+            .map(|i| Tuple::new().with(a, Value::int(i)))
+            .collect();
         let mut chained = ChainStream::new(
             VecStream::new(first.clone()),
             VecStream::new(second.clone()),

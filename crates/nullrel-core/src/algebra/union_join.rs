@@ -74,8 +74,12 @@ mod tests {
                 .with(dept, Value::str("D9")), // no matching department
         ]);
         let dep = XRelation::from_tuples([
-            Tuple::new().with(dept, Value::str("D1")).with(budget, Value::int(100)),
-            Tuple::new().with(dept, Value::str("D2")).with(budget, Value::int(200)), // no employee
+            Tuple::new()
+                .with(dept, Value::str("D1"))
+                .with(budget, Value::int(100)),
+            Tuple::new()
+                .with(dept, Value::str("D2"))
+                .with(budget, Value::int(200)), // no employee
         ]);
         let out = union_join(&emp, &dep, &attr_set([dept])).unwrap();
         // Joined tuple + dangling BROWN + dangling D2.
@@ -87,11 +91,17 @@ mod tests {
                 .with(budget, Value::int(100))
         ));
         assert!(out.x_contains(&Tuple::new().with(e_no, Value::int(2))));
-        assert!(out.x_contains(&Tuple::new().with(dept, Value::str("D2")).with(budget, Value::int(200))));
+        assert!(out.x_contains(
+            &Tuple::new()
+                .with(dept, Value::str("D2"))
+                .with(budget, Value::int(200))
+        ));
         // The dangling tuples keep ni in the other relation's columns: the
         // BROWN row has no BUDGET.
         assert!(!out.x_contains(
-            &Tuple::new().with(e_no, Value::int(2)).with(budget, Value::int(100))
+            &Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(budget, Value::int(100))
         ));
     }
 
@@ -126,7 +136,9 @@ mod tests {
         let (_u, e_no, _name, dept, budget) = setup();
         let emp = XRelation::from_tuples([
             Tuple::new().with(e_no, Value::int(1)), // DEPT is ni
-            Tuple::new().with(e_no, Value::int(2)).with(dept, Value::str("D1")),
+            Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(dept, Value::str("D1")),
         ]);
         let dep = XRelation::from_tuples([Tuple::new()
             .with(dept, Value::str("D1"))
@@ -164,11 +176,17 @@ mod tests {
     fn union_join_subsumes_both_operands() {
         let (_u, e_no, name, dept, budget) = setup();
         let emp = XRelation::from_tuples([
-            Tuple::new().with(e_no, Value::int(1)).with(dept, Value::str("D1")),
-            Tuple::new().with(e_no, Value::int(2)).with(name, Value::str("X")),
+            Tuple::new()
+                .with(e_no, Value::int(1))
+                .with(dept, Value::str("D1")),
+            Tuple::new()
+                .with(e_no, Value::int(2))
+                .with(name, Value::str("X")),
         ]);
         let dep = XRelation::from_tuples([
-            Tuple::new().with(dept, Value::str("D1")).with(budget, Value::int(1)),
+            Tuple::new()
+                .with(dept, Value::str("D1"))
+                .with(budget, Value::int(1)),
             Tuple::new().with(dept, Value::str("D3")),
         ]);
         let out = union_join(&emp, &dep, &attr_set([dept])).unwrap();

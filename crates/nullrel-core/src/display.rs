@@ -41,7 +41,11 @@ fn render_table(
         rows.push(
             attrs
                 .iter()
-                .map(|a| t.get(*a).map(|v| v.to_string()).unwrap_or_else(|| "-".to_owned()))
+                .map(|a| {
+                    t.get(*a)
+                        .map(|v| v.to_string())
+                        .unwrap_or_else(|| "-".to_owned())
+                })
                 .collect(),
         );
     }
@@ -99,7 +103,10 @@ mod tests {
         assert!(text.contains("EMP"));
         assert!(text.contains("E#"));
         assert!(text.contains("SMITH"));
-        assert!(text.lines().last().unwrap().contains('-'), "null TEL# rendered as dash");
+        assert!(
+            text.lines().last().unwrap().contains('-'),
+            "null TEL# rendered as dash"
+        );
     }
 
     #[test]
@@ -117,7 +124,9 @@ mod tests {
         let s = u.intern("S#");
         let p = u.intern("P#");
         let x = XRelation::from_tuples([
-            Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1")),
+            Tuple::new()
+                .with(s, Value::str("s1"))
+                .with(p, Value::str("p1")),
             Tuple::new().with(s, Value::str("s3")),
         ]);
         let text = render_xrelation("PS", &x, &[s, p], &u);

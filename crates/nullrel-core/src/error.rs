@@ -68,7 +68,11 @@ impl fmt::Display for CoreError {
                 write!(f, "type mismatch comparing {left} with {right}")
             }
             CoreError::UnknownAttribute(id) => {
-                write!(f, "attribute id {} is not defined in this universe", id.index())
+                write!(
+                    f,
+                    "attribute id {} is not defined in this universe",
+                    id.index()
+                )
             }
             CoreError::UnknownAttributeName(name) => {
                 write!(f, "attribute name {name:?} is not defined in this universe")

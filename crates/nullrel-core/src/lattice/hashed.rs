@@ -254,17 +254,18 @@ mod tests {
     #[test]
     fn hashed_ops_match_naive_on_ps_example() {
         let (_u, s, p, _q) = setup();
-        let ps1 = XRelation::from_tuples([
-            sp(s, p, Some("s1"), None),
-            sp(s, p, Some("s2"), Some("p1")),
-        ]);
+        let ps1 =
+            XRelation::from_tuples([sp(s, p, Some("s1"), None), sp(s, p, Some("s2"), Some("p1"))]);
         let ps2 = XRelation::from_tuples([
             sp(s, p, Some("s1"), None),
             sp(s, p, Some("s2"), Some("p1")),
             sp(s, p, Some("s2"), Some("p2")),
         ]);
         assert_eq!(union(&ps1, &ps2), naive::union(&ps1, &ps2));
-        assert_eq!(x_intersection(&ps1, &ps2), naive::x_intersection(&ps1, &ps2));
+        assert_eq!(
+            x_intersection(&ps1, &ps2),
+            naive::x_intersection(&ps1, &ps2)
+        );
         assert_eq!(difference(&ps2, &ps1), naive::difference(&ps2, &ps1));
         assert_eq!(difference(&ps1, &ps2), naive::difference(&ps1, &ps2));
         assert_eq!(contains(&ps2, &ps1), naive::contains(&ps2, &ps1));

@@ -100,7 +100,10 @@ mod tests {
         let ps1 = ps_prime(s, p);
         let ps2 = ps_double(s, p);
         assert!(contains(&union(&ps1, &ps2), &ps1), "PS′ ∪ PS″ ⊒ PS′");
-        assert!(contains(&ps1, &x_intersection(&ps1, &ps2)), "PS′ ∩̂ PS″ ⊑ PS′");
+        assert!(
+            contains(&ps1, &x_intersection(&ps1, &ps2)),
+            "PS′ ∩̂ PS″ ⊑ PS′"
+        );
         assert!(contains(&ps2, &ps1) && !contains(&ps1, &ps2), "PS″ ⊐ PS′");
         assert_eq!(ps1, ps1.clone(), "PS′ = PS′");
         assert_ne!(ps1, ps2, "PS′ ≠ PS″");
@@ -188,8 +191,10 @@ mod tests {
     fn distributivity_4_4_and_4_5() {
         let (_u, s, p) = setup();
         let r1 = XRelation::from_tuples([sp(s, p, Some("s1"), Some("p1"))]);
-        let r2 = XRelation::from_tuples([sp(s, p, Some("s1"), Some("p2")), sp(s, p, Some("s2"), None)]);
-        let r3 = XRelation::from_tuples([sp(s, p, None, Some("p1")), sp(s, p, Some("s3"), Some("p3"))]);
+        let r2 =
+            XRelation::from_tuples([sp(s, p, Some("s1"), Some("p2")), sp(s, p, Some("s2"), None)]);
+        let r3 =
+            XRelation::from_tuples([sp(s, p, None, Some("p1")), sp(s, p, Some("s3"), Some("p3"))]);
         let lhs = x_intersection(&r1, &union(&r2, &r3));
         let rhs = union(&x_intersection(&r1, &r2), &x_intersection(&r1, &r3));
         assert_eq!(lhs, rhs);

@@ -210,11 +210,7 @@ impl Predicate {
 impl fmt::Display for Predicate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Predicate::Cmp(cmp) => write!(
-                f,
-                "#{:?} {} #{:?}",
-                cmp.left, cmp.op, cmp.right
-            ),
+            Predicate::Cmp(cmp) => write!(f, "#{:?} {} #{:?}", cmp.left, cmp.op, cmp.right),
             Predicate::And(a, b) => write!(f, "({a} AND {b})"),
             Predicate::Or(a, b) => write!(f, "({a} OR {b})"),
             Predicate::Not(p) => write!(f, "(NOT {p})"),
@@ -270,9 +266,13 @@ mod tests {
     fn attr_attr_comparisons() {
         let (_u, e_no, _name, _sex, mgr, _tel) = emp();
         let self_managed = Predicate::attr_attr(e_no, CompareOp::Eq, mgr);
-        let t = Tuple::new().with(e_no, Value::int(7)).with(mgr, Value::int(7));
+        let t = Tuple::new()
+            .with(e_no, Value::int(7))
+            .with(mgr, Value::int(7));
         assert_eq!(self_managed.eval(&t).unwrap(), Truth::True);
-        let t2 = Tuple::new().with(e_no, Value::int(7)).with(mgr, Value::int(9));
+        let t2 = Tuple::new()
+            .with(e_no, Value::int(7))
+            .with(mgr, Value::int(9));
         assert_eq!(self_managed.eval(&t2).unwrap(), Truth::False);
         let t3 = Tuple::new().with(e_no, Value::int(7));
         assert_eq!(self_managed.eval(&t3).unwrap(), Truth::Ni);
@@ -316,8 +316,11 @@ mod tests {
     #[test]
     fn render_uses_attribute_names() {
         let (u, _e, _n, sex, _m, tel) = emp();
-        let q = Predicate::attr_const(sex, CompareOp::Eq, "F")
-            .and(Predicate::attr_const(tel, CompareOp::Gt, 2_634_000));
+        let q = Predicate::attr_const(sex, CompareOp::Eq, "F").and(Predicate::attr_const(
+            tel,
+            CompareOp::Gt,
+            2_634_000,
+        ));
         let text = q.render(&u);
         assert!(text.contains("SEX = \"F\""), "{text}");
         assert!(text.contains("TEL# > 2634000"), "{text}");

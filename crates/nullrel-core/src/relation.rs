@@ -248,7 +248,12 @@ impl Relation {
 
 impl fmt::Display for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation[{} attrs, {} tuples]", self.attrs.len(), self.tuples.len())
+        write!(
+            f,
+            "Relation[{} attrs, {} tuples]",
+            self.attrs.len(),
+            self.tuples.len()
+        )
     }
 }
 
@@ -303,7 +308,10 @@ mod tests {
         let other = u.intern("OTHER");
         let mut rel = Relation::new([ps.p_no, ps.s_no]);
         let bad = Tuple::new().with(other, Value::int(1));
-        assert!(matches!(rel.insert(bad), Err(CoreError::UnknownAttribute(_))));
+        assert!(matches!(
+            rel.insert(bad),
+            Err(CoreError::UnknownAttribute(_))
+        ));
     }
 
     #[test]
@@ -434,7 +442,10 @@ mod tests {
         assert!(!ps_prime(&ps).is_total());
         let codd = Relation::with_tuples(
             [ps.p_no, ps.s_no],
-            [t(&ps, Some("p1"), Some("s1")), t(&ps, Some("p2"), Some("s2"))],
+            [
+                t(&ps, Some("p1"), Some("s1")),
+                t(&ps, Some("p2"), Some("s2")),
+            ],
         )
         .unwrap();
         assert!(codd.is_total());

@@ -185,12 +185,10 @@ impl Tuple {
         } else {
             (&other.cells, &self.cells)
         };
-        small
-            .iter()
-            .all(|(attr, value)| match large.get(attr) {
-                None => true,
-                Some(v) => v == value,
-            })
+        small.iter().all(|(attr, value)| match large.get(attr) {
+            None => true,
+            Some(v) => v == value,
+        })
     }
 
     /// The **join** `self ∨ other`: the least informative tuple that is more

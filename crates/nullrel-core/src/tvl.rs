@@ -342,8 +342,16 @@ mod tests {
     fn compare_op_negation_and_flip() {
         for op in CompareOp::ALL {
             for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
-                assert_eq!(op.test(ord), !op.negated().test(ord), "{op} negation at {ord:?}");
-                assert_eq!(op.test(ord), op.flipped().test(ord.reverse()), "{op} flip at {ord:?}");
+                assert_eq!(
+                    op.test(ord),
+                    !op.negated().test(ord),
+                    "{op} negation at {ord:?}"
+                );
+                assert_eq!(
+                    op.test(ord),
+                    op.flipped().test(ord.reverse()),
+                    "{op} flip at {ord:?}"
+                );
             }
         }
     }

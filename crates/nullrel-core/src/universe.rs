@@ -245,9 +245,7 @@ impl Universe {
     /// the domain is missing or not enumerable.
     pub fn enumerable_domain(&self, attr: AttrId) -> CoreResult<Vec<Value>> {
         match self.domain(attr) {
-            Some(domain) => domain
-                .values()
-                .ok_or(CoreError::DomainNotEnumerable(attr)),
+            Some(domain) => domain.values().ok_or(CoreError::DomainNotEnumerable(attr)),
             None => Err(CoreError::DomainNotEnumerable(attr)),
         }
     }

@@ -259,8 +259,14 @@ mod tests {
 
     #[test]
     fn int_ordering() {
-        assert_eq!(Value::int(1).compare(&Value::int(2)).unwrap(), Ordering::Less);
-        assert_eq!(Value::int(5).compare(&Value::int(5)).unwrap(), Ordering::Equal);
+        assert_eq!(
+            Value::int(1).compare(&Value::int(2)).unwrap(),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::int(5).compare(&Value::int(5)).unwrap(),
+            Ordering::Equal
+        );
         assert_eq!(
             Value::int(9).compare(&Value::int(-3)).unwrap(),
             Ordering::Greater

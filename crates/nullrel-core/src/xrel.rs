@@ -236,8 +236,8 @@ mod tests {
         let (_u, s_no, p_no) = setup();
         let x = XRelation::from_tuples([
             st(s_no, p_no, Some("s1"), Some("p1")),
-            st(s_no, p_no, Some("s1"), None), // dominated
-            Tuple::new(),                     // null tuple
+            st(s_no, p_no, Some("s1"), None),       // dominated
+            Tuple::new(),                           // null tuple
             st(s_no, p_no, Some("s1"), Some("p1")), // duplicate
         ]);
         assert_eq!(x.len(), 1);

@@ -5,10 +5,16 @@
 //!
 //! * `Select` over a named scan with an `attr = const` conjunct whose base
 //!   column has a covering index becomes an **IndexScan** through
-//!   [`ExecSource::index_probe`] — the catalog-driven index selection rule.
-//! * `ThetaJoin` on equality becomes a **HashJoin**; an enclosing `Select`
-//!   donates any further cross-scope equality conjuncts to the join's key
-//!   list and keeps the rest as a residual filter.
+//!   [`ExecSource::index_probe`] — index selection is **cost-based**: when
+//!   several conjuncts are index-covered, the one with the lowest
+//!   estimated result cardinality (from the statistics catalog's distinct
+//!   counts and `ni` fractions) wins.
+//! * `ThetaJoin` on equality becomes a **HashJoin**, or an
+//!   **IndexNestedLoopJoin** when a storage index covers the inner join
+//!   key and the outer side is estimated small enough that per-row index
+//!   probes beat building a hash table over the inner side; an enclosing
+//!   `Select` donates any further cross-scope equality conjuncts to the
+//!   join's key list and keeps the rest as a residual filter.
 //! * Every remaining algebra node has a dedicated streaming operator: the
 //!   set operators become [`UnionOp`]/[`DifferenceOp`]/[`IntersectOp`], the
 //!   equijoin and union-join become [`EquiJoinOp`]/[`UnionJoinOp`] (hash
@@ -21,6 +27,12 @@
 //!
 //! Every pipeline is rooted in a [`MinimizeOp`] sink, which maintains the
 //! canonical minimal x-relation representation incrementally.
+//!
+//! In the TRUE band the compiler annotates every operator's stats slot
+//! with the optimizer's cardinality estimate (`est_rows`), so explain
+//! reports show estimated next to actual row counts and
+//! [`ExecStats::estimation_error`](crate::stats::ExecStats::estimation_error)
+//! can quantify the estimator's q-error.
 
 use nullrel_core::algebra::{Expr, TupleStream};
 use nullrel_core::error::{CoreError, CoreResult};
@@ -31,22 +43,27 @@ use nullrel_core::universe::{AttrId, Universe};
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
 
+use nullrel_stats::Estimator;
+
 use crate::op::{
-    BoxedOp, DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IntersectOp, MinimizeOp,
-    ProductOp, ProjectOp, RenameOp, ScanOp, StatsSlot, UnionJoinOp, UnionOp,
+    BoxedOp, DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IndexNestedLoopJoinOp,
+    IntersectOp, MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, StatsSlot, UnionJoinOp,
+    UnionOp,
 };
 use crate::optimize::{and_all, base_attr, extra_join_keys, scope_of, split_and};
 use crate::source::ExecSource;
 use crate::stats::{ExecStats, OpStats};
 
-/// A compiled, ready-to-run physical pipeline.
-pub struct Pipeline {
+/// A compiled, ready-to-run physical pipeline. The lifetime ties the
+/// pipeline to the execution source it was compiled against: index-nested-
+/// loop joins probe the source's indexes while running.
+pub struct Pipeline<'a> {
     // (not Debug: the operator tree holds trait objects)
-    root: BoxedOp,
+    root: BoxedOp<'a>,
     slots: Vec<StatsSlot>,
 }
 
-impl Pipeline {
+impl Pipeline<'_> {
     /// Runs the pipeline to completion, returning the minimal result
     /// x-relation and the per-operator counters.
     pub fn run(mut self) -> CoreResult<(XRelation, ExecStats)> {
@@ -80,11 +97,11 @@ impl Pipeline {
 
 /// Compiles a logical plan against a source of base relations. `universe`
 /// is used only to render operator labels.
-pub fn compile<S: ExecSource>(
+pub fn compile<'a, S: ExecSource>(
     expr: &Expr,
-    source: &S,
-    universe: &Universe,
-) -> CoreResult<Pipeline> {
+    source: &'a S,
+    universe: &'a Universe,
+) -> CoreResult<Pipeline<'a>> {
     compile_band(expr, source, universe, Truth::True)
 }
 
@@ -92,19 +109,21 @@ pub fn compile<S: ExecSource>(
 /// predicate evaluates to `band`. `Truth::Ni` selects the MAYBE band —
 /// pass an *unoptimized* plan in that case, since the pushdown rules are
 /// proved only for the TRUE lower bound.
-pub fn compile_band<S: ExecSource>(
+pub fn compile_band<'a, S: ExecSource>(
     expr: &Expr,
-    source: &S,
-    universe: &Universe,
+    source: &'a S,
+    universe: &'a Universe,
     band: Truth,
-) -> CoreResult<Pipeline> {
+) -> CoreResult<Pipeline<'a>> {
     let mut c = Compiler {
         source,
         universe,
         band,
         slots: Vec::new(),
+        estimator: Estimator::new(source),
     };
-    let minimize = c.slot("Minimize", 0);
+    let est = c.est(expr);
+    let minimize = c.slot_est("Minimize", 0, est);
     let input = c.build(expr, 1)?;
     Ok(Pipeline {
         root: Box::new(MinimizeOp::new(input, minimize)),
@@ -112,18 +131,44 @@ pub fn compile_band<S: ExecSource>(
     })
 }
 
-struct Compiler<'a, S> {
+struct Compiler<'a, S: ExecSource> {
     source: &'a S,
     universe: &'a Universe,
     band: Truth,
     slots: Vec<StatsSlot>,
+    estimator: Estimator<'a, S>,
 }
 
-impl<S: ExecSource> Compiler<'_, S> {
+impl<'a, S: ExecSource> Compiler<'a, S> {
     fn slot(&mut self, label: impl Into<String>, depth: usize) -> StatsSlot {
         let slot = OpStats::slot(label, depth);
         self.slots.push(slot.clone());
         slot
+    }
+
+    /// A slot pre-annotated with the optimizer's cardinality estimate.
+    fn slot_est(&mut self, label: impl Into<String>, depth: usize, est: Option<u64>) -> StatsSlot {
+        let slot = self.slot(label, depth);
+        slot.borrow_mut().est_rows = est;
+        slot
+    }
+
+    /// The estimated output cardinality of a plan node. Estimates model
+    /// the TRUE band; other bands compile without annotations.
+    fn est(&self, expr: &Expr) -> Option<u64> {
+        (self.band == Truth::True).then(|| self.estimator.estimate(expr).rounded_rows())
+    }
+
+    /// The estimate of `σ_predicate(input)` without materialising a
+    /// `Select` node (which would deep-clone the input subtree): the input
+    /// estimate scaled by the predicate's TRUE-band selectivity.
+    fn est_select(&self, input: &Expr, predicate: &Predicate) -> Option<u64> {
+        if self.band != Truth::True {
+            return None;
+        }
+        let est = self.estimator.estimate(input);
+        let sel = nullrel_stats::estimate::selectivity(predicate, &est);
+        Some((est.rows * sel).max(0.0).round() as u64)
     }
 
     fn attr_name(&self, attr: AttrId) -> String {
@@ -133,36 +178,39 @@ impl<S: ExecSource> Compiler<'_, S> {
             .unwrap_or_else(|_| format!("#{}", attr.index()))
     }
 
-    fn build(&mut self, expr: &Expr, depth: usize) -> CoreResult<BoxedOp> {
+    fn build(&mut self, expr: &Expr, depth: usize) -> CoreResult<BoxedOp<'a>> {
+        let est = self.est(expr);
         match expr {
             Expr::Literal(rel) => {
-                let slot = self.slot(format!("Scan literal[{} tuples]", rel.len()), depth);
+                let slot = self.slot_est(format!("Scan literal[{} tuples]", rel.len()), depth, est);
                 // `rows_in` is counted as rows are pulled (no storage access
                 // path examined anything up front).
                 Ok(Box::new(ScanOp::counting(rel.tuples().to_vec(), slot)))
             }
-            Expr::Named(name) => self.named_scan(name, None, depth),
+            Expr::Named(name) => self.named_scan(name, None, depth, est),
             Expr::Rename { input, mapping } => {
                 if let Expr::Named(name) = input.as_ref() {
-                    self.named_scan(name, Some(mapping), depth)
+                    self.named_scan(name, Some(mapping), depth, est)
                 } else {
                     // An arbitrary renamed sub-plan stays pipelined.
-                    let slot = self.slot(format!("Rename ({} attrs)", mapping.len()), depth);
+                    let slot =
+                        self.slot_est(format!("Rename ({} attrs)", mapping.len()), depth, est);
                     let input = self.build(input, depth + 1)?;
                     Ok(Box::new(RenameOp::new(input, mapping.clone(), slot)))
                 }
             }
             Expr::Select { input, predicate } => self.build_select(input, predicate, depth),
             Expr::Project { input, attrs } => {
-                let slot = self.slot(
+                let slot = self.slot_est(
                     format!("Project [{}]", self.universe.render_attrs(attrs)),
                     depth,
+                    est,
                 );
                 let input = self.build(input, depth + 1)?;
                 Ok(Box::new(ProjectOp::new(input, attrs.clone(), slot)))
             }
             Expr::Product(a, b) => {
-                let slot = self.slot("Product", depth);
+                let slot = self.slot_est("Product", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
                 Ok(Box::new(ProductOp::new(left, right, slot)))
@@ -177,7 +225,7 @@ impl<S: ExecSource> Compiler<'_, S> {
                 right_attr,
                 right,
             } if self.band == Truth::True => {
-                self.build_hash_join(left, right, vec![(*left_attr, *right_attr)], depth)
+                self.build_equality_join(left, right, vec![(*left_attr, *right_attr)], depth, est)
             }
             Expr::ThetaJoin {
                 left,
@@ -188,7 +236,7 @@ impl<S: ExecSource> Compiler<'_, S> {
             } => {
                 // Non-equality θ-join (or a non-TRUE band): product plus a
                 // comparison filter in the requested band.
-                let filter_slot = self.slot(
+                let filter_slot = self.slot_est(
                     format!(
                         "ThetaFilter {} {} {}",
                         self.attr_name(*left_attr),
@@ -196,6 +244,7 @@ impl<S: ExecSource> Compiler<'_, S> {
                         self.attr_name(*right_attr)
                     ),
                     depth,
+                    est,
                 );
                 let product_slot = self.slot("Product", depth + 1);
                 let l = self.build(left, depth + 2)?;
@@ -209,45 +258,48 @@ impl<S: ExecSource> Compiler<'_, S> {
                 )))
             }
             Expr::Union(a, b) => {
-                let slot = self.slot("Union", depth);
+                let slot = self.slot_est("Union", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
                 Ok(Box::new(UnionOp::new(left, right, slot)))
             }
             Expr::Difference(a, b) => {
-                let slot = self.slot("Difference", depth);
+                let slot = self.slot_est("Difference", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
                 Ok(Box::new(DifferenceOp::new(left, right, slot)))
             }
             Expr::XIntersect(a, b) => {
-                let slot = self.slot("XIntersect", depth);
+                let slot = self.slot_est("XIntersect", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
                 Ok(Box::new(IntersectOp::new(left, right, slot)))
             }
             Expr::EquiJoin { left, right, on } => {
-                let slot = self.slot(
+                let slot = self.slot_est(
                     format!("EquiJoin on [{}]", self.universe.render_attrs(on)),
                     depth,
+                    est,
                 );
                 let l = self.build(left, depth + 1)?;
                 let r = self.build(right, depth + 1)?;
                 Ok(Box::new(EquiJoinOp::new(l, r, on.clone(), slot)))
             }
             Expr::UnionJoin { left, right, on } => {
-                let slot = self.slot(
+                let slot = self.slot_est(
                     format!("UnionJoin on [{}]", self.universe.render_attrs(on)),
                     depth,
+                    est,
                 );
                 let l = self.build(left, depth + 1)?;
                 let r = self.build(right, depth + 1)?;
                 Ok(Box::new(UnionJoinOp::new(l, r, on.clone(), slot)))
             }
             Expr::Divide { input, y, divisor } => {
-                let slot = self.slot(
+                let slot = self.slot_est(
                     format!("Divide over [{}]", self.universe.render_attrs(y)),
                     depth,
+                    est,
                 );
                 let input = self.build(input, depth + 1)?;
                 let divisor = self.build(divisor, depth + 1)?;
@@ -263,13 +315,14 @@ impl<S: ExecSource> Compiler<'_, S> {
         name: &str,
         mapping: Option<&std::collections::BTreeMap<AttrId, AttrId>>,
         depth: usize,
-    ) -> CoreResult<BoxedOp> {
+        est: Option<u64>,
+    ) -> CoreResult<BoxedOp<'a>> {
         let (rows, stats) = self
             .source
             .table_scan(name)
             .ok_or_else(|| CoreError::UnknownRelation(name.to_owned()))?;
         let rows = apply_rename(rows, mapping);
-        let slot = self.slot(format!("TableScan {name}"), depth);
+        let slot = self.slot_est(format!("TableScan {name}"), depth, est);
         slot.borrow_mut().absorb_scan(&stats);
         Ok(Box::new(ScanOp::new(rows, slot)))
     }
@@ -284,12 +337,13 @@ impl<S: ExecSource> Compiler<'_, S> {
         input: &Expr,
         predicate: &Predicate,
         depth: usize,
-    ) -> CoreResult<BoxedOp> {
+    ) -> CoreResult<BoxedOp<'a>> {
+        let est = self.est_select(input, predicate);
         // Only the TRUE band may restructure the predicate: an index probe
         // returns sure matches, and splitting a conjunction is a
         // lower-bound rewrite.
         if self.band == Truth::True {
-            if let Some(op) = self.try_index_select(input, predicate, depth)? {
+            if let Some(op) = self.try_index_select(input, predicate, depth, est)? {
                 return Ok(op);
             }
             if let Expr::ThetaJoin {
@@ -309,23 +363,26 @@ impl<S: ExecSource> Compiler<'_, S> {
                         keys.insert(0, (*left_attr, *right_attr));
                         let join = match and_all(rest) {
                             Some(residual) => {
-                                let slot = self.slot(
+                                let slot = self.slot_est(
                                     format!("Filter {}", residual.render(self.universe)),
                                     depth,
+                                    est,
                                 );
-                                let join = self.build_hash_join(left, right, keys, depth + 1)?;
+                                let join =
+                                    self.build_equality_join(left, right, keys, depth + 1, None)?;
                                 Box::new(FilterOp::new(join, residual, self.band, slot))
                             }
-                            None => self.build_hash_join(left, right, keys, depth)?,
+                            None => self.build_equality_join(left, right, keys, depth, est)?,
                         };
                         return Ok(join);
                     }
                 }
             }
         }
-        let slot = self.slot(
+        let slot = self.slot_est(
             format!("Filter {}", predicate.render(self.universe)),
             depth,
+            est,
         );
         let input = self.build(input, depth + 1)?;
         Ok(Box::new(FilterOp::new(
@@ -337,13 +394,17 @@ impl<S: ExecSource> Compiler<'_, S> {
     }
 
     /// Index selection: `Select` over `Named` / `Rename(Named)` where some
-    /// `attr = const` conjunct is covered by a catalog index.
+    /// `attr = const` conjunct is covered by a catalog index. **Cost-based**:
+    /// among the index-covered conjuncts, the one with the lowest estimated
+    /// result cardinality — `rows · (1 − ni(A)) / distinct(A)` from the
+    /// statistics catalog — is probed; the rest stay a residual filter.
     fn try_index_select(
         &mut self,
         input: &Expr,
         predicate: &Predicate,
         depth: usize,
-    ) -> CoreResult<Option<BoxedOp>> {
+        est: Option<u64>,
+    ) -> CoreResult<Option<BoxedOp<'a>>> {
         let (name, mapping) = match input {
             Expr::Named(name) => (name.as_str(), None),
             Expr::Rename { input, mapping } => match input.as_ref() {
@@ -354,7 +415,8 @@ impl<S: ExecSource> Compiler<'_, S> {
         };
         let mut conjuncts = Vec::new();
         split_and(predicate.clone(), &mut conjuncts);
-        let mut probe = None;
+        let table_stats = self.source.table_statistics(name);
+        let mut best: Option<(usize, AttrId, Value, f64)> = None;
         for (i, c) in conjuncts.iter().enumerate() {
             let Some((attr, value)) = attr_const_eq(c) else {
                 continue;
@@ -366,28 +428,40 @@ impl<S: ExecSource> Compiler<'_, S> {
                 },
                 None => attr,
             };
-            if let Some((rows, stats)) =
-                self.source
-                    .index_probe(name, &[base], std::slice::from_ref(value))
-            {
-                probe = Some((i, base, value.clone(), rows, stats));
-                break;
+            if !self.source.has_index(name, &[base]) {
+                continue;
+            }
+            let expected = match &table_stats {
+                Some(ts) => {
+                    let rows = ts.rows as f64;
+                    let distinct = ts.distinct(base).unwrap_or(1).max(1) as f64;
+                    rows * (1.0 - ts.ni_fraction(base)) / distinct
+                }
+                // No statistics: any covering index beats a full scan.
+                None => 0.0,
+            };
+            if best.as_ref().is_none_or(|(_, _, _, cost)| expected < *cost) {
+                best = Some((i, base, value.clone(), expected));
             }
         }
-        let Some((consumed, base, value, rows, stats)) = probe else {
+        let Some((consumed, base, value, _)) = best else {
+            return Ok(None);
+        };
+        let Some((rows, stats)) =
+            self.source
+                .index_probe(name, &[base], std::slice::from_ref(&value))
+        else {
             return Ok(None);
         };
         conjuncts.remove(consumed);
         let rows = apply_rename(rows, mapping);
-        let scan_label = format!(
-            "IndexScan {name} [{} = {value}]",
-            self.attr_name(base)
-        );
-        let op: BoxedOp = match and_all(conjuncts) {
+        let scan_label = format!("IndexScan {name} [{} = {value}]", self.attr_name(base));
+        let op: BoxedOp<'a> = match and_all(conjuncts) {
             Some(residual) => {
-                let filter_slot = self.slot(
+                let filter_slot = self.slot_est(
                     format!("Filter {}", residual.render(self.universe)),
                     depth,
+                    est,
                 );
                 let scan_slot = self.slot(scan_label, depth + 1);
                 scan_slot.borrow_mut().absorb_scan(&stats);
@@ -399,7 +473,7 @@ impl<S: ExecSource> Compiler<'_, S> {
                 ))
             }
             None => {
-                let scan_slot = self.slot(scan_label, depth);
+                let scan_slot = self.slot_est(scan_label, depth, est);
                 scan_slot.borrow_mut().absorb_scan(&stats);
                 Box::new(ScanOp::new(rows, scan_slot))
             }
@@ -407,13 +481,16 @@ impl<S: ExecSource> Compiler<'_, S> {
         Ok(Some(op))
     }
 
-    fn build_hash_join(
+    /// Compiles an equality join, choosing between a hash join and an
+    /// index-nested-loop join by estimated cost.
+    fn build_equality_join(
         &mut self,
         left: &Expr,
         right: &Expr,
         mut keys: Vec<(AttrId, AttrId)>,
         depth: usize,
-    ) -> CoreResult<BoxedOp> {
+        est: Option<u64>,
+    ) -> CoreResult<BoxedOp<'a>> {
         // Orient every pair so the first attribute belongs to the left
         // scope when scopes are known (the optimizer emits them oriented,
         // but hand-built ThetaJoin nodes may not be).
@@ -424,6 +501,9 @@ impl<S: ExecSource> Compiler<'_, S> {
                 }
             }
         }
+        if let Some(op) = self.try_index_nested_loop(left, right, &keys, depth, est)? {
+            return Ok(op);
+        }
         let label = format!(
             "HashJoin {}",
             keys.iter()
@@ -431,13 +511,124 @@ impl<S: ExecSource> Compiler<'_, S> {
                 .collect::<Vec<_>>()
                 .join(" AND ")
         );
-        let slot = self.slot(label, depth);
+        let slot = self.slot_est(label, depth, est);
         let l = self.build(left, depth + 1)?;
         let r = self.build(right, depth + 1)?;
         let (lk, rk) = keys.into_iter().unzip();
         Ok(Box::new(HashJoinOp::new(l, r, lk, rk, slot)))
     }
 
+    /// The probe target of an index-nested-loop join, if `expr` is a base
+    /// scan (possibly renamed) with an index covering the base columns of
+    /// the join key.
+    #[allow(clippy::type_complexity)]
+    fn inl_target(
+        &self,
+        expr: &Expr,
+        key_attrs: &[AttrId],
+    ) -> Option<(
+        String,
+        Vec<AttrId>,
+        Option<std::collections::BTreeMap<AttrId, AttrId>>,
+    )> {
+        let (name, mapping) = match expr {
+            Expr::Named(name) => (name.clone(), None),
+            Expr::Rename { input, mapping } => match input.as_ref() {
+                Expr::Named(name) => (name.clone(), Some(mapping.clone())),
+                _ => return None,
+            },
+            _ => return None,
+        };
+        let base: Option<Vec<AttrId>> = key_attrs
+            .iter()
+            .map(|a| match &mapping {
+                Some(m) => base_attr(m, *a),
+                None => Some(*a),
+            })
+            .collect();
+        let base = base?;
+        self.source
+            .has_index(&name, &base)
+            .then_some((name, base, mapping))
+    }
+
+    /// Chooses an index-nested-loop join over a hash join when one side is
+    /// an index-covered base scan and the estimated probe cost beats the
+    /// hash join's build-plus-probe cost — i.e. when the outer side is
+    /// estimated small relative to the indexed side.
+    fn try_index_nested_loop(
+        &mut self,
+        left: &Expr,
+        right: &Expr,
+        keys: &[(AttrId, AttrId)],
+        depth: usize,
+        est: Option<u64>,
+    ) -> CoreResult<Option<BoxedOp<'a>>> {
+        if self.band != Truth::True {
+            return Ok(None);
+        }
+        let left_keys: Vec<AttrId> = keys.iter().map(|k| k.0).collect();
+        let right_keys: Vec<AttrId> = keys.iter().map(|k| k.1).collect();
+        let l_rows = self.estimator.estimate(left).rows;
+        let r_rows = self.estimator.estimate(right).rows;
+        // Hash join cost: materialise the build side, stream the probe side.
+        let hash_cost = l_rows + r_rows;
+        type Target = (
+            String,
+            Vec<AttrId>,
+            Option<std::collections::BTreeMap<AttrId, AttrId>>,
+        );
+        let mut best: Option<(f64, bool, Target)> = None;
+        for (inner_is_right, inner_expr, inner_keys, outer_rows) in [
+            (true, right, &right_keys, l_rows),
+            (false, left, &left_keys, r_rows),
+        ] {
+            let Some(target) = self.inl_target(inner_expr, inner_keys) else {
+                continue;
+            };
+            // Index fan-out per probe, from the statistics catalog.
+            let per_probe = self.source.table_statistics(&target.0).map_or(1.0, |ts| {
+                let d: f64 = target
+                    .1
+                    .iter()
+                    .map(|a| ts.distinct(*a).unwrap_or(1).max(1) as f64)
+                    .product();
+                (ts.rows as f64 / d.max(1.0)).max(1.0)
+            });
+            let cost = outer_rows * (1.0 + per_probe);
+            if cost < hash_cost && best.as_ref().is_none_or(|(c, ..)| cost < *c) {
+                best = Some((cost, inner_is_right, target));
+            }
+        }
+        let Some((_, inner_is_right, (name, base, mapping))) = best else {
+            return Ok(None);
+        };
+        let (outer_expr, outer_keys, inner_keys) = if inner_is_right {
+            (left, left_keys, right_keys)
+        } else {
+            (right, right_keys, left_keys)
+        };
+        let label = format!(
+            "IndexNestedLoopJoin {name} [{}]",
+            inner_keys
+                .iter()
+                .zip(outer_keys.iter())
+                .map(|(i, o)| format!("{} = {}", self.attr_name(*i), self.attr_name(*o)))
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        );
+        let slot = self.slot_est(label, depth, est);
+        let outer = self.build(outer_expr, depth + 1)?;
+        Ok(Some(Box::new(IndexNestedLoopJoinOp::new(
+            self.source,
+            name,
+            base,
+            mapping,
+            outer,
+            outer_keys,
+            slot,
+        ))))
+    }
 }
 
 // The seed's `fallback` (tree-walk `Expr::eval` wrapped in a scan) is gone:
@@ -584,7 +775,8 @@ mod tests {
     #[test]
     fn index_probe_matches_numeric_equality() {
         let mut db = Database::new();
-        db.create_table(SchemaBuilder::new("T").column("A")).unwrap();
+        db.create_table(SchemaBuilder::new("T").column("A"))
+            .unwrap();
         let u = db.universe().clone();
         let a = u.lookup("A").unwrap();
         let t = db.table_mut("T").unwrap();
@@ -627,6 +819,156 @@ mod tests {
         assert_eq!(maybe.len(), 1, "only the ni-A pair is in the MAYBE band");
         assert!(maybe.x_contains(&Tuple::new().with(c, Value::int(2)).with(b, Value::int(1))));
         assert!(!stats.used_hash_join(), "plan:\n{}", stats.render());
+    }
+
+    /// The cost-based join choice: a tiny outer side against a large
+    /// indexed table runs as an index-nested-loop join — probing only the
+    /// matching rows — while the same plan without the index (or with a
+    /// large outer side) hash-joins.
+    #[test]
+    fn small_outer_side_chooses_index_nested_loop_join() {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("BIG").column("K").column("V"))
+            .unwrap();
+        let u = db.universe().clone();
+        let k = u.lookup("K").unwrap();
+        let t = db.table_mut("BIG").unwrap();
+        for i in 0..500i64 {
+            t.insert_named(&u, &[("K", Value::int(i)), ("V", Value::int(i * 2))])
+                .unwrap();
+        }
+        t.create_index(vec![k]).unwrap();
+
+        let mut u2 = u.clone();
+        let a = u2.intern("A");
+        let outer =
+            XRelation::from_tuples((0..3).map(|i| Tuple::new().with(a, Value::int(i * 100))));
+        let join = Expr::ThetaJoin {
+            left: Box::new(Expr::literal(outer)),
+            left_attr: a,
+            op: CompareOp::Eq,
+            right_attr: k,
+            right: Box::new(Expr::named("BIG")),
+        };
+        let oracle = join.eval(&db).unwrap();
+        let (got, stats) = compile(&join, &db, &u2).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(
+            stats.used_index_nested_loop_join(),
+            "plan:\n{}",
+            stats.render()
+        );
+        assert!(!stats.used_hash_join());
+        // The inner table was probed, not scanned: 3 rows examined.
+        assert_eq!(stats.rows_examined(), 3, "plan:\n{}", stats.render());
+
+        // Without the index the same plan hash-joins.
+        let mut db2 = Database::new();
+        db2.create_table(SchemaBuilder::new("BIG").column("K").column("V"))
+            .unwrap();
+        let t = db2.table_mut("BIG").unwrap();
+        for i in 0..500i64 {
+            t.insert_named(&u, &[("K", Value::int(i)), ("V", Value::int(i * 2))])
+                .unwrap();
+        }
+        let (got2, stats2) = compile(&join, &db2, &u2).unwrap().run().unwrap();
+        assert_eq!(got2, oracle);
+        assert!(stats2.used_hash_join(), "plan:\n{}", stats2.render());
+        assert!(!stats2.used_index_nested_loop_join());
+    }
+
+    /// A large outer side keeps the hash join even when the index exists:
+    /// per-row probes would cost more than one build pass.
+    #[test]
+    fn large_outer_side_keeps_the_hash_join() {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("SMALL").column("K"))
+            .unwrap();
+        let u = db.universe().clone();
+        let k = u.lookup("K").unwrap();
+        let t = db.table_mut("SMALL").unwrap();
+        for i in 0..4i64 {
+            t.insert_named(&u, &[("K", Value::int(i))]).unwrap();
+        }
+        t.create_index(vec![k]).unwrap();
+        let mut u2 = u.clone();
+        let a = u2.intern("A");
+        let outer =
+            XRelation::from_tuples((0..300).map(|i| Tuple::new().with(a, Value::int(i % 50))));
+        let join = Expr::ThetaJoin {
+            left: Box::new(Expr::literal(outer)),
+            left_attr: a,
+            op: CompareOp::Eq,
+            right_attr: k,
+            right: Box::new(Expr::named("SMALL")),
+        };
+        let oracle = join.eval(&db).unwrap();
+        let (got, stats) = compile(&join, &db, &u2).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(stats.used_hash_join(), "plan:\n{}", stats.render());
+    }
+
+    /// Cost-based index selection: with indexes on two constrained columns,
+    /// the planner probes the more selective one (the key-like column, one
+    /// row per value) rather than the first conjunct in writing order.
+    #[test]
+    fn index_selection_prefers_the_more_selective_index() {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("T").column("GROUP").column("ID"))
+            .unwrap();
+        let u = db.universe().clone();
+        let g = u.lookup("GROUP").unwrap();
+        let id = u.lookup("ID").unwrap();
+        let t = db.table_mut("T").unwrap();
+        for i in 0..100i64 {
+            t.insert_named(&u, &[("GROUP", Value::int(i % 2)), ("ID", Value::int(i))])
+                .unwrap();
+        }
+        t.create_index(vec![g]).unwrap();
+        t.create_index(vec![id]).unwrap();
+        // GROUP first in the predicate — the cost model must still pick ID.
+        let expr = Expr::named("T").select(
+            Predicate::attr_const(g, CompareOp::Eq, 1).and(Predicate::attr_const(
+                id,
+                CompareOp::Eq,
+                77,
+            )),
+        );
+        let oracle = expr.eval(&db).unwrap();
+        let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(
+            stats.render().contains("IndexScan T [ID = 77]"),
+            "plan:\n{}",
+            stats.render()
+        );
+        assert_eq!(stats.rows_examined(), 1, "plan:\n{}", stats.render());
+    }
+
+    /// TRUE-band pipelines carry `est_rows` annotations and an overall
+    /// estimation error; MAYBE-band pipelines carry none.
+    #[test]
+    fn estimates_annotate_true_band_plans() {
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let s = u.lookup("S#").unwrap();
+        let expr = Expr::named("PS").select(Predicate::attr_const(s, CompareOp::Eq, "s1"));
+        let (_, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+        assert!(
+            stats.ops.iter().all(|o| o.est_rows.is_some()),
+            "{}",
+            stats.render()
+        );
+        assert!(stats.render().contains("est="), "{}", stats.render());
+        let q = stats.estimation_error().unwrap();
+        assert!(q >= 1.0, "q-error is a ratio: {q}");
+
+        let (_, maybe) = compile_band(&expr, &db, &u, Truth::Ni)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(maybe.ops.iter().all(|o| o.est_rows.is_none()));
+        assert!(maybe.estimation_error().is_none());
     }
 
     #[test]

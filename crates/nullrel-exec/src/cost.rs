@@ -1,0 +1,614 @@
+//! Cost-based join ordering: the DP-over-subsets enumerator (with a greedy
+//! fallback for wide queries) that replaces declaration-order left-deep
+//! join trees.
+//!
+//! The optimizer flattens a maximal component of `Select` / `Product` /
+//! `ThetaJoin` nodes into a **join graph** — the base relations plus the
+//! predicate conjuncts, each tagged with the set of relations it touches —
+//! and then searches the space of join trees:
+//!
+//! * up to [`DP_RELATION_LIMIT`] relations: exact dynamic programming over
+//!   relation subsets (every subset's best tree is computed once, splits
+//!   enumerated over sub-subsets — the classical Selinger-style search,
+//!   bushy trees included);
+//! * beyond that: greedy pairwise merging, always joining the pair with
+//!   the cheapest combined cost (the 3ⁿ subset walk would explode).
+//!
+//! Cardinalities come from the `nullrel-stats` estimator: each conjunct's
+//! TRUE-band selectivity is computed once against the merged column
+//! estimates of all leaves (scopes are disjoint by construction, so the
+//! merge is well-defined), and a subset's cardinality is the product of
+//! its leaf cardinalities and the selectivities of every conjunct it
+//! covers. The cost of a join step is `|L| + |R|` when an equality
+//! conjunct links the two sides (a hash or index join applies) and
+//! `|L| · |R|` when only a Cartesian product is possible, plus the
+//! estimated output — so the enumerator steers both join order *and*
+//! product avoidance.
+//!
+//! Reordering is sound because the flattened component is exactly
+//! `σ_P(R₁ × … × Rₙ)` over pairwise disjoint scopes: the product is
+//! commutative and associative, and conjunct placement follows the same
+//! TRUE-band lower-bound argument as selection pushdown. The pass only
+//! fires when every leaf scope is statically known and disjoint.
+
+use std::collections::HashMap;
+
+use nullrel_core::algebra::Expr;
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tvl::CompareOp;
+use nullrel_core::universe::AttrSet;
+use nullrel_stats::estimate::{selectivity, ColumnEstimate, Estimate};
+use nullrel_stats::Estimator;
+
+use crate::optimize::{equi_pair, extra_join_keys, scope_of, split_and, wrap};
+use crate::source::ExecSource;
+
+/// Exact DP is run up to this many relations; wider components fall back
+/// to the greedy pairwise merge.
+pub const DP_RELATION_LIMIT: usize = 8;
+
+/// The flattened form of a join component: base relations plus predicate
+/// conjuncts tagged with the relations they touch.
+struct JoinGraph {
+    /// The leaf expressions (base relations or opaque sub-plans).
+    relations: Vec<Expr>,
+    /// Each leaf's (statically known) attribute scope.
+    scopes: Vec<AttrSet>,
+    /// `(conjunct, bitmask of touched relations)`; applied exactly once,
+    /// at the lowest join node covering the mask.
+    conjuncts: Vec<(Predicate, u64)>,
+    /// Conjuncts touching no relation attribute (constant predicates or
+    /// attributes outside every scope): re-applied above the join tree.
+    residual: Vec<Predicate>,
+}
+
+/// Collects the join component rooted at `expr`, or `None` when the shape
+/// or missing scope information makes reordering unsafe.
+fn flatten<S: ExecSource>(expr: &Expr, source: &S) -> Option<JoinGraph> {
+    // Cheap borrowing pre-count before any leaf is cloned: components of
+    // one or two relations have a unique join shape, and more than 64
+    // would overflow the u64 relation bitmasks (such a plan keeps its
+    // declaration order).
+    let n = count_relations(expr);
+    if !(3..=64).contains(&n) {
+        return None;
+    }
+    let mut relations = Vec::new();
+    let mut predicates = Vec::new();
+    collect(expr, &mut relations, &mut predicates);
+    let mut scopes = Vec::with_capacity(relations.len());
+    for rel in &relations {
+        scopes.push(scope_of(rel, source)?);
+    }
+    // Pairwise disjoint scopes: the precondition of product commutativity
+    // (and of the original plan's validity — range scopes are disjoint by
+    // construction, but hand-built plans may violate it).
+    for i in 0..scopes.len() {
+        for j in i + 1..scopes.len() {
+            if scopes[i].intersection(&scopes[j]).next().is_some() {
+                return None;
+            }
+        }
+    }
+    let mut conjuncts = Vec::new();
+    let mut residual = Vec::new();
+    for p in predicates {
+        let attrs = p.attrs();
+        let mut mask = 0u64;
+        for (i, scope) in scopes.iter().enumerate() {
+            if attrs.iter().any(|a| scope.contains(a)) {
+                mask |= 1 << i;
+            }
+        }
+        if mask == 0 || !attrs.iter().all(|a| scopes.iter().any(|s| s.contains(a))) {
+            residual.push(p);
+        } else {
+            conjuncts.push((p, mask));
+        }
+    }
+    Some(JoinGraph {
+        relations,
+        scopes,
+        conjuncts,
+        residual,
+    })
+}
+
+/// The number of leaf relations a [`collect`] walk would produce, without
+/// cloning anything.
+fn count_relations(expr: &Expr) -> usize {
+    match expr {
+        Expr::Select { input, .. } => count_relations(input),
+        Expr::Product(a, b) => count_relations(a) + count_relations(b),
+        Expr::ThetaJoin { left, right, .. } => count_relations(left) + count_relations(right),
+        _ => 1,
+    }
+}
+
+fn collect(expr: &Expr, relations: &mut Vec<Expr>, predicates: &mut Vec<Predicate>) {
+    match expr {
+        Expr::Select { input, predicate } => {
+            split_and(predicate.clone(), predicates);
+            collect(input, relations, predicates);
+        }
+        Expr::Product(a, b) => {
+            collect(a, relations, predicates);
+            collect(b, relations, predicates);
+        }
+        Expr::ThetaJoin {
+            left,
+            left_attr,
+            op,
+            right_attr,
+            right,
+        } => {
+            predicates.push(Predicate::attr_attr(*left_attr, *op, *right_attr));
+            collect(left, relations, predicates);
+            collect(right, relations, predicates);
+        }
+        other => relations.push(other.clone()),
+    }
+}
+
+/// A binary join tree over leaf indices.
+enum Tree {
+    Leaf(usize),
+    Node(Box<Tree>, Box<Tree>),
+}
+
+impl Tree {
+    fn mask(&self) -> u64 {
+        match self {
+            Tree::Leaf(i) => 1 << i,
+            Tree::Node(l, r) => l.mask() | r.mask(),
+        }
+    }
+}
+
+/// The per-subset cardinality/cost search state shared by the DP and the
+/// greedy fallback.
+struct Search {
+    leaf_rows: Vec<f64>,
+    scopes: Vec<AttrSet>,
+    conjuncts: Vec<(Predicate, u64)>,
+    selectivities: Vec<f64>,
+}
+
+impl Search {
+    /// The estimated cardinality of a relation subset: leaf cardinalities
+    /// times the selectivity of every conjunct the subset covers.
+    fn rows(&self, mask: u64) -> f64 {
+        let mut rows: f64 = (0..self.leaf_rows.len())
+            .filter(|i| mask & (1 << i) != 0)
+            .map(|i| self.leaf_rows[i])
+            .product();
+        for ((_, cmask), sel) in self.conjuncts.iter().zip(&self.selectivities) {
+            if cmask & !mask == 0 {
+                rows *= sel;
+            }
+        }
+        rows
+    }
+
+    fn scope(&self, mask: u64) -> AttrSet {
+        let mut out = AttrSet::new();
+        for (i, s) in self.scopes.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                out.extend(s.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// True when an equality conjunct links the two sides, so the step can
+    /// run as a hash (or index-nested-loop) join instead of a product.
+    fn equi_linked(&self, s: u64, t: u64) -> bool {
+        let (ss, ts) = (self.scope(s), self.scope(t));
+        self.conjuncts.iter().any(|(p, cmask)| {
+            cmask & !(s | t) == 0
+                && cmask & s != 0
+                && cmask & t != 0
+                && equi_pair(p, &ss, &ts).is_some()
+        })
+    }
+
+    /// The cost of joining two already-built subsets.
+    fn join_cost(&self, s: u64, t: u64) -> f64 {
+        let (rs, rt) = (self.rows(s), self.rows(t));
+        let step = if self.equi_linked(s, t) {
+            rs + rt
+        } else {
+            rs * rt
+        };
+        step + self.rows(s | t)
+    }
+}
+
+struct Entry {
+    cost: f64,
+    split: Option<(u64, u64)>,
+}
+
+/// Exact DP over subsets. Returns the best tree over all relations.
+fn solve_dp(search: &Search, n: usize) -> Tree {
+    let full: u64 = (1 << n) - 1;
+    let mut table: HashMap<u64, Entry> = HashMap::new();
+    for i in 0..n {
+        table.insert(
+            1 << i,
+            Entry {
+                cost: search.leaf_rows[i],
+                split: None,
+            },
+        );
+    }
+    // Masks in increasing popcount order so sub-solutions exist.
+    let mut masks: Vec<u64> = (1..=full).filter(|m| m.count_ones() >= 2).collect();
+    masks.sort_by_key(|m| m.count_ones());
+    for mask in masks {
+        let mut best: Option<Entry> = None;
+        // Enumerate splits; `s < t` halves the walk (join trees are
+        // unordered here — the compiler orients build/probe sides later).
+        let mut s = (mask - 1) & mask;
+        while s > 0 {
+            let t = mask ^ s;
+            if s < t {
+                let cost = table[&s].cost + table[&t].cost + search.join_cost(s, t);
+                if best.as_ref().is_none_or(|b| cost < b.cost) {
+                    best = Some(Entry {
+                        cost,
+                        split: Some((s, t)),
+                    });
+                }
+            }
+            s = (s - 1) & mask;
+        }
+        table.insert(mask, best.expect("every mask has a split"));
+    }
+    fn rebuild(table: &HashMap<u64, Entry>, mask: u64) -> Tree {
+        match table[&mask].split {
+            None => Tree::Leaf(mask.trailing_zeros() as usize),
+            Some((s, t)) => Tree::Node(Box::new(rebuild(table, s)), Box::new(rebuild(table, t))),
+        }
+    }
+    rebuild(&table, full)
+}
+
+/// Greedy pairwise merging for components wider than the DP limit.
+fn solve_greedy(search: &Search, n: usize) -> Tree {
+    let mut components: Vec<Tree> = (0..n).map(Tree::Leaf).collect();
+    while components.len() > 1 {
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..components.len() {
+            for j in i + 1..components.len() {
+                let cost = search.join_cost(components[i].mask(), components[j].mask());
+                if cost < best.2 {
+                    best = (i, j, cost);
+                }
+            }
+        }
+        let right = components.remove(best.1);
+        let left = components.remove(best.0);
+        components.push(Tree::Node(Box::new(left), Box::new(right)));
+    }
+    components.pop().expect("at least one component")
+}
+
+/// The total cost of the declaration-order left-deep tree, for the log.
+fn declaration_cost(search: &Search, n: usize) -> f64 {
+    let mut cost = search.leaf_rows[0];
+    let mut mask = 1u64;
+    for i in 1..n {
+        cost += search.leaf_rows[i] + search.join_cost(mask, 1 << i);
+        mask |= 1 << i;
+    }
+    cost
+}
+
+/// Rebuilds the chosen join tree as an [`Expr`], applying every conjunct
+/// at the lowest node that covers it (equality conjuncts linking the two
+/// sides become `ThetaJoin` keys; the rest become residual selections).
+fn build_expr(
+    tree: &Tree,
+    graph: &JoinGraph,
+    search: &Search,
+    used: &mut [bool],
+) -> (Expr, AttrSet) {
+    let mask = tree.mask();
+    match tree {
+        Tree::Leaf(i) => {
+            let mut conjs = Vec::new();
+            for (j, (p, cmask)) in graph.conjuncts.iter().enumerate() {
+                if !used[j] && cmask & !mask == 0 {
+                    used[j] = true;
+                    conjs.push(p.clone());
+                }
+            }
+            (wrap(graph.relations[*i].clone(), conjs), search.scope(mask))
+        }
+        Tree::Node(l, r) => {
+            let (le, ls) = build_expr(l, graph, search, used);
+            let (re, rs) = build_expr(r, graph, search, used);
+            let mut cross = Vec::new();
+            for (j, (p, cmask)) in graph.conjuncts.iter().enumerate() {
+                if !used[j] && cmask & !mask == 0 {
+                    used[j] = true;
+                    cross.push(p.clone());
+                }
+            }
+            let (keys, mut rest) = extra_join_keys(cross, &ls, &rs);
+            let mut scope = ls;
+            scope.extend(rs.iter().copied());
+            let expr = match keys.split_first() {
+                Some(((la, ra), more)) => {
+                    // Further equality pairs rejoin the residual list; the
+                    // compiler widens the hash-join key list from them.
+                    for (a, b) in more {
+                        rest.push(Predicate::attr_attr(*a, CompareOp::Eq, *b));
+                    }
+                    wrap(
+                        Expr::ThetaJoin {
+                            left: Box::new(le),
+                            left_attr: *la,
+                            op: CompareOp::Eq,
+                            right_attr: *ra,
+                            right: Box::new(re),
+                        },
+                        rest,
+                    )
+                }
+                None => wrap(Expr::Product(Box::new(le), Box::new(re)), rest),
+            };
+            (expr, scope)
+        }
+    }
+}
+
+/// Merges every leaf's column estimates into one scope-wide estimate the
+/// per-conjunct selectivities are computed against.
+fn merged_columns(estimates: &[Estimate]) -> Estimate {
+    let mut columns = std::collections::BTreeMap::<_, ColumnEstimate>::new();
+    for e in estimates {
+        columns.extend(e.columns.clone());
+    }
+    Estimate { rows: 0.0, columns }
+}
+
+/// Reorders every join component of `expr` by estimated cost. Components
+/// need at least three relations (two-relation plans have a unique join
+/// shape, handled by the product-to-join rewrite) and statically known,
+/// pairwise-disjoint leaf scopes.
+pub fn reorder_joins<S: ExecSource>(expr: Expr, source: &S, log: &mut Vec<String>) -> Expr {
+    let Some(graph) = flatten(&expr, source) else {
+        return crate::optimize::map_children(expr, &mut |c| reorder_joins(c, source, log));
+    };
+    let estimator = Estimator::new(source);
+    // Leaves may hold further components below non-join nodes: recurse.
+    let graph = JoinGraph {
+        relations: graph
+            .relations
+            .into_iter()
+            .map(|r| reorder_joins(r, source, log))
+            .collect(),
+        ..graph
+    };
+    let estimates: Vec<Estimate> = graph
+        .relations
+        .iter()
+        .map(|r| estimator.estimate(r))
+        .collect();
+    let combined = merged_columns(&estimates);
+    let search = Search {
+        leaf_rows: estimates.iter().map(|e| e.rows).collect(),
+        scopes: graph.scopes.clone(),
+        conjuncts: graph.conjuncts.clone(),
+        selectivities: graph
+            .conjuncts
+            .iter()
+            .map(|(p, _)| selectivity(p, &combined))
+            .collect(),
+    };
+    let n = graph.relations.len();
+    let (tree, strategy) = if n <= DP_RELATION_LIMIT {
+        (solve_dp(&search, n), "dp")
+    } else {
+        (solve_greedy(&search, n), "greedy")
+    };
+    let chosen = tree_cost(&tree, &search);
+    let declaration = declaration_cost(&search, n);
+    log.push(format!(
+        "cost-based-join-order ({strategy}): reordered {n} relations \
+         (estimated cost {chosen:.0} vs declaration-order {declaration:.0})"
+    ));
+    let mut used = vec![false; graph.conjuncts.len()];
+    let (ordered, _) = build_expr(&tree, &graph, &search, &mut used);
+    wrap(ordered, graph.residual.clone())
+}
+
+/// The total estimated cost of a join tree (leaf scans plus every join
+/// step).
+fn tree_cost(tree: &Tree, search: &Search) -> f64 {
+    match tree {
+        Tree::Leaf(i) => search.leaf_rows[*i],
+        Tree::Node(l, r) => {
+            tree_cost(l, search) + tree_cost(r, search) + search.join_cost(l.mask(), r.mask())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::predicate::Operand;
+
+    /// Whether a conjunct is an attribute-to-attribute equality (the
+    /// joinable kind).
+    fn is_equality(p: &Predicate) -> bool {
+        matches!(
+            p,
+            Predicate::Cmp(c)
+                if c.op == CompareOp::Eq
+                    && matches!((&c.left, &c.right), (Operand::Attr(_), Operand::Attr(_)))
+        )
+    }
+    use nullrel_core::algebra::NoSource;
+    use nullrel_core::tuple::Tuple;
+    use nullrel_core::universe::{AttrId, Universe};
+    use nullrel_core::value::Value;
+    use nullrel_core::xrel::XRelation;
+
+    /// A star schema where declaration order is pessimal: three dimension
+    /// tables first (mutually unconnected: their pairwise joins are
+    /// Cartesian products), the small fact table last.
+    fn star(dim_rows: usize, fact_rows: usize) -> (Universe, Vec<AttrId>, Expr, Predicate) {
+        let mut u = Universe::new();
+        let keys: Vec<AttrId> = (0..3).map(|i| u.intern(&format!("d{i}.K"))).collect();
+        let vals: Vec<AttrId> = (0..3).map(|i| u.intern(&format!("d{i}.V"))).collect();
+        let fkeys: Vec<AttrId> = (0..3).map(|i| u.intern(&format!("f.K{i}"))).collect();
+        let dims: Vec<Expr> = (0..3)
+            .map(|d| {
+                Expr::literal(XRelation::from_tuples((0..dim_rows).map(|i| {
+                    Tuple::new()
+                        .with(keys[d], Value::int(i as i64))
+                        .with(vals[d], Value::int((i * 10) as i64))
+                })))
+            })
+            .collect();
+        let fact = Expr::literal(XRelation::from_tuples((0..fact_rows).map(|i| {
+            let mut t = Tuple::new();
+            for (j, fk) in fkeys.iter().enumerate() {
+                t = t.with(*fk, Value::int(((i + j) % dim_rows) as i64));
+            }
+            t
+        })));
+        let mut iter = dims.into_iter();
+        let plan = iter
+            .next()
+            .unwrap()
+            .product(iter.next().unwrap())
+            .product(iter.next().unwrap())
+            .product(fact);
+        let predicate = Predicate::attr_attr(fkeys[0], CompareOp::Eq, keys[0])
+            .and(Predicate::attr_attr(fkeys[1], CompareOp::Eq, keys[1]))
+            .and(Predicate::attr_attr(fkeys[2], CompareOp::Eq, keys[2]));
+        (u, keys, plan.select(predicate.clone()), predicate)
+    }
+
+    #[test]
+    fn flatten_extracts_relations_and_tagged_conjuncts() {
+        let (_u, _keys, plan, _) = star(4, 4);
+        let graph = flatten(&plan, &NoSource).unwrap();
+        assert_eq!(graph.relations.len(), 4);
+        assert_eq!(graph.conjuncts.len(), 3);
+        assert!(graph.residual.is_empty());
+        for (p, mask) in &graph.conjuncts {
+            assert!(is_equality(p));
+            assert_eq!(mask.count_ones(), 2, "each links fact to one dimension");
+            assert!(mask & (1 << 3) != 0, "every conjunct touches the fact");
+        }
+    }
+
+    #[test]
+    fn reordered_star_join_avoids_cartesian_products() {
+        let (u, _keys, plan, _) = star(6, 6);
+        let mut log = Vec::new();
+        let ordered = reorder_joins(plan.clone(), &NoSource, &mut log);
+        assert!(
+            log.iter().any(|l| l.starts_with("cost-based-join-order")),
+            "{log:?}"
+        );
+        // Every join node in the chosen tree is an equality θ-join; no
+        // Product survives (the fact table links all dimensions).
+        fn count_products(e: &Expr) -> usize {
+            match e {
+                Expr::Product(a, b) => 1 + count_products(a) + count_products(b),
+                Expr::Select { input, .. } => count_products(input),
+                Expr::ThetaJoin { left, right, .. } => count_products(left) + count_products(right),
+                _ => 0,
+            }
+        }
+        assert_eq!(count_products(&ordered), 0, "{}", ordered.explain(&u));
+        // The rewrite preserves the result.
+        assert_eq!(
+            ordered.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+    }
+
+    #[test]
+    fn greedy_fallback_handles_wide_components() {
+        // 9 relations chained by equalities: beyond the DP limit.
+        let mut u = Universe::new();
+        let attrs: Vec<AttrId> = (0..9).map(|i| u.intern(&format!("A{i}"))).collect();
+        // Two rows per relation: the declaration-order oracle eval pays the
+        // full 2⁹-row product, which must stay cheap in a unit test.
+        let rels: Vec<Expr> = attrs
+            .iter()
+            .map(|a| {
+                Expr::literal(XRelation::from_tuples(
+                    (0..2).map(|i| Tuple::new().with(*a, Value::int(i))),
+                ))
+            })
+            .collect();
+        let mut iter = rels.into_iter();
+        let mut plan = iter.next().unwrap();
+        for r in iter {
+            plan = plan.product(r);
+        }
+        let mut predicate = Predicate::attr_attr(attrs[0], CompareOp::Eq, attrs[1]);
+        for w in attrs.windows(2).skip(1) {
+            predicate = predicate.and(Predicate::attr_attr(w[0], CompareOp::Eq, w[1]));
+        }
+        let plan = plan.select(predicate);
+        let mut log = Vec::new();
+        let ordered = reorder_joins(plan.clone(), &NoSource, &mut log);
+        assert!(log.iter().any(|l| l.contains("(greedy)")), "{log:?}");
+        assert_eq!(
+            ordered.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+    }
+
+    #[test]
+    fn two_relation_components_are_left_alone() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let l = Expr::literal(XRelation::from_tuples(
+            [Tuple::new().with(a, Value::int(1))],
+        ));
+        let r = Expr::literal(XRelation::from_tuples(
+            [Tuple::new().with(b, Value::int(1))],
+        ));
+        let plan = l
+            .product(r)
+            .select(Predicate::attr_attr(a, CompareOp::Eq, b));
+        let mut log = Vec::new();
+        let ordered = reorder_joins(plan.clone(), &NoSource, &mut log);
+        assert!(log.is_empty());
+        assert_eq!(ordered, plan);
+    }
+
+    #[test]
+    fn overlapping_scopes_disable_reordering() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        let mk = |x: AttrId| {
+            Expr::literal(XRelation::from_tuples(
+                [Tuple::new().with(x, Value::int(1))],
+            ))
+        };
+        // The second and third leaves share attribute B.
+        let plan = mk(a)
+            .product(mk(b))
+            .product(mk(b))
+            .select(Predicate::attr_attr(a, CompareOp::Eq, c));
+        let mut log = Vec::new();
+        let _ = c;
+        let ordered = reorder_joins(plan.clone(), &NoSource, &mut log);
+        assert!(log.is_empty(), "{log:?}");
+        assert_eq!(ordered, plan);
+    }
+}

@@ -61,6 +61,7 @@
 #![forbid(unsafe_code)]
 
 pub mod compile;
+pub mod cost;
 pub mod op;
 pub mod optimize;
 pub mod source;
@@ -68,10 +69,10 @@ pub mod stats;
 
 pub use compile::{compile, compile_band, Pipeline};
 pub use op::{
-    DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IntersectOp, MinimizeOp,
-    ProductOp, ProjectOp, RenameOp, ScanOp, UnionJoinOp, UnionOp,
+    DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IndexNestedLoopJoinOp, IntersectOp,
+    MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, UnionJoinOp, UnionOp,
 };
-pub use optimize::{optimize, Optimized};
+pub use optimize::{optimize, optimize_with, JoinOrdering, OptimizeOptions, Optimized};
 pub use source::ExecSource;
 pub use stats::{ExecStats, OpStats};
 
@@ -87,7 +88,19 @@ pub fn execute_expr<S: ExecSource>(
     source: &S,
     universe: &Universe,
 ) -> CoreResult<(XRelation, ExecStats)> {
-    let optimized = optimize(expr, source);
+    execute_expr_with(expr, source, universe, OptimizeOptions::default())
+}
+
+/// [`execute_expr`] with explicit optimizer options — how the differential
+/// tests and benchmarks pit the cost-based plan against the
+/// declaration-order left-deep one.
+pub fn execute_expr_with<S: ExecSource>(
+    expr: &Expr,
+    source: &S,
+    universe: &Universe,
+    options: OptimizeOptions,
+) -> CoreResult<(XRelation, ExecStats)> {
+    let optimized = optimize_with(expr, source, options);
     compile(&optimized.expr, source, universe)?.run()
 }
 
@@ -119,10 +132,7 @@ mod tests {
     fn execute_expr_band_dispatches() {
         let mut u = Universe::new();
         let a = u.intern("A");
-        let rel = XRelation::from_tuples([
-            Tuple::new().with(a, Value::int(1)),
-            Tuple::new(),
-        ]);
+        let rel = XRelation::from_tuples([Tuple::new().with(a, Value::int(1)), Tuple::new()]);
         let plan = Expr::literal(rel).select(Predicate::attr_const(a, CompareOp::Gt, 0));
         let (sure, _) = execute_expr_band(&plan, &NoSource, &u, Truth::True).unwrap();
         assert_eq!(sure.len(), 1);

@@ -14,6 +14,9 @@
 //! * [`HashJoinOp`] — equality join: builds a hash table on the right input
 //!   keyed by [`Tuple::key_on`], probes with the left input. Null-keyed rows
 //!   on either side are `ni` under the paper's semantics and never match.
+//! * [`IndexNestedLoopJoinOp`] — equality join that probes a storage index
+//!   on the inner base relation per outer row; chosen by the cost-based
+//!   planner when the outer side is estimated small.
 //! * [`ProductOp`] — Cartesian product for predicate-less range pairs.
 //! * [`RenameOp`] — attribute renaming over an arbitrary sub-plan, with the
 //!   same streamed injectivity check as the relation-level rename.
@@ -52,8 +55,9 @@ use crate::stats::OpStats;
 /// A shared statistics slot.
 pub type StatsSlot = Rc<RefCell<OpStats>>;
 
-/// A boxed pipeline stage.
-pub type BoxedOp = Box<dyn TupleStream>;
+/// A boxed pipeline stage, allowed to borrow the execution source
+/// (index-nested-loop joins probe storage indexes while running).
+pub type BoxedOp<'a> = Box<dyn TupleStream + 'a>;
 
 /// Rows from an access path, counted as they stream out.
 pub struct ScanOp {
@@ -103,16 +107,16 @@ impl TupleStream for ScanOp {
 }
 
 /// Three-valued selection keeping one truth band.
-pub struct FilterOp {
-    input: BoxedOp,
+pub struct FilterOp<'a> {
+    input: BoxedOp<'a>,
     predicate: Predicate,
     want: Truth,
     stats: StatsSlot,
 }
 
-impl FilterOp {
+impl<'a> FilterOp<'a> {
     /// A filter keeping rows whose predicate evaluates to `want`.
-    pub fn new(input: BoxedOp, predicate: Predicate, want: Truth, stats: StatsSlot) -> Self {
+    pub fn new(input: BoxedOp<'a>, predicate: Predicate, want: Truth, stats: StatsSlot) -> Self {
         FilterOp {
             input,
             predicate,
@@ -122,7 +126,7 @@ impl FilterOp {
     }
 }
 
-impl TupleStream for FilterOp {
+impl TupleStream for FilterOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         while let Some(t) = self.input.next_tuple()? {
             let mut stats = self.stats.borrow_mut();
@@ -142,15 +146,15 @@ impl TupleStream for FilterOp {
 
 /// Projection onto an attribute set. Duplicates and newly subsumed tuples
 /// are left for the [`MinimizeOp`] sink.
-pub struct ProjectOp {
-    input: BoxedOp,
+pub struct ProjectOp<'a> {
+    input: BoxedOp<'a>,
     attrs: AttrSet,
     stats: StatsSlot,
 }
 
-impl ProjectOp {
+impl<'a> ProjectOp<'a> {
     /// A projection keeping the cells of `attrs`.
-    pub fn new(input: BoxedOp, attrs: AttrSet, stats: StatsSlot) -> Self {
+    pub fn new(input: BoxedOp<'a>, attrs: AttrSet, stats: StatsSlot) -> Self {
         ProjectOp {
             input,
             attrs,
@@ -159,7 +163,7 @@ impl ProjectOp {
     }
 }
 
-impl TupleStream for ProjectOp {
+impl TupleStream for ProjectOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         match self.input.next_tuple()? {
             Some(t) => {
@@ -183,9 +187,9 @@ fn normalize_key(key: Vec<Value>) -> Vec<Value> {
 /// Equality hash join. The right input is the build side, the left input
 /// the probe side; their scopes must be disjoint (the planner guarantees
 /// this), so every matching pair joins.
-pub struct HashJoinOp {
-    left: BoxedOp,
-    right: Option<BoxedOp>,
+pub struct HashJoinOp<'a> {
+    left: BoxedOp<'a>,
+    right: Option<BoxedOp<'a>>,
     left_keys: Vec<AttrId>,
     right_keys: Vec<AttrId>,
     table: HashMap<Vec<Value>, Vec<Tuple>>,
@@ -193,11 +197,11 @@ pub struct HashJoinOp {
     stats: StatsSlot,
 }
 
-impl HashJoinOp {
+impl<'a> HashJoinOp<'a> {
     /// A hash join on `left_keys[i] = right_keys[i]` pairs.
     pub fn new(
-        left: BoxedOp,
-        right: BoxedOp,
+        left: BoxedOp<'a>,
+        right: BoxedOp<'a>,
         left_keys: Vec<AttrId>,
         right_keys: Vec<AttrId>,
         stats: StatsSlot,
@@ -238,7 +242,7 @@ impl HashJoinOp {
     }
 }
 
-impl TupleStream for HashJoinOp {
+impl TupleStream for HashJoinOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         self.build()?;
         loop {
@@ -268,20 +272,118 @@ impl TupleStream for HashJoinOp {
     }
 }
 
+/// Index-nested-loop join: streams the outer input and, for every outer
+/// row, probes a storage index on the inner base relation through
+/// [`ExecSource::index_probe`].
+///
+/// The cost-based planner picks this operator over [`HashJoinOp`] when an
+/// index covers the inner join key and the outer side is estimated small:
+/// the inner relation is then never scanned or materialised at all — total
+/// work is proportional to the outer cardinality times the index fan-out,
+/// not to the inner table size. Probe keys travel through the same
+/// [`Value::join_key`] normalization as hash joins, and an outer row with
+/// a null key is counted into the `ni` band and never matches, exactly as
+/// the paper's lower-bound discipline demands.
+pub struct IndexNestedLoopJoinOp<'a, S> {
+    source: &'a S,
+    table: String,
+    base_attrs: Vec<AttrId>,
+    /// Base → qualified renaming of the probed rows (range-variable scans).
+    mapping: Option<BTreeMap<AttrId, AttrId>>,
+    outer: BoxedOp<'a>,
+    outer_keys: Vec<AttrId>,
+    pending: VecDeque<Tuple>,
+    stats: StatsSlot,
+}
+
+impl<'a, S: crate::source::ExecSource> IndexNestedLoopJoinOp<'a, S> {
+    /// An index-nested-loop join probing `table`'s index over `base_attrs`
+    /// with the `outer_keys` cells of each outer row.
+    pub fn new(
+        source: &'a S,
+        table: impl Into<String>,
+        base_attrs: Vec<AttrId>,
+        mapping: Option<BTreeMap<AttrId, AttrId>>,
+        outer: BoxedOp<'a>,
+        outer_keys: Vec<AttrId>,
+        stats: StatsSlot,
+    ) -> Self {
+        assert_eq!(
+            base_attrs.len(),
+            outer_keys.len(),
+            "probe keys must pair up with the indexed columns"
+        );
+        IndexNestedLoopJoinOp {
+            source,
+            table: table.into(),
+            base_attrs,
+            mapping,
+            outer,
+            outer_keys,
+            pending: VecDeque::new(),
+            stats,
+        }
+    }
+}
+
+impl<S: crate::source::ExecSource> TupleStream for IndexNestedLoopJoinOp<'_, S> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                self.stats.borrow_mut().rows_out += 1;
+                return Ok(Some(t));
+            }
+            let Some(outer) = self.outer.next_tuple()? else {
+                return Ok(None);
+            };
+            let mut stats = self.stats.borrow_mut();
+            stats.rows_in += 1;
+            let Some(key) = outer.key_on(&self.outer_keys) else {
+                // A null probe key can never satisfy the equality for sure.
+                stats.ni_rows += 1;
+                continue;
+            };
+            let Some((rows, scan)) = self.source.index_probe(&self.table, &self.base_attrs, &key)
+            else {
+                // The planner verified the index at compile time; losing it
+                // mid-run is an engine invariant violation, not a miss.
+                return Err(CoreError::Invariant(format!(
+                    "index-nested-loop join lost the index on {}",
+                    self.table
+                )));
+            };
+            stats.absorb_scan(&scan);
+            drop(stats);
+            for inner in rows {
+                let inner = match &self.mapping {
+                    Some(m) => inner.rename(m),
+                    None => inner,
+                };
+                let joined = outer.join(&inner).ok_or_else(|| {
+                    CoreError::Invariant(
+                        "index-nested-loop join inputs must have disjoint scopes".into(),
+                    )
+                })?;
+                self.pending.push_back(joined);
+            }
+        }
+    }
+}
+
 /// Cartesian product: materialises the right input once, then streams the
 /// left input against it.
-pub struct ProductOp {
-    left: BoxedOp,
-    right: Option<BoxedOp>,
+pub struct ProductOp<'a> {
+    left: BoxedOp<'a>,
+    right: Option<BoxedOp<'a>>,
     right_rows: Vec<Tuple>,
     current: Option<Tuple>,
     cursor: usize,
     stats: StatsSlot,
 }
 
-impl ProductOp {
+impl<'a> ProductOp<'a> {
     /// A product of two disjoint-scope inputs.
-    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, stats: StatsSlot) -> Self {
         ProductOp {
             left,
             right: Some(right),
@@ -293,7 +395,7 @@ impl ProductOp {
     }
 }
 
-impl TupleStream for ProductOp {
+impl TupleStream for ProductOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let Some(mut right) = self.right.take() {
             self.right_rows = right.drain_all()?;
@@ -331,16 +433,16 @@ impl TupleStream for ProductOp {
 /// operator accumulates every target it has produced and reports a
 /// [`CoreError::RenameCollision`] the moment two distinct source attributes
 /// land on the same target — even when they come from different tuples.
-pub struct RenameOp {
-    input: BoxedOp,
+pub struct RenameOp<'a> {
+    input: BoxedOp<'a>,
     mapping: BTreeMap<AttrId, AttrId>,
     claimed: HashMap<AttrId, AttrId>,
     stats: StatsSlot,
 }
 
-impl RenameOp {
+impl<'a> RenameOp<'a> {
     /// A renaming stage applying `mapping` (source → target) to every tuple.
-    pub fn new(input: BoxedOp, mapping: BTreeMap<AttrId, AttrId>, stats: StatsSlot) -> Self {
+    pub fn new(input: BoxedOp<'a>, mapping: BTreeMap<AttrId, AttrId>, stats: StatsSlot) -> Self {
         RenameOp {
             input,
             mapping,
@@ -350,7 +452,7 @@ impl RenameOp {
     }
 }
 
-impl TupleStream for RenameOp {
+impl TupleStream for RenameOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         let Some(t) = self.input.next_tuple()? else {
             return Ok(None);
@@ -378,14 +480,14 @@ impl TupleStream for RenameOp {
 /// the right input (a counted [`ChainStream`]). The `⌈…⌉` reduction to
 /// minimal form is exactly what the [`MinimizeOp`] sink does, so the
 /// operator itself is a pure pass-through and never materialises anything.
-pub struct UnionOp {
-    inner: ChainStream<BoxedOp, BoxedOp>,
+pub struct UnionOp<'a> {
+    inner: ChainStream<BoxedOp<'a>, BoxedOp<'a>>,
     stats: StatsSlot,
 }
 
-impl UnionOp {
+impl<'a> UnionOp<'a> {
     /// A streaming union of two inputs.
-    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, stats: StatsSlot) -> Self {
         UnionOp {
             inner: ChainStream::new(left, right),
             stats,
@@ -393,7 +495,7 @@ impl UnionOp {
     }
 }
 
-impl TupleStream for UnionOp {
+impl TupleStream for UnionOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         let next = self.inner.next_tuple()?;
         if next.is_some() {
@@ -410,16 +512,16 @@ impl TupleStream for UnionOp {
 /// [`TupleIndex`], so each left tuple costs one subsumption probe instead of
 /// a scan of the subtrahend. Sound on any input representation: domination
 /// is monotone downward, so a dominated tuple's subsumees are dominated too.
-pub struct DifferenceOp {
-    left: BoxedOp,
-    right: Option<BoxedOp>,
+pub struct DifferenceOp<'a> {
+    left: BoxedOp<'a>,
+    right: Option<BoxedOp<'a>>,
     index: Option<TupleIndex>,
     stats: StatsSlot,
 }
 
-impl DifferenceOp {
+impl<'a> DifferenceOp<'a> {
     /// A streaming difference `left − right`.
-    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, stats: StatsSlot) -> Self {
         DifferenceOp {
             left,
             right: Some(right),
@@ -429,7 +531,7 @@ impl DifferenceOp {
     }
 }
 
-impl TupleStream for DifferenceOp {
+impl TupleStream for DifferenceOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let Some(mut right) = self.right.take() {
             let rows = right.drain_all()?;
@@ -454,17 +556,17 @@ impl TupleStream for DifferenceOp {
 /// (null meets are dropped — they carry no information), and the sink
 /// minimises. Meets are monotone, so any input representation yields the
 /// same x-relation.
-pub struct IntersectOp {
-    left: BoxedOp,
-    right: Option<BoxedOp>,
+pub struct IntersectOp<'a> {
+    left: BoxedOp<'a>,
+    right: Option<BoxedOp<'a>>,
     right_rows: Vec<Tuple>,
     pending: VecDeque<Tuple>,
     stats: StatsSlot,
 }
 
-impl IntersectOp {
+impl<'a> IntersectOp<'a> {
     /// A streaming x-intersection of two inputs.
-    pub fn new(left: BoxedOp, right: BoxedOp, stats: StatsSlot) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, stats: StatsSlot) -> Self {
         IntersectOp {
             left,
             right: Some(right),
@@ -475,7 +577,7 @@ impl IntersectOp {
     }
 }
 
-impl TupleStream for IntersectOp {
+impl TupleStream for IntersectOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let Some(mut right) = self.right.take() {
             self.right_rows = right.drain_all()?;
@@ -508,8 +610,8 @@ impl TupleStream for IntersectOp {
 /// dominator conflicts — and the algebra defines the operators on the
 /// canonical minimal representation.
 fn drained_equijoin(
-    left: &mut BoxedOp,
-    right: &mut BoxedOp,
+    left: &mut BoxedOp<'_>,
+    right: &mut BoxedOp<'_>,
     on: &AttrSet,
     keep_dangling: bool,
     stats: &StatsSlot,
@@ -552,17 +654,17 @@ fn drained_equijoin(
 /// the normalized `X`-key whose operand scopes may overlap beyond `X`
 /// (candidate pairs must additionally be joinable). Compare [`HashJoinOp`],
 /// which joins disjoint scopes on attribute *pairs*.
-pub struct EquiJoinOp {
-    left: Option<BoxedOp>,
-    right: Option<BoxedOp>,
+pub struct EquiJoinOp<'a> {
+    left: Option<BoxedOp<'a>>,
+    right: Option<BoxedOp<'a>>,
     on: AttrSet,
     pending: VecDeque<Tuple>,
     stats: StatsSlot,
 }
 
-impl EquiJoinOp {
+impl<'a> EquiJoinOp<'a> {
     /// An equijoin of two inputs on the shared attributes `on`.
-    pub fn new(left: BoxedOp, right: BoxedOp, on: AttrSet, stats: StatsSlot) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on: AttrSet, stats: StatsSlot) -> Self {
         EquiJoinOp {
             left: Some(left),
             right: Some(right),
@@ -573,7 +675,7 @@ impl EquiJoinOp {
     }
 }
 
-impl TupleStream for EquiJoinOp {
+impl TupleStream for EquiJoinOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let (Some(mut left), Some(mut right)) = (self.left.take(), self.right.take()) {
             self.pending = drained_equijoin(&mut left, &mut right, &self.on, false, &self.stats)?;
@@ -594,17 +696,17 @@ impl TupleStream for EquiJoinOp {
 /// qualification is `ni`) is emitted unchanged, so no information is lost.
 /// The downstream [`MinimizeOp`] sink performs the re-minimisation the
 /// paper warns the union-join needs.
-pub struct UnionJoinOp {
-    left: Option<BoxedOp>,
-    right: Option<BoxedOp>,
+pub struct UnionJoinOp<'a> {
+    left: Option<BoxedOp<'a>>,
+    right: Option<BoxedOp<'a>>,
     on: AttrSet,
     pending: VecDeque<Tuple>,
     stats: StatsSlot,
 }
 
-impl UnionJoinOp {
+impl<'a> UnionJoinOp<'a> {
     /// A union-join of two inputs on the shared attributes `on`.
-    pub fn new(left: BoxedOp, right: BoxedOp, on: AttrSet, stats: StatsSlot) -> Self {
+    pub fn new(left: BoxedOp<'a>, right: BoxedOp<'a>, on: AttrSet, stats: StatsSlot) -> Self {
         UnionJoinOp {
             left: Some(left),
             right: Some(right),
@@ -615,7 +717,7 @@ impl UnionJoinOp {
     }
 }
 
-impl TupleStream for UnionJoinOp {
+impl TupleStream for UnionJoinOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let (Some(mut left), Some(mut right)) = (self.left.take(), self.right.take()) {
             self.pending = drained_equijoin(&mut left, &mut right, &self.on, true, &self.stats)?;
@@ -640,17 +742,17 @@ impl TupleStream for UnionJoinOp {
 /// x-membership checks probe one inverted-cell [`TupleIndex`] over the
 /// dividend instead of rescanning it per check. The divisor's scope must be
 /// disjoint from `Y`, exactly as [`nullrel_core::algebra::divide`] demands.
-pub struct DivisionOp {
-    input: Option<BoxedOp>,
-    divisor: Option<BoxedOp>,
+pub struct DivisionOp<'a> {
+    input: Option<BoxedOp<'a>>,
+    divisor: Option<BoxedOp<'a>>,
     y: AttrSet,
     pending: VecDeque<Tuple>,
     stats: StatsSlot,
 }
 
-impl DivisionOp {
+impl<'a> DivisionOp<'a> {
     /// A division of `input` by `divisor` over the quotient attributes `y`.
-    pub fn new(input: BoxedOp, divisor: BoxedOp, y: AttrSet, stats: StatsSlot) -> Self {
+    pub fn new(input: BoxedOp<'a>, divisor: BoxedOp<'a>, y: AttrSet, stats: StatsSlot) -> Self {
         DivisionOp {
             input: Some(input),
             divisor: Some(divisor),
@@ -660,7 +762,7 @@ impl DivisionOp {
         }
     }
 
-    fn run(&mut self, mut input: BoxedOp, mut divisor: BoxedOp) -> CoreResult<()> {
+    fn run(&mut self, mut input: BoxedOp<'a>, mut divisor: BoxedOp<'a>) -> CoreResult<()> {
         let divisor_rows = divisor.drain_all()?;
         self.stats.borrow_mut().build_rows += divisor_rows.len();
         let mut divisor_scope = AttrSet::new();
@@ -706,7 +808,7 @@ impl DivisionOp {
     }
 }
 
-impl TupleStream for DivisionOp {
+impl TupleStream for DivisionOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let (Some(input), Some(divisor)) = (self.input.take(), self.divisor.take()) {
             self.run(input, divisor)?;
@@ -728,8 +830,8 @@ impl TupleStream for DivisionOp {
 /// already-kept tuple are discarded; kept tuples that the newcomer subsumes
 /// are evicted. The retained set is an antichain at all times, so the final
 /// [`nullrel_core::xrel::XRelation`] can be built without re-minimising.
-pub struct MinimizeOp {
-    input: BoxedOp,
+pub struct MinimizeOp<'a> {
+    input: BoxedOp<'a>,
     kept: Vec<Tuple>,
     seen: HashSet<Tuple>,
     drained: bool,
@@ -737,9 +839,9 @@ pub struct MinimizeOp {
     stats: StatsSlot,
 }
 
-impl MinimizeOp {
+impl<'a> MinimizeOp<'a> {
     /// A minimising sink over `input`.
-    pub fn new(input: BoxedOp, stats: StatsSlot) -> Self {
+    pub fn new(input: BoxedOp<'a>, stats: StatsSlot) -> Self {
         MinimizeOp {
             input,
             kept: Vec::new(),
@@ -769,7 +871,7 @@ impl MinimizeOp {
     }
 }
 
-impl TupleStream for MinimizeOp {
+impl TupleStream for MinimizeOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if !self.drained {
             while let Some(t) = self.input.next_tuple()? {
@@ -931,12 +1033,78 @@ mod tests {
     }
 
     #[test]
+    fn index_nested_loop_join_probes_per_outer_row() {
+        use nullrel_storage::{Database, SchemaBuilder};
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("INNER").column("K").column("V"))
+            .unwrap();
+        let u = db.universe().clone();
+        let k = u.lookup("K").unwrap();
+        let v = u.lookup("V").unwrap();
+        let t = db.table_mut("INNER").unwrap();
+        for i in 0..10i64 {
+            t.insert_named(&u, &[("K", Value::int(i % 5)), ("V", Value::int(i))])
+                .unwrap();
+        }
+        t.create_index(vec![k]).unwrap();
+
+        let mut u2 = u.clone();
+        let a = u2.intern("A");
+        let outer = vec![
+            Tuple::new().with(a, Value::int(3)),
+            Tuple::new().with(a, Value::float(4.0)), // numeric-normalized probe
+            Tuple::new(),                            // null key: ni, never matches
+            Tuple::new().with(a, Value::int(99)),    // no partner
+        ];
+        let stats = slot();
+        let mut join = IndexNestedLoopJoinOp::new(
+            &db,
+            "INNER",
+            vec![k],
+            None,
+            Box::new(VecStream::new(outer)),
+            vec![a],
+            Rc::clone(&stats),
+        );
+        let out = join.drain_all().unwrap();
+        assert_eq!(out.len(), 4, "two matches for K=3 and two for K=4");
+        assert!(out
+            .iter()
+            .all(|t| t.get(a).is_some() && t.get(k).is_some() && t.get(v).is_some()));
+        let st = stats.borrow();
+        // rows_in counts both inputs: 4 outer pulls + 4 index-examined rows.
+        assert_eq!(st.rows_in, 8);
+        assert_eq!(st.ni_rows, 1);
+        assert!(st.used_index);
+        assert_eq!(st.rows_out, 4);
+
+        // Probing a table without the index is an invariant violation.
+        let mut db2 = Database::new();
+        db2.create_table(SchemaBuilder::new("INNER").column("K").column("V"))
+            .unwrap();
+        let mut join = IndexNestedLoopJoinOp::new(
+            &db2,
+            "INNER",
+            vec![k],
+            None,
+            Box::new(VecStream::new(vec![Tuple::new().with(a, Value::int(1))])),
+            vec![a],
+            slot(),
+        );
+        assert!(matches!(join.drain_all(), Err(CoreError::Invariant(_))));
+    }
+
+    #[test]
     fn product_streams_all_pairs() {
         let mut u = Universe::new();
         let a = u.intern("A");
         let b = u.intern("B");
-        let left: Vec<Tuple> = (0..3).map(|i| Tuple::new().with(a, Value::int(i))).collect();
-        let right: Vec<Tuple> = (0..2).map(|i| Tuple::new().with(b, Value::int(i))).collect();
+        let left: Vec<Tuple> = (0..3)
+            .map(|i| Tuple::new().with(a, Value::int(i)))
+            .collect();
+        let right: Vec<Tuple> = (0..2)
+            .map(|i| Tuple::new().with(b, Value::int(i)))
+            .collect();
         let mut prod = ProductOp::new(
             Box::new(VecStream::new(left)),
             Box::new(VecStream::new(right)),
@@ -1011,7 +1179,10 @@ mod tests {
         let mapping: BTreeMap<AttrId, AttrId> = [(a, c)].into_iter().collect();
         let mut op = RenameOp::new(Box::new(VecStream::new(rows)), mapping, slot());
         let out = op.drain_all().unwrap();
-        assert_eq!(out, vec![Tuple::new().with(c, Value::int(1)).with(b, Value::int(2))]);
+        assert_eq!(
+            out,
+            vec![Tuple::new().with(c, Value::int(1)).with(b, Value::int(2))]
+        );
 
         // A collision across *different* tuples is still detected, matching
         // the relation-level rename's scope-wide injectivity check.
@@ -1067,9 +1238,13 @@ mod tests {
     #[test]
     fn intersect_op_emits_non_null_meets() {
         let (_u, s, p) = setup();
-        let left = vec![Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1"))];
+        let left = vec![Tuple::new()
+            .with(s, Value::str("s1"))
+            .with(p, Value::str("p1"))];
         let right = vec![
-            Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p2")),
+            Tuple::new()
+                .with(s, Value::str("s1"))
+                .with(p, Value::str("p2")),
             Tuple::new().with(s, Value::str("s9")), // meet is the null tuple
         ];
         let mut op = IntersectOp::new(

@@ -1,6 +1,7 @@
-//! The rule-based logical optimizer.
+//! The logical optimizer: rule-based rewrites plus cost-based join
+//! ordering.
 //!
-//! Four rewrite passes over [`Expr`], applied in order:
+//! Five rewrite passes over [`Expr`], applied in order:
 //!
 //! 1. **Projection pushdown** — insert projections below Cartesian products
 //!    so join inputs carry only the attributes the rest of the plan needs.
@@ -22,7 +23,15 @@
 //!    `A = B` conjunct with `A` from the left scope and `B` from the right
 //!    becomes a θ-join on equality, which the compiler executes as a hash
 //!    join instead of a quadratic product.
-//! 4. **Union-join → hash-join** — a union-join whose literal operands are
+//! 4. **Cost-based join ordering** ([`crate::cost`]) — components of three
+//!    or more relations joined by products/θ-joins are re-ordered by a
+//!    DP-over-subsets enumerator (greedy beyond
+//!    [`crate::cost::DP_RELATION_LIMIT`] relations) driven by the
+//!    `nullrel-stats` cardinality estimator, replacing declaration-order
+//!    left-deep trees. Disable with
+//!    [`JoinOrdering::Declaration`] (the differential tests and benches
+//!    compare both).
+//! 5. **Union-join → hash-join** — a union-join whose literal operands are
 //!    provably dangling-free (both sides total on the join key, scopes
 //!    overlapping only inside it, and the two normalized key sets equal)
 //!    degenerates to the plain equijoin, dropping the dangling-tuple pass.
@@ -53,11 +62,44 @@ pub struct Optimized {
     pub applied: Vec<String>,
 }
 
-/// Runs all rewrite passes over a logical plan.
+/// How joins of three or more relations are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinOrdering {
+    /// Enumerate join orders by estimated cost (DP over subsets, greedy
+    /// beyond [`crate::cost::DP_RELATION_LIMIT`] relations).
+    #[default]
+    CostBased,
+    /// Keep the declaration-order left-deep tree (the pre-statistics
+    /// behavior; kept selectable for differential tests and benchmarks).
+    Declaration,
+}
+
+/// Optimizer knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizeOptions {
+    /// Join-order strategy for multi-relation components.
+    pub join_ordering: JoinOrdering,
+}
+
+/// Runs all rewrite passes over a logical plan (cost-based join ordering
+/// included).
 pub fn optimize<S: ExecSource>(expr: &Expr, source: &S) -> Optimized {
+    optimize_with(expr, source, OptimizeOptions::default())
+}
+
+/// [`optimize`] with explicit options.
+pub fn optimize_with<S: ExecSource>(
+    expr: &Expr,
+    source: &S,
+    options: OptimizeOptions,
+) -> Optimized {
     let mut applied = Vec::new();
     let expr = push_projections(expr.clone(), None, source, &mut applied);
     let expr = push_selections(expr, source, &mut applied);
+    let expr = match options.join_ordering {
+        JoinOrdering::CostBased => crate::cost::reorder_joins(expr, source, &mut applied),
+        JoinOrdering::Declaration => expr,
+    };
     let expr = products_to_joins(expr, source, &mut applied);
     let expr = union_joins_to_equijoins(expr, &mut applied);
     Optimized { expr, applied }
@@ -73,7 +115,10 @@ pub fn scope_of<S: ExecSource>(expr: &Expr, source: &S) -> Option<AttrSet> {
         Expr::Project { input, attrs } => {
             scope_of(input, source).map(|s| s.intersection(attrs).copied().collect())
         }
-        Expr::Product(a, b) | Expr::EquiJoin { left: a, right: b, .. } => {
+        Expr::Product(a, b)
+        | Expr::EquiJoin {
+            left: a, right: b, ..
+        } => {
             let mut s = scope_of(a, source)?;
             s.extend(scope_of(b, source)?);
             Some(s)
@@ -121,7 +166,7 @@ pub fn and_all(mut conjuncts: Vec<Predicate>) -> Option<Predicate> {
     Some(conjuncts.into_iter().fold(first, Predicate::and))
 }
 
-fn wrap(expr: Expr, conjuncts: Vec<Predicate>) -> Expr {
+pub(crate) fn wrap(expr: Expr, conjuncts: Vec<Predicate>) -> Expr {
     match and_all(conjuncts) {
         Some(p) => expr.select(p),
         None => expr,
@@ -129,7 +174,7 @@ fn wrap(expr: Expr, conjuncts: Vec<Predicate>) -> Expr {
 }
 
 /// Applies `f` to every direct child, rebuilding the node.
-fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
+pub(crate) fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
     match expr {
         Expr::Literal(_) | Expr::Named(_) => expr,
         Expr::Select { input, predicate } => Expr::Select {
@@ -187,7 +232,15 @@ fn map_children(expr: Expr, f: &mut impl FnMut(Expr) -> Expr) -> Expr {
 /// non-empty — the soundness condition for inserting a projection below a
 /// product (projection drops null tuples, and an emptied factor would drop
 /// every product pair).
-fn projection_safe(expr: &Expr, keep: &AttrSet) -> bool {
+///
+/// Literal leaves are checked against their actual tuples. Catalog scans
+/// (`Named`, `Rename(Named)`) are proved through the statistics catalog:
+/// if some kept column has `ni` fraction zero — which covers every column
+/// the schema declares non-nullable, keys included — every stored row
+/// keeps a non-null cell; otherwise a row that is non-null on some kept
+/// column still witnesses non-emptiness, since statistics are maintained
+/// exactly (not sampled).
+fn projection_safe<S: ExecSource>(expr: &Expr, keep: &AttrSet, source: &S) -> bool {
     match expr {
         Expr::Literal(rel) => {
             rel.is_empty()
@@ -198,10 +251,46 @@ fn projection_safe(expr: &Expr, keep: &AttrSet) -> bool {
         }
         Expr::Project { input, attrs } => {
             let keep2: AttrSet = keep.intersection(attrs).copied().collect();
-            projection_safe(input, &keep2)
+            projection_safe(input, &keep2, source)
         }
+        Expr::Named(name) => stored_projection_safe(name, keep, None, source),
+        Expr::Rename { input, mapping } => match input.as_ref() {
+            Expr::Named(name) => stored_projection_safe(name, keep, Some(mapping), source),
+            _ => false,
+        },
         _ => false,
     }
+}
+
+/// The catalog-scan arm of [`projection_safe`]: maps the kept attributes
+/// back to stored columns (through the range variable's renaming, if any)
+/// and consults the statistics catalog.
+fn stored_projection_safe<S: ExecSource>(
+    name: &str,
+    keep: &AttrSet,
+    mapping: Option<&BTreeMap<AttrId, AttrId>>,
+    source: &S,
+) -> bool {
+    let Some(stats) = source.table_statistics(name) else {
+        return false;
+    };
+    if stats.rows == 0 {
+        return true;
+    }
+    let base_keep: Vec<AttrId> = keep
+        .iter()
+        .filter_map(|a| match mapping {
+            Some(m) => base_attr(m, *a),
+            None => Some(*a),
+        })
+        .collect();
+    // Fast path: a kept column that is never ni (schema-level non-null
+    // columns report exactly this) proves every row survives; otherwise
+    // any row non-null on some kept column still witnesses non-emptiness.
+    base_keep.iter().any(|a| stats.ni_fraction(*a) == 0.0)
+        || base_keep
+            .iter()
+            .any(|a| stats.column(*a).is_some_and(|c| c.null_rows < stats.rows))
 }
 
 fn push_projections<S: ExecSource>(
@@ -235,7 +324,10 @@ fn push_projections<S: ExecSource>(
                     return push_projections(child, None, source, log);
                 };
                 let keep: AttrSet = needed.intersection(&scope).copied().collect();
-                if keep.len() < scope.len() && !keep.is_empty() && projection_safe(&child, &keep) {
+                if keep.len() < scope.len()
+                    && !keep.is_empty()
+                    && projection_safe(&child, &keep, source)
+                {
                     log.push(format!(
                         "projection-pushdown: narrowed a product input from {} to {} attribute(s)",
                         scope.len(),
@@ -377,7 +469,7 @@ fn distribute<S: ExecSource>(
 
 /// The attribute pair of an `A = B` conjunct oriented left-to-right across
 /// the given scopes, if the conjunct is one.
-fn equi_pair(
+pub(crate) fn equi_pair(
     conjunct: &Predicate,
     left_scope: &AttrSet,
     right_scope: &AttrSet,
@@ -529,7 +621,15 @@ mod tests {
     use nullrel_core::value::Value;
     use nullrel_core::xrel::XRelation;
 
-    fn fixtures() -> (Universe, AttrId, AttrId, AttrId, AttrId, XRelation, XRelation) {
+    fn fixtures() -> (
+        Universe,
+        AttrId,
+        AttrId,
+        AttrId,
+        AttrId,
+        XRelation,
+        XRelation,
+    ) {
         let mut u = Universe::new();
         let a_s = u.intern("a.S#");
         let a_p = u.intern("a.P#");
@@ -537,8 +637,12 @@ mod tests {
         let b_p = u.intern("b.P#");
         let mk = |s: AttrId, p: AttrId| {
             XRelation::from_tuples([
-                Tuple::new().with(s, Value::str("s1")).with(p, Value::str("p1")),
-                Tuple::new().with(s, Value::str("s2")).with(p, Value::str("p2")),
+                Tuple::new()
+                    .with(s, Value::str("s1"))
+                    .with(p, Value::str("p1")),
+                Tuple::new()
+                    .with(s, Value::str("s2"))
+                    .with(p, Value::str("p2")),
                 Tuple::new().with(s, Value::str("s3")),
             ])
         };
@@ -550,12 +654,13 @@ mod tests {
     #[test]
     fn selection_pushdown_routes_single_scope_conjuncts() {
         let (u, a_s, a_p, _b_s, b_p, left, right) = fixtures();
-        let plan = Expr::literal(left)
-            .product(Expr::literal(right))
-            .select(
-                Predicate::attr_const(a_s, CompareOp::Eq, "s1")
-                    .and(Predicate::attr_attr(a_p, CompareOp::Lt, b_p)),
-            );
+        let plan = Expr::literal(left).product(Expr::literal(right)).select(
+            Predicate::attr_const(a_s, CompareOp::Eq, "s1").and(Predicate::attr_attr(
+                a_p,
+                CompareOp::Lt,
+                b_p,
+            )),
+        );
         let opt = optimize(&plan, &NoSource);
         assert!(opt
             .applied
@@ -568,7 +673,10 @@ mod tests {
             .lines()
             .position(|l| l.contains("a.S# = \"s1\""))
             .unwrap();
-        assert!(select_line > product_line, "pushed below the product:\n{text}");
+        assert!(
+            select_line > product_line,
+            "pushed below the product:\n{text}"
+        );
         // The rewrite preserves the result.
         let naive = plan.eval(&NoSource).unwrap();
         assert_eq!(opt.expr.eval(&NoSource).unwrap(), naive);
@@ -585,7 +693,13 @@ mod tests {
             .applied
             .iter()
             .any(|r| r.starts_with("product-to-hash-join")));
-        assert!(matches!(opt.expr, Expr::ThetaJoin { op: CompareOp::Eq, .. }));
+        assert!(matches!(
+            opt.expr,
+            Expr::ThetaJoin {
+                op: CompareOp::Eq,
+                ..
+            }
+        ));
         assert_eq!(
             opt.expr.eval(&NoSource).unwrap(),
             plan.eval(&NoSource).unwrap()
@@ -631,6 +745,72 @@ mod tests {
             plan.eval(&NoSource).unwrap(),
             "declined rewrite keeps the existential multiplier"
         );
+    }
+
+    /// Satellite: projection pushdown now proves safety for catalog scans
+    /// through the statistics catalog — a kept column with `ni` fraction
+    /// zero (every schema-level non-null column) guarantees the narrowed
+    /// branch stays non-empty.
+    #[test]
+    fn projection_pushdown_proves_safety_from_catalog_statistics() {
+        use nullrel_storage::{Database, SchemaBuilder};
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("L").required_column("A").column("B"))
+            .unwrap();
+        db.create_table(SchemaBuilder::new("R").column("C"))
+            .unwrap();
+        let u = db.universe().clone();
+        let a = u.lookup("A").unwrap();
+        let t = db.table_mut("L").unwrap();
+        for i in 0..4i64 {
+            let mut cells = vec![("A", Value::int(i))];
+            if i % 2 == 0 {
+                cells.push(("B", Value::int(i * 10)));
+            }
+            t.insert_named(&u, &cells).unwrap();
+        }
+        let t = db.table_mut("R").unwrap();
+        t.insert_named(&u, &[("C", Value::int(7))]).unwrap();
+
+        let plan = Expr::named("L")
+            .product(Expr::named("R"))
+            .project(attr_set([a]));
+        let opt = optimize(&plan, &db);
+        assert!(
+            opt.applied
+                .iter()
+                .any(|r| r.starts_with("projection-pushdown")),
+            "{:?}",
+            opt.applied
+        );
+        assert_eq!(opt.expr.eval(&db).unwrap(), plan.eval(&db).unwrap());
+
+        // A branch whose kept column is ni on every row must decline: the
+        // narrowed branch would collapse and lose the product pairs.
+        let mut db2 = Database::new();
+        db2.create_table(SchemaBuilder::new("L").column("A").column("B"))
+            .unwrap();
+        db2.create_table(SchemaBuilder::new("R").column("C"))
+            .unwrap();
+        let u2 = db2.universe().clone();
+        let a2 = u2.lookup("A").unwrap();
+        let t = db2.table_mut("L").unwrap();
+        t.insert_named(&u2, &[("B", Value::int(1))]).unwrap();
+        let t = db2.table_mut("R").unwrap();
+        t.insert_named(&u2, &[("C", Value::int(7))]).unwrap();
+        let plan2 = Expr::named("L")
+            .product(Expr::named("R"))
+            .project(attr_set([a2]));
+        let opt2 = optimize(&plan2, &db2);
+        assert!(
+            !opt2
+                .applied
+                .iter()
+                .any(|r| r.starts_with("projection-pushdown")),
+            "{:?}",
+            opt2.applied
+        );
+        assert_eq!(opt2.expr.eval(&db2).unwrap(), plan2.eval(&db2).unwrap());
     }
 
     #[test]
@@ -682,8 +862,12 @@ mod tests {
     fn selection_pushes_into_difference_minuend_only() {
         let (u, a_s, a_p, ..) = fixtures();
         let minuend = XRelation::from_tuples([
-            Tuple::new().with(a_s, Value::str("s1")).with(a_p, Value::str("p1")),
-            Tuple::new().with(a_s, Value::str("s2")).with(a_p, Value::str("p2")),
+            Tuple::new()
+                .with(a_s, Value::str("s1"))
+                .with(a_p, Value::str("p1")),
+            Tuple::new()
+                .with(a_s, Value::str("s2"))
+                .with(a_p, Value::str("p2")),
         ]);
         let subtrahend = XRelation::from_tuples([Tuple::new()
             .with(a_s, Value::str("s2"))
@@ -693,9 +877,7 @@ mod tests {
             .select(Predicate::attr_const(a_s, CompareOp::Eq, "s1"));
         let opt = optimize(&plan, &NoSource);
         assert!(
-            opt.applied
-                .iter()
-                .any(|r| r.contains("difference minuend")),
+            opt.applied.iter().any(|r| r.contains("difference minuend")),
             "{:?}",
             opt.applied
         );
@@ -721,10 +903,13 @@ mod tests {
         ]);
         // Same key set, Float representation: the normalized key sets match.
         let right = XRelation::from_tuples([
-            Tuple::new().with(k, Value::float(1.0)).with(b, Value::int(30)),
+            Tuple::new()
+                .with(k, Value::float(1.0))
+                .with(b, Value::int(30)),
             Tuple::new().with(k, Value::int(2)).with(b, Value::int(40)),
         ]);
-        let plan = Expr::literal(left.clone()).union_join(Expr::literal(right.clone()), attr_set([k]));
+        let plan =
+            Expr::literal(left.clone()).union_join(Expr::literal(right.clone()), attr_set([k]));
         let opt = optimize(&plan, &NoSource);
         assert!(
             opt.applied

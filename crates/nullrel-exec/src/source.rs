@@ -1,12 +1,15 @@
 //! Execution sources: what the engine needs from the layer that stores
 //! base relations.
 //!
-//! [`ExecSource`] extends the algebra's [`RelationSource`] with the three
+//! [`ExecSource`] extends the algebra's [`RelationSource`] with the four
 //! things a physical planner wants and a plain relation lookup cannot give:
 //! attribute scopes without materialisation (for the optimizer's pushdown
-//! safety checks), full-scan access with [`ScanStats`], and index-probe
-//! access paths. A [`Database`] provides all three; plain in-memory sources
-//! fall back to scans over materialised relations.
+//! safety checks), full-scan access with [`ScanStats`], index-probe access
+//! paths, and — through the [`StatisticsSource`] supertrait — the
+//! truth-band-aware table statistics the cost-based optimizer estimates
+//! cardinalities from. A [`Database`] provides all four; plain in-memory
+//! sources fall back to scans over materialised relations and compute
+//! statistics on demand.
 
 use std::collections::HashMap;
 
@@ -15,11 +18,12 @@ use nullrel_core::tuple::Tuple;
 use nullrel_core::universe::{AttrId, AttrSet};
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
+use nullrel_stats::StatisticsSource;
 use nullrel_storage::scan::{eq_scan, full_scan, ScanStats};
 use nullrel_storage::Database;
 
 /// A source of base relations with planner-grade metadata.
-pub trait ExecSource: RelationSource {
+pub trait ExecSource: RelationSource + StatisticsSource {
     /// The attribute scope of a named relation, if cheaply known. Returning
     /// `None` disables optimizer rewrites that need scope information; it
     /// never affects correctness.
@@ -53,6 +57,13 @@ pub trait ExecSource: RelationSource {
     ) -> Option<(Vec<Tuple>, ScanStats)> {
         None
     }
+
+    /// True when the source has an index covering exactly `attrs` on the
+    /// named relation — the planner's cheap applicability test for index
+    /// scans and index-nested-loop joins (no probe key needed).
+    fn has_index(&self, _name: &str, _attrs: &[AttrId]) -> bool {
+        false
+    }
 }
 
 impl ExecSource for NoSource {}
@@ -83,6 +94,12 @@ impl ExecSource for Database {
             return None;
         }
         Some(eq_scan(table, attrs, key))
+    }
+
+    fn has_index(&self, name: &str, attrs: &[AttrId]) -> bool {
+        self.table(name)
+            .map(|t| t.indexes().iter().any(|i| i.attrs() == attrs))
+            .unwrap_or(false)
     }
 }
 

@@ -32,6 +32,11 @@ pub struct OpStats {
     pub used_index: bool,
     /// Hash-join build-side cardinality (0 for other operators).
     pub build_rows: usize,
+    /// The optimizer's cardinality estimate for this operator's output,
+    /// when the plan was compiled with estimation enabled (TRUE band).
+    /// Rendered next to the actual `rows_out` so estimation error is
+    /// visible in every explain report.
+    pub est_rows: Option<u64>,
 }
 
 impl OpStats {
@@ -113,6 +118,30 @@ impl ExecStats {
         self.used_op("Divide")
     }
 
+    /// True if the plan executed an index-nested-loop join.
+    pub fn used_index_nested_loop_join(&self) -> bool {
+        self.used_op("IndexNestedLoopJoin")
+    }
+
+    /// The mean q-error of the optimizer's cardinality estimates over the
+    /// operators that carry one: `max(est, actual) / min(est, actual)`,
+    /// with both sides floored at one row. 1.0 means every estimate was
+    /// exact; `None` means the plan carried no estimates (MAYBE band, or a
+    /// pre-statistics plan).
+    pub fn estimation_error(&self) -> Option<f64> {
+        let mut total = 0.0;
+        let mut count = 0usize;
+        for op in &self.ops {
+            if let Some(est) = op.est_rows {
+                let est = est.max(1) as f64;
+                let actual = op.rows_out.max(1) as f64;
+                total += est.max(actual) / est.min(actual);
+                count += 1;
+            }
+        }
+        (count > 0).then(|| total / count as f64)
+    }
+
     /// Renders the executed physical plan with counters, one operator per
     /// line, indented by plan depth.
     pub fn render(&self) -> String {
@@ -121,6 +150,9 @@ impl ExecStats {
             out.push_str(&"  ".repeat(op.depth));
             out.push_str(&op.label);
             out.push_str(&format!(" (in={} out={}", op.rows_in, op.rows_out));
+            if let Some(est) = op.est_rows {
+                out.push_str(&format!(" est={est}"));
+            }
             if op.ni_rows > 0 {
                 out.push_str(&format!(" ni={}", op.ni_rows));
             }

@@ -253,10 +253,16 @@ mod tests {
     fn resolution_errors() {
         let db = emp_db();
         let q = parse("range of e is NOPE retrieve (e.NAME)").unwrap();
-        assert!(matches!(resolve(&db, &q), Err(QueryError::UnknownRelation(_))));
+        assert!(matches!(
+            resolve(&db, &q),
+            Err(QueryError::UnknownRelation(_))
+        ));
 
         let q = parse("range of e is EMP retrieve (x.NAME)").unwrap();
-        assert!(matches!(resolve(&db, &q), Err(QueryError::UnknownVariable(_))));
+        assert!(matches!(
+            resolve(&db, &q),
+            Err(QueryError::UnknownVariable(_))
+        ));
 
         let q = parse("range of e is EMP retrieve (e.GHOST)").unwrap();
         assert!(matches!(

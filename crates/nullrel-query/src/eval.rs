@@ -142,8 +142,7 @@ pub fn execute_maybe(db: &Database, text: &str) -> QueryResult<QueryOutput> {
     let query = parse(text)?;
     let resolved = crate::analyze::resolve_lazy(db, &query)?;
     let expr = plan_access(&resolved);
-    let (rel, stats) =
-        nullrel_exec::execute_expr_band(&expr, db, &resolved.universe, Truth::Ni)?;
+    let (rel, stats) = nullrel_exec::execute_expr_band(&expr, db, &resolved.universe, Truth::Ni)?;
     Ok(output(resolved, rel.into_tuples(), stats))
 }
 
@@ -164,12 +163,20 @@ pub fn execute_resolved(resolved: &ResolvedQuery) -> QueryResult<QueryOutput> {
 pub fn execute_resolved_naive(resolved: &ResolvedQuery) -> QueryResult<QueryOutput> {
     let expr = plan(resolved);
     let result = expr.eval(&NoSource)?;
-    Ok(output(resolved.clone(), result.into_tuples(), ExecStats::default()))
+    Ok(output(
+        resolved.clone(),
+        result.into_tuples(),
+        ExecStats::default(),
+    ))
 }
 
 fn output(resolved: ResolvedQuery, rows: Vec<Tuple>, stats: ExecStats) -> QueryOutput {
     QueryOutput {
-        columns: resolved.targets.iter().map(|(label, _)| label.clone()).collect(),
+        columns: resolved
+            .targets
+            .iter()
+            .map(|(label, _)| label.clone())
+            .collect(),
         column_attrs: resolved.targets.iter().map(|(_, attr)| *attr).collect(),
         rows,
         universe: resolved.universe,
@@ -342,7 +349,10 @@ mod tests {
         let resolved = resolve(&db, &parse(text).unwrap()).unwrap();
         let oracle = execute_resolved_naive(&resolved).unwrap();
         assert_eq!(out.rows, oracle.rows);
-        assert!(oracle.stats.ops.is_empty(), "the oracle bypasses the engine");
+        assert!(
+            oracle.stats.ops.is_empty(),
+            "the oracle bypasses the engine"
+        );
     }
 
     /// Acceptance: `ScanStats` flow from the storage access path through
@@ -351,12 +361,11 @@ mod tests {
     fn index_selection_reports_access_path_counters() {
         let mut db = emp_table_ii_db();
         let e_no = db.universe().lookup("E#").unwrap();
-        db.table_mut("EMP").unwrap().create_index(vec![e_no]).unwrap();
-        let out = execute(
-            &db,
-            "range of e is EMP retrieve (e.NAME) where e.E# = 4335",
-        )
-        .unwrap();
+        db.table_mut("EMP")
+            .unwrap()
+            .create_index(vec![e_no])
+            .unwrap();
+        let out = execute(&db, "range of e is EMP retrieve (e.NAME) where e.E# = 4335").unwrap();
         assert_eq!(out.len(), 1);
         assert!(out.stats.used_index(), "plan:\n{}", out.physical_plan());
         assert_eq!(out.stats.rows_examined(), 1, "index probe touches one row");
@@ -364,7 +373,11 @@ mod tests {
 
         // Without the index the same query scans all rows.
         let db2 = emp_table_ii_db();
-        let out2 = execute(&db2, "range of e is EMP retrieve (e.NAME) where e.E# = 4335").unwrap();
+        let out2 = execute(
+            &db2,
+            "range of e is EMP retrieve (e.NAME) where e.E# = 4335",
+        )
+        .unwrap();
         assert_eq!(out2.rows, out.rows);
         assert!(!out2.stats.used_index());
         assert_eq!(out2.stats.rows_examined(), 3);

@@ -216,7 +216,11 @@ fn classify(
         // Fully ground: an ordinary two-valued evaluation.
         let assignment = std::collections::BTreeMap::new();
         let holds = formula.eval(&assignment);
-        return Ok(if holds { Certainty::Sure } else { Certainty::No });
+        return Ok(if holds {
+            Certainty::Sure
+        } else {
+            Certainty::No
+        });
     }
     stats.tautology_checks += 1;
     let (decision, dstats) = decide_with_assumptions(&assumptions, &formula);
@@ -231,11 +235,7 @@ fn classify(
 /// Lowers a where-clause into a formula, substituting the known cells of the
 /// combined range tuple and turning null cells into variables named after
 /// their qualified attribute.
-fn lower(
-    resolved: &ResolvedQuery,
-    expr: &WhereExpr,
-    combined: &Tuple,
-) -> QueryResult<Formula> {
+fn lower(resolved: &ResolvedQuery, expr: &WhereExpr, combined: &Tuple) -> QueryResult<Formula> {
     Ok(match expr {
         WhereExpr::Cmp { left, op, right } => Formula::Cmp {
             left: lower_term(resolved, left, combined)?,
@@ -248,11 +248,7 @@ fn lower(
     })
 }
 
-fn lower_term(
-    resolved: &ResolvedQuery,
-    term: &Term,
-    combined: &Tuple,
-) -> QueryResult<Operand> {
+fn lower_term(resolved: &ResolvedQuery, term: &Term, combined: &Tuple) -> QueryResult<Operand> {
     Ok(match term {
         Term::Const(value) => Operand::Const(value.clone()),
         Term::Attr(attr_ref) => {
@@ -374,7 +370,10 @@ mod tests {
         // Supplying the schema constraints of the Appendix ("an employee
         // cannot be the manager of his manager", here phrased directly as
         // e.E# != m.MGR# whenever e.MGR# = m.E#) certifies the answer.
-        let constraints = vec![parse_constraint("e.E# != m.MGR#"), parse_constraint("e.MGR# != e.E#")];
+        let constraints = vec![
+            parse_constraint("e.E# != m.MGR#"),
+            parse_constraint("e.MGR# != e.E#"),
+        ];
         let out = execute_unknown(&db, q, &constraints, 10_000).unwrap();
         assert!(out.sure_contains(&[Some(Value::str("SMITH"))]));
         assert!(out.sure_contains(&[Some(Value::str("BROWN"))]));
@@ -382,9 +381,8 @@ mod tests {
 
     /// Helper: parse a single comparison as a constraint expression.
     fn parse_constraint(text: &str) -> WhereExpr {
-        let query_text = format!(
-            "range of e is EMP range of m is EMP retrieve (e.NAME) where {text}"
-        );
+        let query_text =
+            format!("range of e is EMP range of m is EMP retrieve (e.NAME) where {text}");
         parse(&query_text).unwrap().where_clause.unwrap()
     }
 
@@ -395,7 +393,10 @@ mod tests {
         let out = execute_unknown(&db, q, &[], 1_000).unwrap();
         assert_eq!(out.sure.len(), 2);
         assert!(out.maybe.is_empty());
-        assert_eq!(out.stats.tautology_checks, 0, "no nulls, no tautology checks");
+        assert_eq!(
+            out.stats.tautology_checks, 0,
+            "no nulls, no tautology checks"
+        );
         // Agreement with the ni evaluation on total data (Section 7).
         let ni = crate::eval::execute(&db, q).unwrap();
         assert_eq!(ni.len(), 2);

@@ -78,28 +78,46 @@ pub fn lex(input: &str) -> QueryResult<Vec<Token>> {
         let start = i;
         match c {
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(Token { kind: TokenKind::Dot, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Dot,
+                    position: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Token { kind: TokenKind::Eq, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    position: start,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 } else {
                     return Err(QueryError::Lex {
@@ -110,22 +128,37 @@ pub fn lex(input: &str) -> QueryResult<Vec<Token>> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Le, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Le,
+                        position: start,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&b'>') {
-                    tokens.push(Token { kind: TokenKind::Ne, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ne,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Lt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Lt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Ge, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Ge,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Gt, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Gt,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
@@ -167,15 +200,19 @@ pub fn lex(input: &str) -> QueryResult<Vec<Token>> {
                 }
                 let text = &input[i..j];
                 let value = if saw_dot {
-                    text.parse::<f64>().map(Value::float).map_err(|_| QueryError::Lex {
-                        position: start,
-                        message: format!("bad float literal {text:?}"),
-                    })?
+                    text.parse::<f64>()
+                        .map(Value::float)
+                        .map_err(|_| QueryError::Lex {
+                            position: start,
+                            message: format!("bad float literal {text:?}"),
+                        })?
                 } else {
-                    text.parse::<i64>().map(Value::Int).map_err(|_| QueryError::Lex {
-                        position: start,
-                        message: format!("bad integer literal {text:?}"),
-                    })?
+                    text.parse::<i64>()
+                        .map(Value::Int)
+                        .map_err(|_| QueryError::Lex {
+                            position: start,
+                            message: format!("bad integer literal {text:?}"),
+                        })?
                 };
                 tokens.push(Token {
                     kind: TokenKind::Literal(value),
@@ -205,7 +242,10 @@ pub fn lex(input: &str) -> QueryResult<Vec<Token>> {
                     "not" => TokenKind::Not,
                     _ => TokenKind::Ident(word.to_owned()),
                 };
-                tokens.push(Token { kind, position: start });
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
                 i = j;
             }
             other => {

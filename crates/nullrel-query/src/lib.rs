@@ -38,9 +38,9 @@ pub use error::{QueryError, QueryResult};
 pub use eval::{
     execute, execute_maybe, execute_query, execute_resolved, execute_resolved_naive, QueryOutput,
 };
-pub use plan::{explain_physical, explain_physical_expr};
 pub use interp::{execute_unknown, execute_unknown_query, Certainty, UnknownOutput, UnknownStats};
 pub use parser::parse;
+pub use plan::{explain_physical, explain_physical_expr};
 pub use tautology::{decide, decide_with_assumptions, Decision, Formula, Operand};
 
 /// The verbatim text of the paper's Figure 1 (query Q_A).

@@ -192,9 +192,10 @@ impl Parser {
 
     fn err(&self, message: &str) -> QueryError {
         QueryError::Parse {
-            position: self.peek().map(|t| t.position).unwrap_or_else(|| {
-                self.tokens.last().map(|t| t.position + 1).unwrap_or(0)
-            }),
+            position: self
+                .peek()
+                .map(|t| t.position)
+                .unwrap_or_else(|| self.tokens.last().map(|t| t.position + 1).unwrap_or(0)),
             message: message.to_owned(),
         }
     }
@@ -283,7 +284,10 @@ mod tests {
 
     #[test]
     fn syntax_errors_are_reported() {
-        assert!(matches!(parse("retrieve (e.A)"), Err(QueryError::Parse { .. })));
+        assert!(matches!(
+            parse("retrieve (e.A)"),
+            Err(QueryError::Parse { .. })
+        ));
         assert!(matches!(
             parse("range of e is EMP retrieve ()"),
             Err(QueryError::Parse { .. })

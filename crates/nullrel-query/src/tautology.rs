@@ -295,11 +295,7 @@ pub fn decide_with_assumptions(
                 .copied()
                 .flatten()
                 .unwrap_or(nullrel_core::universe::DomainType::Int);
-            let filtered: Vec<Value> = grid
-                .iter()
-                .filter(|val| ty.matches(val))
-                .cloned()
-                .collect();
+            let filtered: Vec<Value> = grid.iter().filter(|val| ty.matches(val)).cloned().collect();
             if filtered.is_empty() {
                 grid.clone()
             } else {
@@ -504,8 +500,11 @@ mod tests {
     #[test]
     fn figure1_clause_without_equality_is_not_valid() {
         let x = || var("e.TEL#");
-        let f = Formula::cmp(x(), CompareOp::Gt, int(2_634_000))
-            .or(Formula::cmp(x(), CompareOp::Lt, int(2_634_000)));
+        let f = Formula::cmp(x(), CompareOp::Gt, int(2_634_000)).or(Formula::cmp(
+            x(),
+            CompareOp::Lt,
+            int(2_634_000),
+        ));
         let (d, stats) = decide(&f);
         assert_eq!(d, Decision::Satisfiable);
         assert!(stats.assignments >= 2);
@@ -516,8 +515,8 @@ mod tests {
     #[test]
     fn arithmetic_tautology_needs_the_ordered_decision_procedure() {
         let x = || var("x");
-        let f = Formula::cmp(x(), CompareOp::Gt, int(10))
-            .or(Formula::cmp(x(), CompareOp::Le, int(10)));
+        let f =
+            Formula::cmp(x(), CompareOp::Gt, int(10)).or(Formula::cmp(x(), CompareOp::Le, int(10)));
         assert_eq!(decide(&f).0, Decision::Valid);
         let (prop, _) = propositional_tautology(&f);
         assert!(!prop, "propositionally the two atoms are independent");
@@ -539,14 +538,12 @@ mod tests {
         let b = || var("t.B");
         // A is known: say A = 7.
         let f = Formula::cmp(int(7), CompareOp::Gt, int(3)).and(
-            Formula::cmp(b(), CompareOp::Lt, int(12))
-                .or(Formula::cmp(b(), CompareOp::Gt, int(7))),
+            Formula::cmp(b(), CompareOp::Lt, int(12)).or(Formula::cmp(b(), CompareOp::Gt, int(7))),
         );
         assert_eq!(decide(&f).0, Decision::Valid);
         // With A = 20 the clause is merely satisfiable in B.
         let f2 = Formula::cmp(int(20), CompareOp::Gt, int(3)).and(
-            Formula::cmp(b(), CompareOp::Lt, int(12))
-                .or(Formula::cmp(b(), CompareOp::Gt, int(20))),
+            Formula::cmp(b(), CompareOp::Lt, int(12)).or(Formula::cmp(b(), CompareOp::Gt, int(20))),
         );
         assert_eq!(decide(&f2).0, Decision::Satisfiable);
     }
@@ -560,8 +557,11 @@ mod tests {
         let e_mgr = || var("e.MGR#");
         let e_no = || var("e.E#");
         let m_mgr = || var("m.MGR#");
-        let residue = Formula::cmp(e_mgr(), CompareOp::Ne, e_no())
-            .and(Formula::cmp(e_no(), CompareOp::Ne, m_mgr()));
+        let residue = Formula::cmp(e_mgr(), CompareOp::Ne, e_no()).and(Formula::cmp(
+            e_no(),
+            CompareOp::Ne,
+            m_mgr(),
+        ));
         // Without the constraints the residue is merely satisfiable.
         assert_eq!(decide(&residue).0, Decision::Satisfiable);
         // With the constraints assumed it is valid.
@@ -578,13 +578,16 @@ mod tests {
     #[test]
     fn unsatisfiable_formulas_are_detected() {
         let x = || var("x");
-        let f = Formula::cmp(x(), CompareOp::Gt, int(10)).and(Formula::cmp(x(), CompareOp::Lt, int(5)));
+        let f =
+            Formula::cmp(x(), CompareOp::Gt, int(10)).and(Formula::cmp(x(), CompareOp::Lt, int(5)));
         assert_eq!(decide(&f).0, Decision::Unsatisfiable);
         // Discrete gap: x > 4 ∧ x < 5 has no integer solution.
-        let g = Formula::cmp(x(), CompareOp::Gt, int(4)).and(Formula::cmp(x(), CompareOp::Lt, int(5)));
+        let g =
+            Formula::cmp(x(), CompareOp::Gt, int(4)).and(Formula::cmp(x(), CompareOp::Lt, int(5)));
         assert_eq!(decide(&g).0, Decision::Unsatisfiable);
         // But x > 4 ∧ x < 6 does (x = 5).
-        let h = Formula::cmp(x(), CompareOp::Gt, int(4)).and(Formula::cmp(x(), CompareOp::Lt, int(6)));
+        let h =
+            Formula::cmp(x(), CompareOp::Gt, int(4)).and(Formula::cmp(x(), CompareOp::Lt, int(6)));
         assert_eq!(decide(&h).0, Decision::Satisfiable);
     }
 
@@ -596,7 +599,10 @@ mod tests {
             Formula::cmp(x(), CompareOp::Lt, int(5)),
         ];
         let f = Formula::cmp(x(), CompareOp::Eq, int(0));
-        assert_eq!(decide_with_assumptions(&contradictory, &f).0, Decision::Valid);
+        assert_eq!(
+            decide_with_assumptions(&contradictory, &f).0,
+            Decision::Valid
+        );
     }
 
     #[test]
@@ -612,8 +618,11 @@ mod tests {
     #[test]
     fn string_comparisons_and_type_clashes() {
         let s = || var("s");
-        let f = Formula::cmp(s(), CompareOp::Eq, Operand::Const(Value::str("F")))
-            .or(Formula::cmp(s(), CompareOp::Ne, Operand::Const(Value::str("F"))));
+        let f = Formula::cmp(s(), CompareOp::Eq, Operand::Const(Value::str("F"))).or(Formula::cmp(
+            s(),
+            CompareOp::Ne,
+            Operand::Const(Value::str("F")),
+        ));
         assert_eq!(decide(&f).0, Decision::Valid);
         // Comparing a string constant with an int constant is never true.
         let clash = Formula::cmp(
@@ -640,7 +649,11 @@ mod tests {
 
     #[test]
     fn formula_introspection() {
-        let f = Formula::cmp(var("a"), CompareOp::Lt, int(3)).and(Formula::cmp(var("b"), CompareOp::Gt, int(4)));
+        let f = Formula::cmp(var("a"), CompareOp::Lt, int(3)).and(Formula::cmp(
+            var("b"),
+            CompareOp::Gt,
+            int(4),
+        ));
         assert_eq!(f.variables().len(), 2);
         assert_eq!(f.constants().len(), 2);
         assert_eq!(f.atoms().len(), 2);

@@ -1,0 +1,347 @@
+//! The statistics catalog: per-table and per-column summaries, the
+//! incremental collector the storage layer embeds, and the source trait
+//! planners read statistics through.
+//!
+//! All counts follow the `ni` discipline. A **definite** row is total on
+//! every tracked column; a **maybe** row carries at least one `ni` cell and
+//! can therefore fall out of the TRUE band of any qualification touching a
+//! null column. Distinct counts are over non-null cells, normalized through
+//! [`Value::join_key`] so that `Int(2)` and `Float(2.0)` count once —
+//! exactly the key space hash indexes and hash joins operate in.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use nullrel_core::algebra::NoSource;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::AttrId;
+use nullrel_core::value::Value;
+use nullrel_core::xrel::XRelation;
+
+/// Summary statistics for one column of a stored relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStatistics {
+    /// The column's attribute id.
+    pub attr: AttrId,
+    /// Distinct non-null values (in [`Value::join_key`]-normalized space) —
+    /// the same quantity a [`HashIndex`](
+    /// https://docs.rs/nullrel-storage) over the column reports as
+    /// `distinct_keys`.
+    pub distinct: usize,
+    /// Rows whose cell for this column is `ni`.
+    pub null_rows: usize,
+    /// Smallest numeric value, when the column holds numeric data.
+    pub min: Option<f64>,
+    /// Largest numeric value, when the column holds numeric data.
+    pub max: Option<f64>,
+}
+
+/// Summary statistics for a stored relation, split into the definite and
+/// maybe truth bands.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStatistics {
+    /// Total stored rows.
+    pub rows: usize,
+    /// Rows total on every tracked column — the band that can satisfy a
+    /// qualification with certainty.
+    pub definite_rows: usize,
+    /// Rows with at least one `ni` cell — the band that may only reach the
+    /// MAYBE answer of qualifications over their null columns.
+    pub maybe_rows: usize,
+    /// Per-column summaries, keyed by attribute id.
+    pub columns: BTreeMap<AttrId, ColumnStatistics>,
+}
+
+impl TableStatistics {
+    /// Computes statistics in one pass over a set of rows, tracking the
+    /// given columns.
+    pub fn from_rows<'a, C, R>(columns: C, rows: R) -> TableStatistics
+    where
+        C: IntoIterator<Item = AttrId>,
+        R: IntoIterator<Item = &'a Tuple>,
+    {
+        let mut collector = StatisticsCollector::new(columns);
+        for row in rows {
+            collector.observe(row);
+        }
+        collector.snapshot()
+    }
+
+    /// Statistics of a literal x-relation over its own scope.
+    pub fn of_relation(rel: &XRelation) -> TableStatistics {
+        TableStatistics::from_rows(rel.scope(), rel.tuples())
+    }
+
+    /// The per-column summary for `attr`, if tracked.
+    pub fn column(&self, attr: AttrId) -> Option<&ColumnStatistics> {
+        self.columns.get(&attr)
+    }
+
+    /// The fraction of rows whose cell for `attr` is `ni` (0 for untracked
+    /// columns or empty tables — the fast path projection pushdown keys on).
+    pub fn ni_fraction(&self, attr: AttrId) -> f64 {
+        if self.rows == 0 {
+            return 0.0;
+        }
+        match self.columns.get(&attr) {
+            Some(c) => c.null_rows as f64 / self.rows as f64,
+            None => 0.0,
+        }
+    }
+
+    /// The distinct non-null count for `attr`, if tracked.
+    pub fn distinct(&self, attr: AttrId) -> Option<usize> {
+        self.columns.get(&attr).map(|c| c.distinct)
+    }
+
+    /// The statistics with every column renamed through `mapping`
+    /// (source → target); unmapped columns keep their ids. Used by the
+    /// estimator to push statistics through `Rename` nodes (the shape query
+    /// plans use for range variables).
+    #[must_use]
+    pub fn renamed(&self, mapping: &BTreeMap<AttrId, AttrId>) -> TableStatistics {
+        let columns = self
+            .columns
+            .values()
+            .map(|c| {
+                let attr = mapping.get(&c.attr).copied().unwrap_or(c.attr);
+                (attr, ColumnStatistics { attr, ..c.clone() })
+            })
+            .collect();
+        TableStatistics {
+            columns,
+            ..self.clone()
+        }
+    }
+}
+
+/// Per-column accumulator: the distinct-value set plus running counters.
+#[derive(Debug, Clone, Default)]
+struct ColumnAccumulator {
+    values: HashSet<Value>,
+    null_rows: usize,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl ColumnAccumulator {
+    fn observe(&mut self, cell: Option<&Value>) {
+        match cell {
+            Some(value) => {
+                if let Some(x) = numeric(value) {
+                    self.min = Some(self.min.map_or(x, |m| m.min(x)));
+                    self.max = Some(self.max.map_or(x, |m| m.max(x)));
+                }
+                self.values.insert(value.join_key());
+            }
+            None => self.null_rows += 1,
+        }
+    }
+}
+
+fn numeric(value: &Value) -> Option<f64> {
+    match value {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(f.get()),
+        _ => None,
+    }
+}
+
+/// Incremental statistics collection over a growing set of rows.
+///
+/// The storage layer owns one collector per table: [`observe`](
+/// StatisticsCollector::observe) folds a newly inserted row in O(columns),
+/// and [`rebuild`](StatisticsCollector::rebuild) recomputes everything
+/// after deletions, updates, or schema evolution — the same moments the
+/// table's hash indexes are rebuilt.
+#[derive(Debug, Clone, Default)]
+pub struct StatisticsCollector {
+    columns: Vec<AttrId>,
+    rows: usize,
+    definite_rows: usize,
+    per_column: BTreeMap<AttrId, ColumnAccumulator>,
+}
+
+impl StatisticsCollector {
+    /// A fresh collector tracking the given columns.
+    pub fn new<C: IntoIterator<Item = AttrId>>(columns: C) -> StatisticsCollector {
+        let columns: Vec<AttrId> = columns.into_iter().collect();
+        let per_column = columns
+            .iter()
+            .map(|a| (*a, ColumnAccumulator::default()))
+            .collect();
+        StatisticsCollector {
+            columns,
+            rows: 0,
+            definite_rows: 0,
+            per_column,
+        }
+    }
+
+    /// Folds one row into the running statistics.
+    pub fn observe(&mut self, row: &Tuple) {
+        self.rows += 1;
+        let mut definite = true;
+        for attr in &self.columns {
+            let cell = row.get(*attr);
+            definite &= cell.is_some();
+            self.per_column.entry(*attr).or_default().observe(cell);
+        }
+        if definite {
+            self.definite_rows += 1;
+        }
+    }
+
+    /// Recomputes the statistics from scratch over the given rows,
+    /// tracking `columns` (which may have changed under schema evolution).
+    pub fn rebuild<'a, C, R>(&mut self, columns: C, rows: R)
+    where
+        C: IntoIterator<Item = AttrId>,
+        R: IntoIterator<Item = &'a Tuple>,
+    {
+        *self = StatisticsCollector::new(columns);
+        for row in rows {
+            self.observe(row);
+        }
+    }
+
+    /// The current summary.
+    pub fn snapshot(&self) -> TableStatistics {
+        let columns = self
+            .per_column
+            .iter()
+            .map(|(attr, acc)| {
+                (
+                    *attr,
+                    ColumnStatistics {
+                        attr: *attr,
+                        distinct: acc.values.len(),
+                        null_rows: acc.null_rows,
+                        min: acc.min,
+                        max: acc.max,
+                    },
+                )
+            })
+            .collect();
+        TableStatistics {
+            rows: self.rows,
+            definite_rows: self.definite_rows,
+            maybe_rows: self.rows - self.definite_rows,
+            columns,
+        }
+    }
+}
+
+/// A source of statistics for named relations. Planners consult it next to
+/// `RelationSource`; returning `None` never affects correctness, it only
+/// falls the estimator back to defaults.
+pub trait StatisticsSource {
+    /// Statistics for the named relation, if the source tracks any.
+    fn table_statistics(&self, _name: &str) -> Option<TableStatistics> {
+        None
+    }
+}
+
+impl StatisticsSource for NoSource {}
+
+impl StatisticsSource for HashMap<String, XRelation> {
+    fn table_statistics(&self, name: &str) -> Option<TableStatistics> {
+        self.get(name).map(TableStatistics::of_relation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::universe::Universe;
+
+    fn fixtures() -> (AttrId, AttrId, Vec<Tuple>) {
+        let mut u = Universe::new();
+        let s = u.intern("S#");
+        let n = u.intern("N");
+        let rows = vec![
+            Tuple::new()
+                .with(s, Value::str("s1"))
+                .with(n, Value::int(1)),
+            Tuple::new()
+                .with(s, Value::str("s1"))
+                .with(n, Value::int(5)),
+            Tuple::new()
+                .with(s, Value::str("s2"))
+                .with(n, Value::float(5.0)),
+            Tuple::new().with(s, Value::str("s3")),
+            Tuple::new().with(n, Value::int(9)),
+        ];
+        (s, n, rows)
+    }
+
+    #[test]
+    fn band_split_counts_definite_and_maybe_rows() {
+        let (s, n, rows) = fixtures();
+        let stats = TableStatistics::from_rows([s, n], &rows);
+        assert_eq!(stats.rows, 5);
+        assert_eq!(stats.definite_rows, 3, "rows total on S# and N");
+        assert_eq!(stats.maybe_rows, 2, "rows with at least one ni cell");
+        assert_eq!(stats.definite_rows + stats.maybe_rows, stats.rows);
+    }
+
+    #[test]
+    fn ni_fractions_and_distinct_counts() {
+        let (s, n, rows) = fixtures();
+        let stats = TableStatistics::from_rows([s, n], &rows);
+        assert_eq!(stats.ni_fraction(s), 1.0 / 5.0);
+        assert_eq!(stats.ni_fraction(n), 1.0 / 5.0);
+        assert_eq!(stats.distinct(s), Some(3), "s1, s2, s3");
+        // Int(5) and Float(5.0) normalize to the same key: 1, 5, 9.
+        assert_eq!(stats.distinct(n), Some(3));
+        let c = stats.column(n).unwrap();
+        assert_eq!(c.min, Some(1.0));
+        assert_eq!(c.max, Some(9.0));
+        assert_eq!(stats.column(s).unwrap().min, None, "strings have no range");
+        // Untracked columns read as never-null (the fast-path default).
+        assert_eq!(stats.ni_fraction(AttrId::from_index(99)), 0.0);
+        assert_eq!(stats.distinct(AttrId::from_index(99)), None);
+    }
+
+    #[test]
+    fn incremental_observation_matches_batch_rebuild() {
+        let (s, n, rows) = fixtures();
+        let mut incremental = StatisticsCollector::new([s, n]);
+        for row in &rows {
+            incremental.observe(row);
+        }
+        let mut rebuilt = StatisticsCollector::new([s, n]);
+        rebuilt.rebuild([s, n], &rows);
+        assert_eq!(incremental.snapshot(), rebuilt.snapshot());
+    }
+
+    #[test]
+    fn rename_maps_column_ids() {
+        let (s, n, rows) = fixtures();
+        let stats = TableStatistics::from_rows([s, n], &rows);
+        let q = AttrId::from_index(7);
+        let renamed = stats.renamed(&[(s, q)].into_iter().collect());
+        assert_eq!(renamed.distinct(q), Some(3));
+        assert!(renamed.column(s).is_none());
+        assert_eq!(renamed.column(n), stats.column(n));
+        assert_eq!(renamed.rows, stats.rows);
+    }
+
+    #[test]
+    fn empty_tables_read_as_all_zero() {
+        let stats = TableStatistics::from_rows([AttrId::from_index(0)], []);
+        assert_eq!(stats.rows, 0);
+        assert_eq!(stats.ni_fraction(AttrId::from_index(0)), 0.0);
+        assert_eq!(stats.distinct(AttrId::from_index(0)), Some(0));
+    }
+
+    #[test]
+    fn hashmap_source_reports_relation_statistics() {
+        let (s, _n, rows) = fixtures();
+        let mut map = HashMap::new();
+        map.insert("R".to_owned(), XRelation::from_tuples(rows));
+        let stats = map.table_statistics("R").unwrap();
+        assert_eq!(stats.distinct(s), Some(3));
+        assert!(map.table_statistics("MISSING").is_none());
+        assert!(NoSource.table_statistics("R").is_none());
+    }
+}

@@ -1,0 +1,36 @@
+//! # nullrel-stats
+//!
+//! The statistics catalog and cardinality estimator of the `nullrel`
+//! workspace — the layer that turns the rule-based optimizer of
+//! `nullrel-exec` into a cost-based one.
+//!
+//! Statistics are **truth-band-aware** in the sense of Zaniolo's `ni`
+//! semantics: a stored row either carries full information (every declared
+//! column non-null — it can only contribute to the TRUE band of a
+//! qualification over those columns) or it carries at least one `ni` cell,
+//! in which case some qualifications over it can do no better than MAYBE.
+//! [`TableStatistics`] therefore splits the row count into a *definite*
+//! and a *maybe* band and tracks, per column, the number of `ni` rows, the
+//! distinct non-null value count (the quantity `HashIndex::distinct_keys`
+//! reports for indexed columns), and the numeric min/max.
+//!
+//! Two layers:
+//!
+//! * [`catalog`] — the statistics themselves: [`ColumnStatistics`],
+//!   [`TableStatistics`], the incremental [`StatisticsCollector`] the
+//!   storage layer embeds in every table, and the [`StatisticsSource`]
+//!   trait through which planners read statistics for named relations.
+//! * [`estimate`] — the cardinality [`Estimator`] over the logical
+//!   [`Expr`](nullrel_core::algebra::Expr) algebra: selection selectivity
+//!   under the TRUE-band (lower bound) discipline, join fan-out from
+//!   distinct counts, and bounds for the set operators, the union-join,
+//!   and division.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod estimate;
+
+pub use catalog::{ColumnStatistics, StatisticsCollector, StatisticsSource, TableStatistics};
+pub use estimate::{ColumnEstimate, Estimate, Estimator};

@@ -122,6 +122,12 @@ impl RelationSource for Database {
     }
 }
 
+impl nullrel_stats::StatisticsSource for Database {
+    fn table_statistics(&self, name: &str) -> Option<nullrel_stats::TableStatistics> {
+        self.tables.get(name).map(Table::statistics)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,12 +139,8 @@ mod tests {
 
     fn sample_db() -> Database {
         let mut db = Database::new();
-        db.create_table(
-            SchemaBuilder::new("PS")
-                .column("S#")
-                .column("P#"),
-        )
-        .unwrap();
+        db.create_table(SchemaBuilder::new("PS").column("S#").column("P#"))
+            .unwrap();
         let u = db.universe().clone();
         let table = db.table_mut("PS").unwrap();
         for (s, p) in [

@@ -157,7 +157,9 @@ mod tests {
         let (_u, s, p, rows) = rows();
         let index = HashIndex::build(vec![s, p], &rows);
         assert_eq!(index.lookup(&[Value::str("s1"), Value::str("p2")]), &[1]);
-        let probe = Tuple::new().with(s, Value::str("s2")).with(p, Value::str("p1"));
+        let probe = Tuple::new()
+            .with(s, Value::str("s2"))
+            .with(p, Value::str("p1"));
         assert_eq!(index.lookup_tuple(&probe).unwrap(), &[2]);
         // A probe with a null indexed column returns None, not "all rows".
         let null_probe = Tuple::new().with(s, Value::str("s3"));
@@ -168,7 +170,11 @@ mod tests {
     fn add_and_rebuild() {
         let (_u, s, p, mut rows) = rows();
         let mut index = HashIndex::build(vec![s], &rows);
-        rows.push(Tuple::new().with(s, Value::str("s9")).with(p, Value::str("p9")));
+        rows.push(
+            Tuple::new()
+                .with(s, Value::str("s9"))
+                .with(p, Value::str("p9")),
+        );
         index.add(4, &rows[4]);
         assert_eq!(index.lookup(&[Value::str("s9")]), &[4]);
         rows.remove(0);

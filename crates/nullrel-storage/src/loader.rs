@@ -78,11 +78,7 @@ pub fn parse_relation(universe: &mut Universe, text: &str) -> StorageResult<Rela
         if cells.len() != attrs.len() {
             return Err(StorageError::Parse {
                 line: line_no + 1,
-                message: format!(
-                    "expected {} cells, found {}",
-                    attrs.len(),
-                    cells.len()
-                ),
+                message: format!("expected {} cells, found {}", attrs.len(), cells.len()),
             });
         }
         let mut tuple = Tuple::new();

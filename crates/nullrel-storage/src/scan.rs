@@ -65,17 +65,9 @@ pub fn predicate_scan(
 
 /// An equality scan that uses a hash index when one covers the probed
 /// columns, falling back to a predicate scan otherwise.
-pub fn eq_scan(
-    table: &Table,
-    attrs: &[AttrId],
-    key: &[Value],
-) -> (Vec<Tuple>, ScanStats) {
+pub fn eq_scan(table: &Table, attrs: &[AttrId], key: &[Value]) -> (Vec<Tuple>, ScanStats) {
     let has_index = table.indexes().iter().any(|i| i.attrs() == attrs);
-    let rows: Vec<Tuple> = table
-        .lookup_eq(attrs, key)
-        .into_iter()
-        .cloned()
-        .collect();
+    let rows: Vec<Tuple> = table.lookup_eq(attrs, key).into_iter().cloned().collect();
     let stats = ScanStats {
         examined: if has_index { rows.len() } else { table.len() },
         returned: rows.len(),
@@ -94,7 +86,11 @@ mod tests {
 
     fn table() -> (Universe, Table, AttrId, AttrId) {
         let mut u = Universe::new();
-        let schema = SchemaBuilder::new("PS").column("S#").column("P#").build(&mut u).unwrap();
+        let schema = SchemaBuilder::new("PS")
+            .column("S#")
+            .column("P#")
+            .build(&mut u)
+            .unwrap();
         let s = u.lookup("S#").unwrap();
         let p = u.lookup("P#").unwrap();
         let mut table = Table::new(schema);

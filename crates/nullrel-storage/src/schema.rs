@@ -171,7 +171,11 @@ impl TableSchema {
     /// Appends a column (schema evolution); the new column is always
     /// nullable, because existing rows will read `ni` for it.
     pub(crate) fn push_column(&mut self, column: ColumnDef) -> StorageResult<()> {
-        if self.columns.iter().any(|c| c.name == column.name || c.attr == column.attr) {
+        if self
+            .columns
+            .iter()
+            .any(|c| c.name == column.name || c.attr == column.attr)
+        {
             return Err(StorageError::ColumnExists(column.name));
         }
         self.columns.push(column);

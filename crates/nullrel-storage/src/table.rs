@@ -16,27 +16,31 @@ use nullrel_core::tuple::Tuple;
 use nullrel_core::universe::{AttrId, AttrSet, Domain, Universe};
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
+use nullrel_stats::{StatisticsCollector, TableStatistics};
 
 use crate::error::{StorageError, StorageResult};
 use crate::index::HashIndex;
 use crate::schema::{ColumnDef, TableSchema};
 
-/// A stored relation with null values, integrity constraints and optional
-/// hash indexes.
+/// A stored relation with null values, integrity constraints, optional
+/// hash indexes, and incrementally maintained statistics.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: TableSchema,
     rows: Vec<Tuple>,
     indexes: Vec<HashIndex>,
+    stats: StatisticsCollector,
 }
 
 impl Table {
     /// Creates an empty table from a schema.
     pub fn new(schema: TableSchema) -> Self {
+        let stats = StatisticsCollector::new(schema.attrs());
         Table {
             schema,
             rows: Vec::new(),
             indexes: Vec::new(),
+            stats,
         }
     }
 
@@ -79,6 +83,7 @@ impl Table {
         for index in &mut self.indexes {
             index.add(pos, &row);
         }
+        self.stats.observe(&row);
         self.rows.push(row);
         Ok(())
     }
@@ -144,11 +149,7 @@ impl Table {
         }
         // Validate the whole new state (simplest way to keep key uniqueness
         // sound under multi-row updates).
-        let mut staged = Table {
-            schema: self.schema.clone(),
-            rows: Vec::new(),
-            indexes: Vec::new(),
-        };
+        let mut staged = Table::new(self.schema.clone());
         for row in &new_rows {
             staged.validate(row)?;
             staged.check_key(row, None)?;
@@ -174,6 +175,14 @@ impl Table {
     /// The table's indexes.
     pub fn indexes(&self) -> &[HashIndex] {
         &self.indexes
+    }
+
+    /// A snapshot of the table's statistics: row counts split into the
+    /// definite and maybe truth bands, plus per-column distinct counts,
+    /// `ni` row counts, and numeric min/max. Maintained incrementally on
+    /// insert and rebuilt whenever rows or the schema change.
+    pub fn statistics(&self) -> TableStatistics {
+        self.stats.snapshot()
     }
 
     /// Equality probe through the first index covering exactly `attrs`;
@@ -221,6 +230,9 @@ impl Table {
             domain,
             nullable: true,
         })?;
+        // Existing rows read ni for the new column; the statistics must
+        // track it from now on.
+        self.stats.rebuild(self.schema.attrs(), &self.rows);
         Ok(attr)
     }
 
@@ -347,6 +359,7 @@ impl Table {
         for index in &mut self.indexes {
             index.rebuild(&self.rows);
         }
+        self.stats.rebuild(self.schema.attrs(), &self.rows);
     }
 }
 
@@ -372,13 +385,37 @@ mod tests {
             .unwrap();
         let mut table = Table::new(schema);
         table
-            .insert_named(&u, &[("E#", Value::int(1120)), ("NAME", Value::str("SMITH")), ("SEX", Value::str("M")), ("MGR#", Value::int(2235))])
+            .insert_named(
+                &u,
+                &[
+                    ("E#", Value::int(1120)),
+                    ("NAME", Value::str("SMITH")),
+                    ("SEX", Value::str("M")),
+                    ("MGR#", Value::int(2235)),
+                ],
+            )
             .unwrap();
         table
-            .insert_named(&u, &[("E#", Value::int(4335)), ("NAME", Value::str("BROWN")), ("SEX", Value::str("F")), ("MGR#", Value::int(2235))])
+            .insert_named(
+                &u,
+                &[
+                    ("E#", Value::int(4335)),
+                    ("NAME", Value::str("BROWN")),
+                    ("SEX", Value::str("F")),
+                    ("MGR#", Value::int(2235)),
+                ],
+            )
             .unwrap();
         table
-            .insert_named(&u, &[("E#", Value::int(8799)), ("NAME", Value::str("GREEN")), ("SEX", Value::str("M")), ("MGR#", Value::int(1255))])
+            .insert_named(
+                &u,
+                &[
+                    ("E#", Value::int(8799)),
+                    ("NAME", Value::str("GREEN")),
+                    ("SEX", Value::str("M")),
+                    ("MGR#", Value::int(1255)),
+                ],
+            )
             .unwrap();
         (u, table)
     }
@@ -442,7 +479,10 @@ mod tests {
         // New rows can use the new column; old rows read ni.
         assert!(table.rows().all(|r| r.is_null(tel)));
         table
-            .insert_named(&u, &[("E#", Value::int(5555)), ("TEL#", Value::int(2_639_452))])
+            .insert_named(
+                &u,
+                &[("E#", Value::int(5555)), ("TEL#", Value::int(2_639_452))],
+            )
             .unwrap();
         assert_eq!(table.len(), 4);
     }
@@ -461,7 +501,9 @@ mod tests {
         let new_attr = table.rename_column(&mut u, "NAME", "FULL_NAME").unwrap();
         assert!(table.schema().column_by_name("FULL_NAME").is_some());
         assert!(table.schema().column_by_name("NAME").is_none());
-        assert!(table.rows().any(|r| r.get(new_attr) == Some(&Value::str("SMITH"))));
+        assert!(table
+            .rows()
+            .any(|r| r.get(new_attr) == Some(&Value::str("SMITH"))));
         // Renaming to an existing column name fails.
         assert!(table.rename_column(&mut u, "SEX", "FULL_NAME").is_err());
         // Renaming a missing column fails.
@@ -536,6 +578,47 @@ mod tests {
         assert_eq!(males.len(), 1);
         // Unknown column cannot be indexed.
         assert!(table.create_index(vec![AttrId::from_index(99)]).is_err());
+    }
+
+    #[test]
+    fn statistics_track_inserts_deletes_and_schema_evolution() {
+        let (mut u, mut table) = emp_table();
+        let name = u.lookup("NAME").unwrap();
+        let mgr = u.lookup("MGR#").unwrap();
+        let stats = table.statistics();
+        assert_eq!(stats.rows, 3);
+        assert_eq!(stats.definite_rows, 3, "every Table-I row is total");
+        assert_eq!(stats.maybe_rows, 0);
+        assert_eq!(stats.distinct(name), Some(3));
+        assert_eq!(stats.distinct(mgr), Some(2), "2235 twice, 1255 once");
+        let e_no = u.lookup("E#").unwrap();
+        let c = stats.column(e_no).unwrap();
+        assert_eq!((c.min, c.max), (Some(1120.0), Some(8799.0)));
+
+        // Schema evolution: the new TEL# column is ni everywhere, so every
+        // row moves to the maybe band.
+        let tel = table.add_column(&mut u, "TEL#", None).unwrap();
+        let stats = table.statistics();
+        assert_eq!(stats.definite_rows, 0);
+        assert_eq!(stats.maybe_rows, 3);
+        assert_eq!(stats.ni_fraction(tel), 1.0);
+
+        // Deletion rebuilds alongside the indexes.
+        table
+            .delete_where(&Predicate::attr_const(name, CompareOp::Eq, "SMITH"))
+            .unwrap();
+        let stats = table.statistics();
+        assert_eq!(stats.rows, 2);
+        assert_eq!(stats.distinct(name), Some(2));
+
+        // Nulling a cell via update moves the column's ni count.
+        table
+            .update_where(
+                &Predicate::attr_const(name, CompareOp::Eq, "GREEN"),
+                &[(mgr, None)],
+            )
+            .unwrap();
+        assert_eq!(table.statistics().column(mgr).unwrap().null_rows, 1);
     }
 
     #[test]

@@ -96,7 +96,10 @@ impl Criterion {
         };
         match bencher.median() {
             Some((per_iter, iters)) => {
-                println!("bench: {label:<56} {} ({iters} iters/sample)", fmt_duration(per_iter));
+                println!(
+                    "bench: {label:<56} {} ({iters} iters/sample)",
+                    fmt_duration(per_iter)
+                );
             }
             None => println!("bench: {label:<56} (no measurement)"),
         }
@@ -132,12 +135,17 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Runs one benchmark parameterised by an input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
-    where
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
         F: FnMut(&mut Bencher, &I),
     {
         let id = id.into();
-        self.criterion.run_one(&self.name, &id.render(), |b| f(b, input));
+        self.criterion
+            .run_one(&self.name, &id.render(), |b| f(b, input));
     }
 
     /// Ends the group. (A no-op here; real criterion finalises reports.)
@@ -219,7 +227,9 @@ impl Bencher {
             if Instant::now() >= warm_deadline {
                 break;
             }
-            let per_sample = self.measurement_time.div_f64(self.sample_size.max(1) as f64);
+            let per_sample = self
+                .measurement_time
+                .div_f64(self.sample_size.max(1) as f64);
             if elapsed < per_sample {
                 batch = batch.saturating_mul(2);
             }

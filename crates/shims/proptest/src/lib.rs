@@ -126,6 +126,24 @@ macro_rules! int_range_strategy {
 
 int_range_strategy!(i64, i32, u64, u32, usize, u8);
 
+/// Tuples of strategies are strategies over tuples of values, as in real
+/// proptest (independent component draws).
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B)(A, B, C)(A, B, C, D));
+
 pub mod collection {
     //! Collection strategies, mirroring `proptest::collection`.
 

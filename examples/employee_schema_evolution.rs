@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         )?;
     }
     let table_i = db.table("EMP")?.to_relation();
-    println!("{}", render_relation("EMP (Table I)", &table_i, db.universe()));
+    println!(
+        "{}",
+        render_relation("EMP (Table I)", &table_i, db.universe())
+    );
 
     // The schema change: add TEL#. No data is touched; existing rows read ni.
     {
@@ -52,7 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         table.add_column(universe, "TEL#", None)?;
     }
     let table_ii = db.table("EMP")?.to_relation();
-    println!("{}", render_relation("EMP (Table II, after adding TEL#)", &table_ii, db.universe()));
+    println!(
+        "{}",
+        render_relation(
+            "EMP (Table II, after adding TEL#)",
+            &table_ii,
+            db.universe()
+        )
+    );
     println!(
         "Table I ≅ Table II (information-wise equivalent): {}\n",
         table_i.equivalent(&table_ii)

@@ -7,9 +7,7 @@
 //! ```
 
 use nullrel::core::display::render_xrelation;
-use nullrel::core::lattice::{
-    self, bottom, laws, pseudo_complement, top, DEFAULT_TOP_LIMIT,
-};
+use nullrel::core::lattice::{self, bottom, laws, pseudo_complement, top, DEFAULT_TOP_LIMIT};
 use nullrel::core::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -36,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Set intersection of the representations is empty, but the
     // x-intersection x-contains (a1, -): the two meets differ (Section 7).
     let meet = lattice::x_intersection(&r1, &r2);
-    println!("{}", render_xrelation("R1 ∩̂ R2 (x-intersection)", &meet, &[a, b], &universe));
+    println!(
+        "{}",
+        render_xrelation("R1 ∩̂ R2 (x-intersection)", &meet, &[a, b], &universe)
+    );
     println!(
         "(a1, -) x-belongs to the x-intersection: {}",
         meet.x_contains(&Tuple::new().with(a, Value::str("a1")))
@@ -46,7 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let top_u = top(&universe, &attrs, DEFAULT_TOP_LIMIT)?;
     println!("{}", render_xrelation("TOP_U", &top_u, &[a, b], &universe));
     let star = pseudo_complement(&r1, &universe, &attrs, DEFAULT_TOP_LIMIT)?;
-    println!("{}", render_xrelation("R1* = TOP_U - R1", &star, &[a, b], &universe));
+    println!(
+        "{}",
+        render_xrelation("R1* = TOP_U - R1", &star, &[a, b], &universe)
+    );
     println!(
         "R1 ∪ R1* = TOP_U: {}    R1 ∩̂ R1* is empty: {} (no true complement exists)",
         lattice::union(&r1, &star) == top_u,
@@ -58,11 +62,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // identities (4.4)/(4.5), checked on these relations.
     let r3 = lattice::union(&r1, &r2);
     println!("\nLattice laws on (R1, R2, R1 ∪ R2):");
-    println!("  union is an upper bound:        {}", laws::union_is_upper_bound(&r1, &r2));
-    println!("  intersection is a lower bound:  {}", laws::intersection_is_lower_bound(&r1, &r2));
-    println!("  distributive (meet over join):  {}", laws::distributive_meet_over_join(&r1, &r2, &r3));
-    println!("  distributive (join over meet):  {}", laws::distributive_join_over_meet(&r1, &r2, &r3));
-    println!("  absorption:                     {}", laws::absorption(&r1, &r2));
+    println!(
+        "  union is an upper bound:        {}",
+        laws::union_is_upper_bound(&r1, &r2)
+    );
+    println!(
+        "  intersection is a lower bound:  {}",
+        laws::intersection_is_lower_bound(&r1, &r2)
+    );
+    println!(
+        "  distributive (meet over join):  {}",
+        laws::distributive_meet_over_join(&r1, &r2, &r3)
+    );
+    println!(
+        "  distributive (join over meet):  {}",
+        laws::distributive_join_over_meet(&r1, &r2, &r3)
+    );
+    println!(
+        "  absorption:                     {}",
+        laws::absorption(&r1, &r2)
+    );
     println!(
         "  Prop 4.6 (difference restores):  {}",
         laws::difference_restores_under_containment(&r3, &r1)

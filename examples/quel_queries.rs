@@ -83,7 +83,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", explain_physical(&db, FIGURE_2_QUERY)?);
     let ni = execute(&db, FIGURE_2_QUERY)?;
     println!("ni lower bound ‖Q‖*:\n{}", ni.render());
-    println!("executed physical plan (again, from the query output):\n{}", ni.physical_plan());
+    println!(
+        "executed physical plan (again, from the query output):\n{}",
+        ni.physical_plan()
+    );
 
     // The Appendix's point: certifying the last two conjuncts for tuples
     // with unknown MGR# values needs the schema integrity constraints.
@@ -110,8 +113,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         with.sure.len(),
         with.maybe.len()
     );
-    println!(
-        "The ni evaluation needed none of this machinery — which is the paper's argument."
-    );
+    println!("The ni evaluation needed none of this machinery — which is the paper's argument.");
     Ok(())
 }

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         row(Some("s3"), None),
         row(Some("s4"), Some("p4")),
     ]);
-    println!("{}", render_xrelation("PS (minimal form)", &ps, &[s_no, p_no], &universe));
+    println!(
+        "{}",
+        render_xrelation("PS (minimal form)", &ps, &[s_no, p_no], &universe)
+    );
 
     // 2. The information ordering: (s1, -) is less informative than (s1, p1),
     //    so it disappeared from the minimal representation, yet it still
@@ -49,7 +52,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "{}",
-        render_xrelation("Suppliers of p1 (for sure)", &supplies_p1, &[s_no], &universe)
+        render_xrelation(
+            "Suppliers of p1 (for sure)",
+            &supplies_p1,
+            &[s_no],
+            &universe
+        )
     );
 
     // 4. Division: "find each supplier who supplies every part supplied by
@@ -59,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &attr_set([p_no]),
     );
     let answer = divide(&ps, &attr_set([s_no]), &parts_of_s2)?;
-    println!("{}", render_xrelation("A3 = PS (/ S#) P_s2", &answer, &[s_no], &universe));
+    println!(
+        "{}",
+        render_xrelation("A3 = PS (/ S#) P_s2", &answer, &[s_no], &universe)
+    );
 
     // 5. The lattice: union and x-intersection are least upper / greatest
     //    lower bounds of the containment ordering.

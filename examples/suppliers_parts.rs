@@ -28,10 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p_no,
         Domain::Enumerated(vec![Value::str("p1"), Value::str("p2"), Value::str("p3")]),
     )?;
-    universe.set_domain(s_no, Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]))?;
+    universe.set_domain(
+        s_no,
+        Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]),
+    )?;
 
-    println!("{}", render_relation("PS' (display 1.1)", &ps_prime, &universe));
-    println!("{}", render_relation("PS'' (display 1.2)", &ps_double, &universe));
+    println!(
+        "{}",
+        render_relation("PS' (display 1.1)", &ps_prime, &universe)
+    );
+    println!(
+        "{}",
+        render_relation("PS'' (display 1.2)", &ps_double, &universe)
+    );
 
     let budget = 100_000;
     let contains = substitution::contains(&ps_double, &ps_prime, &universe, budget)?;
@@ -86,7 +95,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Q: find each supplier who supplies every part supplied by s2");
     println!("{}", render_relation("A1 (Codd TRUE division)", &a1, &u66));
     println!("{}", render_relation("A2 (Codd MAYBE division)", &a2, &u66));
-    println!("{}", render_xrelation("A3 (paper's Y-quotient)", &a3, &[s], &u66));
+    println!(
+        "{}",
+        render_xrelation("A3 (paper's Y-quotient)", &a3, &[s], &u66)
+    );
 
     // ----- E7: query Q4 — parts supplied by s1 but not by s2 ------------
     let by_s1 = project(
@@ -98,6 +110,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &attr_set([p]),
     );
     let q4 = lattice::difference(&by_s1, &by_s2);
-    println!("{}", render_xrelation("A4 = parts by s1 but not by s2", &q4, &[p], &u66));
+    println!(
+        "{}",
+        render_xrelation("A4 = parts by s1 but not by s2", &q4, &[p], &u66)
+    );
     Ok(())
 }

@@ -10,9 +10,13 @@
 //! * [`codd`] — the baselines: classical total relations, Codd's TRUE/MAYBE
 //!   algebra, and the null substitution principle.
 //! * [`storage`] — the in-memory database substrate (catalog, tables,
-//!   schema evolution, indexes).
-//! * [`exec`] — the pipelined physical execution engine: rule-based
-//!   optimizer, catalog access paths, hash joins, streaming minimisation.
+//!   schema evolution, indexes, incremental statistics).
+//! * [`stats`] — the truth-band-aware statistics catalog and the
+//!   cardinality estimator feeding the cost-based optimizer.
+//! * [`exec`] — the pipelined physical execution engine: cost-based
+//!   optimizer (join-order enumeration, index selection, hash vs
+//!   index-nested-loop joins), catalog access paths, streaming
+//!   minimisation.
 //! * [`query`] — the QUEL-subset front-end with `ni` lower-bound evaluation
 //!   (run through the engine) and the "unknown"-interpretation baseline
 //!   with tautology detection.
@@ -27,6 +31,7 @@ pub use nullrel_codd as codd;
 pub use nullrel_core as core;
 pub use nullrel_exec as exec;
 pub use nullrel_query as query;
+pub use nullrel_stats as stats;
 pub use nullrel_storage as storage;
 
 /// The most commonly used items from every layer, for examples and tests.
@@ -42,7 +47,8 @@ mod tests {
     fn facade_reexports_are_usable() {
         use crate::prelude::*;
         let mut db = Database::new();
-        db.create_table(SchemaBuilder::new("T").column("A")).unwrap();
+        db.create_table(SchemaBuilder::new("T").column("A"))
+            .unwrap();
         let a = db.universe().lookup("A").unwrap();
         let rel = XRelation::from_tuples([Tuple::new().with(a, Value::int(1))]);
         assert_eq!(rel.len(), 1);

@@ -20,7 +20,8 @@ fn arb_total_relation(offset: usize) -> impl Strategy<Value = TotalRelation> {
             let attrs: Vec<AttrId> = (0..ATTRS).map(|i| AttrId::from_index(offset + i)).collect();
             let mut rel = TotalRelation::new(attrs);
             for row in rows {
-                rel.insert(row.into_iter().map(Value::int).collect()).unwrap();
+                rel.insert(row.into_iter().map(Value::int).collect())
+                    .unwrap();
             }
             rel
         },

@@ -114,7 +114,8 @@ fn division_through_the_expression_tree_and_storage() {
     use nullrel::storage::{Database, SchemaBuilder};
 
     let mut db = Database::new();
-    db.create_table(SchemaBuilder::new("PS").column("S#").column("P#")).unwrap();
+    db.create_table(SchemaBuilder::new("PS").column("S#").column("P#"))
+        .unwrap();
     let universe = db.universe().clone();
     {
         let table = db.table_mut("PS").unwrap();

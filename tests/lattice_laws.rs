@@ -127,7 +127,8 @@ fn pseudo_complement_facts() {
         .with(a, Value::str("a1"))
         .with(b, Value::str("b1"))]);
     let top = lattice::top(&universe, &attrs, lattice::DEFAULT_TOP_LIMIT).unwrap();
-    let star = lattice::pseudo_complement(&r, &universe, &attrs, lattice::DEFAULT_TOP_LIMIT).unwrap();
+    let star =
+        lattice::pseudo_complement(&r, &universe, &attrs, lattice::DEFAULT_TOP_LIMIT).unwrap();
     // R ∪ R* = TOP, and R* is the smallest such (checked against every
     // sub-relation of TOP on this tiny universe).
     assert_eq!(lattice::union(&r, &star), top);

@@ -49,7 +49,8 @@ fn differential(db: &Database, text: &str) {
     let resolved = resolve(db, &parse(text).unwrap()).unwrap();
     let oracle = execute_resolved_naive(&resolved).expect("oracle evaluates");
     assert_eq!(
-        engine.rows, oracle.rows,
+        engine.rows,
+        oracle.rows,
         "engine and oracle disagree on {text:?}\nphysical plan:\n{}",
         engine.physical_plan()
     );
@@ -95,7 +96,10 @@ fn indexed_and_unindexed_plans_agree() {
     db.table_mut("PS").unwrap().create_index(vec![s]).unwrap();
     for (q, plain) in queries.iter().zip(before) {
         let indexed = execute(&db, q).unwrap();
-        assert_eq!(indexed.rows, plain.rows, "index changed the answer of {q:?}");
+        assert_eq!(
+            indexed.rows, plain.rows,
+            "index changed the answer of {q:?}"
+        );
         assert!(
             indexed.stats.used_index(),
             "expected an index probe:\n{}",
@@ -124,7 +128,10 @@ fn differential_expr(db: &Database, expr: &Expr, operator: &str) -> XRelation {
         stats.used_op(operator),
         "expected a dedicated {operator} operator:\n{stats}"
     );
-    assert!(!stats.render().contains("EvalScan"), "fallback node:\n{stats}");
+    assert!(
+        !stats.render().contains("EvalScan"),
+        "fallback node:\n{stats}"
+    );
     engine
 }
 
@@ -144,7 +151,11 @@ fn paper_set_op_and_division_queries_stream_through_the_engine() {
     };
 
     // Section 6, query Q / answer A₃.
-    let a3 = differential_expr(&db, &Expr::named("PS").divide(attr_set([s]), by("s2")), "Divide");
+    let a3 = differential_expr(
+        &db,
+        &Expr::named("PS").divide(attr_set([s]), by("s2")),
+        "Divide",
+    );
     assert_eq!(a3.len(), 2);
     assert!(a3.x_contains(&Tuple::new().with(s, Value::str("s1"))));
     assert!(a3.x_contains(&Tuple::new().with(s, Value::str("s2"))));
@@ -198,10 +209,16 @@ fn union_join_fixture_keeps_dangling_tuples_through_the_engine() {
         .unwrap();
     t.insert_named(&u, &[("E#", Value::int(3))]).unwrap(); // DEPT is ni
     let t = db.table_mut("DEP").unwrap();
-    t.insert_named(&u, &[("DEPT", Value::str("D1")), ("BUDGET", Value::int(100))])
-        .unwrap();
-    t.insert_named(&u, &[("DEPT", Value::str("D2")), ("BUDGET", Value::int(200))])
-        .unwrap();
+    t.insert_named(
+        &u,
+        &[("DEPT", Value::str("D1")), ("BUDGET", Value::int(100))],
+    )
+    .unwrap();
+    t.insert_named(
+        &u,
+        &[("DEPT", Value::str("D2")), ("BUDGET", Value::int(200))],
+    )
+    .unwrap();
 
     let expr = Expr::named("EMP").union_join(Expr::named("DEP"), attr_set([dept]));
     let out = differential_expr(&db, &expr, "UnionJoin");
@@ -295,7 +312,11 @@ fn maybe_band_flows_through_set_operators_and_division() {
         .x_intersect(Expr::literal(a.clone()).select(pred.clone()));
     let (engine, stats) = execute_expr_band(&plan, &NoSource, &u, Truth::Ni).unwrap();
     let band = XRelation::from_tuples(ni_band(&a, &pred));
-    assert_eq!(engine, lattice::x_intersection(&band, &band), "plan:\n{stats}");
+    assert_eq!(
+        engine,
+        lattice::x_intersection(&band, &band),
+        "plan:\n{stats}"
+    );
 
     // Division whose dividend is an ni-band selection.
     let divisor = XRelation::from_tuples([st(None, Some("p4"))]);
@@ -303,10 +324,7 @@ fn maybe_band_flows_through_set_operators_and_division() {
         .select(Predicate::attr_const(s, CompareOp::Eq, "s2"))
         .divide(attr_set([s]), Expr::literal(divisor.clone()));
     let (engine, stats) = execute_expr_band(&plan, &NoSource, &u, Truth::Ni).unwrap();
-    let band = XRelation::from_tuples(ni_band(
-        &a,
-        &Predicate::attr_const(s, CompareOp::Eq, "s2"),
-    ));
+    let band = XRelation::from_tuples(ni_band(&a, &Predicate::attr_const(s, CompareOp::Eq, "s2")));
     let oracle = nullrel::core::algebra::divide(&band, &attr_set([s]), &divisor).unwrap();
     assert_eq!(engine, oracle, "plan:\n{stats}");
 

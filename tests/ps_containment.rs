@@ -22,7 +22,10 @@ fn fixtures() -> (Universe, Relation, Relation) {
         )
         .unwrap();
     universe
-        .set_domain(s, Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]))
+        .set_domain(
+            s,
+            Domain::Enumerated(vec![Value::str("s1"), Value::str("s2")]),
+        )
         .unwrap();
     (universe, ps_prime, ps_double)
 }

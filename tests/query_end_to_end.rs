@@ -84,8 +84,14 @@ fn figure2_constraints_and_ni() {
     let names = ni.column_values("e.NAME");
     assert!(names.contains(&Value::str("SMITH")));
     assert!(names.contains(&Value::str("BROWN")));
-    assert!(!names.contains(&Value::str("GREEN")), "GREEN's manager is female");
-    assert!(!names.contains(&Value::str("ADAMS")), "ADAMS manages her manager");
+    assert!(
+        !names.contains(&Value::str("GREEN")),
+        "GREEN's manager is female"
+    );
+    assert!(
+        !names.contains(&Value::str("ADAMS")),
+        "ADAMS manages her manager"
+    );
     // JONES has an unknown manager, but that does not matter for e = JONES
     // (the join is on e.MGR#); JONES can still appear as the m variable.
     assert!(!names.contains(&Value::str("JONES")));
@@ -99,7 +105,10 @@ fn figure2_constraints_and_ni() {
     db_unknown
         .table_mut("EMP")
         .unwrap()
-        .update_where(&Predicate::attr_const(e_no, CompareOp::Eq, 2235), &[(mgr, None)])
+        .update_where(
+            &Predicate::attr_const(e_no, CompareOp::Eq, 2235),
+            &[(mgr, None)],
+        )
         .unwrap();
     let constraint = |text: &str| {
         parse(&format!(
@@ -152,5 +161,8 @@ fn error_paths() {
     assert!(execute(&db, "range of e is MISSING retrieve (e.X)").is_err());
     assert!(execute(&db, "range of e is EMP retrieve (e.NOPE)").is_err());
     assert!(execute(&db, "garbage !!").is_err());
-    assert!(execute_unknown(&db, FIGURE_2_QUERY, &[], 3).is_err(), "budget enforced");
+    assert!(
+        execute_unknown(&db, FIGURE_2_QUERY, &[], 3).is_err(),
+        "budget enforced"
+    );
 }
