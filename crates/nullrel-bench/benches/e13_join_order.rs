@@ -28,9 +28,12 @@ use nullrel_core::value::Value;
 use nullrel_exec::{execute_expr, execute_expr_with, JoinOrdering, OptimizeOptions};
 use nullrel_storage::{Database, SchemaBuilder};
 
-const DECLARATION: OptimizeOptions = OptimizeOptions {
-    join_ordering: JoinOrdering::Declaration,
-};
+fn declaration_options() -> OptimizeOptions {
+    OptimizeOptions {
+        join_ordering: JoinOrdering::Declaration,
+        ..OptimizeOptions::default()
+    }
+}
 
 /// A star database: three dimensions of `n/4` rows (keyed and indexed)
 /// and a fact table of `n` rows referencing all three.
@@ -135,7 +138,7 @@ fn bench_e13(c: &mut Criterion) {
     let (cost_based, stats) = execute_expr(&small_plan, &small, small.universe()).unwrap();
     assert_eq!(cost_based, oracle, "cost-based plan must match the oracle");
     let (declaration, _) =
-        execute_expr_with(&small_plan, &small, small.universe(), DECLARATION).unwrap();
+        execute_expr_with(&small_plan, &small, small.universe(), declaration_options()).unwrap();
     assert_eq!(
         declaration, oracle,
         "declaration order must match the oracle"
@@ -165,14 +168,14 @@ fn bench_e13(c: &mut Criterion) {
         let db = star_db(n);
         let plan = star_plan(&db);
         let (a, _) = execute_expr(&plan, &db, db.universe()).unwrap();
-        let (b, _) = execute_expr_with(&plan, &db, db.universe(), DECLARATION).unwrap();
+        let (b, _) = execute_expr_with(&plan, &db, db.universe(), declaration_options()).unwrap();
         assert_eq!(a, b, "plan choice must not change the result (n={n})");
 
         let cost_t = median(5, || {
             black_box(execute_expr(&plan, &db, db.universe()).unwrap());
         });
         let decl_t = median(5, || {
-            black_box(execute_expr_with(&plan, &db, db.universe(), DECLARATION).unwrap());
+            black_box(execute_expr_with(&plan, &db, db.universe(), declaration_options()).unwrap());
         });
         let ratio = decl_t.as_secs_f64() / cost_t.as_secs_f64().max(1e-9);
         println!(
@@ -196,7 +199,8 @@ fn bench_e13(c: &mut Criterion) {
             &db,
             |b, db| {
                 b.iter(|| {
-                    execute_expr_with(&plan, black_box(db), db.universe(), DECLARATION).unwrap()
+                    execute_expr_with(&plan, black_box(db), db.universe(), declaration_options())
+                        .unwrap()
                 })
             },
         );

@@ -131,6 +131,64 @@ pub fn minimal(tuples: Vec<Tuple>) -> Vec<Tuple> {
     keep
 }
 
+/// Merges per-partition antichains into the single global antichain their
+/// union minimises to — the reduction step of a partitioned `Minimize`.
+///
+/// Each input part must itself be an antichain (no null tuple, no tuple
+/// dominated by another tuple *of the same part*); debug builds verify the
+/// claim. Parallel runtimes produce exactly this shape: every worker
+/// reduces its morsel locally, and only tuples from *different* parts can
+/// still dominate one another. The merge is therefore a cross-partition
+/// subsumption sweep: deduplicate across parts, build one inverted cell
+/// index over the survivors, and keep every tuple with no dominator other
+/// than itself.
+///
+/// **Correctness.** Minimisation is determined by the *set* of input
+/// tuples, not by any partitioning of it: `⌈R⌉` keeps exactly the tuples of
+/// `R` that no other tuple of `R` strictly dominates. A local reduction
+/// can only drop tuples that are dominated by another input tuple — tuples
+/// the global reduction drops as well — and domination is transitive, so
+/// the local survivor that witnessed the drop either survives globally or
+/// is itself dominated by a global survivor. Hence
+/// `merge_antichains(partition(R)) = minimal(R)` for **every** partitioning
+/// of `R`, including the trivial one (`k = 1`, where the sweep finds
+/// nothing to drop). The parallel-runtime proptests exercise this equality
+/// over arbitrary partitionings in both truth bands.
+pub fn merge_antichains(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    debug_assert!(
+        parts.iter().all(|p| crate::xrel::is_antichain(p)),
+        "merge_antichains called with a non-antichain part"
+    );
+    let mut parts = parts;
+    // Fast path: one part is already globally minimal.
+    if parts.len() == 1 {
+        let mut only = parts.pop().expect("checked length");
+        only.sort();
+        return only;
+    }
+    // Cross-part deduplication (a tuple may appear in several parts).
+    let total: usize = parts.iter().map(Vec::len).sum();
+    let mut seen: HashSet<Tuple> = HashSet::with_capacity(total);
+    let mut deduped: Vec<Tuple> = Vec::with_capacity(total);
+    for part in parts {
+        for t in part {
+            if seen.insert(t.clone()) {
+                deduped.push(t);
+            }
+        }
+    }
+    // The cross-partition subsumption sweep proper.
+    let index = TupleIndex::build(&deduped);
+    let mut keep = Vec::with_capacity(deduped.len());
+    for (i, t) in deduped.iter().enumerate() {
+        if !index.dominated_excluding(t, i) {
+            keep.push(t.clone());
+        }
+    }
+    keep.sort();
+    keep
+}
+
 /// Union per (4.6), hash-accelerated.
 pub fn union(a: &XRelation, b: &XRelation) -> XRelation {
     let mut tuples: Vec<Tuple> = Vec::with_capacity(a.len() + b.len());
@@ -270,6 +328,60 @@ mod tests {
         assert_eq!(difference(&ps1, &ps2), naive::difference(&ps1, &ps2));
         assert_eq!(contains(&ps2, &ps1), naive::contains(&ps2, &ps1));
         assert_eq!(contains(&ps1, &ps2), naive::contains(&ps1, &ps2));
+    }
+
+    #[test]
+    fn merge_antichains_equals_serial_minimal() {
+        let (_u, s, p, q) = setup();
+        let tuples = vec![
+            sp(s, p, Some("s1"), Some("p1")),
+            sp(s, p, Some("s1"), None),
+            sp(s, p, None, Some("p1")),
+            sp(s, p, Some("s2"), None),
+            Tuple::new().with(q, Value::int(5)),
+            sp(s, p, Some("s1"), Some("p1")).with(q, Value::int(5)),
+            sp(s, p, Some("s3"), Some("p2")),
+        ];
+        let serial = minimal(tuples.clone());
+        // Every contiguous 2-way split, locally reduced then merged.
+        for cut in 0..=tuples.len() {
+            let parts = vec![
+                minimal(tuples[..cut].to_vec()),
+                minimal(tuples[cut..].to_vec()),
+            ];
+            assert_eq!(merge_antichains(parts), serial, "cut at {cut}");
+        }
+        // Round-robin k-way splits.
+        for k in 1..=4 {
+            let mut parts: Vec<Vec<Tuple>> = vec![Vec::new(); k];
+            for (i, t) in tuples.iter().enumerate() {
+                parts[i % k].push(t.clone());
+            }
+            let parts: Vec<Vec<Tuple>> = parts.into_iter().map(minimal).collect();
+            assert_eq!(merge_antichains(parts), serial, "{k}-way split");
+        }
+    }
+
+    #[test]
+    fn merge_antichains_collapses_cross_part_duplicates_and_domination() {
+        let (_u, s, p, _q) = setup();
+        let dominating = sp(s, p, Some("s1"), Some("p1"));
+        let dominated = sp(s, p, Some("s1"), None);
+        // Each part is an antichain on its own; only the merge can see that
+        // part 1's tuple subsumes part 0's, and that the duplicate in part 2
+        // must collapse.
+        let merged = merge_antichains(vec![
+            vec![dominated.clone()],
+            vec![dominating.clone()],
+            vec![dominating.clone()],
+        ]);
+        assert_eq!(merged, vec![dominating]);
+        // Degenerate shapes.
+        assert_eq!(merge_antichains(Vec::new()), Vec::<Tuple>::new());
+        assert_eq!(
+            merge_antichains(vec![vec![dominated.clone()]]),
+            vec![dominated]
+        );
     }
 
     #[test]

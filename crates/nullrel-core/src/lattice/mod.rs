@@ -49,6 +49,13 @@ pub fn difference(a: &XRelation, b: &XRelation) -> XRelation {
     hashed::difference(a, b)
 }
 
+/// Merges per-partition antichains into the global antichain their union
+/// minimises to (see [`hashed::merge_antichains`]) — the reduction step a
+/// partitioned `Minimize` sink needs.
+pub fn merge_antichains(parts: Vec<Vec<Tuple>>) -> Vec<Tuple> {
+    hashed::merge_antichains(parts)
+}
+
 /// `TOP_U` restricted to an attribute set: the Cartesian product of the
 /// attributes' domains (Section 4). Every domain must be finitely
 /// enumerable, and the total cardinality must not exceed `limit`.

@@ -50,7 +50,8 @@ use crate::op::{
     IntersectOp, MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, StatsSlot, UnionJoinOp,
     UnionOp,
 };
-use crate::optimize::{and_all, base_attr, extra_join_keys, scope_of, split_and};
+use crate::optimize::{and_all, base_attr, extra_join_keys, scope_of, split_and, OptimizeOptions};
+use crate::par_op::{ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp, ParProjectOp};
 use crate::source::ExecSource;
 use crate::stats::{ExecStats, OpStats};
 
@@ -115,18 +116,46 @@ pub fn compile_band<'a, S: ExecSource>(
     universe: &'a Universe,
     band: Truth,
 ) -> CoreResult<Pipeline<'a>> {
+    compile_with(expr, source, universe, band, OptimizeOptions::default())
+}
+
+/// [`compile_band`] with explicit engine options: the degree-of-parallelism
+/// ceiling and the fan-out row threshold live on
+/// [`OptimizeOptions`]. When the ceiling allows more than one worker, every
+/// operator whose estimated input cardinality clears the threshold compiles
+/// to its partitioned `nullrel-par` form (morsel filters/projections,
+/// partitioned hash/equi/union joins, and the partitioned `Minimize` sink);
+/// everything else — and the entire plan at `threads = 1` — compiles to the
+/// byte-identical serial operators.
+pub fn compile_with<'a, S: ExecSource>(
+    expr: &Expr,
+    source: &'a S,
+    universe: &'a Universe,
+    band: Truth,
+    options: OptimizeOptions,
+) -> CoreResult<Pipeline<'a>> {
     let mut c = Compiler {
         source,
         universe,
         band,
+        options,
         slots: Vec::new(),
         estimator: Estimator::new(source),
     };
-    let est = c.est(expr);
+    // One estimator walk serves both the sink's annotation and its
+    // fan-out decision.
+    let estimate = c.estimator.estimate(expr);
+    let est = (band == Truth::True).then(|| estimate.rounded_rows());
     let minimize = c.slot_est("Minimize", 0, est);
+    let degree = c.degree(estimate.rows);
     let input = c.build(expr, 1)?;
+    let root: BoxedOp<'a> = if degree > 1 {
+        Box::new(ParMinimizeOp::new(input, degree, minimize))
+    } else {
+        Box::new(MinimizeOp::new(input, minimize))
+    };
     Ok(Pipeline {
-        root: Box::new(MinimizeOp::new(input, minimize)),
+        root,
         slots: c.slots,
     })
 }
@@ -135,6 +164,7 @@ struct Compiler<'a, S: ExecSource> {
     source: &'a S,
     universe: &'a Universe,
     band: Truth,
+    options: OptimizeOptions,
     slots: Vec<StatsSlot>,
     estimator: Estimator<'a, S>,
 }
@@ -157,6 +187,28 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
     /// the TRUE band; other bands compile without annotations.
     fn est(&self, expr: &Expr) -> Option<u64> {
         (self.band == Truth::True).then(|| self.estimator.estimate(expr).rounded_rows())
+    }
+
+    /// The estimated input cardinality used to gate fan-out decisions. The
+    /// estimator models the TRUE band, but as a *work* proxy it serves
+    /// every band — a MAYBE-band pipeline over the same scans moves the
+    /// same rows through its stages.
+    fn work_rows(&self, expr: &Expr) -> f64 {
+        self.estimator.estimate(expr).rows
+    }
+
+    /// The degree of parallelism granted to an operator whose estimated
+    /// input is `work_rows`: the full [`OptimizeOptions::parallelism`]
+    /// ceiling when the estimate clears the fan-out threshold, serial
+    /// otherwise. At a ceiling of 1 this always returns 1, keeping the
+    /// serial engine byte-identical.
+    fn degree(&self, work_rows: f64) -> usize {
+        let threads = self.options.parallelism.threads();
+        if threads > 1 && work_rows >= self.options.parallel_row_threshold as f64 {
+            threads
+        } else {
+            1
+        }
     }
 
     /// The estimate of `σ_predicate(input)` without materialising a
@@ -206,8 +258,18 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                     depth,
                     est,
                 );
+                let degree = self.degree(self.work_rows(input));
                 let input = self.build(input, depth + 1)?;
-                Ok(Box::new(ProjectOp::new(input, attrs.clone(), slot)))
+                if degree > 1 {
+                    Ok(Box::new(ParProjectOp::new(
+                        input,
+                        attrs.clone(),
+                        degree,
+                        slot,
+                    )))
+                } else {
+                    Ok(Box::new(ProjectOp::new(input, attrs.clone(), slot)))
+                }
             }
             Expr::Product(a, b) => {
                 let slot = self.slot_est("Product", depth, est);
@@ -281,9 +343,21 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                     depth,
                     est,
                 );
+                let degree = self.degree(self.work_rows(left) + self.work_rows(right));
                 let l = self.build(left, depth + 1)?;
                 let r = self.build(right, depth + 1)?;
-                Ok(Box::new(EquiJoinOp::new(l, r, on.clone(), slot)))
+                if degree > 1 {
+                    Ok(Box::new(ParEquiJoinOp::new(
+                        l,
+                        r,
+                        on.clone(),
+                        false,
+                        degree,
+                        slot,
+                    )))
+                } else {
+                    Ok(Box::new(EquiJoinOp::new(l, r, on.clone(), slot)))
+                }
             }
             Expr::UnionJoin { left, right, on } => {
                 let slot = self.slot_est(
@@ -291,9 +365,21 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                     depth,
                     est,
                 );
+                let degree = self.degree(self.work_rows(left) + self.work_rows(right));
                 let l = self.build(left, depth + 1)?;
                 let r = self.build(right, depth + 1)?;
-                Ok(Box::new(UnionJoinOp::new(l, r, on.clone(), slot)))
+                if degree > 1 {
+                    Ok(Box::new(ParEquiJoinOp::new(
+                        l,
+                        r,
+                        on.clone(),
+                        true,
+                        degree,
+                        slot,
+                    )))
+                } else {
+                    Ok(Box::new(UnionJoinOp::new(l, r, on.clone(), slot)))
+                }
             }
             Expr::Divide { input, y, divisor } => {
                 let slot = self.slot_est(
@@ -384,20 +470,36 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
             depth,
             est,
         );
+        let degree = self.degree(self.work_rows(input));
         let input = self.build(input, depth + 1)?;
-        Ok(Box::new(FilterOp::new(
-            input,
-            predicate.clone(),
-            self.band,
-            slot,
-        )))
+        if degree > 1 {
+            // The morsel-parallel filter evaluates the same three-valued
+            // predicate in the same band — including the MAYBE band.
+            Ok(Box::new(ParFilterOp::new(
+                input,
+                predicate.clone(),
+                self.band,
+                degree,
+                slot,
+            )))
+        } else {
+            Ok(Box::new(FilterOp::new(
+                input,
+                predicate.clone(),
+                self.band,
+                slot,
+            )))
+        }
     }
 
     /// Index selection: `Select` over `Named` / `Rename(Named)` where some
-    /// `attr = const` conjunct is covered by a catalog index. **Cost-based**:
-    /// among the index-covered conjuncts, the one with the lowest estimated
-    /// result cardinality — `rows · (1 − ni(A)) / distinct(A)` from the
-    /// statistics catalog — is probed; the rest stay a residual filter.
+    /// set of `attr = const` conjuncts is covered by a catalog index —
+    /// single-column or **composite** (all of a multi-column index's
+    /// columns constrained by equality conjuncts). **Cost-based**: among
+    /// the covered candidates, the one with the lowest estimated result
+    /// cardinality — `rows · Π_A (1 − ni(A)) / distinct(A)` from the
+    /// statistics catalog, ties broken toward more columns — is probed;
+    /// unconsumed conjuncts stay a residual filter.
     fn try_index_select(
         &mut self,
         input: &Expr,
@@ -415,8 +517,12 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         };
         let mut conjuncts = Vec::new();
         split_and(predicate.clone(), &mut conjuncts);
-        let table_stats = self.source.table_statistics(name);
-        let mut best: Option<(usize, AttrId, Value, f64)> = None;
+        // Every base column constrained by an `attr = const` conjunct
+        // (first conjunct per column wins; duplicates stay residual).
+        // Ordered map: candidate enumeration — and therefore cost *ties* —
+        // must be deterministic across runs.
+        let mut by_base: std::collections::BTreeMap<AttrId, (usize, Value)> =
+            std::collections::BTreeMap::new();
         for (i, c) in conjuncts.iter().enumerate() {
             let Some((attr, value)) = attr_const_eq(c) else {
                 continue;
@@ -428,34 +534,75 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 },
                 None => attr,
             };
-            if !self.source.has_index(name, &[base]) {
-                continue;
+            by_base.entry(base).or_insert((i, value.clone()));
+        }
+        if by_base.is_empty() {
+            return Ok(None);
+        }
+        // Candidate column lists: every catalog index fully covered by the
+        // constrained columns, plus single-column probes through
+        // `has_index` for sources that cannot enumerate their indexes.
+        let mut candidates: Vec<Vec<AttrId>> = self
+            .source
+            .index_list(name)
+            .into_iter()
+            .filter(|cols| !cols.is_empty() && cols.iter().all(|c| by_base.contains_key(c)))
+            .collect();
+        for base in by_base.keys() {
+            let single = std::slice::from_ref(base);
+            if !candidates.iter().any(|c| c.as_slice() == single)
+                && self.source.has_index(name, single)
+            {
+                candidates.push(vec![*base]);
             }
+        }
+        let table_stats = self.source.table_statistics(name);
+        let mut best: Option<(Vec<AttrId>, f64)> = None;
+        for cols in candidates {
             let expected = match &table_stats {
                 Some(ts) => {
                     let rows = ts.rows as f64;
-                    let distinct = ts.distinct(base).unwrap_or(1).max(1) as f64;
-                    rows * (1.0 - ts.ni_fraction(base)) / distinct
+                    cols.iter().fold(rows, |acc, c| {
+                        let distinct = ts.distinct(*c).unwrap_or(1).max(1) as f64;
+                        acc * (1.0 - ts.ni_fraction(*c)) / distinct
+                    })
                 }
                 // No statistics: any covering index beats a full scan.
                 None => 0.0,
             };
-            if best.as_ref().is_none_or(|(_, _, _, cost)| expected < *cost) {
-                best = Some((i, base, value.clone(), expected));
+            let better = match &best {
+                None => true,
+                // Strictly cheaper wins; on a tie the wider index does (it
+                // consumes more conjuncts at the access path).
+                Some((bc, bcost)) => {
+                    expected < *bcost || (expected == *bcost && cols.len() > bc.len())
+                }
+            };
+            if better {
+                best = Some((cols, expected));
             }
         }
-        let Some((consumed, base, value, _)) = best else {
+        let Some((cols, _)) = best else {
             return Ok(None);
         };
-        let Some((rows, stats)) =
-            self.source
-                .index_probe(name, &[base], std::slice::from_ref(&value))
-        else {
+        let key: Vec<Value> = cols.iter().map(|c| by_base[c].1.clone()).collect();
+        let Some((rows, stats)) = self.source.index_probe(name, &cols, &key) else {
             return Ok(None);
         };
-        conjuncts.remove(consumed);
+        let mut consumed: Vec<usize> = cols.iter().map(|c| by_base[c].0).collect();
+        consumed.sort_unstable();
+        for i in consumed.into_iter().rev() {
+            conjuncts.remove(i);
+        }
         let rows = apply_rename(rows, mapping);
-        let scan_label = format!("IndexScan {name} [{} = {value}]", self.attr_name(base));
+        let scan_label = format!(
+            "IndexScan {name} [{}]",
+            cols.iter()
+                .zip(&key)
+                .map(|(c, v)| format!("{} = {v}", self.attr_name(*c)))
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        );
         let op: BoxedOp<'a> = match and_all(conjuncts) {
             Some(residual) => {
                 let filter_slot = self.slot_est(
@@ -512,15 +659,23 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 .join(" AND ")
         );
         let slot = self.slot_est(label, depth, est);
+        let degree = self.degree(self.work_rows(left) + self.work_rows(right));
         let l = self.build(left, depth + 1)?;
         let r = self.build(right, depth + 1)?;
         let (lk, rk) = keys.into_iter().unzip();
-        Ok(Box::new(HashJoinOp::new(l, r, lk, rk, slot)))
+        if degree > 1 {
+            Ok(Box::new(ParHashJoinOp::new(l, r, lk, rk, degree, slot)))
+        } else {
+            Ok(Box::new(HashJoinOp::new(l, r, lk, rk, slot)))
+        }
     }
 
     /// The probe target of an index-nested-loop join, if `expr` is a base
     /// scan (possibly renamed) with an index covering the base columns of
-    /// the join key.
+    /// the join key. Returns the index's columns **in index order** plus
+    /// the permutation mapping each index column back to its position in
+    /// `key_attrs` — composite indexes match even when the plan lists the
+    /// key pairs in a different order than the index was built over.
     #[allow(clippy::type_complexity)]
     fn inl_target(
         &self,
@@ -529,6 +684,7 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
     ) -> Option<(
         String,
         Vec<AttrId>,
+        Vec<usize>,
         Option<std::collections::BTreeMap<AttrId, AttrId>>,
     )> {
         let (name, mapping) = match expr {
@@ -547,9 +703,33 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
             })
             .collect();
         let base = base?;
-        self.source
-            .has_index(&name, &base)
-            .then_some((name, base, mapping))
+        if self.source.has_index(&name, &base) {
+            let identity = (0..base.len()).collect();
+            return Some((name, base, identity, mapping));
+        }
+        // A composite index over the same columns in a different order
+        // still applies: permute the probe to the index's column order.
+        for cols in self.source.index_list(&name) {
+            if cols.len() != base.len() {
+                continue;
+            }
+            let mut used = vec![false; base.len()];
+            let perm: Option<Vec<usize>> = cols
+                .iter()
+                .map(|c| {
+                    let j = base
+                        .iter()
+                        .enumerate()
+                        .position(|(j, b)| !used[j] && b == c)?;
+                    used[j] = true;
+                    Some(j)
+                })
+                .collect();
+            if let Some(perm) = perm {
+                return Some((name, cols, perm, mapping));
+            }
+        }
+        None
     }
 
     /// Chooses an index-nested-loop join over a hash join when one side is
@@ -576,6 +756,7 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         type Target = (
             String,
             Vec<AttrId>,
+            Vec<usize>,
             Option<std::collections::BTreeMap<AttrId, AttrId>>,
         );
         let mut best: Option<(f64, bool, Target)> = None;
@@ -600,7 +781,7 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 best = Some((cost, inner_is_right, target));
             }
         }
-        let Some((_, inner_is_right, (name, base, mapping))) = best else {
+        let Some((_, inner_is_right, (name, base, perm, mapping))) = best else {
             return Ok(None);
         };
         let (outer_expr, outer_keys, inner_keys) = if inner_is_right {
@@ -608,6 +789,9 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         } else {
             (right, right_keys, left_keys)
         };
+        // Reorder the probe keys into the index's column order.
+        let outer_keys: Vec<AttrId> = perm.iter().map(|j| outer_keys[*j]).collect();
+        let inner_keys: Vec<AttrId> = perm.iter().map(|j| inner_keys[*j]).collect();
         let label = format!(
             "IndexNestedLoopJoin {name} [{}]",
             inner_keys
@@ -1057,6 +1241,263 @@ mod tests {
         assert!(stats.render().contains("Rename (1 attrs)"), "{stats}");
         assert!(!stats.render().contains("EvalScan"), "{stats}");
         let _ = s;
+    }
+
+    /// Composite index selection: when several `attr = const` conjuncts
+    /// cover one composite index, the planner probes it — consuming every
+    /// covered conjunct at the access path — instead of a single-column
+    /// probe plus a residual filter.
+    #[test]
+    fn composite_index_covered_by_conjuncts_is_selected() {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("T").column("A").column("B").column("V"))
+            .unwrap();
+        let u = db.universe().clone();
+        let a = u.lookup("A").unwrap();
+        let b = u.lookup("B").unwrap();
+        let t = db.table_mut("T").unwrap();
+        for i in 0..120i64 {
+            t.insert_named(
+                &u,
+                &[
+                    ("A", Value::int(i % 4)),
+                    ("B", Value::int(i % 30)),
+                    ("V", Value::int(i)),
+                ],
+            )
+            .unwrap();
+        }
+        t.create_index(vec![a]).unwrap();
+        t.create_index(vec![a, b]).unwrap();
+        let expr = Expr::named("T").select(
+            Predicate::attr_const(a, CompareOp::Eq, 1).and(Predicate::attr_const(
+                b,
+                CompareOp::Eq,
+                13,
+            )),
+        );
+        let oracle = expr.eval(&db).unwrap();
+        let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(
+            stats.render().contains("IndexScan T [A = 1 AND B = 13]"),
+            "plan:\n{}",
+            stats.render()
+        );
+        // Both conjuncts were consumed by the probe: no residual filter,
+        // and only the two (A=1, B=13) rows were ever examined.
+        assert!(!stats.render().contains("Filter"), "{}", stats.render());
+        assert_eq!(stats.rows_examined(), 2, "{}", stats.render());
+    }
+
+    /// A composite index matches even when the conjuncts are written in
+    /// the opposite order of the index's columns; a partially covered
+    /// composite index is skipped in favour of a covered single-column one.
+    #[test]
+    fn composite_index_order_and_partial_coverage() {
+        let mut db = Database::new();
+        db.create_table(SchemaBuilder::new("T").column("A").column("B"))
+            .unwrap();
+        let u = db.universe().clone();
+        let a = u.lookup("A").unwrap();
+        let b = u.lookup("B").unwrap();
+        let t = db.table_mut("T").unwrap();
+        for i in 0..60i64 {
+            t.insert_named(&u, &[("A", Value::int(i % 6)), ("B", Value::int(i % 10))])
+                .unwrap();
+        }
+        t.create_index(vec![a, b]).unwrap();
+        // Conjuncts in B, A order still hit the (A, B) index.
+        let expr = Expr::named("T").select(
+            Predicate::attr_const(b, CompareOp::Eq, 3).and(Predicate::attr_const(
+                a,
+                CompareOp::Eq,
+                3,
+            )),
+        );
+        let oracle = expr.eval(&db).unwrap();
+        let (got, stats) = compile(&expr, &db, &u).unwrap().run().unwrap();
+        assert_eq!(got, oracle);
+        assert!(
+            stats.render().contains("IndexScan T [A = 3 AND B = 3]"),
+            "plan:\n{}",
+            stats.render()
+        );
+
+        // Only A constrained: the (A, B) composite is not covered, and
+        // without a single-column index the plan falls back to a scan.
+        let partial = Expr::named("T").select(Predicate::attr_const(a, CompareOp::Eq, 2));
+        let (got2, stats2) = compile(&partial, &db, &u).unwrap().run().unwrap();
+        assert_eq!(got2, partial.eval(&db).unwrap());
+        assert!(
+            stats2.render().contains("TableScan T"),
+            "plan:\n{}",
+            stats2.render()
+        );
+    }
+
+    /// Index-nested-loop joins reorder their probe onto a composite index
+    /// declared in a different column order.
+    #[test]
+    fn index_nested_loop_join_matches_permuted_composite_index() {
+        let mut db = Database::new();
+        db.create_table(
+            SchemaBuilder::new("BIG")
+                .column("X")
+                .column("Y")
+                .column("V"),
+        )
+        .unwrap();
+        let u = db.universe().clone();
+        let x = u.lookup("X").unwrap();
+        let y = u.lookup("Y").unwrap();
+        let t = db.table_mut("BIG").unwrap();
+        for i in 0..400i64 {
+            t.insert_named(
+                &u,
+                &[
+                    ("X", Value::int(i % 20)),
+                    ("Y", Value::int(i % 25)),
+                    ("V", Value::int(i)),
+                ],
+            )
+            .unwrap();
+        }
+        // Index declared (Y, X); the plan's key pairs arrive (X, Y).
+        t.create_index(vec![y, x]).unwrap();
+
+        let mut u2 = u.clone();
+        let p = u2.intern("P");
+        let q = u2.intern("Q");
+        let outer = XRelation::from_tuples((0..3).map(|i| {
+            Tuple::new()
+                .with(p, Value::int(i * 7))
+                .with(q, Value::int(i * 9))
+        }));
+        let join = Expr::literal(outer).product(Expr::named("BIG")).select(
+            Predicate::attr_attr(p, CompareOp::Eq, x).and(Predicate::attr_attr(
+                q,
+                CompareOp::Eq,
+                y,
+            )),
+        );
+        let oracle = join.eval(&db).unwrap();
+        let opt = optimize(&join, &db);
+        let (got, stats) = compile(&opt.expr, &db, &u2).unwrap().run().unwrap();
+        assert_eq!(got, oracle, "plan:\n{}", stats.render());
+        assert!(
+            stats.used_index_nested_loop_join(),
+            "plan:\n{}",
+            stats.render()
+        );
+    }
+
+    /// The parallel engine: with a multi-thread ceiling and a zero fan-out
+    /// threshold, scans/filters/joins/sink compile to their partitioned
+    /// forms, report their degree in the explain output, and produce
+    /// exactly the serial result. With `Threads(1)` the compiled plan —
+    /// operators, counters, everything — is byte-identical to `Serial`.
+    #[test]
+    fn parallel_plans_match_serial_and_report_their_degree() {
+        use crate::optimize::optimize;
+        use nullrel_par::Parallelism;
+
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        let left = XRelation::from_tuples((0..300).map(|i| {
+            Tuple::new()
+                .with(a, Value::int(i % 40))
+                .with(b, Value::int(i))
+        }));
+        let right =
+            XRelation::from_tuples((0..200).map(|i| Tuple::new().with(c, Value::int(i % 40))));
+        let plan = Expr::literal(left)
+            .product(Expr::literal(right))
+            .select(
+                Predicate::attr_attr(a, CompareOp::Eq, c).and(Predicate::attr_const(
+                    b,
+                    CompareOp::Ge,
+                    10,
+                )),
+            )
+            .project(attr_set([a, b]));
+        let opt = optimize(&plan, &nullrel_core::algebra::NoSource);
+        let run = |parallelism| {
+            let options = OptimizeOptions {
+                parallelism,
+                parallel_row_threshold: 0,
+                ..OptimizeOptions::default()
+            };
+            compile_with(
+                &opt.expr,
+                &nullrel_core::algebra::NoSource,
+                &u,
+                Truth::True,
+                options,
+            )
+            .unwrap()
+            .run()
+            .unwrap()
+        };
+        let (serial, serial_stats) = run(Parallelism::Serial);
+        let (one, one_stats) = run(Parallelism::Threads(1));
+        assert_eq!(one, serial);
+        assert_eq!(
+            one_stats, serial_stats,
+            "Threads(1) must be byte-identical to the serial engine"
+        );
+        let (par, par_stats) = run(Parallelism::Threads(4));
+        assert_eq!(par, serial, "parallel plan:\n{}", par_stats.render());
+        assert_eq!(par_stats.max_parallelism(), 4);
+        assert!(par_stats.used_parallel(), "{}", par_stats.render());
+        assert!(
+            par_stats.render().contains("par=4"),
+            "{}",
+            par_stats.render()
+        );
+        assert!(
+            par_stats.render().contains("workers=["),
+            "{}",
+            par_stats.render()
+        );
+        // The sink and the join both fanned out.
+        let minimize = &par_stats.ops[0];
+        assert_eq!(minimize.parallelism, 4, "{}", par_stats.render());
+        assert!(
+            par_stats
+                .ops
+                .iter()
+                .any(|o| o.label.starts_with("HashJoin") && o.parallelism == 4),
+            "{}",
+            par_stats.render()
+        );
+    }
+
+    /// The fan-out threshold: inputs estimated below it stay serial even
+    /// under a multi-thread ceiling.
+    #[test]
+    fn small_inputs_stay_serial_under_a_parallel_ceiling() {
+        use nullrel_par::Parallelism;
+        let db = ps_db(false);
+        let u = db.universe().clone();
+        let s = u.lookup("S#").unwrap();
+        let expr = Expr::named("PS").select(Predicate::attr_const(s, CompareOp::Eq, "s1"));
+        let options = OptimizeOptions {
+            parallelism: Parallelism::Threads(4),
+            ..OptimizeOptions::default()
+        };
+        let (_, stats) = compile_with(&expr, &db, &u, Truth::True, options)
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(
+            !stats.used_parallel(),
+            "6 rows are far below the fan-out threshold:\n{}",
+            stats.render()
+        );
+        assert_eq!(stats.max_parallelism(), 1);
     }
 
     #[test]

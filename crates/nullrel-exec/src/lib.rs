@@ -64,15 +64,21 @@ pub mod compile;
 pub mod cost;
 pub mod op;
 pub mod optimize;
+pub mod par_op;
 pub mod source;
 pub mod stats;
 
-pub use compile::{compile, compile_band, Pipeline};
+pub use compile::{compile, compile_band, compile_with, Pipeline};
+pub use nullrel_par::Parallelism;
 pub use op::{
     DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IndexNestedLoopJoinOp, IntersectOp,
     MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, UnionJoinOp, UnionOp,
 };
-pub use optimize::{optimize, optimize_with, JoinOrdering, OptimizeOptions, Optimized};
+pub use optimize::{
+    optimize, optimize_with, scope_info, JoinOrdering, OptimizeOptions, Optimized, ScopeInfo,
+    DEFAULT_PARALLEL_ROW_THRESHOLD,
+};
+pub use par_op::{ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp, ParProjectOp};
 pub use source::ExecSource;
 pub use stats::{ExecStats, OpStats};
 
@@ -101,7 +107,14 @@ pub fn execute_expr_with<S: ExecSource>(
     options: OptimizeOptions,
 ) -> CoreResult<(XRelation, ExecStats)> {
     let optimized = optimize_with(expr, source, options);
-    compile(&optimized.expr, source, universe)?.run()
+    compile_with(
+        &optimized.expr,
+        source,
+        universe,
+        nullrel_core::tvl::Truth::True,
+        options,
+    )?
+    .run()
 }
 
 /// Runs a logical plan under an explicit truth band. The TRUE band goes
@@ -112,10 +125,23 @@ pub fn execute_expr_band<S: ExecSource>(
     universe: &Universe,
     band: Truth,
 ) -> CoreResult<(XRelation, ExecStats)> {
+    execute_expr_band_with(expr, source, universe, band, OptimizeOptions::default())
+}
+
+/// [`execute_expr_band`] with explicit engine options — how the parallel
+/// differential tests pin the degree of parallelism per run in both truth
+/// bands.
+pub fn execute_expr_band_with<S: ExecSource>(
+    expr: &Expr,
+    source: &S,
+    universe: &Universe,
+    band: Truth,
+    options: OptimizeOptions,
+) -> CoreResult<(XRelation, ExecStats)> {
     if band == Truth::True {
-        execute_expr(expr, source, universe)
+        execute_expr_with(expr, source, universe, options)
     } else {
-        compile_band(expr, source, universe, band)?.run()
+        compile_with(expr, source, universe, band, options)?.run()
     }
 }
 

@@ -49,6 +49,7 @@ use nullrel_core::tuple::Tuple;
 use nullrel_core::tvl::{CompareOp, Truth};
 use nullrel_core::universe::{AttrId, AttrSet};
 use nullrel_core::xrel::XRelation;
+use nullrel_par::Parallelism;
 
 use crate::source::ExecSource;
 
@@ -74,11 +75,34 @@ pub enum JoinOrdering {
     Declaration,
 }
 
-/// Optimizer knobs.
-#[derive(Debug, Clone, Copy, Default)]
+/// The default fan-out threshold: operators whose estimated input falls
+/// below this many rows always run serially — thread spawn and partition
+/// costs would dwarf the per-row work.
+pub const DEFAULT_PARALLEL_ROW_THRESHOLD: u64 = 64;
+
+/// Optimizer and engine knobs.
+#[derive(Debug, Clone, Copy)]
 pub struct OptimizeOptions {
     /// Join-order strategy for multi-relation components.
     pub join_ordering: JoinOrdering,
+    /// Ceiling on the per-operator degree of parallelism. The default
+    /// reads `NULLREL_THREADS` ([`Parallelism::from_env`]); `Serial` keeps
+    /// the engine byte-identical to the single-threaded one. Each operator
+    /// still fans out only when the `nullrel-stats` cardinality estimate
+    /// of its input clears [`OptimizeOptions::parallel_row_threshold`].
+    pub parallelism: Parallelism,
+    /// Minimum estimated input rows before an operator may fan out.
+    pub parallel_row_threshold: u64,
+}
+
+impl Default for OptimizeOptions {
+    fn default() -> Self {
+        OptimizeOptions {
+            join_ordering: JoinOrdering::default(),
+            parallelism: Parallelism::default(),
+            parallel_row_threshold: DEFAULT_PARALLEL_ROW_THRESHOLD,
+        }
+    }
 }
 
 /// Runs all rewrite passes over a logical plan (cost-based join ordering
@@ -105,42 +129,112 @@ pub fn optimize_with<S: ExecSource>(
     Optimized { expr, applied }
 }
 
-/// The exact attribute scope of an expression's result, when statically
-/// known. `None` means unknown and disables rewrites that depend on it.
-pub fn scope_of<S: ExecSource>(expr: &Expr, source: &S) -> Option<AttrSet> {
-    match expr {
-        Expr::Literal(rel) => Some(rel.scope()),
-        Expr::Named(name) => source.relation_scope(name),
-        Expr::Select { input, .. } => scope_of(input, source),
-        Expr::Project { input, attrs } => {
-            scope_of(input, source).map(|s| s.intersection(attrs).copied().collect())
+/// A statically derived attribute scope, annotated with whether it is
+/// exact or a conservative **over-approximation** (a superset of every
+/// attribute the result can actually carry).
+///
+/// Every rewrite in this crate that consumes scopes — predicate routing,
+/// product/scope disjointness, join-key orientation, and the DP join
+/// enumerator — only relies on the *superset* property: an attribute
+/// outside the reported scope provably never appears, and disjointness of
+/// two over-approximations implies disjointness of the actual scopes. A
+/// conjunct routed by an over-approximated scope can at worst evaluate to
+/// `ni` on rows that lack the attribute, which the TRUE band drops exactly
+/// as the unrewritten plan would have. The flag is still carried so future
+/// rules that need exactness (e.g. star-schema key inference) can demand
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopeInfo {
+    /// The (possibly over-approximated) attribute set.
+    pub attrs: AttrSet,
+    /// True when `attrs` is exactly the result scope on every input.
+    pub exact: bool,
+}
+
+impl ScopeInfo {
+    fn exact(attrs: AttrSet) -> Self {
+        ScopeInfo { attrs, exact: true }
+    }
+
+    fn over_approx(attrs: AttrSet) -> Self {
+        ScopeInfo {
+            attrs,
+            exact: false,
         }
+    }
+}
+
+/// The attribute scope of an expression's result, when statically known —
+/// see [`scope_info`] for the exactness contract. `None` means unknown and
+/// disables rewrites that depend on it.
+pub fn scope_of<S: ExecSource>(expr: &Expr, source: &S) -> Option<AttrSet> {
+    scope_info(expr, source).map(|s| s.attrs)
+}
+
+/// The annotated attribute scope of an expression's result ([`ScopeInfo`]).
+///
+/// `UnionJoin` and `Divide` report conservative over-approximations (the
+/// union of the operand scopes, resp. the quotient attributes) instead of
+/// `None`: their actual scopes are data-dependent, but a superset is
+/// statically certain, and that is all the join reorderer needs to plan
+/// across them. `Union`/`XIntersect`/`Difference` still report unknown —
+/// minimisation can shrink their scopes too, and no current rewrite gains
+/// from bounding them.
+pub fn scope_info<S: ExecSource>(expr: &Expr, source: &S) -> Option<ScopeInfo> {
+    match expr {
+        Expr::Literal(rel) => Some(ScopeInfo::exact(rel.scope())),
+        Expr::Named(name) => source.relation_scope(name).map(ScopeInfo::exact),
+        Expr::Select { input, .. } => scope_info(input, source),
+        Expr::Project { input, attrs } => scope_info(input, source).map(|s| ScopeInfo {
+            attrs: s.attrs.intersection(attrs).copied().collect(),
+            exact: s.exact,
+        }),
         Expr::Product(a, b)
         | Expr::EquiJoin {
             left: a, right: b, ..
+        }
+        | Expr::ThetaJoin {
+            left: a, right: b, ..
         } => {
-            let mut s = scope_of(a, source)?;
-            s.extend(scope_of(b, source)?);
-            Some(s)
+            let (sa, sb) = (scope_info(a, source)?, scope_info(b, source)?);
+            let mut attrs = sa.attrs;
+            attrs.extend(sb.attrs);
+            Some(ScopeInfo {
+                attrs,
+                exact: sa.exact && sb.exact,
+            })
         }
-        Expr::ThetaJoin { left, right, .. } => {
-            let mut s = scope_of(left, source)?;
-            s.extend(scope_of(right, source)?);
-            Some(s)
-        }
-        Expr::Rename { input, mapping } => scope_of(input, source).map(|s| {
-            s.into_iter()
+        Expr::Rename { input, mapping } => scope_info(input, source).map(|s| ScopeInfo {
+            attrs: s
+                .attrs
+                .into_iter()
                 .map(|a| mapping.get(&a).copied().unwrap_or(a))
-                .collect()
+                .collect(),
+            exact: s.exact,
         }),
-        // Set operators and division can shrink scopes in data-dependent
-        // ways; report unknown rather than an over-approximation, which
-        // could misroute predicates between product branches.
-        Expr::UnionJoin { .. }
-        | Expr::Divide { .. }
-        | Expr::Union(..)
-        | Expr::XIntersect(..)
-        | Expr::Difference(..) => None,
+        // The union-join emits joined pairs and dangling tuples of either
+        // side: its scope is a data-dependent subset of the operand scopes'
+        // union — report that union as an over-approximation.
+        Expr::UnionJoin { left, right, .. } => {
+            let (sl, sr) = (scope_info(left, source)?, scope_info(right, source)?);
+            let mut attrs = sl.attrs;
+            attrs.extend(sr.attrs);
+            Some(ScopeInfo::over_approx(attrs))
+        }
+        // Division emits projections of Y-total dividend tuples onto Y:
+        // the scope is contained in Y (intersected with the dividend scope
+        // when that is known).
+        Expr::Divide { input, y, .. } => {
+            let attrs = match scope_info(input, source) {
+                Some(s) => y.intersection(&s.attrs).copied().collect(),
+                None => y.clone(),
+            };
+            Some(ScopeInfo::over_approx(attrs))
+        }
+        // Minimisation can shrink these scopes in data-dependent ways; no
+        // current rewrite benefits from an over-approximation, so report
+        // unknown rather than weaken the exactness signal.
+        Expr::Union(..) | Expr::XIntersect(..) | Expr::Difference(..) => None,
     }
 }
 
@@ -947,6 +1041,137 @@ mod tests {
         let opt3 = optimize(&partial, &NoSource);
         assert!(matches!(opt3.expr, Expr::UnionJoin { .. }));
         let _ = right;
+    }
+
+    /// Satellite: `UnionJoin` and `Divide` report conservative scope
+    /// over-approximations annotated as inexact, instead of `None`.
+    #[test]
+    fn union_join_and_divide_scopes_are_annotated_over_approximations() {
+        let mut u = Universe::new();
+        let k = u.intern("K");
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left =
+            XRelation::from_tuples([Tuple::new().with(k, Value::int(1)).with(a, Value::int(10))]);
+        let right =
+            XRelation::from_tuples([Tuple::new().with(k, Value::int(2)).with(b, Value::int(20))]);
+        let uj =
+            Expr::literal(left.clone()).union_join(Expr::literal(right.clone()), attr_set([k]));
+        let info = scope_info(&uj, &NoSource).unwrap();
+        assert!(!info.exact, "union-join scope is data-dependent");
+        assert_eq!(info.attrs, attr_set([k, a, b]), "superset of both operands");
+        // The actual scope is always contained in the over-approximation.
+        let actual = uj.eval(&NoSource).unwrap().scope();
+        assert!(actual.is_subset(&info.attrs));
+
+        let div = Expr::literal(left.clone()).divide(attr_set([a]), Expr::literal(right));
+        let info = scope_info(&div, &NoSource).unwrap();
+        assert!(!info.exact);
+        assert_eq!(
+            info.attrs,
+            attr_set([a]),
+            "the quotient attributes bound it"
+        );
+        assert!(div.eval(&NoSource).unwrap().scope().is_subset(&info.attrs));
+
+        // Plain literals stay exact; unions stay unknown.
+        assert!(
+            scope_info(&Expr::literal(left.clone()), &NoSource)
+                .unwrap()
+                .exact
+        );
+        assert!(scope_info(
+            &Expr::literal(left.clone()).union(Expr::literal(left)),
+            &NoSource
+        )
+        .is_none());
+    }
+
+    /// Satellite: the over-approximated scopes let the DP enumerator (and
+    /// the pushdown rules) reorder join components *around* a union-join
+    /// or a division — guarded by differential equality with the oracle.
+    #[test]
+    fn join_reordering_fires_across_union_join_and_divide_leaves() {
+        let mut u = Universe::new();
+        let k = u.intern("K");
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        let d = u.intern("D");
+        // Leaf 1: a union-join over K/A ∪ K/B shapes (scope over-approx
+        // {K, A, B}); leaves 2 and 3: plain literals over C and D.
+        let uj_left = XRelation::from_tuples((0..4).map(|i| {
+            Tuple::new()
+                .with(k, Value::int(i))
+                .with(a, Value::int(i * 2))
+        }));
+        let uj_right = XRelation::from_tuples((2..6).map(|i| {
+            Tuple::new()
+                .with(k, Value::int(i))
+                .with(b, Value::int(i * 3))
+        }));
+        let uj = Expr::literal(uj_left).union_join(Expr::literal(uj_right), attr_set([k]));
+        let cs = XRelation::from_tuples((0..5).map(|i| Tuple::new().with(c, Value::int(i))));
+        let ds = XRelation::from_tuples((0..3).map(|i| Tuple::new().with(d, Value::int(i))));
+        let plan = uj
+            .product(Expr::literal(cs))
+            .product(Expr::literal(ds))
+            .select(
+                Predicate::attr_attr(k, CompareOp::Eq, c).and(Predicate::attr_attr(
+                    c,
+                    CompareOp::Eq,
+                    d,
+                )),
+            );
+        let mut log = Vec::new();
+        let ordered = crate::cost::reorder_joins(plan.clone(), &NoSource, &mut log);
+        assert!(
+            log.iter().any(|l| l.starts_with("cost-based-join-order")),
+            "the enumerator must fire across the union-join leaf: {log:?}"
+        );
+        assert_eq!(
+            ordered.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap(),
+            "reordering around the union-join preserves the result"
+        );
+        // Full optimizer end-to-end, same guard.
+        let opt = optimize(&plan, &NoSource);
+        assert_eq!(
+            opt.expr.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+
+        // Same shape with a division leaf (quotient scope {K}).
+        let dividend = XRelation::from_tuples((0..4).flat_map(|i| {
+            (0..2).map(move |j| Tuple::new().with(k, Value::int(i)).with(b, Value::int(j)))
+        }));
+        let divisor = XRelation::from_tuples((0..2).map(|j| Tuple::new().with(b, Value::int(j))));
+        let div = Expr::literal(dividend).divide(attr_set([k]), Expr::literal(divisor));
+        let plan = div
+            .product(Expr::literal(XRelation::from_tuples(
+                (0..5).map(|i| Tuple::new().with(c, Value::int(i))),
+            )))
+            .product(Expr::literal(XRelation::from_tuples(
+                (0..3).map(|i| Tuple::new().with(d, Value::int(i))),
+            )))
+            .select(
+                Predicate::attr_attr(k, CompareOp::Eq, c).and(Predicate::attr_attr(
+                    c,
+                    CompareOp::Eq,
+                    d,
+                )),
+            );
+        let mut log = Vec::new();
+        let ordered = crate::cost::reorder_joins(plan.clone(), &NoSource, &mut log);
+        assert!(
+            log.iter().any(|l| l.starts_with("cost-based-join-order")),
+            "the enumerator must fire across the division leaf: {log:?}"
+        );
+        assert_eq!(
+            ordered.eval(&NoSource).unwrap(),
+            plan.eval(&NoSource).unwrap()
+        );
+        let _ = u;
     }
 
     #[test]

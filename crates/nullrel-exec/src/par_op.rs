@@ -1,0 +1,502 @@
+//! Parallel physical operators: the engine-side adapters over the
+//! `nullrel-par` morsel runtime.
+//!
+//! Each operator drains its (serial, pull-based) input sub-plans on the
+//! coordinator thread, hands the owned tuple vectors to the worker pool,
+//! and then streams the result downstream — so parallel operators compose
+//! freely with the serial ones in a single pipeline. The planner grants a
+//! degree of parallelism per operator ([`OpStats::parallelism`]) only when
+//! the cost model predicts enough input rows to amortise the fan-out; at
+//! degree 1 these operators are never constructed and the engine remains
+//! byte-identical to the serial one.
+//!
+//! * [`ParFilterOp`] / [`ParProjectOp`] — morsel-parallel selection (in
+//!   any truth band) and projection.
+//! * [`ParHashJoinOp`] — the partitioned disjoint-scope hash join: both
+//!   inputs split by normalized-key hash, each partition built and probed
+//!   independently.
+//! * [`ParEquiJoinOp`] — the partitioned shared-key equijoin and (with the
+//!   dangling-tuple pass) union-join.
+//! * [`ParMinimizeOp`] — the partitioned sink: per-morsel local antichains
+//!   reduced by the `nullrel-core` cross-partition subsumption sweep
+//!   (`merge_antichains`), which provably equals the serial reduction.
+//!
+//! All per-worker counters land in the operator's [`OpStats`] slot and are
+//! rendered by `explain` as `par=N workers=[in/out …]`.
+
+use std::rc::Rc;
+
+use nullrel_core::error::CoreResult;
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::tvl::Truth;
+use nullrel_core::universe::{AttrId, AttrSet};
+
+use nullrel_par::stage::adaptive_morsel_rows;
+use nullrel_par::{par_equijoin, par_filter, par_hash_join, par_minimize, par_project};
+
+use crate::op::{BoxedOp, StatsSlot};
+use nullrel_core::algebra::TupleStream;
+
+/// Shared shape of every parallel operator: run once on first pull, then
+/// stream the buffered output (counting `rows_out` as tuples are emitted).
+struct Buffered {
+    out: std::vec::IntoIter<Tuple>,
+    stats: StatsSlot,
+}
+
+impl Buffered {
+    fn new(rows: Vec<Tuple>, stats: &StatsSlot) -> Self {
+        Buffered {
+            out: rows.into_iter(),
+            stats: Rc::clone(stats),
+        }
+    }
+
+    fn next(&mut self) -> Option<Tuple> {
+        let next = self.out.next();
+        if next.is_some() {
+            self.stats.borrow_mut().rows_out += 1;
+        }
+        next
+    }
+}
+
+/// Morsel-parallel three-valued selection over a drained input.
+pub struct ParFilterOp<'a> {
+    input: Option<BoxedOp<'a>>,
+    predicate: Predicate,
+    want: Truth,
+    threads: usize,
+    buffered: Option<Buffered>,
+    stats: StatsSlot,
+}
+
+impl<'a> ParFilterOp<'a> {
+    /// A parallel filter keeping rows whose predicate evaluates to `want`,
+    /// fanned out onto up to `threads` workers.
+    pub fn new(
+        input: BoxedOp<'a>,
+        predicate: Predicate,
+        want: Truth,
+        threads: usize,
+        stats: StatsSlot,
+    ) -> Self {
+        stats.borrow_mut().parallelism = threads;
+        ParFilterOp {
+            input: Some(input),
+            predicate,
+            want,
+            threads,
+            buffered: None,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ParFilterOp<'_> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let Some(mut input) = self.input.take() {
+            let rows = input.drain_all()?;
+            let morsel = adaptive_morsel_rows(rows.len(), self.threads);
+            let outcome = par_filter(rows, &self.predicate, self.want, self.threads, morsel)?;
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.rows_in += outcome.workers.iter().map(|w| w.rows_in).sum::<usize>();
+                stats.ni_rows += outcome.ni_rows;
+                stats.absorb_workers(&outcome.workers);
+            }
+            self.buffered = Some(Buffered::new(outcome.rows, &self.stats));
+        }
+        Ok(self.buffered.as_mut().expect("buffered above").next())
+    }
+}
+
+/// Morsel-parallel projection over a drained input.
+pub struct ParProjectOp<'a> {
+    input: Option<BoxedOp<'a>>,
+    attrs: AttrSet,
+    threads: usize,
+    buffered: Option<Buffered>,
+    stats: StatsSlot,
+}
+
+impl<'a> ParProjectOp<'a> {
+    /// A parallel projection keeping the cells of `attrs`.
+    pub fn new(input: BoxedOp<'a>, attrs: AttrSet, threads: usize, stats: StatsSlot) -> Self {
+        stats.borrow_mut().parallelism = threads;
+        ParProjectOp {
+            input: Some(input),
+            attrs,
+            threads,
+            buffered: None,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ParProjectOp<'_> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let Some(mut input) = self.input.take() {
+            let rows = input.drain_all()?;
+            let morsel = adaptive_morsel_rows(rows.len(), self.threads);
+            let outcome = par_project(rows, &self.attrs, self.threads, morsel)?;
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.rows_in += outcome.workers.iter().map(|w| w.rows_in).sum::<usize>();
+                stats.absorb_workers(&outcome.workers);
+            }
+            self.buffered = Some(Buffered::new(outcome.rows, &self.stats));
+        }
+        Ok(self.buffered.as_mut().expect("buffered above").next())
+    }
+}
+
+/// The partitioned disjoint-scope hash join (`left_keys[i] = right_keys[i]`
+/// pairs): both drained inputs split by normalized-key hash, partitions
+/// built and probed independently on the worker pool.
+pub struct ParHashJoinOp<'a> {
+    left: Option<BoxedOp<'a>>,
+    right: Option<BoxedOp<'a>>,
+    left_keys: Vec<AttrId>,
+    right_keys: Vec<AttrId>,
+    threads: usize,
+    buffered: Option<Buffered>,
+    stats: StatsSlot,
+}
+
+impl<'a> ParHashJoinOp<'a> {
+    /// A partitioned hash join fanned out onto up to `threads` workers.
+    pub fn new(
+        left: BoxedOp<'a>,
+        right: BoxedOp<'a>,
+        left_keys: Vec<AttrId>,
+        right_keys: Vec<AttrId>,
+        threads: usize,
+        stats: StatsSlot,
+    ) -> Self {
+        assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
+        assert!(!left_keys.is_empty(), "hash join needs at least one key");
+        stats.borrow_mut().parallelism = threads;
+        ParHashJoinOp {
+            left: Some(left),
+            right: Some(right),
+            left_keys,
+            right_keys,
+            threads,
+            buffered: None,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ParHashJoinOp<'_> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let (Some(mut left), Some(mut right)) = (self.left.take(), self.right.take()) {
+            let right_rows = right.drain_all()?;
+            let left_rows = left.drain_all()?;
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.build_rows += right_rows.len();
+                stats.rows_in += left_rows.len();
+            }
+            let outcome = par_hash_join(
+                left_rows,
+                right_rows,
+                &self.left_keys,
+                &self.right_keys,
+                self.threads,
+            )?;
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.ni_rows += outcome.ni_rows;
+                stats.absorb_workers(&outcome.workers);
+            }
+            self.buffered = Some(Buffered::new(outcome.rows, &self.stats));
+        }
+        Ok(self.buffered.as_mut().expect("buffered above").next())
+    }
+}
+
+/// The partitioned shared-key equijoin `R₁(·X)R₂` — and, with
+/// `keep_dangling`, the union-join `R₁(∗X)R₂`. Inputs are reduced to
+/// minimal form by the partitioned minimise first (matching the serial
+/// operators), then partitioned by normalized `X`-key.
+pub struct ParEquiJoinOp<'a> {
+    left: Option<BoxedOp<'a>>,
+    right: Option<BoxedOp<'a>>,
+    on: AttrSet,
+    keep_dangling: bool,
+    threads: usize,
+    buffered: Option<Buffered>,
+    stats: StatsSlot,
+}
+
+impl<'a> ParEquiJoinOp<'a> {
+    /// A partitioned equijoin (`keep_dangling: false`) or union-join
+    /// (`keep_dangling: true`) on the shared attributes `on`.
+    pub fn new(
+        left: BoxedOp<'a>,
+        right: BoxedOp<'a>,
+        on: AttrSet,
+        keep_dangling: bool,
+        threads: usize,
+        stats: StatsSlot,
+    ) -> Self {
+        stats.borrow_mut().parallelism = threads;
+        ParEquiJoinOp {
+            left: Some(left),
+            right: Some(right),
+            on,
+            keep_dangling,
+            threads,
+            buffered: None,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ParEquiJoinOp<'_> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let (Some(mut left), Some(mut right)) = (self.left.take(), self.right.take()) {
+            let right_rows = right.drain_all()?;
+            let left_rows = left.drain_all()?;
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.build_rows += right_rows.len();
+                stats.rows_in += left_rows.len();
+            }
+            let outcome = par_equijoin(
+                left_rows,
+                right_rows,
+                &self.on,
+                self.keep_dangling,
+                self.threads,
+            )?;
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.ni_rows += outcome.ni_rows;
+                stats.absorb_workers(&outcome.workers);
+            }
+            self.buffered = Some(Buffered::new(outcome.rows, &self.stats));
+        }
+        Ok(self.buffered.as_mut().expect("buffered above").next())
+    }
+}
+
+/// The partitioned pipeline sink: drains the input, reduces per-morsel
+/// local antichains in parallel, and merges them through the
+/// cross-partition subsumption sweep into the canonical minimal
+/// representation — exactly the antichain the serial [`MinimizeOp`]
+/// maintains incrementally.
+///
+/// [`MinimizeOp`]: crate::op::MinimizeOp
+pub struct ParMinimizeOp<'a> {
+    input: Option<BoxedOp<'a>>,
+    threads: usize,
+    buffered: Option<Buffered>,
+    stats: StatsSlot,
+}
+
+impl<'a> ParMinimizeOp<'a> {
+    /// A partitioned minimising sink over `input`.
+    pub fn new(input: BoxedOp<'a>, threads: usize, stats: StatsSlot) -> Self {
+        stats.borrow_mut().parallelism = threads;
+        ParMinimizeOp {
+            input: Some(input),
+            threads,
+            buffered: None,
+            stats,
+        }
+    }
+}
+
+impl TupleStream for ParMinimizeOp<'_> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        if let Some(mut input) = self.input.take() {
+            let rows = input.drain_all()?;
+            self.stats.borrow_mut().rows_in += rows.len();
+            let morsel = adaptive_morsel_rows(rows.len(), self.threads);
+            let outcome = par_minimize(rows, self.threads, morsel)?;
+            self.stats.borrow_mut().absorb_workers(&outcome.workers);
+            self.buffered = Some(Buffered::new(outcome.rows, &self.stats));
+        }
+        Ok(self.buffered.as_mut().expect("buffered above").next())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::OpStats;
+    use nullrel_core::algebra::VecStream;
+    use nullrel_core::tvl::CompareOp;
+    use nullrel_core::universe::{attr_set, Universe};
+    use nullrel_core::value::Value;
+    use nullrel_core::xrel::{is_antichain, XRelation};
+
+    fn slot() -> StatsSlot {
+        OpStats::slot("test", 0)
+    }
+
+    fn rows(n: i64) -> (Universe, AttrId, AttrId, Vec<Tuple>) {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let rows = (0..n)
+            .map(|i| {
+                let t = Tuple::new().with(a, Value::int(i % 11));
+                if i % 4 == 0 {
+                    t
+                } else {
+                    t.with(b, Value::int(i))
+                }
+            })
+            .collect();
+        (u, a, b, rows)
+    }
+
+    #[test]
+    fn par_filter_op_matches_serial_filter_op() {
+        let (_u, _a, b, rows) = rows(300);
+        let pred = Predicate::attr_const(b, CompareOp::Ge, 100);
+        let serial = {
+            let mut op = crate::op::FilterOp::new(
+                Box::new(VecStream::new(rows.clone())),
+                pred.clone(),
+                Truth::True,
+                slot(),
+            );
+            op.drain_all().unwrap()
+        };
+        let stats = slot();
+        let mut op = ParFilterOp::new(
+            Box::new(VecStream::new(rows)),
+            pred,
+            Truth::True,
+            4,
+            Rc::clone(&stats),
+        );
+        let out = op.drain_all().unwrap();
+        assert_eq!(out, serial);
+        let st = stats.borrow();
+        assert_eq!(st.rows_in, 300);
+        assert_eq!(st.rows_out, serial.len());
+        assert_eq!(st.parallelism, 4);
+        assert!(!st.workers.is_empty());
+        assert_eq!(
+            st.workers.iter().map(|w| w.rows_in).sum::<usize>(),
+            300,
+            "every row attributed to exactly one worker"
+        );
+    }
+
+    #[test]
+    fn par_minimize_op_produces_the_canonical_antichain() {
+        let (_u, _a, _b, mut rows) = rows(200);
+        let dup = rows.clone();
+        rows.extend(dup);
+        let oracle = XRelation::from_tuples(rows.clone());
+        let stats = slot();
+        let mut op = ParMinimizeOp::new(Box::new(VecStream::new(rows)), 4, Rc::clone(&stats));
+        let out = op.drain_all().unwrap();
+        assert!(is_antichain(&out));
+        assert_eq!(XRelation::from_antichain(out), oracle);
+        assert_eq!(stats.borrow().rows_in, 400);
+    }
+
+    #[test]
+    fn par_hash_join_op_matches_serial_hash_join() {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let v = u.intern("V");
+        let left: Vec<Tuple> = (0..150)
+            .map(|i| Tuple::new().with(a, Value::int(i % 9)))
+            .collect();
+        let right: Vec<Tuple> = (0..60)
+            .map(|i| {
+                Tuple::new()
+                    .with(b, Value::int(i % 9))
+                    .with(v, Value::int(i))
+            })
+            .collect();
+        let serial = {
+            let mut op = crate::op::HashJoinOp::new(
+                Box::new(VecStream::new(left.clone())),
+                Box::new(VecStream::new(right.clone())),
+                vec![a],
+                vec![b],
+                slot(),
+            );
+            XRelation::from_tuples(op.drain_all().unwrap())
+        };
+        let stats = slot();
+        let mut op = ParHashJoinOp::new(
+            Box::new(VecStream::new(left)),
+            Box::new(VecStream::new(right)),
+            vec![a],
+            vec![b],
+            4,
+            Rc::clone(&stats),
+        );
+        let out = XRelation::from_tuples(op.drain_all().unwrap());
+        assert_eq!(out, serial);
+        assert_eq!(stats.borrow().build_rows, 60);
+        assert_eq!(stats.borrow().rows_in, 150);
+    }
+
+    #[test]
+    fn par_equi_join_op_matches_oracle_in_both_modes() {
+        let mut u = Universe::new();
+        let k = u.intern("K");
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let left: Vec<Tuple> = (0..80)
+            .map(|i| {
+                let t = Tuple::new().with(a, Value::int(i));
+                if i % 6 == 0 {
+                    t
+                } else {
+                    t.with(k, Value::int(i % 10))
+                }
+            })
+            .collect();
+        let right: Vec<Tuple> = (0..30)
+            .map(|i| {
+                Tuple::new()
+                    .with(k, Value::int(i % 15))
+                    .with(b, Value::int(i))
+            })
+            .collect();
+        let on = attr_set([k]);
+        let lx = XRelation::from_tuples(left.clone());
+        let rx = XRelation::from_tuples(right.clone());
+        for keep_dangling in [false, true] {
+            let oracle = if keep_dangling {
+                nullrel_core::algebra::union_join(&lx, &rx, &on).unwrap()
+            } else {
+                nullrel_core::algebra::equijoin(&lx, &rx, &on).unwrap()
+            };
+            let mut op = ParEquiJoinOp::new(
+                Box::new(VecStream::new(left.clone())),
+                Box::new(VecStream::new(right.clone())),
+                on.clone(),
+                keep_dangling,
+                4,
+                slot(),
+            );
+            let out = XRelation::from_tuples(op.drain_all().unwrap());
+            assert_eq!(out, oracle, "keep_dangling={keep_dangling}");
+        }
+    }
+
+    #[test]
+    fn par_project_op_matches_serial_projection() {
+        let (_u, a, _b, rows) = rows(120);
+        let keep = attr_set([a]);
+        let serial: Vec<Tuple> = rows.iter().map(|t| t.project(&keep)).collect();
+        let mut op = ParProjectOp::new(Box::new(VecStream::new(rows)), keep, 4, slot());
+        assert_eq!(op.drain_all().unwrap(), serial);
+    }
+}

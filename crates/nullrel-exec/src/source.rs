@@ -64,6 +64,15 @@ pub trait ExecSource: RelationSource + StatisticsSource {
     fn has_index(&self, _name: &str, _attrs: &[AttrId]) -> bool {
         false
     }
+
+    /// Every index on the named relation, as the column list each was
+    /// built over (in the index's own column order, which probes must
+    /// match). Lets the planner *enumerate* candidates — in particular
+    /// composite indexes covered by several `attr = const` conjuncts —
+    /// instead of only testing one column set via [`ExecSource::has_index`].
+    fn index_list(&self, _name: &str) -> Vec<Vec<AttrId>> {
+        Vec::new()
+    }
 }
 
 impl ExecSource for NoSource {}
@@ -100,6 +109,12 @@ impl ExecSource for Database {
         self.table(name)
             .map(|t| t.indexes().iter().any(|i| i.attrs() == attrs))
             .unwrap_or(false)
+    }
+
+    fn index_list(&self, name: &str) -> Vec<Vec<AttrId>> {
+        self.table(name)
+            .map(|t| t.indexes().iter().map(|i| i.attrs().to_vec()).collect())
+            .unwrap_or_default()
     }
 }
 

@@ -10,6 +10,7 @@ use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
 
+use nullrel_par::WorkerCounter;
 use nullrel_storage::scan::ScanStats;
 
 /// Counters for one physical operator.
@@ -37,6 +38,14 @@ pub struct OpStats {
     /// Rendered next to the actual `rows_out` so estimation error is
     /// visible in every explain report.
     pub est_rows: Option<u64>,
+    /// The degree of parallelism the planner granted this operator
+    /// (0 or 1 = serial). Set at compile time, rendered as `par=N`.
+    pub parallelism: usize,
+    /// Per-worker row counters, filled at run time by parallel operators
+    /// (empty for serial operators). One entry per worker that actually
+    /// ran; the sum of worker `rows_in`/`rows_out` shows how evenly the
+    /// morsels spread.
+    pub workers: Vec<WorkerCounter>,
 }
 
 impl OpStats {
@@ -54,6 +63,17 @@ impl OpStats {
         self.rows_in += scan.examined;
         self.ni_rows += scan.ni_rows;
         self.used_index |= scan.used_index;
+    }
+
+    /// Folds a parallel stage's per-worker counters into this slot
+    /// (accumulating across stages run by the same operator).
+    pub fn absorb_workers(&mut self, workers: &[WorkerCounter]) {
+        if self.workers.len() < workers.len() {
+            self.workers.resize(workers.len(), WorkerCounter::default());
+        }
+        for (slot, w) in self.workers.iter_mut().zip(workers) {
+            slot.add(w.rows_in, w.rows_out);
+        }
     }
 }
 
@@ -123,6 +143,22 @@ impl ExecStats {
         self.used_op("IndexNestedLoopJoin")
     }
 
+    /// The highest degree of parallelism any operator was granted
+    /// (1 when the whole plan ran serially).
+    pub fn max_parallelism(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|o| o.parallelism)
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+
+    /// True if any operator ran on parallel workers.
+    pub fn used_parallel(&self) -> bool {
+        self.ops.iter().any(|o| o.workers.len() > 1)
+    }
+
     /// The mean q-error of the optimizer's cardinality estimates over the
     /// operators that carry one: `max(est, actual) / min(est, actual)`,
     /// with both sides floored at one row. 1.0 means every estimate was
@@ -158,6 +194,17 @@ impl ExecStats {
             }
             if op.build_rows > 0 {
                 out.push_str(&format!(" build={}", op.build_rows));
+            }
+            if op.parallelism > 1 {
+                out.push_str(&format!(" par={}", op.parallelism));
+                if !op.workers.is_empty() {
+                    let spread: Vec<String> = op
+                        .workers
+                        .iter()
+                        .map(|w| format!("{}/{}", w.rows_in, w.rows_out))
+                        .collect();
+                    out.push_str(&format!(" workers=[{}]", spread.join(" ")));
+                }
             }
             if op.used_index {
                 out.push_str(" index");

@@ -1,0 +1,393 @@
+//! Partitioned equality joins.
+//!
+//! Both inputs are split by the hash of the **normalized** join key — every
+//! cell travels through [`Value::join_key`] first, so `Int(2)` and
+//! `Float(2.0)` land in the same partition exactly as they collide in the
+//! serial hash table — and each partition is then built and probed
+//! independently on the worker pool. Since equal (normalized) keys always
+//! share a partition, the union of the per-partition join outputs is the
+//! serial join output, and a tuple's join partners are all local to its
+//! partition, so the union-join's dangling-tuple detection is also
+//! partition-local.
+//!
+//! Rows without a total join key can never join for sure: they are the
+//! `ni` band of the join qualification (the union-join keeps them as
+//! dangling tuples; the plain joins drop them), counted exactly as the
+//! serial operators count them.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+use nullrel_core::algebra::{equijoin_parts, normalize_on};
+use nullrel_core::error::{CoreError, CoreResult};
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::{AttrId, AttrSet};
+use nullrel_core::value::Value;
+
+use crate::pool::{run_tasks, WorkerCounter};
+use crate::stage::par_minimize;
+
+/// The output of a partitioned join.
+#[derive(Debug, Clone, Default)]
+pub struct JoinOutcome {
+    /// Joined (and, for the union-join, dangling) tuples, concatenated in
+    /// partition order.
+    pub rows: Vec<Tuple>,
+    /// Per-worker row counters.
+    pub workers: Vec<WorkerCounter>,
+    /// Rows whose join key contained `ni` — the maybe band of the join.
+    pub ni_rows: usize,
+}
+
+/// A deterministic partition number for a normalized key. `DefaultHasher`
+/// is keyed with constants (unlike a `HashMap`'s per-instance random
+/// state), so the partitioning — and therefore the output order — is
+/// stable across runs and thread counts.
+fn partition_of(key: &[Value], partitions: usize) -> usize {
+    let mut h = DefaultHasher::new();
+    key.hash(&mut h);
+    (h.finish() % partitions as u64) as usize
+}
+
+/// How many partitions to split into for a worker count: a few per worker,
+/// so one heavy key-group does not serialise the whole join.
+fn partition_count(threads: usize) -> usize {
+    threads.max(1) * 4
+}
+
+/// Splits rows into `partitions` buckets by the hash of the key `key_of`
+/// extracts (which must already be normalized — both join families route
+/// through [`normalized_key`], so equal keys always share a bucket). Rows
+/// whose key is `None` (an `ni` cell somewhere in it) go to the overflow
+/// bucket: they can never match, and the caller tallies them into the
+/// `ni` band.
+fn partition_rows(
+    rows: Vec<Tuple>,
+    partitions: usize,
+    key_of: impl Fn(&Tuple) -> Option<Vec<Value>>,
+) -> (Vec<Vec<Tuple>>, Vec<Tuple>) {
+    let mut parts: Vec<Vec<Tuple>> = (0..partitions).map(|_| Vec::new()).collect();
+    let mut keyless = Vec::new();
+    for t in rows {
+        match key_of(&t) {
+            Some(key) => parts[partition_of(&key, partitions)].push(t),
+            None => keyless.push(t),
+        }
+    }
+    (parts, keyless)
+}
+
+/// The normalized join key of a tuple over attribute-list keys: every cell
+/// through [`Value::join_key`], `None` if any cell is `ni`.
+fn normalized_key(t: &Tuple, key_attrs: &[AttrId]) -> Option<Vec<Value>> {
+    t.key_on(key_attrs)
+        .map(|key| key.into_iter().map(|v| v.join_key()).collect())
+}
+
+/// The partitioned disjoint-scope hash join (the physical `HashJoin`):
+/// joins `left` and `right` on `left_keys[i] = right_keys[i]` pairs, both
+/// sides partitioned by normalized key hash, each partition built (right)
+/// and probed (left) independently.
+pub fn par_hash_join(
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    left_keys: &[AttrId],
+    right_keys: &[AttrId],
+    threads: usize,
+) -> CoreResult<JoinOutcome> {
+    assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
+    assert!(!left_keys.is_empty(), "hash join needs at least one key");
+    let partitions = partition_count(threads);
+    let (left_parts, left_keyless) =
+        partition_rows(left, partitions, |t| normalized_key(t, left_keys));
+    let (right_parts, right_keyless) =
+        partition_rows(right, partitions, |t| normalized_key(t, right_keys));
+    let ni_rows = left_keyless.len() + right_keyless.len();
+    let tasks: Vec<(Vec<Tuple>, Vec<Tuple>)> = left_parts.into_iter().zip(right_parts).collect();
+    let (outputs, workers) = run_tasks(threads, tasks, |_w, _i, (probe, build)| {
+        let rows_in = probe.len() + build.len();
+        let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+        for t in build {
+            let key = t
+                .key_on(right_keys)
+                .expect("keyless rows were routed to the overflow bucket");
+            let normalized: Vec<Value> = key.into_iter().map(|v| v.join_key()).collect();
+            table.entry(normalized).or_default().push(t);
+        }
+        let mut joined = Vec::new();
+        for t in probe {
+            let key = t
+                .key_on(left_keys)
+                .expect("keyless rows were routed to the overflow bucket");
+            let normalized: Vec<Value> = key.into_iter().map(|v| v.join_key()).collect();
+            if let Some(matches) = table.get(&normalized) {
+                for m in matches {
+                    let pair = t.join(m).ok_or_else(|| {
+                        CoreError::Invariant("hash join inputs must have disjoint scopes".into())
+                    })?;
+                    joined.push(pair);
+                }
+            }
+        }
+        let rows_out = joined.len();
+        Ok((joined, rows_in, rows_out))
+    })?;
+    Ok(JoinOutcome {
+        rows: outputs.into_iter().flatten().collect(),
+        workers,
+        ni_rows,
+    })
+}
+
+/// The partitioned shared-key equijoin `R₁(·X)R₂` — and, with
+/// `keep_dangling`, the union-join `R₁(∗X)R₂`.
+///
+/// Matches the serial operators' semantics exactly: both inputs are first
+/// reduced to minimal form (here by the partitioned minimise, which equals
+/// the serial reduction), `X`-incomplete tuples are the `ni` band (kept as
+/// dangling by the union-join), and the `X`-total tuples are partitioned
+/// by normalized key so every partition can run the shared
+/// [`equijoin_parts`] core — including the dangling-tuple pass, which is
+/// partition-local because a tuple's potential partners all share its key
+/// hash.
+pub fn par_equijoin(
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    on: &AttrSet,
+    keep_dangling: bool,
+    threads: usize,
+) -> CoreResult<JoinOutcome> {
+    if on.is_empty() {
+        return Err(CoreError::EmptyAttributeList);
+    }
+    let (left_len, right_len) = (left.len(), right.len());
+    let key_attrs: Vec<AttrId> = on.iter().copied().collect();
+    let mut workers_all: Vec<WorkerCounter> = Vec::new();
+    let mut fold = |ws: Vec<WorkerCounter>| {
+        if workers_all.len() < ws.len() {
+            workers_all.resize(ws.len(), WorkerCounter::default());
+        }
+        for (all, w) in workers_all.iter_mut().zip(ws) {
+            all.add(w.rows_in, w.rows_out);
+        }
+    };
+    // The algebra defines the shared-key joins on the canonical minimal
+    // representation (a dominated tuple can be joinable where its dominator
+    // conflicts), so reduce both sides first — in parallel.
+    let left_min = par_minimize(
+        left,
+        threads,
+        crate::stage::adaptive_morsel_rows(left_len, threads),
+    )?;
+    fold(left_min.workers);
+    let right_min = par_minimize(
+        right,
+        threads,
+        crate::stage::adaptive_morsel_rows(right_len, threads),
+    )?;
+    fold(right_min.workers);
+
+    let partitions = partition_count(threads);
+    // Partition on the same normalized key the equijoin core buckets on
+    // (normalize_on touches exactly the X cells, so this equals
+    // `normalized_key` over them).
+    let (left_parts, left_keyless) = partition_rows(left_min.rows, partitions, |t| {
+        normalized_key(&normalize_on(t, on), &key_attrs)
+    });
+    let (right_parts, right_keyless) = partition_rows(right_min.rows, partitions, |t| {
+        normalized_key(&normalize_on(t, on), &key_attrs)
+    });
+    let ni_rows = left_keyless.len() + right_keyless.len();
+
+    let tasks: Vec<(Vec<Tuple>, Vec<Tuple>)> = left_parts.into_iter().zip(right_parts).collect();
+    let (outputs, workers) = run_tasks(threads, tasks, |_w, _i, (l, r)| {
+        let rows_in = l.len() + r.len();
+        let parts = equijoin_parts(&l, &r, on)?;
+        let mut out = parts.joined;
+        if keep_dangling {
+            for t in &l {
+                if !parts.left_participants.contains(&normalize_on(t, on)) {
+                    out.push(t.clone());
+                }
+            }
+            for t in &r {
+                if !parts.right_participants.contains(&normalize_on(t, on)) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        let rows_out = out.len();
+        Ok((out, rows_in, rows_out))
+    })?;
+    fold(workers);
+    let mut rows: Vec<Tuple> = outputs.into_iter().flatten().collect();
+    if keep_dangling {
+        // X-incomplete tuples never participate: always dangling.
+        rows.extend(left_keyless);
+        rows.extend(right_keyless);
+    }
+    Ok(JoinOutcome {
+        rows,
+        workers: workers_all,
+        ni_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::algebra::{equijoin, union_join};
+    use nullrel_core::universe::{attr_set, Universe};
+    use nullrel_core::xrel::XRelation;
+
+    fn setup() -> (Universe, AttrId, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let k = u.intern("K");
+        let a = u.intern("A");
+        let b = u.intern("B");
+        (u, k, a, b)
+    }
+
+    fn left_rows(k: AttrId, a: AttrId, n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let t = Tuple::new().with(a, Value::int(i));
+                if i % 5 == 0 {
+                    t // K is ni
+                } else {
+                    t.with(k, Value::int(i % 13))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_hash_join_matches_serial_join_at_every_degree() {
+        let (mut u, k, a, b) = setup();
+        let k2 = u.intern("K2");
+        let left = left_rows(k, a, 200);
+        // Float keys on the right: normalized partitioning must still land
+        // them with the numerically equal Int keys on the left.
+        let right: Vec<Tuple> = (0..50)
+            .map(|i| {
+                Tuple::new()
+                    .with(b, Value::int(i))
+                    .with(k2, Value::float((i % 13) as f64))
+            })
+            .collect();
+        // Serial reference: nested loops with the domain-aware key equality.
+        let mut reference = Vec::new();
+        for l in &left {
+            for r in &right {
+                let (Some(lk), Some(rk)) = (l.get(k), r.get(k2)) else {
+                    continue;
+                };
+                if lk.join_key() == rk.join_key() {
+                    reference.push(l.join(r).unwrap());
+                }
+            }
+        }
+        let reference = XRelation::from_tuples(reference);
+        for threads in [1, 2, 4] {
+            let out = par_hash_join(left.clone(), right.clone(), &[k], &[k2], threads).unwrap();
+            assert_eq!(
+                XRelation::from_tuples(out.rows.clone()),
+                reference,
+                "threads={threads}"
+            );
+            assert_eq!(out.ni_rows, 40, "200/5 keyless left rows");
+        }
+        // Overlapping scopes (both sides carry A) violate the disjoint-scope
+        // invariant, exactly like the serial HashJoinOp.
+        let clash = vec![Tuple::new().with(a, Value::int(-1)).with(k2, Value::int(1))];
+        for threads in [1, 4] {
+            let out = par_hash_join(left.clone(), clash.clone(), &[k], &[k2], threads);
+            assert!(matches!(out, Err(CoreError::Invariant(_))));
+        }
+    }
+
+    #[test]
+    fn par_equijoin_and_union_join_match_the_algebra_oracle() {
+        let (_u, k, a, b) = setup();
+        let left = XRelation::from_tuples(left_rows(k, a, 120));
+        let right = XRelation::from_tuples(
+            (0..40)
+                .map(|i| {
+                    let t = Tuple::new().with(b, Value::int(i * 3));
+                    if i % 4 == 0 {
+                        t // K is ni: dangles in the union-join
+                    } else {
+                        t.with(k, Value::int(i % 17))
+                    }
+                })
+                .collect::<Vec<_>>(),
+        );
+        let on = attr_set([k]);
+        let ej_oracle = equijoin(&left, &right, &on).unwrap();
+        let uj_oracle = union_join(&left, &right, &on).unwrap();
+        for threads in [1, 2, 4] {
+            let ej = par_equijoin(
+                left.tuples().to_vec(),
+                right.tuples().to_vec(),
+                &on,
+                false,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                XRelation::from_tuples(ej.rows),
+                ej_oracle,
+                "threads={threads}"
+            );
+            let uj = par_equijoin(
+                left.tuples().to_vec(),
+                right.tuples().to_vec(),
+                &on,
+                true,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                XRelation::from_tuples(uj.rows),
+                uj_oracle,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn overlapping_scopes_beyond_the_key_stay_joinability_checked() {
+        // Scopes overlap beyond X: candidate pairs must agree on the shared
+        // cell, the representation-sensitive case the minimise-first rule
+        // exists for.
+        let (_u, k, a, b) = setup();
+        let left = vec![
+            Tuple::new()
+                .with(k, Value::int(1))
+                .with(a, Value::int(10))
+                .with(b, Value::int(7)),
+            Tuple::new().with(k, Value::int(1)).with(a, Value::int(20)),
+        ];
+        let right = vec![Tuple::new().with(k, Value::int(1)).with(b, Value::int(8))];
+        let on = attr_set([k]);
+        let oracle = equijoin(
+            &XRelation::from_tuples(left.clone()),
+            &XRelation::from_tuples(right.clone()),
+            &on,
+        )
+        .unwrap();
+        for threads in [1, 4] {
+            let out = par_equijoin(left.clone(), right.clone(), &on, false, threads).unwrap();
+            assert_eq!(XRelation::from_tuples(out.rows), oracle);
+        }
+    }
+
+    #[test]
+    fn empty_key_list_errors() {
+        assert!(matches!(
+            par_equijoin(Vec::new(), Vec::new(), &AttrSet::new(), false, 2),
+            Err(CoreError::EmptyAttributeList)
+        ));
+    }
+}

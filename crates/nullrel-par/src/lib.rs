@@ -1,0 +1,126 @@
+//! # nullrel-par
+//!
+//! The morsel-driven parallel runtime of the `nullrel` workspace: plain
+//! `std::thread` building blocks the physical engine (`nullrel-exec`)
+//! targets when the cost model predicts a pipeline is worth fanning out.
+//!
+//! The crate deliberately knows nothing about logical plans, statistics, or
+//! stats slots — it operates on owned tuple vectors and returns per-worker
+//! counters the engine folds into its own `ExecStats`. Three layers:
+//!
+//! * [`pool`] — the scheduler: a fixed set of scoped worker threads pulling
+//!   task indices from a shared atomic counter (morsel-driven scheduling:
+//!   work is claimed, never pre-assigned, so fast workers absorb skew).
+//! * [`stage`] — embarrassingly parallel pipeline stages over morsels:
+//!   three-valued filtering, projection, and the **partitioned minimise**
+//!   (per-morsel local antichains reduced by the
+//!   [`nullrel_core::lattice::hashed::merge_antichains`] cross-partition
+//!   subsumption sweep, which provably equals the serial reduction).
+//! * [`join`] — partitioned equality joins: both inputs are split by the
+//!   hash of the **normalized** join key (`Int(2)` and `Float(2.0)` land in
+//!   the same partition, matching the engine's domain-aware equality), and
+//!   every partition is built and probed independently. Covers the
+//!   disjoint-scope [`join::par_hash_join`] and the shared-key
+//!   [`join::par_equijoin`] (with the union-join's dangling-tuple pass).
+//!
+//! Determinism: given the same inputs, every entry point returns the same
+//! rows in the same order regardless of thread count or scheduling — tasks
+//! are concatenated in task order, not completion order. Degree-1 calls
+//! run entirely on the caller's thread and spawn nothing.
+//!
+//! Thread-safety audit: the runtime only ever moves **owned** data
+//! ([`Tuple`](nullrel_core::tuple::Tuple) vectors) into workers and shares
+//! read-only [`Predicate`](nullrel_core::predicate::Predicate)s and
+//! attribute sets by reference. `Value`, `Tuple`, `XRelation`, and
+//! `Predicate` are plain data (`Send + Sync`), asserted at compile time in
+//! this crate's tests; execution sources are *not* required to be `Sync` —
+//! scans materialise on the coordinator thread before any fan-out.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod join;
+pub mod pool;
+pub mod stage;
+
+pub use join::{par_equijoin, par_hash_join, JoinOutcome};
+pub use pool::{run_tasks, WorkerCounter};
+pub use stage::{
+    adaptive_morsel_rows, morsels, par_filter, par_minimize, par_project, StageOutcome,
+    DEFAULT_MORSEL_ROWS, MIN_MORSEL_ROWS,
+};
+
+/// The degree-of-parallelism knob: how many worker threads an engine may
+/// fan a pipeline stage out onto. The engine still gates each operator on
+/// its cardinality estimate — the knob is a ceiling, not a command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Parallelism {
+    /// Single-threaded execution (the byte-identical serial engine).
+    Serial,
+    /// Up to `n` worker threads per parallel operator. `Threads(0)` and
+    /// `Threads(1)` are equivalent to [`Parallelism::Serial`].
+    Threads(usize),
+}
+
+impl Parallelism {
+    /// The effective worker count (always at least 1).
+    pub fn threads(self) -> usize {
+        match self {
+            Parallelism::Serial => 1,
+            Parallelism::Threads(n) => n.max(1),
+        }
+    }
+
+    /// True when this knob permits fanning out at all.
+    pub fn is_parallel(self) -> bool {
+        self.threads() > 1
+    }
+
+    /// Reads the `NULLREL_THREADS` environment variable: unset, unparsable,
+    /// `0`, or `1` mean [`Parallelism::Serial`]; any larger integer caps
+    /// the per-operator worker count. This is how the CI matrix runs the
+    /// whole test suite under both engines without touching call sites.
+    pub fn from_env() -> Self {
+        match std::env::var("NULLREL_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(n) if n > 1 => Parallelism::Threads(n),
+            _ => Parallelism::Serial,
+        }
+    }
+}
+
+impl Default for Parallelism {
+    /// The environment-driven default ([`Parallelism::from_env`]), so the
+    /// serial engine stays the out-of-the-box behavior.
+    fn default() -> Self {
+        Parallelism::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The workspace's thread-safety audit: everything the runtime moves
+    /// into or shares across workers is plain data.
+    #[test]
+    fn core_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<nullrel_core::value::Value>();
+        assert_send_sync::<nullrel_core::tuple::Tuple>();
+        assert_send_sync::<nullrel_core::xrel::XRelation>();
+        assert_send_sync::<nullrel_core::predicate::Predicate>();
+        assert_send_sync::<nullrel_core::universe::AttrSet>();
+    }
+
+    #[test]
+    fn parallelism_knob_semantics() {
+        assert_eq!(Parallelism::Serial.threads(), 1);
+        assert_eq!(Parallelism::Threads(0).threads(), 1);
+        assert_eq!(Parallelism::Threads(4).threads(), 4);
+        assert!(!Parallelism::Threads(1).is_parallel());
+        assert!(Parallelism::Threads(2).is_parallel());
+    }
+}

@@ -1,0 +1,165 @@
+//! The morsel-driven worker-pool scheduler.
+//!
+//! A fixed set of scoped `std::thread` workers pulls task indices from one
+//! shared atomic counter until the task list is exhausted — the
+//! morsel-driven discipline: work is *claimed* by whichever worker is free,
+//! never pre-assigned, so a skewed morsel slows only the worker that
+//! claimed it. Results land in their task's slot, so output order is
+//! task order and therefore independent of scheduling.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nullrel_core::error::CoreResult;
+
+/// Per-worker row counters, reported by every parallel stage so the
+/// engine's explain output can show how evenly the morsels spread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerCounter {
+    /// Rows this worker consumed across all tasks it claimed.
+    pub rows_in: usize,
+    /// Rows this worker produced across all tasks it claimed.
+    pub rows_out: usize,
+}
+
+impl WorkerCounter {
+    /// Accumulates one task's in/out counts.
+    pub fn add(&mut self, rows_in: usize, rows_out: usize) {
+        self.rows_in += rows_in;
+        self.rows_out += rows_out;
+    }
+}
+
+/// Runs `f(worker, task_index, input)` over every input on up to `threads`
+/// scoped workers, returning the outputs **in task order** together with
+/// the per-worker counters `f` reported through its return value.
+///
+/// `f` returns `(output, rows_in, rows_out)`; the first `Err` aborts the
+/// collection (remaining tasks may or may not have run — the engine treats
+/// any error as fatal for the pipeline anyway). With `threads <= 1` or a
+/// single task, everything runs inline on the caller's thread and no
+/// thread is spawned — the serial engine stays allocation-identical.
+#[allow(clippy::type_complexity)]
+pub fn run_tasks<In, Out>(
+    threads: usize,
+    inputs: Vec<In>,
+    f: impl Fn(usize, usize, In) -> CoreResult<(Out, usize, usize)> + Sync,
+) -> CoreResult<(Vec<Out>, Vec<WorkerCounter>)>
+where
+    In: Send,
+    Out: Send,
+{
+    let n = inputs.len();
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        let mut counter = WorkerCounter::default();
+        let mut outputs = Vec::with_capacity(n);
+        for (i, input) in inputs.into_iter().enumerate() {
+            let (out, rows_in, rows_out) = f(0, i, input)?;
+            counter.add(rows_in, rows_out);
+            outputs.push(out);
+        }
+        return Ok((outputs, vec![counter]));
+    }
+    let tasks: Vec<Mutex<Option<In>>> = inputs.into_iter().map(|x| Mutex::new(Some(x))).collect();
+    let results: Vec<Mutex<Option<CoreResult<Out>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let counters: Vec<Mutex<WorkerCounter>> = (0..workers)
+        .map(|_| Mutex::new(WorkerCounter::default()))
+        .collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (tasks, results, counters, next, f) = (&tasks, &results, &counters, &next, &f);
+            scope.spawn(move || {
+                let mut local = WorkerCounter::default();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let input = tasks[i]
+                        .lock()
+                        .expect("task mutex poisoned")
+                        .take()
+                        .expect("every task index is claimed exactly once");
+                    let slot = match f(w, i, input) {
+                        Ok((out, rows_in, rows_out)) => {
+                            local.add(rows_in, rows_out);
+                            Ok(out)
+                        }
+                        Err(e) => Err(e),
+                    };
+                    *results[i].lock().expect("result mutex poisoned") = Some(slot);
+                }
+                *counters[w].lock().expect("counter mutex poisoned") = local;
+            });
+        }
+    });
+    let mut outputs = Vec::with_capacity(n);
+    for slot in results {
+        let result = slot
+            .into_inner()
+            .expect("result mutex poisoned")
+            .expect("scope joined every worker, so every task ran");
+        outputs.push(result?);
+    }
+    let counters = counters
+        .into_iter()
+        .map(|c| c.into_inner().expect("counter mutex poisoned"))
+        .collect();
+    Ok((outputs, counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::error::CoreError;
+
+    #[test]
+    fn outputs_keep_task_order_at_any_degree() {
+        let inputs: Vec<usize> = (0..37).collect();
+        for threads in [1, 2, 4, 8] {
+            let (out, workers) = run_tasks(threads, inputs.clone(), |_w, i, x| {
+                assert_eq!(i, x);
+                Ok((x * 2, 1, 1))
+            })
+            .unwrap();
+            assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+            let consumed: usize = workers.iter().map(|w| w.rows_in).sum();
+            assert_eq!(consumed, 37, "every task counted exactly once");
+        }
+    }
+
+    #[test]
+    fn serial_degree_spawns_inline_and_counts() {
+        let (out, workers) = run_tasks(1, vec![10usize, 20], |w, _i, x| {
+            assert_eq!(w, 0);
+            Ok((x, x, 1))
+        })
+        .unwrap();
+        assert_eq!(out, vec![10, 20]);
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].rows_in, 30);
+        assert_eq!(workers[0].rows_out, 2);
+    }
+
+    #[test]
+    fn errors_propagate_from_workers() {
+        for threads in [1, 4] {
+            let err = run_tasks(threads, vec![0usize, 1, 2], |_w, _i, x| {
+                if x == 1 {
+                    Err(CoreError::Invariant("boom".into()))
+                } else {
+                    Ok((x, 1, 1))
+                }
+            });
+            assert!(matches!(err, Err(CoreError::Invariant(_))));
+        }
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_task_count() {
+        let (_, workers) = run_tasks(8, vec![1usize, 2], |_w, _i, x| Ok((x, 1, 1))).unwrap();
+        assert!(workers.len() <= 2);
+    }
+}

@@ -40,7 +40,9 @@ pub use eval::{
 };
 pub use interp::{execute_unknown, execute_unknown_query, Certainty, UnknownOutput, UnknownStats};
 pub use parser::parse;
-pub use plan::{explain_physical, explain_physical_expr};
+pub use plan::{
+    explain_physical, explain_physical_expr, explain_physical_expr_with, explain_physical_with,
+};
 pub use tautology::{decide, decide_with_assumptions, Decision, Formula, Operand};
 
 /// The verbatim text of the paper's Figure 1 (query Q_A).

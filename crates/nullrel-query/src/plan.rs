@@ -69,10 +69,22 @@ pub fn explain(resolved: &ResolvedQuery) -> String {
 /// `est_rows` cardinality estimates, closed by the plan's mean q-error so
 /// estimation drift is visible at a glance.
 pub fn explain_physical(db: &Database, text: &str) -> QueryResult<String> {
+    explain_physical_with(db, text, nullrel_exec::OptimizeOptions::default())
+}
+
+/// [`explain_physical`] with explicit engine options — in particular the
+/// degree-of-parallelism ceiling: operators the engine fans out report
+/// their granted degree and per-worker row counters
+/// (`par=4 workers=[…/… …]`) in the physical section.
+pub fn explain_physical_with(
+    db: &Database,
+    text: &str,
+    options: nullrel_exec::OptimizeOptions,
+) -> QueryResult<String> {
     let query = parse(text)?;
     let resolved = crate::analyze::resolve_lazy(db, &query)?;
     let logical = plan_access(&resolved);
-    explain_physical_expr(db, &logical, &resolved.universe)
+    explain_physical_expr_with(db, &logical, &resolved.universe, options)
 }
 
 /// The full `--explain` report for an arbitrary algebra [`Expr`] evaluated
@@ -85,8 +97,24 @@ pub fn explain_physical_expr(
     expr: &Expr,
     universe: &Universe,
 ) -> QueryResult<String> {
-    let optimized = nullrel_exec::optimize(expr, db);
-    let pipeline = nullrel_exec::compile(&optimized.expr, db, universe)?;
+    explain_physical_expr_with(db, expr, universe, nullrel_exec::OptimizeOptions::default())
+}
+
+/// [`explain_physical_expr`] with explicit engine options.
+pub fn explain_physical_expr_with(
+    db: &Database,
+    expr: &Expr,
+    universe: &Universe,
+    options: nullrel_exec::OptimizeOptions,
+) -> QueryResult<String> {
+    let optimized = nullrel_exec::optimize_with(expr, db, options);
+    let pipeline = nullrel_exec::compile_with(
+        &optimized.expr,
+        db,
+        universe,
+        nullrel_core::tvl::Truth::True,
+        options,
+    )?;
     let (_, stats) = pipeline.run()?;
     let mut out = String::new();
     out.push_str("logical:\n");
@@ -188,6 +216,33 @@ mod tests {
         let report = explain_physical_expr(&db, &uj, &u).unwrap();
         assert!(report.contains("UnionJoin on [S#]"), "{report}");
         assert!(!report.contains("EvalScan"), "{report}");
+    }
+
+    /// The parallel engine's degree is visible per operator in explain
+    /// reports, with per-worker row counters.
+    #[test]
+    fn explain_physical_with_reports_parallel_degree() {
+        use nullrel_exec::{OptimizeOptions, Parallelism};
+        let db = ps_db();
+        let options = OptimizeOptions {
+            parallelism: Parallelism::Threads(4),
+            parallel_row_threshold: 0,
+            ..OptimizeOptions::default()
+        };
+        let report = explain_physical_with(
+            &db,
+            "range of a is PS retrieve (a.P#) where a.S# = \"s1\"",
+            options,
+        )
+        .unwrap();
+        assert!(report.contains("par=4"), "{report}");
+        assert!(report.contains("workers=["), "{report}");
+        // Default options keep the serial engine (no NULLREL_THREADS set
+        // in unit tests): no degree annotations appear.
+        let serial = explain_physical(&db, "range of a is PS retrieve (a.P#) where a.S# = \"s1\"");
+        if std::env::var("NULLREL_THREADS").is_err() {
+            assert!(!serial.unwrap().contains("par="), "serial by default");
+        }
     }
 
     /// Satellite: explain reports estimated next to actual row counts and

@@ -17,6 +17,10 @@
 //!   optimizer (join-order enumeration, index selection, hash vs
 //!   index-nested-loop joins), catalog access paths, streaming
 //!   minimisation.
+//! * [`par`] — the morsel-driven parallel runtime: worker-pool scheduler,
+//!   partitioned hash/equi/union joins by normalized key hash, and the
+//!   partitioned `Minimize` reduction (local antichains + cross-partition
+//!   subsumption merge).
 //! * [`query`] — the QUEL-subset front-end with `ni` lower-bound evaluation
 //!   (run through the engine) and the "unknown"-interpretation baseline
 //!   with tautology detection.
@@ -30,6 +34,7 @@
 pub use nullrel_codd as codd;
 pub use nullrel_core as core;
 pub use nullrel_exec as exec;
+pub use nullrel_par as par;
 pub use nullrel_query as query;
 pub use nullrel_stats as stats;
 pub use nullrel_storage as storage;

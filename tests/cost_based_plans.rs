@@ -12,9 +12,12 @@ use nullrel::core::prelude::*;
 use nullrel::exec::{compile_band, execute_expr, execute_expr_with, JoinOrdering, OptimizeOptions};
 use nullrel::storage::{Database, SchemaBuilder};
 
-const DECLARATION: OptimizeOptions = OptimizeOptions {
-    join_ordering: JoinOrdering::Declaration,
-};
+fn declaration() -> OptimizeOptions {
+    OptimizeOptions {
+        join_ordering: JoinOrdering::Declaration,
+        ..OptimizeOptions::default()
+    }
+}
 
 fn universe() -> (Universe, Vec<AttrId>, Vec<AttrId>, Vec<AttrId>) {
     let mut u = Universe::new();
@@ -104,7 +107,7 @@ proptest! {
         let oracle = plan.eval(&NoSource).unwrap();
         let (cost_based, stats) = execute_expr(&plan, &NoSource, &u).unwrap();
         let (declaration, _) =
-            execute_expr_with(&plan, &NoSource, &u, DECLARATION).unwrap();
+            execute_expr_with(&plan, &NoSource, &u, declaration()).unwrap();
         prop_assert_eq!(&cost_based, &oracle, "cost-based vs oracle:\n{}", stats.render());
         prop_assert_eq!(&declaration, &oracle, "declaration-order vs oracle");
     }
@@ -227,7 +230,7 @@ fn catalog_star_join_runs_cost_based_and_agrees() {
         "the enumerator must avoid products:\n{}",
         stats.render()
     );
-    let (declaration, decl_stats) = execute_expr_with(&plan, &db, &u, DECLARATION).unwrap();
+    let (declaration, decl_stats) = execute_expr_with(&plan, &db, &u, declaration()).unwrap();
     assert_eq!(declaration, oracle, "plan:\n{}", decl_stats.render());
     assert!(
         decl_stats.used_op("Product"),
