@@ -211,18 +211,6 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         }
     }
 
-    /// The estimate of `σ_predicate(input)` without materialising a
-    /// `Select` node (which would deep-clone the input subtree): the input
-    /// estimate scaled by the predicate's TRUE-band selectivity.
-    fn est_select(&self, input: &Expr, predicate: &Predicate) -> Option<u64> {
-        if self.band != Truth::True {
-            return None;
-        }
-        let est = self.estimator.estimate(input);
-        let sel = nullrel_stats::estimate::selectivity(predicate, &est);
-        Some((est.rows * sel).max(0.0).round() as u64)
-    }
-
     fn attr_name(&self, attr: AttrId) -> String {
         self.universe
             .name(attr)
@@ -424,7 +412,13 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         predicate: &Predicate,
         depth: usize,
     ) -> CoreResult<BoxedOp<'a>> {
-        let est = self.est_select(input, predicate);
+        // One estimator walk serves the `est=` annotation, the `hist=`
+        // bucket count, and the fan-out gate below.
+        let input_est = self.estimator.estimate(input);
+        let est = (self.band == Truth::True).then(|| {
+            let sel = nullrel_stats::estimate::selectivity(predicate, &input_est);
+            (input_est.rows * sel).max(0.0).round() as u64
+        });
         // Only the TRUE band may restructure the predicate: an index probe
         // returns sure matches, and splitting a conjunction is a
         // lower-bound rewrite.
@@ -470,7 +464,11 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
             depth,
             est,
         );
-        let degree = self.degree(self.work_rows(input));
+        if self.band == Truth::True {
+            slot.borrow_mut().hist_buckets =
+                nullrel_stats::estimate::histogram_buckets(predicate, &input_est);
+        }
+        let degree = self.degree(input_est.rows);
         let input = self.build(input, depth + 1)?;
         if degree > 1 {
             // The morsel-parallel filter evaluates the same three-valued
@@ -648,7 +646,15 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 }
             }
         }
-        if let Some(op) = self.try_index_nested_loop(left, right, &keys, depth, est)? {
+        // One estimator walk per side serves the INL cost comparison, the
+        // `hist=` annotation, and the fan-out gate.
+        let (le, re) = (
+            self.estimator.estimate(left),
+            self.estimator.estimate(right),
+        );
+        if let Some(op) =
+            self.try_index_nested_loop(left, right, &keys, le.rows, re.rows, depth, est)?
+        {
             return Ok(op);
         }
         let label = format!(
@@ -659,7 +665,24 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 .join(" AND ")
         );
         let slot = self.slot_est(label, depth, est);
-        let degree = self.degree(self.work_rows(left) + self.work_rows(right));
+        if self.band == Truth::True {
+            // Histograms consulted for the join's fan-out estimate — the
+            // estimator aligns them only when both key sides carry one.
+            let hist = |e: &nullrel_stats::Estimate, a: AttrId| {
+                e.columns
+                    .get(&a)
+                    .and_then(|c| c.histogram.as_ref())
+                    .map(nullrel_stats::EquiDepthHistogram::buckets)
+            };
+            slot.borrow_mut().hist_buckets = keys
+                .iter()
+                .map(|(l, r)| match (hist(&le, *l), hist(&re, *r)) {
+                    (Some(a), Some(b)) => a + b,
+                    _ => 0,
+                })
+                .sum();
+        }
+        let degree = self.degree(le.rows + re.rows);
         let l = self.build(left, depth + 1)?;
         let r = self.build(right, depth + 1)?;
         let (lk, rk) = keys.into_iter().unzip();
@@ -736,11 +759,14 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
     /// an index-covered base scan and the estimated probe cost beats the
     /// hash join's build-plus-probe cost — i.e. when the outer side is
     /// estimated small relative to the indexed side.
+    #[allow(clippy::too_many_arguments)]
     fn try_index_nested_loop(
         &mut self,
         left: &Expr,
         right: &Expr,
         keys: &[(AttrId, AttrId)],
+        l_rows: f64,
+        r_rows: f64,
         depth: usize,
         est: Option<u64>,
     ) -> CoreResult<Option<BoxedOp<'a>>> {
@@ -749,8 +775,6 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         }
         let left_keys: Vec<AttrId> = keys.iter().map(|k| k.0).collect();
         let right_keys: Vec<AttrId> = keys.iter().map(|k| k.1).collect();
-        let l_rows = self.estimator.estimate(left).rows;
-        let r_rows = self.estimator.estimate(right).rows;
         // Hash join cost: materialise the build side, stream the probe side.
         let hash_cost = l_rows + r_rows;
         type Target = (

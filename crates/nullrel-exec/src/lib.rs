@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod compile;
 pub mod cost;
 pub mod op;
@@ -68,6 +69,7 @@ pub mod par_op;
 pub mod source;
 pub mod stats;
 
+pub use adaptive::execute_adaptive;
 pub use compile::{compile, compile_band, compile_with, Pipeline};
 pub use nullrel_par::Parallelism;
 pub use op::{
@@ -80,7 +82,7 @@ pub use optimize::{
 };
 pub use par_op::{ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp, ParProjectOp};
 pub use source::ExecSource;
-pub use stats::{ExecStats, OpStats};
+pub use stats::{ExecStats, OpStats, ReOptEvent};
 
 use nullrel_core::algebra::Expr;
 use nullrel_core::error::CoreResult;
@@ -99,13 +101,18 @@ pub fn execute_expr<S: ExecSource>(
 
 /// [`execute_expr`] with explicit optimizer options — how the differential
 /// tests and benchmarks pit the cost-based plan against the
-/// declaration-order left-deep one.
+/// declaration-order left-deep one. With [`OptimizeOptions::adaptive`]
+/// set, execution is staged with cardinality feedback
+/// ([`execute_adaptive`]); otherwise the classic static pipeline runs.
 pub fn execute_expr_with<S: ExecSource>(
     expr: &Expr,
     source: &S,
     universe: &Universe,
     options: OptimizeOptions,
 ) -> CoreResult<(XRelation, ExecStats)> {
+    if options.adaptive.is_some() {
+        return execute_adaptive(expr, source, universe, options);
+    }
     let optimized = optimize_with(expr, source, options);
     compile_with(
         &optimized.expr,

@@ -93,6 +93,30 @@ pub struct OptimizeOptions {
     pub parallelism: Parallelism,
     /// Minimum estimated input rows before an operator may fan out.
     pub parallel_row_threshold: u64,
+    /// Adaptive re-optimization: `Some(threshold)` makes TRUE-band
+    /// execution **staged** — every materializing pipeline break (a join
+    /// or set-operator drain, each of which roots its own `Minimize` sink)
+    /// compares the observed cardinality against the optimizer's estimate,
+    /// and when the q-error `max(est, actual) / min(est, actual)` exceeds
+    /// `threshold`, the remaining plan (join order *and* parallelism
+    /// grants) is re-optimized with the materialized result injected as a
+    /// literal whose statistics — histograms included — are exact. `None`
+    /// (the out-of-the-box default when `NULLREL_ADAPTIVE` is unset)
+    /// compiles exactly the static single-pipeline plan the engine always
+    /// produced. The default reads `NULLREL_ADAPTIVE`: unset, empty,
+    /// unparsable, or any value below 1.0 (q-errors are ratios ≥ 1, so
+    /// `0` is the natural "off" spelling) mean `None`; any other finite
+    /// number is the threshold.
+    pub adaptive: Option<f64>,
+}
+
+impl OptimizeOptions {
+    /// Parses a `NULLREL_ADAPTIVE`-style value into an adaptive threshold
+    /// (see [`OptimizeOptions::adaptive`] for the accepted forms).
+    pub fn adaptive_from(value: Option<&str>) -> Option<f64> {
+        let t = value?.trim().parse::<f64>().ok()?;
+        (t.is_finite() && t >= 1.0).then_some(t)
+    }
 }
 
 impl Default for OptimizeOptions {
@@ -101,6 +125,9 @@ impl Default for OptimizeOptions {
             join_ordering: JoinOrdering::default(),
             parallelism: Parallelism::default(),
             parallel_row_threshold: DEFAULT_PARALLEL_ROW_THRESHOLD,
+            adaptive: OptimizeOptions::adaptive_from(
+                std::env::var("NULLREL_ADAPTIVE").ok().as_deref(),
+            ),
         }
     }
 }

@@ -41,6 +41,11 @@ pub struct OpStats {
     /// The degree of parallelism the planner granted this operator
     /// (0 or 1 = serial). Set at compile time, rendered as `par=N`.
     pub parallelism: usize,
+    /// The total bucket count of the equi-depth histograms the optimizer
+    /// consulted when estimating this operator (0 = min/max interpolation
+    /// and uniform distinct-count guesses only). Rendered as `hist=N` so
+    /// explain reports show *which* estimates came from distributions.
+    pub hist_buckets: usize,
     /// Per-worker row counters, filled at run time by parallel operators
     /// (empty for serial operators). One entry per worker that actually
     /// ran; the sum of worker `rows_in`/`rows_out` shows how evenly the
@@ -77,12 +82,45 @@ impl OpStats {
     }
 }
 
+/// One adaptive re-optimization event: a materializing pipeline break
+/// whose observed cardinality missed the estimate by more than the
+/// configured q-error threshold, causing the remaining plan to be
+/// re-planned with the observed result injected as exact statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReOptEvent {
+    /// The logical operator at the break (first explain line of the staged
+    /// subtree).
+    pub label: String,
+    /// The optimizer's estimate for the break's output.
+    pub est_rows: u64,
+    /// The observed output cardinality.
+    pub actual_rows: u64,
+}
+
+impl ReOptEvent {
+    /// The event's q-error: `max(est, actual) / min(est, actual)`, both
+    /// floored at one row.
+    pub fn q_error(&self) -> f64 {
+        let e = self.est_rows.max(1) as f64;
+        let a = self.actual_rows.max(1) as f64;
+        e.max(a) / e.min(a)
+    }
+}
+
 /// The snapshot of every operator's counters after a pipeline run, in plan
-/// pre-order.
+/// pre-order. Adaptive runs concatenate one snapshot per executed stage
+/// (chronological: earlier stages first, the final pipeline last) and
+/// record their [`ReOptEvent`]s.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ExecStats {
-    /// Per-operator counters, pre-order (parents before children).
+    /// Per-operator counters, pre-order (parents before children). In an
+    /// adaptive run the stages follow each other; each stage's sink is its
+    /// own depth-0 `Minimize`, and the final pipeline's sink comes last.
     pub ops: Vec<OpStats>,
+    /// Adaptive re-optimization events, in execution order (empty for
+    /// static plans — the `adaptive = None` engine records none and
+    /// compiles byte-identical pipelines).
+    pub reopts: Vec<ReOptEvent>,
 }
 
 impl ExecStats {
@@ -90,6 +128,7 @@ impl ExecStats {
     pub fn snapshot(slots: &[Rc<RefCell<OpStats>>]) -> ExecStats {
         ExecStats {
             ops: slots.iter().map(|s| s.borrow().clone()).collect(),
+            reopts: Vec::new(),
         }
     }
 
@@ -102,9 +141,20 @@ impl ExecStats {
             .sum()
     }
 
-    /// Rows in the final result.
+    /// Rows in the final result: the output of the last pipeline sink
+    /// (depth 0). Static plans have exactly one; adaptive runs end with
+    /// the final pipeline's.
     pub fn rows_returned(&self) -> usize {
-        self.ops.first().map(|o| o.rows_out).unwrap_or(0)
+        self.ops
+            .iter()
+            .rfind(|o| o.depth == 0)
+            .map(|o| o.rows_out)
+            .unwrap_or(0)
+    }
+
+    /// True if the run re-optimized mid-execution at least once.
+    pub fn reoptimized(&self) -> bool {
+        !self.reopts.is_empty()
     }
 
     /// Total rows that fell into the `ni` band anywhere in the pipeline.
@@ -195,6 +245,9 @@ impl ExecStats {
             if op.build_rows > 0 {
                 out.push_str(&format!(" build={}", op.build_rows));
             }
+            if op.hist_buckets > 0 {
+                out.push_str(&format!(" hist={}", op.hist_buckets));
+            }
             if op.parallelism > 1 {
                 out.push_str(&format!(" par={}", op.parallelism));
                 if !op.workers.is_empty() {
@@ -210,6 +263,15 @@ impl ExecStats {
                 out.push_str(" index");
             }
             out.push_str(")\n");
+        }
+        for e in &self.reopts {
+            out.push_str(&format!(
+                "re-opt@{}: est={} actual={} q={:.1} → replanned the remaining stages\n",
+                e.label,
+                e.est_rows,
+                e.actual_rows,
+                e.q_error()
+            ));
         }
         out
     }

@@ -62,6 +62,13 @@ pub enum Parallelism {
     Threads(usize),
 }
 
+/// Ceiling on the worker count any `NULLREL_THREADS` value can request.
+/// An absurdly large setting (`NULLREL_THREADS=999999`) must not translate
+/// into hundreds of thousands of scoped thread spawns per operator; the
+/// morsel scheduler additionally never spawns more workers than it has
+/// tasks, so the effective degree is `min(cap, tasks)`.
+pub const MAX_THREADS: usize = 256;
+
 impl Parallelism {
     /// The effective worker count (always at least 1).
     pub fn threads(self) -> usize {
@@ -76,18 +83,31 @@ impl Parallelism {
         self.threads() > 1
     }
 
-    /// Reads the `NULLREL_THREADS` environment variable: unset, unparsable,
-    /// `0`, or `1` mean [`Parallelism::Serial`]; any larger integer caps
-    /// the per-operator worker count. This is how the CI matrix runs the
-    /// whole test suite under both engines without touching call sites.
-    pub fn from_env() -> Self {
-        match std::env::var("NULLREL_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-        {
-            Some(n) if n > 1 => Parallelism::Threads(n),
+    /// Parses a `NULLREL_THREADS`-style value. The documented fallback
+    /// behavior, asserted by this crate's tests:
+    ///
+    /// * missing value, empty/whitespace string, garbage (`"abc"`,
+    ///   `"-3"`, `"2.5"`, numbers past `usize`) → [`Parallelism::Serial`]
+    ///   — a misconfigured knob degrades to the safe serial engine, never
+    ///   to an error;
+    /// * `"0"` and `"1"` → [`Parallelism::Serial`] (one worker *is* the
+    ///   serial engine, byte-identical plans included);
+    /// * `n ≥ 2` → `Threads(min(n, `[`MAX_THREADS`]`))` — absurdly large
+    ///   values are clamped rather than honoured.
+    ///
+    /// Surrounding whitespace is tolerated (`" 4 "` parses as 4).
+    pub fn parse(value: Option<&str>) -> Self {
+        match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n > 1 => Parallelism::Threads(n.min(MAX_THREADS)),
             _ => Parallelism::Serial,
         }
+    }
+
+    /// Reads the `NULLREL_THREADS` environment variable through
+    /// [`Parallelism::parse`]. This is how the CI matrix runs the whole
+    /// test suite under both engines without touching call sites.
+    pub fn from_env() -> Self {
+        Self::parse(std::env::var("NULLREL_THREADS").ok().as_deref())
     }
 }
 
@@ -122,5 +142,43 @@ mod tests {
         assert_eq!(Parallelism::Threads(4).threads(), 4);
         assert!(!Parallelism::Threads(1).is_parallel());
         assert!(Parallelism::Threads(2).is_parallel());
+    }
+
+    /// Satellite: the documented `NULLREL_THREADS` fallback behavior, case
+    /// by case, through the pure parser (no process-global environment
+    /// mutation — tests in this binary run concurrently).
+    #[test]
+    fn thread_knob_parsing_edge_cases() {
+        // Unset and empty degrade to the serial engine.
+        assert_eq!(Parallelism::parse(None), Parallelism::Serial);
+        assert_eq!(Parallelism::parse(Some("")), Parallelism::Serial);
+        assert_eq!(Parallelism::parse(Some("   ")), Parallelism::Serial);
+        // Zero and one *are* the serial engine.
+        assert_eq!(Parallelism::parse(Some("0")), Parallelism::Serial);
+        assert_eq!(Parallelism::parse(Some("1")), Parallelism::Serial);
+        // Garbage degrades rather than erroring.
+        for garbage in ["abc", "-3", "2.5", "4x", "0x10", "⁴"] {
+            assert_eq!(
+                Parallelism::parse(Some(garbage)),
+                Parallelism::Serial,
+                "{garbage:?}"
+            );
+        }
+        // Numbers past usize::MAX fail to parse → serial.
+        assert_eq!(
+            Parallelism::parse(Some("340282366920938463463374607431768211456")),
+            Parallelism::Serial
+        );
+        // Sane values pass through, whitespace tolerated.
+        assert_eq!(Parallelism::parse(Some(" 4 ")), Parallelism::Threads(4));
+        // Absurdly large values clamp to the documented ceiling.
+        assert_eq!(
+            Parallelism::parse(Some("999999")),
+            Parallelism::Threads(MAX_THREADS)
+        );
+        assert_eq!(
+            Parallelism::parse(Some(&usize::MAX.to_string())),
+            Parallelism::Threads(MAX_THREADS)
+        );
     }
 }

@@ -123,6 +123,24 @@ pub fn execute(db: &Database, text: &str) -> QueryResult<QueryOutput> {
     execute_query(db, &query)
 }
 
+/// [`execute`] with explicit engine options — in particular
+/// [`nullrel_exec::OptimizeOptions::adaptive`], which makes execution
+/// staged with cardinality feedback (re-optimization events land in
+/// [`QueryOutput::stats`] and the `--explain` report). The differential
+/// suite `tests/adaptive_differential.rs` pins adaptive and static
+/// execution to byte-identical outputs.
+pub fn execute_with(
+    db: &Database,
+    text: &str,
+    options: nullrel_exec::OptimizeOptions,
+) -> QueryResult<QueryOutput> {
+    let query = parse(text)?;
+    let resolved = crate::analyze::resolve_lazy(db, &query)?;
+    let expr = plan_access(&resolved);
+    let (rel, stats) = nullrel_exec::execute_expr_with(&expr, db, &resolved.universe, options)?;
+    Ok(output(resolved, rel.into_tuples(), stats))
+}
+
 /// Executes an already-parsed query under the `ni` lower-bound semantics.
 pub fn execute_query(db: &Database, query: &Query) -> QueryResult<QueryOutput> {
     // Lazy resolution: the engine reads the tables through its own access

@@ -100,7 +100,11 @@ pub fn explain_physical_expr(
     explain_physical_expr_with(db, expr, universe, nullrel_exec::OptimizeOptions::default())
 }
 
-/// [`explain_physical_expr`] with explicit engine options.
+/// [`explain_physical_expr`] with explicit engine options. With
+/// [`nullrel_exec::OptimizeOptions::adaptive`] set, the physical section
+/// shows every executed stage (operator labels suffixed `@stageN`, their
+/// `hist=` bucket annotations included) and the `re-opt@op` events that
+/// re-planned the remaining stages.
 pub fn explain_physical_expr_with(
     db: &Database,
     expr: &Expr,
@@ -108,14 +112,20 @@ pub fn explain_physical_expr_with(
     options: nullrel_exec::OptimizeOptions,
 ) -> QueryResult<String> {
     let optimized = nullrel_exec::optimize_with(expr, db, options);
-    let pipeline = nullrel_exec::compile_with(
-        &optimized.expr,
-        db,
-        universe,
-        nullrel_core::tvl::Truth::True,
-        options,
-    )?;
-    let (_, stats) = pipeline.run()?;
+    let stats = if options.adaptive.is_some() {
+        let (_, stats) = nullrel_exec::execute_expr_with(expr, db, universe, options)?;
+        stats
+    } else {
+        let pipeline = nullrel_exec::compile_with(
+            &optimized.expr,
+            db,
+            universe,
+            nullrel_core::tvl::Truth::True,
+            options,
+        )?;
+        let (_, stats) = pipeline.run()?;
+        stats
+    };
     let mut out = String::new();
     out.push_str("logical:\n");
     out.push_str(&expr.explain(universe));
@@ -125,6 +135,12 @@ pub fn explain_physical_expr_with(
             out.push_str("  ");
             out.push_str(rule);
             out.push('\n');
+        }
+        if stats.reoptimized() {
+            // The rules above describe the *initial* static plan; the
+            // re-opt events in the physical section replanned later
+            // stages against observed statistics.
+            out.push_str("  (initial plan — re-opt events below replanned later stages)\n");
         }
     }
     out.push_str("physical (executed):\n");

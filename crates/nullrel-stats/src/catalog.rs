@@ -17,6 +17,8 @@ use nullrel_core::universe::AttrId;
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
 
+use crate::histogram::{EquiDepthHistogram, SAMPLE_CAP};
+
 /// Summary statistics for one column of a stored relation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColumnStatistics {
@@ -33,6 +35,11 @@ pub struct ColumnStatistics {
     pub min: Option<f64>,
     /// Largest numeric value, when the column holds numeric data.
     pub max: Option<f64>,
+    /// Equi-depth histogram over the non-null numeric values, when the
+    /// column holds numeric data. Maintained under the bounded-error
+    /// rebuild policy ([`EquiDepthHistogram::error_bound`] reports the
+    /// resulting guarantee, staleness included).
+    pub histogram: Option<EquiDepthHistogram>,
 }
 
 /// Summary statistics for a stored relation, split into the definite and
@@ -114,13 +121,27 @@ impl TableStatistics {
     }
 }
 
-/// Per-column accumulator: the distinct-value set plus running counters.
+/// Per-column accumulator: the distinct-value set plus running counters
+/// and the histogram reservoir.
 #[derive(Debug, Clone, Default)]
 struct ColumnAccumulator {
     values: HashSet<Value>,
     null_rows: usize,
     min: Option<f64>,
     max: Option<f64>,
+    /// Reservoir of numeric values the histogram is built from: every
+    /// value up to [`SAMPLE_CAP`], a deterministic uniform sample past it.
+    sample: Vec<f64>,
+    /// Numeric values observed in total (reservoir denominator).
+    seen_numeric: usize,
+    /// Numeric values observed since the last histogram build.
+    pending: usize,
+    /// Values the current histogram was built over.
+    built: usize,
+    /// Deterministic reservoir state (a splitmix-style generator, so
+    /// rebuilds from identical observation sequences are reproducible).
+    rng: u64,
+    histogram: Option<EquiDepthHistogram>,
 }
 
 impl ColumnAccumulator {
@@ -130,11 +151,59 @@ impl ColumnAccumulator {
                 if let Some(x) = numeric(value) {
                     self.min = Some(self.min.map_or(x, |m| m.min(x)));
                     self.max = Some(self.max.map_or(x, |m| m.max(x)));
+                    self.observe_numeric(x);
                 }
                 self.values.insert(value.join_key());
             }
             None => self.null_rows += 1,
         }
+    }
+
+    /// Folds a numeric value into the reservoir and applies the rebuild
+    /// policy: the histogram is rebuilt once the values observed since the
+    /// last build exceed an eighth of the built population, which bounds
+    /// the stale fraction any snapshot can carry at `1/9` (amortised
+    /// `O(log n)` rebuild work per insert — build sizes grow
+    /// geometrically).
+    fn observe_numeric(&mut self, x: f64) {
+        // NaN is a legal Float cell but unorderable — it carries no range
+        // information, so it never enters the reservoir (and can therefore
+        // never panic a histogram build).
+        if x.is_nan() {
+            return;
+        }
+        self.seen_numeric += 1;
+        if self.sample.len() < SAMPLE_CAP {
+            self.sample.push(x);
+        } else {
+            // Deterministic reservoir sampling: replace a uniform slot.
+            self.rng = self
+                .rng
+                .wrapping_add(0x9E37_79B9_7F4A_7C15)
+                .wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            let j = (self.rng >> 16) as usize % self.seen_numeric;
+            if j < SAMPLE_CAP {
+                self.sample[j] = x;
+            }
+        }
+        self.pending += 1;
+        if self.pending.saturating_mul(8) > self.built {
+            self.histogram = EquiDepthHistogram::from_values(&self.sample);
+            self.built = self.seen_numeric;
+            self.pending = 0;
+        }
+    }
+
+    /// The histogram as a snapshot sees it: the built buckets annotated
+    /// with the fraction of observed values they have not been rebuilt
+    /// over yet (fractions, not raw counts — past the reservoir cap the
+    /// histogram's total is the sample size, a different unit than the
+    /// observed population).
+    fn snapshot_histogram(&self) -> Option<EquiDepthHistogram> {
+        self.histogram.clone().map(|mut h| {
+            h.set_staleness(self.pending, self.seen_numeric);
+            h
+        })
     }
 }
 
@@ -218,6 +287,7 @@ impl StatisticsCollector {
                         null_rows: acc.null_rows,
                         min: acc.min,
                         max: acc.max,
+                        histogram: acc.snapshot_histogram(),
                     },
                 )
             })
@@ -242,6 +312,23 @@ pub trait StatisticsSource {
 }
 
 impl StatisticsSource for NoSource {}
+
+/// A [`StatisticsSource`] adaptor that forwards to an inner source with
+/// every column histogram removed — the pre-histogram estimator, kept
+/// selectable so the q-error benchmarks and the histogram-bound property
+/// tests can difference the two estimators on identical statistics.
+pub struct StripHistograms<'a, S: StatisticsSource>(pub &'a S);
+
+impl<S: StatisticsSource> StatisticsSource for StripHistograms<'_, S> {
+    fn table_statistics(&self, name: &str) -> Option<TableStatistics> {
+        self.0.table_statistics(name).map(|mut stats| {
+            for c in stats.columns.values_mut() {
+                c.histogram = None;
+            }
+            stats
+        })
+    }
+}
 
 impl StatisticsSource for HashMap<String, XRelation> {
     fn table_statistics(&self, name: &str) -> Option<TableStatistics> {
@@ -332,6 +419,59 @@ mod tests {
         assert_eq!(stats.rows, 0);
         assert_eq!(stats.ni_fraction(AttrId::from_index(0)), 0.0);
         assert_eq!(stats.distinct(AttrId::from_index(0)), Some(0));
+    }
+
+    /// Satellite: histogram maintenance edge cases — empty tables,
+    /// single-value columns, and all-`ni` columns never produce a broken
+    /// histogram, and non-numeric columns never produce one at all.
+    #[test]
+    fn histogram_edge_cases() {
+        let a = AttrId::from_index(0);
+        // Empty table: no histogram.
+        let stats = TableStatistics::from_rows([a], []);
+        assert!(stats.column(a).unwrap().histogram.is_none());
+        // All-ni column: no numeric values, no histogram.
+        let rows: Vec<Tuple> = (0..5).map(|_| Tuple::new()).collect();
+        let stats = TableStatistics::from_rows([a], &rows);
+        assert!(stats.column(a).unwrap().histogram.is_none());
+        assert_eq!(stats.ni_fraction(a), 1.0);
+        // Non-numeric column: no histogram, min/max stay unset.
+        let rows: Vec<Tuple> = (0..5)
+            .map(|i| Tuple::new().with(a, Value::str(format!("s{i}"))))
+            .collect();
+        let c = TableStatistics::from_rows([a], &rows);
+        assert!(c.column(a).unwrap().histogram.is_none());
+        // Single-value column: a one-bucket point histogram with exact
+        // point mass and step CDF.
+        let rows: Vec<Tuple> = (0..9)
+            .map(|_| Tuple::new().with(a, Value::int(4)))
+            .collect();
+        let stats = TableStatistics::from_rows([a], &rows);
+        let h = stats.column(a).unwrap().histogram.as_ref().unwrap();
+        assert_eq!(h.point_mass(4.0), 1.0);
+        assert_eq!(h.fraction_lt(4.0), 0.0);
+        assert_eq!(h.fraction_le(4.0), 1.0);
+    }
+
+    /// The rebuild policy bounds staleness: a snapshot's histogram never
+    /// lags the observed population by more than the documented eighth.
+    #[test]
+    fn histogram_staleness_stays_within_the_rebuild_policy() {
+        let a = AttrId::from_index(0);
+        let mut c = StatisticsCollector::new([a]);
+        for i in 0..500i64 {
+            c.observe(&Tuple::new().with(a, Value::int(i % 37)));
+            let h = c.snapshot().column(a).unwrap().histogram.clone().unwrap();
+            assert!(
+                h.stale_fraction() <= 1.0 / 9.0 + 1e-9,
+                "staleness policy violated at {i}: fraction {} over {} built",
+                h.stale_fraction(),
+                h.total()
+            );
+        }
+        // The final snapshot's histogram covers (almost) everything.
+        let h = c.snapshot().column(a).unwrap().histogram.clone().unwrap();
+        assert!(h.total() * 9 >= 500 * 8, "built {} of 500", h.total());
     }
 
     #[test]

@@ -34,6 +34,7 @@ use nullrel_core::tvl::{CompareOp, Truth};
 use nullrel_core::universe::AttrId;
 
 use crate::catalog::{StatisticsSource, TableStatistics};
+use crate::histogram::EquiDepthHistogram;
 
 /// Default cardinality for relations the source has no statistics for.
 pub const DEFAULT_ROWS: f64 = 1_000.0;
@@ -53,6 +54,17 @@ pub struct ColumnEstimate {
     pub min: Option<f64>,
     /// Numeric maximum, when known.
     pub max: Option<f64>,
+    /// Equi-depth histogram over the column's non-null numeric values,
+    /// when the catalog tracks one. Range and equality selectivities read
+    /// the distribution from here instead of assuming uniformity between
+    /// min and max; joins align two histograms bucket-by-bucket.
+    pub histogram: Option<EquiDepthHistogram>,
+    /// Fraction of the column's non-null cells the histogram summarises
+    /// (1.0 for all-numeric columns, the common typed-domain case).
+    /// Computed once from the **base** statistics and propagated through
+    /// derived estimates — re-deriving it from a derived estimate's row
+    /// count would be a unit error once joins multiply rows.
+    pub numeric_share: f64,
 }
 
 /// The estimated cardinality (and column shapes) of a plan node's output.
@@ -110,6 +122,14 @@ impl Estimate {
                         },
                         min: c.min,
                         max: c.max,
+                        histogram: c.histogram.clone(),
+                        numeric_share: match &c.histogram {
+                            Some(h) => {
+                                let non_null = (stats.rows - c.null_rows).max(1) as f64;
+                                (h.population() as f64 / non_null).clamp(0.0, 1.0)
+                            }
+                            None => 1.0,
+                        },
                     },
                 )
             })
@@ -137,7 +157,10 @@ impl Estimate {
 pub struct Estimator<'a, S: StatisticsSource> {
     source: &'a S,
     cache: RefCell<HashMap<String, Option<TableStatistics>>>,
-    literal_cache: RefCell<HashMap<usize, TableStatistics>>,
+    // Keyed by (address, length): the length guard catches most realistic
+    // address-reuse collisions when a caller violates the outlives
+    // assumption above, at zero cost for the engine's legal usage.
+    literal_cache: RefCell<HashMap<(usize, usize), TableStatistics>>,
 }
 
 impl<'a, S: StatisticsSource> Estimator<'a, S> {
@@ -161,7 +184,7 @@ impl<'a, S: StatisticsSource> Estimator<'a, S> {
     fn literal(&self, rel: &nullrel_core::xrel::XRelation) -> TableStatistics {
         self.literal_cache
             .borrow_mut()
-            .entry(rel as *const _ as usize)
+            .entry((rel as *const _ as usize, rel.len()))
             .or_insert_with(|| TableStatistics::of_relation(rel))
             .clone()
     }
@@ -331,14 +354,65 @@ impl<'a, S: StatisticsSource> Estimator<'a, S> {
 }
 
 /// The selectivity of an equality between two columns, from their distinct
-/// counts and non-null probabilities.
+/// counts and non-null probabilities — refined by histogram alignment
+/// ([`EquiDepthHistogram::join_selectivity`]) when both columns carry one,
+/// which catches the two failure modes of the uniformity assumption:
+/// disjoint key ranges (true selectivity ~0) and shared heavy hitters
+/// (true selectivity far above `1 / max(d)`).
 fn equi_selectivity(l: &Estimate, left: AttrId, r: &Estimate, right: AttrId) -> f64 {
+    let non_null = (1.0 - l.ni_fraction(left)) * (1.0 - r.ni_fraction(right));
+    if let (Some(hl), Some(hr)) = (histogram_of(l, left), histogram_of(r, right)) {
+        let dl = l.distinct(left).unwrap_or(1.0).max(1.0);
+        let dr = r.distinct(right).unwrap_or(1.0).max(1.0);
+        let share = numeric_share(l, left) * numeric_share(r, right);
+        return non_null * share * EquiDepthHistogram::join_selectivity(hl, hr, dl, dr);
+    }
     let d = match (l.distinct(left), r.distinct(right)) {
         (Some(a), Some(b)) => a.max(b).max(1.0),
         (Some(a), None) | (None, Some(a)) => a.max(1.0),
         (None, None) => 1.0 / DEFAULT_EQ_SELECTIVITY,
     };
-    (1.0 - l.ni_fraction(left)) * (1.0 - r.ni_fraction(right)) / d
+    non_null / d
+}
+
+/// The histogram attached to a column estimate, if any.
+fn histogram_of(est: &Estimate, attr: AttrId) -> Option<&EquiDepthHistogram> {
+    est.column(attr).and_then(|c| c.histogram.as_ref())
+}
+
+/// The fraction of a column's non-null cells its histogram summarises.
+/// Histogram fractions are over **numeric** values only; a column that
+/// also holds non-numeric cells must scale them by this share, or a heavy
+/// numeric hitter would be weighted as if it covered the whole column.
+/// Read from the column estimate (a base-table property that survives
+/// joins and selections unchanged); 1.0 for all-numeric columns.
+fn numeric_share(input: &Estimate, attr: AttrId) -> f64 {
+    input.column(attr).map_or(1.0, |c| c.numeric_share)
+}
+
+/// The total bucket count of every histogram a predicate's comparisons
+/// would consult against this input — what explain reports as `hist=N`
+/// next to the operator that evaluated the predicate (0 means the
+/// estimate fell back to uniform interpolation everywhere). Mirrors the
+/// selectivity rules above: an attribute-to-attribute equality consults
+/// histograms only when **both** sides carry one.
+pub fn histogram_buckets(predicate: &Predicate, input: &Estimate) -> usize {
+    predicate
+        .comparisons()
+        .iter()
+        .map(|cmp| match (&cmp.left, &cmp.right) {
+            (Operand::Attr(a), Operand::Const(_)) | (Operand::Const(_), Operand::Attr(a)) => {
+                histogram_of(input, *a).map_or(0, EquiDepthHistogram::buckets)
+            }
+            (Operand::Attr(a), Operand::Attr(b)) => {
+                match (histogram_of(input, *a), histogram_of(input, *b)) {
+                    (Some(ha), Some(hb)) => ha.buckets() + hb.buckets(),
+                    _ => 0,
+                }
+            }
+            (Operand::Const(_), Operand::Const(_)) => 0,
+        })
+        .sum()
 }
 
 /// The TRUE-band selectivity of a predicate against an input estimate,
@@ -367,6 +441,21 @@ pub fn selectivity(predicate: &Predicate, input: &Estimate) -> f64 {
                 let non_null = (1.0 - input.ni_fraction(*a)) * (1.0 - input.ni_fraction(*b));
                 match cmp.op {
                     CompareOp::Eq => {
+                        // Histogram alignment first: this is the arm the
+                        // join enumerator prices equality conjuncts
+                        // through, so skewed join keys are costed from
+                        // their distributions, not a uniformity guess.
+                        if let (Some(ha), Some(hb)) =
+                            (histogram_of(input, *a), histogram_of(input, *b))
+                        {
+                            let da = input.distinct(*a).unwrap_or(1.0).max(1.0);
+                            let db = input.distinct(*b).unwrap_or(1.0).max(1.0);
+                            let share = numeric_share(input, *a) * numeric_share(input, *b);
+                            return (non_null
+                                * share
+                                * EquiDepthHistogram::join_selectivity(ha, hb, da, db))
+                            .clamp(0.0, 1.0);
+                        }
                         let d = match (input.distinct(*a), input.distinct(*b)) {
                             (Some(x), Some(y)) => x.max(y).max(1.0),
                             _ => 1.0 / DEFAULT_EQ_SELECTIVITY,
@@ -390,6 +479,36 @@ fn attr_const(
     constant: &nullrel_core::value::Value,
 ) -> f64 {
     let non_null = 1.0 - input.ni_fraction(attr);
+    let numeric = match constant {
+        nullrel_core::value::Value::Int(i) => Some(*i as f64),
+        nullrel_core::value::Value::Float(f) => Some(f.get()),
+        _ => None,
+    };
+    // A histogram, when the catalog tracks one for this column, beats both
+    // the uniform `1/distinct` equality guess (heavy hitters carry their
+    // true point mass) and min/max interpolation (the distribution between
+    // the extremes is known, not assumed uniform).
+    let hist = numeric.and_then(|x| {
+        let h = histogram_of(input, attr)?;
+        // Histogram fractions cover the column's numeric cells; the share
+        // re-bases them onto all non-null cells (1.0 for typed columns).
+        // Non-numeric cells can never satisfy a numeric comparison.
+        let share = numeric_share(input, attr);
+        let floor = 1.0 / input.distinct(attr).unwrap_or(1.0).max(1.0);
+        Some(match op {
+            CompareOp::Lt => h.fraction_lt(x) * share,
+            CompareOp::Le => h.fraction_le(x) * share,
+            CompareOp::Gt => (1.0 - h.fraction_le(x)) * share,
+            CompareOp::Ge => (1.0 - h.fraction_lt(x)) * share,
+            // Point mass for values heavy enough to fill buckets; the
+            // uniform floor keeps light (intra-bucket) values estimable.
+            CompareOp::Eq => (h.point_mass(x) * share).max(floor),
+            CompareOp::Ne => 1.0 - (h.point_mass(x) * share).max(floor),
+        })
+    });
+    if let Some(frac) = hist {
+        return non_null * frac.clamp(0.0, 1.0);
+    }
     match op {
         CompareOp::Eq => match input.distinct(attr) {
             Some(d) => non_null / d.max(1.0),
@@ -402,11 +521,7 @@ fn attr_const(
         CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
             let interpolated = input.column(attr).and_then(|c| {
                 let (min, max) = (c.min?, c.max?);
-                let x = match constant {
-                    nullrel_core::value::Value::Int(i) => *i as f64,
-                    nullrel_core::value::Value::Float(f) => f.get(),
-                    _ => return None,
-                };
+                let x = numeric?;
                 if max <= min {
                     return None;
                 }
@@ -483,13 +598,15 @@ mod tests {
             .chain((0..10).map(|i| Tuple::new().with(k, Value::int(100 + i))));
         let r = XRelation::from_tuples(rows);
         let est = Estimator::new(&NoSource).estimate(&Expr::literal(r));
-        // K: 20 distinct values, never null → 1/20.
+        // K = 3 appears twice in 30 rows; the histogram's point mass gives
+        // ~2/30 (exact up to rebuild-policy staleness) where the uniform
+        // 1/distinct guess said 1/20.
         let s = selectivity(&Predicate::attr_const(k, CompareOp::Eq, 3), &est);
-        assert!((s - 1.0 / 20.0).abs() < 1e-9, "{s}");
+        assert!((s - 2.0 / 30.0).abs() < 0.01, "{s}");
         // V: a third of the rows are ni — the TRUE band shrinks accordingly.
         assert!((est.ni_fraction(v) - 1.0 / 3.0).abs() < 1e-9);
         let s = selectivity(&Predicate::attr_const(v, CompareOp::Eq, 3), &est);
-        assert!((s - (2.0 / 3.0) / 20.0).abs() < 1e-9, "ni-aware: {s}");
+        assert!((s - (2.0 / 3.0) / 20.0).abs() < 0.01, "ni-aware: {s}");
     }
 
     #[test]
@@ -498,8 +615,10 @@ mod tests {
         let e = Estimator::new(&NoSource);
         let join = Expr::literal(r.clone()).equijoin(Expr::literal(r), attr_set([k]));
         let est = e.estimate(&join);
-        // 40·40/10 = 160 (both sides share 10 distinct K values).
-        assert!((est.rows - 160.0).abs() < 1e-6, "{}", est.rows);
+        // True join size 160 (10 keys × 4·4 pairs); the histogram-aligned
+        // fan-out lands within staleness of it, as the uniform
+        // 40·40/max(distinct) formula happens to here as well.
+        assert!((est.rows - 160.0).abs() < 10.0, "{}", est.rows);
     }
 
     #[test]
@@ -507,17 +626,23 @@ mod tests {
         let (_k, _v, a) = rel(30, 0);
         let (_, _, b) = rel(20, 0);
         let e = Estimator::new(&NoSource);
-        let union = e.estimate(&Expr::literal(a.clone()).union(Expr::literal(b.clone())));
+        // The literal cache is keyed by relation address: every plan handed
+        // to the estimator must outlive it (as the engine's plans do), so
+        // the exprs are bound for the whole test.
+        let union_expr = Expr::literal(a.clone()).union(Expr::literal(b.clone()));
+        let diff_expr = Expr::literal(a.clone()).difference(Expr::literal(b.clone()));
+        let meet_expr = Expr::literal(a.clone()).x_intersect(Expr::literal(b.clone()));
+        let uj_expr = Expr::literal(a.clone()).union_join(Expr::literal(b.clone()), attr_set([]));
+        let union = e.estimate(&union_expr);
         assert!(union.rows <= (a.len() + b.len()) as f64 + 1e-9);
-        let diff = e.estimate(&Expr::literal(a.clone()).difference(Expr::literal(b.clone())));
+        let diff = e.estimate(&diff_expr);
         assert!(
             (diff.rows - a.len() as f64).abs() < 1e-9,
             "difference ≤ |L|"
         );
-        let meet = e.estimate(&Expr::literal(a.clone()).x_intersect(Expr::literal(b.clone())));
+        let meet = e.estimate(&meet_expr);
         assert!(meet.rows <= a.len().min(b.len()) as f64 + 1e-9);
-        let uj = e
-            .estimate(&Expr::literal(a.clone()).union_join(Expr::literal(b.clone()), attr_set([])));
+        let uj = e.estimate(&uj_expr);
         assert!(
             uj.rows >= a.len() as f64,
             "union-join keeps dangling tuples"

@@ -14,23 +14,35 @@
 //! distinct non-null value count (the quantity `HashIndex::distinct_keys`
 //! reports for indexed columns), and the numeric min/max.
 //!
-//! Two layers:
+//! Three layers:
 //!
 //! * [`catalog`] — the statistics themselves: [`ColumnStatistics`],
 //!   [`TableStatistics`], the incremental [`StatisticsCollector`] the
 //!   storage layer embeds in every table, and the [`StatisticsSource`]
-//!   trait through which planners read statistics for named relations.
+//!   trait through which planners read statistics for named relations
+//!   (plus [`StripHistograms`], the pre-histogram baseline adaptor the
+//!   q-error benchmarks difference against).
+//! * [`histogram`] — per-column [`EquiDepthHistogram`]s over the
+//!   non-null numeric values: group-snapped equi-depth buckets with a
+//!   provable per-query error bound, maintained under a bounded-error
+//!   reservoir/rebuild policy.
 //! * [`estimate`] — the cardinality [`Estimator`] over the logical
 //!   [`Expr`](nullrel_core::algebra::Expr) algebra: selection selectivity
-//!   under the TRUE-band (lower bound) discipline, join fan-out from
-//!   distinct counts, and bounds for the set operators, the union-join,
-//!   and division.
+//!   under the TRUE-band (lower bound) discipline — histogram CDF and
+//!   point mass where a histogram exists, min/max interpolation and
+//!   uniform guesses where not — join fan-out from histogram alignment
+//!   (falling back to distinct counts), and bounds for the set
+//!   operators, the union-join, and division.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod catalog;
 pub mod estimate;
+pub mod histogram;
 
-pub use catalog::{ColumnStatistics, StatisticsCollector, StatisticsSource, TableStatistics};
+pub use catalog::{
+    ColumnStatistics, StatisticsCollector, StatisticsSource, StripHistograms, TableStatistics,
+};
 pub use estimate::{ColumnEstimate, Estimate, Estimator};
+pub use histogram::EquiDepthHistogram;

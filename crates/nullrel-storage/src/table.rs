@@ -621,6 +621,56 @@ mod tests {
         assert_eq!(table.statistics().column(mgr).unwrap().null_rows, 1);
     }
 
+    /// Satellite (PR 5): histogram maintenance through the table's
+    /// lifecycle — built on insert, rebuilt to exactly the from-scratch
+    /// state on delete/update, and dropped with the column under schema
+    /// evolution.
+    #[test]
+    fn histograms_follow_inserts_deletes_and_schema_evolution() {
+        let (u, mut table) = emp_table();
+        let e_no = u.lookup("E#").unwrap();
+        let name = u.lookup("NAME").unwrap();
+        // Numeric column: histogram present; string column: none.
+        let stats = table.statistics();
+        let h = stats.column(e_no).unwrap().histogram.clone().unwrap();
+        assert!(h.buckets() >= 1);
+        assert!(stats.column(name).unwrap().histogram.is_none());
+
+        // Rebuild after delete equals a from-scratch build over the
+        // remaining rows (the collector resets, so reservoir state and
+        // rebuild points line up exactly).
+        table
+            .delete_where(&Predicate::attr_const(name, CompareOp::Eq, "SMITH"))
+            .unwrap();
+        let rebuilt = table.statistics();
+        let rows: Vec<Tuple> = table.rows().cloned().collect();
+        let from_scratch = TableStatistics::from_rows(table.schema().attrs(), &rows);
+        assert_eq!(rebuilt, from_scratch, "delete rebuild ≡ from-scratch");
+
+        // Update (nulling a numeric cell) rebuilds too.
+        let mgr = u.lookup("MGR#").unwrap();
+        table
+            .update_where(
+                &Predicate::attr_const(name, CompareOp::Eq, "GREEN"),
+                &[(mgr, None)],
+            )
+            .unwrap();
+        let rows: Vec<Tuple> = table.rows().cloned().collect();
+        assert_eq!(
+            table.statistics(),
+            TableStatistics::from_rows(table.schema().attrs(), &rows),
+            "update rebuild ≡ from-scratch"
+        );
+
+        // Schema evolution: dropping the column drops its histogram (the
+        // whole column summary disappears from the snapshot).
+        table.drop_column(mgr).unwrap();
+        let stats = table.statistics();
+        assert!(stats.column(mgr).is_none(), "dropped column leaves stats");
+        // The surviving numeric column still carries one.
+        assert!(stats.column(e_no).unwrap().histogram.is_some());
+    }
+
     #[test]
     fn conversions_to_algebra_types() {
         let (_u, table) = emp_table();
