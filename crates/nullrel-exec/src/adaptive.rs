@@ -144,11 +144,15 @@ pub fn execute_adaptive<S: ExecSource>(
     universe: &Universe,
     options: OptimizeOptions,
 ) -> CoreResult<(XRelation, ExecStats)> {
+    use nullrel_obs::{event, metrics, phase, Phase};
     let Some(threshold) = options.adaptive.map(|t| t.max(1.0)) else {
-        let optimized = optimize_with(expr, source, options);
-        return compile_with(&optimized.expr, source, universe, Truth::True, options)?.run();
+        let optimized = phase(Phase::Optimize, || optimize_with(expr, source, options));
+        let pipeline = phase(Phase::Compile, || {
+            compile_with(&optimized.expr, source, universe, Truth::True, options)
+        })?;
+        return phase(Phase::Run, || pipeline.run());
     };
-    let mut current = optimize_with(expr, source, options).expr;
+    let mut current = phase(Phase::Optimize, || optimize_with(expr, source, options)).expr;
     let mut staged_ops: Vec<OpStats> = Vec::new();
     let mut reopts: Vec<ReOptEvent> = Vec::new();
     let mut stage = 0usize;
@@ -169,7 +173,14 @@ pub fn execute_adaptive<S: ExecSource>(
             .unwrap_or("?")
             .trim()
             .to_owned();
-        let (result, stats) = compile_with(sub, source, universe, Truth::True, options)?.run()?;
+        metrics::ADAPTIVE_STAGES.inc();
+        if nullrel_obs::tracing_active() {
+            event(format!("stage{stage}: {label}"), "stage");
+        }
+        let pipeline = phase(Phase::Compile, || {
+            compile_with(sub, source, universe, Truth::True, options)
+        })?;
+        let (result, stats) = phase(Phase::Run, || pipeline.run())?;
         let actual = result.len() as u64;
         for mut op in stats.ops {
             op.label.push_str(&format!(" @stage{stage}"));
@@ -184,11 +195,24 @@ pub fn execute_adaptive<S: ExecSource>(
         // terminates even when re-optimization introduces new join nodes.
         current = replace(current, &path, Expr::literal(result));
         if event.q_error() > threshold {
+            metrics::REOPT_EVENTS.inc();
+            if nullrel_obs::tracing_active() {
+                nullrel_obs::event(
+                    format!(
+                        "re-opt@{}: est={} actual={}",
+                        event.label, event.est_rows, event.actual_rows
+                    ),
+                    "reopt",
+                );
+            }
             reopts.push(event);
-            current = optimize_with(&current, source, options).expr;
+            current = phase(Phase::Optimize, || optimize_with(&current, source, options)).expr;
         }
     }
-    let (result, stats) = compile_with(&current, source, universe, Truth::True, options)?.run()?;
+    let pipeline = phase(Phase::Compile, || {
+        compile_with(&current, source, universe, Truth::True, options)
+    })?;
+    let (result, stats) = phase(Phase::Run, || pipeline.run())?;
     let mut ops = staged_ops;
     ops.extend(stats.ops);
     Ok((result, ExecStats { ops, reopts }))

@@ -47,8 +47,8 @@ use nullrel_stats::Estimator;
 
 use crate::op::{
     BoxedOp, DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IndexNestedLoopJoinOp,
-    IntersectOp, MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, StatsSlot, UnionJoinOp,
-    UnionOp,
+    IntersectOp, MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, StatsSlot, TimedOp,
+    UnionJoinOp, UnionOp,
 };
 use crate::optimize::{and_all, base_attr, extra_join_keys, scope_of, split_and, OptimizeOptions};
 use crate::par_op::{ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp, ParProjectOp};
@@ -77,8 +77,10 @@ impl Pipeline<'_> {
                 .all(|s| !s.borrow().label.starts_with("EvalScan")),
             "pipeline contains a tree-walk fallback scan"
         );
+        let _span = nullrel_obs::span("pipeline", "pipeline");
         let tuples = self.root.drain_all()?;
         let stats = ExecStats::snapshot(&self.slots);
+        stats.record_metrics();
         Ok((XRelation::from_antichain(tuples), stats))
     }
 
@@ -141,6 +143,10 @@ pub fn compile_with<'a, S: ExecSource>(
         options,
         slots: Vec::new(),
         estimator: Estimator::new(source),
+        // Captured once per compilation: `EXPLAIN ANALYZE` holds the
+        // timing guard across compile + run, so the whole pipeline either
+        // carries timing wrappers or (the normal case) none at all.
+        timing: nullrel_obs::timing_active(),
     };
     // One estimator walk serves both the sink's annotation and its
     // fan-out decision.
@@ -150,10 +156,11 @@ pub fn compile_with<'a, S: ExecSource>(
     let degree = c.degree(estimate.rows);
     let input = c.build(expr, 1)?;
     let root: BoxedOp<'a> = if degree > 1 {
-        Box::new(ParMinimizeOp::new(input, degree, minimize))
+        Box::new(ParMinimizeOp::new(input, degree, minimize.clone()))
     } else {
-        Box::new(MinimizeOp::new(input, minimize))
+        Box::new(MinimizeOp::new(input, minimize.clone()))
     };
+    let root = c.timed(root, &minimize);
     Ok(Pipeline {
         root,
         slots: c.slots,
@@ -167,6 +174,7 @@ struct Compiler<'a, S: ExecSource> {
     options: OptimizeOptions,
     slots: Vec<StatsSlot>,
     estimator: Estimator<'a, S>,
+    timing: bool,
 }
 
 impl<'a, S: ExecSource> Compiler<'a, S> {
@@ -174,6 +182,19 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         let slot = OpStats::slot(label, depth);
         self.slots.push(slot.clone());
         slot
+    }
+
+    /// Wraps a freshly built operator in a [`TimedOp`] recording into its
+    /// own stats slot — but only when `EXPLAIN ANALYZE` armed timing for
+    /// this compilation. Every construction site routes through this, so
+    /// an analyzed plan times *every* operator, including inline-built
+    /// children like the scan under an index-select's residual filter.
+    fn timed(&self, op: BoxedOp<'a>, slot: &StatsSlot) -> BoxedOp<'a> {
+        if self.timing {
+            Box::new(TimedOp::new(op, slot.clone()))
+        } else {
+            op
+        }
     }
 
     /// A slot pre-annotated with the optimizer's cardinality estimate.
@@ -225,7 +246,8 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 let slot = self.slot_est(format!("Scan literal[{} tuples]", rel.len()), depth, est);
                 // `rows_in` is counted as rows are pulled (no storage access
                 // path examined anything up front).
-                Ok(Box::new(ScanOp::counting(rel.tuples().to_vec(), slot)))
+                let op = Box::new(ScanOp::counting(rel.tuples().to_vec(), slot.clone()));
+                Ok(self.timed(op, &slot))
             }
             Expr::Named(name) => self.named_scan(name, None, depth, est),
             Expr::Rename { input, mapping } => {
@@ -236,7 +258,8 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                     let slot =
                         self.slot_est(format!("Rename ({} attrs)", mapping.len()), depth, est);
                     let input = self.build(input, depth + 1)?;
-                    Ok(Box::new(RenameOp::new(input, mapping.clone(), slot)))
+                    let op = Box::new(RenameOp::new(input, mapping.clone(), slot.clone()));
+                    Ok(self.timed(op, &slot))
                 }
             }
             Expr::Select { input, predicate } => self.build_select(input, predicate, depth),
@@ -248,22 +271,24 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 );
                 let degree = self.degree(self.work_rows(input));
                 let input = self.build(input, depth + 1)?;
-                if degree > 1 {
-                    Ok(Box::new(ParProjectOp::new(
+                let op: BoxedOp<'a> = if degree > 1 {
+                    Box::new(ParProjectOp::new(
                         input,
                         attrs.clone(),
                         degree,
-                        slot,
-                    )))
+                        slot.clone(),
+                    ))
                 } else {
-                    Ok(Box::new(ProjectOp::new(input, attrs.clone(), slot)))
-                }
+                    Box::new(ProjectOp::new(input, attrs.clone(), slot.clone()))
+                };
+                Ok(self.timed(op, &slot))
             }
             Expr::Product(a, b) => {
                 let slot = self.slot_est("Product", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
-                Ok(Box::new(ProductOp::new(left, right, slot)))
+                let op = Box::new(ProductOp::new(left, right, slot.clone()));
+                Ok(self.timed(op, &slot))
             }
             // A hash join produces exactly the TRUE band of the equality;
             // any other requested band must evaluate the comparison per
@@ -299,31 +324,38 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 let product_slot = self.slot("Product", depth + 1);
                 let l = self.build(left, depth + 2)?;
                 let r = self.build(right, depth + 2)?;
-                let product = Box::new(ProductOp::new(l, r, product_slot));
-                Ok(Box::new(FilterOp::new(
+                let product = self.timed(
+                    Box::new(ProductOp::new(l, r, product_slot.clone())),
+                    &product_slot,
+                );
+                let filter = Box::new(FilterOp::new(
                     product,
                     Predicate::attr_attr(*left_attr, *op, *right_attr),
                     self.band,
-                    filter_slot,
-                )))
+                    filter_slot.clone(),
+                ));
+                Ok(self.timed(filter, &filter_slot))
             }
             Expr::Union(a, b) => {
                 let slot = self.slot_est("Union", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
-                Ok(Box::new(UnionOp::new(left, right, slot)))
+                let op = Box::new(UnionOp::new(left, right, slot.clone()));
+                Ok(self.timed(op, &slot))
             }
             Expr::Difference(a, b) => {
                 let slot = self.slot_est("Difference", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
-                Ok(Box::new(DifferenceOp::new(left, right, slot)))
+                let op = Box::new(DifferenceOp::new(left, right, slot.clone()));
+                Ok(self.timed(op, &slot))
             }
             Expr::XIntersect(a, b) => {
                 let slot = self.slot_est("XIntersect", depth, est);
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
-                Ok(Box::new(IntersectOp::new(left, right, slot)))
+                let op = Box::new(IntersectOp::new(left, right, slot.clone()));
+                Ok(self.timed(op, &slot))
             }
             Expr::EquiJoin { left, right, on } => {
                 let slot = self.slot_est(
@@ -334,18 +366,19 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 let degree = self.degree(self.work_rows(left) + self.work_rows(right));
                 let l = self.build(left, depth + 1)?;
                 let r = self.build(right, depth + 1)?;
-                if degree > 1 {
-                    Ok(Box::new(ParEquiJoinOp::new(
+                let op: BoxedOp<'a> = if degree > 1 {
+                    Box::new(ParEquiJoinOp::new(
                         l,
                         r,
                         on.clone(),
                         false,
                         degree,
-                        slot,
-                    )))
+                        slot.clone(),
+                    ))
                 } else {
-                    Ok(Box::new(EquiJoinOp::new(l, r, on.clone(), slot)))
-                }
+                    Box::new(EquiJoinOp::new(l, r, on.clone(), slot.clone()))
+                };
+                Ok(self.timed(op, &slot))
             }
             Expr::UnionJoin { left, right, on } => {
                 let slot = self.slot_est(
@@ -356,18 +389,19 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 let degree = self.degree(self.work_rows(left) + self.work_rows(right));
                 let l = self.build(left, depth + 1)?;
                 let r = self.build(right, depth + 1)?;
-                if degree > 1 {
-                    Ok(Box::new(ParEquiJoinOp::new(
+                let op: BoxedOp<'a> = if degree > 1 {
+                    Box::new(ParEquiJoinOp::new(
                         l,
                         r,
                         on.clone(),
                         true,
                         degree,
-                        slot,
-                    )))
+                        slot.clone(),
+                    ))
                 } else {
-                    Ok(Box::new(UnionJoinOp::new(l, r, on.clone(), slot)))
-                }
+                    Box::new(UnionJoinOp::new(l, r, on.clone(), slot.clone()))
+                };
+                Ok(self.timed(op, &slot))
             }
             Expr::Divide { input, y, divisor } => {
                 let slot = self.slot_est(
@@ -377,7 +411,8 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 );
                 let input = self.build(input, depth + 1)?;
                 let divisor = self.build(divisor, depth + 1)?;
-                Ok(Box::new(DivisionOp::new(input, divisor, y.clone(), slot)))
+                let op = Box::new(DivisionOp::new(input, divisor, y.clone(), slot.clone()));
+                Ok(self.timed(op, &slot))
             }
         }
     }
@@ -398,7 +433,8 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         let rows = apply_rename(rows, mapping);
         let slot = self.slot_est(format!("TableScan {name}"), depth, est);
         slot.borrow_mut().absorb_scan(&stats);
-        Ok(Box::new(ScanOp::new(rows, slot)))
+        let op = Box::new(ScanOp::new(rows, slot.clone()));
+        Ok(self.timed(op, &slot))
     }
 
     /// Selection compilation, with two special shapes recognised before the
@@ -450,7 +486,13 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                                 );
                                 let join =
                                     self.build_equality_join(left, right, keys, depth + 1, None)?;
-                                Box::new(FilterOp::new(join, residual, self.band, slot))
+                                let filter = Box::new(FilterOp::new(
+                                    join,
+                                    residual,
+                                    self.band,
+                                    slot.clone(),
+                                ));
+                                self.timed(filter, &slot)
                             }
                             None => self.build_equality_join(left, right, keys, depth, est)?,
                         };
@@ -470,24 +512,25 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         }
         let degree = self.degree(input_est.rows);
         let input = self.build(input, depth + 1)?;
-        if degree > 1 {
+        let op: BoxedOp<'a> = if degree > 1 {
             // The morsel-parallel filter evaluates the same three-valued
             // predicate in the same band — including the MAYBE band.
-            Ok(Box::new(ParFilterOp::new(
+            Box::new(ParFilterOp::new(
                 input,
                 predicate.clone(),
                 self.band,
                 degree,
-                slot,
-            )))
+                slot.clone(),
+            ))
         } else {
-            Ok(Box::new(FilterOp::new(
+            Box::new(FilterOp::new(
                 input,
                 predicate.clone(),
                 self.band,
-                slot,
-            )))
-        }
+                slot.clone(),
+            ))
+        };
+        Ok(self.timed(op, &slot))
     }
 
     /// Index selection: `Select` over `Named` / `Rename(Named)` where some
@@ -610,17 +653,19 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 );
                 let scan_slot = self.slot(scan_label, depth + 1);
                 scan_slot.borrow_mut().absorb_scan(&stats);
-                Box::new(FilterOp::new(
-                    Box::new(ScanOp::new(rows, scan_slot)),
+                let scan = self.timed(Box::new(ScanOp::new(rows, scan_slot.clone())), &scan_slot);
+                let filter = Box::new(FilterOp::new(
+                    scan,
                     residual,
                     self.band,
-                    filter_slot,
-                ))
+                    filter_slot.clone(),
+                ));
+                self.timed(filter, &filter_slot)
             }
             None => {
                 let scan_slot = self.slot_est(scan_label, depth, est);
                 scan_slot.borrow_mut().absorb_scan(&stats);
-                Box::new(ScanOp::new(rows, scan_slot))
+                self.timed(Box::new(ScanOp::new(rows, scan_slot.clone())), &scan_slot)
             }
         };
         Ok(Some(op))
@@ -686,11 +731,12 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         let l = self.build(left, depth + 1)?;
         let r = self.build(right, depth + 1)?;
         let (lk, rk) = keys.into_iter().unzip();
-        if degree > 1 {
-            Ok(Box::new(ParHashJoinOp::new(l, r, lk, rk, degree, slot)))
+        let op: BoxedOp<'a> = if degree > 1 {
+            Box::new(ParHashJoinOp::new(l, r, lk, rk, degree, slot.clone()))
         } else {
-            Ok(Box::new(HashJoinOp::new(l, r, lk, rk, slot)))
-        }
+            Box::new(HashJoinOp::new(l, r, lk, rk, slot.clone()))
+        };
+        Ok(self.timed(op, &slot))
     }
 
     /// The probe target of an index-nested-loop join, if `expr` is a base
@@ -827,15 +873,16 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         );
         let slot = self.slot_est(label, depth, est);
         let outer = self.build(outer_expr, depth + 1)?;
-        Ok(Some(Box::new(IndexNestedLoopJoinOp::new(
+        let op = Box::new(IndexNestedLoopJoinOp::new(
             self.source,
             name,
             base,
             mapping,
             outer,
             outer_keys,
-            slot,
-        ))))
+            slot.clone(),
+        ));
+        Ok(Some(self.timed(op, &slot)))
     }
 }
 

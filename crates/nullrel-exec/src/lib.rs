@@ -74,7 +74,7 @@ pub use compile::{compile, compile_band, compile_with, Pipeline};
 pub use nullrel_par::Parallelism;
 pub use op::{
     DifferenceOp, DivisionOp, EquiJoinOp, FilterOp, HashJoinOp, IndexNestedLoopJoinOp, IntersectOp,
-    MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, UnionJoinOp, UnionOp,
+    MinimizeOp, ProductOp, ProjectOp, RenameOp, ScanOp, TimedOp, UnionJoinOp, UnionOp,
 };
 pub use optimize::{
     optimize, optimize_with, scope_info, JoinOrdering, OptimizeOptions, Optimized, ScopeInfo,
@@ -82,7 +82,7 @@ pub use optimize::{
 };
 pub use par_op::{ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp, ParProjectOp};
 pub use source::ExecSource;
-pub use stats::{ExecStats, OpStats, ReOptEvent};
+pub use stats::{fmt_duration, ExecStats, OpStats, ReOptEvent};
 
 use nullrel_core::algebra::Expr;
 use nullrel_core::error::CoreResult;
@@ -113,15 +113,18 @@ pub fn execute_expr_with<S: ExecSource>(
     if options.adaptive.is_some() {
         return execute_adaptive(expr, source, universe, options);
     }
-    let optimized = optimize_with(expr, source, options);
-    compile_with(
-        &optimized.expr,
-        source,
-        universe,
-        nullrel_core::tvl::Truth::True,
-        options,
-    )?
-    .run()
+    use nullrel_obs::{phase, Phase};
+    let optimized = phase(Phase::Optimize, || optimize_with(expr, source, options));
+    let pipeline = phase(Phase::Compile, || {
+        compile_with(
+            &optimized.expr,
+            source,
+            universe,
+            nullrel_core::tvl::Truth::True,
+            options,
+        )
+    })?;
+    phase(Phase::Run, || pipeline.run())
 }
 
 /// Runs a logical plan under an explicit truth band. The TRUE band goes
@@ -148,7 +151,11 @@ pub fn execute_expr_band_with<S: ExecSource>(
     if band == Truth::True {
         execute_expr_with(expr, source, universe, options)
     } else {
-        compile_with(expr, source, universe, band, options)?.run()
+        use nullrel_obs::{phase, Phase};
+        let pipeline = phase(Phase::Compile, || {
+            compile_with(expr, source, universe, band, options)
+        })?;
+        phase(Phase::Run, || pipeline.run())
     }
 }
 

@@ -59,6 +59,37 @@ pub type StatsSlot = Rc<RefCell<OpStats>>;
 /// (index-nested-loop joins probe storage indexes while running).
 pub type BoxedOp<'a> = Box<dyn TupleStream + 'a>;
 
+/// Wall-clock instrumentation wrapper: times every `next_tuple` pull of
+/// the wrapped operator into its stats slot's
+/// [`elapsed`](crate::stats::OpStats::elapsed).
+///
+/// The recorded time is **inclusive** of the subtree below (a pull
+/// recurses through the children); `ExecStats::self_time` subtracts the
+/// direct children back out at render time. The compiler inserts this
+/// wrapper only while `nullrel-obs` timing is armed (`EXPLAIN ANALYZE`),
+/// so ordinary runs — including runs with plain tracing enabled — never
+/// pay the two clock reads per tuple.
+pub struct TimedOp<'a> {
+    inner: BoxedOp<'a>,
+    stats: StatsSlot,
+}
+
+impl<'a> TimedOp<'a> {
+    /// Wraps `inner`, accumulating pull time into `stats`.
+    pub fn new(inner: BoxedOp<'a>, stats: StatsSlot) -> Self {
+        TimedOp { inner, stats }
+    }
+}
+
+impl TupleStream for TimedOp<'_> {
+    fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
+        let start = std::time::Instant::now();
+        let out = self.inner.next_tuple();
+        self.stats.borrow_mut().elapsed += start.elapsed();
+        out
+    }
+}
+
 /// Rows from an access path, counted as they stream out.
 pub struct ScanOp {
     rows: std::vec::IntoIter<Tuple>,

@@ -47,6 +47,15 @@ struct Buffered {
 
 impl Buffered {
     fn new(rows: Vec<Tuple>, stats: &StatsSlot) -> Self {
+        // Every parallel operator materializes here before streaming on —
+        // the single choke point where pipeline breaks become visible to
+        // a query trace.
+        if nullrel_obs::tracing_active() {
+            nullrel_obs::event(
+                format!("pipeline-break: {}", stats.borrow().label),
+                "pipeline",
+            );
+        }
         Buffered {
             out: rows.into_iter(),
             stats: Rc::clone(stats),

@@ -9,12 +9,13 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+use std::time::Duration;
 
 use nullrel_par::WorkerCounter;
 use nullrel_storage::scan::ScanStats;
 
 /// Counters for one physical operator.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct OpStats {
     /// Human-readable operator description (`HashJoin e.MGR# = m.E#`, …).
     pub label: String,
@@ -51,7 +52,35 @@ pub struct OpStats {
     /// ran; the sum of worker `rows_in`/`rows_out` shows how evenly the
     /// morsels spread.
     pub workers: Vec<WorkerCounter>,
+    /// Wall-clock spent inside this operator's `next_tuple` loop,
+    /// **inclusive** of its children (the pull-based pipeline recurses
+    /// through them). Populated only while `nullrel-obs` timing is armed
+    /// (`EXPLAIN ANALYZE`); zero otherwise. Excluded from equality — two
+    /// runs of the same plan are the *same execution* regardless of how
+    /// long the clock said they took.
+    pub elapsed: Duration,
 }
+
+// Manual equality: every counter participates except `elapsed` (timing
+// differs run to run, and the engine's differential tests assert whole
+// `ExecStats` equality across serial/parallel/adaptive configurations).
+impl PartialEq for OpStats {
+    fn eq(&self, other: &Self) -> bool {
+        self.label == other.label
+            && self.depth == other.depth
+            && self.rows_in == other.rows_in
+            && self.rows_out == other.rows_out
+            && self.ni_rows == other.ni_rows
+            && self.used_index == other.used_index
+            && self.build_rows == other.build_rows
+            && self.est_rows == other.est_rows
+            && self.parallelism == other.parallelism
+            && self.hist_buckets == other.hist_buckets
+            && self.workers == other.workers
+    }
+}
+
+impl Eq for OpStats {}
 
 impl OpStats {
     /// A fresh slot for an operator at the given plan depth.
@@ -228,42 +257,47 @@ impl ExecStats {
         (count > 0).then(|| total / count as f64)
     }
 
-    /// Renders the executed physical plan with counters, one operator per
-    /// line, indented by plan depth.
-    pub fn render(&self) -> String {
+    /// One operator's explain line (no indent, no trailing newline).
+    fn op_line(op: &OpStats) -> String {
         let mut out = String::new();
-        for op in &self.ops {
-            out.push_str(&"  ".repeat(op.depth));
-            out.push_str(&op.label);
-            out.push_str(&format!(" (in={} out={}", op.rows_in, op.rows_out));
-            if let Some(est) = op.est_rows {
-                out.push_str(&format!(" est={est}"));
-            }
-            if op.ni_rows > 0 {
-                out.push_str(&format!(" ni={}", op.ni_rows));
-            }
-            if op.build_rows > 0 {
-                out.push_str(&format!(" build={}", op.build_rows));
-            }
-            if op.hist_buckets > 0 {
-                out.push_str(&format!(" hist={}", op.hist_buckets));
-            }
-            if op.parallelism > 1 {
-                out.push_str(&format!(" par={}", op.parallelism));
-                if !op.workers.is_empty() {
-                    let spread: Vec<String> = op
-                        .workers
-                        .iter()
-                        .map(|w| format!("{}/{}", w.rows_in, w.rows_out))
-                        .collect();
-                    out.push_str(&format!(" workers=[{}]", spread.join(" ")));
-                }
-            }
-            if op.used_index {
-                out.push_str(" index");
-            }
-            out.push_str(")\n");
+        out.push_str(&op.label);
+        out.push_str(&format!(" (in={} out={}", op.rows_in, op.rows_out));
+        if let Some(est) = op.est_rows {
+            out.push_str(&format!(" est={est}"));
         }
+        if op.ni_rows > 0 {
+            out.push_str(&format!(" ni={}", op.ni_rows));
+        }
+        if op.build_rows > 0 {
+            out.push_str(&format!(" build={}", op.build_rows));
+        }
+        if op.hist_buckets > 0 {
+            out.push_str(&format!(" hist={}", op.hist_buckets));
+        }
+        if op.parallelism > 1 {
+            out.push_str(&format!(" par={}", op.parallelism));
+            if !op.workers.is_empty() {
+                // Sorted, not scheduling order: which worker claimed which
+                // morsel is nondeterministic, so a stable render shows the
+                // *spread* (largest share first) and two runs with the same
+                // distribution print identically.
+                let mut counters = op.workers.clone();
+                counters.sort_by_key(|c| std::cmp::Reverse((c.rows_in, c.rows_out)));
+                let spread: Vec<String> = counters
+                    .iter()
+                    .map(|w| format!("{}/{}", w.rows_in, w.rows_out))
+                    .collect();
+                out.push_str(&format!(" workers=[{}]", spread.join(" ")));
+            }
+        }
+        if op.used_index {
+            out.push_str(" index");
+        }
+        out.push(')');
+        out
+    }
+
+    fn render_reopts(&self, out: &mut String) {
         for e in &self.reopts {
             out.push_str(&format!(
                 "re-opt@{}: est={} actual={} q={:.1} → replanned the remaining stages\n",
@@ -273,7 +307,117 @@ impl ExecStats {
                 e.q_error()
             ));
         }
+    }
+
+    /// Renders the executed physical plan with counters, one operator per
+    /// line, indented by plan depth.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&"  ".repeat(op.depth));
+            out.push_str(&Self::op_line(op));
+            out.push('\n');
+        }
+        self.render_reopts(&mut out);
         out
+    }
+
+    /// The operator's **self** time at pre-order index `idx`: its inclusive
+    /// `elapsed` minus its direct children's. Children of op `i` at depth
+    /// `d` are the following ops at depth `d + 1` up to the next op at
+    /// depth ≤ `d` — stage boundaries (adaptive runs restart at depth 0)
+    /// fall out of the same rule.
+    pub fn self_time(&self, idx: usize) -> Duration {
+        let parent = &self.ops[idx];
+        let mut children = Duration::ZERO;
+        for op in &self.ops[idx + 1..] {
+            if op.depth <= parent.depth {
+                break;
+            }
+            if op.depth == parent.depth + 1 {
+                children += op.elapsed;
+            }
+        }
+        parent.elapsed.saturating_sub(children)
+    }
+
+    /// Renders the `EXPLAIN ANALYZE` plan: every operator's explain line
+    /// followed by `[time=… self=… NN.N% act=… est=… q-err=… par=g/u]` —
+    /// inclusive wall-clock, self time, share of the run phase (`total`),
+    /// actual vs estimated rows with the per-operator q-error, and
+    /// granted-vs-used parallelism.
+    pub fn render_analyze(&self, total: Duration) -> String {
+        let mut out = String::new();
+        for (idx, op) in self.ops.iter().enumerate() {
+            out.push_str(&"  ".repeat(op.depth));
+            out.push_str(&Self::op_line(op));
+            let pct = if total.is_zero() {
+                0.0
+            } else {
+                100.0 * op.elapsed.as_secs_f64() / total.as_secs_f64()
+            };
+            let q_err = match op.est_rows {
+                Some(est) => {
+                    let e = est.max(1) as f64;
+                    let a = op.rows_out.max(1) as f64;
+                    format!("{:.2}", e.max(a) / e.min(a))
+                }
+                None => "n/a".to_owned(),
+            };
+            let est = op
+                .est_rows
+                .map_or_else(|| "n/a".to_owned(), |e| e.to_string());
+            let granted = op.parallelism.max(1);
+            let used = op.workers.len().max(1);
+            out.push_str(&format!(
+                " [time={} self={} {pct:.1}% act={} est={est} q-err={q_err} par={granted}/{used}]",
+                fmt_duration(op.elapsed),
+                fmt_duration(self.self_time(idx)),
+                op.rows_out,
+            ));
+            out.push('\n');
+        }
+        self.render_reopts(&mut out);
+        out
+    }
+
+    /// Feeds this run's counters into the process-wide `nullrel-obs`
+    /// metrics registry (called once per pipeline run — batched, so the
+    /// per-tuple hot path never touches an atomic).
+    pub fn record_metrics(&self) {
+        use nullrel_obs::metrics;
+        metrics::ROWS_SCANNED.add(self.rows_examined() as u64);
+        let mut minimized = 0u64;
+        let mut builds = 0u64;
+        let mut probes = 0u64;
+        for op in &self.ops {
+            if op.label.starts_with("Minimize") {
+                minimized += op.rows_in as u64;
+            }
+            if op.label.starts_with("HashJoin")
+                || op.label.starts_with("EquiJoin")
+                || op.label.starts_with("UnionJoin")
+            {
+                builds += 1;
+                probes += op.rows_in as u64;
+            }
+        }
+        metrics::ROWS_MINIMIZED.add(minimized);
+        metrics::HASH_JOIN_BUILDS.add(builds);
+        metrics::HASH_JOIN_PROBES.add(probes);
+    }
+}
+
+/// Compact human duration: `950µs`, `12.34ms`, `1.20s` — the format every
+/// timed explain field uses.
+pub fn fmt_duration(d: Duration) -> String {
+    let us = d.as_micros();
+    if us >= 1_000_000 {
+        format!("{:.2}s", d.as_secs_f64())
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{us}µs")
     }
 }
 

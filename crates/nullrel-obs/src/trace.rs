@@ -1,0 +1,287 @@
+//! Query traces, trace sinks, and the chrome://tracing JSON exporter.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One recorded span: a named interval on a lane of a query's timeline.
+///
+/// Timestamps are microseconds since the process-wide monotonic epoch
+/// (the first observability clock read of the process), so records from
+/// different threads of the same query order correctly against each
+/// other.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Human-readable span name (`"run"`, `"HashJoin build"`,
+    /// `"morsel 3"` …).
+    pub name: String,
+    /// Category tag — `"phase"`, `"pipeline"`, `"worker"`, `"task"`,
+    /// `"event"`, `"maintenance"` — used for chrome://tracing's `cat`
+    /// field and for filtering in tests.
+    pub cat: &'static str,
+    /// The query trace this span belongs to (`0` = no query in scope).
+    pub trace: u64,
+    /// Display lane. Lane `0` is the query's driving thread; parallel
+    /// workers adopt lanes `1..=workers`, giving the chrome export one
+    /// timeline row per worker.
+    pub lane: u32,
+    /// Start, in microseconds since the monotonic epoch.
+    pub start_us: u64,
+    /// Duration in microseconds. Zero-duration records are exported as
+    /// instant events rather than intervals.
+    pub dur_us: u64,
+}
+
+/// The completed trace of one query: its lifecycle span plus every span
+/// recorded under its trace id, in recording order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Query label passed to `begin_query` (usually the query text or a
+    /// short description).
+    pub name: String,
+    /// The trace id the spans were tagged with.
+    pub trace_id: u64,
+    /// Query start, microseconds since the monotonic epoch.
+    pub start_us: u64,
+    /// Total query wall-clock, microseconds.
+    pub dur_us: u64,
+    /// Every span recorded during the query, including worker spans.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Highest lane index used by any span (0 when everything ran on the
+    /// driving thread).
+    pub fn max_lane(&self) -> u32 {
+        self.spans.iter().map(|s| s.lane).max().unwrap_or(0)
+    }
+
+    /// Renders the trace in the chrome://tracing JSON event format.
+    ///
+    /// Load the output in chrome://tracing or <https://ui.perfetto.dev>:
+    /// each lane becomes one named thread row (`query` for lane 0,
+    /// `worker N` above it), spans become complete (`"ph":"X"`) events,
+    /// and zero-duration records become instant (`"ph":"i"`) markers.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[\n");
+        let mut first = true;
+        let push = |event: String, out: &mut String, first: &mut bool| {
+            if !*first {
+                out.push_str(",\n");
+            }
+            *first = false;
+            out.push_str(&event);
+        };
+        for lane in 0..=self.max_lane() {
+            let lane_name = if lane == 0 {
+                "query".to_owned()
+            } else {
+                format!("worker {lane}")
+            };
+            push(
+                format!(
+                    "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{lane},\
+                     \"args\":{{\"name\":{}}}}}",
+                    json_string(&lane_name)
+                ),
+                &mut out,
+                &mut first,
+            );
+        }
+        push(
+            format!(
+                "{{\"name\":{},\"cat\":\"query\",\"ph\":\"X\",\"pid\":1,\"tid\":0,\
+                 \"ts\":{},\"dur\":{}}}",
+                json_string(&self.name),
+                self.start_us,
+                self.dur_us
+            ),
+            &mut out,
+            &mut first,
+        );
+        for span in &self.spans {
+            let event = if span.dur_us == 0 {
+                format!(
+                    "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                     \"tid\":{},\"ts\":{}}}",
+                    json_string(&span.name),
+                    span.cat,
+                    span.lane,
+                    span.start_us
+                )
+            } else {
+                format!(
+                    "{{\"name\":{},\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                     \"ts\":{},\"dur\":{}}}",
+                    json_string(&span.name),
+                    span.cat,
+                    span.lane,
+                    span.start_us,
+                    span.dur_us
+                )
+            };
+            push(event, &mut out, &mut first);
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    /// Writes [`Trace::chrome_trace_json`] to `path`.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.chrome_trace_json().as_bytes())
+    }
+}
+
+/// Escapes `s` as a JSON string literal (quotes included). Hand-rolled:
+/// the workspace is offline and takes no serialization dependency.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Destination for completed query traces.
+///
+/// Installing a sink (via [`crate::install_sink`]) is what arms span
+/// recording; with no sink and no slow-query threshold, tracing is a
+/// no-op.
+pub trait TraceSink: Send + Sync {
+    /// Receives one completed query trace. Called on the thread that
+    /// finished the query; implementations should be quick (buffer, not
+    /// analyze).
+    fn consume(&self, trace: Trace);
+}
+
+/// In-memory ring buffer of the most recent `cap` traces — the default
+/// sink for tests, the slow-query log, and ad-hoc debugging.
+#[derive(Debug)]
+pub struct RingSink {
+    cap: usize,
+    ring: Mutex<VecDeque<Trace>>,
+}
+
+impl RingSink {
+    /// A ring keeping the latest `cap` traces (`cap` is clamped to ≥ 1).
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The most recently consumed trace, if any.
+    pub fn latest(&self) -> Option<Trace> {
+        self.ring.lock().expect("ring poisoned").back().cloned()
+    }
+
+    /// All buffered traces, oldest first.
+    pub fn traces(&self) -> Vec<Trace> {
+        self.ring
+            .lock()
+            .expect("ring poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Number of traces currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("ring poisoned").len()
+    }
+
+    /// True when no trace has been consumed (or all were evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every buffered trace.
+    pub fn clear(&self) {
+        self.ring.lock().expect("ring poisoned").clear();
+    }
+}
+
+impl TraceSink for RingSink {
+    fn consume(&self, trace: Trace) {
+        let mut ring = self.ring.lock().expect("ring poisoned");
+        if ring.len() == self.cap {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        Trace {
+            name: "select \"x\"".into(),
+            trace_id: 7,
+            start_us: 100,
+            dur_us: 50,
+            spans: vec![
+                SpanRecord {
+                    name: "run".into(),
+                    cat: "phase",
+                    trace: 7,
+                    lane: 0,
+                    start_us: 110,
+                    dur_us: 30,
+                },
+                SpanRecord {
+                    name: "morsel 0".into(),
+                    cat: "task",
+                    trace: 7,
+                    lane: 2,
+                    start_us: 115,
+                    dur_us: 0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn chrome_export_names_one_lane_per_worker() {
+        let json = sample_trace().chrome_trace_json();
+        assert!(json.contains("\"traceEvents\""));
+        // Lane metadata for query + workers 1, 2.
+        assert!(json.contains("{\"name\":\"query\"}"));
+        assert!(json.contains("{\"name\":\"worker 1\"}"));
+        assert!(json.contains("{\"name\":\"worker 2\"}"));
+        // Quotes in the query name survive escaping.
+        assert!(json.contains("select \\\"x\\\""));
+        // Zero-duration spans export as instants.
+        assert!(json.contains("\"ph\":\"i\""));
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let sink = RingSink::new(2);
+        for i in 0..3 {
+            let mut t = sample_trace();
+            t.trace_id = i;
+            sink.consume(t);
+        }
+        let traces = sink.traces();
+        assert_eq!(traces.len(), 2);
+        assert_eq!(traces[0].trace_id, 1);
+        assert_eq!(sink.latest().unwrap().trace_id, 2);
+        sink.clear();
+        assert!(sink.is_empty());
+    }
+}

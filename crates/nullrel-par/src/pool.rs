@@ -49,9 +49,29 @@ where
     In: Send,
     Out: Send,
 {
+    run_tasks_labeled("par", threads, inputs, f)
+}
+
+/// [`run_tasks`] with a stage label used in query traces: when tracing is
+/// active, each worker records one span per claimed morsel task on its
+/// own lane (`worker 1..=N` in the chrome export), tagged with the
+/// calling thread's query trace. Morsel claims always feed the
+/// `nullrel_morsels_claimed_total{worker=…}` counter.
+#[allow(clippy::type_complexity)]
+pub fn run_tasks_labeled<In, Out>(
+    label: &str,
+    threads: usize,
+    inputs: Vec<In>,
+    f: impl Fn(usize, usize, In) -> CoreResult<(Out, usize, usize)> + Sync,
+) -> CoreResult<(Vec<Out>, Vec<WorkerCounter>)>
+where
+    In: Send,
+    Out: Send,
+{
     let n = inputs.len();
     let workers = threads.min(n).max(1);
     if workers <= 1 {
+        nullrel_obs::metrics::MORSELS_CLAIMED.add(0, n as u64);
         let mut counter = WorkerCounter::default();
         let mut outputs = Vec::with_capacity(n);
         for (i, input) in inputs.into_iter().enumerate() {
@@ -61,6 +81,11 @@ where
         }
         return Ok((outputs, vec![counter]));
     }
+    // Workers run on fresh scoped threads whose span buffers start empty;
+    // adopting the coordinator's trace id puts their morsel spans on the
+    // query's timeline, one lane per worker.
+    let trace = nullrel_obs::current_trace();
+    let tracing = nullrel_obs::tracing_active();
     let tasks: Vec<Mutex<Option<In>>> = inputs.into_iter().map(|x| Mutex::new(Some(x))).collect();
     let results: Vec<Mutex<Option<CoreResult<Out>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     let counters: Vec<Mutex<WorkerCounter>> = (0..workers)
@@ -71,12 +96,19 @@ where
         for w in 0..workers {
             let (tasks, results, counters, next, f) = (&tasks, &results, &counters, &next, &f);
             scope.spawn(move || {
+                if tracing {
+                    nullrel_obs::adopt(trace, (w + 1) as u32);
+                }
                 let mut local = WorkerCounter::default();
+                let mut claimed = 0u64;
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
+                    claimed += 1;
+                    let _task_span =
+                        tracing.then(|| nullrel_obs::span(format!("{label} morsel {i}"), "task"));
                     let input = tasks[i]
                         .lock()
                         .expect("task mutex poisoned")
@@ -90,6 +122,10 @@ where
                         Err(e) => Err(e),
                     };
                     *results[i].lock().expect("result mutex poisoned") = Some(slot);
+                }
+                nullrel_obs::metrics::MORSELS_CLAIMED.add(w, claimed);
+                if tracing {
+                    nullrel_obs::flush_thread();
                 }
                 *counters[w].lock().expect("counter mutex poisoned") = local;
             });

@@ -25,6 +25,7 @@ use nullrel_core::tvl::Truth;
 use nullrel_core::universe::{AttrId, Universe};
 use nullrel_core::value::Value;
 use nullrel_exec::ExecStats;
+use nullrel_obs::Phase;
 use nullrel_storage::Database;
 
 use crate::analyze::ResolvedQuery;
@@ -119,8 +120,7 @@ impl QueryOutput {
 /// Parses and executes a query under the `ni` lower-bound semantics,
 /// through the physical engine with catalog access paths.
 pub fn execute(db: &Database, text: &str) -> QueryResult<QueryOutput> {
-    let query = parse(text)?;
-    execute_query(db, &query)
+    execute_with(db, text, nullrel_exec::OptimizeOptions::default())
 }
 
 /// [`execute`] with explicit engine options — in particular
@@ -134,19 +134,27 @@ pub fn execute_with(
     text: &str,
     options: nullrel_exec::OptimizeOptions,
 ) -> QueryResult<QueryOutput> {
-    let query = parse(text)?;
-    let resolved = crate::analyze::resolve_lazy(db, &query)?;
-    let expr = plan_access(&resolved);
+    let _query_trace = nullrel_obs::begin_query(text);
+    let query = nullrel_obs::phase(Phase::Parse, || parse(text))?;
+    let (resolved, expr) = nullrel_obs::phase(Phase::Plan, || {
+        let resolved = crate::analyze::resolve_lazy(db, &query)?;
+        let expr = plan_access(&resolved);
+        QueryResult::Ok((resolved, expr))
+    })?;
     let (rel, stats) = nullrel_exec::execute_expr_with(&expr, db, &resolved.universe, options)?;
     Ok(output(resolved, rel.into_tuples(), stats))
 }
 
 /// Executes an already-parsed query under the `ni` lower-bound semantics.
 pub fn execute_query(db: &Database, query: &Query) -> QueryResult<QueryOutput> {
+    let _query_trace = nullrel_obs::begin_query("(pre-parsed query)");
     // Lazy resolution: the engine reads the tables through its own access
     // paths, so the per-range row copies would never be looked at.
-    let resolved = crate::analyze::resolve_lazy(db, query)?;
-    let expr = plan_access(&resolved);
+    let (resolved, expr) = nullrel_obs::phase(Phase::Plan, || {
+        let resolved = crate::analyze::resolve_lazy(db, query)?;
+        let expr = plan_access(&resolved);
+        QueryResult::Ok((resolved, expr))
+    })?;
     let (rel, stats) = nullrel_exec::execute_expr(&expr, db, &resolved.universe)?;
     Ok(output(resolved, rel.into_tuples(), stats))
 }
@@ -157,9 +165,13 @@ pub fn execute_query(db: &Database, query: &Query) -> QueryResult<QueryOutput> {
 /// plan is executed as written, since the optimizer's rewrite rules are
 /// lower-bound arguments.
 pub fn execute_maybe(db: &Database, text: &str) -> QueryResult<QueryOutput> {
-    let query = parse(text)?;
-    let resolved = crate::analyze::resolve_lazy(db, &query)?;
-    let expr = plan_access(&resolved);
+    let _query_trace = nullrel_obs::begin_query(format!("MAYBE {text}"));
+    let query = nullrel_obs::phase(Phase::Parse, || parse(text))?;
+    let (resolved, expr) = nullrel_obs::phase(Phase::Plan, || {
+        let resolved = crate::analyze::resolve_lazy(db, &query)?;
+        let expr = plan_access(&resolved);
+        QueryResult::Ok((resolved, expr))
+    })?;
     let (rel, stats) = nullrel_exec::execute_expr_band(&expr, db, &resolved.universe, Truth::Ni)?;
     Ok(output(resolved, rel.into_tuples(), stats))
 }
@@ -169,7 +181,8 @@ pub fn execute_maybe(db: &Database, text: &str) -> QueryResult<QueryOutput> {
 /// evaluation cost; no catalog is available on this path, so scans stream
 /// the resolved rows without index selection).
 pub fn execute_resolved(resolved: &ResolvedQuery) -> QueryResult<QueryOutput> {
-    let expr = plan(resolved);
+    let _query_trace = nullrel_obs::begin_query("(resolved query)");
+    let expr = nullrel_obs::phase(Phase::Plan, || plan(resolved));
     let (rel, stats) = nullrel_exec::execute_expr(&expr, &NoSource, &resolved.universe)?;
     Ok(output(resolved.clone(), rel.into_tuples(), stats))
 }

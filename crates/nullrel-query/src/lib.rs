@@ -42,6 +42,7 @@ pub use eval::{
 pub use interp::{execute_unknown, execute_unknown_query, Certainty, UnknownOutput, UnknownStats};
 pub use parser::parse;
 pub use plan::{
+    explain_analyze, explain_analyze_expr, explain_analyze_expr_with, explain_analyze_with,
     explain_physical, explain_physical_expr, explain_physical_expr_with, explain_physical_with,
 };
 pub use tautology::{decide, decide_with_assumptions, Decision, Formula, Operand};

@@ -17,6 +17,7 @@
 use nullrel_core::algebra::Expr;
 use nullrel_core::predicate::Predicate;
 use nullrel_core::universe::{AttrSet, Universe};
+use nullrel_obs::Phase;
 use nullrel_storage::Database;
 
 use crate::analyze::ResolvedQuery;
@@ -145,12 +146,154 @@ pub fn explain_physical_expr_with(
     }
     out.push_str("physical (executed):\n");
     out.push_str(&stats.render());
-    if let Some(q) = stats.estimation_error() {
-        out.push_str(&format!(
+    out.push_str(&estimation_line(&stats));
+    Ok(out)
+}
+
+/// The closing `estimation:` line of explain reports: the plan's mean
+/// q-error when at least one operator carried a cardinality estimate,
+/// `q-err=n/a` otherwise (e.g. literal-only plans with no catalog).
+fn estimation_line(stats: &nullrel_exec::ExecStats) -> String {
+    match stats.estimation_error() {
+        Some(q) => format!(
             "estimation: mean q-error {q:.2} over {} operator(s)\n",
             stats.ops.iter().filter(|o| o.est_rows.is_some()).count()
+        ),
+        None => "estimation: q-err=n/a (no operator carried an estimate)\n".to_owned(),
+    }
+}
+
+/// `EXPLAIN ANALYZE`: parses, plans, and **executes** the query with
+/// per-tuple operator timing armed, then reports the executed physical
+/// plan annotated with wall-clock self-time per operator, its share of
+/// total query time, actual vs. estimated rows with per-operator q-error,
+/// and granted vs. used parallelism — closed by a `phases:` line breaking
+/// the query lifecycle into parse/plan/optimize/compile/run.
+pub fn explain_analyze(db: &Database, text: &str) -> QueryResult<String> {
+    explain_analyze_with(db, text, nullrel_exec::OptimizeOptions::default())
+}
+
+/// [`explain_analyze`] with explicit engine options (degree of
+/// parallelism, adaptive staging, join-ordering strategy).
+pub fn explain_analyze_with(
+    db: &Database,
+    text: &str,
+    options: nullrel_exec::OptimizeOptions,
+) -> QueryResult<String> {
+    // Arm per-tuple timing before anything runs: every operator the
+    // compiler builds is wrapped in a `TimedOp` while the guard lives.
+    let _timing = nullrel_obs::TimingGuard::new();
+    let _query_trace = nullrel_obs::begin_query(format!("EXPLAIN ANALYZE {text}"));
+    let start = std::time::Instant::now();
+    let (query, parse_d) = nullrel_obs::phase_timed(Phase::Parse, || parse(text));
+    let query = query?;
+    let (planned, plan_d) = nullrel_obs::phase_timed(Phase::Plan, || {
+        let resolved = crate::analyze::resolve_lazy(db, &query)?;
+        let logical = plan_access(&resolved);
+        QueryResult::Ok((resolved, logical))
+    });
+    let (resolved, logical) = planned?;
+    analyze_expr(
+        db,
+        &logical,
+        &resolved.universe,
+        options,
+        Some((parse_d, plan_d)),
+        start,
+    )
+}
+
+/// [`explain_analyze`] for an arbitrary algebra [`Expr`] — how set
+/// operators, division, and union-join plans (outside the QUEL subset)
+/// are analyzed.
+pub fn explain_analyze_expr(
+    db: &Database,
+    expr: &Expr,
+    universe: &Universe,
+) -> QueryResult<String> {
+    explain_analyze_expr_with(db, expr, universe, nullrel_exec::OptimizeOptions::default())
+}
+
+/// [`explain_analyze_expr`] with explicit engine options.
+pub fn explain_analyze_expr_with(
+    db: &Database,
+    expr: &Expr,
+    universe: &Universe,
+    options: nullrel_exec::OptimizeOptions,
+) -> QueryResult<String> {
+    let _timing = nullrel_obs::TimingGuard::new();
+    let _query_trace = nullrel_obs::begin_query("EXPLAIN ANALYZE (expr)");
+    analyze_expr(db, expr, universe, options, None, std::time::Instant::now())
+}
+
+fn analyze_expr(
+    db: &Database,
+    expr: &Expr,
+    universe: &Universe,
+    options: nullrel_exec::OptimizeOptions,
+    parse_plan: Option<(std::time::Duration, std::time::Duration)>,
+    start: std::time::Instant,
+) -> QueryResult<String> {
+    use nullrel_exec::fmt_duration;
+    use std::time::Duration;
+    let (optimized, optimize_d) = nullrel_obs::phase_timed(Phase::Optimize, || {
+        nullrel_exec::optimize_with(expr, db, options)
+    });
+    let (stats, compile_d, run_d) = if options.adaptive.is_some() {
+        // Adaptive execution interleaves compile and run per stage; the
+        // whole staged loop is reported as run time.
+        let run = std::time::Instant::now();
+        let (_, stats) = nullrel_exec::execute_expr_with(expr, db, universe, options)?;
+        (stats, Duration::ZERO, run.elapsed())
+    } else {
+        let (pipeline, compile_d) = nullrel_obs::phase_timed(Phase::Compile, || {
+            nullrel_exec::compile_with(
+                &optimized.expr,
+                db,
+                universe,
+                nullrel_core::tvl::Truth::True,
+                options,
+            )
+        });
+        let pipeline = pipeline?;
+        let (ran, run_d) = nullrel_obs::phase_timed(Phase::Run, || pipeline.run());
+        let (_, stats) = ran?;
+        (stats, compile_d, run_d)
+    };
+    let total = start.elapsed();
+    let mut out = String::new();
+    out.push_str("logical:\n");
+    out.push_str(&expr.explain(universe));
+    if !optimized.applied.is_empty() {
+        out.push_str("rules:\n");
+        for rule in &optimized.applied {
+            out.push_str("  ");
+            out.push_str(rule);
+            out.push('\n');
+        }
+    }
+    out.push_str("physical (analyzed):\n");
+    out.push_str(&stats.render_analyze(run_d));
+    out.push_str(&estimation_line(&stats));
+    out.push_str("phases:");
+    if let Some((parse_d, plan_d)) = parse_plan {
+        out.push_str(&format!(
+            " parse={} plan={}",
+            fmt_duration(parse_d),
+            fmt_duration(plan_d)
         ));
     }
+    out.push_str(&format!(
+        " optimize={} compile={} run={} total={}\n",
+        fmt_duration(optimize_d),
+        if options.adaptive.is_some() {
+            "(staged)".to_owned()
+        } else {
+            fmt_duration(compile_d)
+        },
+        fmt_duration(run_d),
+        fmt_duration(total)
+    ));
     Ok(out)
 }
 

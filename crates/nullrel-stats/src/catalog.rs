@@ -191,7 +191,15 @@ impl ColumnAccumulator {
             self.histogram = EquiDepthHistogram::from_values(&self.sample);
             self.built = self.seen_numeric;
             self.pending = 0;
+            nullrel_obs::metrics::HISTOGRAM_REBUILDS.inc();
+            if nullrel_obs::tracing_active() {
+                nullrel_obs::event(
+                    format!("histogram rebuild over {} values", self.built),
+                    "maintenance",
+                );
+            }
         }
+        nullrel_obs::metrics::RESERVOIR_STALENESS.set(self.pending as i64);
     }
 
     /// The histogram as a snapshot sees it: the built buckets annotated

@@ -356,8 +356,15 @@ impl Table {
     }
 
     fn rebuild_indexes(&mut self) {
+        let _span = nullrel_obs::tracing_active().then(|| {
+            nullrel_obs::span(
+                format!("rebuild indexes: {}", self.schema.name()),
+                "maintenance",
+            )
+        });
         for index in &mut self.indexes {
             index.rebuild(&self.rows);
+            nullrel_obs::metrics::INDEX_REBUILDS.inc();
         }
         self.stats.rebuild(self.schema.attrs(), &self.rows);
     }

@@ -24,6 +24,9 @@
 //! * [`query`] — the QUEL-subset front-end with `ni` lower-bound evaluation
 //!   (run through the engine) and the "unknown"-interpretation baseline
 //!   with tautology detection.
+//! * [`obs`] — the observability layer: query-lifecycle tracing with
+//!   chrome://tracing export, the lock-free engine metrics registry, and
+//!   the per-tuple timing behind `EXPLAIN ANALYZE`.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory and the
 //! experiment index, and `EXPERIMENTS.md` for paper-vs-measured results.
@@ -34,6 +37,7 @@
 pub use nullrel_codd as codd;
 pub use nullrel_core as core;
 pub use nullrel_exec as exec;
+pub use nullrel_obs as obs;
 pub use nullrel_par as par;
 pub use nullrel_query as query;
 pub use nullrel_stats as stats;
