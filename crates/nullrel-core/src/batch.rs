@@ -1,0 +1,492 @@
+//! Morsel-sized column batches: the vectorized execution representation.
+//!
+//! A [`ColumnBatch`] holds a horizontal slice of an x-relation in columnar
+//! form — one typed value vector per attribute plus a [`Bitmap`] marking
+//! the `ni` cells of each column, and a batch-level maybe bitmap marking
+//! the rows whose qualification evaluated to `ni` (the MAYBE band of
+//! Section 5). Batch-at-a-time engines gather only the columns a kernel
+//! needs (late materialization), run tight per-column loops, and carry row
+//! identity through **selection vectors** instead of copying tuples.
+//!
+//! Three kernel families live here:
+//!
+//! * **filtering** — [`ColumnBatch::eval_predicate`] evaluates a
+//!   [`Predicate`] column-at-a-time under the three-valued `ni` semantics
+//!   of Table III, and [`Selection::from_truths`] turns the truth vector
+//!   into a selection vector plus the maybe bitmap;
+//! * **key normalization** — [`normalized`] folds `Float` values with
+//!   integral payloads onto `Int` in one tight loop, the domain-aware
+//!   equality the engine's joins use (`Int(2)` joins `Float(2.0)`);
+//! * **hash computation** — [`ColumnBatch::key_hashes`] and the
+//!   tuple-slice convenience [`key_hashes`] hash normalized key columns
+//!   row-at-a-time without materializing per-row key vectors; a row with
+//!   any `ni` key cell hashes to `None` (it can never equi-join).
+//!
+//! The batch is a *view for kernels*, not a storage format: scans gather
+//! from stored [`Tuple`]s, and surviving rows are re-materialized as
+//! tuples only at batch exit.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::error::CoreResult;
+use crate::predicate::{Operand, Predicate};
+use crate::tuple::Tuple;
+use crate::tvl::{compare_cells, Truth};
+use crate::universe::AttrId;
+use crate::value::Value;
+
+/// A fixed-length bit vector; bit `i` describes row `i` of a batch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap over `len` rows.
+    pub fn new(len: usize) -> Self {
+        Bitmap {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The number of rows the bitmap describes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap describes zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// The number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+/// One gathered column: values plus the `ni` bitmap. The value at an `ni`
+/// position is an arbitrary placeholder and must never be read — kernels
+/// consult the bitmap first.
+#[derive(Debug, Clone)]
+pub struct ColumnData {
+    values: Vec<Value>,
+    ni: Bitmap,
+}
+
+impl ColumnData {
+    /// The cell at row `i` as the engine sees it: `None` for `ni`.
+    pub fn cell(&self, i: usize) -> Option<&Value> {
+        if self.ni.get(i) {
+            None
+        } else {
+            Some(&self.values[i])
+        }
+    }
+
+    /// The column's `ni` bitmap.
+    pub fn ni(&self) -> &Bitmap {
+        &self.ni
+    }
+}
+
+/// The normalized form of a value for key comparison and hashing: `Float`
+/// with an integral payload folds onto `Int` (the whole exact-`i64` range),
+/// everything else hashes as itself. Borrowing twin of
+/// [`Value::join_key`] — no `String` is ever cloned.
+pub fn normalized(value: &Value) -> NormalizedRef<'_> {
+    if let Value::Float(f) = value {
+        let x = f.get();
+        if x.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&x) {
+            return NormalizedRef::Int(x as i64);
+        }
+    }
+    NormalizedRef::Other(value)
+}
+
+/// A normalized key cell: either a folded integer or a borrowed value.
+/// Hashes exactly like the [`Value`] the normalization denotes, so
+/// `Int(2)` and `Float(2.0)` collide by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalizedRef<'a> {
+    /// A `Float` folded onto its integral payload (or a genuine `Int`).
+    Int(i64),
+    /// Any other value, borrowed.
+    Other(&'a Value),
+}
+
+impl Hash for NormalizedRef<'_> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            NormalizedRef::Int(i) => Value::Int(*i).hash(state),
+            NormalizedRef::Other(v) => v.hash(state),
+        }
+    }
+}
+
+/// A morsel-sized columnar slice: the gathered columns of a row range.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnBatch {
+    attrs: Vec<AttrId>,
+    columns: Vec<ColumnData>,
+    len: usize,
+}
+
+impl ColumnBatch {
+    /// Gathers the named columns out of a tuple slice. Each entry of
+    /// `attrs` is `(batch_attr, source_attr)` — the batch labels the
+    /// column `batch_attr` while reading the stored cell `source_attr`,
+    /// which folds an attribute rename into the gather at zero per-row
+    /// cost.
+    pub fn gather(rows: &[Tuple], attrs: &[(AttrId, AttrId)]) -> ColumnBatch {
+        let len = rows.len();
+        let mut columns = Vec::with_capacity(attrs.len());
+        for &(_, src) in attrs {
+            let mut values = Vec::with_capacity(len);
+            let mut ni = Bitmap::new(len);
+            for (i, row) in rows.iter().enumerate() {
+                match row.get(src) {
+                    Some(v) => values.push(v.clone()),
+                    None => {
+                        ni.set(i);
+                        values.push(Value::Int(0));
+                    }
+                }
+            }
+            columns.push(ColumnData { values, ni });
+        }
+        ColumnBatch {
+            attrs: attrs.iter().map(|&(out, _)| out).collect(),
+            columns,
+            len,
+        }
+    }
+
+    /// Like [`ColumnBatch::gather`], but over a **selection vector**: only
+    /// the rows at `positions` are materialised, in selection order. This
+    /// is how conjunct-wise filtering skips work — once a conjunct has
+    /// rejected a row, later conjuncts never gather or compare its cells.
+    pub fn gather_at(rows: &[Tuple], positions: &[u32], attrs: &[(AttrId, AttrId)]) -> ColumnBatch {
+        let len = positions.len();
+        let mut columns = Vec::with_capacity(attrs.len());
+        for &(_, src) in attrs {
+            let mut values = Vec::with_capacity(len);
+            let mut ni = Bitmap::new(len);
+            for (i, &pos) in positions.iter().enumerate() {
+                match rows[pos as usize].get(src) {
+                    Some(v) => values.push(v.clone()),
+                    None => {
+                        ni.set(i);
+                        values.push(Value::Int(0));
+                    }
+                }
+            }
+            columns.push(ColumnData { values, ni });
+        }
+        ColumnBatch {
+            attrs: attrs.iter().map(|&(out, _)| out).collect(),
+            columns,
+            len,
+        }
+    }
+
+    /// The number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The gathered column labelled `attr`, if present.
+    pub fn column(&self, attr: AttrId) -> Option<&ColumnData> {
+        self.attrs
+            .iter()
+            .position(|a| *a == attr)
+            .map(|i| &self.columns[i])
+    }
+
+    /// Evaluates a predicate column-at-a-time: one [`Truth`] per row,
+    /// exactly [`Predicate::eval`]'s Table III semantics. An attribute the
+    /// batch did not gather reads as `ni` for every row (the tuple-level
+    /// evaluator's behaviour for an absent cell).
+    pub fn eval_predicate(&self, predicate: &Predicate) -> CoreResult<Vec<Truth>> {
+        match predicate {
+            Predicate::Cmp(cmp) => {
+                let left = self.operand_column(&cmp.left);
+                let right = self.operand_column(&cmp.right);
+                let mut out = Vec::with_capacity(self.len);
+                for i in 0..self.len {
+                    out.push(compare_cells(left.cell(i), cmp.op, right.cell(i))?);
+                }
+                Ok(out)
+            }
+            Predicate::And(a, b) => {
+                let mut av = self.eval_predicate(a)?;
+                let bv = self.eval_predicate(b)?;
+                for (x, y) in av.iter_mut().zip(bv) {
+                    *x = x.and(y);
+                }
+                Ok(av)
+            }
+            Predicate::Or(a, b) => {
+                let mut av = self.eval_predicate(a)?;
+                let bv = self.eval_predicate(b)?;
+                for (x, y) in av.iter_mut().zip(bv) {
+                    *x = x.or(y);
+                }
+                Ok(av)
+            }
+            Predicate::Not(p) => {
+                let mut v = self.eval_predicate(p)?;
+                for x in v.iter_mut() {
+                    *x = x.not();
+                }
+                Ok(v)
+            }
+            Predicate::Literal(t) => Ok(vec![*t; self.len]),
+        }
+    }
+
+    fn operand_column<'a>(&'a self, operand: &'a Operand) -> OperandColumn<'a> {
+        match operand {
+            Operand::Attr(a) => match self.column(*a) {
+                Some(col) => OperandColumn::Column(col),
+                None => OperandColumn::AllNi,
+            },
+            Operand::Const(v) => OperandColumn::Const(v),
+        }
+    }
+
+    /// The normalized hash of each row over *all* of the batch's columns
+    /// (gather the key columns and nothing else). `None` marks a row with
+    /// an `ni` key cell — such a row can never participate in an equality
+    /// join, so it has no meaningful hash.
+    pub fn key_hashes(&self) -> Vec<Option<u64>> {
+        let mut out = Vec::with_capacity(self.len);
+        'rows: for i in 0..self.len {
+            let mut hasher = DefaultHasher::new();
+            for col in &self.columns {
+                match col.cell(i) {
+                    Some(v) => normalized(v).hash(&mut hasher),
+                    None => {
+                        out.push(None);
+                        continue 'rows;
+                    }
+                }
+            }
+            out.push(Some(hasher.finish()));
+        }
+        out
+    }
+}
+
+enum OperandColumn<'a> {
+    Column(&'a ColumnData),
+    Const(&'a Value),
+    AllNi,
+}
+
+impl<'a> OperandColumn<'a> {
+    fn cell(&self, i: usize) -> Option<&'a Value> {
+        match self {
+            OperandColumn::Column(col) => col.cell(i),
+            OperandColumn::Const(v) => Some(v),
+            OperandColumn::AllNi => None,
+        }
+    }
+}
+
+/// The result of applying a truth vector to a batch: the selection vector
+/// of surviving row indices, the `ni` row count, and the maybe bitmap
+/// (rows whose qualification was `ni` — the MAYBE band's membership).
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// Indices (into the batch) of the rows whose truth matched the
+    /// requested band, in row order.
+    pub keep: Vec<u32>,
+    /// Rows whose qualification evaluated to `ni`.
+    pub ni_rows: usize,
+    /// Bit `i` set iff row `i`'s qualification was `ni`.
+    pub maybe: Bitmap,
+}
+
+impl Selection {
+    /// Builds the selection for the requested truth band.
+    pub fn from_truths(truths: &[Truth], want: Truth) -> Selection {
+        let mut keep = Vec::new();
+        let mut maybe = Bitmap::new(truths.len());
+        let mut ni_rows = 0;
+        for (i, t) in truths.iter().enumerate() {
+            if t.is_ni() {
+                ni_rows += 1;
+                maybe.set(i);
+            }
+            if *t == want {
+                keep.push(i as u32);
+            }
+        }
+        Selection {
+            keep,
+            ni_rows,
+            maybe,
+        }
+    }
+}
+
+/// Hashes the normalized key columns of a tuple slice: the columnar twin
+/// of per-row `key_on` + hash. `None` marks rows with an `ni` key cell.
+pub fn key_hashes(rows: &[Tuple], keys: &[AttrId]) -> Vec<Option<u64>> {
+    let pairs: Vec<(AttrId, AttrId)> = keys.iter().map(|&k| (k, k)).collect();
+    ColumnBatch::gather(rows, &pairs).key_hashes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tvl::CompareOp;
+    use crate::universe::Universe;
+
+    fn attrs() -> (Universe, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        (u, a, b)
+    }
+
+    fn rows(a: AttrId, b: AttrId) -> Vec<Tuple> {
+        vec![
+            Tuple::new().with(a, Value::int(1)).with(b, Value::int(10)),
+            Tuple::new().with(a, Value::int(2)),
+            Tuple::new().with(a, Value::int(3)).with(b, Value::int(30)),
+            Tuple::new().with(b, Value::int(40)),
+        ]
+    }
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut bm = Bitmap::new(130);
+        bm.set(0);
+        bm.set(64);
+        bm.set(129);
+        assert!(bm.get(0) && bm.get(64) && bm.get(129));
+        assert!(!bm.get(1) && !bm.get(128));
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn gather_marks_ni_cells() {
+        let (_u, a, b) = attrs();
+        let batch = ColumnBatch::gather(&rows(a, b), &[(a, a), (b, b)]);
+        assert_eq!(batch.len(), 4);
+        let col_b = batch.column(b).unwrap();
+        assert_eq!(col_b.cell(0), Some(&Value::int(10)));
+        assert_eq!(col_b.cell(1), None, "row 1 has ni B");
+        assert_eq!(col_b.ni().count_ones(), 1);
+        let col_a = batch.column(a).unwrap();
+        assert_eq!(col_a.cell(3), None, "row 3 has ni A");
+    }
+
+    #[test]
+    fn gather_applies_renames_at_zero_row_cost() {
+        let (mut u, a, b) = attrs();
+        let c = u.intern("C");
+        let batch = ColumnBatch::gather(&rows(a, b), &[(c, a)]);
+        assert!(batch.column(a).is_none());
+        assert_eq!(batch.column(c).unwrap().cell(0), Some(&Value::int(1)));
+    }
+
+    /// The batch kernel must agree with `Predicate::eval` row by row on
+    /// every connective, including the ni cases of Table III.
+    #[test]
+    fn predicate_kernel_matches_tuple_eval() {
+        let (_u, a, b) = attrs();
+        let data = rows(a, b);
+        let preds = [
+            Predicate::attr_const(a, CompareOp::Eq, 2),
+            Predicate::attr_const(b, CompareOp::Gt, 15),
+            Predicate::attr_attr(a, CompareOp::Lt, b),
+            Predicate::attr_const(a, CompareOp::Eq, 1).or(Predicate::attr_const(
+                b,
+                CompareOp::Eq,
+                30,
+            )),
+            Predicate::attr_const(a, CompareOp::Gt, 0)
+                .and(Predicate::attr_const(b, CompareOp::Gt, 0).negate()),
+            Predicate::always(),
+        ];
+        let batch = ColumnBatch::gather(&data, &[(a, a), (b, b)]);
+        for pred in &preds {
+            let kernel = batch.eval_predicate(pred).unwrap();
+            let scalar: Vec<Truth> = data.iter().map(|t| pred.eval(t).unwrap()).collect();
+            assert_eq!(kernel, scalar, "kernel disagrees on {pred}");
+        }
+    }
+
+    #[test]
+    fn selection_vector_splits_bands() {
+        let truths = [Truth::True, Truth::Ni, Truth::False, Truth::Ni, Truth::True];
+        let sel = Selection::from_truths(&truths, Truth::True);
+        assert_eq!(sel.keep, vec![0, 4]);
+        assert_eq!(sel.ni_rows, 2);
+        assert!(sel.maybe.get(1) && sel.maybe.get(3));
+        let maybe = Selection::from_truths(&truths, Truth::Ni);
+        assert_eq!(maybe.keep, vec![1, 3]);
+    }
+
+    /// `Int(2)` and `Float(2.0)` must hash identically (the normalized
+    /// key discipline), and an ni key cell must yield no hash.
+    #[test]
+    fn key_hashes_normalize_and_skip_ni() {
+        let (_u, a, b) = attrs();
+        let data = vec![
+            Tuple::new().with(a, Value::int(2)).with(b, Value::int(1)),
+            Tuple::new()
+                .with(a, Value::float(2.0))
+                .with(b, Value::int(1)),
+            Tuple::new()
+                .with(a, Value::float(2.5))
+                .with(b, Value::int(1)),
+            Tuple::new().with(b, Value::int(1)),
+        ];
+        let hashes = key_hashes(&data, &[a, b]);
+        assert_eq!(hashes[0], hashes[1], "Float(2.0) folds onto Int(2)");
+        assert_ne!(hashes[0], hashes[2]);
+        assert_eq!(hashes[3], None, "ni key cell never hashes");
+    }
+
+    /// The borrowing normalizer agrees with the cloning `Value::join_key`.
+    #[test]
+    fn normalized_matches_join_key() {
+        for v in [
+            Value::int(7),
+            Value::float(7.0),
+            Value::float(7.5),
+            Value::str("x"),
+            Value::Bool(true),
+        ] {
+            let via_ref = match normalized(&v) {
+                NormalizedRef::Int(i) => Value::Int(i),
+                NormalizedRef::Other(o) => o.clone(),
+            };
+            assert_eq!(via_ref, v.join_key());
+        }
+    }
+}

@@ -57,6 +57,7 @@
 #![forbid(unsafe_code)]
 
 pub mod algebra;
+pub mod batch;
 pub mod display;
 pub mod error;
 pub mod lattice;

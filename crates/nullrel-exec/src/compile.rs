@@ -34,6 +34,8 @@
 //! [`ExecStats::estimation_error`](crate::stats::ExecStats::estimation_error)
 //! can quantify the estimator's q-error.
 
+use std::sync::Arc;
+
 use nullrel_core::algebra::{Expr, TupleStream};
 use nullrel_core::error::{CoreError, CoreResult};
 use nullrel_core::predicate::{Operand, Predicate};
@@ -43,6 +45,7 @@ use nullrel_core::universe::{AttrId, Universe};
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
 
+use nullrel_par::QueryPool;
 use nullrel_stats::Estimator;
 
 use crate::op::{
@@ -51,9 +54,13 @@ use crate::op::{
     UnionJoinOp, UnionOp,
 };
 use crate::optimize::{and_all, base_attr, extra_join_keys, scope_of, split_and, OptimizeOptions};
-use crate::par_op::{ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp, ParProjectOp};
+use crate::par_op::{
+    ParDifferenceOp, ParDivisionOp, ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp,
+    ParProjectOp, ParXIntersectOp,
+};
 use crate::source::ExecSource;
 use crate::stats::{ExecStats, OpStats};
+use crate::vec_op::{RowSource, VectorPipeOp};
 
 /// A compiled, ready-to-run physical pipeline. The lifetime ties the
 /// pipeline to the execution source it was compiled against: index-nested-
@@ -142,6 +149,7 @@ pub fn compile_with<'a, S: ExecSource>(
         band,
         options,
         slots: Vec::new(),
+        pool: None,
         estimator: Estimator::new(source),
         // Captured once per compilation: `EXPLAIN ANALYZE` holds the
         // timing guard across compile + run, so the whole pipeline either
@@ -156,7 +164,7 @@ pub fn compile_with<'a, S: ExecSource>(
     let degree = c.degree(estimate.rows);
     let input = c.build(expr, 1)?;
     let root: BoxedOp<'a> = if degree > 1 {
-        Box::new(ParMinimizeOp::new(input, degree, minimize.clone()))
+        Box::new(ParMinimizeOp::new(input, c.pool(), minimize.clone()))
     } else {
         Box::new(MinimizeOp::new(input, minimize.clone()))
     };
@@ -173,6 +181,11 @@ struct Compiler<'a, S: ExecSource> {
     band: Truth,
     options: OptimizeOptions,
     slots: Vec<StatsSlot>,
+    /// The query-lifetime worker pool, created lazily the first time any
+    /// operator of this compilation is granted a degree above 1 and shared
+    /// by every parallel operator of the pipeline — worker threads are
+    /// spawned once per query, not once per operator.
+    pool: Option<Arc<QueryPool>>,
     estimator: Estimator<'a, S>,
     timing: bool,
 }
@@ -232,6 +245,17 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         }
     }
 
+    /// The query's shared worker pool, created on first use at the full
+    /// parallelism ceiling. Only reached from `degree > 1` branches, so a
+    /// serial compilation never spawns a thread.
+    fn pool(&mut self) -> Arc<QueryPool> {
+        let threads = self.options.parallelism.threads();
+        Arc::clone(
+            self.pool
+                .get_or_insert_with(|| Arc::new(QueryPool::new(threads))),
+        )
+    }
+
     fn attr_name(&self, attr: AttrId) -> String {
         self.universe
             .name(attr)
@@ -270,12 +294,76 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                     est,
                 );
                 let degree = self.degree(self.work_rows(input));
+                if self.options.vectorize {
+                    // Project directly over a base scan: a two-stage pipe.
+                    if self.scanable(input) {
+                        let (rows, scan_slot, count_pulls) = self.scan_rows(input, depth + 1)?;
+                        let mut pipe = VectorPipeOp::from_source(
+                            rows,
+                            count_pulls,
+                            scan_slot,
+                            self.options.batch_size,
+                        )
+                        .with_project(attrs.clone(), slot.clone());
+                        if degree > 1 {
+                            pipe = pipe.with_pool(self.pool());
+                        }
+                        return Ok(self.timed(Box::new(pipe), &slot));
+                    }
+                    // Project over a generic select over a base scan: the
+                    // full scan → filter → project pipe, unless the select
+                    // might be claimed by index-selection planning.
+                    if let Expr::Select {
+                        input: sel_input,
+                        predicate,
+                    } = input.as_ref()
+                    {
+                        if self.scanable(sel_input)
+                            && !self.might_index_select(sel_input, predicate)
+                        {
+                            // Replicate the filter slot exactly as
+                            // `build_select` would annotate it.
+                            let input_est = self.estimator.estimate(sel_input);
+                            let fest = (self.band == Truth::True).then(|| {
+                                let sel =
+                                    nullrel_stats::estimate::selectivity(predicate, &input_est);
+                                (input_est.rows * sel).max(0.0).round() as u64
+                            });
+                            let filter_slot = self.slot_est(
+                                format!("Filter {}", predicate.render(self.universe)),
+                                depth + 1,
+                                fest,
+                            );
+                            if self.band == Truth::True {
+                                filter_slot.borrow_mut().hist_buckets =
+                                    nullrel_stats::estimate::histogram_buckets(
+                                        predicate, &input_est,
+                                    );
+                            }
+                            let degree = self.degree(input_est.rows);
+                            let (rows, scan_slot, count_pulls) =
+                                self.scan_rows(sel_input, depth + 2)?;
+                            let mut pipe = VectorPipeOp::from_source(
+                                rows,
+                                count_pulls,
+                                scan_slot,
+                                self.options.batch_size,
+                            )
+                            .with_filter(predicate.clone(), self.band, filter_slot)
+                            .with_project(attrs.clone(), slot.clone());
+                            if degree > 1 {
+                                pipe = pipe.with_pool(self.pool());
+                            }
+                            return Ok(self.timed(Box::new(pipe), &slot));
+                        }
+                    }
+                }
                 let input = self.build(input, depth + 1)?;
                 let op: BoxedOp<'a> = if degree > 1 {
                     Box::new(ParProjectOp::new(
                         input,
                         attrs.clone(),
-                        degree,
+                        self.pool(),
                         slot.clone(),
                     ))
                 } else {
@@ -345,16 +433,29 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
             }
             Expr::Difference(a, b) => {
                 let slot = self.slot_est("Difference", depth, est);
+                // The subtrahend only builds the subsumption index; the
+                // probe-side (minuend) estimate gates the fan-out.
+                let degree = self.degree(self.work_rows(a));
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
-                let op = Box::new(DifferenceOp::new(left, right, slot.clone()));
+                let op: BoxedOp<'a> = if degree > 1 {
+                    Box::new(ParDifferenceOp::new(left, right, self.pool(), slot.clone()))
+                } else {
+                    Box::new(DifferenceOp::new(left, right, slot.clone()))
+                };
                 Ok(self.timed(op, &slot))
             }
             Expr::XIntersect(a, b) => {
                 let slot = self.slot_est("XIntersect", depth, est);
+                // Pairwise meets: the work is the product of the sides.
+                let degree = self.degree(self.work_rows(a) * self.work_rows(b).max(1.0));
                 let left = self.build(a, depth + 1)?;
                 let right = self.build(b, depth + 1)?;
-                let op = Box::new(IntersectOp::new(left, right, slot.clone()));
+                let op: BoxedOp<'a> = if degree > 1 {
+                    Box::new(ParXIntersectOp::new(left, right, self.pool(), slot.clone()))
+                } else {
+                    Box::new(IntersectOp::new(left, right, slot.clone()))
+                };
                 Ok(self.timed(op, &slot))
             }
             Expr::EquiJoin { left, right, on } => {
@@ -372,7 +473,7 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                         r,
                         on.clone(),
                         false,
-                        degree,
+                        self.pool(),
                         slot.clone(),
                     ))
                 } else {
@@ -395,7 +496,7 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                         r,
                         on.clone(),
                         true,
-                        degree,
+                        self.pool(),
                         slot.clone(),
                     ))
                 } else {
@@ -409,9 +510,22 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                     depth,
                     est,
                 );
+                // Qualification probes cost dividend × divisor work; the
+                // dividend estimate alone is the usual dominant term.
+                let degree = self.degree(self.work_rows(input));
                 let input = self.build(input, depth + 1)?;
                 let divisor = self.build(divisor, depth + 1)?;
-                let op = Box::new(DivisionOp::new(input, divisor, y.clone(), slot.clone()));
+                let op: BoxedOp<'a> = if degree > 1 {
+                    Box::new(ParDivisionOp::new(
+                        input,
+                        divisor,
+                        y.clone(),
+                        self.pool(),
+                        slot.clone(),
+                    ))
+                } else {
+                    Box::new(DivisionOp::new(input, divisor, y.clone(), slot.clone()))
+                };
                 Ok(self.timed(op, &slot))
             }
         }
@@ -435,6 +549,100 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         slot.borrow_mut().absorb_scan(&stats);
         let op = Box::new(ScanOp::new(rows, slot.clone()));
         Ok(self.timed(op, &slot))
+    }
+
+    /// True when `expr` is a shape the vectorized scan pipeline can absorb
+    /// as its leaf: a materialised base scan — named, literal, or a renamed
+    /// named relation. Shape-only; an unknown relation name still errors
+    /// identically to the scalar path when the rows are materialised.
+    fn scanable(&self, expr: &Expr) -> bool {
+        match expr {
+            Expr::Named(_) | Expr::Literal(_) => true,
+            Expr::Rename { input, .. } => matches!(input.as_ref(), Expr::Named(_)),
+            _ => false,
+        }
+    }
+
+    /// Materialises a [`Self::scanable`] leaf for the vectorized pipe,
+    /// creating its stats slot exactly as the scalar scan constructors
+    /// would — same label, same pre-absorbed [`ScanStats`], same `est=`
+    /// annotation — so a fused plan's explain rows line up with the scalar
+    /// plan's. Returns `(rows, scan_slot, count_pulls)` where
+    /// `count_pulls` marks literal scans, whose `rows_in` is counted as
+    /// rows flow rather than pre-absorbed from storage.
+    ///
+    /// [`ScanStats`]: nullrel_storage::scan::ScanStats
+    fn scan_rows(
+        &mut self,
+        expr: &Expr,
+        depth: usize,
+    ) -> CoreResult<(RowSource<'a>, StatsSlot, bool)> {
+        let est = self.est(expr);
+        let (name, mapping) = match expr {
+            Expr::Literal(rel) => {
+                let slot = self.slot_est(format!("Scan literal[{} tuples]", rel.len()), depth, est);
+                return Ok((RowSource::Owned(rel.tuples().to_vec()), slot, true));
+            }
+            Expr::Named(name) => (name, None),
+            Expr::Rename { input, mapping } => match input.as_ref() {
+                Expr::Named(name) => (name, Some(mapping)),
+                _ => unreachable!("guarded by scanable()"),
+            },
+            _ => unreachable!("guarded by scanable()"),
+        };
+        // Un-renamed base scans borrow the stored rows when the source
+        // offers them — the pipe then materialises only filter survivors.
+        // Renames rewrite every tuple, so they materialise up front like
+        // the scalar scan.
+        if mapping.is_none() {
+            if let Some((rows, stats)) = self.source.table_rows(name) {
+                let slot = self.slot_est(format!("TableScan {name}"), depth, est);
+                slot.borrow_mut().absorb_scan(&stats);
+                return Ok((RowSource::Borrowed(rows), slot, false));
+            }
+        }
+        let (rows, stats) = self
+            .source
+            .table_scan(name)
+            .ok_or_else(|| CoreError::UnknownRelation(name.to_owned()))?;
+        let rows = apply_rename(rows, mapping);
+        let slot = self.slot_est(format!("TableScan {name}"), depth, est);
+        slot.borrow_mut().absorb_scan(&stats);
+        Ok((RowSource::Owned(rows), slot, false))
+    }
+
+    /// Conservative shadow of [`Self::try_index_select`]: true when the
+    /// TRUE-band index-selection rewrite *could* claim this select. The
+    /// project-over-select fusion stands aside in that case so vectorization
+    /// never shadows an access path the cost model might pick.
+    fn might_index_select(&self, input: &Expr, predicate: &Predicate) -> bool {
+        if self.band != Truth::True {
+            return false;
+        }
+        let (name, mapping) = match input {
+            Expr::Named(name) => (name.as_str(), None),
+            Expr::Rename { input, mapping } => match input.as_ref() {
+                Expr::Named(name) => (name.as_str(), Some(mapping)),
+                _ => return false,
+            },
+            _ => return false,
+        };
+        let mut conjuncts = Vec::new();
+        split_and(predicate.clone(), &mut conjuncts);
+        let index_list = self.source.index_list(name);
+        conjuncts.iter().any(|c| {
+            attr_const_eq(c).is_some_and(|(attr, _)| {
+                let base = match mapping {
+                    Some(m) => match base_attr(m, attr) {
+                        Some(b) => b,
+                        None => return false,
+                    },
+                    None => attr,
+                };
+                self.source.has_index(name, std::slice::from_ref(&base))
+                    || index_list.iter().any(|cols| cols.contains(&base))
+            })
+        })
     }
 
     /// Selection compilation, with two special shapes recognised before the
@@ -511,6 +719,21 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 nullrel_stats::estimate::histogram_buckets(predicate, &input_est);
         }
         let degree = self.degree(input_est.rows);
+        // Vectorized fusion: a generic filter directly over a materialised
+        // base scan becomes one batch-at-a-time pipe. Sits after the
+        // index-selection and key-widening rewrites declined, so it only
+        // replaces the scan → filter tuple chain it is counter-identical
+        // to.
+        if self.options.vectorize && self.scanable(input) {
+            let (rows, scan_slot, count_pulls) = self.scan_rows(input, depth + 1)?;
+            let mut pipe =
+                VectorPipeOp::from_source(rows, count_pulls, scan_slot, self.options.batch_size)
+                    .with_filter(predicate.clone(), self.band, slot.clone());
+            if degree > 1 {
+                pipe = pipe.with_pool(self.pool());
+            }
+            return Ok(self.timed(Box::new(pipe), &slot));
+        }
         let input = self.build(input, depth + 1)?;
         let op: BoxedOp<'a> = if degree > 1 {
             // The morsel-parallel filter evaluates the same three-valued
@@ -519,7 +742,7 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
                 input,
                 predicate.clone(),
                 self.band,
-                degree,
+                self.pool(),
                 slot.clone(),
             ))
         } else {
@@ -732,7 +955,7 @@ impl<'a, S: ExecSource> Compiler<'a, S> {
         let r = self.build(right, depth + 1)?;
         let (lk, rk) = keys.into_iter().unzip();
         let op: BoxedOp<'a> = if degree > 1 {
-            Box::new(ParHashJoinOp::new(l, r, lk, rk, degree, slot.clone()))
+            Box::new(ParHashJoinOp::new(l, r, lk, rk, self.pool(), slot.clone()))
         } else {
             Box::new(HashJoinOp::new(l, r, lk, rk, slot.clone()))
         };

@@ -68,6 +68,7 @@ pub mod optimize;
 pub mod par_op;
 pub mod source;
 pub mod stats;
+pub mod vec_op;
 
 pub use adaptive::execute_adaptive;
 pub use compile::{compile, compile_band, compile_with, Pipeline};
@@ -78,11 +79,15 @@ pub use op::{
 };
 pub use optimize::{
     optimize, optimize_with, scope_info, JoinOrdering, OptimizeOptions, Optimized, ScopeInfo,
-    DEFAULT_PARALLEL_ROW_THRESHOLD,
+    DEFAULT_BATCH_ROWS, DEFAULT_PARALLEL_ROW_THRESHOLD,
 };
-pub use par_op::{ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp, ParProjectOp};
+pub use par_op::{
+    ParDifferenceOp, ParDivisionOp, ParEquiJoinOp, ParFilterOp, ParHashJoinOp, ParMinimizeOp,
+    ParProjectOp, ParXIntersectOp,
+};
 pub use source::ExecSource;
 pub use stats::{fmt_duration, ExecStats, OpStats, ReOptEvent};
+pub use vec_op::{RowSource, VectorPipeOp};
 
 use nullrel_core::algebra::Expr;
 use nullrel_core::error::CoreResult;

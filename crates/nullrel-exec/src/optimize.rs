@@ -80,6 +80,12 @@ pub enum JoinOrdering {
 /// costs would dwarf the per-row work.
 pub const DEFAULT_PARALLEL_ROW_THRESHOLD: u64 = 64;
 
+/// The default column-batch granularity of the vectorized scan pipeline,
+/// in rows: large enough that per-batch overheads (column allocation,
+/// selection vectors) amortise, small enough that a batch's columns stay
+/// cache-resident.
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
 /// Optimizer and engine knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct OptimizeOptions {
@@ -108,6 +114,20 @@ pub struct OptimizeOptions {
     /// `0` is the natural "off" spelling) mean `None`; any other finite
     /// number is the threshold.
     pub adaptive: Option<f64>,
+    /// Whether scan-rooted filter/project pipelines compile to the
+    /// vectorized batch-at-a-time operator ([`crate::vec_op::VectorPipeOp`])
+    /// instead of the tuple-at-a-time chain. Vectorized plans produce the
+    /// same rows, the same counter totals, and the same plan shape — the
+    /// only observable difference is the `batch=N` explain annotation. The
+    /// default reads `NULLREL_VECTORIZE`: only `0`, `off`, `false`, and
+    /// `no` (case-insensitive) disable it.
+    pub vectorize: bool,
+    /// Row granularity of the vectorized pipeline's column batches
+    /// (clamped to at least 1). The default reads `NULLREL_BATCH_SIZE`;
+    /// unset, empty, or unparsable values mean [`DEFAULT_BATCH_ROWS`].
+    /// `batch_size = 1` degenerates to one-row batches — the CI matrix
+    /// runs it to prove batching never changes results.
+    pub batch_size: usize,
 }
 
 impl OptimizeOptions {
@@ -116,6 +136,25 @@ impl OptimizeOptions {
     pub fn adaptive_from(value: Option<&str>) -> Option<f64> {
         let t = value?.trim().parse::<f64>().ok()?;
         (t.is_finite() && t >= 1.0).then_some(t)
+    }
+
+    /// Parses a `NULLREL_VECTORIZE`-style value: vectorization is on unless
+    /// explicitly switched off — a misspelled knob leaves the (equivalent)
+    /// faster path enabled rather than silently changing engines.
+    pub fn vectorize_from(value: Option<&str>) -> bool {
+        !matches!(
+            value.map(|v| v.trim().to_ascii_lowercase()).as_deref(),
+            Some("0" | "off" | "false" | "no")
+        )
+    }
+
+    /// Parses a `NULLREL_BATCH_SIZE`-style value: a positive row count, or
+    /// [`DEFAULT_BATCH_ROWS`] when unset/empty/unparsable/zero.
+    pub fn batch_size_from(value: Option<&str>) -> usize {
+        match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => DEFAULT_BATCH_ROWS,
+        }
     }
 }
 
@@ -127,6 +166,12 @@ impl Default for OptimizeOptions {
             parallel_row_threshold: DEFAULT_PARALLEL_ROW_THRESHOLD,
             adaptive: OptimizeOptions::adaptive_from(
                 std::env::var("NULLREL_ADAPTIVE").ok().as_deref(),
+            ),
+            vectorize: OptimizeOptions::vectorize_from(
+                std::env::var("NULLREL_VECTORIZE").ok().as_deref(),
+            ),
+            batch_size: OptimizeOptions::batch_size_from(
+                std::env::var("NULLREL_BATCH_SIZE").ok().as_deref(),
             ),
         }
     }
@@ -1213,5 +1258,39 @@ mod tests {
         let rebuilt = and_all(parts).unwrap();
         assert_eq!(rebuilt.comparisons().len(), 2);
         assert!(and_all(Vec::new()).is_none());
+    }
+
+    /// The documented `NULLREL_VECTORIZE` / `NULLREL_BATCH_SIZE` fallback
+    /// behavior, through the pure parsers (no process-global environment
+    /// mutation — tests in this binary run concurrently).
+    #[test]
+    fn vectorize_and_batch_knob_parsing() {
+        // Vectorization is opt-out: only the explicit "off" spellings
+        // disable it, and garbage leaves it on.
+        assert!(OptimizeOptions::vectorize_from(None));
+        assert!(OptimizeOptions::vectorize_from(Some("")));
+        assert!(OptimizeOptions::vectorize_from(Some("1")));
+        assert!(OptimizeOptions::vectorize_from(Some("definitely")));
+        for off in ["0", "off", "OFF", "false", " no "] {
+            assert!(!OptimizeOptions::vectorize_from(Some(off)), "{off:?}");
+        }
+        // Batch size: positive integers pass through, everything else is
+        // the default; zero cannot be requested (a zero-row batch would
+        // never make progress).
+        assert_eq!(OptimizeOptions::batch_size_from(None), DEFAULT_BATCH_ROWS);
+        assert_eq!(
+            OptimizeOptions::batch_size_from(Some("")),
+            DEFAULT_BATCH_ROWS
+        );
+        assert_eq!(
+            OptimizeOptions::batch_size_from(Some("abc")),
+            DEFAULT_BATCH_ROWS
+        );
+        assert_eq!(
+            OptimizeOptions::batch_size_from(Some("0")),
+            DEFAULT_BATCH_ROWS
+        );
+        assert_eq!(OptimizeOptions::batch_size_from(Some("1")), 1);
+        assert_eq!(OptimizeOptions::batch_size_from(Some(" 4096 ")), 4096);
     }
 }

@@ -19,7 +19,7 @@ use nullrel_core::universe::{AttrId, AttrSet};
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
 use nullrel_stats::StatisticsSource;
-use nullrel_storage::scan::{eq_scan, full_scan, ScanStats};
+use nullrel_storage::scan::{eq_scan, full_scan, full_scan_ref, ScanStats};
 use nullrel_storage::Database;
 
 /// A source of base relations with planner-grade metadata.
@@ -44,6 +44,15 @@ pub trait ExecSource: RelationSource + StatisticsSource {
             };
             (rows, stats)
         })
+    }
+
+    /// A full scan that *borrows* the stored rows — the zero-copy access
+    /// path of the vectorized batch engine, which materialises only the
+    /// rows surviving its fused filter instead of cloning the whole table
+    /// up front. Returning `None` (the default) sends the engine through
+    /// [`ExecSource::table_scan`]; it never affects correctness.
+    fn table_rows(&self, _name: &str) -> Option<(&[Tuple], ScanStats)> {
+        None
     }
 
     /// An index-backed equality probe on `attrs = key`, or `None` when the
@@ -81,6 +90,19 @@ impl ExecSource for HashMap<String, XRelation> {
     fn relation_scope(&self, name: &str) -> Option<AttrSet> {
         self.get(name).map(XRelation::scope)
     }
+
+    fn table_rows(&self, name: &str) -> Option<(&[Tuple], ScanStats)> {
+        self.get(name).map(|rel| {
+            let rows = rel.tuples();
+            let stats = ScanStats {
+                examined: rows.len(),
+                returned: rows.len(),
+                ni_rows: 0,
+                used_index: false,
+            };
+            (rows, stats)
+        })
+    }
 }
 
 impl ExecSource for Database {
@@ -90,6 +112,10 @@ impl ExecSource for Database {
 
     fn table_scan(&self, name: &str) -> Option<(Vec<Tuple>, ScanStats)> {
         self.table(name).ok().map(full_scan)
+    }
+
+    fn table_rows(&self, name: &str) -> Option<(&[Tuple], ScanStats)> {
+        self.table(name).ok().map(full_scan_ref)
     }
 
     fn index_probe(

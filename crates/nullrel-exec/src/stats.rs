@@ -42,6 +42,11 @@ pub struct OpStats {
     /// The degree of parallelism the planner granted this operator
     /// (0 or 1 = serial). Set at compile time, rendered as `par=N`.
     pub parallelism: usize,
+    /// The row granularity of the operator's column batches when it
+    /// executed on the vectorized path (0 = tuple-at-a-time). Set at
+    /// compile time from [`crate::optimize::OptimizeOptions::batch_size`],
+    /// rendered as `batch=N`.
+    pub batch_rows: usize,
     /// The total bucket count of the equi-depth histograms the optimizer
     /// consulted when estimating this operator (0 = min/max interpolation
     /// and uniform distinct-count guesses only). Rendered as `hist=N` so
@@ -75,6 +80,7 @@ impl PartialEq for OpStats {
             && self.build_rows == other.build_rows
             && self.est_rows == other.est_rows
             && self.parallelism == other.parallelism
+            && self.batch_rows == other.batch_rows
             && self.hist_buckets == other.hist_buckets
             && self.workers == other.workers
     }
@@ -101,11 +107,25 @@ impl OpStats {
 
     /// Folds a parallel stage's per-worker counters into this slot
     /// (accumulating across stages run by the same operator).
+    ///
+    /// Counters are **rank-merged**, not index-merged: with the
+    /// query-lifetime pool, "worker 0" of one stage and "worker 0" of the
+    /// next are whichever pool threads claimed that stage's first slot —
+    /// there is no per-operator thread identity to add along. Sorting both
+    /// sides by share (largest first) before zipping folds each stage's
+    /// largest share into the accumulated largest share, so the rendered
+    /// `workers=[…]` spread depends only on the per-stage distributions,
+    /// never on which pool thread happened to claim what.
     pub fn absorb_workers(&mut self, workers: &[WorkerCounter]) {
-        if self.workers.len() < workers.len() {
-            self.workers.resize(workers.len(), WorkerCounter::default());
+        let by_share = |c: &WorkerCounter| std::cmp::Reverse((c.rows_in, c.rows_out));
+        self.workers.sort_by_key(by_share);
+        let mut incoming = workers.to_vec();
+        incoming.sort_by_key(by_share);
+        if self.workers.len() < incoming.len() {
+            self.workers
+                .resize(incoming.len(), WorkerCounter::default());
         }
-        for (slot, w) in self.workers.iter_mut().zip(workers) {
+        for (slot, w) in self.workers.iter_mut().zip(&incoming) {
             slot.add(w.rows_in, w.rows_out);
         }
     }
@@ -273,6 +293,9 @@ impl ExecStats {
         }
         if op.hist_buckets > 0 {
             out.push_str(&format!(" hist={}", op.hist_buckets));
+        }
+        if op.batch_rows > 0 {
+            out.push_str(&format!(" batch={}", op.batch_rows));
         }
         if op.parallelism > 1 {
             out.push_str(&format!(" par={}", op.parallelism));
@@ -455,5 +478,54 @@ mod tests {
         let text = stats.render();
         assert!(text.contains("Minimize (in=0 out=2)"));
         assert!(text.contains("  IndexScan EMP (in=5 out=3 ni=1 index)"));
+    }
+
+    /// Multi-stage pooled operators (equijoin: two minimise stages plus the
+    /// partitioned join) absorb several worker-counter vectors into one
+    /// slot. The fold must be independent of which pool thread claimed
+    /// which slot — only the per-stage *distributions* may matter.
+    #[test]
+    fn absorb_workers_rank_merges_across_stages() {
+        let counter = |rows_in: usize, rows_out: usize| {
+            let mut c = WorkerCounter::default();
+            c.add(rows_in, rows_out);
+            c
+        };
+        let stage_a = [counter(100, 80), counter(10, 5)];
+        // The same stage pair, but the pool threads claimed opposite slots
+        // in the second stage.
+        let stage_b = [counter(20, 20), counter(200, 150)];
+        let stage_b_swapped = [counter(200, 150), counter(20, 20)];
+        let mut one = OpStats::default();
+        one.absorb_workers(&stage_a);
+        one.absorb_workers(&stage_b);
+        let mut two = OpStats::default();
+        two.absorb_workers(&stage_a);
+        two.absorb_workers(&stage_b_swapped);
+        assert_eq!(one, two, "aggregate spread is claim-order independent");
+        let spreads: Vec<(usize, usize)> = one
+            .workers
+            .iter()
+            .map(|w| (w.rows_in, w.rows_out))
+            .collect();
+        assert_eq!(spreads, vec![(300, 230), (30, 25)]);
+    }
+
+    #[test]
+    fn batch_annotation_renders_and_distinguishes() {
+        let mut op = OpStats {
+            label: "Filter X".into(),
+            rows_in: 10,
+            rows_out: 4,
+            ..OpStats::default()
+        };
+        assert!(!ExecStats::op_line(&op).contains("batch="));
+        op.batch_rows = 1024;
+        assert!(ExecStats::op_line(&op).contains(" batch=1024"));
+        let scalar = OpStats {
+            batch_rows: 0,
+            ..op.clone()
+        };
+        assert_ne!(op, scalar, "batch_rows participates in equality");
     }
 }

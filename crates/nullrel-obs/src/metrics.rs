@@ -278,6 +278,22 @@ pub static HASH_JOIN_PROBES: Counter = Counter::new(
     "Probe-side rows driven through hash joins",
 );
 
+/// Column batches processed by vectorized operators. Counted once per
+/// batch — the vectorized engine's replacement for per-tuple bookkeeping:
+/// a thousand-row batch costs one atomic add, not a thousand.
+pub static BATCHES_PROCESSED: Counter = Counter::new(
+    "nullrel_batches_processed_total",
+    "Column batches processed by vectorized operators",
+);
+
+/// Rows carried through the vectorized batch path (scan output of fused
+/// batch pipelines). Compared against `nullrel_rows_scanned_total`, shows
+/// what fraction of scan traffic the vectorized engine absorbed.
+pub static ROWS_VECTORIZED: Counter = Counter::new(
+    "nullrel_rows_vectorized_total",
+    "Rows processed through the vectorized batch path",
+);
+
 /// Histogram rebuilds performed by the statistics collector.
 pub static HISTOGRAM_REBUILDS: Counter = Counter::new(
     "nullrel_histogram_rebuilds_total",
@@ -417,6 +433,8 @@ fn ensure_catalog() {
         register_counter(&ROWS_MINIMIZED);
         register_counter(&HASH_JOIN_BUILDS);
         register_counter(&HASH_JOIN_PROBES);
+        register_counter(&BATCHES_PROCESSED);
+        register_counter(&ROWS_VECTORIZED);
         register_counter(&HISTOGRAM_REBUILDS);
         register_counter(&INDEX_REBUILDS);
         register_counter(&REOPT_EVENTS);

@@ -1,0 +1,329 @@
+//! Parallel drain-heavy lattice operators: difference, x-intersection,
+//! and division.
+//!
+//! These three operators share a shape the per-tuple pipeline cannot
+//! parallelise: one side is drained into a build structure (a subsumption
+//! index, the materialised intersectand, the divisor), and the other side
+//! is then probed row by row. With the batch representation the probe side
+//! splits into morsels and fans out on the query's [`QueryPool`], while the
+//! build structure is shared read-only through an `Arc`. Outputs are
+//! concatenated in morsel order, so every entry point returns exactly the
+//! rows the serial operator streams, in the same order, at every degree.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use nullrel_core::error::{CoreError, CoreResult};
+use nullrel_core::lattice::hashed::TupleIndex;
+use nullrel_core::tuple::Tuple;
+use nullrel_core::universe::{AttrId, AttrSet};
+
+use crate::pool::QueryPool;
+use crate::stage::{morsels, StageOutcome};
+
+/// The parallel lattice difference (4.8): keeps the left rows dominated by
+/// no right row. The subtrahend is built into one inverted-cell
+/// [`TupleIndex`] on the coordinator; left morsels probe it concurrently.
+/// Domination is monotone downward, so the per-morsel probes are
+/// independent and the concatenation equals the serial stream.
+pub fn par_difference(
+    left: Vec<Tuple>,
+    right: &[Tuple],
+    pool: &QueryPool,
+    morsel_rows: usize,
+) -> CoreResult<StageOutcome> {
+    let index = Arc::new(TupleIndex::build(right));
+    let parts = morsels(left, morsel_rows);
+    let (outputs, workers) = pool.run(
+        "difference",
+        parts,
+        Arc::new(move |_w, _i, part: Vec<Tuple>| {
+            let rows_in = part.len();
+            let kept: Vec<Tuple> = part.into_iter().filter(|t| !index.x_contains(t)).collect();
+            let rows_out = kept.len();
+            Ok((kept, rows_in, rows_out))
+        }),
+    )?;
+    Ok(StageOutcome {
+        rows: outputs.into_iter().flatten().collect(),
+        workers,
+        ni_rows: 0,
+    })
+}
+
+/// The parallel x-intersection (4.7): the pairwise tuple meets `r₁ ∧ r₂`.
+/// The right side is materialised once and shared; each left morsel emits
+/// its meets in left-major, right-minor order — the serial `IntersectOp`'s
+/// emission order — and null meets are dropped (they carry no information).
+pub fn par_x_intersect(
+    left: Vec<Tuple>,
+    right: Vec<Tuple>,
+    pool: &QueryPool,
+    morsel_rows: usize,
+) -> CoreResult<StageOutcome> {
+    let right = Arc::new(right);
+    let parts = morsels(left, morsel_rows);
+    let (outputs, workers) = pool.run(
+        "x-intersect",
+        parts,
+        Arc::new(move |_w, _i, part: Vec<Tuple>| {
+            let rows_in = part.len();
+            let mut meets = Vec::new();
+            for t in &part {
+                for r in right.iter() {
+                    let m = t.meet(r);
+                    if !m.is_null_tuple() {
+                        meets.push(m);
+                    }
+                }
+            }
+            let rows_out = meets.len();
+            Ok((meets, rows_in, rows_out))
+        }),
+    )?;
+    Ok(StageOutcome {
+        rows: outputs.into_iter().flatten().collect(),
+        workers,
+        ni_rows: 0,
+    })
+}
+
+/// The parallel Y-quotient `R̂(÷Y)Ŝ` (Section 6), by the direct
+/// characterisation (6.3)/(6.5).
+///
+/// The coordinator performs the serial prologue exactly as `DivisionOp`
+/// does — the divisor/`Y` scope-disjointness check, the first-seen
+/// dedup of `Y`-total candidate values in input order, the `ni` tally of
+/// `Y`-incomplete rows, and the dividend's inverted-cell [`TupleIndex`] —
+/// then fans the candidate qualification out: each candidate needs every
+/// divisor row `z` to satisfy `y ∨ z ∈̂ R̂`, checks that are independent
+/// per candidate. Qualifying candidates come back in candidate
+/// (first-seen) order, matching the serial emission order.
+///
+/// The outcome's `ni_rows` is the division's maybe band; its workers'
+/// `rows_in` count candidates checked (the caller accounts dividend rows).
+pub fn par_division(
+    input: Vec<Tuple>,
+    divisor: Vec<Tuple>,
+    y: &AttrSet,
+    pool: &QueryPool,
+    morsel_rows: usize,
+) -> CoreResult<StageOutcome> {
+    let mut divisor_scope = AttrSet::new();
+    for z in &divisor {
+        divisor_scope.extend(z.defined_attrs());
+    }
+    let shared: Vec<AttrId> = y.intersection(&divisor_scope).copied().collect();
+    if !shared.is_empty() {
+        return Err(CoreError::ScopeOverlap { shared });
+    }
+    let mut seen: HashSet<Tuple> = HashSet::new();
+    let mut candidates: Vec<Tuple> = Vec::new();
+    let mut ni_rows = 0usize;
+    for r in &input {
+        if !r.is_total_on(y) {
+            // A Y-incomplete row can never witness a quotient value for
+            // sure: it is the ni band of the division.
+            ni_rows += 1;
+            continue;
+        }
+        let y_value = r.project(y);
+        if seen.insert(y_value.clone()) {
+            candidates.push(y_value);
+        }
+    }
+    let index = Arc::new(TupleIndex::build(&input));
+    let divisor = Arc::new(divisor);
+    let parts = morsels(candidates, morsel_rows);
+    let (outputs, workers) = pool.run(
+        "division",
+        parts,
+        Arc::new(move |_w, _i, part: Vec<Tuple>| {
+            let rows_in = part.len();
+            let qualifying: Vec<Tuple> = part
+                .into_iter()
+                .filter(|y_value| {
+                    divisor.iter().all(|z| {
+                        y_value
+                            .join(z)
+                            .is_some_and(|joined| index.x_contains(&joined))
+                    })
+                })
+                .collect();
+            let rows_out = qualifying.len();
+            Ok((qualifying, rows_in, rows_out))
+        }),
+    )?;
+    Ok(StageOutcome {
+        rows: outputs.into_iter().flatten().collect(),
+        workers,
+        ni_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nullrel_core::algebra::divide;
+    use nullrel_core::lattice::{difference, x_intersection};
+    use nullrel_core::universe::{attr_set, Universe};
+    use nullrel_core::value::Value;
+    use nullrel_core::xrel::XRelation;
+
+    fn setup() -> (Universe, AttrId, AttrId, AttrId) {
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let c = u.intern("C");
+        (u, a, b, c)
+    }
+
+    fn rows(a: AttrId, b: AttrId, n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                let t = Tuple::new().with(a, Value::int(i % 11));
+                if i % 4 == 0 {
+                    t // B stays ni: partial tuples exercise domination
+                } else {
+                    t.with(b, Value::int(i % 7))
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn par_difference_matches_the_lattice_oracle() {
+        let (_u, a, b, _c) = setup();
+        let left = XRelation::from_tuples(rows(a, b, 300));
+        let right = XRelation::from_tuples(rows(a, b, 90));
+        let oracle = difference(&left, &right);
+        for threads in [1, 2, 4] {
+            let pool = QueryPool::new(threads);
+            let out = par_difference(left.tuples().to_vec(), right.tuples(), &pool, 16).unwrap();
+            assert_eq!(
+                XRelation::from_tuples(out.rows),
+                oracle,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_difference_preserves_serial_probe_order() {
+        let (_u, a, b, _c) = setup();
+        let left = rows(a, b, 120);
+        let right = rows(a, b, 40);
+        let index = TupleIndex::build(&right);
+        let serial: Vec<Tuple> = left
+            .iter()
+            .filter(|t| !index.x_contains(t))
+            .cloned()
+            .collect();
+        for threads in [1, 4] {
+            let pool = QueryPool::new(threads);
+            let out = par_difference(left.clone(), &right, &pool, 7).unwrap();
+            assert_eq!(out.rows, serial, "threads={threads}");
+            assert_eq!(
+                out.workers.iter().map(|w| w.rows_in).sum::<usize>(),
+                left.len()
+            );
+        }
+    }
+
+    #[test]
+    fn par_x_intersect_matches_the_lattice_oracle() {
+        let (_u, a, b, _c) = setup();
+        let left = XRelation::from_tuples(rows(a, b, 80));
+        let right = XRelation::from_tuples(rows(a, b, 60));
+        let oracle = x_intersection(&left, &right);
+        for threads in [1, 2, 4] {
+            let pool = QueryPool::new(threads);
+            let out =
+                par_x_intersect(left.tuples().to_vec(), right.tuples().to_vec(), &pool, 9).unwrap();
+            assert_eq!(
+                XRelation::from_tuples(out.rows),
+                oracle,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_x_intersect_preserves_serial_meet_order() {
+        let (_u, a, b, _c) = setup();
+        let left = rows(a, b, 30);
+        let right = rows(a, b, 20);
+        let mut serial = Vec::new();
+        for t in &left {
+            for r in &right {
+                let m = t.meet(r);
+                if !m.is_null_tuple() {
+                    serial.push(m);
+                }
+            }
+        }
+        for threads in [1, 4] {
+            let pool = QueryPool::new(threads);
+            let out = par_x_intersect(left.clone(), right.clone(), &pool, 4).unwrap();
+            assert_eq!(out.rows, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_division_matches_the_algebra_oracle() {
+        // The paper's running query shape: suppliers × parts, divide by a
+        // part set, with ni holes in both the quotient and divisor columns.
+        let (_u, s, p, _c) = setup();
+        let mk = |sv: Option<i64>, pv: Option<i64>| {
+            Tuple::new()
+                .with_opt(s, sv.map(Value::int))
+                .with_opt(p, pv.map(Value::int))
+        };
+        let input: Vec<Tuple> = (0..12)
+            .flat_map(|i| {
+                [
+                    mk(Some(i % 5), Some(i % 3)),
+                    mk(Some(i % 5), if i % 4 == 0 { None } else { Some(i % 4) }),
+                    mk(if i % 6 == 0 { None } else { Some(i % 6) }, Some(i % 2)),
+                ]
+            })
+            .collect();
+        let divisor: Vec<Tuple> = (0..3).map(|i| mk(None, Some(i))).collect();
+        let y = attr_set([s]);
+        let oracle = divide(
+            &XRelation::from_tuples(input.clone()),
+            &y,
+            &XRelation::from_tuples(divisor.clone()),
+        )
+        .unwrap();
+        for threads in [1, 2, 4] {
+            let pool = QueryPool::new(threads);
+            let out = par_division(input.clone(), divisor.clone(), &y, &pool, 2).unwrap();
+            assert_eq!(
+                XRelation::from_tuples(out.rows),
+                oracle,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn par_division_counts_the_ni_band_and_rejects_scope_overlap() {
+        let (_u, s, p, _c) = setup();
+        let y = attr_set([s]);
+        let input = vec![
+            Tuple::new().with(s, Value::int(1)).with(p, Value::int(1)),
+            Tuple::new().with(p, Value::int(2)), // Y-incomplete: ni band
+        ];
+        let divisor = vec![Tuple::new().with(p, Value::int(1))];
+        let pool = QueryPool::new(4);
+        let out = par_division(input.clone(), divisor, &y, &pool, 8).unwrap();
+        assert_eq!(out.ni_rows, 1);
+        // Divisor scope overlapping Y is the algebra's error, verbatim.
+        let clash = vec![Tuple::new().with(s, Value::int(9))];
+        assert!(matches!(
+            par_division(input, clash, &y, &pool, 8),
+            Err(CoreError::ScopeOverlap { .. })
+        ));
+    }
+}

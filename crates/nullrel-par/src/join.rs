@@ -15,17 +15,17 @@
 //! dangling tuples; the plain joins drop them), counted exactly as the
 //! serial operators count them.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use nullrel_core::algebra::{equijoin_parts, normalize_on};
+use nullrel_core::batch::key_hashes;
 use nullrel_core::error::{CoreError, CoreResult};
 use nullrel_core::tuple::Tuple;
 use nullrel_core::universe::{AttrId, AttrSet};
 use nullrel_core::value::Value;
 
-use crate::pool::{run_tasks, WorkerCounter};
+use crate::pool::{QueryPool, WorkerCounter};
 use crate::stage::par_minimize;
 
 /// The output of a partitioned join.
@@ -40,49 +40,36 @@ pub struct JoinOutcome {
     pub ni_rows: usize,
 }
 
-/// A deterministic partition number for a normalized key. `DefaultHasher`
-/// is keyed with constants (unlike a `HashMap`'s per-instance random
-/// state), so the partitioning — and therefore the output order — is
-/// stable across runs and thread counts.
-fn partition_of(key: &[Value], partitions: usize) -> usize {
-    let mut h = DefaultHasher::new();
-    key.hash(&mut h);
-    (h.finish() % partitions as u64) as usize
-}
-
 /// How many partitions to split into for a worker count: a few per worker,
 /// so one heavy key-group does not serialise the whole join.
 fn partition_count(threads: usize) -> usize {
     threads.max(1) * 4
 }
 
-/// Splits rows into `partitions` buckets by the hash of the key `key_of`
-/// extracts (which must already be normalized — both join families route
-/// through [`normalized_key`], so equal keys always share a bucket). Rows
-/// whose key is `None` (an `ni` cell somewhere in it) go to the overflow
-/// bucket: they can never match, and the caller tallies them into the
-/// `ni` band.
+/// Splits rows into `partitions` buckets by the hash of their normalized
+/// key over `keys`, computed by the columnar [`key_hashes`] kernel (one
+/// gather, then one tight hashing loop — no per-row `Vec<Value>` key
+/// materialisation). The kernel hashes cells through their normalization,
+/// so `Int(2)` and `Float(2.0)` share a bucket, and the constant-keyed
+/// hash makes the partitioning — and therefore the output order — stable
+/// across runs and thread counts. Rows whose key hash is `None` (an `ni`
+/// cell somewhere in the key) go to the overflow bucket: they can never
+/// match, and the caller tallies them into the `ni` band.
 fn partition_rows(
     rows: Vec<Tuple>,
     partitions: usize,
-    key_of: impl Fn(&Tuple) -> Option<Vec<Value>>,
+    keys: &[AttrId],
 ) -> (Vec<Vec<Tuple>>, Vec<Tuple>) {
+    let hashes = key_hashes(&rows, keys);
     let mut parts: Vec<Vec<Tuple>> = (0..partitions).map(|_| Vec::new()).collect();
     let mut keyless = Vec::new();
-    for t in rows {
-        match key_of(&t) {
-            Some(key) => parts[partition_of(&key, partitions)].push(t),
+    for (t, h) in rows.into_iter().zip(hashes) {
+        match h {
+            Some(h) => parts[(h % partitions as u64) as usize].push(t),
             None => keyless.push(t),
         }
     }
     (parts, keyless)
-}
-
-/// The normalized join key of a tuple over attribute-list keys: every cell
-/// through [`Value::join_key`], `None` if any cell is `ni`.
-fn normalized_key(t: &Tuple, key_attrs: &[AttrId]) -> Option<Vec<Value>> {
-    t.key_on(key_attrs)
-        .map(|key| key.into_iter().map(|v| v.join_key()).collect())
 }
 
 /// The partitioned disjoint-scope hash join (the physical `HashJoin`):
@@ -94,45 +81,51 @@ pub fn par_hash_join(
     right: Vec<Tuple>,
     left_keys: &[AttrId],
     right_keys: &[AttrId],
-    threads: usize,
+    pool: &QueryPool,
 ) -> CoreResult<JoinOutcome> {
     assert_eq!(left_keys.len(), right_keys.len(), "key lists must pair up");
     assert!(!left_keys.is_empty(), "hash join needs at least one key");
-    let partitions = partition_count(threads);
-    let (left_parts, left_keyless) =
-        partition_rows(left, partitions, |t| normalized_key(t, left_keys));
-    let (right_parts, right_keyless) =
-        partition_rows(right, partitions, |t| normalized_key(t, right_keys));
+    let partitions = partition_count(pool.degree());
+    let (left_parts, left_keyless) = partition_rows(left, partitions, left_keys);
+    let (right_parts, right_keyless) = partition_rows(right, partitions, right_keys);
     let ni_rows = left_keyless.len() + right_keyless.len();
     let tasks: Vec<(Vec<Tuple>, Vec<Tuple>)> = left_parts.into_iter().zip(right_parts).collect();
-    let (outputs, workers) = run_tasks(threads, tasks, |_w, _i, (probe, build)| {
-        let rows_in = probe.len() + build.len();
-        let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
-        for t in build {
-            let key = t
-                .key_on(right_keys)
-                .expect("keyless rows were routed to the overflow bucket");
-            let normalized: Vec<Value> = key.into_iter().map(|v| v.join_key()).collect();
-            table.entry(normalized).or_default().push(t);
-        }
-        let mut joined = Vec::new();
-        for t in probe {
-            let key = t
-                .key_on(left_keys)
-                .expect("keyless rows were routed to the overflow bucket");
-            let normalized: Vec<Value> = key.into_iter().map(|v| v.join_key()).collect();
-            if let Some(matches) = table.get(&normalized) {
-                for m in matches {
-                    let pair = t.join(m).ok_or_else(|| {
-                        CoreError::Invariant("hash join inputs must have disjoint scopes".into())
-                    })?;
-                    joined.push(pair);
+    let left_keys = left_keys.to_vec();
+    let right_keys = right_keys.to_vec();
+    let (outputs, workers) = pool.run(
+        "hash join",
+        tasks,
+        Arc::new(move |_w, _i, (probe, build): (Vec<Tuple>, Vec<Tuple>)| {
+            let rows_in = probe.len() + build.len();
+            let mut table: HashMap<Vec<Value>, Vec<Tuple>> = HashMap::new();
+            for t in build {
+                let key = t
+                    .key_on(&right_keys)
+                    .expect("keyless rows were routed to the overflow bucket");
+                let normalized: Vec<Value> = key.into_iter().map(|v| v.join_key()).collect();
+                table.entry(normalized).or_default().push(t);
+            }
+            let mut joined = Vec::new();
+            for t in probe {
+                let key = t
+                    .key_on(&left_keys)
+                    .expect("keyless rows were routed to the overflow bucket");
+                let normalized: Vec<Value> = key.into_iter().map(|v| v.join_key()).collect();
+                if let Some(matches) = table.get(&normalized) {
+                    for m in matches {
+                        let pair = t.join(m).ok_or_else(|| {
+                            CoreError::Invariant(
+                                "hash join inputs must have disjoint scopes".into(),
+                            )
+                        })?;
+                        joined.push(pair);
+                    }
                 }
             }
-        }
-        let rows_out = joined.len();
-        Ok((joined, rows_in, rows_out))
-    })?;
+            let rows_out = joined.len();
+            Ok((joined, rows_in, rows_out))
+        }),
+    )?;
     Ok(JoinOutcome {
         rows: outputs.into_iter().flatten().collect(),
         workers,
@@ -156,11 +149,12 @@ pub fn par_equijoin(
     right: Vec<Tuple>,
     on: &AttrSet,
     keep_dangling: bool,
-    threads: usize,
+    pool: &QueryPool,
 ) -> CoreResult<JoinOutcome> {
     if on.is_empty() {
         return Err(CoreError::EmptyAttributeList);
     }
+    let threads = pool.degree();
     let (left_len, right_len) = (left.len(), right.len());
     let key_attrs: Vec<AttrId> = on.iter().copied().collect();
     let mut workers_all: Vec<WorkerCounter> = Vec::new();
@@ -177,49 +171,51 @@ pub fn par_equijoin(
     // conflicts), so reduce both sides first — in parallel.
     let left_min = par_minimize(
         left,
-        threads,
+        pool,
         crate::stage::adaptive_morsel_rows(left_len, threads),
     )?;
     fold(left_min.workers);
     let right_min = par_minimize(
         right,
-        threads,
+        pool,
         crate::stage::adaptive_morsel_rows(right_len, threads),
     )?;
     fold(right_min.workers);
 
     let partitions = partition_count(threads);
-    // Partition on the same normalized key the equijoin core buckets on
-    // (normalize_on touches exactly the X cells, so this equals
-    // `normalized_key` over them).
-    let (left_parts, left_keyless) = partition_rows(left_min.rows, partitions, |t| {
-        normalized_key(&normalize_on(t, on), &key_attrs)
-    });
-    let (right_parts, right_keyless) = partition_rows(right_min.rows, partitions, |t| {
-        normalized_key(&normalize_on(t, on), &key_attrs)
-    });
+    // Partition on the same normalized key the equijoin core buckets on:
+    // the kernel normalizes exactly the X cells it hashes, so this equals
+    // hashing `normalize_on`'s output.
+    let (left_parts, left_keyless) = partition_rows(left_min.rows, partitions, &key_attrs);
+    let (right_parts, right_keyless) = partition_rows(right_min.rows, partitions, &key_attrs);
     let ni_rows = left_keyless.len() + right_keyless.len();
 
     let tasks: Vec<(Vec<Tuple>, Vec<Tuple>)> = left_parts.into_iter().zip(right_parts).collect();
-    let (outputs, workers) = run_tasks(threads, tasks, |_w, _i, (l, r)| {
-        let rows_in = l.len() + r.len();
-        let parts = equijoin_parts(&l, &r, on)?;
-        let mut out = parts.joined;
-        if keep_dangling {
-            for t in &l {
-                if !parts.left_participants.contains(&normalize_on(t, on)) {
-                    out.push(t.clone());
+    let on_owned = on.clone();
+    let (outputs, workers) = pool.run(
+        "equijoin",
+        tasks,
+        Arc::new(move |_w, _i, (l, r): (Vec<Tuple>, Vec<Tuple>)| {
+            let on = &on_owned;
+            let rows_in = l.len() + r.len();
+            let parts = equijoin_parts(&l, &r, on)?;
+            let mut out = parts.joined;
+            if keep_dangling {
+                for t in &l {
+                    if !parts.left_participants.contains(&normalize_on(t, on)) {
+                        out.push(t.clone());
+                    }
+                }
+                for t in &r {
+                    if !parts.right_participants.contains(&normalize_on(t, on)) {
+                        out.push(t.clone());
+                    }
                 }
             }
-            for t in &r {
-                if !parts.right_participants.contains(&normalize_on(t, on)) {
-                    out.push(t.clone());
-                }
-            }
-        }
-        let rows_out = out.len();
-        Ok((out, rows_in, rows_out))
-    })?;
+            let rows_out = out.len();
+            Ok((out, rows_in, rows_out))
+        }),
+    )?;
     fold(workers);
     let mut rows: Vec<Tuple> = outputs.into_iter().flatten().collect();
     if keep_dangling {
@@ -290,7 +286,8 @@ mod tests {
         }
         let reference = XRelation::from_tuples(reference);
         for threads in [1, 2, 4] {
-            let out = par_hash_join(left.clone(), right.clone(), &[k], &[k2], threads).unwrap();
+            let pool = QueryPool::new(threads);
+            let out = par_hash_join(left.clone(), right.clone(), &[k], &[k2], &pool).unwrap();
             assert_eq!(
                 XRelation::from_tuples(out.rows.clone()),
                 reference,
@@ -302,7 +299,13 @@ mod tests {
         // invariant, exactly like the serial HashJoinOp.
         let clash = vec![Tuple::new().with(a, Value::int(-1)).with(k2, Value::int(1))];
         for threads in [1, 4] {
-            let out = par_hash_join(left.clone(), clash.clone(), &[k], &[k2], threads);
+            let out = par_hash_join(
+                left.clone(),
+                clash.clone(),
+                &[k],
+                &[k2],
+                &QueryPool::new(threads),
+            );
             assert!(matches!(out, Err(CoreError::Invariant(_))));
         }
     }
@@ -327,12 +330,13 @@ mod tests {
         let ej_oracle = equijoin(&left, &right, &on).unwrap();
         let uj_oracle = union_join(&left, &right, &on).unwrap();
         for threads in [1, 2, 4] {
+            let pool = QueryPool::new(threads);
             let ej = par_equijoin(
                 left.tuples().to_vec(),
                 right.tuples().to_vec(),
                 &on,
                 false,
-                threads,
+                &pool,
             )
             .unwrap();
             assert_eq!(
@@ -345,7 +349,7 @@ mod tests {
                 right.tuples().to_vec(),
                 &on,
                 true,
-                threads,
+                &pool,
             )
             .unwrap();
             assert_eq!(
@@ -378,7 +382,14 @@ mod tests {
         )
         .unwrap();
         for threads in [1, 4] {
-            let out = par_equijoin(left.clone(), right.clone(), &on, false, threads).unwrap();
+            let out = par_equijoin(
+                left.clone(),
+                right.clone(),
+                &on,
+                false,
+                &QueryPool::new(threads),
+            )
+            .unwrap();
             assert_eq!(XRelation::from_tuples(out.rows), oracle);
         }
     }
@@ -386,7 +397,13 @@ mod tests {
     #[test]
     fn empty_key_list_errors() {
         assert!(matches!(
-            par_equijoin(Vec::new(), Vec::new(), &AttrSet::new(), false, 2),
+            par_equijoin(
+                Vec::new(),
+                Vec::new(),
+                &AttrSet::new(),
+                false,
+                &QueryPool::new(2)
+            ),
             Err(CoreError::EmptyAttributeList)
         ));
     }

@@ -8,9 +8,12 @@
 //! stats slots — it operates on owned tuple vectors and returns per-worker
 //! counters the engine folds into its own `ExecStats`. Three layers:
 //!
-//! * [`pool`] — the scheduler: a fixed set of scoped worker threads pulling
-//!   task indices from a shared atomic counter (morsel-driven scheduling:
-//!   work is claimed, never pre-assigned, so fast workers absorb skew).
+//! * [`pool`] — the schedulers: the query-lifetime [`QueryPool`] (a fixed
+//!   set of persistent threads spawned once per query and shared by every
+//!   parallel operator in its pipeline) and the scoped [`run_tasks`]
+//!   fallback. Both pull task indices from a shared atomic counter
+//!   (morsel-driven scheduling: work is claimed, never pre-assigned, so
+//!   fast workers absorb skew).
 //! * [`stage`] — embarrassingly parallel pipeline stages over morsels:
 //!   three-valued filtering, projection, and the **partitioned minimise**
 //!   (per-morsel local antichains reduced by the
@@ -22,6 +25,9 @@
 //!   every partition is built and probed independently. Covers the
 //!   disjoint-scope [`join::par_hash_join`] and the shared-key
 //!   [`join::par_equijoin`] (with the union-join's dangling-tuple pass).
+//! * [`drain`] — the drain-heavy lattice operators (difference,
+//!   x-intersection, division): one side becomes a shared read-only build
+//!   structure, the probe side fans out in morsels on the pool.
 //!
 //! Determinism: given the same inputs, every entry point returns the same
 //! rows in the same order regardless of thread count or scheduling — tasks
@@ -39,12 +45,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod drain;
 pub mod join;
 pub mod pool;
 pub mod stage;
 
+pub use drain::{par_difference, par_division, par_x_intersect};
 pub use join::{par_equijoin, par_hash_join, JoinOutcome};
-pub use pool::{run_tasks, WorkerCounter};
+pub use pool::{run_tasks, run_tasks_labeled, QueryPool, TaskFn, WorkerCounter};
 pub use stage::{
     adaptive_morsel_rows, morsels, par_filter, par_minimize, par_project, StageOutcome,
     DEFAULT_MORSEL_ROWS, MIN_MORSEL_ROWS,

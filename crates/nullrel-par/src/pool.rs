@@ -1,16 +1,27 @@
 //! The morsel-driven worker-pool scheduler.
 //!
-//! A fixed set of scoped `std::thread` workers pulls task indices from one
-//! shared atomic counter until the task list is exhausted — the
-//! morsel-driven discipline: work is *claimed* by whichever worker is free,
-//! never pre-assigned, so a skewed morsel slows only the worker that
-//! claimed it. Results land in their task's slot, so output order is
-//! task order and therefore independent of scheduling.
+//! Two schedulers share the morsel-claim discipline — work is *claimed*
+//! from one shared atomic counter by whichever worker is free, never
+//! pre-assigned, so a skewed morsel slows only the worker that claimed it;
+//! results land in their task's slot, so output order is task order and
+//! therefore independent of scheduling:
+//!
+//! * [`QueryPool`] — the **query-lifetime pool**: a fixed set of
+//!   persistent threads spawned once per query and shared by every
+//!   parallel operator in its pipeline. Stages enqueue owned batch tasks;
+//!   idle pool threads sleep on a condvar between stages instead of being
+//!   re-spawned per operator.
+//! * [`run_tasks`] — the scoped fallback: per-call `std::thread::scope`
+//!   workers for one-shot callers that want to borrow from the stack.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
 
 use nullrel_core::error::CoreResult;
+
+use crate::MAX_THREADS;
 
 /// Per-worker row counters, reported by every parallel stage so the
 /// engine's explain output can show how evenly the morsels spread.
@@ -146,10 +157,356 @@ where
     Ok((outputs, counters))
 }
 
+/// The per-task closure of a pooled stage: `(worker, task_index, input)`
+/// to `(output, rows_in, rows_out)`. Pooled tasks outlive the enqueueing
+/// stack frame, so the closure owns its captures (`'static`) and is shared
+/// by every worker through an `Arc`.
+pub type TaskFn<In, Out> =
+    dyn Fn(usize, usize, In) -> CoreResult<(Out, usize, usize)> + Send + Sync;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    available: Condvar,
+}
+
+#[derive(Default)]
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+/// The shared state of one pooled stage: the task slots, the claim
+/// counter, and the completion latch the coordinator blocks on.
+struct JobState<In, Out> {
+    tasks: Vec<Mutex<Option<In>>>,
+    results: Vec<Mutex<Option<CoreResult<Out>>>>,
+    counters: Vec<Mutex<WorkerCounter>>,
+    next: AtomicUsize,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+/// Checks a runner out of its job when it finishes — or unwinds — so the
+/// coordinator's completion wait can never hang on a panicked task.
+struct Checkout<'a> {
+    remaining: &'a Mutex<usize>,
+    done: &'a Condvar,
+}
+
+impl Drop for Checkout<'_> {
+    fn drop(&mut self) {
+        let mut remaining = self
+            .remaining
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        *remaining -= 1;
+        self.done.notify_all();
+    }
+}
+
+/// A query-lifetime worker pool: `degree - 1 + 1` persistent threads — in
+/// fact exactly `degree` when `degree > 1`, none otherwise — spawned once
+/// and shared by **every** parallel operator of one query's pipeline.
+///
+/// Each [`QueryPool::run`] call enqueues one *runner* per effective worker
+/// (`min(degree, tasks)`); runners claim task indices from a shared atomic
+/// counter exactly like the scoped scheduler, so outputs keep task order,
+/// per-worker counters have a deterministic length, and the
+/// `nullrel_morsels_claimed_total{worker=…}` metric and per-worker trace
+/// lanes are preserved. Between stages the threads sleep on a condvar;
+/// dropping the pool shuts them down and joins them.
+///
+/// Degree-1 pools spawn nothing and run every stage inline on the caller's
+/// thread — the serial engine stays allocation-identical.
+pub struct QueryPool {
+    degree: usize,
+    shared: Arc<PoolShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for QueryPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryPool")
+            .field("degree", &self.degree)
+            .field("threads", &self.handles.len())
+            .finish()
+    }
+}
+
+impl QueryPool {
+    /// A pool that may fan stages out onto up to `degree` workers
+    /// (clamped to [`MAX_THREADS`]). `degree <= 1` spawns no threads.
+    pub fn new(degree: usize) -> QueryPool {
+        let degree = degree.clamp(1, MAX_THREADS);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState::default()),
+            available: Condvar::new(),
+        });
+        let handles = if degree > 1 {
+            (0..degree)
+                .map(|_| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::spawn(move || worker_loop(&shared))
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        QueryPool {
+            degree,
+            shared,
+            handles,
+        }
+    }
+
+    /// The degree of parallelism the pool was built for.
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Runs `f(worker, task_index, input)` over every input on the pool's
+    /// persistent workers, returning outputs **in task order** plus the
+    /// per-worker counters. The pooled twin of [`run_tasks_labeled`]:
+    /// identical claim discipline, metrics, tracing lanes, and serial
+    /// inline path — without a thread spawn per stage.
+    #[allow(clippy::type_complexity)]
+    pub fn run<In, Out>(
+        &self,
+        label: &str,
+        inputs: Vec<In>,
+        f: Arc<TaskFn<In, Out>>,
+    ) -> CoreResult<(Vec<Out>, Vec<WorkerCounter>)>
+    where
+        In: Send + 'static,
+        Out: Send + 'static,
+    {
+        let n = inputs.len();
+        let workers = self.degree.min(n).max(1);
+        if workers <= 1 {
+            nullrel_obs::metrics::MORSELS_CLAIMED.add(0, n as u64);
+            let mut counter = WorkerCounter::default();
+            let mut outputs = Vec::with_capacity(n);
+            for (i, input) in inputs.into_iter().enumerate() {
+                let (out, rows_in, rows_out) = f(0, i, input)?;
+                counter.add(rows_in, rows_out);
+                outputs.push(out);
+            }
+            return Ok((outputs, vec![counter]));
+        }
+        let trace = nullrel_obs::current_trace();
+        let tracing = nullrel_obs::tracing_active();
+        let job = Arc::new(JobState {
+            tasks: inputs.into_iter().map(|x| Mutex::new(Some(x))).collect(),
+            results: (0..n).map(|_| Mutex::new(None)).collect(),
+            counters: (0..workers)
+                .map(|_| Mutex::new(WorkerCounter::default()))
+                .collect(),
+            next: AtomicUsize::new(0),
+            remaining: Mutex::new(workers),
+            done: Condvar::new(),
+        });
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            for w in 0..workers {
+                let job = Arc::clone(&job);
+                let f = Arc::clone(&f);
+                let label = label.to_owned();
+                state.queue.push_back(Box::new(move || {
+                    runner(w, &label, trace, tracing, &job, f.as_ref());
+                }));
+            }
+        }
+        self.shared.available.notify_all();
+        {
+            let mut remaining = job.remaining.lock().expect("latch mutex poisoned");
+            while *remaining > 0 {
+                remaining = job.done.wait(remaining).expect("latch mutex poisoned");
+            }
+        }
+        let mut outputs = Vec::with_capacity(n);
+        for slot in &job.results {
+            let result = slot
+                .lock()
+                .expect("result mutex poisoned")
+                .take()
+                .expect("every runner checked out, so every task ran");
+            outputs.push(result?);
+        }
+        let counters = job
+            .counters
+            .iter()
+            .map(|c| *c.lock().expect("counter mutex poisoned"))
+            .collect();
+        Ok((outputs, counters))
+    }
+}
+
+impl Drop for QueryPool {
+    fn drop(&mut self) {
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .shutdown = true;
+        self.shared.available.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One pooled runner: the same claim loop, metrics, and tracing lanes as a
+/// scoped worker, executed on a persistent pool thread.
+fn runner<In, Out>(
+    w: usize,
+    label: &str,
+    trace: u64,
+    tracing: bool,
+    job: &JobState<In, Out>,
+    f: &TaskFn<In, Out>,
+) {
+    let _checkout = Checkout {
+        remaining: &job.remaining,
+        done: &job.done,
+    };
+    if tracing {
+        nullrel_obs::adopt(trace, (w + 1) as u32);
+    }
+    let n = job.tasks.len();
+    let mut local = WorkerCounter::default();
+    let mut claimed = 0u64;
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        claimed += 1;
+        let _task_span = tracing.then(|| nullrel_obs::span(format!("{label} morsel {i}"), "task"));
+        let input = job.tasks[i]
+            .lock()
+            .expect("task mutex poisoned")
+            .take()
+            .expect("every task index is claimed exactly once");
+        let slot = match f(w, i, input) {
+            Ok((out, rows_in, rows_out)) => {
+                local.add(rows_in, rows_out);
+                Ok(out)
+            }
+            Err(e) => Err(e),
+        };
+        *job.results[i].lock().expect("result mutex poisoned") = Some(slot);
+    }
+    nullrel_obs::metrics::MORSELS_CLAIMED.add(w, claimed);
+    if tracing {
+        nullrel_obs::flush_thread();
+    }
+    *job.counters[w].lock().expect("counter mutex poisoned") = local;
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.available.wait(state).expect("pool mutex poisoned");
+            }
+        };
+        // A panicking task must not take the pool thread down with it —
+        // the runner's checkout guard has already released the stage.
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nullrel_core::error::CoreError;
+
+    #[test]
+    fn pooled_outputs_keep_task_order_and_counters_cover_all_tasks() {
+        let inputs: Vec<usize> = (0..37).collect();
+        for degree in [1, 2, 4, 8] {
+            let pool = QueryPool::new(degree);
+            let (out, workers) = pool
+                .run(
+                    "test",
+                    inputs.clone(),
+                    Arc::new(|_w, i, x: usize| {
+                        assert_eq!(i, x);
+                        Ok((x * 2, 1, 1))
+                    }),
+                )
+                .unwrap();
+            assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+            assert_eq!(workers.len(), degree.min(37));
+            let consumed: usize = workers.iter().map(|w| w.rows_in).sum();
+            assert_eq!(consumed, 37, "every task counted exactly once");
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_stages() {
+        let pool = QueryPool::new(4);
+        for stage in 0..5usize {
+            let (out, _) = pool
+                .run(
+                    "stage",
+                    (0..20usize).collect(),
+                    Arc::new(move |_w, _i, x: usize| Ok((x + stage, 1, 1))),
+                )
+                .unwrap();
+            assert_eq!(out, (0..20).map(|x| x + stage).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pooled_errors_propagate() {
+        for degree in [1, 4] {
+            let pool = QueryPool::new(degree);
+            let err = pool.run(
+                "err",
+                vec![0usize, 1, 2],
+                Arc::new(|_w, _i, x: usize| {
+                    if x == 1 {
+                        Err(CoreError::Invariant("boom".into()))
+                    } else {
+                        Ok((x, 1, 1))
+                    }
+                }),
+            );
+            assert!(matches!(err, Err(CoreError::Invariant(_))));
+        }
+    }
+
+    #[test]
+    fn degree_one_pool_spawns_nothing_and_runs_inline() {
+        let pool = QueryPool::new(1);
+        assert_eq!(pool.handles.len(), 0);
+        let caller = std::thread::current().id();
+        let (out, workers) = pool
+            .run(
+                "inline",
+                vec![10usize, 20],
+                Arc::new(move |w, _i, x: usize| {
+                    assert_eq!(w, 0);
+                    assert_eq!(std::thread::current().id(), caller);
+                    Ok((x, x, 1))
+                }),
+            )
+            .unwrap();
+        assert_eq!(out, vec![10, 20]);
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].rows_in, 30);
+        assert_eq!(workers[0].rows_out, 2);
+    }
 
     #[test]
     fn outputs_keep_task_order_at_any_degree() {

@@ -9,6 +9,8 @@
 //! sweep [`nullrel_core::lattice::hashed::merge_antichains`], which equals
 //! the serial global reduction for every partitioning of the input.
 
+use std::sync::Arc;
+
 use nullrel_core::error::CoreResult;
 use nullrel_core::lattice::hashed::{merge_antichains, minimal};
 use nullrel_core::predicate::Predicate;
@@ -16,7 +18,7 @@ use nullrel_core::tuple::Tuple;
 use nullrel_core::tvl::Truth;
 use nullrel_core::universe::AttrSet;
 
-use crate::pool::{run_tasks, WorkerCounter};
+use crate::pool::{QueryPool, WorkerCounter};
 
 /// Default morsel granularity, in rows. Small enough that a handful of
 /// workers load-balance even on mid-sized inputs, large enough that the
@@ -56,13 +58,18 @@ pub fn morsels(rows: Vec<Tuple>, size: usize) -> Vec<Vec<Tuple>> {
     if rows.len() <= size {
         return vec![rows];
     }
-    let mut rows = rows;
+    // Single pass moving each row exactly once — `split_off` per chunk
+    // would re-copy the whole tail for every morsel (quadratic on large
+    // scans).
     let mut out = Vec::with_capacity(rows.len().div_ceil(size));
-    while rows.len() > size {
-        let tail = rows.split_off(size);
-        out.push(std::mem::replace(&mut rows, tail));
+    let mut it = rows.into_iter();
+    loop {
+        let chunk: Vec<Tuple> = it.by_ref().take(size).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        out.push(chunk);
     }
-    out.push(rows);
     out
 }
 
@@ -73,26 +80,31 @@ pub fn par_filter(
     rows: Vec<Tuple>,
     predicate: &Predicate,
     want: Truth,
-    threads: usize,
+    pool: &QueryPool,
     morsel_rows: usize,
 ) -> CoreResult<StageOutcome> {
     let parts = morsels(rows, morsel_rows);
-    let (outputs, workers) = run_tasks(threads, parts, |_w, _i, part| {
-        let rows_in = part.len();
-        let mut kept = Vec::new();
-        let mut ni = 0usize;
-        for t in part {
-            let truth = predicate.eval(&t)?;
-            if truth.is_ni() {
-                ni += 1;
+    let predicate = predicate.clone();
+    let (outputs, workers) = pool.run(
+        "filter",
+        parts,
+        Arc::new(move |_w, _i, part: Vec<Tuple>| {
+            let rows_in = part.len();
+            let mut kept = Vec::new();
+            let mut ni = 0usize;
+            for t in part {
+                let truth = predicate.eval(&t)?;
+                if truth.is_ni() {
+                    ni += 1;
+                }
+                if truth == want {
+                    kept.push(t);
+                }
             }
-            if truth == want {
-                kept.push(t);
-            }
-        }
-        let rows_out = kept.len();
-        Ok(((kept, ni), rows_in, rows_out))
-    })?;
+            let rows_out = kept.len();
+            Ok(((kept, ni), rows_in, rows_out))
+        }),
+    )?;
     let mut outcome = StageOutcome {
         workers,
         ..StageOutcome::default()
@@ -108,15 +120,20 @@ pub fn par_filter(
 pub fn par_project(
     rows: Vec<Tuple>,
     attrs: &AttrSet,
-    threads: usize,
+    pool: &QueryPool,
     morsel_rows: usize,
 ) -> CoreResult<StageOutcome> {
     let parts = morsels(rows, morsel_rows);
-    let (outputs, workers) = run_tasks(threads, parts, |_w, _i, part| {
-        let rows_in = part.len();
-        let projected: Vec<Tuple> = part.iter().map(|t| t.project(attrs)).collect();
-        Ok((projected, rows_in, rows_in))
-    })?;
+    let attrs = attrs.clone();
+    let (outputs, workers) = pool.run(
+        "project",
+        parts,
+        Arc::new(move |_w, _i, part: Vec<Tuple>| {
+            let rows_in = part.len();
+            let projected: Vec<Tuple> = part.iter().map(|t| t.project(&attrs)).collect();
+            Ok((projected, rows_in, rows_in))
+        }),
+    )?;
     Ok(StageOutcome {
         rows: outputs.into_iter().flatten().collect(),
         workers,
@@ -130,16 +147,20 @@ pub fn par_project(
 /// minimal representation the serial sink maintains.
 pub fn par_minimize(
     rows: Vec<Tuple>,
-    threads: usize,
+    pool: &QueryPool,
     morsel_rows: usize,
 ) -> CoreResult<StageOutcome> {
     let parts = morsels(rows, morsel_rows);
-    let (locals, workers) = run_tasks(threads, parts, |_w, _i, part| {
-        let rows_in = part.len();
-        let antichain = minimal(part);
-        let rows_out = antichain.len();
-        Ok((antichain, rows_in, rows_out))
-    })?;
+    let (locals, workers) = pool.run(
+        "minimize",
+        parts,
+        Arc::new(|_w, _i, part: Vec<Tuple>| {
+            let rows_in = part.len();
+            let antichain = minimal(part);
+            let rows_out = antichain.len();
+            Ok((antichain, rows_in, rows_out))
+        }),
+    )?;
     Ok(StageOutcome {
         rows: merge_antichains(locals),
         workers,
@@ -187,13 +208,14 @@ mod tests {
             .filter(|t| pred.eval(t).unwrap().is_ni())
             .count();
         for threads in [1, 2, 4] {
-            let out = par_filter(rows.clone(), &pred, Truth::True, threads, 64).unwrap();
+            let pool = QueryPool::new(threads);
+            let out = par_filter(rows.clone(), &pred, Truth::True, &pool, 64).unwrap();
             assert_eq!(out.rows, serial, "threads={threads}");
             assert_eq!(out.ni_rows, ni);
             assert_eq!(out.workers.iter().map(|w| w.rows_in).sum::<usize>(), 500);
         }
         // The MAYBE band flows through the same stage.
-        let maybe = par_filter(rows, &pred, Truth::Ni, 4, 64).unwrap();
+        let maybe = par_filter(rows, &pred, Truth::Ni, &QueryPool::new(4), 64).unwrap();
         assert_eq!(maybe.rows.len(), ni);
     }
 
@@ -204,7 +226,8 @@ mod tests {
         let keep = attr_set([a]);
         let serial: Vec<Tuple> = rows.iter().map(|t| t.project(&keep)).collect();
         for threads in [1, 4] {
-            let out = par_project(rows.clone(), &keep, threads, 50).unwrap();
+            let pool = QueryPool::new(threads);
+            let out = par_project(rows.clone(), &keep, &pool, 50).unwrap();
             assert_eq!(out.rows, serial);
         }
     }
@@ -217,7 +240,8 @@ mod tests {
         rows.extend(extra);
         let serial = minimal(rows.clone());
         for (threads, morsel) in [(1, 64), (2, 32), (4, 7), (4, 1024)] {
-            let out = par_minimize(rows.clone(), threads, morsel).unwrap();
+            let pool = QueryPool::new(threads);
+            let out = par_minimize(rows.clone(), &pool, morsel).unwrap();
             assert_eq!(out.rows, serial, "threads={threads} morsel={morsel}");
             assert!(is_antichain(&out.rows));
         }

@@ -19,7 +19,8 @@ use nullrel_core::value::Value;
 use nullrel_exec::{execute_expr_band_with, OptimizeOptions, Parallelism};
 use nullrel_query::plan::plan_access;
 use nullrel_query::{
-    explain_analyze_with, explain_physical_expr_with, explain_physical_with, parse, resolve,
+    explain_analyze_expr_with, explain_analyze_with, explain_physical_expr_with,
+    explain_physical_with, parse, resolve,
 };
 use nullrel_storage::{Database, SchemaBuilder};
 
@@ -74,9 +75,12 @@ fn options(threads: usize) -> OptimizeOptions {
             Parallelism::Threads(threads)
         },
         parallel_row_threshold: 0,
-        // Pinned: the CI matrix sets NULLREL_ADAPTIVE, which the default
-        // options inherit — snapshots must not depend on the leg.
+        // Pinned: the CI matrix sets NULLREL_ADAPTIVE and
+        // NULLREL_BATCH_SIZE, which the default options inherit —
+        // snapshots must not depend on the leg.
         adaptive: None,
+        vectorize: true,
+        batch_size: nullrel_exec::DEFAULT_BATCH_ROWS,
         ..OptimizeOptions::default()
     }
 }
@@ -188,6 +192,44 @@ fn explain_analyze_join_threads4() {
     let db = emp_db();
     let report = explain_analyze_with(&db, JOIN_QUERY, options(4)).unwrap();
     check_golden("explain_analyze_join_threads4", &mask(&report));
+}
+
+/// A vectorized Division plan under 4 threads: the dividend is a fused
+/// scan → filter → project batch pipe (`batch=N` on every stage) feeding
+/// a parallel Division, which must show its `par=4` grant.
+#[test]
+fn explain_analyze_vectorized_division_threads4() {
+    let db = emp_db();
+    let u = db.universe().clone();
+    let sex = u.lookup("SEX").unwrap();
+    let mgr = u.lookup("MGR#").unwrap();
+    let division = Expr::named("EMP")
+        .select(Predicate::attr_const(mgr, CompareOp::Ge, 0))
+        .project(attr_set([mgr, sex]))
+        .divide(attr_set([mgr]), Expr::named("EMP").project(attr_set([sex])));
+    let report = explain_analyze_expr_with(&db, &division, &u, options(4)).unwrap();
+    check_golden(
+        "explain_analyze_vectorized_division_threads4",
+        &mask(&report),
+    );
+}
+
+/// The drain-heavy set operators — Difference and XIntersect — under 4
+/// threads over vectorized inputs: both must show their `par=4` grant.
+#[test]
+fn explain_analyze_drain_setops_threads4() {
+    let db = emp_db();
+    let u = db.universe().clone();
+    let sex = u.lookup("SEX").unwrap();
+    let name = u.lookup("NAME").unwrap();
+    let by = |v: &str| {
+        Expr::named("EMP")
+            .select(Predicate::attr_const(sex, CompareOp::Eq, Value::str(v)))
+            .project(attr_set([name]))
+    };
+    let setops = by("M").difference(by("F")).x_intersect(by("M"));
+    let report = explain_analyze_expr_with(&db, &setops, &u, options(4)).unwrap();
+    check_golden("explain_analyze_drain_setops_threads4", &mask(&report));
 }
 
 /// The executed physical plans of both truth bands — the MAYBE band

@@ -40,9 +40,11 @@
 pub mod catalog;
 pub mod estimate;
 pub mod histogram;
+pub mod observe;
 
 pub use catalog::{
     ColumnStatistics, StatisticsCollector, StatisticsSource, StripHistograms, TableStatistics,
 };
 pub use estimate::{ColumnEstimate, Estimate, Estimator};
 pub use histogram::EquiDepthHistogram;
+pub use observe::BatchObserver;

@@ -28,6 +28,20 @@ pub struct ScanStats {
     pub used_index: bool,
 }
 
+/// A full scan that *borrows* the stored rows instead of cloning them:
+/// the access path of the vectorized batch engine, which materialises
+/// only the rows that survive its fused filter.
+pub fn full_scan_ref(table: &Table) -> (&[Tuple], ScanStats) {
+    let rows = table.rows_slice();
+    let stats = ScanStats {
+        examined: rows.len(),
+        returned: rows.len(),
+        ni_rows: 0,
+        used_index: false,
+    };
+    (rows, stats)
+}
+
 /// A full scan returning every row.
 pub fn full_scan(table: &Table) -> (Vec<Tuple>, ScanStats) {
     let rows: Vec<Tuple> = table.rows().cloned().collect();

@@ -69,6 +69,12 @@ impl Table {
         self.rows.iter()
     }
 
+    /// The stored rows as one contiguous slice, in insertion order — the
+    /// zero-copy access path batch scans slice into morsels.
+    pub fn rows_slice(&self) -> &[Tuple] {
+        &self.rows
+    }
+
     /// Returns the row at the given position, if any.
     pub fn row(&self, pos: usize) -> Option<&Tuple> {
         self.rows.get(pos)
