@@ -86,6 +86,12 @@ pub const DEFAULT_PARALLEL_ROW_THRESHOLD: u64 = 64;
 /// cache-resident.
 pub const DEFAULT_BATCH_ROWS: usize = 1024;
 
+/// Ceiling on the batch size any `NULLREL_BATCH_SIZE` value can request —
+/// the same clamp-don't-honour posture as [`nullrel_par::MAX_THREADS`]. A
+/// batch's columns are materialized together, so an absurd request would
+/// turn the batching win into one giant allocation per stage.
+pub const MAX_BATCH_ROWS: usize = 1 << 20;
+
 /// Optimizer and engine knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct OptimizeOptions {
@@ -148,11 +154,14 @@ impl OptimizeOptions {
         )
     }
 
-    /// Parses a `NULLREL_BATCH_SIZE`-style value: a positive row count, or
-    /// [`DEFAULT_BATCH_ROWS`] when unset/empty/unparsable/zero.
+    /// Parses a `NULLREL_BATCH_SIZE`-style value, hardened like
+    /// [`Parallelism::parse`]: surrounding whitespace is tolerated;
+    /// unset, empty, unparsable, or zero values fall back to
+    /// [`DEFAULT_BATCH_ROWS`]; absurdly large values are clamped to
+    /// [`MAX_BATCH_ROWS`] rather than honoured.
     pub fn batch_size_from(value: Option<&str>) -> usize {
         match value.and_then(|v| v.trim().parse::<usize>().ok()) {
-            Some(n) if n >= 1 => n,
+            Some(n) if n >= 1 => n.min(MAX_BATCH_ROWS),
             _ => DEFAULT_BATCH_ROWS,
         }
     }
@@ -1292,5 +1301,25 @@ mod tests {
         );
         assert_eq!(OptimizeOptions::batch_size_from(Some("1")), 1);
         assert_eq!(OptimizeOptions::batch_size_from(Some(" 4096 ")), 4096);
+        // Negative numbers fail the usize parse and mean the default;
+        // absurdly large requests clamp to MAX_BATCH_ROWS rather than
+        // being honoured (mirroring Parallelism::parse).
+        assert_eq!(
+            OptimizeOptions::batch_size_from(Some("-8")),
+            DEFAULT_BATCH_ROWS
+        );
+        assert_eq!(
+            OptimizeOptions::batch_size_from(Some("9999999999")),
+            MAX_BATCH_ROWS
+        );
+        assert_eq!(
+            OptimizeOptions::batch_size_from(Some(&MAX_BATCH_ROWS.to_string())),
+            MAX_BATCH_ROWS
+        );
+        assert_eq!(
+            OptimizeOptions::batch_size_from(Some("18446744073709551617")),
+            DEFAULT_BATCH_ROWS,
+            "overflowing the integer type is unparsable, not clamped"
+        );
     }
 }

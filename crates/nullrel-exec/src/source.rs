@@ -19,7 +19,7 @@ use nullrel_core::universe::{AttrId, AttrSet};
 use nullrel_core::value::Value;
 use nullrel_core::xrel::XRelation;
 use nullrel_stats::StatisticsSource;
-use nullrel_storage::scan::{eq_scan, full_scan, full_scan_ref, ScanStats};
+use nullrel_storage::scan::{eq_scan, eq_scan_ref, full_scan, full_scan_ref, ScanStats};
 use nullrel_storage::Database;
 
 /// A source of base relations with planner-grade metadata.
@@ -64,6 +64,21 @@ pub trait ExecSource: RelationSource + StatisticsSource {
         _attrs: &[AttrId],
         _key: &[Value],
     ) -> Option<(Vec<Tuple>, ScanStats)> {
+        None
+    }
+
+    /// The borrowed twin of [`ExecSource::index_probe`]: the probed rows
+    /// are references into the stored table, so the vectorized engine's
+    /// late materialisation covers index-rooted pipelines too — only rows
+    /// surviving the residual filter are ever cloned. Returning `None`
+    /// (the default) sends the engine through the cloning probe; it never
+    /// affects correctness.
+    fn index_rows(
+        &self,
+        _name: &str,
+        _attrs: &[AttrId],
+        _key: &[Value],
+    ) -> Option<(Vec<&Tuple>, ScanStats)> {
         None
     }
 
@@ -129,6 +144,19 @@ impl ExecSource for Database {
             return None;
         }
         Some(eq_scan(table, attrs, key))
+    }
+
+    fn index_rows(
+        &self,
+        name: &str,
+        attrs: &[AttrId],
+        key: &[Value],
+    ) -> Option<(Vec<&Tuple>, ScanStats)> {
+        let table = self.table(name).ok()?;
+        if !table.indexes().iter().any(|i| i.attrs() == attrs) {
+            return None;
+        }
+        Some(eq_scan_ref(table, attrs, key))
     }
 
     fn has_index(&self, name: &str, attrs: &[AttrId]) -> bool {

@@ -64,6 +64,14 @@ pub enum RowSource<'a> {
     Owned(Vec<Tuple>),
     /// Rows borrowed from the execution source (base-table scans).
     Borrowed(&'a [Tuple]),
+    /// Rows borrowed *individually* from the execution source — the shape
+    /// an index probe produces ([`ExecSource::index_rows`]): references
+    /// into the stored table that are not contiguous, so they cannot form
+    /// a `&[Tuple]` slice. Late materialisation still applies — only
+    /// residual-filter survivors are cloned.
+    ///
+    /// [`ExecSource::index_rows`]: crate::source::ExecSource::index_rows
+    Probed(Vec<&'a Tuple>),
 }
 
 /// What one fused pipeline does to each batch: plain `Send + Sync` data,
@@ -172,6 +180,62 @@ fn process(spec: &PipeSpec, batch: &mut [Tuple]) -> CoreResult<(Vec<Tuple>, Batc
     ))
 }
 
+/// The filter kernel over *non-contiguous* borrowed rows (index probes).
+/// The columnar gather kernels need a contiguous `&[Tuple]`, which a
+/// probe's `Vec<&Tuple>` cannot provide without materialising — so every
+/// conjunct evaluates row-wise here, over the same shrinking selection
+/// vector. Kleene `∧` is evaluated identically either way, so the truth
+/// vector — and every counter derived from it — matches [`selection_of`].
+fn selection_of_probed(filter: &FilterSpec, batch: &[&Tuple]) -> CoreResult<Selection> {
+    let mut truths = vec![Truth::True; batch.len()];
+    let mut live: Vec<u32> = (0..batch.len() as u32).collect();
+    for (conjunct, _) in &filter.conjuncts {
+        if live.is_empty() {
+            break;
+        }
+        let mut still = Vec::with_capacity(live.len());
+        for &pos in &live {
+            let combined = truths[pos as usize].and(conjunct.eval(batch[pos as usize])?);
+            truths[pos as usize] = combined;
+            if combined != Truth::False {
+                still.push(pos);
+            }
+        }
+        live = still;
+    }
+    Ok(Selection::from_truths(&truths, filter.want))
+}
+
+/// The probed twin of [`process_ref`]: each batch row is an individual
+/// borrow, survivors are cloned (or projected straight off the borrow)
+/// exactly as in the contiguous case.
+fn process_probed(spec: &PipeSpec, batch: &[&Tuple]) -> CoreResult<(Vec<Tuple>, BatchTotals)> {
+    let scanned = batch.len();
+    let (keep, ni_rows) = match &spec.filter {
+        Some(filter) => {
+            let sel = selection_of_probed(filter, batch)?;
+            (sel.keep, sel.ni_rows)
+        }
+        None => ((0..batch.len() as u32).collect(), 0),
+    };
+    let kept = keep.len();
+    let out = match &spec.project {
+        Some(attrs) => keep
+            .iter()
+            .map(|&i| batch[i as usize].project(attrs))
+            .collect(),
+        None => keep.iter().map(|&i| batch[i as usize].clone()).collect(),
+    };
+    Ok((
+        out,
+        BatchTotals {
+            scanned,
+            ni_rows,
+            kept,
+        },
+    ))
+}
+
 /// The borrowed twin of [`process`]: late materialisation proper. The
 /// batch is a borrowed table slice; only the rows surviving the filter
 /// are ever materialised — cloned, or projected straight off the borrow
@@ -257,6 +321,18 @@ impl<'a> VectorPipeOp<'a> {
             scan_stats,
             batch_rows,
         )
+    }
+
+    /// A vectorized pipe over index-probed rows — individual borrows into
+    /// the stored table ([`RowSource::Probed`]): the index access path
+    /// with the same late materialisation as [`VectorPipeOp::over`].
+    pub fn probe(
+        rows: Vec<&'a Tuple>,
+        count_pulls: bool,
+        scan_stats: StatsSlot,
+        batch_rows: usize,
+    ) -> Self {
+        Self::from_source(RowSource::Probed(rows), count_pulls, scan_stats, batch_rows)
     }
 
     /// A vectorized pipe over any [`RowSource`].
@@ -418,6 +494,43 @@ impl<'a> VectorPipeOp<'a> {
                     let mut out = Vec::new();
                     for batch in rows.chunks(self.batch_rows) {
                         let (kept, t) = process_ref(&spec, batch)?;
+                        observer.observe(t.scanned, kept.len());
+                        totals.add(&t);
+                        out.extend(kept);
+                        batch_count += 1;
+                    }
+                    out
+                }
+            }
+            (RowSource::Probed(rows), pool) => {
+                // Index-probed rows are individual borrows; batches are
+                // subslices of the probe's reference vector. Same fan-out
+                // discipline as the contiguous borrowed path.
+                let degree = pool.as_ref().map(|p| p.degree()).unwrap_or(1);
+                if degree > 1 && rows.len() > self.batch_rows {
+                    let batches: Vec<&[&Tuple]> = rows.chunks(self.batch_rows).collect();
+                    batch_count = batches.len();
+                    let (outputs, workers) = run_tasks_labeled(
+                        "vector-pipe",
+                        degree,
+                        batches,
+                        |_w, _i, batch: &[&Tuple]| {
+                            let (out, t) = process_probed(&spec, batch)?;
+                            Ok(((out, t), t.scanned, t.kept))
+                        },
+                    )?;
+                    let mut collected = Vec::new();
+                    for (out, t) in outputs {
+                        observer.observe(t.scanned, out.len());
+                        totals.add(&t);
+                        collected.extend(out);
+                    }
+                    self.top_slot().borrow_mut().absorb_workers(&workers);
+                    collected
+                } else {
+                    let mut out = Vec::new();
+                    for batch in rows.chunks(self.batch_rows) {
+                        let (kept, t) = process_probed(&spec, batch)?;
                         observer.observe(t.scanned, kept.len());
                         totals.add(&t);
                         out.extend(kept);
@@ -611,6 +724,65 @@ mod tests {
                 if threads > 1 {
                     let top = project_b.borrow();
                     assert!(!top.workers.is_empty(), "borrowed fan-out records workers");
+                    assert_eq!(
+                        top.workers.iter().map(|w| w.rows_in).sum::<usize>(),
+                        data.len()
+                    );
+                }
+            }
+        }
+    }
+
+    /// The probed (non-contiguous borrow) pipe must match the owned pipe
+    /// row-for-row and counter-for-counter — including a *composite*
+    /// conjunct, which the owned path evaluates through the columnar
+    /// gather kernels and the probed path row-wise.
+    #[test]
+    fn probed_pipe_matches_owned() {
+        let (_u, a, b, data) = rows(400);
+        let pred = Predicate::attr_const(b, CompareOp::Ge, 250).and(
+            Predicate::attr_const(a, CompareOp::Lt, 5).or(Predicate::attr_const(
+                b,
+                CompareOp::Gt,
+                380,
+            )),
+        );
+        let keep = attr_set([a]);
+        for want in [Truth::True, Truth::Ni] {
+            let (scan_o, filter_o, project_o) = (slot("Scan"), slot("Filter"), slot("Project"));
+            let owned = {
+                let mut pipe = VectorPipeOp::new(data.clone(), false, scan_o.clone(), 64)
+                    .with_filter(pred.clone(), want, filter_o.clone())
+                    .with_project(keep.clone(), project_o.clone());
+                pipe.drain_all().unwrap()
+            };
+            for threads in [1, 4] {
+                let (scan_p, filter_p, project_p) = (slot("Scan"), slot("Filter"), slot("Project"));
+                let probed: Vec<&Tuple> = data.iter().collect();
+                let mut pipe = VectorPipeOp::probe(probed, false, scan_p.clone(), 64)
+                    .with_filter(pred.clone(), want, filter_p.clone())
+                    .with_project(keep.clone(), project_p.clone())
+                    .with_pool(Arc::new(QueryPool::new(threads)));
+                let out = pipe.drain_all().unwrap();
+                assert_eq!(out, owned, "band={want:?} threads={threads}");
+                for (p_slot, o_slot) in [
+                    (&scan_p, &scan_o),
+                    (&filter_p, &filter_o),
+                    (&project_p, &project_o),
+                ] {
+                    let (p_st, o_st) = (p_slot.borrow(), o_slot.borrow());
+                    assert_eq!(
+                        p_st.rows_out, o_st.rows_out,
+                        "band={want:?} threads={threads}"
+                    );
+                    assert_eq!(
+                        p_st.ni_rows, o_st.ni_rows,
+                        "band={want:?} threads={threads}"
+                    );
+                }
+                if threads > 1 {
+                    let top = project_p.borrow();
+                    assert!(!top.workers.is_empty(), "probed fan-out records workers");
                     assert_eq!(
                         top.workers.iter().map(|w| w.rows_in).sum::<usize>(),
                         data.len()

@@ -145,6 +145,79 @@ pub fn execute_with(
     Ok(output(resolved, rel.into_tuples(), stats))
 }
 
+/// A query parsed, resolved, and logically planned once, ready to re-run
+/// against any database state sharing the schema it was resolved under —
+/// the cacheable unit of the query service's per-session prepared-query
+/// cache. The physical stages (optimize, compile) deliberately stay per
+/// execution: they consult the target snapshot's statistics and indexes,
+/// which move epoch to epoch.
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    /// The query text (the cache key and trace label).
+    pub text: String,
+    /// The resolved query: query-local universe, range scopes, targets.
+    pub resolved: ResolvedQuery,
+    /// The logical access plan over the resolved scopes.
+    pub expr: nullrel_core::algebra::Expr,
+    /// [`Database::schema_version`] at preparation time. A snapshot with a
+    /// different schema version may resolve differently (tables or columns
+    /// created, dropped, or renamed) — holders must re-prepare.
+    pub schema_version: u64,
+}
+
+impl Prepared {
+    /// True when this prepared query is still valid against `db`: the
+    /// schema has not evolved since resolution.
+    pub fn valid_for(&self, db: &Database) -> bool {
+        self.schema_version == db.schema_version()
+    }
+}
+
+/// Parses, resolves, and logically plans a query without executing it —
+/// the front half of [`execute_with`], split off so a session can pay
+/// parse/resolve/plan once and [`execute_prepared`] many times.
+pub fn prepare(db: &Database, text: &str) -> QueryResult<Prepared> {
+    let query = nullrel_obs::phase(Phase::Parse, || parse(text))?;
+    let (resolved, expr) = nullrel_obs::phase(Phase::Plan, || {
+        let resolved = crate::analyze::resolve_lazy(db, &query)?;
+        let expr = plan_access(&resolved);
+        QueryResult::Ok((resolved, expr))
+    })?;
+    Ok(Prepared {
+        text: text.to_owned(),
+        resolved,
+        expr,
+        schema_version: db.schema_version(),
+    })
+}
+
+/// Runs a [`Prepared`] query against `db` in the requested truth band,
+/// skipping parse/resolve/plan. The caller is responsible for validity
+/// ([`Prepared::valid_for`]); executing a stale prepared query against an
+/// evolved schema returns whatever the old plan still means, exactly like
+/// re-running a stale statement handle would.
+pub fn execute_prepared(
+    db: &Database,
+    prepared: &Prepared,
+    band: Truth,
+    options: nullrel_exec::OptimizeOptions,
+) -> QueryResult<QueryOutput> {
+    let label = if band == Truth::Ni {
+        format!("MAYBE {}", prepared.text)
+    } else {
+        prepared.text.clone()
+    };
+    let _query_trace = nullrel_obs::begin_query(label);
+    let (rel, stats) = nullrel_exec::execute_expr_band_with(
+        &prepared.expr,
+        db,
+        &prepared.resolved.universe,
+        band,
+        options,
+    )?;
+    Ok(output(prepared.resolved.clone(), rel.into_tuples(), stats))
+}
+
 /// Executes an already-parsed query under the `ni` lower-bound semantics.
 pub fn execute_query(db: &Database, query: &Query) -> QueryResult<QueryOutput> {
     let _query_trace = nullrel_obs::begin_query("(pre-parsed query)");
@@ -434,6 +507,46 @@ mod tests {
 
     const FIGURE_1_LIKE: &str = "range of e is EMP retrieve (e.NAME, e.E#) \
          where (e.SEX = \"F\" and e.TEL# > 2634000) or (e.TEL# < 2634000)";
+
+    /// A prepared query re-runs identically to the one-shot path in both
+    /// bands, tracks schema versions for invalidation, and keeps seeing
+    /// fresh data across DML (which must not invalidate it).
+    #[test]
+    fn prepared_queries_replay_both_bands_and_track_schema() {
+        let mut db = emp_table_ii_db();
+        let prepared = prepare(&db, FIGURE_1_LIKE).unwrap();
+        assert!(prepared.valid_for(&db));
+        assert_eq!(prepared.schema_version, db.schema_version());
+
+        let opts = nullrel_exec::OptimizeOptions::default();
+        let sure = execute_prepared(&db, &prepared, Truth::True, opts).unwrap();
+        assert_eq!(sure.rows, execute(&db, FIGURE_1_LIKE).unwrap().rows);
+        assert_eq!(sure.columns, vec!["e.NAME", "e.E#"]);
+        let maybe = execute_prepared(&db, &prepared, Truth::Ni, opts).unwrap();
+        assert_eq!(maybe.rows, execute_maybe(&db, FIGURE_1_LIKE).unwrap().rows);
+        assert_eq!(maybe.len(), 3);
+
+        // DML: still valid, and the prepared plan sees the new data.
+        let u = db.universe().clone();
+        let tel = u.lookup("TEL#").unwrap();
+        let e_no = u.lookup("E#").unwrap();
+        db.table_mut("EMP")
+            .unwrap()
+            .update_where(
+                &nullrel_core::Predicate::attr_const(e_no, nullrel_core::CompareOp::Eq, 4335),
+                &[(tel, Some(Value::int(2_639_452)))],
+            )
+            .unwrap();
+        assert!(prepared.valid_for(&db), "DML must not invalidate");
+        let after = execute_prepared(&db, &prepared, Truth::True, opts).unwrap();
+        assert_eq!(after.len(), 1);
+        assert!(after.contains_row(&[Some(Value::str("BROWN")), Some(Value::int(4335))]));
+
+        // DDL: schema evolution invalidates.
+        let (table, universe) = db.table_and_universe_mut("EMP").unwrap();
+        table.add_column(universe, "DEPT", None).unwrap();
+        assert!(!prepared.valid_for(&db), "schema evolution invalidates");
+    }
 
     use crate::analyze::resolve;
     use crate::eval::execute_maybe;

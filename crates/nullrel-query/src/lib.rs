@@ -36,8 +36,8 @@ pub use analyze::{resolve, ResolvedQuery};
 pub use ast::{AttrRef, Query, RangeDecl, Term, WhereExpr};
 pub use error::{QueryError, QueryResult};
 pub use eval::{
-    execute, execute_maybe, execute_query, execute_resolved, execute_resolved_naive, execute_with,
-    QueryOutput,
+    execute, execute_maybe, execute_prepared, execute_query, execute_resolved,
+    execute_resolved_naive, execute_with, prepare, Prepared, QueryOutput,
 };
 pub use interp::{execute_unknown, execute_unknown_query, Certainty, UnknownOutput, UnknownStats};
 pub use parser::parse;

@@ -1,0 +1,360 @@
+//! An s-expression surface for the generalized relational algebra, so
+//! clients can run operators QUEL does not reach (set operators, division,
+//! the union-join) over the wire.
+//!
+//! Grammar (attribute names resolve against the snapshot's universe):
+//!
+//! ```text
+//! expr ::= (scan NAME)
+//!        | (select pred expr)
+//!        | (project (ATTR…) expr)
+//!        | (product expr expr)
+//!        | (union expr expr)
+//!        | (diff expr expr)
+//!        | (ujoin (ATTR…) expr expr)
+//!        | (divide (ATTR…) expr expr)
+//! pred ::= (and pred pred) | (or pred pred) | (not pred)
+//!        | (op operand operand)            op ∈ { = != < <= > >= }
+//! operand ::= "string" | integer | ATTR
+//! ```
+//!
+//! A comparison with two attribute operands becomes an attribute-attribute
+//! predicate; one constant operand becomes attribute-constant (flipping
+//! the operator when the constant is on the left).
+
+use std::collections::BTreeMap;
+
+use nullrel_core::algebra::Expr;
+use nullrel_core::predicate::Predicate;
+use nullrel_core::tvl::CompareOp;
+use nullrel_core::universe::{attr_set, AttrId, Universe};
+use nullrel_core::value::Value;
+
+/// One s-expression node: an atom or a parenthesized list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Sexp {
+    Atom(String),
+    Str(String),
+    List(Vec<Sexp>),
+}
+
+fn tokenize(text: &str) -> Result<Vec<Sexp>, String> {
+    let mut stack: Vec<Vec<Sexp>> = vec![Vec::new()];
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        match c {
+            '(' => stack.push(Vec::new()),
+            ')' => {
+                let done = stack.pop().ok_or("unbalanced ')'")?;
+                stack
+                    .last_mut()
+                    .ok_or("unbalanced ')'")?
+                    .push(Sexp::List(done));
+            }
+            '"' => {
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err("unterminated string".to_owned()),
+                    }
+                }
+                stack
+                    .last_mut()
+                    .expect("stack never empty")
+                    .push(Sexp::Str(s));
+            }
+            c if c.is_whitespace() => {}
+            c => {
+                let mut atom = String::new();
+                atom.push(c);
+                while let Some(&n) = chars.peek() {
+                    if n.is_whitespace() || n == '(' || n == ')' || n == '"' {
+                        break;
+                    }
+                    atom.push(n);
+                    chars.next();
+                }
+                stack
+                    .last_mut()
+                    .expect("stack never empty")
+                    .push(Sexp::Atom(atom));
+            }
+        }
+    }
+    if stack.len() != 1 {
+        return Err("unbalanced '('".to_owned());
+    }
+    Ok(stack.pop().expect("checked"))
+}
+
+/// Parses an algebra expression from its s-expression text. Attribute
+/// names resolve against `universe` (the snapshot's catalog universe).
+pub fn parse_expr(text: &str, universe: &Universe) -> Result<Expr, String> {
+    let mut top = tokenize(text)?;
+    match (top.pop(), top.is_empty()) {
+        (Some(node), true) => build_expr(&node, universe),
+        _ => Err("expected exactly one expression".to_owned()),
+    }
+}
+
+fn build_expr(node: &Sexp, universe: &Universe) -> Result<Expr, String> {
+    let items = match node {
+        Sexp::List(items) if !items.is_empty() => items,
+        _ => return Err("expected an (operator …) form".to_owned()),
+    };
+    let head = match &items[0] {
+        Sexp::Atom(a) => a.to_ascii_lowercase(),
+        _ => return Err("operator must be an atom".to_owned()),
+    };
+    let arity = |n: usize| {
+        if items.len() == n + 1 {
+            Ok(())
+        } else {
+            Err(format!("{head} takes {n} arguments"))
+        }
+    };
+    match head.as_str() {
+        "scan" => {
+            arity(1)?;
+            match &items[1] {
+                Sexp::Atom(name) => Ok(Expr::named(name)),
+                _ => Err("scan takes a relation name".to_owned()),
+            }
+        }
+        "select" => {
+            arity(2)?;
+            let pred = build_pred(&items[1], universe)?;
+            Ok(build_expr(&items[2], universe)?.select(pred))
+        }
+        "project" => {
+            arity(2)?;
+            let attrs = attr_list(&items[1], universe)?;
+            Ok(build_expr(&items[2], universe)?.project(attr_set(attrs)))
+        }
+        "product" | "union" | "diff" => {
+            arity(2)?;
+            let left = build_expr(&items[1], universe)?;
+            let right = build_expr(&items[2], universe)?;
+            Ok(match head.as_str() {
+                "product" => left.product(right),
+                "union" => left.union(right),
+                _ => left.difference(right),
+            })
+        }
+        "ujoin" | "divide" => {
+            arity(3)?;
+            let attrs = attr_set(attr_list(&items[1], universe)?);
+            let left = build_expr(&items[2], universe)?;
+            let right = build_expr(&items[3], universe)?;
+            Ok(if head == "ujoin" {
+                left.union_join(right, attrs)
+            } else {
+                left.divide(attrs, right)
+            })
+        }
+        other => Err(format!("unknown operator {other}")),
+    }
+}
+
+fn attr_list(node: &Sexp, universe: &Universe) -> Result<Vec<AttrId>, String> {
+    let items = match node {
+        Sexp::List(items) => items.as_slice(),
+        single => std::slice::from_ref(single),
+    };
+    items
+        .iter()
+        .map(|item| match item {
+            Sexp::Atom(name) => lookup(name, universe),
+            _ => Err("attribute lists hold bare names".to_owned()),
+        })
+        .collect()
+}
+
+fn lookup(name: &str, universe: &Universe) -> Result<AttrId, String> {
+    universe
+        .lookup(name)
+        .ok_or_else(|| format!("unknown attribute {name}"))
+}
+
+fn build_pred(node: &Sexp, universe: &Universe) -> Result<Predicate, String> {
+    let items = match node {
+        Sexp::List(items) if !items.is_empty() => items,
+        _ => return Err("expected a (predicate …) form".to_owned()),
+    };
+    let head = match &items[0] {
+        Sexp::Atom(a) => a.to_ascii_lowercase(),
+        _ => return Err("predicate operator must be an atom".to_owned()),
+    };
+    match head.as_str() {
+        "and" | "or" => {
+            if items.len() != 3 {
+                return Err(format!("{head} takes 2 predicates"));
+            }
+            let left = build_pred(&items[1], universe)?;
+            let right = build_pred(&items[2], universe)?;
+            Ok(if head == "and" {
+                left.and(right)
+            } else {
+                left.or(right)
+            })
+        }
+        "not" => {
+            if items.len() != 2 {
+                return Err("not takes 1 predicate".to_owned());
+            }
+            Ok(build_pred(&items[1], universe)?.negate())
+        }
+        op => {
+            let op = compare_op(op)?;
+            if items.len() != 3 {
+                return Err("comparisons take 2 operands".to_owned());
+            }
+            comparison(op, &items[1], &items[2], universe)
+        }
+    }
+}
+
+fn compare_op(op: &str) -> Result<CompareOp, String> {
+    Ok(match op {
+        "=" => CompareOp::Eq,
+        "!=" => CompareOp::Ne,
+        "<" => CompareOp::Lt,
+        "<=" => CompareOp::Le,
+        ">" => CompareOp::Gt,
+        ">=" => CompareOp::Ge,
+        other => return Err(format!("unknown comparison {other}")),
+    })
+}
+
+fn flip(op: CompareOp) -> CompareOp {
+    match op {
+        CompareOp::Lt => CompareOp::Gt,
+        CompareOp::Le => CompareOp::Ge,
+        CompareOp::Gt => CompareOp::Lt,
+        CompareOp::Ge => CompareOp::Le,
+        same => same,
+    }
+}
+
+enum Operand {
+    Attr(AttrId),
+    Const(Value),
+}
+
+fn operand(node: &Sexp, universe: &Universe) -> Result<Operand, String> {
+    match node {
+        Sexp::Str(s) => Ok(Operand::Const(Value::str(s))),
+        Sexp::Atom(a) => {
+            if let Ok(n) = a.parse::<i64>() {
+                Ok(Operand::Const(Value::int(n)))
+            } else {
+                lookup(a, universe).map(Operand::Attr)
+            }
+        }
+        Sexp::List(_) => Err("operands are attributes, strings, or integers".to_owned()),
+    }
+}
+
+fn comparison(
+    op: CompareOp,
+    left: &Sexp,
+    right: &Sexp,
+    universe: &Universe,
+) -> Result<Predicate, String> {
+    match (operand(left, universe)?, operand(right, universe)?) {
+        (Operand::Attr(a), Operand::Attr(b)) => Ok(Predicate::attr_attr(a, op, b)),
+        (Operand::Attr(a), Operand::Const(v)) => Ok(Predicate::attr_const(a, op, v)),
+        (Operand::Const(v), Operand::Attr(a)) => Ok(Predicate::attr_const(a, flip(op), v)),
+        (Operand::Const(_), Operand::Const(_)) => {
+            Err("comparisons need at least one attribute".to_owned())
+        }
+    }
+}
+
+/// Renders a result relation for the wire: the first line is `rows=<n>`,
+/// then one line per tuple with `ATTR=value` cells in attribute order
+/// (missing cells are `ni` and omitted, per the x-relation reading).
+pub fn render_rows(tuples: &[nullrel_core::tuple::Tuple], universe: &Universe) -> Vec<String> {
+    let mut lines = Vec::with_capacity(tuples.len() + 1);
+    lines.push(format!("rows={}", tuples.len()));
+    for t in tuples {
+        let mut cells: BTreeMap<AttrId, String> = BTreeMap::new();
+        for (attr, value) in t.cells() {
+            let name = universe
+                .name(attr)
+                .map(str::to_owned)
+                .unwrap_or_else(|_| format!("#{}", attr.index()));
+            cells.insert(attr, format!("{name}={value}"));
+        }
+        let rendered: Vec<String> = cells.into_values().collect();
+        lines.push(rendered.join(" "));
+    }
+    lines
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn universe() -> Universe {
+        let mut u = Universe::new();
+        u.intern("S#");
+        u.intern("P#");
+        u
+    }
+
+    #[test]
+    fn scans_selects_and_projections_parse() {
+        let u = universe();
+        let expr = parse_expr(
+            "(project (S#) (select (and (= P# \"p1\") (!= S# \"s9\")) (scan PS)))",
+            &u,
+        )
+        .unwrap();
+        let rendered = expr.explain(&u);
+        assert!(rendered.contains("PS"), "plan: {rendered}");
+    }
+
+    #[test]
+    fn set_operators_and_division_parse() {
+        let u = universe();
+        for text in [
+            "(union (scan A) (scan B))",
+            "(diff (scan A) (scan B))",
+            "(product (scan A) (scan B))",
+            "(ujoin (S#) (scan A) (scan B))",
+            "(divide (P#) (scan PS) (project (P#) (scan PS)))",
+        ] {
+            parse_expr(text, &u).unwrap_or_else(|e| panic!("{text}: {e}"));
+        }
+    }
+
+    #[test]
+    fn constants_flip_onto_the_attribute_side() {
+        let u = universe();
+        let left = parse_expr("(select (< S# 5) (scan PS))", &u).unwrap();
+        let right = parse_expr("(select (> 5 S#) (scan PS))", &u).unwrap();
+        assert_eq!(left.explain(&u), right.explain(&u));
+    }
+
+    #[test]
+    fn malformed_expressions_error_out() {
+        let u = universe();
+        for text in [
+            "",
+            "(scan)",
+            "(scan A extra)",
+            "(select (= S# 1))",
+            "(frobnicate (scan A))",
+            "(select (= \"a\" \"b\") (scan A))",
+            "(select (= NOPE 1) (scan A))",
+            "((scan A))",
+            "(scan A",
+            "(scan \"A)",
+        ] {
+            assert!(parse_expr(text, &u).is_err(), "should fail: {text}");
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! # nullrel-serve
+//!
+//! A multi-session TCP query service over the `nullrel` engine — the
+//! network front end the ROADMAP's production story calls for, built on
+//! `std` alone (the workspace is offline; no async runtime, no protocol
+//! dependencies).
+//!
+//! * **Snapshot concurrency.** The served state is a
+//!   [`nullrel_storage::VersionedDatabase`]: sessions read from pinned
+//!   epoch-stamped snapshots and never block writers; `INSERT`/`DELETE`
+//!   commands are serialized through the copy-on-write commit path, which
+//!   bumps the epoch; old versions retire when their last reader drops.
+//! * **Sessions.** Each accepted connection becomes a [`session::Session`]
+//!   with its own snapshot-pinning mode (`PIN`/`UNPIN`) and a
+//!   prepared-query cache: a repeated `QUEL`/`MAYBE` text is parsed,
+//!   resolved, and logically planned once, then replayed against the
+//!   session's snapshot until schema evolution invalidates it.
+//! * **Protocol.** Newline-delimited requests, line-counted responses —
+//!   the grammar lives in [`protocol`]; algebra expressions beyond QUEL's
+//!   reach (set operators, division, union-join) come in through the
+//!   s-expression surface of [`expr`].
+//! * **Observability.** Every request runs under one `nullrel-obs` query
+//!   trace (so `NULLREL_SLOW_MS` arms the slow-query log server-side),
+//!   connection/session gauges and per-command latency histograms are
+//!   registered in the process metrics registry, and the `METRICS`
+//!   command renders the whole registry in Prometheus text format.
+//!
+//! Connections are dispatched to a small hand-rolled worker pool
+//! ([`ServeConfig::threads`] threads); a session occupies its worker until
+//! the client disconnects, so the thread count bounds concurrent sessions
+//! the way a classical process-per-connection database bounds backends.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod expr;
+pub mod metrics;
+pub mod protocol;
+pub mod session;
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use nullrel_exec::OptimizeOptions;
+use nullrel_storage::VersionedDatabase;
+
+use protocol::Request;
+use session::Session;
+
+/// Default listen address (`NULLREL_SERVE_ADDR` overrides).
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7878";
+
+/// Default worker-thread count (`NULLREL_SERVE_THREADS` overrides).
+pub const DEFAULT_THREADS: usize = 8;
+
+/// Ceiling on the worker-thread count any configuration can request.
+pub const MAX_SERVE_THREADS: usize = 256;
+
+/// Default staleness bound: how many epochs a `PIN`ned session may fall
+/// behind before it is re-pinned forward.
+pub const DEFAULT_MAX_STALENESS: u64 = 1024;
+
+/// Query-service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 lets the OS pick, and
+    /// [`ServerHandle::addr`] reports the bound port).
+    pub addr: String,
+    /// Worker threads — the bound on concurrent sessions.
+    pub threads: usize,
+    /// Epochs a pinned session may lag before forced re-pinning.
+    pub max_staleness: u64,
+    /// Engine options every session executes with. Defaults to the
+    /// environment-driven [`OptimizeOptions::default`]; tests pin them for
+    /// deterministic plans.
+    pub options: OptimizeOptions,
+}
+
+impl ServeConfig {
+    /// Reads the configuration from the environment:
+    /// `NULLREL_SERVE_ADDR`, `NULLREL_SERVE_THREADS` (parsed like
+    /// [`parse_threads`]), `NULLREL_SERVE_MAX_STALENESS`, plus the
+    /// engine's own `NULLREL_*` knobs through [`OptimizeOptions::default`].
+    pub fn from_env() -> Self {
+        ServeConfig {
+            addr: std::env::var("NULLREL_SERVE_ADDR")
+                .ok()
+                .map(|a| a.trim().to_owned())
+                .filter(|a| !a.is_empty())
+                .unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
+            threads: parse_threads(std::env::var("NULLREL_SERVE_THREADS").ok().as_deref()),
+            max_staleness: std::env::var("NULLREL_SERVE_MAX_STALENESS")
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(DEFAULT_MAX_STALENESS),
+            options: OptimizeOptions::default(),
+        }
+    }
+
+    /// A loopback configuration with fully pinned engine options —
+    /// deterministic plans regardless of the `NULLREL_*` environment.
+    /// Used by this crate's tests and the golden snapshots.
+    pub fn pinned_for_tests() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            threads: 4,
+            max_staleness: DEFAULT_MAX_STALENESS,
+            options: OptimizeOptions {
+                parallelism: nullrel_par::Parallelism::Serial,
+                parallel_row_threshold: 0,
+                adaptive: None,
+                vectorize: true,
+                batch_size: nullrel_exec::DEFAULT_BATCH_ROWS,
+                ..OptimizeOptions::default()
+            },
+        }
+    }
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig::from_env()
+    }
+}
+
+/// Parses a `NULLREL_SERVE_THREADS`-style value, mirroring
+/// [`nullrel_par::Parallelism::parse`]: whitespace tolerated, garbage or
+/// `0` fall back to [`DEFAULT_THREADS`], absurd values clamp to
+/// [`MAX_SERVE_THREADS`].
+pub fn parse_threads(value: Option<&str>) -> usize {
+    match value.and_then(|v| v.trim().parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n.min(MAX_SERVE_THREADS),
+        _ => DEFAULT_THREADS,
+    }
+}
+
+struct Shared {
+    vdb: Arc<VersionedDatabase>,
+    config: ServeConfig,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A running query service: the bound address plus shutdown control.
+/// Dropping the handle stops the server and joins its threads.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound listen address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The served versioned database — how embedding code (tests, the
+    /// load bench) commits writes out-of-band or inspects the epoch.
+    pub fn database(&self) -> &Arc<VersionedDatabase> {
+        &self.shared.vdb
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    /// Sessions in progress are allowed to finish their current request;
+    /// their connections close on the next read.
+    pub fn stop(mut self) {
+        self.begin_stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    fn begin_stop(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.begin_stop();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Starts the query service over `vdb`: binds the listener, spawns the
+/// accept loop and [`ServeConfig::threads`] session workers, registers
+/// the serve metrics, and returns immediately.
+pub fn start(vdb: Arc<VersionedDatabase>, config: ServeConfig) -> std::io::Result<ServerHandle> {
+    metrics::register();
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let shared = Arc::new(Shared {
+        vdb,
+        config,
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let mut threads = Vec::with_capacity(shared.config.threads + 1);
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name("serve-accept".to_owned())
+                .spawn(move || accept_loop(listener, &shared))?,
+        );
+    }
+    for i in 0..shared.config.threads {
+        let shared = Arc::clone(&shared);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Request/response protocols are latency-bound, not
+                // bandwidth-bound: leave Nagle off so responses go out
+                // immediately instead of waiting on delayed ACKs.
+                let _ = stream.set_nodelay(true);
+                metrics::CONNECTIONS.inc();
+                let mut queue = shared.queue.lock().expect("queue poisoned");
+                queue.push_back(stream);
+                drop(queue);
+                shared.available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+    shared.available.notify_all();
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("queue poisoned");
+            }
+        };
+        handle_connection(stream, shared);
+    }
+}
+
+/// RAII decrement for the active-sessions gauge (panic-safe).
+struct SessionGauge;
+
+impl SessionGauge {
+    fn open() -> Self {
+        metrics::ACTIVE_SESSIONS.add(1);
+        SessionGauge
+    }
+}
+
+impl Drop for SessionGauge {
+    fn drop(&mut self) {
+        metrics::ACTIVE_SESSIONS.add(-1);
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    let _gauge = SessionGauge::open();
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(stream);
+    let mut session = Session::new(Arc::clone(&shared.vdb), shared.config.clone());
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        metrics::REQUESTS.inc();
+        let started = Instant::now();
+        let request = Request::parse(&line);
+        let command = request.as_ref().map(Request::command_name).unwrap_or("err");
+        let outcome = match &request {
+            Ok(Request::Quit) => {
+                let _ = writer.write_all(b"BYE\n").and_then(|_| writer.flush());
+                return;
+            }
+            Ok(request) => {
+                // One query trace per request, labeled with the raw line —
+                // this is what the slow-query log records server-side.
+                let trace = nullrel_obs::begin_query(line.trim().to_owned());
+                let outcome = session.handle(request);
+                drop(trace);
+                outcome
+            }
+            Err(e) => Err(e.clone()),
+        };
+        metrics::command_latency(command).observe(started.elapsed().as_micros() as u64);
+        let written = match outcome {
+            Ok(lines) => protocol::write_ok(&mut writer, &lines),
+            Err(message) => {
+                metrics::ERRORS.inc();
+                protocol::write_err(&mut writer, &message)
+            }
+        };
+        if written.is_err() {
+            return;
+        }
+    }
+}
+
+/// A minimal blocking client for the wire protocol — used by this crate's
+/// integration tests and the `e18_concurrent_serve` load bench.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        // Latency-bound protocol: don't let Nagle hold the request back.
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request line and reads the full response: `Ok(lines)`
+    /// for `OK`, `Err(message)` for `ERR`. `BYE` returns an empty `Ok`.
+    pub fn send(&mut self, request: &str) -> std::io::Result<Result<Vec<String>, String>> {
+        self.writer.write_all(format!("{request}\n").as_bytes())?;
+        self.writer.flush()?;
+        let mut header = String::new();
+        if self.reader.read_line(&mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        let header = header.trim_end();
+        if header == "BYE" {
+            return Ok(Ok(Vec::new()));
+        }
+        if let Some(message) = header.strip_prefix("ERR ") {
+            return Ok(Err(message.to_owned()));
+        }
+        let count: usize = header
+            .strip_prefix("OK ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed response header {header:?}"),
+                )
+            })?;
+        let mut lines = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "response truncated",
+                ));
+            }
+            while line.ends_with('\n') || line.ends_with('\r') {
+                line.pop();
+            }
+            lines.push(line);
+        }
+        Ok(Ok(lines))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_threads_parse_like_parallelism() {
+        assert_eq!(parse_threads(None), DEFAULT_THREADS);
+        assert_eq!(parse_threads(Some("")), DEFAULT_THREADS);
+        assert_eq!(parse_threads(Some("garbage")), DEFAULT_THREADS);
+        assert_eq!(parse_threads(Some("0")), DEFAULT_THREADS);
+        assert_eq!(parse_threads(Some("1")), 1);
+        assert_eq!(parse_threads(Some(" 12 ")), 12);
+        assert_eq!(parse_threads(Some("999999")), MAX_SERVE_THREADS);
+    }
+}

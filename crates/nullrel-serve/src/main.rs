@@ -1,0 +1,98 @@
+//! The `nullrel-serve` binary: loads an optional schema/data script,
+//! binds the configured address, and serves until interrupted.
+//!
+//! ```text
+//! NULLREL_SERVE_ADDR=127.0.0.1:7878 NULLREL_SERVE_THREADS=8 nullrel-serve [script.txt]
+//! ```
+//!
+//! Each optional argument is a `NAME=FILE` pair loading one relation in
+//! the `nullrel-storage` loader's whitespace-table format (header line of
+//! column names, `-` for `ni`) as table `NAME`. Without arguments, the
+//! server starts on the paper's Table II `EMP` example so there is
+//! something to query.
+
+use std::sync::Arc;
+
+use nullrel_core::value::Value;
+use nullrel_storage::{Database, SchemaBuilder, VersionedDatabase};
+
+fn table_ii_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        SchemaBuilder::new("EMP")
+            .required_column("E#")
+            .column("NAME")
+            .column("SEX")
+            .column("MGR#")
+            .column("TEL#")
+            .key(&["E#"]),
+    )
+    .expect("seed schema");
+    let u = db.universe().clone();
+    let t = db.table_mut("EMP").expect("seed table");
+    for (e, n, s, m) in [
+        (1120, "SMITH", "M", 2235),
+        (4335, "BROWN", "F", 2235),
+        (8799, "GREEN", "M", 1255),
+    ] {
+        t.insert_named(
+            &u,
+            &[
+                ("E#", Value::int(e)),
+                ("NAME", Value::str(n)),
+                ("SEX", Value::str(s)),
+                ("MGR#", Value::int(m)),
+            ],
+        )
+        .expect("seed row");
+    }
+    db
+}
+
+fn load_table(db: &mut Database, spec: &str) {
+    let (name, path) = spec
+        .split_once('=')
+        .unwrap_or_else(|| panic!("expected NAME=FILE, got {spec}"));
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let relation = nullrel_storage::loader::parse_relation(db.universe_mut(), &text)
+        .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
+    let mut builder = SchemaBuilder::new(name);
+    for attr in relation.attrs() {
+        let column = db.universe().name(*attr).expect("just interned").to_owned();
+        builder = builder.column(column);
+    }
+    db.create_table(builder)
+        .unwrap_or_else(|e| panic!("cannot create {name}: {e}"));
+    let table = db.table_mut(name).expect("just created");
+    for tuple in relation.tuples() {
+        table
+            .insert(tuple.clone())
+            .unwrap_or_else(|e| panic!("cannot load {name}: {e}"));
+    }
+}
+
+fn main() {
+    let config = nullrel_serve::ServeConfig::from_env();
+    let specs: Vec<String> = std::env::args().skip(1).collect();
+    let db = if specs.is_empty() {
+        table_ii_db()
+    } else {
+        let mut db = Database::new();
+        for spec in &specs {
+            load_table(&mut db, spec);
+        }
+        db
+    };
+    let vdb = Arc::new(VersionedDatabase::new(db));
+    let handle = nullrel_serve::start(vdb, config).expect("bind query service");
+    eprintln!(
+        "nullrel-serve listening on {} ({} tables, epoch {})",
+        handle.addr(),
+        handle.database().pin().db().table_names().len(),
+        handle.database().epoch()
+    );
+    // Serve until killed: the accept loop and workers own the process.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,134 @@
+//! The query service's metric statics: connection/session gauges,
+//! per-command latency histograms, and prepared-cache counters — all
+//! registered into the process-wide `nullrel-obs` registry so the wire's
+//! `METRICS` command (and any scraper of `render_prometheus`) sees them
+//! next to the engine catalog.
+
+use nullrel_obs::metrics::{Counter, Gauge, Histogram};
+
+/// Connections accepted since process start.
+pub static CONNECTIONS: Counter = Counter::new(
+    "nullrel_serve_connections_total",
+    "TCP connections accepted by the query service",
+);
+
+/// Currently open sessions.
+pub static ACTIVE_SESSIONS: Gauge = Gauge::new(
+    "nullrel_serve_active_sessions",
+    "Currently open query-service sessions",
+);
+
+/// Requests received (every parsed or unparsable line counts).
+pub static REQUESTS: Counter = Counter::new(
+    "nullrel_serve_requests_total",
+    "Requests received by the query service",
+);
+
+/// Requests answered with `ERR`.
+pub static ERRORS: Counter = Counter::new(
+    "nullrel_serve_errors_total",
+    "Requests the query service answered with ERR",
+);
+
+/// Prepared-cache hits (a QUEL/MAYBE text replayed without re-planning).
+pub static PREPARED_HITS: Counter = Counter::new(
+    "nullrel_serve_prepared_hits_total",
+    "Prepared-query cache hits",
+);
+
+/// Prepared-cache misses (first sight of a text, or post-eviction).
+pub static PREPARED_MISSES: Counter = Counter::new(
+    "nullrel_serve_prepared_misses_total",
+    "Prepared-query cache misses",
+);
+
+/// Prepared entries dropped because the schema evolved under them.
+pub static PREPARED_INVALIDATIONS: Counter = Counter::new(
+    "nullrel_serve_prepared_invalidations_total",
+    "Prepared-query cache entries invalidated by schema evolution",
+);
+
+/// Pinned sessions force-re-pinned past the staleness bound.
+pub static STALE_REPINS: Counter = Counter::new(
+    "nullrel_serve_stale_repins_total",
+    "Pinned sessions re-pinned forward past the staleness bound",
+);
+
+/// `QUEL` request latency.
+pub static QUEL_LATENCY: Histogram = Histogram::new(
+    "nullrel_serve_quel_latency_us",
+    "QUEL request latency, microseconds",
+);
+
+/// `MAYBE` request latency.
+pub static MAYBE_LATENCY: Histogram = Histogram::new(
+    "nullrel_serve_maybe_latency_us",
+    "MAYBE request latency, microseconds",
+);
+
+/// `EXPR`/`EXPRMAYBE` request latency.
+pub static EXPR_LATENCY: Histogram = Histogram::new(
+    "nullrel_serve_expr_latency_us",
+    "EXPR/EXPRMAYBE request latency, microseconds",
+);
+
+/// `EXPLAIN` request latency.
+pub static EXPLAIN_LATENCY: Histogram = Histogram::new(
+    "nullrel_serve_explain_latency_us",
+    "EXPLAIN request latency, microseconds",
+);
+
+/// `ANALYZE` request latency.
+pub static ANALYZE_LATENCY: Histogram = Histogram::new(
+    "nullrel_serve_analyze_latency_us",
+    "EXPLAIN ANALYZE request latency, microseconds",
+);
+
+/// `INSERT`/`DELETE` (commit) request latency.
+pub static WRITE_LATENCY: Histogram = Histogram::new(
+    "nullrel_serve_write_latency_us",
+    "INSERT/DELETE request latency, microseconds",
+);
+
+/// Control-command (`PIN`/`UNPIN`/`EPOCH`/`METRICS`) latency.
+pub static CONTROL_LATENCY: Histogram = Histogram::new(
+    "nullrel_serve_control_latency_us",
+    "Control command latency, microseconds",
+);
+
+/// The latency histogram for one command class (see
+/// [`crate::protocol::Request::command_name`]).
+pub fn command_latency(command: &str) -> &'static Histogram {
+    match command {
+        "quel" => &QUEL_LATENCY,
+        "maybe" => &MAYBE_LATENCY,
+        "expr" => &EXPR_LATENCY,
+        "explain" => &EXPLAIN_LATENCY,
+        "analyze" => &ANALYZE_LATENCY,
+        "write" => &WRITE_LATENCY,
+        _ => &CONTROL_LATENCY,
+    }
+}
+
+/// Registers every serve metric (and the storage layer's commit counter)
+/// with the process registry. Idempotent; called from server start and
+/// from the tests that scrape `METRICS`.
+pub fn register() {
+    use nullrel_obs::metrics as reg;
+    reg::register_counter(&CONNECTIONS);
+    reg::register_gauge(&ACTIVE_SESSIONS);
+    reg::register_counter(&REQUESTS);
+    reg::register_counter(&ERRORS);
+    reg::register_counter(&PREPARED_HITS);
+    reg::register_counter(&PREPARED_MISSES);
+    reg::register_counter(&PREPARED_INVALIDATIONS);
+    reg::register_counter(&STALE_REPINS);
+    reg::register_histogram(&QUEL_LATENCY);
+    reg::register_histogram(&MAYBE_LATENCY);
+    reg::register_histogram(&EXPR_LATENCY);
+    reg::register_histogram(&EXPLAIN_LATENCY);
+    reg::register_histogram(&ANALYZE_LATENCY);
+    reg::register_histogram(&WRITE_LATENCY);
+    reg::register_histogram(&CONTROL_LATENCY);
+    nullrel_storage::version::register_metrics();
+}

@@ -1,0 +1,137 @@
+//! Golden-file snapshot of the server-side `EXPLAIN ANALYZE` output as it
+//! crosses the wire — the serve-layer continuation of
+//! `nullrel-query/tests/explain_snapshots.rs`, masked with the same
+//! conventions (durations → `T`, percentages → `P%`, worker spreads →
+//! `workers=[masked]`). Re-bless with `UPDATE_GOLDEN=1 cargo test`.
+//!
+//! The server runs the pinned test options (serial, vectorized, default
+//! batch), so the snapshot is stable across the CI matrix legs.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nullrel_core::value::Value;
+use nullrel_serve::{start, Client, ServeConfig};
+use nullrel_storage::{Database, SchemaBuilder, VersionedDatabase};
+
+const JOIN_QUERY: &str = "range of e is EMP range of m is EMP retrieve (e.NAME) \
+                          where m.SEX = \"M\" and e.MGR# = m.E#";
+
+/// Keys whose values are wall-clock readings and must be masked.
+const DURATION_KEYS: &[&str] = &[
+    "time=",
+    "self=",
+    "parse=",
+    "plan=",
+    "optimize=",
+    "compile=",
+    "run=",
+    "total=",
+];
+
+/// The e12 EMP shape at n=24 — the same fixture as the query-layer
+/// explain snapshots, so the two golden sets stay comparable.
+fn emp_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        SchemaBuilder::new("EMP")
+            .required_column("E#")
+            .column("NAME")
+            .column("SEX")
+            .column("MGR#")
+            .key(&["E#"]),
+    )
+    .unwrap();
+    let u = db.universe().clone();
+    let t = db.table_mut("EMP").unwrap();
+    for i in 0..24 {
+        let mut cells = vec![
+            ("E#", Value::int(i)),
+            ("NAME", Value::str(format!("EMP{i}"))),
+            ("SEX", Value::str(if i % 2 == 0 { "M" } else { "F" })),
+        ];
+        if i % 7 != 0 {
+            cells.push(("MGR#", Value::int(i / 3)));
+        }
+        t.insert_named(&u, &cells).unwrap();
+    }
+    db
+}
+
+/// Replaces scheduling-dependent substrings with stable tokens (same
+/// masking as the query-layer snapshot harness).
+fn mask(report: &str) -> String {
+    let mut out = String::new();
+    for line in report.lines() {
+        let mut masked = String::new();
+        let mut rest = line;
+        while let Some(pos) = rest.find("workers=[") {
+            let end = rest[pos..]
+                .find(']')
+                .map(|e| pos + e + 1)
+                .unwrap_or(rest.len());
+            masked.push_str(&rest[..pos]);
+            masked.push_str("workers=[masked]");
+            rest = &rest[end..];
+        }
+        masked.push_str(rest);
+        let tokens: Vec<String> = masked
+            .split(' ')
+            .map(|tok| {
+                for key in DURATION_KEYS {
+                    if let Some(pos) = tok.find(key) {
+                        let value_at = pos + key.len();
+                        let trailer: String = tok[value_at..]
+                            .chars()
+                            .rev()
+                            .take_while(|c| *c == ']')
+                            .collect();
+                        return format!("{}T{trailer}", &tok[..value_at]);
+                    }
+                }
+                if tok.ends_with('%') && tok.starts_with(|c: char| c.is_ascii_digit()) {
+                    return "P%".to_owned();
+                }
+                tok.to_owned()
+            })
+            .collect();
+        out.push_str(&tokens.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Compares against `tests/golden/<name>.txt`, rewriting the file instead
+/// when `UPDATE_GOLDEN` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.txt"));
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("missing golden file {path:?} — run once with UPDATE_GOLDEN=1"));
+    assert_eq!(
+        expected, actual,
+        "snapshot drift in {name} (re-bless with UPDATE_GOLDEN=1 if intended)"
+    );
+}
+
+#[test]
+fn analyze_join_over_the_wire() {
+    let server = start(
+        Arc::new(VersionedDatabase::new(emp_db())),
+        ServeConfig::pinned_for_tests(),
+    )
+    .unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let lines = client
+        .send(&format!("ANALYZE {JOIN_QUERY}"))
+        .unwrap()
+        .expect("ANALYZE succeeds");
+    let report = lines.join("\n");
+    check_golden("analyze_join_over_the_wire", &mask(&report));
+}

@@ -5,9 +5,17 @@
 //! exposes the stored relations to the algebra layer by implementing
 //! [`RelationSource`], so a [`nullrel_core::algebra::Expr`] can be evaluated
 //! directly against the database.
+//!
+//! Tables are stored behind [`Arc`]s, which makes [`Database::clone`] a
+//! **copy-on-write snapshot**: the clone shares every table's rows,
+//! indexes, and statistics until one side mutates a table, at which point
+//! only that table is deep-copied ([`Arc::make_mut`]). This is the
+//! structural basis of the epoch/snapshot versioning in
+//! [`crate::version`] — readers pin a clone and never block writers.
 
 use std::collections::BTreeMap;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use nullrel_core::algebra::RelationSource;
 use nullrel_core::universe::Universe;
@@ -21,7 +29,8 @@ use crate::table::Table;
 #[derive(Debug, Clone, Default)]
 pub struct Database {
     universe: Universe,
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
+    schema_version: u64,
 }
 
 impl Database {
@@ -36,9 +45,22 @@ impl Database {
     }
 
     /// Mutable access to the universe (for registering domains after the
-    /// fact, renaming, …).
+    /// fact, renaming, …). Counts as schema evolution: the schema version
+    /// is bumped, conservatively invalidating prepared plans.
     pub fn universe_mut(&mut self) -> &mut Universe {
+        self.schema_version += 1;
         &mut self.universe
+    }
+
+    /// The catalog's schema version: a counter bumped by every operation
+    /// that can invalidate a resolved query plan — table creation and
+    /// drops, schema evolution through
+    /// [`Database::table_and_universe_mut`], and universe mutation.
+    /// Prepared-statement caches compare it to decide whether a cached
+    /// resolution is still valid. Plain data mutation through
+    /// [`Database::table_mut`] does **not** bump it.
+    pub fn schema_version(&self) -> u64 {
+        self.schema_version
     }
 
     /// Creates a table from a schema specification.
@@ -48,39 +70,55 @@ impl Database {
             return Err(StorageError::TableExists(name));
         }
         let schema = spec.build(&mut self.universe)?;
-        self.tables.insert(name.clone(), Table::new(schema));
-        Ok(self.tables.get_mut(&name).expect("just inserted"))
+        self.schema_version += 1;
+        self.tables
+            .insert(name.clone(), Arc::new(Table::new(schema)));
+        Ok(Arc::make_mut(
+            self.tables.get_mut(&name).expect("just inserted"),
+        ))
     }
 
-    /// Drops a table, returning it.
+    /// Drops a table, returning it. If snapshots still share the table the
+    /// returned copy is detached from them.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<Table> {
-        self.tables
+        let arc = self
+            .tables
             .remove(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+        self.schema_version += 1;
+        Ok(Arc::try_unwrap(arc).unwrap_or_else(|shared| (*shared).clone()))
     }
 
     /// Returns a table by name.
     pub fn table(&self, name: &str) -> StorageResult<&Table> {
         self.tables
             .get(name)
+            .map(|t| t.as_ref())
             .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
-    /// Returns a table mutably by name.
+    /// Returns a table mutably by name. Copy-on-write: when the table is
+    /// still shared with a snapshot, it is deep-copied first, so pinned
+    /// readers keep seeing the pre-mutation rows.
     pub fn table_mut(&mut self, name: &str) -> StorageResult<&mut Table> {
         self.tables
             .get_mut(name)
+            .map(Arc::make_mut)
             .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
     /// Returns a table mutably together with the universe; needed by schema
     /// evolution, which interns new attribute names while mutating the table.
+    /// Bumps the schema version (see [`Database::schema_version`]).
     pub fn table_and_universe_mut(
         &mut self,
         name: &str,
     ) -> StorageResult<(&mut Table, &mut Universe)> {
         match self.tables.get_mut(name) {
-            Some(table) => Ok((table, &mut self.universe)),
+            Some(table) => {
+                self.schema_version += 1;
+                Ok((Arc::make_mut(table), &mut self.universe))
+            }
             None => Err(StorageError::UnknownTable(name.to_owned())),
         }
     }
@@ -97,7 +135,16 @@ impl Database {
 
     /// Iterates over the tables in name order.
     pub fn tables(&self) -> impl Iterator<Item = &Table> + '_ {
-        self.tables.values()
+        self.tables.values().map(|t| t.as_ref())
+    }
+
+    /// The shared handle of a stored table — how tests observe
+    /// copy-on-write sharing between a database and its clones.
+    pub fn table_handle(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.tables
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
     }
 
     /// A snapshot of every stored relation as an x-relation, keyed by table
@@ -112,19 +159,19 @@ impl Database {
 
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 }
 
 impl RelationSource for Database {
     fn relation(&self, name: &str) -> Option<XRelation> {
-        self.tables.get(name).map(Table::to_xrelation)
+        self.tables.get(name).map(|t| t.to_xrelation())
     }
 }
 
 impl nullrel_stats::StatisticsSource for Database {
     fn table_statistics(&self, name: &str) -> Option<nullrel_stats::TableStatistics> {
-        self.tables.get(name).map(Table::statistics)
+        self.tables.get(name).map(|t| t.statistics())
     }
 }
 
@@ -195,6 +242,68 @@ mod tests {
         let snap = db.snapshot();
         assert_eq!(expr.eval(&snap).unwrap(), result);
         assert!(db.relation("MISSING").is_none());
+    }
+
+    /// `Database::clone` is a copy-on-write snapshot: the clone shares
+    /// every table allocation until one side mutates, and a mutation
+    /// detaches only the touched table — the snapshot keeps reading the
+    /// pre-mutation rows.
+    #[test]
+    fn clone_shares_tables_until_mutation() {
+        let mut db = sample_db();
+        let snapshot = db.clone();
+        assert!(
+            std::sync::Arc::ptr_eq(
+                &db.table_handle("PS").unwrap(),
+                &snapshot.table_handle("PS").unwrap()
+            ),
+            "an unmutated clone shares the table allocation"
+        );
+        let u = db.universe().clone();
+        db.table_mut("PS")
+            .unwrap()
+            .insert_named(&u, &[("S#", Value::str("s9"))])
+            .unwrap();
+        assert!(
+            !std::sync::Arc::ptr_eq(
+                &db.table_handle("PS").unwrap(),
+                &snapshot.table_handle("PS").unwrap()
+            ),
+            "mutation detached the writer's copy"
+        );
+        assert_eq!(db.table("PS").unwrap().len(), 5);
+        assert_eq!(
+            snapshot.table("PS").unwrap().len(),
+            4,
+            "the snapshot still reads the pre-mutation rows"
+        );
+    }
+
+    /// The schema version moves on DDL (create/drop/evolution/universe
+    /// access) and stays put on plain data mutation — the invalidation
+    /// signal of prepared-statement caches.
+    #[test]
+    fn schema_version_tracks_ddl_not_dml() {
+        let mut db = sample_db();
+        let v0 = db.schema_version();
+        let u = db.universe().clone();
+        db.table_mut("PS")
+            .unwrap()
+            .insert_named(&u, &[("S#", Value::str("s9"))])
+            .unwrap();
+        assert_eq!(db.schema_version(), v0, "DML leaves the version alone");
+        db.create_table(SchemaBuilder::new("T2").column("X"))
+            .unwrap();
+        let v1 = db.schema_version();
+        assert!(v1 > v0, "create_table bumps");
+        {
+            let (table, universe) = db.table_and_universe_mut("PS").unwrap();
+            table.add_column(universe, "QTY", None).unwrap();
+        }
+        let v2 = db.schema_version();
+        assert!(v2 > v1, "schema evolution bumps");
+        db.drop_table("T2").unwrap();
+        assert!(db.schema_version() > v2, "drop_table bumps");
     }
 
     #[test]

@@ -23,9 +23,11 @@ pub mod loader;
 pub mod scan;
 pub mod schema;
 pub mod table;
+pub mod version;
 
 pub use catalog::Database;
 pub use error::{StorageError, StorageResult};
 pub use index::HashIndex;
 pub use schema::{ColumnDef, SchemaBuilder, TableSchema};
 pub use table::Table;
+pub use version::{Snapshot, VersionedDatabase};

@@ -80,8 +80,22 @@ pub fn predicate_scan(
 /// An equality scan that uses a hash index when one covers the probed
 /// columns, falling back to a predicate scan otherwise.
 pub fn eq_scan(table: &Table, attrs: &[AttrId], key: &[Value]) -> (Vec<Tuple>, ScanStats) {
+    let (rows, stats) = eq_scan_ref(table, attrs, key);
+    (rows.into_iter().cloned().collect(), stats)
+}
+
+/// [`eq_scan`] without the clone: the probed rows are *borrowed* from the
+/// table, so the vectorized batch engine can late-materialise index-rooted
+/// pipelines exactly like full base scans — only the rows surviving the
+/// residual filter are ever cloned. Accounting is identical to
+/// [`eq_scan`].
+pub fn eq_scan_ref<'a>(
+    table: &'a Table,
+    attrs: &[AttrId],
+    key: &[Value],
+) -> (Vec<&'a Tuple>, ScanStats) {
     let has_index = table.indexes().iter().any(|i| i.attrs() == attrs);
-    let rows: Vec<Tuple> = table.lookup_eq(attrs, key).into_iter().cloned().collect();
+    let rows = table.lookup_eq(attrs, key);
     let stats = ScanStats {
         examined: if has_index { rows.len() } else { table.len() },
         returned: rows.len(),
@@ -161,5 +175,20 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert!(stats.used_index);
         assert_eq!(stats.examined, 2, "index probe touches only matches");
+    }
+
+    #[test]
+    fn borrowed_eq_scan_matches_the_cloning_one() {
+        let (_u, mut table, s, _p) = table();
+        for indexed in [false, true] {
+            if indexed {
+                table.create_index(vec![s]).unwrap();
+            }
+            let (owned, owned_stats) = eq_scan(&table, &[s], &[Value::str("s1")]);
+            let (borrowed, borrowed_stats) = eq_scan_ref(&table, &[s], &[Value::str("s1")]);
+            assert_eq!(owned_stats, borrowed_stats, "indexed={indexed}");
+            let borrowed: Vec<Tuple> = borrowed.into_iter().cloned().collect();
+            assert_eq!(owned, borrowed, "indexed={indexed}");
+        }
     }
 }
