@@ -1,0 +1,349 @@
+//! The CI perf-regression gate: diff fresh `BENCH_*.json` artifacts
+//! against committed baselines.
+//!
+//! The artifact format is the hand-rolled JSON the benches emit
+//! (`e16`/`e19` overhead ratios, `e17` vectorization speedups, `e18`
+//! serve scaling); every document ends with a `"metrics"` object that is
+//! a raw registry snapshot. The parser here deliberately reads only the
+//! **prefix before `"metrics"`** — the gated readings — with a linear
+//! scanner instead of a JSON library (the workspace is offline and the
+//! artifact grammar is ours), tracking the most recent `"shape"` label
+//! so per-shape readings in `e17`/`e18` get distinct ids.
+//!
+//! Gating is direction-aware and keyed on the reading name:
+//!
+//! * `…ratio` / `…degradation` — lower is better; fail when the fresh
+//!   value exceeds `baseline × (1 + tolerance)`.
+//! * `…speedup` / `…scaling` — higher is better; fail when the fresh
+//!   value drops below `baseline × (1 − tolerance)`.
+//! * raw `…_us` timings and counts — informational only (absolute
+//!   wall-clock shifts with the runner; the ratios are the contract).
+//!
+//! The tolerance comes from `NULLREL_BENCH_TOLERANCE` (default
+//! [`DEFAULT_TOLERANCE`]) in the `bench_compare` binary; the library
+//! takes it as a parameter so tests can pin it.
+
+use std::fmt;
+
+/// Default relative tolerance band for gated readings.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One numeric reading extracted from an artifact, identified as
+/// `<bench>/<shape>/<key>` (shape `-` when the reading is top-level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reading {
+    /// Stable identifier: `e17/fact_4k/speedup`, `e12/-/overhead_ratio`.
+    pub id: String,
+    /// The reading's bare key (`speedup`, `overhead_ratio`, …).
+    pub key: String,
+    /// The numeric value.
+    pub value: f64,
+}
+
+/// How a reading is gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Ratios and degradations: a larger fresh value is a regression.
+    LowerBetter,
+    /// Speedups and scalings: a smaller fresh value is a regression.
+    HigherBetter,
+    /// Raw timings and counts: reported, never gated.
+    Info,
+}
+
+/// The gating direction for a reading key.
+pub fn direction(key: &str) -> Direction {
+    if key.ends_with("ratio") || key.ends_with("degradation") {
+        Direction::LowerBetter
+    } else if key.contains("speedup") || key.contains("scaling") {
+        Direction::HigherBetter
+    } else {
+        Direction::Info
+    }
+}
+
+/// Verdict for one baseline/fresh pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Within the tolerance band.
+    Ok,
+    /// Better than the band — worth a look, never a failure.
+    Improved,
+    /// Worse than the band — fails the gate.
+    Regressed,
+    /// Informational reading, not gated.
+    Info,
+    /// Present in the baseline but missing from the fresh run — fails
+    /// the gate (a silently vanished bench must not pass).
+    Missing,
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Ok => "ok",
+            Verdict::Improved => "improved",
+            Verdict::Regressed => "REGRESSED",
+            Verdict::Info => "info",
+            Verdict::Missing => "MISSING",
+        })
+    }
+}
+
+/// One compared reading.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The reading id (`<bench>/<shape>/<key>`).
+    pub id: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Fresh value (`None` when the fresh artifact lost the reading).
+    pub fresh: Option<f64>,
+    /// The verdict under the tolerance band.
+    pub verdict: Verdict,
+}
+
+/// Extracts the gated readings from one artifact document: every
+/// `"key": <number>` pair before the `"metrics"` object, labeled with
+/// the innermost preceding `"shape": "<name>"`.
+pub fn parse_artifact(bench: &str, body: &str) -> Vec<Reading> {
+    let prefix = body.split("\"metrics\"").next().unwrap_or(body);
+    let mut readings = Vec::new();
+    let mut shape = "-".to_owned();
+    let mut rest = prefix;
+    while let Some(open) = rest.find('"') {
+        let after_open = &rest[open + 1..];
+        let Some(close) = after_open.find('"') else {
+            break;
+        };
+        let key = &after_open[..close];
+        let mut tail = after_open[close + 1..].trim_start();
+        if !tail.starts_with(':') {
+            rest = &after_open[close + 1..];
+            continue;
+        }
+        tail = tail[1..].trim_start();
+        if let Some(stripped) = tail.strip_prefix('"') {
+            // String value: only "shape" labels matter; a new shape
+            // resets the label for the readings that follow it.
+            if let Some(end) = stripped.find('"') {
+                if key == "shape" {
+                    shape = stripped[..end].to_owned();
+                }
+                rest = &stripped[end + 1..];
+                continue;
+            }
+            break;
+        }
+        let end = tail
+            .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+            .unwrap_or(tail.len());
+        if let Ok(value) = tail[..end].parse::<f64>() {
+            readings.push(Reading {
+                id: format!("{bench}/{shape}/{key}"),
+                key: key.to_owned(),
+                value,
+            });
+        }
+        rest = &tail[end..];
+    }
+    readings
+}
+
+/// Compares fresh readings against the baseline under `tolerance`.
+/// Baseline readings absent from the fresh set are [`Verdict::Missing`];
+/// fresh readings with no baseline are ignored (new benches gate once
+/// their baseline is committed).
+pub fn compare(baseline: &[Reading], fresh: &[Reading], tolerance: f64) -> Vec<Comparison> {
+    baseline
+        .iter()
+        .map(|b| {
+            let found = fresh.iter().find(|f| f.id == b.id);
+            let verdict = match (direction(&b.key), found) {
+                (_, None) => Verdict::Missing,
+                (Direction::Info, Some(_)) => Verdict::Info,
+                (Direction::LowerBetter, Some(f)) => {
+                    if f.value > b.value * (1.0 + tolerance) {
+                        Verdict::Regressed
+                    } else if f.value < b.value * (1.0 - tolerance) {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+                (Direction::HigherBetter, Some(f)) => {
+                    if f.value < b.value * (1.0 - tolerance) {
+                        Verdict::Regressed
+                    } else if f.value > b.value * (1.0 + tolerance) {
+                        Verdict::Improved
+                    } else {
+                        Verdict::Ok
+                    }
+                }
+            };
+            Comparison {
+                id: b.id.clone(),
+                baseline: b.value,
+                fresh: found.map(|f| f.value),
+                verdict,
+            }
+        })
+        .collect()
+}
+
+/// True when any comparison fails the gate.
+pub fn has_regression(comparisons: &[Comparison]) -> bool {
+    comparisons
+        .iter()
+        .any(|c| matches!(c.verdict, Verdict::Regressed | Verdict::Missing))
+}
+
+/// Renders the comparison table as the report the CI step uploads.
+pub fn render_report(comparisons: &[Comparison], tolerance: f64) -> String {
+    let mut out = format!(
+        "bench-compare report (tolerance ±{:.0}%)\n",
+        tolerance * 100.0
+    );
+    for c in comparisons {
+        let fresh = c
+            .fresh
+            .map(|f| format!("{f:.4}"))
+            .unwrap_or_else(|| "-".to_owned());
+        let delta = c
+            .fresh
+            .filter(|_| c.baseline.abs() > f64::EPSILON)
+            .map(|f| format!("{:+.1}%", (f / c.baseline - 1.0) * 100.0))
+            .unwrap_or_else(|| "-".to_owned());
+        out.push_str(&format!(
+            "{:<40} baseline={:<12.4} fresh={:<12} delta={:<8} {}\n",
+            c.id, c.baseline, fresh, delta, c.verdict
+        ));
+    }
+    let gate = if has_regression(comparisons) {
+        "FAIL"
+    } else {
+        "PASS"
+    };
+    out.push_str(&format!("gate: {gate}\n"));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E17_LIKE: &str = r#"{
+  "bench": "e17_vectorized",
+  "min_speedup": 2.1,
+  "shapes": [
+    {"shape": "filter_50k", "scalar_us": 1200, "vectorized_us": 400, "speedup": 3.0},
+    {"shape": "join_20k", "scalar_us": 900, "vectorized_us": 428, "speedup": 2.1}
+  ],
+  "metrics": {"counters": {"nullrel_queries_executed_total": 12}}
+}
+"#;
+
+    const E12_LIKE: &str = r#"{
+  "bench": "e12",
+  "untraced_us": 8100,
+  "traced_us": 8200,
+  "overhead_ratio": 1.0123,
+  "metrics": {}
+}
+"#;
+
+    #[test]
+    fn parser_reads_the_prefix_and_tracks_shapes() {
+        let readings = parse_artifact("e17", E17_LIKE);
+        let ids: Vec<&str> = readings.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(
+            ids,
+            [
+                "e17/-/min_speedup",
+                "e17/filter_50k/scalar_us",
+                "e17/filter_50k/vectorized_us",
+                "e17/filter_50k/speedup",
+                "e17/join_20k/scalar_us",
+                "e17/join_20k/vectorized_us",
+                "e17/join_20k/speedup",
+            ]
+        );
+        assert_eq!(readings[0].value, 2.1);
+        let metrics_leaked = readings.iter().any(|r| r.id.contains("nullrel_"));
+        assert!(!metrics_leaked, "nothing after \"metrics\" is read");
+    }
+
+    #[test]
+    fn directions_are_keyed_on_the_reading_name() {
+        assert_eq!(direction("overhead_ratio"), Direction::LowerBetter);
+        assert_eq!(direction("e12_recorder_ratio"), Direction::LowerBetter);
+        assert_eq!(direction("degradation"), Direction::LowerBetter);
+        assert_eq!(direction("speedup"), Direction::HigherBetter);
+        assert_eq!(direction("min_read_scaling"), Direction::HigherBetter);
+        assert_eq!(direction("scalar_us"), Direction::Info);
+        assert_eq!(direction("commits"), Direction::Info);
+    }
+
+    #[test]
+    fn identical_runs_pass_and_timings_never_gate() {
+        let base = parse_artifact("e12", E12_LIKE);
+        // Fresh run: same ratio, wildly different absolute timings.
+        let fresh_doc = E12_LIKE.replace("8100", "16000").replace("8200", "16200");
+        let fresh = parse_artifact("e12", &fresh_doc);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(!has_regression(&cmp), "{}", render_report(&cmp, 0.25));
+        assert!(cmp
+            .iter()
+            .filter(|c| c.id.ends_with("_us"))
+            .all(|c| c.verdict == Verdict::Info));
+    }
+
+    #[test]
+    fn injected_regression_fails_the_gate() {
+        // Negative test: a synthetic 60% overhead regression must fail.
+        let base = parse_artifact("e12", E12_LIKE);
+        let fresh_doc = E12_LIKE.replace("1.0123", "1.6200");
+        let fresh = parse_artifact("e12", &fresh_doc);
+        let cmp = compare(&base, &fresh, DEFAULT_TOLERANCE);
+        assert!(has_regression(&cmp));
+        let bad = cmp.iter().find(|c| c.id == "e12/-/overhead_ratio").unwrap();
+        assert_eq!(bad.verdict, Verdict::Regressed);
+        assert!(render_report(&cmp, 0.25).contains("gate: FAIL"));
+    }
+
+    #[test]
+    fn speedup_drops_regress_and_gains_do_not() {
+        let base = parse_artifact("e17", E17_LIKE);
+        let slower = parse_artifact(
+            "e17",
+            &E17_LIKE.replace("\"speedup\": 3.0", "\"speedup\": 2.0"),
+        );
+        let cmp = compare(&base, &slower, DEFAULT_TOLERANCE);
+        assert!(has_regression(&cmp), "3.0 → 2.0 is past −25%");
+
+        let faster = parse_artifact(
+            "e17",
+            &E17_LIKE.replace("\"speedup\": 3.0", "\"speedup\": 9.9"),
+        );
+        let cmp = compare(&base, &faster, DEFAULT_TOLERANCE);
+        assert!(!has_regression(&cmp), "improvements never fail");
+        assert!(cmp.iter().any(|c| c.verdict == Verdict::Improved));
+    }
+
+    #[test]
+    fn tolerance_band_is_respected() {
+        let base = parse_artifact("e12", E12_LIKE);
+        // +20% on a lower-better ratio: inside a 25% band, outside 10%.
+        let fresh = parse_artifact("e12", &E12_LIKE.replace("1.0123", "1.2100"));
+        assert!(!has_regression(&compare(&base, &fresh, 0.25)));
+        assert!(has_regression(&compare(&base, &fresh, 0.10)));
+    }
+
+    #[test]
+    fn missing_fresh_readings_fail_the_gate() {
+        let base = parse_artifact("e12", E12_LIKE);
+        let cmp = compare(&base, &[], DEFAULT_TOLERANCE);
+        assert!(has_regression(&cmp));
+        assert!(cmp.iter().all(|c| c.verdict == Verdict::Missing));
+    }
+}

@@ -9,9 +9,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compare;
 pub mod paper_data;
 pub mod workload;
 
+pub use compare::{compare, has_regression, parse_artifact, render_report};
 pub use paper_data::{emp_database, ps_database, ps_relations};
 pub use workload::{
     random_predicate, random_relation, random_tuples, tautology_formula, WorkloadSpec,

@@ -86,7 +86,7 @@ pub use par_op::{
     ParProjectOp, ParXIntersectOp,
 };
 pub use source::ExecSource;
-pub use stats::{fmt_duration, ExecStats, OpStats, ReOptEvent};
+pub use stats::{approx_tuple_bytes, fmt_duration, ExecStats, OpStats, ReOptEvent};
 pub use vec_op::{RowSource, VectorPipeOp};
 
 use nullrel_core::algebra::Expr;

@@ -50,7 +50,7 @@ use nullrel_core::tvl::Truth;
 use nullrel_core::universe::{AttrId, AttrSet};
 use nullrel_core::value::Value;
 
-use crate::stats::OpStats;
+use crate::stats::{approx_tuple_bytes, OpStats};
 
 /// A shared statistics slot.
 pub type StatsSlot = Rc<RefCell<OpStats>>;
@@ -254,21 +254,27 @@ impl<'a> HashJoinOp<'a> {
         let Some(mut right) = self.right.take() else {
             return Ok(());
         };
+        let mut mem_bytes = 0usize;
         while let Some(t) = right.next_tuple()? {
             let mut stats = self.stats.borrow_mut();
             stats.build_rows += 1;
             match t.key_on(&self.right_keys) {
-                Some(key) => match self.table.entry(normalize_key(key)) {
-                    Entry::Occupied(mut e) => e.get_mut().push(t),
-                    Entry::Vacant(e) => {
-                        e.insert(vec![t]);
+                Some(key) => {
+                    mem_bytes += approx_tuple_bytes(&t);
+                    match self.table.entry(normalize_key(key)) {
+                        Entry::Occupied(mut e) => e.get_mut().push(t),
+                        Entry::Vacant(e) => {
+                            e.insert(vec![t]);
+                        }
                     }
-                },
+                }
                 // A null join key can never satisfy the equality for sure:
                 // the row belongs to the ni band of the join predicate.
                 None => stats.ni_rows += 1,
             }
         }
+        let rows = self.table.values().map(Vec::len).sum();
+        self.stats.borrow_mut().note_mem(rows, mem_bytes);
         Ok(())
     }
 }
@@ -566,7 +572,10 @@ impl TupleStream for DifferenceOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let Some(mut right) = self.right.take() {
             let rows = right.drain_all()?;
-            self.stats.borrow_mut().build_rows += rows.len();
+            let mut stats = self.stats.borrow_mut();
+            stats.build_rows += rows.len();
+            stats.note_mem(rows.len(), rows.iter().map(approx_tuple_bytes).sum());
+            drop(stats);
             self.index = Some(TupleIndex::build(&rows));
         }
         let index = self.index.as_ref().expect("built above");
@@ -612,7 +621,12 @@ impl TupleStream for IntersectOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let Some(mut right) = self.right.take() {
             self.right_rows = right.drain_all()?;
-            self.stats.borrow_mut().build_rows += self.right_rows.len();
+            let mut stats = self.stats.borrow_mut();
+            stats.build_rows += self.right_rows.len();
+            stats.note_mem(
+                self.right_rows.len(),
+                self.right_rows.iter().map(approx_tuple_bytes).sum(),
+            );
         }
         loop {
             if let Some(t) = self.pending.pop_front() {
@@ -653,6 +667,15 @@ fn drained_equijoin(
         let mut s = stats.borrow_mut();
         s.build_rows += right_raw.len();
         s.rows_in += left_raw.len();
+        // Both sides are held materialized at once while the join runs.
+        s.note_mem(
+            left_raw.len() + right_raw.len(),
+            left_raw
+                .iter()
+                .chain(&right_raw)
+                .map(approx_tuple_bytes)
+                .sum(),
+        );
     }
     let right_rows = minimal(right_raw);
     let left_rows = minimal(left_raw);
@@ -805,6 +828,15 @@ impl<'a> DivisionOp<'a> {
             return Err(CoreError::ScopeOverlap { shared });
         }
         let rows = input.drain_all()?;
+        // The dividend and divisor are both held materialized while the
+        // quotient candidates are tested.
+        self.stats.borrow_mut().note_mem(
+            rows.len() + divisor_rows.len(),
+            rows.iter()
+                .chain(&divisor_rows)
+                .map(approx_tuple_bytes)
+                .sum(),
+        );
         // Hash-group the Y-total rows on their quotient value.
         let mut seen: HashSet<Tuple> = HashSet::new();
         let mut candidates: Vec<Tuple> = Vec::new();
@@ -867,6 +899,12 @@ pub struct MinimizeOp<'a> {
     seen: HashSet<Tuple>,
     drained: bool,
     emit: usize,
+    /// High-water mark of the antichain: rows and estimated bytes held
+    /// at once (the antichain can shrink when a newcomer evicts
+    /// dominated tuples, so the peak may exceed the final size).
+    peak_rows: usize,
+    kept_bytes: usize,
+    peak_bytes: usize,
     stats: StatsSlot,
 }
 
@@ -879,6 +917,9 @@ impl<'a> MinimizeOp<'a> {
             seen: HashSet::new(),
             drained: false,
             emit: 0,
+            peak_rows: 0,
+            kept_bytes: 0,
+            peak_bytes: 0,
             stats,
         }
     }
@@ -890,15 +931,20 @@ impl<'a> MinimizeOp<'a> {
         if self.kept.iter().any(|k| k.more_informative_than(&t)) {
             return;
         }
+        let kept_bytes = &mut self.kept_bytes;
         self.kept.retain(|k| {
             let evict = t.more_informative_than(k);
             if evict {
                 self.seen.remove(k);
+                *kept_bytes = kept_bytes.saturating_sub(approx_tuple_bytes(k));
             }
             !evict
         });
+        self.kept_bytes += approx_tuple_bytes(&t);
         self.seen.insert(t.clone());
         self.kept.push(t);
+        self.peak_rows = self.peak_rows.max(self.kept.len());
+        self.peak_bytes = self.peak_bytes.max(self.kept_bytes);
     }
 }
 
@@ -910,7 +956,9 @@ impl TupleStream for MinimizeOp<'_> {
                 self.absorb(t);
             }
             self.drained = true;
-            self.stats.borrow_mut().rows_out = self.kept.len();
+            let mut stats = self.stats.borrow_mut();
+            stats.rows_out = self.kept.len();
+            stats.note_mem(self.peak_rows, self.peak_bytes);
         }
         if self.emit < self.kept.len() {
             let t = self.kept[self.emit].clone();

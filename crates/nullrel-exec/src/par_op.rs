@@ -45,6 +45,7 @@ use nullrel_par::{
 };
 
 use crate::op::{BoxedOp, StatsSlot};
+use crate::stats::approx_tuple_bytes;
 use nullrel_core::algebra::TupleStream;
 
 /// Shared shape of every parallel operator: run once on first pull, then
@@ -217,6 +218,16 @@ impl TupleStream for ParHashJoinOp<'_> {
                 let mut stats = self.stats.borrow_mut();
                 stats.build_rows += right_rows.len();
                 stats.rows_in += left_rows.len();
+                // Both sides are held materialized at once while the pool
+                // runs — the peak for this pipeline break.
+                stats.note_mem(
+                    left_rows.len() + right_rows.len(),
+                    left_rows
+                        .iter()
+                        .chain(&right_rows)
+                        .map(approx_tuple_bytes)
+                        .sum(),
+                );
             }
             let outcome = par_hash_join(
                 left_rows,
@@ -283,6 +294,16 @@ impl TupleStream for ParEquiJoinOp<'_> {
                 let mut stats = self.stats.borrow_mut();
                 stats.build_rows += right_rows.len();
                 stats.rows_in += left_rows.len();
+                // Both sides are held materialized at once while the pool
+                // runs — the peak for this pipeline break.
+                stats.note_mem(
+                    left_rows.len() + right_rows.len(),
+                    left_rows
+                        .iter()
+                        .chain(&right_rows)
+                        .map(approx_tuple_bytes)
+                        .sum(),
+                );
             }
             let outcome = par_equijoin(
                 left_rows,
@@ -344,6 +365,16 @@ impl TupleStream for ParDifferenceOp<'_> {
                 let mut stats = self.stats.borrow_mut();
                 stats.build_rows += right_rows.len();
                 stats.rows_in += left_rows.len();
+                // Both sides are held materialized at once while the pool
+                // runs — the peak for this pipeline break.
+                stats.note_mem(
+                    left_rows.len() + right_rows.len(),
+                    left_rows
+                        .iter()
+                        .chain(&right_rows)
+                        .map(approx_tuple_bytes)
+                        .sum(),
+                );
             }
             let morsel = adaptive_morsel_rows(left_rows.len(), self.pool.degree());
             let outcome = par_difference(left_rows, &right_rows, &self.pool, morsel)?;
@@ -395,6 +426,16 @@ impl TupleStream for ParXIntersectOp<'_> {
                 let mut stats = self.stats.borrow_mut();
                 stats.build_rows += right_rows.len();
                 stats.rows_in += left_rows.len();
+                // Both sides are held materialized at once while the pool
+                // runs — the peak for this pipeline break.
+                stats.note_mem(
+                    left_rows.len() + right_rows.len(),
+                    left_rows
+                        .iter()
+                        .chain(&right_rows)
+                        .map(approx_tuple_bytes)
+                        .sum(),
+                );
             }
             let morsel = adaptive_morsel_rows(left_rows.len(), self.pool.degree());
             let outcome = par_x_intersect(left_rows, right_rows, &self.pool, morsel)?;
@@ -452,6 +493,14 @@ impl TupleStream for ParDivisionOp<'_> {
                 let mut stats = self.stats.borrow_mut();
                 stats.build_rows += divisor_rows.len();
                 stats.rows_in += input_rows.len();
+                stats.note_mem(
+                    input_rows.len() + divisor_rows.len(),
+                    input_rows
+                        .iter()
+                        .chain(&divisor_rows)
+                        .map(approx_tuple_bytes)
+                        .sum(),
+                );
             }
             let morsel = adaptive_morsel_rows(input_rows.len(), self.pool.degree());
             let outcome = par_division(input_rows, divisor_rows, &self.y, &self.pool, morsel)?;
@@ -497,7 +546,11 @@ impl TupleStream for ParMinimizeOp<'_> {
     fn next_tuple(&mut self) -> CoreResult<Option<Tuple>> {
         if let Some(mut input) = self.input.take() {
             let rows = input.drain_all()?;
-            self.stats.borrow_mut().rows_in += rows.len();
+            {
+                let mut stats = self.stats.borrow_mut();
+                stats.rows_in += rows.len();
+                stats.note_mem(rows.len(), rows.iter().map(approx_tuple_bytes).sum());
+            }
             let morsel = adaptive_morsel_rows(rows.len(), self.pool.degree());
             let outcome = par_minimize(rows, &self.pool, morsel)?;
             self.stats.borrow_mut().absorb_workers(&outcome.workers);

@@ -64,6 +64,17 @@ pub struct OpStats {
     /// runs of the same plan are the *same execution* regardless of how
     /// long the clock said they took.
     pub elapsed: Duration,
+    /// Peak rows this operator held materialized at once — hash-join
+    /// build tables, set-operator right sides, division inputs,
+    /// minimization antichains. Zero for streaming operators. Excluded
+    /// from equality: serial, parallel, and vectorized engines
+    /// materialize the same logical plan differently, and the
+    /// differential tests compare the *logical* execution.
+    pub mem_rows: usize,
+    /// Estimated bytes behind [`OpStats::mem_rows`] (cell payloads plus
+    /// a fixed per-cell overhead; see [`approx_tuple_bytes`]). Excluded
+    /// from equality, like `mem_rows`.
+    pub mem_bytes: usize,
 }
 
 // Manual equality: every counter participates except `elapsed` (timing
@@ -103,6 +114,15 @@ impl OpStats {
         self.rows_in += scan.examined;
         self.ni_rows += scan.ni_rows;
         self.used_index |= scan.used_index;
+    }
+
+    /// Records a materialization high-water mark: the slot keeps the
+    /// peak `(rows, bytes)` any single observation reported. Blocking
+    /// operators call this once per built structure (build table, set
+    /// side, antichain), so the hot per-tuple loop stays untouched.
+    pub fn note_mem(&mut self, rows: usize, bytes: usize) {
+        self.mem_rows = self.mem_rows.max(rows);
+        self.mem_bytes = self.mem_bytes.max(bytes);
     }
 
     /// Folds a parallel stage's per-worker counters into this slot
@@ -242,6 +262,40 @@ impl ExecStats {
         self.used_op("IndexNestedLoopJoin")
     }
 
+    /// Peak rows materialized at once, summed across operators — the
+    /// plan's memory footprint in rows. (Blocking operators on the same
+    /// pipeline do hold their structures simultaneously, so the sum is
+    /// the honest upper bound.)
+    pub fn peak_mem_rows(&self) -> usize {
+        self.ops.iter().map(|o| o.mem_rows).sum()
+    }
+
+    /// Estimated bytes behind [`ExecStats::peak_mem_rows`].
+    pub fn peak_mem_bytes(&self) -> usize {
+        self.ops.iter().map(|o| o.mem_bytes).sum()
+    }
+
+    /// Column batches the vectorized operators processed, derived from
+    /// per-operator input rows and compiled batch granularity.
+    pub fn batches(&self) -> usize {
+        self.ops
+            .iter()
+            .filter(|o| o.batch_rows > 0)
+            .map(|o| o.rows_in.div_ceil(o.batch_rows))
+            .sum()
+    }
+
+    /// Worker lanes that actually produced rows anywhere in the plan —
+    /// the "used" side of granted-vs-used parallelism.
+    pub fn max_workers_used(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|o| o.workers.len())
+            .max()
+            .unwrap_or(0)
+            .max(1)
+    }
+
     /// The highest degree of parallelism any operator was granted
     /// (1 when the whole plan ran serially).
     pub fn max_parallelism(&self) -> usize {
@@ -365,10 +419,11 @@ impl ExecStats {
     }
 
     /// Renders the `EXPLAIN ANALYZE` plan: every operator's explain line
-    /// followed by `[time=… self=… NN.N% act=… est=… q-err=… par=g/u]` —
-    /// inclusive wall-clock, self time, share of the run phase (`total`),
-    /// actual vs estimated rows with the per-operator q-error, and
-    /// granted-vs-used parallelism.
+    /// followed by `[time=… self=… NN.N% act=… est=… q-err=… par=g/u
+    /// mem=Nr/NB]` — inclusive wall-clock, self time, share of the run
+    /// phase (`total`), actual vs estimated rows with the per-operator
+    /// q-error, granted-vs-used parallelism, and (for blocking
+    /// operators) the peak rows/bytes materialized.
     pub fn render_analyze(&self, total: Duration) -> String {
         let mut out = String::new();
         for (idx, op) in self.ops.iter().enumerate() {
@@ -393,11 +448,15 @@ impl ExecStats {
             let granted = op.parallelism.max(1);
             let used = op.workers.len().max(1);
             out.push_str(&format!(
-                " [time={} self={} {pct:.1}% act={} est={est} q-err={q_err} par={granted}/{used}]",
+                " [time={} self={} {pct:.1}% act={} est={est} q-err={q_err} par={granted}/{used}",
                 fmt_duration(op.elapsed),
                 fmt_duration(self.self_time(idx)),
                 op.rows_out,
             ));
+            if op.mem_rows > 0 {
+                out.push_str(&format!(" mem={}r/{}B", op.mem_rows, op.mem_bytes));
+            }
+            out.push(']');
             out.push('\n');
         }
         self.render_reopts(&mut out);
@@ -429,6 +488,23 @@ impl ExecStats {
         metrics::HASH_JOIN_BUILDS.add(builds);
         metrics::HASH_JOIN_PROBES.add(probes);
     }
+}
+
+/// Estimated resident bytes of one materialized tuple: per cell, the
+/// payload (string length, 8 bytes for scalars) plus a flat 24-byte
+/// structural overhead standing in for the tree-map node. Deliberately
+/// coarse — the point of `mem=` is *relative* weight between operators
+/// and queries, reproducible across runs, not allocator truth.
+pub fn approx_tuple_bytes(t: &nullrel_core::Tuple) -> usize {
+    let mut bytes = 16; // tuple header
+    for (_, v) in t.cells() {
+        bytes += 24
+            + match v {
+                nullrel_core::Value::Str(s) => s.len(),
+                _ => 8,
+            };
+    }
+    bytes
 }
 
 /// Compact human duration: `950µs`, `12.34ms`, `1.20s` — the format every
@@ -509,6 +585,55 @@ mod tests {
             .map(|w| (w.rows_in, w.rows_out))
             .collect();
         assert_eq!(spreads, vec![(300, 230), (30, 25)]);
+    }
+
+    /// Memory accounting: `note_mem` keeps the high-water mark, the
+    /// aggregate sums across operators, `mem=` renders only in the
+    /// analyze report (the physical `render()` and equality are
+    /// untouched so differential plan comparisons keep working).
+    #[test]
+    fn mem_accounting_peaks_aggregates_and_renders() {
+        let mut op = OpStats {
+            label: "HashJoin e.A = m.B".into(),
+            ..OpStats::default()
+        };
+        op.note_mem(10, 500);
+        op.note_mem(5, 100); // below the peak: ignored
+        assert_eq!((op.mem_rows, op.mem_bytes), (10, 500));
+        let without_mem = OpStats {
+            mem_rows: 0,
+            mem_bytes: 0,
+            ..op.clone()
+        };
+        assert_eq!(op, without_mem, "mem is excluded from equality");
+        let stats = ExecStats {
+            ops: vec![op, without_mem],
+            reopts: Vec::new(),
+        };
+        assert_eq!(stats.peak_mem_rows(), 10);
+        assert_eq!(stats.peak_mem_bytes(), 500);
+        let analyzed = stats.render_analyze(Duration::from_micros(100));
+        assert!(analyzed.contains(" mem=10r/500B]"), "{analyzed}");
+        assert_eq!(analyzed.matches("mem=").count(), 1, "zero-mem ops omit");
+        assert!(
+            !stats.render().contains("mem="),
+            "physical render unchanged"
+        );
+    }
+
+    #[test]
+    fn approx_tuple_bytes_scales_with_payload() {
+        use nullrel_core::universe::Universe;
+        use nullrel_core::Value;
+        let mut u = Universe::new();
+        let a = u.intern("A");
+        let b = u.intern("B");
+        let mut small = nullrel_core::Tuple::new();
+        small.set(a, Some(Value::Int(7)));
+        let mut big = small.clone();
+        big.set(b, Some(Value::str("a longer string payload")));
+        assert!(approx_tuple_bytes(&big) > approx_tuple_bytes(&small));
+        assert!(approx_tuple_bytes(&small) >= 16);
     }
 
     #[test]

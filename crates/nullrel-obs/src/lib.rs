@@ -34,6 +34,18 @@
 //!   the full trace of any query at or over the threshold into the
 //!   built-in [`slow_log`] ring buffer.
 //!
+//! ## Flight recorder
+//!
+//! The [`recorder`] module keeps an **always-on** per-query flight
+//! record (fingerprint, truth band, phase breakdown, rows, parallelism,
+//! memory peaks, total latency) in a bounded ring, folded into a
+//! per-fingerprint **workload log** with p50/p95/p99 latency from the
+//! shared fixed buckets. It is what the `nullrel-serve` wire commands
+//! `TOP`/`SLOW`/`HEALTH` read. Unlike tracing it defaults to on
+//! (`NULLREL_RECORDER=0` disables) and costs one thread-local record
+//! plus one mutex push per query — bounded by the
+//! `e19_recorder_overhead` bench at <2 %.
+//!
 //! ## Metrics
 //!
 //! [`metrics`] is a registry of static handles — atomic [`Counter`]s,
@@ -63,14 +75,16 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod recorder;
 pub mod span;
 pub mod trace;
 
 pub use metrics::{Counter, Gauge, Histogram, LaneCounter, MetricsSnapshot, Phase};
+pub use recorder::{QueryRecord, RecorderStats, WorkloadEntry};
 pub use span::{
-    adopt, begin_query, current_trace, event, flush_thread, install_sink, set_lane,
+    adopt, begin_query, current_trace, event, flush_thread, install_sink, parse_slow_ms, set_lane,
     set_slow_query_ms, slow_log, slow_query_ms, span, timing_active, tracing_active,
-    uninstall_sink, QueryTrace, Span, TimingGuard,
+    uninstall_sink, QueryTrace, Span, TimingGuard, SLOW_LOG_CAP,
 };
 pub use trace::{RingSink, SpanRecord, Trace, TraceSink};
 
@@ -93,6 +107,7 @@ pub fn phase_timed<T>(p: Phase, f: impl FnOnce() -> T) -> (T, Duration) {
     let out = f();
     let elapsed = start.elapsed();
     metrics::phase_histogram(p).observe(elapsed.as_micros() as u64);
+    recorder::note_phase(p, elapsed.as_micros() as u64);
     if let Some(start_us) = start_us {
         span::record_complete(
             p.name().to_owned(),

@@ -641,49 +641,65 @@ pub fn snapshot() -> MetricsSnapshot {
 /// Renders every registered metric in the Prometheus text exposition
 /// format (histograms as cumulative `_bucket{le=…}` series plus `_sum`
 /// and `_count`; lane counters as one series per worker label).
+///
+/// Families are rendered **sorted by metric name** — registration order
+/// varies with which crates initialized first, and a deterministic
+/// rendering is what lets the wire `METRICS` command be
+/// golden-snapshot-tested. Label sets within a family (lane counters'
+/// `worker` labels, histograms' `le` bounds) are ascending by
+/// construction.
 pub fn render_prometheus() -> String {
     ensure_catalog();
     let reg = REGISTRY.lock().expect("registry poisoned");
-    let mut out = String::new();
+    let mut families: Vec<(&'static str, String)> = Vec::new();
     for c in &reg.counters {
-        out.push_str(&format!("# HELP {} {}\n", c.name, c.help));
-        out.push_str(&format!("# TYPE {} counter\n", c.name));
-        out.push_str(&format!("{} {}\n", c.name, c.get()));
+        let mut body = String::new();
+        body.push_str(&format!("# HELP {} {}\n", c.name, c.help));
+        body.push_str(&format!("# TYPE {} counter\n", c.name));
+        body.push_str(&format!("{} {}\n", c.name, c.get()));
+        families.push((c.name, body));
     }
     for lc in &reg.lane_counters {
-        out.push_str(&format!("# HELP {} {}\n", lc.name, lc.help));
-        out.push_str(&format!("# TYPE {} counter\n", lc.name));
+        let mut body = String::new();
+        body.push_str(&format!("# HELP {} {}\n", lc.name, lc.help));
+        body.push_str(&format!("# TYPE {} counter\n", lc.name));
         let lanes = lc.lanes();
         if lanes.is_empty() {
-            out.push_str(&format!("{} 0\n", lc.name));
+            body.push_str(&format!("{} 0\n", lc.name));
         }
         for (lane, v) in lanes {
-            out.push_str(&format!("{}{{worker=\"{lane}\"}} {v}\n", lc.name));
+            body.push_str(&format!("{}{{worker=\"{lane}\"}} {v}\n", lc.name));
         }
+        families.push((lc.name, body));
     }
     for g in &reg.gauges {
-        out.push_str(&format!("# HELP {} {}\n", g.name, g.help));
-        out.push_str(&format!("# TYPE {} gauge\n", g.name));
-        out.push_str(&format!("{} {}\n", g.name, g.get()));
+        let mut body = String::new();
+        body.push_str(&format!("# HELP {} {}\n", g.name, g.help));
+        body.push_str(&format!("# TYPE {} gauge\n", g.name));
+        body.push_str(&format!("{} {}\n", g.name, g.get()));
+        families.push((g.name, body));
     }
     for h in &reg.histograms {
-        out.push_str(&format!("# HELP {} {}\n", h.name, h.help));
-        out.push_str(&format!("# TYPE {} histogram\n", h.name));
+        let mut body = String::new();
+        body.push_str(&format!("# HELP {} {}\n", h.name, h.help));
+        body.push_str(&format!("# TYPE {} histogram\n", h.name));
         let counts = h.bucket_counts();
         let total: u64 = counts.iter().sum();
         let mut cumulative = 0;
         for (bound, count) in LATENCY_BUCKETS_US.iter().zip(&counts) {
             cumulative += count;
-            out.push_str(&format!(
+            body.push_str(&format!(
                 "{}_bucket{{le=\"{bound}\"}} {cumulative}\n",
                 h.name
             ));
         }
-        out.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {total}\n", h.name));
-        out.push_str(&format!("{}_sum {}\n", h.name, h.sum()));
-        out.push_str(&format!("{}_count {total}\n", h.name));
+        body.push_str(&format!("{}_bucket{{le=\"+Inf\"}} {total}\n", h.name));
+        body.push_str(&format!("{}_sum {}\n", h.name, h.sum()));
+        body.push_str(&format!("{}_count {total}\n", h.name));
+        families.push((h.name, body));
     }
-    out
+    families.sort_by_key(|(name, _)| *name);
+    families.into_iter().map(|(_, body)| body).collect()
 }
 
 #[cfg(test)]
@@ -800,6 +816,95 @@ mod tests {
             .matches("# TYPE test_macro_total counter")
             .count();
         assert_eq!(before, after);
+    }
+
+    /// Satellite: the rendering is deterministic (families sorted by
+    /// name regardless of registration order) and every line conforms
+    /// to the Prometheus text exposition format.
+    #[test]
+    fn prometheus_rendering_is_sorted_and_conformant() {
+        // Register in deliberately unsorted name order.
+        let _ = register_counter!("test_zzz_last_total", "registered first");
+        let _ = register_gauge!("test_aaa_first_gauge", "registered second");
+        let text = render_prometheus();
+
+        // Families appear sorted by metric name.
+        let family_names: Vec<&str> = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("# HELP "))
+            .map(|l| l.split_whitespace().next().unwrap())
+            .collect();
+        let mut sorted = family_names.clone();
+        sorted.sort();
+        assert_eq!(family_names, sorted, "families sorted by name");
+
+        // Two renders are byte-identical (modulo racing writers — none
+        // here for the two test metrics).
+        assert!(render_prometheus().contains("test_aaa_first_gauge"));
+
+        // Exposition-format conformance, line by line.
+        fn valid_name(s: &str) -> bool {
+            !s.is_empty()
+                && s.chars().next().unwrap().is_ascii_alphabetic()
+                && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        let mut last_type: Option<(String, String)> = None;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in the exposition");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split_whitespace().next().unwrap();
+                assert!(valid_name(name), "HELP name: {line}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split_whitespace();
+                let name = parts.next().unwrap().to_owned();
+                let kind = parts.next().unwrap().to_owned();
+                assert!(valid_name(&name), "TYPE name: {line}");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind.as_str()),
+                    "TYPE kind: {line}"
+                );
+                last_type = Some((name, kind));
+                continue;
+            }
+            // A sample line: `name[{labels}] value`.
+            let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "sample value is numeric: {line}"
+            );
+            let name = match series.split_once('{') {
+                Some((name, labels)) => {
+                    assert!(labels.ends_with('}'), "label set closes: {line}");
+                    let inner = &labels[..labels.len() - 1];
+                    for pair in inner.split(',') {
+                        let (k, v) = pair.split_once('=').expect("label k=v");
+                        assert!(valid_name(k), "label name: {line}");
+                        assert!(
+                            v.starts_with('"') && v.ends_with('"') && v.len() >= 2,
+                            "label value quoted: {line}"
+                        );
+                    }
+                    name
+                }
+                None => series,
+            };
+            assert!(valid_name(name), "sample name: {line}");
+            // Samples belong to the family the preceding TYPE declared
+            // (histogram samples via the _bucket/_sum/_count suffixes).
+            let (family, kind) = last_type.as_ref().expect("TYPE precedes samples");
+            if kind == "histogram" {
+                assert!(
+                    name == format!("{family}_bucket")
+                        || name == format!("{family}_sum")
+                        || name == format!("{family}_count"),
+                    "histogram sample {name} under family {family}"
+                );
+            } else {
+                assert_eq!(name, family, "sample under its family: {line}");
+            }
+        }
     }
 
     #[test]

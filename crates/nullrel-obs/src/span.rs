@@ -43,7 +43,7 @@ const SLOW_DISABLED: u64 = u64::MAX;
 const LOCAL_FLUSH_AT: usize = 256;
 
 /// How many slow-query traces the built-in [`slow_log`] ring retains.
-const SLOW_LOG_CAP: usize = 64;
+pub const SLOW_LOG_CAP: usize = 64;
 
 /// Number of active recorders (installed sink + live timing guards +
 /// armed slow-query log). Non-zero ⇒ spans record.
@@ -160,12 +160,19 @@ pub fn slow_log() -> &'static RingSink {
     SLOW_LOG.get_or_init(|| RingSink::new(SLOW_LOG_CAP))
 }
 
+/// Parses the `NULLREL_SLOW_MS` environment value: `Some(0)` means
+/// "trace every query", any other number is a threshold in
+/// milliseconds, and an unset or unparsable value leaves the slow log
+/// off.
+pub fn parse_slow_ms(raw: Option<&str>) -> Option<u64> {
+    raw.and_then(|raw| raw.trim().parse::<u64>().ok())
+        .filter(|&ms| ms != SLOW_DISABLED)
+}
+
 fn ensure_slow_env() {
     SLOW_ENV.call_once(|| {
-        if let Ok(raw) = std::env::var("NULLREL_SLOW_MS") {
-            if let Ok(ms) = raw.trim().parse::<u64>() {
-                set_slow_query_ms(Some(ms));
-            }
+        if let Some(ms) = parse_slow_ms(std::env::var("NULLREL_SLOW_MS").ok().as_deref()) {
+            set_slow_query_ms(Some(ms));
         }
     });
 }
@@ -333,6 +340,10 @@ pub fn begin_query(label: impl Into<String>) -> QueryTrace {
             finished: false,
         };
     }
+    let label: String = label.into();
+    // The outermost query scope opens the flight record; nested engine
+    // layers annotate it rather than opening their own.
+    crate::recorder::begin(&label);
     let trace = if tracing_active() {
         let id = NEXT_TRACE.fetch_add(1, Ordering::Relaxed);
         adopt(id, 0);
@@ -341,7 +352,7 @@ pub fn begin_query(label: impl Into<String>) -> QueryTrace {
         0
     };
     QueryTrace {
-        label: label.into(),
+        label,
         trace,
         counted: true,
         start: Instant::now(),
@@ -385,6 +396,7 @@ impl QueryTrace {
         if self.counted {
             metrics::QUERIES_EXECUTED.inc();
             metrics::QUERY_LATENCY_US.observe(elapsed.as_micros() as u64);
+            crate::recorder::finish(elapsed.as_micros() as u64);
         }
         if self.trace == 0 {
             return;

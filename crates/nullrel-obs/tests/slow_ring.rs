@@ -1,0 +1,68 @@
+//! Slow-query log semantics, end to end: the `NULLREL_SLOW_MS` parsing
+//! boundary (`0` = trace everything, unset/garbage = off), ring
+//! wrap-around past [`SLOW_LOG_CAP`], and clearing the ring without
+//! dropping queries that are still in flight.
+//!
+//! One `#[test]`: the slow log and its arming counter are process-wide.
+
+use nullrel_obs::{begin_query, parse_slow_ms, set_slow_query_ms, slow_log, SLOW_LOG_CAP};
+
+#[test]
+fn slow_ring_arming_wrapping_and_live_clear() {
+    // Parsing boundary: 0 means "trace every query", not "off".
+    assert_eq!(parse_slow_ms(Some("0")), Some(0));
+    assert_eq!(parse_slow_ms(Some("25")), Some(25));
+    assert_eq!(parse_slow_ms(Some(" 7 ")), Some(7), "whitespace tolerated");
+    assert_eq!(parse_slow_ms(None), None, "unset leaves the log off");
+    assert_eq!(parse_slow_ms(Some("fast")), None, "garbage leaves it off");
+    assert_eq!(parse_slow_ms(Some("")), None);
+    assert_eq!(
+        parse_slow_ms(Some(&u64::MAX.to_string())),
+        None,
+        "the disabled sentinel cannot be armed explicitly"
+    );
+
+    // Unarmed: completed queries leave no trace.
+    set_slow_query_ms(None);
+    slow_log().clear();
+    drop(begin_query("untraced"));
+    assert!(slow_log().is_empty(), "disarmed log records nothing");
+
+    // Armed at 0: every query is kept, however fast.
+    set_slow_query_ms(Some(0));
+    drop(begin_query("instant query"));
+    assert_eq!(slow_log().len(), 1);
+    assert_eq!(slow_log().latest().unwrap().name, "instant query");
+
+    // A high threshold keeps fast queries out again.
+    set_slow_query_ms(Some(60_000));
+    drop(begin_query("fast under threshold"));
+    assert_eq!(slow_log().len(), 1, "sub-threshold query not retained");
+
+    // Wrap-around: the ring holds the newest SLOW_LOG_CAP traces.
+    set_slow_query_ms(Some(0));
+    slow_log().clear();
+    for i in 0..(SLOW_LOG_CAP + 16) {
+        drop(begin_query(format!("wrap {i}")));
+    }
+    assert_eq!(slow_log().len(), SLOW_LOG_CAP);
+    assert_eq!(
+        slow_log().latest().unwrap().name,
+        format!("wrap {}", SLOW_LOG_CAP + 15)
+    );
+    let names: Vec<String> = slow_log().traces().iter().map(|t| t.name.clone()).collect();
+    assert_eq!(names[0], "wrap 16", "oldest survivor after wrapping");
+
+    // Clearing must not drop queries still in flight: a trace opened
+    // before the clear lands in the emptied ring when it completes
+    // (this is what RESET STATS relies on server-side).
+    let live = begin_query("live across the clear");
+    slow_log().clear();
+    assert!(slow_log().is_empty());
+    drop(live);
+    assert_eq!(slow_log().len(), 1);
+    assert_eq!(slow_log().latest().unwrap().name, "live across the clear");
+
+    set_slow_query_ms(None);
+    slow_log().clear();
+}

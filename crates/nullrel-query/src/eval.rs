@@ -208,6 +208,9 @@ pub fn execute_prepared(
         prepared.text.clone()
     };
     let _query_trace = nullrel_obs::begin_query(label);
+    if band == Truth::Ni {
+        nullrel_obs::recorder::annotate(|r| r.band = "MAYBE");
+    }
     let (rel, stats) = nullrel_exec::execute_expr_band_with(
         &prepared.expr,
         db,
@@ -239,6 +242,7 @@ pub fn execute_query(db: &Database, query: &Query) -> QueryResult<QueryOutput> {
 /// lower-bound arguments.
 pub fn execute_maybe(db: &Database, text: &str) -> QueryResult<QueryOutput> {
     let _query_trace = nullrel_obs::begin_query(format!("MAYBE {text}"));
+    nullrel_obs::recorder::annotate(|r| r.band = "MAYBE");
     let query = nullrel_obs::phase(Phase::Parse, || parse(text))?;
     let (resolved, expr) = nullrel_obs::phase(Phase::Plan, || {
         let resolved = crate::analyze::resolve_lazy(db, &query)?;
@@ -275,6 +279,22 @@ pub fn execute_resolved_naive(resolved: &ResolvedQuery) -> QueryResult<QueryOutp
 }
 
 fn output(resolved: ResolvedQuery, rows: Vec<Tuple>, stats: ExecStats) -> QueryOutput {
+    // Every engine entry point funnels through here, so this is where the
+    // flight record learns what the execution actually did. The closure
+    // only runs while a record is in flight (recorder enabled and a
+    // `begin_query` scope open on this thread).
+    nullrel_obs::recorder::annotate(|r| {
+        r.rows_in = stats.rows_examined() as u64;
+        r.rows_out = rows.len() as u64;
+        r.batches = stats.batches() as u64;
+        r.par_granted = stats.max_parallelism() as u32;
+        r.par_used = stats.max_workers_used() as u32;
+        r.q_error = stats.estimation_error();
+        r.reopts = stats.reopts.len() as u32;
+        r.mem_rows = stats.peak_mem_rows() as u64;
+        r.mem_bytes = stats.peak_mem_bytes() as u64;
+        r.plan = stats.render();
+    });
     QueryOutput {
         columns: resolved
             .targets

@@ -261,6 +261,18 @@ fn analyze_expr(
         (stats, compile_d, run_d)
     };
     let total = start.elapsed();
+    nullrel_obs::recorder::annotate(|r| {
+        r.rows_in = stats.rows_examined() as u64;
+        r.rows_out = stats.rows_returned() as u64;
+        r.batches = stats.batches() as u64;
+        r.par_granted = stats.max_parallelism() as u32;
+        r.par_used = stats.max_workers_used() as u32;
+        r.q_error = stats.estimation_error();
+        r.reopts = stats.reopts.len() as u32;
+        r.mem_rows = stats.peak_mem_rows() as u64;
+        r.mem_bytes = stats.peak_mem_bytes() as u64;
+        r.plan = stats.render();
+    });
     let mut out = String::new();
     out.push_str("logical:\n");
     out.push_str(&expr.explain(universe));

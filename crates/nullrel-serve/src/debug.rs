@@ -1,0 +1,187 @@
+//! The wire-served debug surfaces: renderers behind `TOP`, `SLOW`,
+//! `TRACE LAST`, `HEALTH`, and `RESET STATS`.
+//!
+//! Everything here reads the process-wide `nullrel-obs` flight recorder
+//! and slow-query log — the same state an embedded engine sees — and
+//! renders it as plain `OK`-framed text, so an operator with `nc` and no
+//! tooling can answer *what is this server doing* (`HEALTH`), *which
+//! query shapes dominate* (`TOP`), *what ran slowly just now* (`SLOW`),
+//! and *where did the time go inside it* (`TRACE LAST`).
+//!
+//! Durations are always rendered as `<n>us` so test harnesses can mask
+//! them with one token rule; counts, fingerprints, and plan renderings
+//! are deterministic for a fixed request sequence.
+
+use nullrel_obs::recorder;
+
+/// Default entry count for `TOP` and `SLOW` when the client sends none.
+pub const DEFAULT_DEBUG_ENTRIES: usize = 10;
+
+fn fmt_us(us: u64) -> String {
+    format!("{us}us")
+}
+
+/// Renders the `TOP [n]` view: the workload log's top shapes by
+/// cumulative wall-clock, with per-shape latency quantiles and the last
+/// physical plan seen for the shape.
+pub fn render_top(n: Option<usize>) -> Vec<String> {
+    let n = n.unwrap_or(DEFAULT_DEBUG_ENTRIES);
+    let stats = recorder::stats();
+    let entries = recorder::workload_top(n);
+    let mut lines = vec![format!(
+        "shapes={} tracked={} evicted={}",
+        entries.len(),
+        stats.fingerprints,
+        stats.evicted
+    )];
+    for (i, e) in entries.iter().enumerate() {
+        lines.push(format!(
+            "#{} count={} total={} p50={} p95={} p99={} max={} rows={} fp={:016x}",
+            i + 1,
+            e.count,
+            fmt_us(e.total_us),
+            fmt_us(e.p50_us()),
+            fmt_us(e.p95_us()),
+            fmt_us(e.p99_us()),
+            fmt_us(e.max_us),
+            e.rows_out,
+            e.fingerprint
+        ));
+        lines.push(format!("  text: {}", e.text));
+        for plan_line in e.last_plan.lines() {
+            lines.push(format!("  plan: {plan_line}"));
+        }
+    }
+    lines
+}
+
+/// Renders the `SLOW [n]` view: the slowest flight records currently in
+/// the ring, one record per block, slowest first.
+pub fn render_slow(n: Option<usize>) -> Vec<String> {
+    let n = n.unwrap_or(DEFAULT_DEBUG_ENTRIES);
+    let records = recorder::slowest(n);
+    let mut lines = vec![format!("records={}", records.len())];
+    for (i, r) in records.iter().enumerate() {
+        let epoch = r
+            .epoch
+            .map(|e| e.to_string())
+            .unwrap_or_else(|| "-".to_owned());
+        let q_error = r
+            .q_error
+            .map(|q| format!("{q:.2}"))
+            .unwrap_or_else(|| "-".to_owned());
+        lines.push(format!(
+            "#{} total={} band={} rows={}->{} batches={} par={}/{} mem={}r/{}B \
+             prepared={} reopts={} q-err={} epoch={} fp={:016x}",
+            i + 1,
+            fmt_us(r.total_us),
+            r.band,
+            r.rows_in,
+            r.rows_out,
+            r.batches,
+            r.par_granted,
+            r.par_used,
+            r.mem_rows,
+            r.mem_bytes,
+            r.prepared_hit,
+            r.reopts,
+            q_error,
+            epoch,
+            r.fingerprint
+        ));
+        lines.push(format!(
+            "  phases: parse={} plan={} optimize={} compile={} run={}",
+            fmt_us(r.phase_us[0]),
+            fmt_us(r.phase_us[1]),
+            fmt_us(r.phase_us[2]),
+            fmt_us(r.phase_us[3]),
+            fmt_us(r.phase_us[4])
+        ));
+        lines.push(format!("  text: {}", r.text));
+    }
+    lines
+}
+
+/// Renders the `TRACE LAST` view: the most recent slow-query trace in
+/// chrome://tracing JSON. Errors with an arming hint when the slow log
+/// holds nothing (the trace machinery is opt-in, unlike the recorder).
+pub fn render_trace_last() -> Result<Vec<String>, String> {
+    match nullrel_obs::slow_log().latest() {
+        Some(trace) => Ok(trace
+            .chrome_trace_json()
+            .lines()
+            .map(str::to_owned)
+            .collect()),
+        None => Err(
+            "no trace captured; set NULLREL_SLOW_MS (0 traces every query) and rerun".to_owned(),
+        ),
+    }
+}
+
+/// Renders the `HEALTH` view: process uptime, the served epoch, live
+/// sessions, the slow-log arming threshold, and recorder health.
+pub fn render_health(epoch: u64) -> Vec<String> {
+    let stats = recorder::stats();
+    let slow_ms = nullrel_obs::slow_query_ms()
+        .map(|ms| ms.to_string())
+        .unwrap_or_else(|| "off".to_owned());
+    vec![
+        format!("uptime_s={}", crate::metrics::uptime_s()),
+        format!("epoch={epoch}"),
+        format!("sessions={}", crate::metrics::ACTIVE_SESSIONS.get()),
+        format!("slow_ms={slow_ms}"),
+        format!("recorder={}", if stats.enabled { "on" } else { "off" }),
+        format!("recorded={}", stats.recorded),
+        format!("ring={}", stats.ring_len),
+        format!("fingerprints={}", stats.fingerprints),
+        format!("evicted={}", stats.evicted),
+        format!("slow_traces={}", nullrel_obs::slow_log().len()),
+    ]
+}
+
+/// Executes `RESET STATS`: clears the flight ring, the workload log, and
+/// the slow-query trace ring. Lifetime counters (`recorded`, `evicted`)
+/// survive, as do queries currently in flight — they land in the emptied
+/// structures when they complete (including the `RESET STATS` request's
+/// own record, which finishes after the clear).
+pub fn reset_stats() -> Vec<String> {
+    recorder::reset();
+    nullrel_obs::slow_log().clear();
+    vec!["cleared=ring,workload,slowlog".to_owned()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Renderer shape checks only — end-to-end content is covered by the
+    // wire golden test (`tests/debug_wire_golden.rs`), which owns its
+    // process and can therefore script the recorder deterministically.
+
+    #[test]
+    fn health_renders_every_field() {
+        let lines = render_health(7);
+        let keys = [
+            "uptime_s=",
+            "epoch=7",
+            "sessions=",
+            "slow_ms=",
+            "recorder=",
+            "recorded=",
+            "ring=",
+            "fingerprints=",
+            "evicted=",
+            "slow_traces=",
+        ];
+        assert_eq!(lines.len(), keys.len());
+        for (line, key) in lines.iter().zip(keys) {
+            assert!(line.starts_with(key), "{line} should start with {key}");
+        }
+    }
+
+    #[test]
+    fn top_and_slow_lead_with_counts() {
+        assert!(render_top(Some(0))[0].starts_with("shapes=0"));
+        assert_eq!(render_slow(Some(0))[0], "records=0");
+    }
+}

@@ -24,6 +24,9 @@
 //!   connection/session gauges and per-command latency histograms are
 //!   registered in the process metrics registry, and the `METRICS`
 //!   command renders the whole registry in Prometheus text format.
+//!   The always-on flight recorder is served too: `TOP` (workload log),
+//!   `SLOW` (flight ring), `TRACE LAST` (chrome JSON of the latest slow
+//!   trace), `HEALTH`, and `RESET STATS` — see [`debug`].
 //!
 //! Connections are dispatched to a small hand-rolled worker pool
 //! ([`ServeConfig::threads`] threads); a session occupies its worker until
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod debug;
 pub mod expr;
 pub mod metrics;
 pub mod protocol;
@@ -196,6 +200,7 @@ impl Drop for ServerHandle {
 /// the serve metrics, and returns immediately.
 pub fn start(vdb: Arc<VersionedDatabase>, config: ServeConfig) -> std::io::Result<ServerHandle> {
     metrics::register();
+    metrics::mark_started();
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
@@ -291,6 +296,7 @@ impl Drop for SessionGauge {
 fn handle_connection(stream: TcpStream, shared: &Shared) {
     let _gauge = SessionGauge::open();
     let Ok(mut writer) = stream.try_clone() else {
+        metrics::DISCONNECTS.inc();
         return;
     };
     let mut reader = BufReader::new(stream);
@@ -302,9 +308,18 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
         }
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) => return, // client closed
+            // The client vanished without QUIT (socket closed or reset
+            // mid-stream): count the abrupt end. The session gauge and
+            // the prepared cache (owned by `session`) release on return.
+            Ok(0) => {
+                metrics::DISCONNECTS.inc();
+                return;
+            }
             Ok(_) => {}
-            Err(_) => return,
+            Err(_) => {
+                metrics::DISCONNECTS.inc();
+                return;
+            }
         }
         if line.trim().is_empty() {
             continue;
@@ -337,6 +352,7 @@ fn handle_connection(stream: TcpStream, shared: &Shared) {
             }
         };
         if written.is_err() {
+            metrics::DISCONNECTS.inc();
             return;
         }
     }

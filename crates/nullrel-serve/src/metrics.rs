@@ -4,7 +4,26 @@
 //! `METRICS` command (and any scraper of `render_prometheus`) sees them
 //! next to the engine catalog.
 
+use std::sync::OnceLock;
+use std::time::Instant;
+
 use nullrel_obs::metrics::{Counter, Gauge, Histogram};
+
+/// When [`crate::start`] brought the service up — the `HEALTH` command's
+/// uptime reference.
+static STARTED: OnceLock<Instant> = OnceLock::new();
+
+/// Stamps the server-start instant (first call wins; later servers in the
+/// same process — tests — keep the original epoch, so uptime stays
+/// monotonic).
+pub fn mark_started() {
+    let _ = STARTED.set(Instant::now());
+}
+
+/// Whole seconds since [`mark_started`]; `0` before any server started.
+pub fn uptime_s() -> u64 {
+    STARTED.get().map_or(0, |t| t.elapsed().as_secs())
+}
 
 /// Connections accepted since process start.
 pub static CONNECTIONS: Counter = Counter::new(
@@ -46,6 +65,13 @@ pub static PREPARED_MISSES: Counter = Counter::new(
 pub static PREPARED_INVALIDATIONS: Counter = Counter::new(
     "nullrel_serve_prepared_invalidations_total",
     "Prepared-query cache entries invalidated by schema evolution",
+);
+
+/// Sessions that ended without `QUIT` — the client vanished mid-stream
+/// (EOF, read error, or a response write failing).
+pub static DISCONNECTS: Counter = Counter::new(
+    "nullrel_serve_disconnects_total",
+    "Sessions ended abruptly, without QUIT",
 );
 
 /// Pinned sessions force-re-pinned past the staleness bound.
@@ -122,6 +148,7 @@ pub fn register() {
     reg::register_counter(&PREPARED_HITS);
     reg::register_counter(&PREPARED_MISSES);
     reg::register_counter(&PREPARED_INVALIDATIONS);
+    reg::register_counter(&DISCONNECTS);
     reg::register_counter(&STALE_REPINS);
     reg::register_histogram(&QUEL_LATENCY);
     reg::register_histogram(&MAYBE_LATENCY);

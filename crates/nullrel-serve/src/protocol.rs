@@ -27,6 +27,11 @@
 //! UNPIN                         follow the latest committed snapshot again
 //! EPOCH                         report current/pinned epochs + schema version
 //! METRICS                       the process metrics, Prometheus format
+//! TOP [n]                       workload log: top query shapes by total time
+//! SLOW [n]                      flight ring: slowest recent queries
+//! TRACE LAST                    latest slow-query trace, chrome://tracing JSON
+//! HEALTH                        uptime, epoch, sessions, recorder health
+//! RESET STATS                   clear the flight ring, workload log, slow log
 //! QUIT                          end the session
 //! ```
 //!
@@ -62,6 +67,16 @@ pub enum Request {
     Epoch,
     /// `METRICS`.
     Metrics,
+    /// `TOP [n]` — the workload log's top shapes by cumulative time.
+    Top(Option<usize>),
+    /// `SLOW [n]` — the slowest flight records currently retained.
+    Slow(Option<usize>),
+    /// `TRACE LAST` — the latest slow-query trace as chrome JSON.
+    TraceLast,
+    /// `HEALTH` — process and recorder health.
+    Health,
+    /// `RESET STATS` — clear the flight ring, workload log, and slow log.
+    ResetStats,
     /// `QUIT`.
     Quit,
 }
@@ -92,6 +107,15 @@ impl Request {
                 Err(format!("{verb} takes no argument"))
             }
         };
+        let top_n = |name: &str, make: fn(Option<usize>) -> Request| {
+            if rest.is_empty() {
+                Ok(make(None))
+            } else {
+                rest.parse::<usize>()
+                    .map(|n| make(Some(n)))
+                    .map_err(|_| format!("{name} takes an optional count, got {rest}"))
+            }
+        };
         match verb.to_ascii_uppercase().as_str() {
             "QUEL" => arg("QUEL").map(Request::Quel),
             "MAYBE" => arg("MAYBE").map(Request::Maybe),
@@ -105,6 +129,23 @@ impl Request {
             "UNPIN" => bare(Request::Unpin),
             "EPOCH" => bare(Request::Epoch),
             "METRICS" => bare(Request::Metrics),
+            "TOP" => top_n("TOP", Request::Top),
+            "SLOW" => top_n("SLOW", Request::Slow),
+            "TRACE" => {
+                if rest.eq_ignore_ascii_case("LAST") {
+                    Ok(Request::TraceLast)
+                } else {
+                    Err("expected TRACE LAST".to_owned())
+                }
+            }
+            "HEALTH" => bare(Request::Health),
+            "RESET" => {
+                if rest.eq_ignore_ascii_case("STATS") {
+                    Ok(Request::ResetStats)
+                } else {
+                    Err("expected RESET STATS".to_owned())
+                }
+            }
             "QUIT" => bare(Request::Quit),
             other => Err(format!("unknown command {other}")),
         }
@@ -119,9 +160,16 @@ impl Request {
             Request::Explain(_) => "explain",
             Request::Analyze(_) => "analyze",
             Request::Insert(_) | Request::Delete(_) => "write",
-            Request::Pin | Request::Unpin | Request::Epoch | Request::Metrics | Request::Quit => {
-                "control"
-            }
+            Request::Pin
+            | Request::Unpin
+            | Request::Epoch
+            | Request::Metrics
+            | Request::Top(_)
+            | Request::Slow(_)
+            | Request::TraceLast
+            | Request::Health
+            | Request::ResetStats
+            | Request::Quit => "control",
         }
     }
 }
@@ -168,6 +216,21 @@ mod tests {
         assert_eq!(Request::parse("PIN").unwrap(), Request::Pin);
         assert_eq!(Request::parse("metrics").unwrap(), Request::Metrics);
         assert_eq!(Request::parse("QUIT").unwrap(), Request::Quit);
+    }
+
+    #[test]
+    fn debug_verbs_parse_with_optional_counts() {
+        assert_eq!(Request::parse("TOP").unwrap(), Request::Top(None));
+        assert_eq!(Request::parse("top 5").unwrap(), Request::Top(Some(5)));
+        assert_eq!(Request::parse("SLOW 12").unwrap(), Request::Slow(Some(12)));
+        assert_eq!(Request::parse("trace last").unwrap(), Request::TraceLast);
+        assert_eq!(Request::parse("HEALTH").unwrap(), Request::Health);
+        assert_eq!(Request::parse("reset stats").unwrap(), Request::ResetStats);
+        assert!(Request::parse("TOP five").is_err(), "non-numeric count");
+        assert!(Request::parse("TRACE ALL").is_err(), "only TRACE LAST");
+        assert!(Request::parse("RESET").is_err(), "RESET needs STATS");
+        assert!(Request::parse("HEALTH now").is_err(), "HEALTH is bare");
+        assert_eq!(Request::Top(None).command_name(), "control");
     }
 
     #[test]

@@ -87,6 +87,7 @@ impl Session {
         if let Some(hit) = self.prepared.get(text) {
             if hit.valid_for(self.snapshot.db()) {
                 metrics::PREPARED_HITS.inc();
+                nullrel_obs::recorder::annotate(|r| r.prepared_hit = true);
                 return Ok(hit.clone());
             }
             metrics::PREPARED_INVALIDATIONS.inc();
@@ -188,6 +189,10 @@ impl Session {
     /// handled by the connection loop before this point.
     pub fn handle(&mut self, request: &Request) -> Result<Vec<String>, String> {
         self.refresh();
+        // Stamp the snapshot epoch onto the request's flight record (the
+        // connection loop opened it before dispatching here).
+        let epoch = self.snapshot.epoch();
+        nullrel_obs::recorder::annotate(|r| r.epoch = Some(epoch));
         match request {
             Request::Quel(text) => self.run_quel(text, Truth::True),
             Request::Maybe(text) => self.run_quel(text, Truth::Ni),
@@ -225,6 +230,11 @@ impl Session {
                 .lines()
                 .map(str::to_owned)
                 .collect()),
+            Request::Top(n) => Ok(crate::debug::render_top(*n)),
+            Request::Slow(n) => Ok(crate::debug::render_slow(*n)),
+            Request::TraceLast => crate::debug::render_trace_last(),
+            Request::Health => Ok(crate::debug::render_health(self.vdb.epoch())),
+            Request::ResetStats => Ok(crate::debug::reset_stats()),
             Request::Quit => Ok(Vec::new()),
         }
     }

@@ -1,0 +1,114 @@
+//! Abrupt-disconnect behavior: a client that vanishes without `QUIT`
+//! must release its session slot (the active-sessions gauge returns to
+//! baseline), be counted in the disconnect counter, and leave no
+//! prepared-cache state behind (a reconnect re-prepares from scratch).
+//!
+//! This file owns its test process (one `#[test]`): the session gauge
+//! and counters are process-wide, so sharing a binary with other serve
+//! tests would race their sessions against our baseline reads.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use nullrel_core::value::Value;
+use nullrel_serve::{metrics, start, Client, ServeConfig};
+use nullrel_storage::{Database, SchemaBuilder, VersionedDatabase};
+
+const QUERY: &str = "range of e is EMP retrieve (e.NAME) where e.E# = 1";
+
+fn emp_db() -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        SchemaBuilder::new("EMP")
+            .required_column("E#")
+            .column("NAME")
+            .key(&["E#"]),
+    )
+    .unwrap();
+    let u = db.universe().clone();
+    let t = db.table_mut("EMP").unwrap();
+    for i in 0..4 {
+        t.insert_named(
+            &u,
+            &[("E#", Value::int(i)), ("NAME", Value::str(format!("E{i}")))],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Polls `cond` for up to five seconds — worker threads notice a dead
+/// socket on their next read, not instantly.
+fn eventually(what: &str, cond: impl Fn() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if cond() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+#[test]
+fn killed_sockets_release_sessions_and_count_disconnects() {
+    let server = start(
+        Arc::new(VersionedDatabase::new(emp_db())),
+        ServeConfig::pinned_for_tests(),
+    )
+    .unwrap();
+    let addr = server.addr();
+    assert_eq!(metrics::ACTIVE_SESSIONS.get(), 0);
+    let disconnects = metrics::DISCONNECTS.get();
+
+    // A session that runs a query (populating its prepared cache), then
+    // vanishes mid-stream: socket dropped, no QUIT.
+    {
+        let mut client = Client::connect(addr).unwrap();
+        let out = client.send(&format!("QUEL {QUERY}")).unwrap().unwrap();
+        assert_eq!(out[0], "rows=1");
+        eventually("session to register", || {
+            metrics::ACTIVE_SESSIONS.get() == 1
+        });
+    } // <- dropped here, connection dies abruptly
+    eventually("gauge release after kill", || {
+        metrics::ACTIVE_SESSIONS.get() == 0
+    });
+    eventually("disconnect counted", || {
+        metrics::DISCONNECTS.get() == disconnects + 1
+    });
+
+    // Killing the socket mid-request (bytes written, no newline) is the
+    // harsher variant: the worker wakes up on EOF with a partial line.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(b"QUEL range of e is EMP retr").unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+    } // <- dropped mid-request
+    eventually("gauge release after mid-request kill", || {
+        metrics::ACTIVE_SESSIONS.get() == 0
+    });
+    eventually("second disconnect counted", || {
+        metrics::DISCONNECTS.get() == disconnects + 2
+    });
+
+    // The prepared cache died with the session: a new session preparing
+    // the same text misses (per-session cache, nothing leaked across).
+    let misses = metrics::PREPARED_MISSES.get();
+    let hits = metrics::PREPARED_HITS.get();
+    let mut fresh = Client::connect(addr).unwrap();
+    fresh.send(&format!("QUEL {QUERY}")).unwrap().unwrap();
+    assert_eq!(metrics::PREPARED_MISSES.get(), misses + 1);
+    assert_eq!(metrics::PREPARED_HITS.get(), hits, "no stale cache hit");
+
+    // A clean QUIT is not a disconnect.
+    fresh.send("QUIT").unwrap().unwrap();
+    eventually("gauge release after QUIT", || {
+        metrics::ACTIVE_SESSIONS.get() == 0
+    });
+    assert_eq!(metrics::DISCONNECTS.get(), disconnects + 2);
+    server.stop();
+}
