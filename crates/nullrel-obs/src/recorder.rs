@@ -288,7 +288,16 @@ pub fn fingerprint(text: &str) -> (u64, String) {
             if token.len() <= room {
                 normalized.push_str(token);
             } else {
-                normalized.extend(token.chars().take(room));
+                // `room` is a byte budget; counting chars against it
+                // would overshoot the cap on multibyte text. Push whole
+                // chars only while they fit, so the cut always lands on
+                // a char boundary within TEXT_CAP bytes.
+                for ch in token.chars() {
+                    if normalized.len() + ch.len_utf8() > TEXT_CAP {
+                        break;
+                    }
+                    normalized.push(ch);
+                }
             }
         }
     }
@@ -477,6 +486,33 @@ mod tests {
         let other = format!("retrieve (e.NAME) where e.E# = {}y", "x".repeat(400));
         let (b, _) = fingerprint(&other);
         assert_ne!(a, b, "tail differences past the text cap still hash");
+    }
+
+    /// Regression: the truncation budget is in bytes, but the cut used to
+    /// take `room` *chars* — multibyte text overshot `TEXT_CAP`. The cut
+    /// must land on a char boundary within the byte budget.
+    #[test]
+    fn fingerprint_truncation_respects_the_byte_cap_on_multibyte_text() {
+        // Every char is 2 bytes ('ß'), so chars ≠ bytes throughout.
+        let long = format!("retrieve {}", "ß".repeat(400));
+        let (_, text) = fingerprint(&long);
+        assert!(
+            text.len() <= TEXT_CAP,
+            "normalized text is {} bytes, cap is {TEXT_CAP}",
+            text.len()
+        );
+        assert!(text.is_char_boundary(text.len()));
+        // The cap cannot be met exactly here (199 is odd territory for
+        // 2-byte chars after "retrieve "); it stops at the last whole char.
+        assert!(text.len() >= TEXT_CAP - 3, "truncation fills the budget");
+
+        // 4-byte chars: same invariants.
+        let emoji = format!("q {}", "\u{1F600}".repeat(200));
+        let (_, text) = fingerprint(&emoji);
+        assert!(text.len() <= TEXT_CAP);
+        assert!(text
+            .chars()
+            .all(|c| c == 'q' || c == ' ' || c == '\u{1F600}'));
     }
 
     #[test]

@@ -119,12 +119,20 @@ pub fn render_trace_last() -> Result<Vec<String>, String> {
 }
 
 /// Renders the `HEALTH` view: process uptime, the served epoch, live
-/// sessions, the slow-log arming threshold, and recorder health.
-pub fn render_health(epoch: u64) -> Vec<String> {
+/// sessions, the slow-log arming threshold, recorder health, and the
+/// durability readings (`off` when the server runs purely in memory).
+pub fn render_health(
+    epoch: u64,
+    durability: Option<&nullrel_storage::DurabilityStatus>,
+) -> Vec<String> {
     let stats = recorder::stats();
     let slow_ms = nullrel_obs::slow_query_ms()
         .map(|ms| ms.to_string())
         .unwrap_or_else(|| "off".to_owned());
+    let (wal_bytes, last_snapshot_epoch) = match durability {
+        Some(d) => (d.wal_bytes.to_string(), d.last_snapshot_epoch.to_string()),
+        None => ("off".to_owned(), "off".to_owned()),
+    };
     vec![
         format!("uptime_s={}", crate::metrics::uptime_s()),
         format!("epoch={epoch}"),
@@ -136,6 +144,8 @@ pub fn render_health(epoch: u64) -> Vec<String> {
         format!("fingerprints={}", stats.fingerprints),
         format!("evicted={}", stats.evicted),
         format!("slow_traces={}", nullrel_obs::slow_log().len()),
+        format!("wal_bytes={wal_bytes}"),
+        format!("last_snapshot_epoch={last_snapshot_epoch}"),
     ]
 }
 
@@ -160,7 +170,7 @@ mod tests {
 
     #[test]
     fn health_renders_every_field() {
-        let lines = render_health(7);
+        let lines = render_health(7, None);
         let keys = [
             "uptime_s=",
             "epoch=7",
@@ -172,11 +182,25 @@ mod tests {
             "fingerprints=",
             "evicted=",
             "slow_traces=",
+            "wal_bytes=off",
+            "last_snapshot_epoch=off",
         ];
         assert_eq!(lines.len(), keys.len());
         for (line, key) in lines.iter().zip(keys) {
             assert!(line.starts_with(key), "{line} should start with {key}");
         }
+    }
+
+    #[test]
+    fn health_reports_durability_when_attached() {
+        let status = nullrel_storage::DurabilityStatus {
+            wal_bytes: 321,
+            last_snapshot_epoch: 5,
+            data_dir: std::path::PathBuf::from("/tmp/x"),
+        };
+        let lines = render_health(7, Some(&status));
+        assert!(lines.contains(&"wal_bytes=321".to_owned()));
+        assert!(lines.contains(&"last_snapshot_epoch=5".to_owned()));
     }
 
     #[test]

@@ -78,6 +78,11 @@ pub struct ServeConfig {
     pub threads: usize,
     /// Epochs a pinned session may lag before forced re-pinning.
     pub max_staleness: u64,
+    /// Data directory for durability (`NULLREL_DATA_DIR`). `Some` makes
+    /// the served database persistent: the binary opens it with
+    /// WAL + snapshot recovery, and every wire `INSERT`/`DELETE` commit
+    /// is logged before it acknowledges. `None` serves purely in memory.
+    pub data_dir: Option<std::path::PathBuf>,
     /// Engine options every session executes with. Defaults to the
     /// environment-driven [`OptimizeOptions::default`]; tests pin them for
     /// deterministic plans.
@@ -87,8 +92,10 @@ pub struct ServeConfig {
 impl ServeConfig {
     /// Reads the configuration from the environment:
     /// `NULLREL_SERVE_ADDR`, `NULLREL_SERVE_THREADS` (parsed like
-    /// [`parse_threads`]), `NULLREL_SERVE_MAX_STALENESS`, plus the
-    /// engine's own `NULLREL_*` knobs through [`OptimizeOptions::default`].
+    /// [`parse_threads`]), `NULLREL_SERVE_MAX_STALENESS` (parsed like
+    /// [`parse_max_staleness`]; `0` = re-pin every request),
+    /// `NULLREL_DATA_DIR` (empty/unset = in-memory), plus the engine's
+    /// own `NULLREL_*` knobs through [`OptimizeOptions::default`].
     pub fn from_env() -> Self {
         ServeConfig {
             addr: std::env::var("NULLREL_SERVE_ADDR")
@@ -97,10 +104,14 @@ impl ServeConfig {
                 .filter(|a| !a.is_empty())
                 .unwrap_or_else(|| DEFAULT_ADDR.to_owned()),
             threads: parse_threads(std::env::var("NULLREL_SERVE_THREADS").ok().as_deref()),
-            max_staleness: std::env::var("NULLREL_SERVE_MAX_STALENESS")
+            max_staleness: parse_max_staleness(
+                std::env::var("NULLREL_SERVE_MAX_STALENESS").ok().as_deref(),
+            ),
+            data_dir: std::env::var("NULLREL_DATA_DIR")
                 .ok()
-                .and_then(|v| v.trim().parse::<u64>().ok())
-                .unwrap_or(DEFAULT_MAX_STALENESS),
+                .map(|d| d.trim().to_owned())
+                .filter(|d| !d.is_empty())
+                .map(std::path::PathBuf::from),
             options: OptimizeOptions::default(),
         }
     }
@@ -113,6 +124,7 @@ impl ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             threads: 4,
             max_staleness: DEFAULT_MAX_STALENESS,
+            data_dir: None,
             options: OptimizeOptions {
                 parallelism: nullrel_par::Parallelism::Serial,
                 parallel_row_threshold: 0,
@@ -139,6 +151,18 @@ pub fn parse_threads(value: Option<&str>) -> usize {
     match value.and_then(|v| v.trim().parse::<usize>().ok()) {
         Some(n) if n >= 1 => n.min(MAX_SERVE_THREADS),
         _ => DEFAULT_THREADS,
+    }
+}
+
+/// Parses a `NULLREL_SERVE_MAX_STALENESS` value, hardened like
+/// [`parse_threads`]: whitespace is tolerated, garbage/empty/unset falls
+/// back to [`DEFAULT_MAX_STALENESS`]. Unlike the thread count, **`0` is a
+/// valid setting** — it means a pinned session is re-pinned forward on
+/// every request (zero tolerated staleness), not "use the default".
+pub fn parse_max_staleness(value: Option<&str>) -> u64 {
+    match value.and_then(|v| v.trim().parse::<u64>().ok()) {
+        Some(n) => n,
+        None => DEFAULT_MAX_STALENESS,
     }
 }
 
@@ -437,5 +461,20 @@ mod tests {
         assert_eq!(parse_threads(Some("1")), 1);
         assert_eq!(parse_threads(Some(" 12 ")), 12);
         assert_eq!(parse_threads(Some("999999")), MAX_SERVE_THREADS);
+    }
+
+    /// Garbage falls back to the default, but `0` is a *valid* bound
+    /// (re-pin every request) — it must not be coerced to the default the
+    /// way `parse_threads` treats zero.
+    #[test]
+    fn max_staleness_parse_is_hardened_and_zero_is_valid() {
+        assert_eq!(parse_max_staleness(None), DEFAULT_MAX_STALENESS);
+        assert_eq!(parse_max_staleness(Some("")), DEFAULT_MAX_STALENESS);
+        assert_eq!(parse_max_staleness(Some("   ")), DEFAULT_MAX_STALENESS);
+        assert_eq!(parse_max_staleness(Some("garbage")), DEFAULT_MAX_STALENESS);
+        assert_eq!(parse_max_staleness(Some("-3")), DEFAULT_MAX_STALENESS);
+        assert_eq!(parse_max_staleness(Some("12.5")), DEFAULT_MAX_STALENESS);
+        assert_eq!(parse_max_staleness(Some("0")), 0);
+        assert_eq!(parse_max_staleness(Some(" 77 ")), 77);
     }
 }

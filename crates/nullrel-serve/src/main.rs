@@ -71,25 +71,52 @@ fn load_table(db: &mut Database, spec: &str) {
     }
 }
 
-fn main() {
-    let config = nullrel_serve::ServeConfig::from_env();
-    let specs: Vec<String> = std::env::args().skip(1).collect();
-    let db = if specs.is_empty() {
+fn seed_db(specs: &[String]) -> Database {
+    if specs.is_empty() {
         table_ii_db()
     } else {
         let mut db = Database::new();
-        for spec in &specs {
+        for spec in specs {
             load_table(&mut db, spec);
         }
         db
+    }
+}
+
+fn main() {
+    let config = nullrel_serve::ServeConfig::from_env();
+    let specs: Vec<String> = std::env::args().skip(1).collect();
+    let vdb = match &config.data_dir {
+        // Durable: recover whatever the directory holds (snapshot + WAL
+        // replay). Seed the example tables only into a *fresh* directory —
+        // a recovered database already has its state, possibly evolved
+        // far from the seed.
+        Some(dir) => {
+            let vdb = VersionedDatabase::open(dir)
+                .unwrap_or_else(|e| panic!("cannot open data dir {}: {e}", dir.display()));
+            if vdb.pin().db().table_names().is_empty() {
+                let seed = seed_db(&specs);
+                vdb.commit(move |db| {
+                    *db = seed;
+                    Ok(())
+                })
+                .expect("seed durable database");
+            }
+            Arc::new(vdb)
+        }
+        None => Arc::new(VersionedDatabase::new(seed_db(&specs))),
     };
-    let vdb = Arc::new(VersionedDatabase::new(db));
+    let durable = vdb.durability_status();
     let handle = nullrel_serve::start(vdb, config).expect("bind query service");
     eprintln!(
-        "nullrel-serve listening on {} ({} tables, epoch {})",
+        "nullrel-serve listening on {} ({} tables, epoch {}{})",
         handle.addr(),
         handle.database().pin().db().table_names().len(),
-        handle.database().epoch()
+        handle.database().epoch(),
+        match &durable {
+            Some(d) => format!(", durable at {}", d.data_dir.display()),
+            None => String::new(),
+        }
     );
     // Serve until killed: the accept loop and workers own the process.
     loop {

@@ -140,16 +140,15 @@ impl Session {
                 .ok_or_else(|| format!("expected <col>=<value>, got {part}"))?;
             cells.push((col.to_owned(), parse_value(raw)?));
         }
-        let (epoch, _) = self
+        // Commit as a logical op: with a data directory attached this is
+        // the durable hot path (one WAL record), and replay after a crash
+        // runs the exact same interpreter.
+        let op = nullrel_storage::LogicalOp::Insert { table, cells };
+        let (epoch, affected) = self
             .vdb
-            .commit(|db| {
-                let universe = db.universe().clone();
-                let named: Vec<(&str, nullrel_core::value::Value)> =
-                    cells.iter().map(|(c, v)| (c.as_str(), v.clone())).collect();
-                db.table_mut(&table)?.insert_named(&universe, &named)
-            })
+            .commit_ops(std::slice::from_ref(&op))
             .map_err(|e| e.to_string())?;
-        Ok(vec![format!("epoch={epoch} rows=1")])
+        Ok(vec![format!("epoch={epoch} rows={}", affected[0])])
     }
 
     fn run_delete(&mut self, rest: &str) -> Result<Vec<String>, String> {
@@ -167,22 +166,17 @@ impl Session {
             other => return Err(format!("unknown comparison {other}")),
         };
         let value = parse_value(raw)?;
-        let (epoch, removed) = self
+        let logical = nullrel_storage::LogicalOp::Delete {
+            table: table.clone(),
+            column: col.clone(),
+            op,
+            value,
+        };
+        let (epoch, affected) = self
             .vdb
-            .commit(|db| {
-                let attr = db
-                    .universe()
-                    .lookup(col)
-                    .ok_or_else(|| nullrel_storage::StorageError::UnknownColumn(col.clone()))?;
-                db.table_mut(table)?
-                    .delete_where(&nullrel_core::Predicate::attr_const(
-                        attr,
-                        op,
-                        value.clone(),
-                    ))
-            })
+            .commit_ops(std::slice::from_ref(&logical))
             .map_err(|e| e.to_string())?;
-        Ok(vec![format!("epoch={epoch} rows={removed}")])
+        Ok(vec![format!("epoch={epoch} rows={}", affected[0])])
     }
 
     /// Executes one request, returning the `OK` payload lines. `QUIT` is
@@ -233,7 +227,10 @@ impl Session {
             Request::Top(n) => Ok(crate::debug::render_top(*n)),
             Request::Slow(n) => Ok(crate::debug::render_slow(*n)),
             Request::TraceLast => crate::debug::render_trace_last(),
-            Request::Health => Ok(crate::debug::render_health(self.vdb.epoch())),
+            Request::Health => Ok(crate::debug::render_health(
+                self.vdb.epoch(),
+                self.vdb.durability_status().as_ref(),
+            )),
             Request::ResetStats => Ok(crate::debug::reset_stats()),
             Request::Quit => Ok(Vec::new()),
         }

@@ -1,0 +1,121 @@
+//! Durability over the wire: a server with a data directory attached
+//! must make acknowledged `INSERT`/`DELETE` commits survive a restart —
+//! the in-process version of the CI recovery-smoke job's kill -9 — and
+//! report its WAL and snapshot state through `HEALTH`.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use nullrel_serve::{start, Client, ServeConfig, ServerHandle};
+use nullrel_storage::{FsyncMode, LogicalOp, TableSpec, VersionedDatabase};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nullrel-serve-durable-{}-{}",
+        name,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Opens a durable database in `dir` (creating the EMP-like schema on
+/// first boot) and serves it on a loopback port.
+fn serve_durable(dir: &PathBuf) -> ServerHandle {
+    let vdb = VersionedDatabase::open_with(dir, FsyncMode::Off, u64::MAX).unwrap();
+    if vdb.pin().db().table_names().is_empty() {
+        vdb.commit_ops(&[LogicalOp::CreateTable(TableSpec {
+            name: "EMP".into(),
+            columns: vec![
+                nullrel_storage::ColumnSpec {
+                    name: "E#".into(),
+                    domain: None,
+                    nullable: false,
+                },
+                nullrel_storage::ColumnSpec {
+                    name: "NAME".into(),
+                    domain: None,
+                    nullable: true,
+                },
+            ],
+            key: vec!["E#".into()],
+        })])
+        .unwrap();
+    }
+    let config = ServeConfig {
+        data_dir: Some(dir.clone()),
+        ..ServeConfig::pinned_for_tests()
+    };
+    start(Arc::new(vdb), config).expect("bind loopback server")
+}
+
+#[test]
+fn acknowledged_wire_commits_survive_a_server_restart() {
+    let dir = scratch("restart");
+
+    // Boot one: create the table and insert rows over the wire — one
+    // with a ni NAME, so the MAYBE band has something to say after
+    // recovery too.
+    let server = serve_durable(&dir);
+    {
+        let mut client = Client::connect(server.addr()).unwrap();
+        let ack = client
+            .send("INSERT EMP E#=1 NAME=\"alice\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(ack[0], "epoch=2 rows=1");
+        client.send("INSERT EMP E#=2").unwrap().unwrap();
+        client
+            .send("INSERT EMP E#=3 NAME=\"carol\"")
+            .unwrap()
+            .unwrap();
+        client.send("DELETE EMP NAME = \"carol\"").unwrap().unwrap();
+
+        // HEALTH reports the durability readings while running.
+        let health = client.send("HEALTH").unwrap().unwrap();
+        assert!(
+            health
+                .iter()
+                .any(|l| l.starts_with("wal_bytes=") && !l.ends_with("=off")),
+            "{health:?}"
+        );
+        assert!(
+            health.iter().any(|l| l.starts_with("last_snapshot_epoch=")),
+            "{health:?}"
+        );
+    }
+    let epoch_before = server.database().epoch();
+    server.stop();
+
+    // Boot two over the same directory: recovery replays the WAL. The
+    // client lives in a block so its socket closes before `stop()` —
+    // a worker parked in `read_line` only notices shutdown once its
+    // connection ends.
+    let server = serve_durable(&dir);
+    assert_eq!(server.database().epoch(), epoch_before);
+    {
+        let mut client = Client::connect(server.addr()).unwrap();
+        let sure = client
+            .send("QUEL range of e is EMP retrieve (e.E#, e.NAME) where e.NAME = \"alice\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(sure[0], "rows=1", "{sure:?}");
+        // The ni-NAME row (E# = 2) qualifies possibly-but-not-surely —
+        // recovery preserved the MAYBE band.
+        let maybe = client
+            .send("MAYBE range of e is EMP retrieve (e.E#) where e.NAME = \"alice\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(maybe[0], "rows=1", "{maybe:?}");
+        assert!(maybe.contains(&"2".to_owned()), "{maybe:?}");
+        // carol stays deleted.
+        let gone = client
+            .send("QUEL range of e is EMP retrieve (e.E#) where e.NAME = \"carol\"")
+            .unwrap()
+            .unwrap();
+        assert_eq!(gone[0], "rows=0", "{gone:?}");
+    }
+    server.stop();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -281,6 +281,72 @@ impl StatisticsCollector {
         }
     }
 
+    /// The collector as plain persistable data (see [`crate::persist`]):
+    /// every accumulator field is captured exactly — distinct sets (sorted
+    /// for deterministic bytes), reservoir samples in slot order, rebuild
+    /// counters, and the deterministic generator state — so a reopened
+    /// database maintains its histograms from the same point a live one
+    /// would.
+    pub fn to_state(&self) -> crate::persist::CollectorState {
+        crate::persist::CollectorState {
+            columns: self.columns.clone(),
+            rows: self.rows,
+            definite_rows: self.definite_rows,
+            per_column: self
+                .per_column
+                .iter()
+                .map(|(attr, acc)| {
+                    let mut values: Vec<Value> = acc.values.iter().cloned().collect();
+                    values.sort();
+                    crate::persist::AccumulatorState {
+                        attr: *attr,
+                        values,
+                        null_rows: acc.null_rows,
+                        min: acc.min,
+                        max: acc.max,
+                        sample: acc.sample.clone(),
+                        seen_numeric: acc.seen_numeric,
+                        pending: acc.pending,
+                        built: acc.built,
+                        rng: acc.rng,
+                        histogram: acc.histogram.as_ref().map(|h| h.to_state()),
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Reconstructs a collector from persisted state, exactly as
+    /// [`StatisticsCollector::to_state`] captured it.
+    pub fn from_state(state: &crate::persist::CollectorState) -> StatisticsCollector {
+        StatisticsCollector {
+            columns: state.columns.clone(),
+            rows: state.rows,
+            definite_rows: state.definite_rows,
+            per_column: state
+                .per_column
+                .iter()
+                .map(|a| {
+                    (
+                        a.attr,
+                        ColumnAccumulator {
+                            values: a.values.iter().cloned().collect(),
+                            null_rows: a.null_rows,
+                            min: a.min,
+                            max: a.max,
+                            sample: a.sample.clone(),
+                            seen_numeric: a.seen_numeric,
+                            pending: a.pending,
+                            built: a.built,
+                            rng: a.rng,
+                            histogram: a.histogram.as_ref().map(EquiDepthHistogram::from_state),
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
     /// The current summary.
     pub fn snapshot(&self) -> TableStatistics {
         let columns = self
@@ -480,6 +546,35 @@ mod tests {
         // The final snapshot's histogram covers (almost) everything.
         let h = c.snapshot().column(a).unwrap().histogram.clone().unwrap();
         assert!(h.total() * 9 >= 500 * 8, "built {} of 500", h.total());
+    }
+
+    /// Durability: persisted collector state restores the accumulator
+    /// exactly — not just the summary — so continued observation from a
+    /// restored collector stays in lockstep with the live one, including
+    /// past the reservoir cap where the deterministic generator decides
+    /// which slots get replaced.
+    #[test]
+    fn collector_state_round_trips_and_stays_in_lockstep() {
+        let (s, n, rows) = fixtures();
+        let mut live = StatisticsCollector::new([s, n]);
+        for row in &rows {
+            live.observe(row);
+        }
+        // Drive the reservoir past its cap so rng state matters.
+        for i in 0..(SAMPLE_CAP + 200) as i64 {
+            live.observe(&Tuple::new().with(n, Value::int(i % 97)));
+        }
+        let restored = StatisticsCollector::from_state(&live.to_state());
+        assert_eq!(restored.snapshot(), live.snapshot());
+        assert_eq!(restored.to_state(), live.to_state());
+        let (mut live, mut restored) = (live, restored);
+        for i in 0..500i64 {
+            let row = Tuple::new().with(n, Value::int(i)).with(s, Value::str("x"));
+            live.observe(&row);
+            restored.observe(&row);
+        }
+        assert_eq!(restored.snapshot(), live.snapshot());
+        assert_eq!(restored.to_state(), live.to_state());
     }
 
     #[test]

@@ -151,6 +151,43 @@ impl EquiDepthHistogram {
         self.buckets.len()
     }
 
+    /// The histogram as plain persistable data (see [`crate::persist`]).
+    pub fn to_state(&self) -> crate::persist::HistogramState {
+        crate::persist::HistogramState {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| crate::persist::BucketState {
+                    lo: b.lo,
+                    hi: b.hi,
+                    count: b.count,
+                })
+                .collect(),
+            total: self.total,
+            population: self.population,
+            stale_fraction: self.stale_fraction,
+        }
+    }
+
+    /// Reconstructs a histogram from persisted state, exactly as
+    /// [`EquiDepthHistogram::to_state`] captured it.
+    pub fn from_state(state: &crate::persist::HistogramState) -> EquiDepthHistogram {
+        EquiDepthHistogram {
+            buckets: state
+                .buckets
+                .iter()
+                .map(|b| Bucket {
+                    lo: b.lo,
+                    hi: b.hi,
+                    count: b.count,
+                })
+                .collect(),
+            total: state.total,
+            population: state.population,
+            stale_fraction: state.stale_fraction,
+        }
+    }
+
     /// The number of values summarised at build time.
     pub fn total(&self) -> usize {
         self.total

@@ -41,6 +41,7 @@ pub mod catalog;
 pub mod estimate;
 pub mod histogram;
 pub mod observe;
+pub mod persist;
 
 pub use catalog::{
     ColumnStatistics, StatisticsCollector, StatisticsSource, StripHistograms, TableStatistics,

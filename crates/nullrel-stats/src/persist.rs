@@ -1,0 +1,93 @@
+//! Plain-data snapshots of collector state, for durability.
+//!
+//! The storage layer's snapshot files must round-trip a table's
+//! [`StatisticsCollector`](crate::StatisticsCollector) **exactly** — not
+//! just the [`TableStatistics`](crate::TableStatistics) summary — so that
+//! a reopened database continues to maintain its histograms from the same
+//! reservoir, rebuild counters, and deterministic generator state as the
+//! live database it was snapshotted from. (A from-scratch rebuild over the
+//! same rows would produce equivalent *estimates* but different
+//! rebuild-point alignment, and the kill-and-replay differential tests
+//! assert bit-for-bit statistics equality.)
+//!
+//! The structs here are deliberately plain data with public fields: the
+//! binary codec lives in `nullrel-storage`, which cannot see this crate's
+//! private accumulator internals. Conversions are
+//! [`StatisticsCollector::to_state`](crate::StatisticsCollector::to_state) /
+//! [`StatisticsCollector::from_state`](crate::StatisticsCollector::from_state)
+//! and the histogram equivalents.
+
+use nullrel_core::universe::AttrId;
+use nullrel_core::value::Value;
+
+/// One histogram bucket as plain data: the closed range `[lo, hi]` and the
+/// number of built values it holds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BucketState {
+    /// Smallest value in the bucket.
+    pub lo: f64,
+    /// Largest value in the bucket.
+    pub hi: f64,
+    /// Built values the bucket holds.
+    pub count: usize,
+}
+
+/// An [`EquiDepthHistogram`](crate::EquiDepthHistogram) as plain data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramState {
+    /// Buckets in ascending value order.
+    pub buckets: Vec<BucketState>,
+    /// Values summarised at build time (bucket counts sum to this).
+    pub total: usize,
+    /// The observed numeric population the histogram summarises.
+    pub population: usize,
+    /// Fraction of observed values not yet reflected by a rebuild.
+    pub stale_fraction: f64,
+}
+
+/// One column's accumulator as plain data. `values` is sorted so the
+/// serialized form is deterministic (the live accumulator keeps a hash
+/// set); every other field mirrors the accumulator exactly, including the
+/// reservoir sample **in slot order** and the deterministic generator
+/// state `rng`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccumulatorState {
+    /// The column this accumulator tracks.
+    pub attr: AttrId,
+    /// Distinct non-null values in join-key-normalized space, sorted.
+    pub values: Vec<Value>,
+    /// Rows whose cell for this column is `ni`.
+    pub null_rows: usize,
+    /// Smallest numeric value observed.
+    pub min: Option<f64>,
+    /// Largest numeric value observed.
+    pub max: Option<f64>,
+    /// The histogram reservoir, in slot order.
+    pub sample: Vec<f64>,
+    /// Numeric values observed in total.
+    pub seen_numeric: usize,
+    /// Numeric values observed since the last histogram build.
+    pub pending: usize,
+    /// Values the current histogram was built over.
+    pub built: usize,
+    /// Deterministic reservoir generator state.
+    pub rng: u64,
+    /// The built histogram, if any.
+    pub histogram: Option<HistogramState>,
+}
+
+/// A whole [`StatisticsCollector`](crate::StatisticsCollector) as plain
+/// data: the tracked column list (in declaration order), the band row
+/// counters, and one [`AccumulatorState`] per tracked column (in ascending
+/// attribute order, matching the collector's map).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectorState {
+    /// Tracked columns, in declaration order.
+    pub columns: Vec<AttrId>,
+    /// Total rows observed.
+    pub rows: usize,
+    /// Rows total on every tracked column.
+    pub definite_rows: usize,
+    /// Per-column accumulator state, in ascending attribute order.
+    pub per_column: Vec<AccumulatorState>,
+}

@@ -39,6 +39,21 @@ impl Database {
         Database::default()
     }
 
+    /// Reassembles a database from persisted parts (durability recovery).
+    /// The universe must already hold every attribute the tables
+    /// reference, interned in the original order so ids line up.
+    pub(crate) fn from_parts(
+        universe: Universe,
+        tables: BTreeMap<String, Arc<Table>>,
+        schema_version: u64,
+    ) -> Database {
+        Database {
+            universe,
+            tables,
+            schema_version,
+        }
+    }
+
     /// The universe of attributes.
     pub fn universe(&self) -> &Universe {
         &self.universe

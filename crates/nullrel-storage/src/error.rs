@@ -49,6 +49,15 @@ pub enum StorageError {
         /// Description of the problem.
         message: String,
     },
+    /// A filesystem error from the durability layer (WAL append, snapshot
+    /// write, recovery read). Carries the rendered `io::Error` so the
+    /// enum stays `Clone + Eq`.
+    Io(String),
+    /// A persisted file (snapshot or WAL) failed structural validation —
+    /// bad magic, unsupported version, or a payload that decodes
+    /// inconsistently. (A torn or checksum-failed *trailing* WAL record is
+    /// not an error: recovery stops there by design.)
+    Corrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -72,6 +81,8 @@ impl fmt::Display for StorageError {
             StorageError::Parse { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            StorageError::Io(message) => write!(f, "durability i/o error: {message}"),
+            StorageError::Corrupt(message) => write!(f, "corrupt persisted file: {message}"),
         }
     }
 }

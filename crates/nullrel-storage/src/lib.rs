@@ -20,14 +20,18 @@ pub mod catalog;
 pub mod error;
 pub mod index;
 pub mod loader;
+pub mod persist;
 pub mod scan;
 pub mod schema;
 pub mod table;
 pub mod version;
+pub mod wal;
 
 pub use catalog::Database;
 pub use error::{StorageError, StorageResult};
 pub use index::HashIndex;
+pub use persist::FsyncMode;
 pub use schema::{ColumnDef, SchemaBuilder, TableSchema};
 pub use table::Table;
-pub use version::{Snapshot, VersionedDatabase};
+pub use version::{DurabilityStatus, Snapshot, VersionedDatabase};
+pub use wal::{ColumnSpec, LogicalOp, TableSpec};

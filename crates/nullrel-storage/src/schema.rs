@@ -133,6 +133,17 @@ impl SchemaBuilder {
 }
 
 impl TableSchema {
+    /// Reassembles a schema from persisted parts (durability recovery).
+    /// The parts must have come from this type's own accessors — no
+    /// validation is repeated here.
+    pub(crate) fn from_parts(
+        name: String,
+        columns: Vec<ColumnDef>,
+        key: Option<Vec<AttrId>>,
+    ) -> TableSchema {
+        TableSchema { name, columns, key }
+    }
+
     /// The table name.
     pub fn name(&self) -> &str {
         &self.name

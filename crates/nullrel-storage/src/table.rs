@@ -44,6 +44,32 @@ impl Table {
         }
     }
 
+    /// Reassembles a table from persisted parts (durability recovery).
+    /// Indexes are rebuilt from their attribute lists — [`HashIndex::build`]
+    /// is deterministic over the stored rows, so only the lists persist.
+    pub(crate) fn from_parts(
+        schema: TableSchema,
+        rows: Vec<Tuple>,
+        index_attrs: Vec<Vec<AttrId>>,
+        stats: StatisticsCollector,
+    ) -> Table {
+        let indexes = index_attrs
+            .into_iter()
+            .map(|attrs| HashIndex::build(attrs, &rows))
+            .collect();
+        Table {
+            schema,
+            rows,
+            indexes,
+            stats,
+        }
+    }
+
+    /// The live statistics collector (persisted exactly by snapshots).
+    pub(crate) fn stats_collector(&self) -> &StatisticsCollector {
+        &self.stats
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &TableSchema {
         &self.schema

@@ -20,13 +20,34 @@
 //!   version's un-shared tables are freed. Nothing is copied at retire
 //!   time and no epoch ring is kept.
 //!
+//! **Durability** is layered under the same commit path
+//! ([`VersionedDatabase::open`]): when a data directory is attached, every
+//! [`commit_ops`] appends one checksummed WAL record *before* its epoch
+//! publishes, full snapshots land periodically (truncating the log), and
+//! reopening the directory replays snapshot + WAL tail — skipping a torn
+//! trailing record — into exactly the database that was live, histograms
+//! included. See [`crate::wal`] and [`crate::persist`] for the file
+//! formats.
+//!
+//! Lock discipline: both the version `RwLock` and the writer `Mutex`
+//! recover from poisoning (`unwrap_or_else(|e| e.into_inner())`) instead
+//! of panicking. Poisoning here carries no torn state — the `RwLock` only
+//! guards an `Arc` swap (always complete or not started), and the writer
+//! mutex holds no data at all; a mutator that panics mid-commit simply
+//! never publishes its clone. Propagating the poison would instead turn
+//! one panicking request thread into a permanent whole-server outage.
+//!
 //! [`pin`]: VersionedDatabase::pin
 //! [`commit`]: VersionedDatabase::commit
+//! [`commit_ops`]: VersionedDatabase::commit_ops
 
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 
 use crate::catalog::Database;
-use crate::error::StorageResult;
+use crate::error::{StorageError, StorageResult};
+use crate::persist::{self, FsyncMode, WAL_FILE};
+use crate::wal::{self, LogicalOp, Wal};
 
 /// One committed, immutable version of the database, stamped with the
 /// epoch that published it. The wrapped [`Database`] is a full catalog —
@@ -70,15 +91,164 @@ pub struct VersionedDatabase {
     /// publishes at a time. Holds no data — the master copy *is* the
     /// current snapshot, cloned copy-on-write per commit.
     writer: Mutex<()>,
+    /// The durability layer, when a data directory is attached. Guarded by
+    /// its own mutex only for interior mutability: every access happens
+    /// under the writer lock, so there is never contention.
+    durability: Option<Mutex<Durability>>,
+}
+
+/// WAL handle plus snapshot policy for one data directory.
+#[derive(Debug)]
+struct Durability {
+    dir: PathBuf,
+    wal: Wal,
+    fsync: FsyncMode,
+    /// Snapshot once the WAL reaches this many bytes (0 = after every
+    /// logged commit).
+    snapshot_wal_bytes: u64,
+    last_snapshot_epoch: u64,
+}
+
+impl Durability {
+    /// Writes a full snapshot of `db` at `epoch` and truncates the log.
+    /// Must run under the writer lock — truncation erases records, so no
+    /// commit may append between the snapshot's pin and the truncate.
+    fn write_snapshot(&mut self, epoch: u64, db: &Database) -> StorageResult<u64> {
+        let _span = nullrel_obs::tracing_active()
+            .then(|| nullrel_obs::span(format!("snapshot at epoch {epoch}"), "durability"));
+        let bytes = persist::write_snapshot(&self.dir, epoch, db, self.fsync)?;
+        self.wal.truncate()?;
+        self.last_snapshot_epoch = epoch;
+        SNAPSHOTS_WRITTEN.inc();
+        LAST_SNAPSHOT_EPOCH.set(epoch as i64);
+        WAL_BYTES.set(0);
+        Ok(bytes)
+    }
+}
+
+/// The durability readings the `HEALTH` surface and tests report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurabilityStatus {
+    /// Current size of the write-ahead log in bytes.
+    pub wal_bytes: u64,
+    /// Epoch of the last full snapshot written (0 before the first one —
+    /// recovery then starts from an empty database plus the whole log).
+    pub last_snapshot_epoch: u64,
+    /// The attached data directory.
+    pub data_dir: PathBuf,
+}
+
+/// Default WAL size that triggers a full snapshot (4 MiB).
+pub const DEFAULT_SNAPSHOT_WAL_BYTES: u64 = 4 * 1024 * 1024;
+
+/// Parses `NULLREL_SNAPSHOT_WAL_BYTES`: any unsigned byte count is
+/// accepted (`0` = snapshot after **every** logged commit); garbage,
+/// whitespace, or unset falls back to [`DEFAULT_SNAPSHOT_WAL_BYTES`].
+pub fn parse_snapshot_wal_bytes(value: Option<&str>) -> u64 {
+    match value.and_then(|v| v.trim().parse::<u64>().ok()) {
+        Some(n) => n,
+        None => DEFAULT_SNAPSHOT_WAL_BYTES,
+    }
 }
 
 impl VersionedDatabase {
-    /// Puts an initial database state behind versioning, as epoch 0.
+    /// Puts an initial database state behind versioning, as epoch 0,
+    /// without durability (purely in-memory, as through PR 9).
     pub fn new(db: Database) -> Self {
         VersionedDatabase {
             current: Arc::new(RwLock::new(Arc::new(Snapshot { epoch: 0, db }))),
             writer: Mutex::new(()),
+            durability: None,
         }
+    }
+
+    /// Opens (or creates) a durable database in `dir`, with the fsync
+    /// policy and snapshot cadence taken from the environment
+    /// (`NULLREL_FSYNC`, `NULLREL_SNAPSHOT_WAL_BYTES`).
+    ///
+    /// Recovery replays the latest snapshot, then every complete,
+    /// checksum-verified WAL record with an epoch past the snapshot's —
+    /// stopping at (and discarding) a torn or corrupt trailing record,
+    /// which is then truncated away so fresh appends extend the verified
+    /// prefix. The reopened database is identical to the live one at the
+    /// last durable commit: rows, indexes, statistics, histograms, epoch.
+    pub fn open(dir: impl AsRef<Path>) -> StorageResult<VersionedDatabase> {
+        Self::open_with(
+            dir,
+            FsyncMode::from_env(),
+            parse_snapshot_wal_bytes(std::env::var("NULLREL_SNAPSHOT_WAL_BYTES").ok().as_deref()),
+        )
+    }
+
+    /// [`VersionedDatabase::open`] with explicit policy knobs.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        fsync: FsyncMode,
+        snapshot_wal_bytes: u64,
+    ) -> StorageResult<VersionedDatabase> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(wal::io_err)?;
+        let (snapshot_epoch, mut db) = match persist::read_snapshot(dir)? {
+            Some((epoch, db)) => (epoch, db),
+            None => (0, Database::new()),
+        };
+        let mut epoch = snapshot_epoch;
+        let wal_path = dir.join(WAL_FILE);
+        let (records, status) = wal::read_records(&wal_path)?;
+        let mut replayed = 0u64;
+        for record in &records {
+            // Records at or below the snapshot's epoch are already inside
+            // it (a crash between snapshot-rename and WAL-truncate leaves
+            // them behind); replay only the tail past the snapshot.
+            if record.epoch <= snapshot_epoch {
+                continue;
+            }
+            for op in &record.ops {
+                wal::apply_op(&mut db, op)?;
+            }
+            epoch = record.epoch;
+            replayed += 1;
+        }
+        WAL_RECORDS_REPLAYED.add(replayed);
+        if status.torn_tail {
+            WAL_TORN_SKIPPED.inc();
+            // Cut the tail so new appends extend the verified prefix
+            // (replay would otherwise stop at the stale torn record).
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&wal_path)
+                .map_err(wal::io_err)?;
+            file.set_len(status.verified_bytes).map_err(wal::io_err)?;
+        }
+        RECOVERIES.inc();
+        if nullrel_obs::tracing_active() {
+            nullrel_obs::event(
+                format!(
+                    "recovery: snapshot epoch {snapshot_epoch}, {replayed} wal records \
+                     replayed{}, resuming at epoch {epoch}",
+                    if status.torn_tail {
+                        ", torn tail skipped"
+                    } else {
+                        ""
+                    }
+                ),
+                "durability",
+            );
+        }
+        let wal = Wal::open(&wal_path, fsync)?;
+        WAL_BYTES.set(wal.bytes() as i64);
+        LAST_SNAPSHOT_EPOCH.set(snapshot_epoch as i64);
+        Ok(VersionedDatabase {
+            current: Arc::new(RwLock::new(Arc::new(Snapshot { epoch, db }))),
+            writer: Mutex::new(()),
+            durability: Some(Mutex::new(Durability {
+                dir: dir.to_owned(),
+                wal,
+                fsync,
+                snapshot_wal_bytes,
+                last_snapshot_epoch: snapshot_epoch,
+            })),
+        })
     }
 
     /// Pins the last committed version: an `Arc` clone, O(1) and
@@ -86,12 +256,14 @@ impl VersionedDatabase {
     /// stays fully readable — and byte-stable — for as long as the `Arc`
     /// lives, regardless of concurrent commits.
     pub fn pin(&self) -> Arc<Snapshot> {
-        Arc::clone(&self.current.read().expect("version lock poisoned"))
+        // Recover from poisoning: the lock only guards an `Arc` swap,
+        // which cannot be observed half-done (see the module docs).
+        Arc::clone(&self.current.read().unwrap_or_else(|e| e.into_inner()))
     }
 
     /// The epoch of the last committed version.
     pub fn epoch(&self) -> u64 {
-        self.current.read().expect("version lock poisoned").epoch
+        self.current.read().unwrap_or_else(|e| e.into_inner()).epoch
     }
 
     /// The schema version of the last committed state (see
@@ -99,7 +271,7 @@ impl VersionedDatabase {
     pub fn schema_version(&self) -> u64 {
         self.current
             .read()
-            .expect("version lock poisoned")
+            .unwrap_or_else(|e| e.into_inner())
             .db
             .schema_version()
     }
@@ -111,20 +283,97 @@ impl VersionedDatabase {
     /// the published state — and every pinned snapshot — untouched.
     /// Readers pinned to older epochs are unaffected either way; their
     /// versions retire when the last pin drops.
+    ///
+    /// With durability attached, a closure commit cannot be logged
+    /// logically (the closure is opaque), so it is made durable the heavy
+    /// way: a full snapshot is written at the new epoch — before it
+    /// publishes — and the WAL truncated. Hot write paths should prefer
+    /// [`VersionedDatabase::commit_ops`], which appends one log record
+    /// instead.
     pub fn commit<T>(
         &self,
         mutate: impl FnOnce(&mut Database) -> StorageResult<T>,
     ) -> StorageResult<(u64, T)> {
-        let _serialize = self.writer.lock().expect("writer lock poisoned");
+        // Recover from poisoning: the mutex holds no data, and a mutator
+        // that panicked never published its clone (see the module docs).
+        let _serialize = self.writer.lock().unwrap_or_else(|e| e.into_inner());
         let base = self.pin();
         // Cheap: shares every table Arc until the mutator touches it.
         let mut db = base.db.clone();
         let value = mutate(&mut db)?;
         let epoch = base.epoch + 1;
-        let next = Arc::new(Snapshot { epoch, db });
-        *self.current.write().expect("version lock poisoned") = next;
-        COMMITS.inc();
+        if let Some(durability) = &self.durability {
+            let mut d = durability.lock().unwrap_or_else(|e| e.into_inner());
+            d.write_snapshot(epoch, &db)?;
+        }
+        self.publish(Snapshot { epoch, db });
         Ok((epoch, value))
+    }
+
+    /// The durable commit path: applies `ops` in order to a copy-on-write
+    /// clone, appends them as **one** checksummed WAL record, and only
+    /// then publishes the next epoch. Returns the epoch and the rows
+    /// affected by each op (0 for DDL). Atomic like [`commit`]: any op
+    /// failing discards the clone and appends nothing. When the log
+    /// reaches the snapshot threshold, a full snapshot lands (still
+    /// before publication) and the log is truncated.
+    ///
+    /// Without durability attached this is simply `commit` with the op
+    /// interpreter — the same code path replay uses, which is what makes
+    /// replayed state bit-identical to live state.
+    ///
+    /// [`commit`]: VersionedDatabase::commit
+    pub fn commit_ops(&self, ops: &[LogicalOp]) -> StorageResult<(u64, Vec<u64>)> {
+        let _serialize = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let base = self.pin();
+        let mut db = base.db.clone();
+        let mut affected = Vec::with_capacity(ops.len());
+        for op in ops {
+            affected.push(wal::apply_op(&mut db, op)?);
+        }
+        let epoch = base.epoch + 1;
+        if let Some(durability) = &self.durability {
+            let mut d = durability.lock().unwrap_or_else(|e| e.into_inner());
+            let bytes = d.wal.append(epoch, ops)?;
+            WAL_RECORDS.inc();
+            WAL_BYTES.set(bytes as i64);
+            if bytes >= d.snapshot_wal_bytes {
+                d.write_snapshot(epoch, &db)?;
+            }
+        }
+        self.publish(Snapshot { epoch, db });
+        Ok((epoch, affected))
+    }
+
+    /// Forces a full snapshot of the current state at its epoch and
+    /// truncates the WAL. Errors when no data directory is attached.
+    pub fn snapshot_now(&self) -> StorageResult<u64> {
+        let _serialize = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        let durability = self
+            .durability
+            .as_ref()
+            .ok_or_else(|| StorageError::Io("durability is not enabled".into()))?;
+        let current = self.pin();
+        let mut d = durability.lock().unwrap_or_else(|e| e.into_inner());
+        d.write_snapshot(current.epoch, &current.db)?;
+        Ok(current.epoch)
+    }
+
+    /// The durability readings (`None` when running purely in memory).
+    pub fn durability_status(&self) -> Option<DurabilityStatus> {
+        self.durability.as_ref().map(|durability| {
+            let d = durability.lock().unwrap_or_else(|e| e.into_inner());
+            DurabilityStatus {
+                wal_bytes: d.wal.bytes(),
+                last_snapshot_epoch: d.last_snapshot_epoch,
+                data_dir: d.dir.clone(),
+            }
+        })
+    }
+
+    fn publish(&self, next: Snapshot) {
+        *self.current.write().unwrap_or_else(|e| e.into_inner()) = Arc::new(next);
+        COMMITS.inc();
     }
 }
 
@@ -140,9 +389,58 @@ pub static COMMITS: nullrel_obs::metrics::Counter = nullrel_obs::metrics::Counte
     "Versions published through the MVCC commit path",
 );
 
+/// WAL records appended by durable commits.
+pub static WAL_RECORDS: nullrel_obs::metrics::Counter = nullrel_obs::metrics::Counter::new(
+    "nullrel_wal_records_total",
+    "Write-ahead-log records appended by durable commits",
+);
+
+/// WAL records replayed during recovery.
+pub static WAL_RECORDS_REPLAYED: nullrel_obs::metrics::Counter = nullrel_obs::metrics::Counter::new(
+    "nullrel_wal_records_replayed_total",
+    "Write-ahead-log records replayed by VersionedDatabase::open",
+);
+
+/// Torn or checksum-failed WAL tails skipped during recovery.
+pub static WAL_TORN_SKIPPED: nullrel_obs::metrics::Counter = nullrel_obs::metrics::Counter::new(
+    "nullrel_wal_torn_tail_skipped_total",
+    "Torn or checksum-failed trailing WAL records discarded at recovery",
+);
+
+/// Full snapshots written.
+pub static SNAPSHOTS_WRITTEN: nullrel_obs::metrics::Counter = nullrel_obs::metrics::Counter::new(
+    "nullrel_snapshots_written_total",
+    "Full database snapshots written by the durability layer",
+);
+
+/// Recoveries performed (one per durable open).
+pub static RECOVERIES: nullrel_obs::metrics::Counter = nullrel_obs::metrics::Counter::new(
+    "nullrel_recoveries_total",
+    "Databases opened from a data directory (snapshot + WAL replay)",
+);
+
+/// Current WAL size in bytes.
+pub static WAL_BYTES: nullrel_obs::metrics::Gauge = nullrel_obs::metrics::Gauge::new(
+    "nullrel_wal_bytes",
+    "Current size of the write-ahead log in bytes",
+);
+
+/// Epoch of the last full snapshot.
+pub static LAST_SNAPSHOT_EPOCH: nullrel_obs::metrics::Gauge = nullrel_obs::metrics::Gauge::new(
+    "nullrel_last_snapshot_epoch",
+    "Epoch of the last full snapshot written",
+);
+
 /// Registers this module's metrics with the process registry (idempotent).
 pub fn register_metrics() {
     nullrel_obs::metrics::register_counter(&COMMITS);
+    nullrel_obs::metrics::register_counter(&WAL_RECORDS);
+    nullrel_obs::metrics::register_counter(&WAL_RECORDS_REPLAYED);
+    nullrel_obs::metrics::register_counter(&WAL_TORN_SKIPPED);
+    nullrel_obs::metrics::register_counter(&SNAPSHOTS_WRITTEN);
+    nullrel_obs::metrics::register_counter(&RECOVERIES);
+    nullrel_obs::metrics::register_gauge(&WAL_BYTES);
+    nullrel_obs::metrics::register_gauge(&LAST_SNAPSHOT_EPOCH);
 }
 
 #[cfg(test)]
@@ -254,6 +552,55 @@ mod tests {
             &before.db().table_handle("OTHER").unwrap(),
             &after.db().table_handle("OTHER").unwrap()
         ));
+    }
+
+    /// Satellite bugfix: a mutator that panics inside `commit` poisons the
+    /// writer mutex. Before the fix every later `pin()`/`commit()` call
+    /// `.expect(…)`-panicked on the poison — one bad request thread took
+    /// the whole server down. Both locks now recover: the panicking
+    /// commit publishes nothing, and the database keeps serving.
+    #[test]
+    fn a_panicking_commit_does_not_poison_the_database() {
+        let vdb = Arc::new(seeded());
+        let epoch_before = vdb.epoch();
+        let panicker = Arc::clone(&vdb);
+        std::thread::spawn(move || {
+            let _ = panicker.commit(|_db| -> StorageResult<()> {
+                panic!("mutator bug: this thread dies holding the writer lock");
+            });
+        })
+        .join()
+        .expect_err("the mutator panicked");
+        // Readers survive the poison…
+        let pinned = vdb.pin();
+        assert_eq!(pinned.epoch(), epoch_before);
+        assert_eq!(vdb.epoch(), epoch_before, "nothing was published");
+        assert_eq!(vdb.schema_version(), pinned.db().schema_version());
+        // …and so do writers: the next commit goes through normally.
+        let u = pinned.db().universe().clone();
+        let (epoch, _) = vdb
+            .commit(|db| {
+                db.table_mut("PS")
+                    .unwrap()
+                    .insert_named(&u, &[("S#", Value::str("s9"))])
+            })
+            .expect("commit after a poisoned writer lock succeeds");
+        assert_eq!(epoch, epoch_before + 1);
+        assert_eq!(vdb.pin().db().table("PS").unwrap().len(), 4);
+    }
+
+    #[test]
+    fn snapshot_wal_bytes_parse_is_hardened() {
+        assert_eq!(parse_snapshot_wal_bytes(Some("1024")), 1024);
+        assert_eq!(parse_snapshot_wal_bytes(Some(" 1024 ")), 1024);
+        // 0 is valid: snapshot after every logged commit.
+        assert_eq!(parse_snapshot_wal_bytes(Some("0")), 0);
+        for garbage in [None, Some(""), Some("  "), Some("lots"), Some("-1")] {
+            assert_eq!(
+                parse_snapshot_wal_bytes(garbage),
+                DEFAULT_SNAPSHOT_WAL_BYTES
+            );
+        }
     }
 
     #[test]
